@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark: the four s-line-graph constructions.
+//!
+//! Naive all-pairs vs Algorithm 1 (set intersections) vs Algorithm 2
+//! (hashmap counting) vs SpGEMM+Filter+Upper, on a mid-size community
+//! hypergraph at s ∈ {2, 8}. The expected ordering is the paper's:
+//! Algorithm 2 < Algorithm 1 < SpGEMM < naive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperline_gen::CommunityModel;
+use hyperline_hypergraph::Hypergraph;
+use hyperline_slinegraph::{
+    algo1_slinegraph, algo2_slinegraph, naive_slinegraph, spgemm_slinegraph, Strategy,
+};
+use std::hint::black_box;
+
+fn bench_input() -> Hypergraph {
+    CommunityModel {
+        num_vertices: 3_000,
+        num_edges: 6_000,
+        edge_size_min: 2,
+        edge_size_max: 120,
+        edge_size_exponent: 2.0,
+        num_communities: 120,
+        core_size: 40,
+        affinity: 0.7,
+        community_skew: 0.8,
+        vertex_skew: 0.9,
+    }
+    .generate(1)
+}
+
+fn algo_comparison(c: &mut Criterion) {
+    let h = bench_input();
+    let strategy = Strategy::default();
+    let mut group = c.benchmark_group("algo_comparison");
+    group.sample_size(10);
+    for s in [2u32, 8] {
+        group.bench_with_input(BenchmarkId::new("algo2", s), &s, |b, &s| {
+            b.iter(|| black_box(algo2_slinegraph(&h, s, &strategy).edges.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("algo1", s), &s, |b, &s| {
+            b.iter(|| black_box(algo1_slinegraph(&h, s, &strategy).edges.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("spgemm_upper", s), &s, |b, &s| {
+            b.iter(|| black_box(spgemm_slinegraph(&h, s, true).edges.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", s), &s, |b, &s| {
+            b.iter(|| black_box(naive_slinegraph(&h, s, &strategy).edges.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algo_comparison);
+criterion_main!(benches);

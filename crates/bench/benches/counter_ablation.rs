@@ -1,0 +1,68 @@
+//! Criterion ablation: overlap-counter data structures (§III-F).
+//!
+//! The paper discusses dynamically-allocated per-iteration hashmaps vs
+//! pre-allocated thread-local storage; most datasets prefer dynamic, but
+//! dense-overlap inputs (their Web) prefer pre-allocated. This ablation
+//! adds the dense-array counter as a third point in the design space, on
+//! both a sparse-overlap and a dense-overlap input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperline_gen::CommunityModel;
+use hyperline_hypergraph::Hypergraph;
+use hyperline_slinegraph::{algo2_slinegraph, CounterKind, Strategy};
+use std::hint::black_box;
+
+fn sparse_overlap_input() -> Hypergraph {
+    // Low affinity: wide hashmaps never grow large.
+    CommunityModel {
+        num_vertices: 8_000,
+        num_edges: 8_000,
+        edge_size_min: 2,
+        edge_size_max: 40,
+        edge_size_exponent: 2.2,
+        num_communities: 400,
+        core_size: 25,
+        affinity: 0.3,
+        community_skew: 0.6,
+        vertex_skew: 0.6,
+    }
+    .generate(2)
+}
+
+fn dense_overlap_input() -> Hypergraph {
+    // Web-like: high affinity, big cores — every source edge accumulates
+    // a large neighborhood, which the paper says favors pre-allocation.
+    CommunityModel {
+        num_vertices: 4_000,
+        num_edges: 6_000,
+        edge_size_min: 5,
+        edge_size_max: 300,
+        edge_size_exponent: 1.8,
+        num_communities: 40,
+        core_size: 120,
+        affinity: 0.85,
+        community_skew: 0.9,
+        vertex_skew: 1.0,
+    }
+    .generate(3)
+}
+
+fn counter_ablation(c: &mut Criterion) {
+    let inputs = [("sparse-overlap", sparse_overlap_input()), ("dense-overlap", dense_overlap_input())];
+    let mut group = c.benchmark_group("counter_ablation");
+    group.sample_size(10);
+    for (name, h) in &inputs {
+        for kind in CounterKind::ALL {
+            let strategy = Strategy::default().with_counter(kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), name),
+                &strategy,
+                |b, strategy| b.iter(|| black_box(algo2_slinegraph(h, 4, strategy).edges.len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counter_ablation);
+criterion_main!(benches);

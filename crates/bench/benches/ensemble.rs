@@ -1,0 +1,37 @@
+//! Criterion: Algorithm 3 (ensemble) vs repeated Algorithm 2.
+//!
+//! The trade-off of §III-D: computing k s-line graphs with one counting
+//! pass (memory-heavy) versus running the single-s algorithm k times
+//! (compute-heavy). Ensemble should win on wall time when k is large and
+//! the stored-pair footprint fits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperline_gen::Profile;
+use hyperline_slinegraph::{algo2_slinegraph, ensemble_slinegraphs, Strategy};
+use std::hint::black_box;
+
+fn ensemble_vs_repeated(c: &mut Criterion) {
+    let h = Profile::CondMat.generate(5);
+    let strategy = Strategy::default();
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    for k in [2usize, 8, 16] {
+        let s_values: Vec<u32> = (1..=k as u32).collect();
+        group.bench_with_input(BenchmarkId::new("algorithm3", k), &s_values, |b, s_values| {
+            b.iter(|| black_box(ensemble_slinegraphs(&h, s_values, &strategy).per_s.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("repeated-algo2", k), &s_values, |b, s_values| {
+            b.iter(|| {
+                let total: usize = s_values
+                    .iter()
+                    .map(|&s| algo2_slinegraph(&h, s, &strategy).edges.len())
+                    .sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ensemble_vs_repeated);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: Stage-5 s-metric kernels on a squeezed s-line graph.
+//!
+//! Connected components (three algorithms), betweenness (sequential vs
+//! parallel), PageRank and algebraic connectivity, all on the same s-line
+//! graph — the relative costs that determine which metric dominates a
+//! Stage-5 budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperline_gen::Profile;
+use hyperline_graph::{betweenness, cc, pagerank, spectral};
+use hyperline_slinegraph::{algo2_slinegraph, SLineGraph, Strategy};
+use std::hint::black_box;
+
+fn graph_kernels(c: &mut Criterion) {
+    let h = Profile::CondMat.generate(6);
+    let r = algo2_slinegraph(&h, 2, &Strategy::default());
+    let slg = SLineGraph::new_squeezed(2, h.num_edges(), r.edges);
+    let g = slg.graph();
+    let edges: Vec<(u32, u32)> = g.iter_edges().collect();
+
+    let mut group = c.benchmark_group("graph_kernels");
+    group.sample_size(10);
+    group.bench_function("cc_bfs", |b| {
+        b.iter(|| black_box(cc::components_bfs(g).len()))
+    });
+    group.bench_function("cc_label_prop", |b| {
+        b.iter(|| black_box(cc::components_label_prop(g).len()))
+    });
+    group.bench_function("cc_union_find", |b| {
+        b.iter(|| black_box(cc::components_union_find(g.num_vertices(), &edges).len()))
+    });
+    group.bench_function("betweenness_seq", |b| {
+        b.iter(|| black_box(betweenness::betweenness(g).len()))
+    });
+    group.bench_function("betweenness_par", |b| {
+        b.iter(|| black_box(betweenness::betweenness_parallel(g).len()))
+    });
+    group.bench_function("pagerank", |b| {
+        b.iter(|| black_box(pagerank::pagerank(g, pagerank::PageRankOptions::default()).len()))
+    });
+    group.bench_function("algebraic_connectivity", |b| {
+        b.iter(|| {
+            black_box(spectral::normalized_algebraic_connectivity(
+                g,
+                spectral::SpectralOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_kernels);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion ablation: Algorithm 1's heuristics (§III-A).
+//!
+//! The paper credits Algorithm 1's viability to four heuristics: degree
+//! pruning, visited-skipping, short-circuited intersections, and
+//! triangle restriction. This bench switches them off one at a time to
+//! quantify each one's contribution — and benches the Lower-triangle
+//! variant of both algorithms (the paper's descending-order pairing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperline_gen::CommunityModel;
+use hyperline_hypergraph::Hypergraph;
+use hyperline_slinegraph::{
+    algo1_slinegraph, algo2_slinegraph, Algo1Heuristics, Strategy, TriangleSide,
+};
+use std::hint::black_box;
+
+fn input() -> Hypergraph {
+    CommunityModel {
+        num_vertices: 3_000,
+        num_edges: 5_000,
+        edge_size_min: 2,
+        edge_size_max: 100,
+        edge_size_exponent: 2.0,
+        num_communities: 100,
+        core_size: 40,
+        affinity: 0.7,
+        community_skew: 0.8,
+        vertex_skew: 0.9,
+    }
+    .generate(8)
+}
+
+fn heuristics_ablation(c: &mut Criterion) {
+    let h = input();
+    let s = 4;
+    let mut group = c.benchmark_group("algo1_heuristics");
+    group.sample_size(10);
+
+    let variants: [(&str, Strategy); 5] = [
+        ("all-on", Strategy::default()),
+        (
+            "no-skip-visited",
+            Strategy::default().with_algo1_heuristics(Algo1Heuristics {
+                skip_visited: false,
+                short_circuit: true,
+            }),
+        ),
+        (
+            "no-short-circuit",
+            Strategy::default().with_algo1_heuristics(Algo1Heuristics {
+                skip_visited: true,
+                short_circuit: false,
+            }),
+        ),
+        ("no-degree-pruning", Strategy::default().with_pruning(false)),
+        (
+            "all-off",
+            Strategy::default().with_pruning(false).with_algo1_heuristics(Algo1Heuristics {
+                skip_visited: false,
+                short_circuit: false,
+            }),
+        ),
+    ];
+    for (label, strategy) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(algo1_slinegraph(&h, s, &strategy).edges.len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("triangle_side");
+    group.sample_size(10);
+    for (label, side) in [("upper", TriangleSide::Upper), ("lower", TriangleSide::Lower)] {
+        let strategy = Strategy::default().with_triangle(side);
+        group.bench_function(format!("algo2-{label}"), |b| {
+            b.iter(|| black_box(algo2_slinegraph(&h, s, &strategy).edges.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, heuristics_ablation);
+criterion_main!(benches);

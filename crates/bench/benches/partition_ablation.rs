@@ -1,0 +1,57 @@
+//! Criterion ablation: partitioning strategy × relabel order × chunk size.
+//!
+//! The design choices of §III-F / §IV: blocked vs cyclic vs dynamic
+//! chunk-claiming, relabel-by-degree, and the dynamic grainsize (the
+//! paper observes chunk sizes up to 256 perform similarly and larger ones
+//! suffer scheduling overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperline_gen::CommunityModel;
+use hyperline_hypergraph::{relabel_edges_by_degree, Hypergraph, RelabelOrder};
+use hyperline_slinegraph::{algo2_slinegraph, Partition, Strategy};
+use std::hint::black_box;
+
+fn skewed_input() -> Hypergraph {
+    CommunityModel {
+        num_vertices: 10_000,
+        num_edges: 20_000,
+        edge_size_min: 2,
+        edge_size_max: 800,
+        edge_size_exponent: 2.0,
+        num_communities: 200,
+        core_size: 60,
+        affinity: 0.7,
+        community_skew: 0.9,
+        vertex_skew: 1.0,
+    }
+    .generate(4)
+}
+
+fn partition_ablation(c: &mut Criterion) {
+    let h = skewed_input();
+    let mut group = c.benchmark_group("partition_ablation");
+    group.sample_size(10);
+
+    for relabel in RelabelOrder::ALL {
+        let relabeled = relabel_edges_by_degree(&h, relabel);
+        for partition in [Partition::Blocked, Partition::Cyclic] {
+            let strategy = Strategy::default().with_partition(partition);
+            let label = format!("{}{}", partition.code(), relabel.code());
+            group.bench_with_input(BenchmarkId::new("static", label), &strategy, |b, strategy| {
+                b.iter(|| black_box(algo2_slinegraph(&relabeled.hypergraph, 8, strategy).edges.len()))
+            });
+        }
+    }
+
+    // Grainsize sweep for the dynamic mode (no relabeling).
+    for chunk in [16usize, 64, 256, 2048] {
+        let strategy = Strategy::default().with_partition(Partition::Dynamic { chunk });
+        group.bench_with_input(BenchmarkId::new("dynamic-chunk", chunk), &strategy, |b, strategy| {
+            b.iter(|| black_box(algo2_slinegraph(&h, 8, strategy).edges.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partition_ablation);
+criterion_main!(benches);

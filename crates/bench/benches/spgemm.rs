@@ -1,0 +1,47 @@
+//! Criterion: the SpGEMM substrate itself.
+//!
+//! Parallel vs sequential Gustavson, full vs upper-triangle product, on
+//! the hypergraph overlap matrix `HᵀH` — quantifying what the +Upper
+//! modification of §VI-G buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperline_gen::CommunityModel;
+use hyperline_sparse::{overlap_matrix, spgemm, spgemm_seq, CsrMatrix, Triangle};
+use std::hint::black_box;
+
+fn spgemm_benches(c: &mut Criterion) {
+    let h = CommunityModel {
+        num_vertices: 4_000,
+        num_edges: 6_000,
+        edge_size_min: 2,
+        edge_size_max: 80,
+        edge_size_exponent: 2.0,
+        num_communities: 150,
+        core_size: 40,
+        affinity: 0.6,
+        community_skew: 0.8,
+        vertex_skew: 0.8,
+    }
+    .generate(7);
+    let a = CsrMatrix::from_pattern(h.edge_csr());
+    let b_mat = CsrMatrix::from_pattern(h.vertex_csr());
+
+    let mut group = c.benchmark_group("spgemm");
+    group.sample_size(10);
+    group.bench_function("parallel_full", |bch| {
+        bch.iter(|| black_box(spgemm(&a, &b_mat, Triangle::Full).nnz()))
+    });
+    group.bench_function("parallel_upper", |bch| {
+        bch.iter(|| black_box(spgemm(&a, &b_mat, Triangle::Upper).nnz()))
+    });
+    group.bench_function("sequential_full", |bch| {
+        bch.iter(|| black_box(spgemm_seq(&a, &b_mat).nnz()))
+    });
+    group.bench_function("overlap_matrix_upper", |bch| {
+        bch.iter(|| black_box(overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Upper).nnz()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, spgemm_benches);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 2: the example hypergraph's s-line graphs as Graphviz drawings.
+//!
+//! Writes one DOT file per s = 1..4 with edge widths proportional to the
+//! overlap size — the paper's Figure 2 rendering convention — plus a DOT
+//! of the bipartite incidence structure (Figure 3 left).
+//!
+//! `cargo run -p hyperline-bench --release --bin fig2_drawings -- --dir=/tmp`
+
+use hyperline_bench::{arg, print_header};
+use hyperline_graph::{dot, WeightedGraph};
+use hyperline_hypergraph::Hypergraph;
+use hyperline_slinegraph::{algo2_slinegraph_weighted, Strategy};
+use hyperline_util::IdSqueezer;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    print_header("Figure 2: s-line graphs of the running example, as DOT");
+    let dir: String = arg("dir", std::env::temp_dir().display().to_string());
+    let dir = PathBuf::from(dir);
+    let h = Hypergraph::paper_example();
+
+    for s in 1..=4u32 {
+        let (edges, _) = algo2_slinegraph_weighted(&h, s, &Strategy::default());
+        let squeezer = IdSqueezer::from_ids(edges.iter().flat_map(|&(a, b, _)| [a, b]));
+        let compact: Vec<(u32, u32, u32)> = edges
+            .iter()
+            .map(|&(a, b, w)| {
+                (squeezer.squeeze(a).unwrap(), squeezer.squeeze(b).unwrap(), w)
+            })
+            .collect();
+        let wg = WeightedGraph::from_edges(squeezer.len().max(1), &compact);
+        // Hyperedges are named 1..4 in the paper.
+        let text = dot::to_dot_weighted(&wg, |v| (squeezer.unsqueeze(v) + 1).to_string());
+        let path = dir.join(format!("fig2_s{s}.dot"));
+        std::fs::write(&path, &text).expect("write DOT");
+        println!("s={s}: {} edges -> {}", edges.len(), path.display());
+    }
+
+    // Figure 3 (left): the bipartite incidence graph B(H).
+    let mut bip = String::from("graph {\n  rankdir=LR;\n");
+    for e in 0..h.num_edges() as u32 {
+        let _ = writeln!(bip, "  e{e} [label=\"{}\", shape=box];", e + 1);
+    }
+    for v in 0..h.num_vertices() as u32 {
+        let _ = writeln!(bip, "  v{v} [label=\"{}\", shape=circle];", (b'a' + v as u8) as char);
+    }
+    for e in 0..h.num_edges() as u32 {
+        for &v in h.edge_vertices(e) {
+            let _ = writeln!(bip, "  e{e} -- v{v};");
+        }
+    }
+    bip.push_str("}\n");
+    let path = dir.join("fig3_bipartite.dot");
+    std::fs::write(&path, &bip).expect("write DOT");
+    println!("bipartite B(H) -> {}", path.display());
+    println!("\nrender with: dot -Tpng <file> -o out.png");
+}

@@ -1,0 +1,82 @@
+//! Table I: per-stage cost of the framework, Algorithm 1 vs Algorithm 2.
+//!
+//! Runs the full five-stage pipeline on the LiveJournal profile at s = 8
+//! with both the HiPC'21 set-intersection algorithm (Algorithm 1) and the
+//! paper's hashmap algorithm (Algorithm 2), printing per-stage times, the
+//! total speedup, and the set-intersection counts (Algorithm 2 performs
+//! zero — the paper's headline row).
+//!
+//! `cargo run -p hyperline-bench --release --bin table1_pipeline`
+//! Options: `--profile=LiveJournal --s=8 --seed=42`
+
+use hyperline_bench::{arg, fmt_speedup, print_header};
+use hyperline_gen::Profile;
+use hyperline_slinegraph::{run_pipeline, Algorithm, PipelineConfig, Strategy};
+use hyperline_util::table::{group_thousands, Table};
+use hyperline_util::timer::fmt_duration;
+
+fn main() {
+    print_header("Table I: per-stage cost of the high-order line graph framework");
+    let profile_name: String = arg("profile", "LiveJournal".to_string());
+    let profile = Profile::from_name(&profile_name).expect("unknown profile");
+    let s: u32 = arg("s", 8);
+    let seed: u64 = arg("seed", 42);
+
+    let h = profile.generate(seed);
+    println!(
+        "dataset: {} ({} vertices, {} edges), s = {s}\n",
+        profile.name(),
+        h.num_vertices(),
+        h.num_edges()
+    );
+
+    // Both algorithms run with their best strategy from Figure 7 (blocked
+    // + relabel-ascending), like the paper's Table I column pairing.
+    let strategy = Strategy::default().with_relabel(hyperline_hypergraph::RelabelOrder::Ascending);
+    let configs = [
+        ("Algorithm in [29]", Algorithm::Algo1),
+        ("our method", Algorithm::Algo2),
+    ];
+
+    let mut runs = Vec::new();
+    for (label, algorithm) in configs {
+        let config = PipelineConfig { s, algorithm, strategy, ..PipelineConfig::new(s) };
+        let run = run_pipeline(&h, &config);
+        runs.push((label, run));
+    }
+
+    let mut table = Table::new(["Stage", runs[0].0, runs[1].0]);
+    for stage in ["preprocessing", "s-overlap", "squeeze", "s-connected-components"] {
+        table.row([
+            stage.to_string(),
+            fmt_duration(runs[0].1.times.get(stage).unwrap()),
+            fmt_duration(runs[1].1.times.get(stage).unwrap()),
+        ]);
+    }
+    let totals: Vec<f64> = runs.iter().map(|(_, r)| r.times.total().as_secs_f64()).collect();
+    table.row([
+        "total time".to_string(),
+        fmt_duration(runs[0].1.times.total()),
+        fmt_duration(runs[1].1.times.total()),
+    ]);
+    table.row([
+        "speedup".to_string(),
+        "1x".to_string(),
+        fmt_speedup(totals[0] / totals[1]),
+    ]);
+    table.row([
+        "#set intersections".to_string(),
+        group_thousands(runs[0].1.stats.total().set_intersections),
+        group_thousands(runs[1].1.stats.total().set_intersections),
+    ]);
+    table.print();
+
+    let (e1, e2) = (&runs[0].1.line_graph.edges, &runs[1].1.line_graph.edges);
+    assert_eq!(e1, e2, "algorithms must produce identical s-line graphs");
+    println!(
+        "\nboth algorithms produced the same {}-line graph: {} edges, {} components",
+        s,
+        e2.len(),
+        runs[1].1.components.as_ref().unwrap().len()
+    );
+}

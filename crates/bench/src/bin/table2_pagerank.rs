@@ -1,0 +1,68 @@
+//! Table II: PageRank rank/percentile stability across s-clique graphs.
+//!
+//! On the disGeNet-like disease-gene profile, computes the clique
+//! expansion (s = 1) and the higher-order s-clique graphs (s = 10, 100)
+//! of the dual hypergraph, ranks diseases by PageRank in each, and prints
+//! the paper's Table II: ordinal rank and score percentile of the top-5
+//! clique-expansion diseases in every graph — plus the top-k retention
+//! rates the paper quotes in the text (92% / 88% for the top 400).
+//!
+//! `cargo run -p hyperline-bench --release --bin table2_pagerank`
+//! Options: `--seed=3 --topk=40`
+
+use hyperline_bench::{arg, print_header};
+use hyperline_gen::Profile;
+use hyperline_graph::pagerank::{pagerank, rank_order, score_percentiles, PageRankOptions};
+use hyperline_graph::Graph;
+use hyperline_slinegraph::{sclique_graph, Strategy};
+use hyperline_util::table::{group_thousands, Table};
+
+fn main() {
+    print_header("Table II: disease ranking across higher-order clique expansions");
+    let seed: u64 = arg("seed", 3);
+    let topk: usize = arg("topk", 40);
+
+    let h = Profile::DisGeNet.generate(seed);
+    println!(
+        "disGeNet profile: {} diseases (vertices), {} genes (hyperedges)\n",
+        h.num_vertices(),
+        h.num_edges()
+    );
+
+    let s_values = [1u32, 10, 100];
+    let mut rankings = Vec::new();
+    for &s in &s_values {
+        let r = sclique_graph(&h, s, &Strategy::default());
+        let g = Graph::from_edges(h.num_vertices(), &r.edges);
+        let pr = pagerank(&g, PageRankOptions::default());
+        println!(
+            "s = {s:>3}: s-clique graph has {} edges",
+            group_thousands(r.edges.len() as u64)
+        );
+        rankings.push((s, rank_order(&pr), score_percentiles(&pr)));
+    }
+    let top5: Vec<u32> = rankings[0].1.iter().take(5).map(|&(v, _, _)| v).collect();
+    let mut table = Table::new(["Disease", "s=1", "s=10", "s=100"]);
+    for &d in &top5 {
+        let mut cells = vec![format!("disease-{d}")];
+        for (_, order, pct) in &rankings {
+            let rank = order.iter().find(|&&(v, _, _)| v == d).map(|&(_, _, r)| r).unwrap();
+            cells.push(format!("{rank} ({:.2}%)", pct[d as usize]));
+        }
+        table.row(cells);
+    }
+    println!();
+    table.print();
+
+    let base: std::collections::HashSet<u32> =
+        rankings[0].1.iter().take(topk).map(|&(v, _, _)| v).collect();
+    println!();
+    for (s, order, _) in rankings.iter().skip(1) {
+        let kept = order.iter().take(topk).filter(|&&(v, _, _)| base.contains(&v)).count();
+        println!(
+            "top-{topk} retention vs clique expansion at s = {s}: {kept}/{topk} ({:.0}%)",
+            100.0 * kept as f64 / topk as f64
+        );
+    }
+    println!("\n(paper: top-5 ranks nearly identical; 92%/88% of top 400 retained at s=10/100)");
+}

@@ -1,0 +1,36 @@
+//! Table IV: input characteristics of every dataset profile.
+//!
+//! Prints |V|, |E|, mean degrees (d_v, d_e) and max degrees (Δv, Δe) for
+//! each synthetic profile, mirroring the paper's Table IV columns so the
+//! scaled-down shapes can be compared against the originals.
+//!
+//! `cargo run -p hyperline-bench --release --bin table4_datasets`
+
+use hyperline_bench::{arg, print_header};
+use hyperline_gen::Profile;
+use hyperline_util::table::{human_count, Table};
+use hyperline_util::Timer;
+
+fn main() {
+    print_header("Table IV: input characteristics (synthetic profiles)");
+    let seed: u64 = arg("seed", 42);
+
+    let mut table = Table::new(["hypergraph", "|V|", "|E|", "dv", "de", "max dv", "max de", "gen time"]);
+    for profile in Profile::ALL {
+        let t = Timer::start();
+        let h = profile.generate(seed);
+        let gen_time = t.seconds();
+        table.row([
+            profile.name().to_string(),
+            human_count(h.num_vertices() as u64),
+            human_count(h.num_edges() as u64),
+            format!("{:.1}", h.mean_vertex_degree()),
+            format!("{:.1}", h.mean_edge_size()),
+            human_count(h.max_vertex_degree() as u64),
+            human_count(h.max_edge_size() as u64),
+            format!("{gen_time:.2}s"),
+        ]);
+    }
+    table.print();
+    println!("\n(all profiles have skewed hyperedge degree distributions, as in the paper)");
+}

@@ -1,0 +1,103 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every table/figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md §5 for the index); this library holds the
+//! bits they share: thread-pool control, repetition/median timing, and a
+//! tiny `--key=value` argument parser so runs can be scaled up or down.
+
+#![warn(missing_docs)]
+
+use hyperline_util::timer::Timer;
+
+/// Runs `f` on a dedicated rayon pool with exactly `threads` workers.
+/// Strategies resolving `workers() == current_num_threads()` see the pool
+/// size, so this is how the strong/weak scaling sweeps pin parallelism.
+pub fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// Times `f` `reps` times and returns the median wall-clock seconds.
+pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let reps = reps.max(1);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Timer::start();
+            f();
+            t.seconds()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Parses `--name=value` from the process arguments, with a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// True if `--name` (with or without value) is present.
+pub fn flag(name: &str) -> bool {
+    let bare = format!("--{name}");
+    let prefix = format!("--{name}=");
+    std::env::args().any(|a| a == bare || a.starts_with(&prefix))
+}
+
+/// Formats a speedup factor the way the paper reports them (`26×`).
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Physical-run header printed by every experiment binary.
+pub fn print_header(what: &str) {
+    println!("=== {what} ===");
+    println!(
+        "machine: {} logical cores, rayon default pool {}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+        rayon::current_num_threads()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_pool_pins_thread_count() {
+        let inside = with_pool(3, rayon::current_num_threads);
+        assert_eq!(inside, 3);
+        let inside = with_pool(1, rayon::current_num_threads);
+        assert_eq!(inside, 1);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let mut calls = 0;
+        let t = median_secs(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        // No such arg in the test process: default wins.
+        assert_eq!(arg::<usize>("definitely-not-passed", 7), 7);
+        assert!(!flag("definitely-not-passed"));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(26.0), "26x");
+        assert_eq!(fmt_speedup(4.5), "4.50x");
+    }
+}

@@ -1,0 +1,228 @@
+//! The planted overlapping-community hypergraph model.
+//!
+//! This is the workhorse generator standing in for the paper's real
+//! datasets (see DESIGN.md §3). The model controls exactly the properties
+//! that drive the s-line-graph algorithms' cost and output shape:
+//!
+//! * **edge-size skew** — sizes follow a bounded power law, producing the
+//!   few huge hyperedges responsible for load imbalance (Fig. 7/10);
+//! * **vertex-degree skew** — global vertex draws are Zipf-distributed,
+//!   producing hub vertices with enormous wedge counts;
+//! * **overlap depth** — hyperedges assigned to the same community draw a
+//!   fraction (`affinity`) of their members from a shared core, so pairs
+//!   within a community overlap deeply and non-trivial s-line graphs
+//!   exist at large `s`.
+
+use crate::sampling::{power_law, sample_distinct, AliasTable};
+use hyperline_hypergraph::Hypergraph;
+use hyperline_util::fxhash::FxHashSet;
+use rand::prelude::*;
+
+/// Parameters of the community model. See the module docs for what each
+/// knob reproduces.
+#[derive(Debug, Clone)]
+pub struct CommunityModel {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Number of hyperedges `m`.
+    pub num_edges: usize,
+    /// Smallest hyperedge size.
+    pub edge_size_min: usize,
+    /// Largest hyperedge size (the Δe driver).
+    pub edge_size_max: usize,
+    /// Power-law exponent for hyperedge sizes (larger = more skew toward
+    /// small edges).
+    pub edge_size_exponent: f64,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Vertices in each community core.
+    pub core_size: usize,
+    /// Fraction of each edge's members drawn from its community core
+    /// (`0.0` = pure random bipartite, `1.0` = fully nested communities).
+    pub affinity: f64,
+    /// Zipf exponent for assigning edges to communities (0 = uniform).
+    pub community_skew: f64,
+    /// Zipf exponent for global vertex draws (0 = uniform; > 0 creates
+    /// hub vertices).
+    pub vertex_skew: f64,
+}
+
+impl Default for CommunityModel {
+    fn default() -> Self {
+        Self {
+            num_vertices: 1000,
+            num_edges: 2000,
+            edge_size_min: 2,
+            edge_size_max: 50,
+            edge_size_exponent: 2.0,
+            num_communities: 50,
+            core_size: 30,
+            affinity: 0.7,
+            community_skew: 0.8,
+            vertex_skew: 0.9,
+        }
+    }
+}
+
+impl CommunityModel {
+    /// Generates the hypergraph deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Hypergraph {
+        let lists = self.generate_edge_lists(seed);
+        Hypergraph::from_edge_lists(&lists, self.num_vertices)
+    }
+
+    /// Generates raw edge lists (for callers that post-process, e.g. the
+    /// planted-group profiles).
+    pub fn generate_edge_lists(&self, seed: u64) -> Vec<Vec<u32>> {
+        assert!(self.num_vertices > 0, "need at least one vertex");
+        assert!(self.edge_size_min >= 1 && self.edge_size_min <= self.edge_size_max);
+        assert!((0.0..=1.0).contains(&self.affinity), "affinity in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.num_vertices;
+        let ncomm = self.num_communities.max(1);
+        let core_size = self.core_size.clamp(1, n);
+        // Community cores are overlapping contiguous windows (mod n), so
+        // adjacent communities share vertices — cross-community s-edges
+        // exist, as in real data.
+        let stride = (n / ncomm).max(1);
+        let community_table = AliasTable::zipf(ncomm, self.community_skew.max(0.0));
+        let vertex_table = AliasTable::zipf(n, self.vertex_skew.max(0.0));
+
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(self.num_edges);
+        let mut members: FxHashSet<u32> = FxHashSet::default();
+        for _ in 0..self.num_edges {
+            let k = power_law(&mut rng, self.edge_size_min, self.edge_size_max, self.edge_size_exponent)
+                .min(n);
+            let c = community_table.sample(&mut rng) as usize;
+            let core_start = (c * stride) % n;
+            let from_core = ((self.affinity * k as f64).round() as usize).min(core_size).min(k);
+            members.clear();
+            for idx in sample_distinct(&mut rng, core_size, from_core) {
+                members.insert(((core_start + idx as usize) % n) as u32);
+            }
+            // Global draws (Zipf-skewed) fill the remainder; retry on
+            // duplicates with a bounded number of attempts.
+            let mut attempts = 0;
+            while members.len() < k && attempts < 20 * k {
+                members.insert(vertex_table.sample(&mut rng));
+                attempts += 1;
+            }
+            let mut edge: Vec<u32> = members.iter().copied().collect();
+            edge.sort_unstable();
+            lists.push(edge);
+        }
+        lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> CommunityModel {
+        CommunityModel {
+            num_vertices: 500,
+            num_edges: 800,
+            edge_size_min: 2,
+            edge_size_max: 40,
+            edge_size_exponent: 2.0,
+            num_communities: 20,
+            core_size: 25,
+            affinity: 0.8,
+            community_skew: 0.7,
+            vertex_skew: 0.8,
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = small_model();
+        assert_eq!(m.generate(7), m.generate(7));
+        assert_ne!(m.generate(7), m.generate(8));
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let m = small_model();
+        let h = m.generate(1);
+        assert_eq!(h.num_edges(), 800);
+        assert_eq!(h.num_vertices(), 500);
+        for e in 0..h.num_edges() as u32 {
+            let sz = h.edge_size(e);
+            assert!((1..=40).contains(&sz), "edge {e} has size {sz}");
+        }
+    }
+
+    #[test]
+    fn produces_skewed_edge_sizes() {
+        let m = CommunityModel { num_edges: 5000, ..small_model() };
+        let h = m.generate(2);
+        let sizes: Vec<usize> = (0..h.num_edges() as u32).map(|e| h.edge_size(e)).collect();
+        let small = sizes.iter().filter(|&&s| s <= 4).count();
+        let large = sizes.iter().filter(|&&s| s >= 20).count();
+        assert!(small > 3 * large.max(1), "small={small} large={large}");
+        assert!(large > 0, "tail must exist");
+    }
+
+    #[test]
+    fn high_affinity_creates_deep_overlaps() {
+        let m = CommunityModel { affinity: 0.95, edge_size_min: 10, edge_size_max: 20, ..small_model() };
+        let h = m.generate(3);
+        // Some pair of edges must overlap in >= 5 vertices.
+        let mut deep = 0;
+        for e in 0..200u32 {
+            for f in (e + 1)..200u32 {
+                if h.inc(e, f) >= 5 {
+                    deep += 1;
+                }
+            }
+        }
+        assert!(deep > 0, "no deep overlaps with high affinity");
+    }
+
+    #[test]
+    fn zero_affinity_rarely_overlaps_deeply() {
+        let m = CommunityModel {
+            affinity: 0.0,
+            vertex_skew: 0.0,
+            num_vertices: 5000,
+            edge_size_min: 3,
+            edge_size_max: 6,
+            ..small_model()
+        };
+        let h = m.generate(4);
+        let mut deep = 0;
+        for e in 0..200u32 {
+            for f in (e + 1)..200u32 {
+                if h.inc(e, f) >= 3 {
+                    deep += 1;
+                }
+            }
+        }
+        assert!(deep <= 2, "uniform sparse draws should rarely share 3+ vertices, got {deep}");
+    }
+
+    #[test]
+    fn skewed_vertex_degrees() {
+        let m = CommunityModel { vertex_skew: 1.2, affinity: 0.2, ..small_model() };
+        let h = m.generate(5);
+        let max_deg = h.max_vertex_degree() as f64;
+        let mean_deg = h.mean_vertex_degree();
+        assert!(max_deg > 5.0 * mean_deg, "max {max_deg} vs mean {mean_deg}");
+    }
+
+    #[test]
+    fn edge_size_cannot_exceed_vertex_count() {
+        let m = CommunityModel {
+            num_vertices: 8,
+            num_edges: 50,
+            edge_size_min: 2,
+            edge_size_max: 100,
+            ..Default::default()
+        };
+        let h = m.generate(6);
+        for e in 0..h.num_edges() as u32 {
+            assert!(h.edge_size(e) <= 8);
+        }
+    }
+}

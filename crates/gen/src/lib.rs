@@ -1,0 +1,36 @@
+//! Synthetic hypergraph workload generators.
+//!
+//! The paper evaluates on real datasets (SNAP/KONECT social networks,
+//! activeDNS, IMDB, disGeNet, …) that are not redistributable here; this
+//! crate generates synthetic stand-ins that preserve the properties the
+//! algorithms are sensitive to. See DESIGN.md §3 for the substitution
+//! rationale per dataset.
+//!
+//! * [`community::CommunityModel`] — the planted overlapping-community
+//!   bipartite model (skewed sizes, skewed degrees, deep intra-community
+//!   overlaps);
+//! * [`planted`] — exact deep-overlap structures (cliques/stars of
+//!   hyperedges) for experiments that need guaranteed components at a
+//!   given `s`;
+//! * [`profiles::Profile`] — one named profile per paper dataset;
+//! * [`sampling`] — power-law and alias-table sampling primitives.
+//!
+//! ```
+//! use hyperline_gen::Profile;
+//!
+//! let h = Profile::LesMis.generate(42);
+//! assert_eq!(h.num_edges(), 400);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod community;
+pub mod planted;
+pub mod profiles;
+pub mod random;
+pub mod sampling;
+
+pub use community::CommunityModel;
+pub use planted::{plant_groups, GroupShape, PlantedGroup};
+pub use profiles::{dns_chunks, Profile};
+pub use random::{ChungLuModel, UniformModel};

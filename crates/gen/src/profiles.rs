@@ -1,0 +1,533 @@
+//! Per-dataset generator profiles.
+//!
+//! Each profile mimics the *shape* of one dataset from the paper's
+//! Table IV (or the application sections), scaled ~10²–10³× down to laptop
+//! size: the |V|:|E| ratio, mean/max degree skew, and — where an
+//! experiment depends on it — exact planted deep-overlap structure (e.g.
+//! Friendster's 20 communities sharing ≥ 1024 members, IMDB's star-shaped
+//! 100-connected component). DESIGN.md §3 documents the substitution
+//! argument; this module is its implementation.
+
+use crate::community::CommunityModel;
+use crate::planted::{plant_groups, GroupShape, PlantedGroup};
+use crate::sampling::sample_distinct;
+use hyperline_hypergraph::Hypergraph;
+use rand::prelude::*;
+
+/// A named synthetic dataset mimicking one of the paper's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Social: community hypergraph à la LiveJournal (skewed, large Δe).
+    LiveJournal,
+    /// Social: com-Orkut — many mid-size communities.
+    ComOrkut,
+    /// Social: Friendster — few edges, deep planted cores (s = 1024
+    /// components exist, §VI-G).
+    Friendster,
+    /// Web: host-page structure, extreme vertex skew, dense s-line graphs.
+    Web,
+    /// Web: Amazon product reviews.
+    AmazonReviews,
+    /// Web: Stack Overflow answers (many small edges).
+    StackOverflow,
+    /// Cyber: activeDNS (domains → IPs), tiny edges, hub IPs.
+    ActiveDns,
+    /// Email: email-EuAll, small bipartite network.
+    EmailEuAll,
+    /// Application: disGeNet disease-gene network (Table II).
+    DisGeNet,
+    /// Application: condMat author-paper network with planted author teams
+    /// (Fig. 6 needs non-singleton components up to s = 16).
+    CondMat,
+    /// Application: company-board membership network (Fig. 4).
+    CompBoard,
+    /// Application: Les Misérables character-scene network (Fig. 4).
+    LesMis,
+    /// Application: virology transcriptomics — 6 planted "important genes"
+    /// sharing > 100 conditions pairwise (§V-A, Fig. 5).
+    Genomics,
+    /// Application: IMDB actor-movie network with the planted 100-overlap
+    /// star and pair components of §V-C.
+    Imdb,
+}
+
+impl Profile {
+    /// Every profile, in the order used by the experiment tables.
+    pub const ALL: [Profile; 14] = [
+        Profile::LiveJournal,
+        Profile::ComOrkut,
+        Profile::Friendster,
+        Profile::Web,
+        Profile::AmazonReviews,
+        Profile::StackOverflow,
+        Profile::ActiveDns,
+        Profile::EmailEuAll,
+        Profile::DisGeNet,
+        Profile::CondMat,
+        Profile::CompBoard,
+        Profile::LesMis,
+        Profile::Genomics,
+        Profile::Imdb,
+    ];
+
+    /// The dataset name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::LiveJournal => "LiveJournal",
+            Profile::ComOrkut => "com-Orkut",
+            Profile::Friendster => "Friendster",
+            Profile::Web => "Web",
+            Profile::AmazonReviews => "Amazon-reviews",
+            Profile::StackOverflow => "Stackoverflow-answers",
+            Profile::ActiveDns => "activeDNS",
+            Profile::EmailEuAll => "email-EuAll",
+            Profile::DisGeNet => "disGeNet",
+            Profile::CondMat => "condMat",
+            Profile::CompBoard => "compBoard",
+            Profile::LesMis => "lesMis",
+            Profile::Genomics => "genomics",
+            Profile::Imdb => "IMDB",
+        }
+    }
+
+    /// Parses a profile from its (case-insensitive) name.
+    pub fn from_name(name: &str) -> Option<Profile> {
+        let lower = name.to_ascii_lowercase();
+        Profile::ALL
+            .into_iter()
+            .find(|p| p.name().to_ascii_lowercase() == lower)
+    }
+
+    /// The base community-model parameters for this profile (before any
+    /// planted structure).
+    fn model(self) -> CommunityModel {
+        match self {
+            Profile::LiveJournal => CommunityModel {
+                num_vertices: 32_000,
+                num_edges: 75_000,
+                edge_size_min: 2,
+                // Δe in the real LiveJournal is 1.1M; the scaled-down tail
+                // still needs edges big enough that explicit set
+                // intersections (Algorithm 1) dwarf wedge counting.
+                edge_size_max: 5_000,
+                edge_size_exponent: 2.1,
+                num_communities: 500,
+                core_size: 300,
+                affinity: 0.75,
+                community_skew: 0.9,
+                vertex_skew: 0.95,
+            },
+            Profile::ComOrkut => CommunityModel {
+                num_vertices: 23_000,
+                num_edges: 120_000,
+                edge_size_min: 2,
+                edge_size_max: 90,
+                edge_size_exponent: 1.8,
+                num_communities: 1_000,
+                core_size: 40,
+                affinity: 0.75,
+                community_skew: 0.8,
+                vertex_skew: 0.85,
+            },
+            Profile::Friendster => CommunityModel {
+                num_vertices: 79_000,
+                num_edges: 16_000,
+                edge_size_min: 3,
+                edge_size_max: 2_000,
+                edge_size_exponent: 1.9,
+                num_communities: 200,
+                core_size: 300,
+                affinity: 0.5,
+                community_skew: 0.7,
+                vertex_skew: 0.6,
+            },
+            Profile::Web => CommunityModel {
+                num_vertices: 140_000,
+                num_edges: 64_000,
+                edge_size_min: 2,
+                edge_size_max: 3_000,
+                edge_size_exponent: 2.2,
+                num_communities: 300,
+                core_size: 150,
+                affinity: 0.8,
+                community_skew: 0.9,
+                vertex_skew: 1.1,
+            },
+            Profile::AmazonReviews => CommunityModel {
+                num_vertices: 23_000,
+                num_edges: 43_000,
+                edge_size_min: 3,
+                edge_size_max: 300,
+                edge_size_exponent: 1.9,
+                num_communities: 400,
+                core_size: 50,
+                affinity: 0.7,
+                community_skew: 0.8,
+                vertex_skew: 0.8,
+            },
+            Profile::StackOverflow => CommunityModel {
+                num_vertices: 50_000,
+                num_edges: 76_000,
+                edge_size_min: 2,
+                edge_size_max: 100,
+                edge_size_exponent: 1.8,
+                num_communities: 800,
+                core_size: 30,
+                affinity: 0.6,
+                community_skew: 0.7,
+                vertex_skew: 0.9,
+            },
+            Profile::ActiveDns => dns_model(16),
+            Profile::EmailEuAll => CommunityModel {
+                num_vertices: 2_650,
+                num_edges: 2_650,
+                edge_size_min: 1,
+                edge_size_max: 30,
+                edge_size_exponent: 2.2,
+                num_communities: 100,
+                core_size: 20,
+                affinity: 0.6,
+                community_skew: 0.7,
+                vertex_skew: 0.9,
+            },
+            Profile::DisGeNet => CommunityModel {
+                num_vertices: 2_000,
+                num_edges: 20_000,
+                edge_size_min: 2,
+                edge_size_max: 30,
+                edge_size_exponent: 2.0,
+                num_communities: 200,
+                core_size: 30,
+                affinity: 0.3,
+                community_skew: 0.8,
+                // Strong hub diseases: top vertices co-occur in hundreds of
+                // gene edges, so s = 100 s-clique graphs are non-trivial.
+                vertex_skew: 1.3,
+            },
+            Profile::CondMat => CommunityModel {
+                num_vertices: 1_700,
+                num_edges: 2_200,
+                edge_size_min: 1,
+                edge_size_max: 20,
+                edge_size_exponent: 2.5,
+                num_communities: 150,
+                core_size: 12,
+                affinity: 0.8,
+                community_skew: 0.5,
+                vertex_skew: 0.4,
+            },
+            Profile::CompBoard => CommunityModel {
+                num_vertices: 800,
+                num_edges: 1_200,
+                edge_size_min: 3,
+                edge_size_max: 15,
+                edge_size_exponent: 2.0,
+                num_communities: 80,
+                core_size: 12,
+                affinity: 0.6,
+                community_skew: 0.6,
+                vertex_skew: 0.7,
+            },
+            Profile::LesMis => CommunityModel {
+                num_vertices: 80,
+                num_edges: 400,
+                edge_size_min: 2,
+                edge_size_max: 10,
+                edge_size_exponent: 1.8,
+                num_communities: 10,
+                core_size: 10,
+                affinity: 0.7,
+                community_skew: 0.6,
+                vertex_skew: 0.8,
+            },
+            Profile::Genomics => CommunityModel {
+                num_vertices: 201,
+                num_edges: 2_500,
+                edge_size_min: 1,
+                edge_size_max: 60,
+                edge_size_exponent: 1.6,
+                num_communities: 20,
+                core_size: 30,
+                affinity: 0.6,
+                community_skew: 0.6,
+                vertex_skew: 0.5,
+            },
+            Profile::Imdb => CommunityModel {
+                num_vertices: 100_000,
+                num_edges: 60_000,
+                edge_size_min: 1,
+                edge_size_max: 800,
+                edge_size_exponent: 2.2,
+                num_communities: 600,
+                core_size: 100,
+                affinity: 0.4,
+                community_skew: 0.8,
+                vertex_skew: 0.7,
+            },
+        }
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(self, seed: u64) -> Hypergraph {
+        let model = self.model();
+        let mut lists = model.generate_edge_lists(seed);
+        let mut num_vertices = model.num_vertices;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        match self {
+            Profile::Friendster => {
+                // §VI-G: 20 core communities sharing at least 1024 members —
+                // the s = 1024 line graph has exactly 20 components.
+                let groups: Vec<PlantedGroup> = (0..20)
+                    .map(|i| PlantedGroup {
+                        members: 2 + (i % 3),
+                        shared: 1_024 + 2 * i,
+                        extra_per_member: 10,
+                        shape: GroupShape::Clique,
+                    })
+                    .collect();
+                plant_groups(&mut lists, &mut num_vertices, &groups, &mut rng);
+            }
+            Profile::CondMat => {
+                // §V-B, Figure 6's shape: sparse *chains* of papers
+                // dominate the mid-s regime (s = 4..12 — low algebraic
+                // connectivity: authors collaborate only sparsely), while
+                // tight author *teams* with 13..16 joint papers take over
+                // at high s (sharp connectivity rise from s = 13).
+                let mut groups: Vec<PlantedGroup> = (4..=12)
+                    .map(|shared| PlantedGroup {
+                        // Longer chains at lower s; always longer than the
+                        // 5-member teams so the largest component stays a
+                        // sparse chain until the teams take over at s = 13.
+                        members: 18 - shared,
+                        shared,
+                        extra_per_member: 1,
+                        shape: GroupShape::Chain,
+                    })
+                    .collect();
+                groups.extend((13..=16).map(|shared| PlantedGroup {
+                    members: 5,
+                    shared,
+                    extra_per_member: 2,
+                    shape: GroupShape::Clique,
+                }));
+                plant_groups(&mut lists, &mut num_vertices, &groups, &mut rng);
+            }
+            Profile::Genomics => {
+                // §V-A: six genes pairwise sharing > 100 of the 201
+                // experimental conditions. Each gets a random 150-subset of
+                // the condition space (expected pairwise overlap ≈ 112).
+                for _ in 0..6 {
+                    lists.push(sample_distinct(&mut rng, 201, 150));
+                }
+            }
+            Profile::Imdb => {
+                // §V-C: the four 100-connected components — a 5-actor star
+                // (Adoor Bhasi at the hub) plus three collaborating pairs.
+                let groups = [
+                    PlantedGroup { members: 5, shared: 110, extra_per_member: 8, shape: GroupShape::Star },
+                    PlantedGroup { members: 2, shared: 105, extra_per_member: 5, shape: GroupShape::Clique },
+                    PlantedGroup { members: 2, shared: 103, extra_per_member: 5, shape: GroupShape::Clique },
+                    PlantedGroup { members: 2, shared: 101, extra_per_member: 5, shape: GroupShape::Clique },
+                ];
+                plant_groups(&mut lists, &mut num_vertices, &groups, &mut rng);
+            }
+            _ => {}
+        }
+        Hypergraph::from_edge_lists(&lists, num_vertices)
+    }
+
+    /// For the planted profiles, the hyperedge IDs of the planted
+    /// structures (they are appended after the background edges, so the
+    /// range is deterministic).
+    pub fn planted_edge_range(self, seed: u64) -> Option<std::ops::Range<u32>> {
+        let base = self.model().num_edges as u32;
+        match self {
+            Profile::Friendster => {
+                let total: usize = (0..20).map(|i| 2 + (i % 3)).sum();
+                Some(base..base + total as u32)
+            }
+            Profile::CondMat => {
+                // Chains: Σ (18 - shared) for shared 4..=12, then 4 teams of 5.
+                let chain_edges: usize = (4..=12).map(|shared| 18 - shared).sum();
+                Some(base..base + (chain_edges + 20) as u32)
+            }
+            Profile::Genomics => Some(base..base + 6),
+            Profile::Imdb => Some(base..base + 11),
+            _ => {
+                let _ = seed;
+                None
+            }
+        }
+    }
+}
+
+/// The activeDNS community model for a given number of "AVRO chunks";
+/// size scales linearly with `chunks` (the paper's weak-scaling axis,
+/// dns_4 .. dns_128, plus DNS-256 in the strong-scaling figure).
+/// One "AVRO chunk" worth of activeDNS-like data (domains → IPs):
+/// tiny skewed edges, hub IPs within the chunk.
+fn dns_chunk_model() -> CommunityModel {
+    CommunityModel {
+        num_vertices: 1_500,
+        num_edges: 4_000,
+        edge_size_min: 1,
+        edge_size_max: 40,
+        edge_size_exponent: 2.5,
+        num_communities: 50,
+        core_size: 15,
+        affinity: 0.6,
+        community_skew: 0.8,
+        vertex_skew: 1.2,
+    }
+}
+
+/// The default activeDNS profile size (16 chunks).
+fn dns_model(chunks: usize) -> CommunityModel {
+    let base = dns_chunk_model();
+    CommunityModel {
+        num_vertices: base.num_vertices * chunks,
+        num_edges: base.num_edges * chunks,
+        num_communities: base.num_communities * chunks,
+        ..base
+    }
+}
+
+/// Generates the activeDNS dataset at a given chunk count.
+///
+/// Mirrors how the paper scales the workload — "4 AVRO files worth of
+/// data (dns_4) up to 128 files (dns_128)": each chunk is an independent
+/// block of domains/IPs appended to the stream, so the total work grows
+/// *linearly* in the chunk count (the property the weak-scaling
+/// experiment of Figure 9 relies on). Hub IPs exist within chunks but do
+/// not span the whole stream.
+pub fn dns_chunks(chunks: usize, seed: u64) -> Hypergraph {
+    assert!(chunks >= 1, "need at least one chunk");
+    let base = dns_chunk_model();
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(base.num_edges * chunks);
+    for c in 0..chunks {
+        let offset = (c * base.num_vertices) as u32;
+        let chunk_lists = base.generate_edge_lists(seed.wrapping_add(c as u64 * 0x9e37));
+        for mut edge in chunk_lists {
+            for v in edge.iter_mut() {
+                *v += offset;
+            }
+            lists.push(edge);
+        }
+    }
+    Hypergraph::from_edge_lists(&lists, base.num_vertices * chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Profile::ALL {
+            assert_eq!(Profile::from_name(p.name()), Some(p));
+            assert_eq!(Profile::from_name(&p.name().to_uppercase()), Some(p));
+        }
+        assert_eq!(Profile::from_name("nope"), None);
+    }
+
+    #[test]
+    fn small_profiles_generate_with_expected_shape() {
+        let h = Profile::LesMis.generate(1);
+        assert_eq!(h.num_edges(), 400);
+        assert_eq!(h.num_vertices(), 80);
+        let h = Profile::EmailEuAll.generate(1);
+        assert_eq!(h.num_edges(), 2650);
+    }
+
+    #[test]
+    fn genomics_has_six_planted_genes_with_deep_overlap() {
+        let h = Profile::Genomics.generate(3);
+        let range = Profile::Genomics.planted_edge_range(3).unwrap();
+        assert_eq!(range.len(), 6);
+        let ids: Vec<u32> = range.collect();
+        let mut deep_pairs = 0;
+        for (i, &e) in ids.iter().enumerate() {
+            assert_eq!(h.edge_size(e), 150);
+            for &f in &ids[i + 1..] {
+                if h.inc(e, f) > 100 {
+                    deep_pairs += 1;
+                }
+            }
+        }
+        // All 15 pairs have expected overlap ≈ 112; allow a couple below.
+        assert!(deep_pairs >= 13, "only {deep_pairs}/15 planted pairs share > 100 conditions");
+    }
+
+    #[test]
+    fn imdb_planted_star_structure() {
+        let h = Profile::Imdb.generate(4);
+        let range = Profile::Imdb.planted_edge_range(4).unwrap();
+        let ids: Vec<u32> = range.collect();
+        assert_eq!(ids.len(), 11);
+        let hub = ids[0];
+        for &leaf in &ids[1..5] {
+            assert!(h.inc(hub, leaf) >= 100, "hub-leaf overlap too small");
+        }
+        // Leaves don't overlap 100-deep with each other.
+        for i in 1..5 {
+            for j in (i + 1)..5 {
+                assert!(h.inc(ids[i], ids[j]) < 100);
+            }
+        }
+        // The three pairs.
+        for k in 0..3 {
+            let (a, b) = (ids[5 + 2 * k], ids[6 + 2 * k]);
+            assert!(h.inc(a, b) >= 100, "pair {k} overlap too small");
+        }
+    }
+
+    #[test]
+    fn friendster_has_1024_deep_cores() {
+        let h = Profile::Friendster.generate(5);
+        let range = Profile::Friendster.planted_edge_range(5).unwrap();
+        // First planted group: 2 members sharing 1024.
+        let first = range.start;
+        assert!(h.inc(first, first + 1) >= 1024);
+    }
+
+    #[test]
+    fn condmat_planted_teams() {
+        let h = Profile::CondMat.generate(6);
+        let range = Profile::CondMat.planted_edge_range(6).unwrap();
+        let ids: Vec<u32> = range.collect();
+        // Last group (shared = 16): a team of 5 papers sharing 16 authors.
+        let team: &[u32] = &ids[ids.len() - 5..];
+        for (i, &e) in team.iter().enumerate() {
+            for &f in &team[i + 1..] {
+                assert_eq!(h.inc(e, f), 16);
+            }
+        }
+        // First group: a chain of 10 papers with consecutive overlap 4.
+        let chain: &[u32] = &ids[..10];
+        assert_eq!(h.inc(chain[0], chain[1]), 4);
+        assert_eq!(h.inc(chain[0], chain[2]), 0);
+    }
+
+    #[test]
+    fn dns_chunks_scale_linearly() {
+        let h4 = dns_chunks(4, 7);
+        let h8 = dns_chunks(8, 7);
+        assert_eq!(h4.num_edges(), 16_000);
+        assert_eq!(h8.num_edges(), 32_000);
+        assert_eq!(h8.num_vertices(), 2 * h4.num_vertices());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Profile::CompBoard.generate(11);
+        let b = Profile::CompBoard.generate(11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_present_in_social_profiles() {
+        let h = Profile::ComOrkut.generate(1);
+        assert!(h.max_edge_size() as f64 > 4.0 * h.mean_edge_size());
+        assert!(h.max_vertex_degree() as f64 > 4.0 * h.mean_vertex_degree());
+    }
+}

@@ -1,0 +1,196 @@
+//! Structure-free random hypergraph models.
+//!
+//! Baselines for the community model: an Erdős–Rényi-style uniform model
+//! (every hyperedge is an independent uniform sample) and a Chung-Lu
+//! bipartite model matching a prescribed vertex-degree sequence. These
+//! are the "null models" used to sanity-check that the interesting
+//! s-line-graph structure in the profiles comes from planted overlap, not
+//! from chance — and they serve as adversarial inputs in tests.
+
+use crate::sampling::{power_law, sample_distinct, AliasTable};
+use hyperline_hypergraph::Hypergraph;
+use hyperline_util::fxhash::FxHashSet;
+use rand::prelude::*;
+
+/// Uniform random hypergraph: `num_edges` hyperedges, each an independent
+/// uniform `k`-subset of the vertex set with `k` drawn from a bounded
+/// power law.
+#[derive(Debug, Clone)]
+pub struct UniformModel {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of hyperedges.
+    pub num_edges: usize,
+    /// Smallest edge size.
+    pub edge_size_min: usize,
+    /// Largest edge size.
+    pub edge_size_max: usize,
+    /// Power-law exponent for sizes (0 ≈ uniform over the range).
+    pub edge_size_exponent: f64,
+}
+
+impl UniformModel {
+    /// Generates deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Hypergraph {
+        assert!(self.num_vertices > 0);
+        assert!(self.edge_size_min >= 1 && self.edge_size_min <= self.edge_size_max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lists: Vec<Vec<u32>> = (0..self.num_edges)
+            .map(|_| {
+                let k = power_law(
+                    &mut rng,
+                    self.edge_size_min,
+                    self.edge_size_max,
+                    self.edge_size_exponent,
+                )
+                .min(self.num_vertices);
+                sample_distinct(&mut rng, self.num_vertices, k)
+            })
+            .collect();
+        Hypergraph::from_edge_lists(&lists, self.num_vertices)
+    }
+}
+
+/// Chung-Lu bipartite model: vertex `v` is included in each hyperedge
+/// draw with probability proportional to a prescribed weight, so expected
+/// vertex degrees match the weight sequence (up to edge-size dedup).
+#[derive(Debug, Clone)]
+pub struct ChungLuModel {
+    /// Target vertex weights (≥ 0, at least one positive); the vertex
+    /// count is `weights.len()`.
+    pub vertex_weights: Vec<f64>,
+    /// Number of hyperedges.
+    pub num_edges: usize,
+    /// Smallest edge size.
+    pub edge_size_min: usize,
+    /// Largest edge size.
+    pub edge_size_max: usize,
+    /// Power-law exponent for sizes.
+    pub edge_size_exponent: f64,
+}
+
+impl ChungLuModel {
+    /// A Chung-Lu model with a Zipf weight sequence (`(i+1)^-alpha`).
+    pub fn zipf(num_vertices: usize, alpha: f64, num_edges: usize) -> Self {
+        Self {
+            vertex_weights: (0..num_vertices)
+                .map(|i| ((i + 1) as f64).powf(-alpha))
+                .collect(),
+            num_edges,
+            edge_size_min: 2,
+            edge_size_max: 30,
+            edge_size_exponent: 2.0,
+        }
+    }
+
+    /// Generates deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Hypergraph {
+        let n = self.vertex_weights.len();
+        assert!(n > 0, "need at least one vertex");
+        assert!(self.edge_size_min >= 1 && self.edge_size_min <= self.edge_size_max);
+        let table = AliasTable::new(&self.vertex_weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut members: FxHashSet<u32> = FxHashSet::default();
+        let lists: Vec<Vec<u32>> = (0..self.num_edges)
+            .map(|_| {
+                let k = power_law(
+                    &mut rng,
+                    self.edge_size_min,
+                    self.edge_size_max,
+                    self.edge_size_exponent,
+                )
+                .min(n);
+                members.clear();
+                let mut attempts = 0;
+                while members.len() < k && attempts < 30 * k {
+                    members.insert(table.sample(&mut rng));
+                    attempts += 1;
+                }
+                let mut edge: Vec<u32> = members.iter().copied().collect();
+                edge.sort_unstable();
+                edge
+            })
+            .collect();
+        Hypergraph::from_edge_lists(&lists, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let m = UniformModel {
+            num_vertices: 200,
+            num_edges: 500,
+            edge_size_min: 2,
+            edge_size_max: 10,
+            edge_size_exponent: 1.5,
+        };
+        let h = m.generate(1);
+        assert_eq!(h.num_edges(), 500);
+        assert_eq!(h.num_vertices(), 200);
+        for e in 0..500u32 {
+            assert!((2..=10).contains(&h.edge_size(e)));
+        }
+        assert_eq!(m.generate(1), h, "deterministic");
+    }
+
+    #[test]
+    fn uniform_rarely_has_deep_overlaps() {
+        // Independent uniform 3-subsets of a large set almost never share
+        // 3 vertices — the null-model contrast with the community model.
+        let m = UniformModel {
+            num_vertices: 10_000,
+            num_edges: 400,
+            edge_size_min: 3,
+            edge_size_max: 5,
+            edge_size_exponent: 2.0,
+        };
+        let h = m.generate(2);
+        let mut deep = 0;
+        for e in 0..400u32 {
+            for f in (e + 1)..400u32 {
+                if h.inc(e, f) >= 3 {
+                    deep += 1;
+                }
+            }
+        }
+        assert_eq!(deep, 0, "uniform null model produced a deep overlap");
+    }
+
+    #[test]
+    fn chung_lu_matches_weight_ordering() {
+        let m = ChungLuModel::zipf(500, 1.0, 4_000);
+        let h = m.generate(3);
+        // Head vertices must have much higher degree than tail vertices.
+        let head: usize = (0..10u32).map(|v| h.vertex_degree(v)).sum();
+        let tail: usize = (490..500u32).map(|v| h.vertex_degree(v)).sum();
+        assert!(head > 5 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn chung_lu_zero_weight_vertices_never_used() {
+        let mut weights = vec![1.0; 50];
+        weights[7] = 0.0;
+        weights[33] = 0.0;
+        let m = ChungLuModel {
+            vertex_weights: weights,
+            num_edges: 300,
+            edge_size_min: 2,
+            edge_size_max: 6,
+            edge_size_exponent: 1.5,
+        };
+        let h = m.generate(4);
+        assert_eq!(h.vertex_degree(7), 0);
+        assert_eq!(h.vertex_degree(33), 0);
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        let m = ChungLuModel::zipf(100, 0.8, 200);
+        assert_eq!(m.generate(9), m.generate(9));
+        assert_ne!(m.generate(9), m.generate(10));
+    }
+}

@@ -1,0 +1,260 @@
+//! Sampling primitives for synthetic hypergraph generation.
+//!
+//! The paper's datasets all have *skewed* degree distributions (Table IV
+//! notes every input has a skewed hyperedge degree distribution); these
+//! helpers produce such distributions reproducibly: bounded discrete
+//! power-law sampling by inverse CDF and O(1) weighted sampling via a
+//! Walker alias table.
+
+use rand::Rng;
+
+/// Samples an integer from a bounded power law `p(k) ∝ k^(-exponent)` on
+/// `[min, max]` by inverting the continuous CDF and rounding down.
+///
+/// `exponent == 1.0` is handled via the logarithmic CDF. `min == max`
+/// returns the single value.
+///
+/// # Panics
+/// Panics if `min == 0`, `min > max`, or `exponent < 0`.
+pub fn power_law(rng: &mut impl Rng, min: usize, max: usize, exponent: f64) -> usize {
+    assert!(min >= 1, "power-law support must start at 1 or above");
+    assert!(min <= max, "min {min} > max {max}");
+    assert!(exponent >= 0.0, "negative exponent");
+    if min == max {
+        return min;
+    }
+    let (a, b) = (min as f64, (max + 1) as f64);
+    let u: f64 = rng.gen();
+    let x = if (exponent - 1.0).abs() < 1e-9 {
+        // CDF ∝ ln(x/a)
+        a * (b / a).powf(u)
+    } else {
+        // Inverse of CDF for x^(-γ): x = [a^(1-γ) + u (b^(1-γ) − a^(1-γ))]^(1/(1-γ))
+        let g = 1.0 - exponent;
+        (a.powf(g) + u * (b.powf(g) - a.powf(g))).powf(1.0 / g)
+    };
+    (x as usize).clamp(min, max)
+}
+
+/// Walker alias table: O(n) construction, O(1) weighted index sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds from non-negative weights (at least one must be positive).
+    ///
+    /// # Panics
+    /// Panics on empty input, negative weights, or all-zero weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let total: f64 = weights
+            .iter()
+            .inspect(|&&w| assert!(w >= 0.0, "negative weight"))
+            .sum();
+        assert!(total > 0.0, "all weights zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Builds a Zipf table over `n` items: weight of item `i` is
+    /// `(i + 1)^(-alpha)`.
+    pub fn zipf(n: usize, alpha: f64) -> Self {
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no items (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an index with probability proportional to its weight.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Samples `k` distinct items from `0..n` (uniform, Floyd's algorithm).
+/// Returns a sorted vector. `k` is clamped to `n`.
+pub fn sample_distinct(rng: &mut impl Rng, n: usize, k: usize) -> Vec<u32> {
+    let k = k.min(n);
+    let mut chosen = hyperline_util::fxhash::FxHashSet::default();
+    // Floyd's: for j in n-k..n, pick t in [0..=j]; insert t or j if taken.
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j) as u32;
+        if !chosen.insert(t) {
+            chosen.insert(j as u32);
+        }
+    }
+    let mut out: Vec<u32> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = power_law(&mut rng, 2, 50, 2.1);
+            assert!((2..=50).contains(&v));
+        }
+        assert_eq!(power_law(&mut rng, 7, 7, 2.0), 7);
+    }
+
+    #[test]
+    fn power_law_is_skewed_toward_min() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<usize> = (0..20_000).map(|_| power_law(&mut rng, 1, 1000, 2.5)).collect();
+        let small = samples.iter().filter(|&&v| v <= 3).count();
+        let large = samples.iter().filter(|&&v| v > 100).count();
+        assert!(small > 10 * large.max(1), "small={small} large={large}");
+        // But the tail is populated.
+        assert!(samples.iter().any(|&v| v > 50));
+    }
+
+    #[test]
+    fn power_law_exponent_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = power_law(&mut rng, 1, 100, 1.0);
+            assert!((1..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must start")]
+    fn power_law_rejects_zero_min() {
+        let mut rng = StdRng::seed_from_u64(4);
+        power_law(&mut rng, 0, 5, 2.0);
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut counts = [0usize; 3];
+        let trials = 60_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / trials as f64;
+            assert!((got - expect).abs() < 0.02, "i={i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_table_single_item() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = AliasTable::new(&[42.0]);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let table = AliasTable::zipf(100, 1.5);
+        let mut count0 = 0;
+        for _ in 0..10_000 {
+            if table.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // Item 0 has weight 1 of total ≈ 2.6; expect ~38%.
+        assert!(count0 > 2500, "head item sampled only {count0}/10000");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..50usize);
+            let k = rng.gen_range(0..=n);
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(s.iter().all(|&v| (v as usize) < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_k_exceeding_n_clamps() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = sample_distinct(&mut rng, 5, 100);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_distinct_covers_all_items_eventually() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for v in sample_distinct(&mut rng, 10, 3) {
+                seen.insert(v);
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+}

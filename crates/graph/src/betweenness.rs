@@ -1,0 +1,383 @@
+//! Betweenness centrality (Brandes' algorithm), sequential and parallel.
+//!
+//! The paper's *s-betweenness centrality* of a hyperedge `e` is
+//! `Σ_{f≠g} σ_fg(e) / σ_fg` evaluated on the s-line graph, i.e. exactly
+//! vertex betweenness centrality of the s-line graph. The parallel variant
+//! distributes Brandes' single-source dependency accumulations over
+//! sources with rayon and sums per-worker partial scores.
+
+use crate::graph::Graph;
+use rayon::prelude::*;
+
+/// State for one single-source Brandes sweep, reused across sources.
+struct BrandesState {
+    /// BFS order (stack for the reverse pass).
+    order: Vec<u32>,
+    /// Number of shortest paths from the source.
+    sigma: Vec<f64>,
+    /// BFS distance from the source (-1 = unvisited).
+    dist: Vec<i32>,
+    /// Dependency accumulator.
+    delta: Vec<f64>,
+    /// BFS queue.
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl BrandesState {
+    fn new(n: usize) -> Self {
+        Self {
+            order: Vec::with_capacity(n),
+            sigma: vec![0.0; n],
+            dist: vec![-1; n],
+            delta: vec![0.0; n],
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Runs one source sweep, adding dependencies into `scores`.
+    fn accumulate(&mut self, g: &Graph, source: u32, scores: &mut [f64]) {
+        self.order.clear();
+        self.queue.clear();
+        for v in 0..g.num_vertices() {
+            self.sigma[v] = 0.0;
+            self.dist[v] = -1;
+            self.delta[v] = 0.0;
+        }
+        self.sigma[source as usize] = 1.0;
+        self.dist[source as usize] = 0;
+        self.queue.push_back(source);
+        while let Some(u) = self.queue.pop_front() {
+            self.order.push(u);
+            let du = self.dist[u as usize];
+            for &v in g.neighbors(u) {
+                if self.dist[v as usize] < 0 {
+                    self.dist[v as usize] = du + 1;
+                    self.queue.push_back(v);
+                }
+                if self.dist[v as usize] == du + 1 {
+                    self.sigma[v as usize] += self.sigma[u as usize];
+                }
+            }
+        }
+        // Reverse pass: accumulate dependencies from the BFS frontier back.
+        for &w in self.order.iter().rev() {
+            let dw = self.dist[w as usize];
+            let coeff = (1.0 + self.delta[w as usize]) / self.sigma[w as usize];
+            for &v in g.neighbors(w) {
+                if self.dist[v as usize] + 1 == dw {
+                    self.delta[v as usize] += self.sigma[v as usize] * coeff;
+                }
+            }
+            if w != source {
+                scores[w as usize] += self.delta[w as usize];
+            }
+        }
+    }
+}
+
+/// Sequential Brandes betweenness centrality.
+///
+/// For undirected graphs every unordered pair is counted twice (once per
+/// ordered pair), so raw scores are halved, matching the standard
+/// definition.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut scores = vec![0.0; n];
+    let mut state = BrandesState::new(n);
+    for s in 0..n as u32 {
+        state.accumulate(g, s, &mut scores);
+    }
+    for x in &mut scores {
+        *x /= 2.0;
+    }
+    scores
+}
+
+/// Parallel Brandes betweenness: sources distributed over the rayon pool,
+/// per-worker score vectors summed at the end.
+pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut scores = (0..n as u32)
+        .into_par_iter()
+        .fold(
+            || (BrandesState::new(n), vec![0.0f64; n]),
+            |(mut state, mut local), s| {
+                state.accumulate(g, s, &mut local);
+                (state, local)
+            },
+        )
+        .map(|(_, local)| local)
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    for x in &mut scores {
+        *x /= 2.0;
+    }
+    scores
+}
+
+/// Approximate betweenness by sampling `num_sources` BFS sources
+/// (Brandes–Pich style): scores are scaled by `n / num_sources` so they
+/// estimate the exact values. Deterministic in `seed`. Sampling all
+/// sources reproduces the exact algorithm.
+///
+/// Useful when the squeezed s-line graph is still large and only a
+/// ranking of the top-central hyperedges is needed.
+pub fn betweenness_sampled(g: &Graph, num_sources: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = num_sources.clamp(1, n);
+    // Deterministic sample without replacement via xorshift + partial
+    // Fisher-Yates over the vertex IDs.
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..k {
+        let j = i + (next() as usize) % (n - i);
+        ids.swap(i, j);
+    }
+    let sources = &ids[..k];
+
+    let mut scores = sources
+        .par_iter()
+        .fold(
+            || (BrandesState::new(n), vec![0.0f64; n]),
+            |(mut state, mut local), &s| {
+                state.accumulate(g, s, &mut local);
+                (state, local)
+            },
+        )
+        .map(|(_, local)| local)
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    let scale = n as f64 / k as f64 / 2.0;
+    for x in &mut scores {
+        *x *= scale;
+    }
+    scores
+}
+
+/// Normalizes betweenness scores to `[0, 1]` by the number of ordered
+/// pairs excluding the vertex itself: `(n-1)(n-2)/2` for undirected
+/// graphs. Graphs with `n < 3` normalize to all zeros.
+pub fn normalize(scores: &mut [f64]) {
+    let n = scores.len() as f64;
+    if n < 3.0 {
+        scores.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    let denom = (n - 1.0) * (n - 2.0) / 2.0;
+    scores.iter_mut().for_each(|x| *x /= denom);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// O(V^3)-ish brute force via explicit shortest path enumeration.
+    fn brute_force(g: &Graph) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut scores = vec![0.0; n];
+        // all-pairs shortest path counts via BFS from each source
+        let dist_sigma: Vec<(Vec<u32>, Vec<f64>)> = (0..n as u32)
+            .map(|s| {
+                let d = crate::bfs::bfs_distances(g, s);
+                // count shortest paths with DP in BFS order
+                let mut order: Vec<u32> = (0..n as u32).filter(|&v| d[v as usize] != u32::MAX).collect();
+                order.sort_by_key(|&v| d[v as usize]);
+                let mut sigma = vec![0.0; n];
+                sigma[s as usize] = 1.0;
+                for &v in &order {
+                    if v == s {
+                        continue;
+                    }
+                    for &u in g.neighbors(v) {
+                        if d[u as usize] != u32::MAX && d[u as usize] + 1 == d[v as usize] {
+                            sigma[v as usize] += sigma[u as usize];
+                        }
+                    }
+                }
+                (d, sigma)
+            })
+            .collect();
+        for s in 0..n {
+            for t in 0..n {
+                if s == t || dist_sigma[s].0[t] == u32::MAX {
+                    continue;
+                }
+                let dst = dist_sigma[s].0[t];
+                let total = dist_sigma[s].1[t];
+                for v in 0..n {
+                    if v == s || v == t {
+                        continue;
+                    }
+                    let dsv = dist_sigma[s].0[v];
+                    let dvt = dist_sigma[v].0[t];
+                    if dsv != u32::MAX && dvt != u32::MAX && dsv + dvt == dst {
+                        scores[v] += dist_sigma[s].1[v] * dist_sigma[t].1[v] / total;
+                    }
+                }
+            }
+        }
+        for x in &mut scores {
+            *x /= 2.0;
+        }
+        scores
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_centers() {
+        // Path 0-1-2-3-4: BC = [0, 3, 4, 3, 0]
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_graph_center_dominates() {
+        // Star with center 0 over 4 leaves: center BC = C(4,2) = 6.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[6.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn complete_graph_all_zero() {
+        let edges: Vec<(u32, u32)> =
+            (0..4u32).flat_map(|a| (a + 1..4).map(move |b| (a, b))).collect();
+        let g = Graph::from_edges(4, &edges);
+        assert_close(&betweenness(&g), &[0.0; 4]);
+    }
+
+    #[test]
+    fn diamond_splits_paths() {
+        // 0-1, 0-2, 1-3, 2-3: two shortest paths 0->3, each middle gets 0.5.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..40usize);
+            let nedges = rng.gen_range(1..80usize);
+            let edges: Vec<(u32, u32)> = (0..nedges)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            assert_close(&betweenness(&g), &betweenness_parallel(&g));
+        }
+    }
+
+    #[test]
+    fn brandes_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..15usize);
+            let nedges = rng.gen_range(1..30usize);
+            let edges: Vec<(u32, u32)> = (0..nedges)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            assert_close(&betweenness(&g), &brute_force(&g));
+        }
+    }
+
+    #[test]
+    fn disconnected_components_independent() {
+        // Two paths: 0-1-2 and 3-4-5; middles get BC 1 each.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_close(&betweenness(&g), &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut bc = betweenness(&g);
+        normalize(&mut bc);
+        // center: 4 / ((4*3)/2) = 4/6
+        assert!((bc[2] - 4.0 / 6.0).abs() < 1e-12);
+        let mut tiny = vec![1.0, 2.0];
+        normalize(&mut tiny);
+        assert_eq!(tiny, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(betweenness(&g).is_empty());
+        assert!(betweenness_parallel(&g).is_empty());
+        assert!(betweenness_sampled(&g, 5, 1).is_empty());
+    }
+
+    #[test]
+    fn sampled_with_all_sources_is_exact() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]);
+        let exact = betweenness(&g);
+        let sampled = betweenness_sampled(&g, 6, 7);
+        assert_close(&exact, &sampled);
+        // Oversampling clamps to n.
+        let oversampled = betweenness_sampled(&g, 100, 7);
+        assert_close(&exact, &oversampled);
+    }
+
+    #[test]
+    fn sampled_preserves_star_ranking() {
+        // Star: the hub must dominate even from a single sampled source.
+        let g = Graph::from_edges(9, &(1..9u32).map(|v| (0, v)).collect::<Vec<_>>());
+        for seed in [1u64, 2, 3] {
+            let approx = betweenness_sampled(&g, 3, seed);
+            let hub = approx[0];
+            assert!(
+                (1..9).all(|v| approx[v] <= hub),
+                "seed {seed}: hub not dominant: {approx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_near_exact_on_path() {
+        let n = 60;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let exact = betweenness(&g);
+        let approx = betweenness_sampled(&g, 30, 9);
+        // Relative error of the center vertex under half sampling.
+        let c = n / 2;
+        let rel = (approx[c] - exact[c]).abs() / exact[c];
+        assert!(rel < 0.35, "relative error {rel}");
+    }
+}

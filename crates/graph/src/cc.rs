@@ -1,0 +1,269 @@
+//! Connected components: BFS, parallel label propagation, and union-find.
+//!
+//! s-connected components of a hypergraph are exactly the connected
+//! components of its s-line graph (Stage 5). The paper's Table V runs
+//! Label-Propagation Connected Components (LPCC) end-to-end; we provide
+//! LPCC plus two alternatives that double as cross-checks.
+
+use crate::graph::Graph;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Component labels: `labels[v]` is the smallest vertex ID in `v`'s
+/// component (a canonical representative).
+pub type Labels = Vec<u32>;
+
+/// Sequential BFS connected components (reference implementation).
+pub fn components_bfs(g: &Graph) -> Labels {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = start;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Parallel label-propagation connected components (LPCC).
+///
+/// Every vertex starts with its own ID; in each round, vertices adopt the
+/// minimum label in their closed neighborhood. Rounds run in parallel with
+/// atomic min-updates; iteration stops when a round makes no change.
+pub fn components_label_prop(g: &Graph) -> Labels {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        (0..n as u32).into_par_iter().for_each(|u| {
+            let mut best = labels[u as usize].load(Ordering::Relaxed);
+            for &v in g.neighbors(u) {
+                best = best.min(labels[v as usize].load(Ordering::Relaxed));
+            }
+            if labels[u as usize].fetch_min(best, Ordering::Relaxed) > best {
+                changed.store(true, Ordering::Relaxed);
+                // Push the improvement to neighbors for faster convergence.
+                for &v in g.neighbors(u) {
+                    if labels[v as usize].fetch_min(best, Ordering::Relaxed) > best {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+    }
+    let mut out: Labels = labels.into_iter().map(AtomicU32::into_inner).collect();
+    canonicalize(&mut out);
+    out
+}
+
+/// Union-find (disjoint set union) with path halving and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Finds the representative of `x` with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Unions the sets containing `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Union-find connected components (works directly on an edge list, so it
+/// can run *before* building a CSR graph).
+pub fn components_union_find(num_vertices: usize, edges: &[(u32, u32)]) -> Labels {
+    let mut uf = UnionFind::new(num_vertices);
+    for &(a, b) in edges {
+        uf.union(a, b);
+    }
+    let mut labels: Labels = (0..num_vertices as u32).map(|v| uf.find(v)).collect();
+    canonicalize(&mut labels);
+    labels
+}
+
+/// Rewrites labels so each component's label is its smallest member ID.
+fn canonicalize(labels: &mut [u32]) {
+    let mut min_of = vec![u32::MAX; labels.len()];
+    for (v, &l) in labels.iter().enumerate() {
+        min_of[l as usize] = min_of[l as usize].min(v as u32);
+    }
+    for l in labels.iter_mut() {
+        *l = min_of[*l as usize];
+    }
+}
+
+/// Groups vertices by component, returning components sorted by decreasing
+/// size (ties by smallest member).
+pub fn components_as_sets(labels: &Labels) -> Vec<Vec<u32>> {
+    let mut by_label: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for (v, &l) in labels.iter().enumerate() {
+        by_label.entry(l).or_default().push(v as u32);
+    }
+    let mut out: Vec<Vec<u32>> = by_label.into_values().collect();
+    out.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
+    out
+}
+
+/// Number of distinct components.
+pub fn component_count(labels: &Labels) -> usize {
+    let mut seen = hyperline_util::fxhash::FxHashSet::default();
+    for &l in labels {
+        seen.insert(l);
+    }
+    seen.len()
+}
+
+/// Number of components with at least two vertices ("non-singleton
+/// components", the quantity the paper tracks when choosing max s).
+pub fn non_singleton_component_count(labels: &Labels) -> usize {
+    components_as_sets(labels).iter().filter(|c| c.len() > 1).count()
+}
+
+/// The vertices of the largest component (empty input gives empty vec).
+pub fn largest_component(labels: &Labels) -> Vec<u32> {
+    components_as_sets(labels).into_iter().next().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn two_triangles_and_isolated() -> Graph {
+        Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn bfs_components() {
+        let g = two_triangles_and_isolated();
+        let labels = components_bfs(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 6]);
+    }
+
+    #[test]
+    fn label_prop_matches_bfs() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(components_label_prop(&g), components_bfs(&g));
+    }
+
+    #[test]
+    fn union_find_matches_bfs() {
+        let g = two_triangles_and_isolated();
+        let edges: Vec<(u32, u32)> = g.iter_edges().collect();
+        assert_eq!(components_union_find(7, &edges), components_bfs(&g));
+    }
+
+    #[test]
+    fn all_three_agree_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..60usize);
+            let nedges = rng.gen_range(0..100usize);
+            let edges: Vec<(u32, u32)> = (0..nedges)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            let bfs = components_bfs(&g);
+            assert_eq!(components_label_prop(&g), bfs);
+            assert_eq!(components_union_find(n, &edges), bfs);
+        }
+    }
+
+    #[test]
+    fn component_helpers() {
+        let g = two_triangles_and_isolated();
+        let labels = components_bfs(&g);
+        assert_eq!(component_count(&labels), 3);
+        assert_eq!(non_singleton_component_count(&labels), 2);
+        let sets = components_as_sets(&labels);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0], vec![0, 1, 2]); // tie broken by smallest member
+        assert_eq!(sets[1], vec![3, 4, 5]);
+        assert_eq!(sets[2], vec![6]);
+        assert_eq!(largest_component(&labels), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(components_bfs(&g).is_empty());
+        assert!(components_label_prop(&g).is_empty());
+        let g1 = Graph::from_edges(1, &[]);
+        assert_eq!(components_bfs(&g1), vec![0]);
+        assert_eq!(largest_component(&components_bfs(&g1)), vec![0]);
+    }
+
+    #[test]
+    fn path_graph_single_component() {
+        let n = 500;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let labels = components_label_prop(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

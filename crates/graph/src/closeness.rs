@@ -1,0 +1,146 @@
+//! Closeness centrality and local clustering coefficients.
+//!
+//! The paper's Stage 5 computes "s-connected components, s-centrality,
+//! s-distance, etc." — any standard kernel applies to the squeezed s-line
+//! graph. Besides betweenness (see [`crate::betweenness`]), these two are
+//! the common centrality/cohesion measures in hypernetwork analysis
+//! (Aksoy et al. define s-closeness via s-walk distances, and clustering
+//! coefficients appear in the related-work thread the paper cites).
+
+use crate::bfs::{bfs_distances, UNREACHABLE};
+use crate::graph::Graph;
+use rayon::prelude::*;
+
+/// Harmonic closeness centrality of every vertex:
+/// `C(v) = Σ_{u ≠ v} 1 / d(v, u)` with unreachable pairs contributing 0,
+/// normalized by `n - 1` so values lie in `[0, 1]`.
+///
+/// Harmonic (rather than classic) closeness is used because s-line graphs
+/// are routinely disconnected, and the harmonic form handles that without
+/// per-component bookkeeping.
+pub fn harmonic_closeness(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let dist = bfs_distances(g, v);
+            let sum: f64 = dist
+                .iter()
+                .enumerate()
+                .filter(|&(u, &d)| u as u32 != v && d != UNREACHABLE && d > 0)
+                .map(|(_, &d)| 1.0 / d as f64)
+                .sum();
+            sum / (n - 1) as f64
+        })
+        .collect()
+}
+
+/// Local clustering coefficient of every vertex: the fraction of its
+/// neighbor pairs that are themselves adjacent. Degree < 2 gives 0.
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    (0..g.num_vertices() as u32)
+        .into_par_iter()
+        .map(|v| {
+            let nbrs = g.neighbors(v);
+            let k = nbrs.len();
+            if k < 2 {
+                return 0.0;
+            }
+            let mut closed = 0usize;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) {
+                        closed += 1;
+                    }
+                }
+            }
+            2.0 * closed as f64 / (k * (k - 1)) as f64
+        })
+        .collect()
+}
+
+/// Mean of the local clustering coefficients over vertices with
+/// degree ≥ 2 (the standard "average clustering" summary); 0 when no
+/// such vertex exists.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let coeffs = local_clustering(g);
+    let eligible: Vec<f64> = (0..g.num_vertices() as u32)
+        .filter(|&v| g.degree(v) >= 2)
+        .map(|v| coeffs[v as usize])
+        .collect();
+    if eligible.is_empty() {
+        0.0
+    } else {
+        eligible.iter().sum::<f64>() / eligible.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-12, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn closeness_on_path() {
+        // Path 0-1-2: ends get (1 + 1/2)/2, center gets (1+1)/2.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_close(&harmonic_closeness(&g), &[0.75, 1.0, 0.75]);
+    }
+
+    #[test]
+    fn closeness_complete_graph_is_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_close(&harmonic_closeness(&g), &[1.0; 4]);
+    }
+
+    #[test]
+    fn closeness_handles_disconnection() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let c = harmonic_closeness(&g);
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn closeness_tiny_graphs() {
+        assert!(harmonic_closeness(&Graph::from_edges(0, &[])).is_empty());
+        assert_eq!(harmonic_closeness(&Graph::from_edges(1, &[])), vec![0.0]);
+    }
+
+    #[test]
+    fn clustering_triangle_vs_path() {
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_close(&local_clustering(&tri), &[1.0; 3]);
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_close(&local_clustering(&path), &[0.0; 3]);
+    }
+
+    #[test]
+    fn clustering_mixed() {
+        // Triangle 0-1-2 plus pendant 3 on vertex 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let c = local_clustering(&g);
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[1], 1.0);
+        // Vertex 2 has neighbors {0, 1, 3}: one closed pair of three.
+        assert!((c[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[3], 0.0);
+        // Average over degree >= 2 vertices: (1 + 1 + 1/3) / 3.
+        assert!((average_clustering(&g) - (2.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_clustering_empty_cases() {
+        assert_eq!(average_clustering(&Graph::from_edges(0, &[])), 0.0);
+        assert_eq!(average_clustering(&Graph::from_edges(3, &[(0, 1)])), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dense symmetric eigensolver (cyclic Jacobi).
+//!
+//! A small, dependency-free eigensolver used to (a) verify the iterative
+//! spectral routines on small matrices and (b) compute exact spectra of
+//! squeezed s-line graphs when they are tiny. O(n³) per sweep — intended
+//! for n up to a few hundred.
+
+/// A dense symmetric matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n` or the data is not symmetric.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        let m = Self { n, data };
+        for i in 0..n {
+            for j in 0..i {
+                assert!(
+                    (m.get(i, j) - m.get(j, i)).abs() < 1e-12,
+                    "matrix not symmetric at ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element setter (writes both `(i,j)` and `(j,i)`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Sum of squares of off-diagonal elements (Jacobi convergence gauge).
+    fn off_diagonal_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j) * self.get(i, j);
+                }
+            }
+        }
+        s
+    }
+
+    /// All eigenvalues, ascending, via cyclic Jacobi rotations.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let mut a = self.clone();
+        let n = a.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        for _sweep in 0..100 {
+            if a.off_diagonal_norm() < 1e-22 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Closed-form two-sided rotation Gᵀ A G on (p, q).
+                    a.set(p, p, app - t * apq);
+                    a.set(q, q, aqq + t * apq);
+                    a.set(p, q, 0.0);
+                    for k in 0..n {
+                        if k == p || k == q {
+                            continue;
+                        }
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                }
+            }
+        }
+        let mut eigs: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+        eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        eigs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 2.0);
+        assert_close(&m.eigenvalues(), &[1.0, 2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn two_by_two() {
+        // [[2, 1], [1, 2]] -> eigenvalues 1, 3
+        let m = SymMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 2.0]);
+        assert_close(&m.eigenvalues(), &[1.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn path_laplacian() {
+        // Combinatorial Laplacian of path 0-1-2: eigenvalues 0, 1, 3.
+        let m = SymMatrix::from_rows(
+            3,
+            vec![1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0],
+        );
+        assert_close(&m.eigenvalues(), &[0.0, 1.0, 3.0], 1e-9);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let m = SymMatrix::from_rows(
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, //
+                1.0, 3.0, 0.2, 0.7, //
+                0.5, 0.2, 2.0, 0.1, //
+                0.0, 0.7, 0.1, 1.0,
+            ],
+        );
+        let eigs = m.eigenvalues();
+        let trace: f64 = (0..4).map(|i| m.get(i, i)).sum();
+        let sum: f64 = eigs.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(SymMatrix::zeros(0).eigenvalues().is_empty());
+        let mut m = SymMatrix::zeros(1);
+        m.set(0, 0, 5.0);
+        assert_close(&m.eigenvalues(), &[5.0], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn symmetry_enforced() {
+        SymMatrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Graphviz DOT export.
+//!
+//! The paper visualizes s-line graphs (Figures 2 and 5) with NetworkX;
+//! this module produces equivalent figures via Graphviz: undirected DOT
+//! with optional per-vertex labels and per-edge weights (overlap sizes
+//! rendered as `penwidth`, the paper's line-width-equals-strength
+//! convention in Figure 2).
+
+use crate::graph::{Graph, WeightedGraph};
+use std::fmt::Write as _;
+
+/// Renders an unweighted graph as DOT. `label(v)` supplies node labels;
+/// isolated vertices are included as bare nodes.
+pub fn to_dot(g: &Graph, label: impl Fn(u32) -> String) -> String {
+    let mut out = String::from("graph {\n  node [shape=circle];\n");
+    for v in 0..g.num_vertices() as u32 {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(&label(v)));
+    }
+    for (u, v) in g.iter_edges() {
+        let _ = writeln!(out, "  n{u} -- n{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a weighted graph as DOT with `penwidth` proportional to edge
+/// weight (min weight → 1.0, max weight → 5.0).
+pub fn to_dot_weighted(wg: &WeightedGraph, label: impl Fn(u32) -> String) -> String {
+    let g = &wg.graph;
+    let weights: Vec<u32> = g
+        .iter_edges()
+        .map(|(u, v)| wg.weight(u, v).unwrap_or(1))
+        .collect();
+    let (min_w, max_w) = (
+        weights.iter().copied().min().unwrap_or(1).max(1),
+        weights.iter().copied().max().unwrap_or(1).max(1),
+    );
+    let scale = |w: u32| -> f64 {
+        if max_w == min_w {
+            1.0
+        } else {
+            1.0 + 4.0 * (w - min_w) as f64 / (max_w - min_w) as f64
+        }
+    };
+    let mut out = String::from("graph {\n  node [shape=circle];\n");
+    for v in 0..g.num_vertices() as u32 {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(&label(v)));
+    }
+    for ((u, v), w) in g.iter_edges().zip(weights) {
+        let _ = writeln!(
+            out,
+            "  n{u} -- n{v} [label=\"{w}\", penwidth={:.2}];",
+            scale(w)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = to_dot(&g, |v| format!("e{}", v + 1));
+        assert!(dot.starts_with("graph {"));
+        assert!(dot.contains("n0 [label=\"e1\"]"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn weighted_dot_scales_penwidth() {
+        // Paper Figure 2, s = 1: weights 2, 3, 3, 1.
+        let wg = WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 2), (0, 2, 3), (1, 2, 3), (2, 3, 1)],
+        );
+        let dot = to_dot_weighted(&wg, |v| (v + 1).to_string());
+        assert!(dot.contains("label=\"3\", penwidth=5.00"));
+        assert!(dot.contains("label=\"1\", penwidth=1.00"));
+        assert!(dot.contains("label=\"2\", penwidth=3.00"));
+    }
+
+    #[test]
+    fn uniform_weights_do_not_divide_by_zero() {
+        let wg = WeightedGraph::from_edges(2, &[(0, 1, 7)]);
+        let dot = to_dot_weighted(&wg, |v| v.to_string());
+        assert!(dot.contains("penwidth=1.00"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let g = Graph::from_edges(1, &[]);
+        let dot = to_dot(&g, |_| "say \"hi\"".to_string());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_graph_valid_dot() {
+        let g = Graph::from_edges(0, &[]);
+        let dot = to_dot(&g, |v| v.to_string());
+        assert_eq!(dot, "graph {\n  node [shape=circle];\n}\n");
+    }
+}

@@ -1,0 +1,253 @@
+//! Undirected graph storage in CSR form.
+//!
+//! s-line graphs come out of the overlap stage as edge lists; this type
+//! turns them into a CSR adjacency suitable for the Stage-5 metric
+//! kernels. Graphs are simple (no self loops, no parallel edges) and may
+//! carry per-edge weights (the overlap counts, used for weighted drawings
+//! like the paper's Figure 2).
+
+/// An undirected simple graph over vertices `0..num_vertices`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list. Self loops are dropped,
+    /// duplicate edges (in either orientation) are collapsed.
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; num_vertices + 1];
+        let mut clean: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            assert!(
+                (a as usize) < num_vertices && (b as usize) < num_vertices,
+                "edge ({a},{b}) out of range {num_vertices}"
+            );
+            if a == b {
+                continue;
+            }
+            clean.push(if a < b { (a, b) } else { (b, a) });
+        }
+        clean.sort_unstable();
+        clean.dedup();
+        for &(a, b) in &clean {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0u32; clean.len() * 2];
+        let mut cursor = counts;
+        for &(a, b) in &clean {
+            targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Each row receives targets in ascending order of the opposite
+        // endpoint *per orientation*; rows are the merge of "b's from
+        // (a,b)" (ascending) and "a's from (a,b) with b = row" (ascending),
+        // so a final per-row sort is still required.
+        let mut g = Self { offsets, targets, num_edges: clean.len() };
+        for v in 0..num_vertices {
+            let (s, e) = (g.offsets[v], g.offsets[v + 1]);
+            g.targets[s..e].sort_unstable();
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// True if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(min, max)` pairs.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Vertices with degree ≥ 1.
+    pub fn non_isolated_count(&self) -> usize {
+        (0..self.num_vertices() as u32).filter(|&v| self.degree(v) > 0).count()
+    }
+
+    /// The subgraph induced by `vertices` (which need not be sorted).
+    /// Vertex `i` of the result corresponds to `vertices[i]` after
+    /// ascending sort; the sorted ID mapping is returned alongside.
+    pub fn induced(&self, vertices: &[u32]) -> (Graph, Vec<u32>) {
+        let mut keep: Vec<u32> = vertices.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let mut rename = vec![u32::MAX; self.num_vertices()];
+        for (new, &old) in keep.iter().enumerate() {
+            rename[old as usize] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for &old in &keep {
+            for &w in self.neighbors(old) {
+                if old < w && rename[w as usize] != u32::MAX {
+                    edges.push((rename[old as usize], rename[w as usize]));
+                }
+            }
+        }
+        (Graph::from_edges(keep.len(), &edges), keep)
+    }
+}
+
+/// A graph plus per-edge weights (overlap counts in the s-line graph).
+///
+/// Weights are stored per directed arc, aligned with [`Graph::neighbors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    /// The underlying simple graph.
+    pub graph: Graph,
+    weights: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Builds from weighted undirected edges; duplicate edges keep the
+    /// maximum weight.
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32, u32)]) -> Self {
+        let unweighted: Vec<(u32, u32)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        let graph = Graph::from_edges(num_vertices, &unweighted);
+        let mut weights = vec![0u32; graph.targets.len()];
+        for &(a, b, w) in edges {
+            if a == b {
+                continue;
+            }
+            for (u, v) in [(a, b), (b, a)] {
+                let start = graph.offsets[u as usize];
+                let idx = start
+                    + graph
+                        .neighbors(u)
+                        .binary_search(&v)
+                        .expect("edge must exist in underlying graph");
+                weights[idx] = weights[idx].max(w);
+            }
+        }
+        Self { graph, weights }
+    }
+
+    /// Weights aligned with `graph.neighbors(v)`.
+    pub fn neighbor_weights(&self, v: u32) -> &[u32] {
+        &self.weights[self.graph.offsets[v as usize]..self.graph.offsets[v as usize + 1]]
+    }
+
+    /// Weight of edge `{u, v}`, or `None` if absent.
+    pub fn weight(&self, u: u32, v: u32) -> Option<u32> {
+        let start = self.graph.offsets[u as usize];
+        self.graph
+            .neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.weights[start + i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 2-3 tail, 4 isolated
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.non_isolated_count(), 4);
+    }
+
+    #[test]
+    fn self_loops_dropped_duplicates_collapsed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn iter_edges_each_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<(u32, u32)> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = triangle_plus_tail();
+        let sum: usize = (0..5u32).map(|v| g.degree(v)).sum();
+        assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn weighted_graph_stores_weights() {
+        let w = WeightedGraph::from_edges(3, &[(0, 1, 5), (1, 2, 2)]);
+        assert_eq!(w.weight(0, 1), Some(5));
+        assert_eq!(w.weight(1, 0), Some(5));
+        assert_eq!(w.weight(1, 2), Some(2));
+        assert_eq!(w.weight(0, 2), None);
+        assert_eq!(w.neighbor_weights(1), &[5, 2]);
+    }
+
+    #[test]
+    fn weighted_duplicates_keep_max() {
+        let w = WeightedGraph::from_edges(2, &[(0, 1, 2), (1, 0, 7)]);
+        assert_eq!(w.weight(0, 1), Some(7));
+        assert_eq!(w.graph.num_edges(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! k-core decomposition.
+//!
+//! The k-core of a graph is the maximal subgraph in which every vertex
+//! has degree ≥ k; a vertex's *core number* is the largest k for which it
+//! belongs to the k-core. On an s-line graph this identifies the densest
+//! layers of s-overlapping hyperedge communities (the "core of the
+//! Friendster dataset" reading of the paper's §VI-G generalizes from
+//! components to cores).
+//!
+//! Implementation: the classic peeling algorithm of Batagelj–Zaveršnik
+//! with bucketed degrees — O(V + E).
+
+use crate::graph::Graph;
+
+/// Core number of every vertex (isolated vertices get 0).
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bucket_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bucket_start[d + 1] += 1;
+    }
+    for i in 0..=max_degree {
+        bucket_start[i + 1] += bucket_start[i];
+    }
+    let mut order = vec![0u32; n]; // vertices sorted by current degree
+    let mut position = vec![0usize; n]; // position of each vertex in `order`
+    let mut cursor = bucket_start.clone();
+    for v in 0..n as u32 {
+        let d = degree[v as usize];
+        order[cursor[d]] = v;
+        position[v as usize] = cursor[d];
+        cursor[d] += 1;
+    }
+    // bucket_head[d] = index in `order` of the first vertex with degree d.
+    let mut bucket_head = bucket_start;
+
+    let mut core = vec![0u32; n];
+    for idx in 0..n {
+        let v = order[idx];
+        core[v as usize] = degree[v as usize] as u32;
+        // "Remove" v: decrement the degree of each not-yet-peeled
+        // neighbor, moving it one bucket down via a swap with the head of
+        // its current bucket.
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                let du = degree[u as usize];
+                let pu = position[u as usize];
+                let head = bucket_head[du].max(idx + 1);
+                let w = order[head];
+                if u != w {
+                    order.swap(pu, head);
+                    position[u as usize] = head;
+                    position[w as usize] = pu;
+                }
+                bucket_head[du] = head + 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph: the maximum core number.
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Vertices of the k-core (possibly empty).
+pub fn k_core_vertices(g: &Graph, k: u32) -> Vec<u32> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c >= k)
+        .map(|(v, _)| v as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: iterative peeling by repeated scans (O(V²) but obvious).
+    fn brute_force(g: &Graph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut core = vec![0u32; n];
+        let mut alive = vec![true; n];
+        for k in 0..=n as u32 {
+            // Peel everything with degree < k among alive vertices.
+            loop {
+                let mut changed = false;
+                for v in 0..n as u32 {
+                    if !alive[v as usize] {
+                        continue;
+                    }
+                    let d = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| alive[u as usize])
+                        .count();
+                    if (d as u32) < k {
+                        alive[v as usize] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+            if !alive.iter().any(|&a| a) {
+                break;
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 (core 2), tail 2-3 (vertex 3: core 1), isolated 4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1, 0]);
+        assert_eq!(degeneracy(&g), 2);
+        assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_vertices(&g, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn complete_graph_core() {
+        let edges: Vec<(u32, u32)> =
+            (0..5u32).flat_map(|a| ((a + 1)..5).map(move |b| (a, b))).collect();
+        let g = Graph::from_edges(5, &edges);
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+    }
+
+    #[test]
+    fn path_graph_core_one() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(core_numbers(&g), vec![1; 6]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..40usize);
+            let m = rng.gen_range(0..100usize);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            assert_eq!(core_numbers(&g), brute_force(&g), "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn core_number_at_most_degree() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(45);
+        let n = 50usize;
+        let edges: Vec<(u32, u32)> = (0..150)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let core = core_numbers(&g);
+        for v in 0..n as u32 {
+            assert!(core[v as usize] as usize <= g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph substrate and s-metric kernels for the `hyperline` workspace.
+//!
+//! Stage 5 of the paper's framework computes graph metrics on the
+//! (squeezed) s-line graph; any standard graph kernel applies. This crate
+//! provides the ones the paper uses:
+//!
+//! * [`cc`] — connected components (BFS, parallel label propagation /
+//!   LPCC, union-find) → *s-connected components*;
+//! * [`betweenness`] — Brandes betweenness centrality, sequential and
+//!   source-parallel → *s-betweenness centrality*;
+//! * [`bfs`] — BFS distances, eccentricity, diameter → *s-distance*;
+//! * [`pagerank`] — PageRank power iteration (Table II);
+//! * [`spectral`] — normalized Laplacian λ₂ / algebraic connectivity by
+//!   matrix-free deflated power iteration (Figure 6);
+//! * [`dense`] — a dense Jacobi eigensolver used as a cross-check.
+
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod bfs;
+pub mod cc;
+pub mod closeness;
+pub mod dense;
+pub mod dot;
+pub mod graph;
+pub mod kcore;
+pub mod pagerank;
+pub mod spectral;
+
+pub use graph::{Graph, WeightedGraph};

@@ -1,0 +1,259 @@
+//! Spectral analysis: normalized Laplacian and algebraic connectivity.
+//!
+//! The paper's Figure 6 plots the *normalized algebraic connectivity* —
+//! the second-smallest eigenvalue λ₂ of the normalized Laplacian
+//! `L̃ = I − D^{-1/2} A D^{-1/2}` — of s-line graphs for s = 1..16. Larger
+//! values mean the (s-line) graph is better connected, which is how the
+//! paper reads collaboration strength off the spectrum.
+//!
+//! λ₂ is computed matrix-free by deflated power iteration on the shifted
+//! operator `B = 2I − L̃` (spectrum in `[0, 2]`, top eigenpair known:
+//! `μ₁ = 2` with eigenvector `D^{1/2}·1`), so only O(V + E) memory is
+//! needed. A dense Jacobi cross-check lives in [`crate::dense`].
+
+use crate::cc::{components_bfs, largest_component};
+use crate::dense::SymMatrix;
+use crate::graph::Graph;
+
+/// Tolerance/iteration knobs for the power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralOptions {
+    /// Convergence tolerance on the eigenvalue estimate.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Seed for the deterministic pseudo-random start vector.
+    pub seed: u64,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 5000, seed: 0x5eed }
+    }
+}
+
+/// Applies `y = (I + D^{-1/2} A D^{-1/2}) x`, i.e. `B = 2I − L̃`,
+/// for a graph with all degrees ≥ 1.
+fn apply_shifted(g: &Graph, inv_sqrt_deg: &[f64], x: &[f64], y: &mut [f64]) {
+    for v in 0..g.num_vertices() {
+        let mut acc = 0.0;
+        for &u in g.neighbors(v as u32) {
+            acc += inv_sqrt_deg[u as usize] * x[u as usize];
+        }
+        y[v] = x[v] + inv_sqrt_deg[v] * acc;
+    }
+}
+
+/// Deterministic xorshift for reproducible start vectors.
+fn xorshift(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    norm
+}
+
+fn orthogonalize_against(v: &mut [f64], unit: &[f64]) {
+    let dot: f64 = v.iter().zip(unit).map(|(a, b)| a * b).sum();
+    v.iter_mut().zip(unit).for_each(|(a, b)| *a -= dot * b);
+}
+
+/// λ₂ of the normalized Laplacian of a **connected** graph with ≥ 2
+/// vertices and no isolated vertices.
+///
+/// Returns 0.0 for graphs with < 2 vertices. If the graph is actually
+/// disconnected the result converges to ~0 (the second zero eigenvalue),
+/// which is the mathematically correct answer.
+pub fn algebraic_connectivity(g: &Graph, opts: SpectralOptions) -> f64 {
+    let n = g.num_vertices();
+    if n < 2 {
+        return 0.0;
+    }
+    // Degree-0 vertices make D^{-1/2} singular; treat their degree as 1
+    // (they contribute an isolated λ = 1... actually λ = 0 component), but
+    // callers should pass components. Guard anyway.
+    let inv_sqrt_deg: Vec<f64> = (0..n as u32)
+        .map(|v| 1.0 / (g.degree(v).max(1) as f64).sqrt())
+        .collect();
+    // Known top eigenvector of B: D^{1/2}·1, normalized.
+    let mut top: Vec<f64> = (0..n as u32).map(|v| (g.degree(v).max(1) as f64).sqrt()).collect();
+    normalize(&mut top);
+
+    let mut state = opts.seed | 1;
+    let mut x: Vec<f64> = (0..n).map(|_| xorshift(&mut state)).collect();
+    orthogonalize_against(&mut x, &top);
+    if normalize(&mut x) == 0.0 {
+        // Degenerate start (can only happen for n == 1-ish cases).
+        x = vec![0.0; n];
+        x[0] = 1.0;
+        orthogonalize_against(&mut x, &top);
+        normalize(&mut x);
+    }
+    let mut y = vec![0.0f64; n];
+    let mut mu_prev = f64::NAN;
+    for _ in 0..opts.max_iterations {
+        apply_shifted(g, &inv_sqrt_deg, &x, &mut y);
+        // Rayleigh quotient before renormalization: x is unit.
+        let mu: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        orthogonalize_against(&mut y, &top);
+        if normalize(&mut y) == 0.0 {
+            // y collapsed into span(top): spectrum in the complement is 0.
+            return 2.0;
+        }
+        std::mem::swap(&mut x, &mut y);
+        if (mu - mu_prev).abs() < opts.tolerance {
+            return (2.0 - mu).max(0.0);
+        }
+        mu_prev = mu;
+    }
+    (2.0 - mu_prev).max(0.0)
+}
+
+/// The paper's Figure-6 quantity: λ₂ of the normalized Laplacian of the
+/// **largest connected component** of `g`. Components of size < 2 give 0.
+pub fn normalized_algebraic_connectivity(g: &Graph, opts: SpectralOptions) -> f64 {
+    let labels = components_bfs(g);
+    let comp = largest_component(&labels);
+    if comp.len() < 2 {
+        return 0.0;
+    }
+    let (sub, _) = g.induced(&comp);
+    algebraic_connectivity(&sub, opts)
+}
+
+/// Dense normalized Laplacian of a graph (isolated vertices produce a
+/// zero row/column). For tests and tiny graphs.
+pub fn normalized_laplacian_dense(g: &Graph) -> SymMatrix {
+    let n = g.num_vertices();
+    let mut m = SymMatrix::zeros(n);
+    for v in 0..n {
+        if g.degree(v as u32) > 0 {
+            m.set(v, v, 1.0);
+        }
+    }
+    for (u, v) in g.iter_edges() {
+        let w = -1.0 / ((g.degree(u) * g.degree(v)) as f64).sqrt();
+        m.set(u as usize, v as usize, w);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        // λ₂ of normalized Laplacian of K_n is n/(n-1).
+        for n in [3usize, 5, 8] {
+            let g = complete_graph(n);
+            let lam = algebraic_connectivity(&g, SpectralOptions::default());
+            let expect = n as f64 / (n as f64 - 1.0);
+            assert!((lam - expect).abs() < 1e-6, "K_{n}: {lam} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn path_graph_connectivity_matches_dense() {
+        for n in [2usize, 3, 5, 10, 17] {
+            let edges: Vec<(u32, u32)> =
+                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let g = Graph::from_edges(n, &edges);
+            let iterative = algebraic_connectivity(&g, SpectralOptions::default());
+            let eigs = normalized_laplacian_dense(&g).eigenvalues();
+            let dense = eigs[1];
+            assert!(
+                (iterative - dense).abs() < 1e-5,
+                "path n={n}: {iterative} vs dense {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let lam = algebraic_connectivity(&g, SpectralOptions::default());
+        assert!(lam.abs() < 1e-6, "λ₂ of disconnected graph should be ~0, got {lam}");
+    }
+
+    #[test]
+    fn largest_component_variant() {
+        // Triangle (well connected) + isolated pair: λ computed on triangle.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let lam = normalized_algebraic_connectivity(&g, SpectralOptions::default());
+        let k3 = algebraic_connectivity(&complete_graph(3), SpectralOptions::default());
+        assert!((lam - k3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = Graph::from_edges(1, &[]);
+        assert_eq!(algebraic_connectivity(&g, SpectralOptions::default()), 0.0);
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(normalized_algebraic_connectivity(&g, SpectralOptions::default()), 0.0);
+        // K2: normalized Laplacian eigenvalues {0, 2}.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let lam = algebraic_connectivity(&g, SpectralOptions::default());
+        assert!((lam - 2.0).abs() < 1e-6, "K2: {lam}");
+    }
+
+    #[test]
+    fn random_graphs_match_dense() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut tested = 0;
+        while tested < 8 {
+            let n = rng.gen_range(4..25usize);
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32 - 1).map(|i| (i, i + 1)).collect(); // ensure connected
+            for _ in 0..rng.gen_range(0..2 * n) {
+                edges.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
+            }
+            let g = Graph::from_edges(n, &edges);
+            let iterative = algebraic_connectivity(
+                &g,
+                SpectralOptions { tolerance: 1e-13, max_iterations: 50_000, ..Default::default() },
+            );
+            let dense = normalized_laplacian_dense(&g).eigenvalues()[1];
+            assert!(
+                (iterative - dense).abs() < 1e-4,
+                "n={n}: iterative {iterative} vs dense {dense}"
+            );
+            tested += 1;
+        }
+    }
+
+    #[test]
+    fn dense_laplacian_spectrum_bounds() {
+        let g = complete_graph(6);
+        let eigs = normalized_laplacian_dense(&g).eigenvalues();
+        assert!(eigs[0].abs() < 1e-9, "λ₁ = 0");
+        assert!(eigs.iter().all(|&l| l > -1e-9 && l < 2.0 + 1e-9));
+    }
+
+    #[test]
+    fn star_graph_is_bipartite_with_lambda_max_2() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let eigs = normalized_laplacian_dense(&g).eigenvalues();
+        assert!((eigs.last().unwrap() - 2.0).abs() < 1e-9);
+        // λ₂ of a star's normalized Laplacian is 1.
+        let lam = algebraic_connectivity(&g, SpectralOptions::default());
+        assert!((lam - 1.0).abs() < 1e-6, "star λ₂: {lam}");
+    }
+}

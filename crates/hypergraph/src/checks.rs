@@ -1,0 +1,182 @@
+//! Structural validation and summary statistics.
+//!
+//! [`validate`] checks the internal invariants of a [`Hypergraph`] — the
+//! two CSR directions must be exact transposes with sorted, in-range,
+//! duplicate-free rows. Generators, loaders and fuzzers call it to catch
+//! construction bugs early. [`degree_histograms`] produces the log-binned
+//! degree/size distributions used to characterize skew (Table IV's
+//! "skewed hyperedge degree distribution" note).
+
+use crate::hypergraph::Hypergraph;
+use hyperline_util::stats::log_histogram;
+
+/// A violated hypergraph invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A neighbor list is not strictly sorted (has duplicates or is out
+    /// of order).
+    UnsortedRow {
+        /// "edge" or "vertex" — which direction.
+        side: &'static str,
+        /// Row ID.
+        row: u32,
+    },
+    /// A target ID is out of range.
+    TargetOutOfRange {
+        /// "edge" or "vertex".
+        side: &'static str,
+        /// Row ID.
+        row: u32,
+        /// The offending target.
+        target: u32,
+    },
+    /// Entry `(e, v)` present in one direction but not the other.
+    AsymmetricIncidence {
+        /// Hyperedge ID.
+        edge: u32,
+        /// Vertex ID.
+        vertex: u32,
+        /// Direction the entry was found in ("edge→vertex" or
+        /// "vertex→edge").
+        present_in: &'static str,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnsortedRow { side, row } => {
+                write!(f, "{side} row {row} is not strictly sorted")
+            }
+            Violation::TargetOutOfRange { side, row, target } => {
+                write!(f, "{side} row {row} has out-of-range target {target}")
+            }
+            Violation::AsymmetricIncidence { edge, vertex, present_in } => {
+                write!(f, "incidence ({edge},{vertex}) only present in {present_in}")
+            }
+        }
+    }
+}
+
+/// Checks every structural invariant; returns all violations found
+/// (empty = valid). O(|H| log d).
+pub fn validate(h: &Hypergraph) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (n, m) = (h.num_vertices(), h.num_edges());
+
+    for e in 0..m as u32 {
+        let row = h.edge_vertices(e);
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            violations.push(Violation::UnsortedRow { side: "edge", row: e });
+        }
+        for &v in row {
+            if (v as usize) >= n {
+                violations.push(Violation::TargetOutOfRange { side: "edge", row: e, target: v });
+            } else if h.vertex_edges(v).binary_search(&e).is_err() {
+                violations.push(Violation::AsymmetricIncidence {
+                    edge: e,
+                    vertex: v,
+                    present_in: "edge→vertex",
+                });
+            }
+        }
+    }
+    for v in 0..n as u32 {
+        let row = h.vertex_edges(v);
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            violations.push(Violation::UnsortedRow { side: "vertex", row: v });
+        }
+        for &e in row {
+            if (e as usize) >= m {
+                violations.push(Violation::TargetOutOfRange { side: "vertex", row: v, target: e });
+            } else if h.edge_vertices(e).binary_search(&v).is_err() {
+                violations.push(Violation::AsymmetricIncidence {
+                    edge: e,
+                    vertex: v,
+                    present_in: "vertex→edge",
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Asserts validity, panicking with the first violation (test helper).
+pub fn assert_valid(h: &Hypergraph) {
+    let violations = validate(h);
+    assert!(violations.is_empty(), "invalid hypergraph: {}", violations[0]);
+}
+
+/// Log-binned histograms of (vertex degrees, edge sizes): bin `i` counts
+/// entities whose degree lies in `[2^i, 2^(i+1))`.
+pub fn degree_histograms(h: &Hypergraph) -> (Vec<usize>, Vec<usize>) {
+    let vertex_hist = log_histogram((0..h.num_vertices() as u32).map(|v| h.vertex_degree(v)));
+    let edge_hist = log_histogram((0..h.num_edges() as u32).map(|e| h.edge_size(e)));
+    (vertex_hist, edge_hist)
+}
+
+/// A simple skew score: `max degree / mean degree` on the hyperedge side
+/// (1.0 = perfectly uniform).
+pub fn edge_size_skew(h: &Hypergraph) -> f64 {
+    let mean = h.mean_edge_size();
+    if mean == 0.0 {
+        1.0
+    } else {
+        h.max_edge_size() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_valid() {
+        assert!(validate(&Hypergraph::paper_example()).is_empty());
+        assert_valid(&Hypergraph::paper_example());
+    }
+
+    #[test]
+    fn constructed_hypergraphs_validate() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..30usize);
+            let m = rng.gen_range(0..40usize);
+            let lists: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..rng.gen_range(0..8)).map(|_| rng.gen_range(0..n as u32)).collect())
+                .collect();
+            assert_valid(&Hypergraph::from_edge_lists(&lists, n));
+        }
+    }
+
+    #[test]
+    fn histograms_shape() {
+        let h = Hypergraph::paper_example();
+        let (vh, eh) = degree_histograms(&h);
+        // Vertex degrees: 2,3,3,2,2,1 -> bins [1, 5] (bin0: {1}, bin1: {2,2,2,3,3}).
+        assert_eq!(vh, vec![1, 5]);
+        // Edge sizes: 3,3,5,2 -> bin1: {2,3,3}, bin2: {5}.
+        assert_eq!(eh, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn skew_score() {
+        let uniform = Hypergraph::from_edge_lists(&[vec![0, 1], vec![2, 3]], 4);
+        assert!((edge_size_skew(&uniform) - 1.0).abs() < 1e-12);
+        let skewed = Hypergraph::from_edge_lists(&[vec![0], (0..20).collect()], 20);
+        assert!(edge_size_skew(&skewed) > 1.5);
+        let empty = Hypergraph::from_edge_lists(&[], 0);
+        assert_eq!(edge_size_skew(&empty), 1.0);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::UnsortedRow { side: "edge", row: 3 };
+        assert!(v.to_string().contains("row 3"));
+        let v = Violation::TargetOutOfRange { side: "vertex", row: 1, target: 99 };
+        assert!(v.to_string().contains("99"));
+        let v = Violation::AsymmetricIncidence { edge: 1, vertex: 2, present_in: "edge→vertex" };
+        assert!(v.to_string().contains("(1,2)"));
+    }
+}

@@ -1,0 +1,423 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! Both directions of the hypergraph's bipartite incidence structure
+//! (edge→vertices and vertex→edges) are stored as a [`Csr`]: an offsets
+//! array into a flat neighbor array. Neighbor lists are kept sorted so that
+//! the set-intersection baseline (Algorithm 1) can merge-scan them.
+
+use rayon::prelude::*;
+
+/// CSR adjacency: `num_rows` sorted neighbor lists over targets `< num_cols`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    num_cols: usize,
+}
+
+impl Csr {
+    /// Builds a CSR from per-row neighbor lists. Lists are sorted and
+    /// deduplicated. `num_cols` is the target ID space size; every target
+    /// must be `< num_cols`.
+    ///
+    /// # Panics
+    /// Panics if any target is out of range.
+    pub fn from_lists(lists: &[Vec<u32>], num_cols: usize) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        let mut scratch: Vec<u32> = Vec::new();
+        for list in lists {
+            scratch.clear();
+            scratch.extend_from_slice(list);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &t in &scratch {
+                assert!((t as usize) < num_cols, "target {t} out of range {num_cols}");
+            }
+            targets.extend_from_slice(&scratch);
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets, num_cols }
+    }
+
+    /// Builds a CSR from `(row, col)` pairs using a counting sort.
+    /// Duplicate pairs are removed.
+    pub fn from_pairs(pairs: &[(u32, u32)], num_rows: usize, num_cols: usize) -> Self {
+        let mut counts = vec![0usize; num_rows + 1];
+        for &(r, c) in pairs {
+            assert!((r as usize) < num_rows, "row {r} out of range {num_rows}");
+            assert!((c as usize) < num_cols, "col {c} out of range {num_cols}");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..num_rows {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0u32; pairs.len()];
+        let mut cursor = offsets.clone();
+        for &(r, c) in pairs {
+            let slot = cursor[r as usize];
+            targets[slot] = c;
+            cursor[r as usize] += 1;
+        }
+        let mut csr = Self { offsets, targets, num_cols };
+        csr.sort_and_dedup_rows();
+        csr
+    }
+
+    /// Sorts each row's targets and removes duplicates, compacting storage.
+    fn sort_and_dedup_rows(&mut self) {
+        let num_rows = self.num_rows();
+        // Sort rows in parallel (disjoint slices via split_at_mut pattern).
+        {
+            let offsets = &self.offsets;
+            let mut rows: Vec<&mut [u32]> = Vec::with_capacity(num_rows);
+            let mut rest: &mut [u32] = &mut self.targets;
+            let mut consumed = 0usize;
+            for r in 0..num_rows {
+                let len = offsets[r + 1] - offsets[r];
+                debug_assert_eq!(consumed, offsets[r]);
+                let (head, tail) = rest.split_at_mut(len);
+                rows.push(head);
+                rest = tail;
+                consumed += len;
+            }
+            rows.par_iter_mut().for_each(|row| row.sort_unstable());
+        }
+        // Dedup with a single compaction pass.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(num_rows + 1);
+        new_offsets.push(0usize);
+        for r in 0..num_rows {
+            let (start, end) = (self.offsets[r], self.offsets[r + 1]);
+            let mut prev: Option<u32> = None;
+            for i in start..end {
+                let t = self.targets[i];
+                if prev != Some(t) {
+                    self.targets[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            new_offsets.push(write);
+        }
+        self.targets.truncate(write);
+        self.offsets = new_offsets;
+    }
+
+    /// An empty CSR with `num_rows` empty rows.
+    pub fn empty(num_rows: usize, num_cols: usize) -> Self {
+        Self { offsets: vec![0; num_rows + 1], targets: Vec::new(), num_cols }
+    }
+
+    /// Number of rows (source IDs).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Size of the target ID space.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Total number of stored (row, col) entries.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbor list of `row`.
+    #[inline]
+    pub fn neighbors(&self, row: u32) -> &[u32] {
+        &self.targets[self.offsets[row as usize]..self.offsets[row as usize + 1]]
+    }
+
+    /// Length of `row`'s neighbor list (degree / size).
+    #[inline]
+    pub fn degree(&self, row: u32) -> usize {
+        self.offsets[row as usize + 1] - self.offsets[row as usize]
+    }
+
+    /// Raw offsets array (length `num_rows() + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw flat targets array.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// True if `row`'s list contains `col` (binary search).
+    #[inline]
+    pub fn contains(&self, row: u32, col: u32) -> bool {
+        self.neighbors(row).binary_search(&col).is_ok()
+    }
+
+    /// Iterates `(row, col)` pairs in row-major order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_rows() as u32)
+            .flat_map(move |r| self.neighbors(r).iter().map(move |&c| (r, c)))
+    }
+
+    /// Transposes the CSR: entry `(r, c)` becomes `(c, r)`. The result has
+    /// `num_cols()` rows and `num_rows()` columns, with sorted rows.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.num_cols + 1];
+        for &c in &self.targets {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.num_cols {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0u32; self.targets.len()];
+        let mut cursor = counts;
+        // Row-major traversal emits rows in ascending order, so each
+        // transposed row is filled in ascending order: already sorted.
+        for r in 0..self.num_rows() {
+            for i in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.targets[i] as usize;
+                targets[cursor[c]] = r as u32;
+                cursor[c] += 1;
+            }
+        }
+        Csr { offsets, targets, num_cols: self.num_rows() }
+    }
+
+    /// Degrees of all rows as a vector.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_rows()).map(|r| self.offsets[r + 1] - self.offsets[r]).collect()
+    }
+
+    /// Applies a row permutation: row `r` of the result is row `perm[r]` of
+    /// `self`. Targets are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..num_rows()`.
+    pub fn permute_rows(&self, perm: &[u32]) -> Csr {
+        assert_eq!(perm.len(), self.num_rows(), "permutation length mismatch");
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        for &old in perm {
+            targets.extend_from_slice(self.neighbors(old));
+            offsets.push(targets.len());
+        }
+        assert_eq!(targets.len(), self.targets.len(), "perm was not a permutation");
+        Csr { offsets, targets, num_cols: self.num_cols }
+    }
+
+    /// Renames targets through `mapping` (new ID = `mapping[old ID]`), then
+    /// re-sorts rows. Used when the *other* side of the bipartite structure
+    /// was permuted.
+    pub fn rename_targets(&self, mapping: &[u32], new_num_cols: usize) -> Csr {
+        assert_eq!(mapping.len(), self.num_cols);
+        let mut targets: Vec<u32> = self.targets.iter().map(|&t| mapping[t as usize]).collect();
+        for r in 0..self.num_rows() {
+            targets[self.offsets[r]..self.offsets[r + 1]].sort_unstable();
+        }
+        for &t in &targets {
+            assert!((t as usize) < new_num_cols);
+        }
+        Csr { offsets: self.offsets.clone(), targets, num_cols: new_num_cols }
+    }
+}
+
+/// Size of the sorted intersection of two sorted slices (merge scan).
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Like [`intersection_size`] but stops early once the count reaches `s`
+/// (returns `s`) or once it becomes impossible to reach `s` (returns the
+/// count so far, which is `< s`). This is the "short-circuit" heuristic of
+/// Algorithm 1.
+pub fn intersection_at_least(a: &[u32], b: &[u32], s: usize) -> bool {
+    if a.len() < s || b.len() < s {
+        return false;
+    }
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        // Impossible to reach s with what's left on either side.
+        if count + (a.len() - i).min(b.len() - j) < s {
+            return false;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if count >= s {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count >= s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // Paper's example hypergraph (edge -> vertices), vertices a..f = 0..5:
+        // e0 = {a,b,c}, e1 = {b,c,d}, e2 = {a,b,c,d,e}, e3 = {e,f}
+        Csr::from_lists(
+            &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]],
+            6,
+        )
+    }
+
+    #[test]
+    fn basic_shape() {
+        let c = sample();
+        assert_eq!(c.num_rows(), 4);
+        assert_eq!(c.num_cols(), 6);
+        assert_eq!(c.num_entries(), 13);
+        assert_eq!(c.degree(2), 5);
+        assert_eq!(c.neighbors(3), &[4, 5]);
+    }
+
+    #[test]
+    fn from_lists_sorts_and_dedups() {
+        let c = Csr::from_lists(&[vec![3, 1, 2, 1, 3]], 4);
+        assert_eq!(c.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_lists_checks_range() {
+        Csr::from_lists(&[vec![5]], 5);
+    }
+
+    #[test]
+    fn from_pairs_matches_from_lists() {
+        let pairs = vec![(0u32, 2u32), (0, 1), (1, 0), (0, 2), (2, 3)];
+        let c = Csr::from_pairs(&pairs, 3, 4);
+        let expect = Csr::from_lists(&[vec![1, 2], vec![0], vec![3]], 4);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let c = sample();
+        let t = c.transpose();
+        assert_eq!(t.num_rows(), 6);
+        assert_eq!(t.num_cols(), 4);
+        // vertex b (=1) is in edges 0, 1, 2
+        assert_eq!(t.neighbors(1), &[0, 1, 2]);
+        assert_eq!(t.transpose(), c);
+    }
+
+    #[test]
+    fn transpose_preserves_entry_count() {
+        let c = sample();
+        assert_eq!(c.transpose().num_entries(), c.num_entries());
+    }
+
+    #[test]
+    fn contains_and_iter_pairs() {
+        let c = sample();
+        assert!(c.contains(0, 2));
+        assert!(!c.contains(0, 3));
+        let pairs: Vec<(u32, u32)> = c.iter_pairs().collect();
+        assert_eq!(pairs.len(), 13);
+        assert_eq!(pairs[0], (0, 0));
+        assert_eq!(*pairs.last().unwrap(), (3, 5));
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let c = sample();
+        let p = c.permute_rows(&[3, 2, 1, 0]);
+        assert_eq!(p.neighbors(0), c.neighbors(3));
+        assert_eq!(p.neighbors(3), c.neighbors(0));
+        assert_eq!(p.num_entries(), c.num_entries());
+    }
+
+    #[test]
+    #[should_panic]
+    fn permute_rows_rejects_non_permutation() {
+        // Repeats row 2 and drops row 3: entry count mismatch for this input.
+        sample().permute_rows(&[2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn rename_targets_relabels() {
+        let c = Csr::from_lists(&[vec![0, 2]], 3);
+        // swap IDs 0 and 2
+        let r = c.rename_targets(&[2, 1, 0], 3);
+        assert_eq!(r.neighbors(0), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let c = Csr::empty(3, 5);
+        assert_eq!(c.num_rows(), 3);
+        assert_eq!(c.num_entries(), 0);
+        assert_eq!(c.neighbors(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn intersection_sizes() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[1, 5, 9], &[2, 6, 10]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn intersection_at_least_short_circuits() {
+        assert!(intersection_at_least(&[1, 2, 3], &[2, 3, 4], 2));
+        assert!(!intersection_at_least(&[1, 2, 3], &[2, 3, 4], 3));
+        // Length pruning: can't possibly reach s.
+        assert!(!intersection_at_least(&[1], &[1, 2, 3], 2));
+        assert!(intersection_at_least(&[1], &[1], 1));
+        assert!(!intersection_at_least(&[], &[], 1));
+    }
+
+    #[test]
+    fn intersection_at_least_matches_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let a: Vec<u32> = {
+                let mut v: Vec<u32> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(0..30)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let b: Vec<u32> = {
+                let mut v: Vec<u32> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(0..30)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let exact = intersection_size(&a, &b);
+            for s in 1..=5usize {
+                assert_eq!(intersection_at_least(&a, &b, s), exact >= s, "a={a:?} b={b:?} s={s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The hypergraph type: a bipartite incidence structure stored as two CSRs.
+
+use crate::csr::Csr;
+use hyperline_util::fxhash::FxHashSet;
+
+/// A non-uniform hypergraph `H = (V, E)` with `n` vertices and `m`
+/// hyperedges, stored as both directions of its bipartite incidence
+/// structure:
+///
+/// * edge → vertex lists (rows of the incidence matrix `Hᵀ`), and
+/// * vertex → edge lists (rows of `H`).
+///
+/// Both neighbor directions are sorted, which the algorithms rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// edge -> member vertices
+    edges: Csr,
+    /// vertex -> incident edges
+    vertices: Csr,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from per-edge vertex lists over `num_vertices`
+    /// vertices. Lists are sorted/deduplicated; empty edges are allowed
+    /// (use [`crate::prep`] to strip them).
+    pub fn from_edge_lists(lists: &[Vec<u32>], num_vertices: usize) -> Self {
+        let edges = Csr::from_lists(lists, num_vertices);
+        let vertices = edges.transpose();
+        Self { edges, vertices }
+    }
+
+    /// Builds a hypergraph from `(edge, vertex)` incidence pairs.
+    pub fn from_incidence_pairs(pairs: &[(u32, u32)], num_edges: usize, num_vertices: usize) -> Self {
+        let edges = Csr::from_pairs(pairs, num_edges, num_vertices);
+        let vertices = edges.transpose();
+        Self { edges, vertices }
+    }
+
+    /// Wraps a pre-built edge→vertex CSR.
+    pub fn from_edge_csr(edges: Csr) -> Self {
+        let vertices = edges.transpose();
+        Self { edges, vertices }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.num_rows()
+    }
+
+    /// Number of hyperedges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.num_rows()
+    }
+
+    /// Number of incidences (non-zeros of the incidence matrix, `|H|`).
+    #[inline]
+    pub fn num_incidences(&self) -> usize {
+        self.edges.num_entries()
+    }
+
+    /// The sorted vertex list of hyperedge `e`.
+    #[inline]
+    pub fn edge_vertices(&self, e: u32) -> &[u32] {
+        self.edges.neighbors(e)
+    }
+
+    /// The sorted list of hyperedges incident to vertex `v`.
+    #[inline]
+    pub fn vertex_edges(&self, v: u32) -> &[u32] {
+        self.vertices.neighbors(v)
+    }
+
+    /// Size `|e|` of hyperedge `e` (the paper's `inc({e})`).
+    #[inline]
+    pub fn edge_size(&self, e: u32) -> usize {
+        self.edges.degree(e)
+    }
+
+    /// Degree `deg(v)` of vertex `v` (the paper's `adj({v})`).
+    #[inline]
+    pub fn vertex_degree(&self, v: u32) -> usize {
+        self.vertices.degree(v)
+    }
+
+    /// The edge→vertex CSR (rows of `Hᵀ`).
+    #[inline]
+    pub fn edge_csr(&self) -> &Csr {
+        &self.edges
+    }
+
+    /// The vertex→edge CSR (rows of `H`).
+    #[inline]
+    pub fn vertex_csr(&self) -> &Csr {
+        &self.vertices
+    }
+
+    /// `inc(e, f) = |e ∩ f|`: the number of shared vertices of two edges.
+    pub fn inc(&self, e: u32, f: u32) -> usize {
+        crate::csr::intersection_size(self.edge_vertices(e), self.edge_vertices(f))
+    }
+
+    /// `adj(u, v)`: the number of hyperedges containing both vertices.
+    pub fn adj(&self, u: u32, v: u32) -> usize {
+        crate::csr::intersection_size(self.vertex_edges(u), self.vertex_edges(v))
+    }
+
+    /// `inc(F) = |∩_{e ∈ F} e|` for a set of edges.
+    pub fn inc_set(&self, edges: &[u32]) -> usize {
+        match edges {
+            [] => 0,
+            [e] => self.edge_size(*e),
+            [first, rest @ ..] => {
+                let mut current: FxHashSet<u32> = self.edge_vertices(*first).iter().copied().collect();
+                for &e in rest {
+                    let members: FxHashSet<u32> = self.edge_vertices(e).iter().copied().collect();
+                    current.retain(|v| members.contains(v));
+                    if current.is_empty() {
+                        break;
+                    }
+                }
+                current.len()
+            }
+        }
+    }
+
+    /// `adj(U) = |{e ⊇ U}|` for a set of vertices.
+    pub fn adj_set(&self, verts: &[u32]) -> usize {
+        match verts {
+            [] => 0,
+            [v] => self.vertex_degree(*v),
+            [first, rest @ ..] => {
+                let mut current: FxHashSet<u32> = self.vertex_edges(*first).iter().copied().collect();
+                for &v in rest {
+                    let edges: FxHashSet<u32> = self.vertex_edges(v).iter().copied().collect();
+                    current.retain(|e| edges.contains(e));
+                    if current.is_empty() {
+                        break;
+                    }
+                }
+                current.len()
+            }
+        }
+    }
+
+    /// The dual hypergraph `H*`: vertices and edges swap roles (the
+    /// incidence matrix is transposed). `(H*)* == H`.
+    pub fn dual(&self) -> Hypergraph {
+        Hypergraph { edges: self.vertices.clone(), vertices: self.edges.clone() }
+    }
+
+    /// Maximum edge size `Δe`-style statistic.
+    pub fn max_edge_size(&self) -> usize {
+        (0..self.num_edges() as u32).map(|e| self.edge_size(e)).max().unwrap_or(0)
+    }
+
+    /// Maximum vertex degree `Δv`.
+    pub fn max_vertex_degree(&self) -> usize {
+        (0..self.num_vertices() as u32).map(|v| self.vertex_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean vertex degree `d_v`.
+    pub fn mean_vertex_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_incidences() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Mean edge size `d_e`.
+    pub fn mean_edge_size(&self) -> f64 {
+        if self.num_edges() == 0 {
+            0.0
+        } else {
+            self.num_incidences() as f64 / self.num_edges() as f64
+        }
+    }
+
+    /// Extracts all edges as owned vertex lists (for round-tripping and
+    /// tests; allocates).
+    pub fn to_edge_lists(&self) -> Vec<Vec<u32>> {
+        (0..self.num_edges() as u32).map(|e| self.edge_vertices(e).to_vec()).collect()
+    }
+
+    /// The paper's running example (Fig. 1): vertices `a..f` mapped to
+    /// `0..=5`, edges `1:{a,b,c}, 2:{b,c,d}, 3:{a,b,c,d,e}, 4:{e,f}` mapped
+    /// to `0..=3`.
+    pub fn paper_example() -> Self {
+        Self::from_edge_lists(
+            &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]],
+            6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_shape() {
+        let h = Hypergraph::paper_example();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.num_incidences(), 13);
+        assert_eq!(h.edge_size(2), 5);
+        assert_eq!(h.vertex_degree(1), 3); // b in edges 0,1,2
+        assert_eq!(h.max_edge_size(), 5);
+        assert_eq!(h.max_vertex_degree(), 3);
+    }
+
+    #[test]
+    fn paper_example_inc_adj() {
+        let h = Hypergraph::paper_example();
+        // Paper: adj(b, c) = 3 (edges 1,2,3 contain both), inc({1,2,3}) = 2 ({b,c}).
+        assert_eq!(h.adj(1, 2), 3);
+        assert_eq!(h.inc_set(&[0, 1, 2]), 2);
+        // inc(e,f) examples
+        assert_eq!(h.inc(0, 1), 2); // {b,c}
+        assert_eq!(h.inc(0, 2), 3); // {a,b,c}
+        assert_eq!(h.inc(0, 3), 0);
+        assert_eq!(h.inc(2, 3), 1); // {e}
+    }
+
+    #[test]
+    fn inc_adj_singletons_and_empty() {
+        let h = Hypergraph::paper_example();
+        assert_eq!(h.inc_set(&[2]), 5);
+        assert_eq!(h.inc_set(&[]), 0);
+        assert_eq!(h.adj_set(&[1]), 3);
+        assert_eq!(h.adj_set(&[]), 0);
+        assert_eq!(h.adj_set(&[1, 2]), 3);
+        assert_eq!(h.adj_set(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn dual_involution() {
+        let h = Hypergraph::paper_example();
+        let d = h.dual();
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.num_edges(), 6);
+        // Dual edge for vertex b (=1) contains original edges {0,1,2}.
+        assert_eq!(d.edge_vertices(1), &[0, 1, 2]);
+        assert_eq!(d.dual(), h);
+    }
+
+    #[test]
+    fn duality_of_inc_and_adj() {
+        // adj on vertices in H equals inc on edges in H*.
+        let h = Hypergraph::paper_example();
+        let d = h.dual();
+        for u in 0..h.num_vertices() as u32 {
+            for v in 0..h.num_vertices() as u32 {
+                assert_eq!(h.adj(u, v), d.inc(u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_incidence_pairs_matches() {
+        let h = Hypergraph::paper_example();
+        let pairs: Vec<(u32, u32)> = h.edge_csr().iter_pairs().collect();
+        let h2 = Hypergraph::from_incidence_pairs(&pairs, 4, 6);
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn means() {
+        let h = Hypergraph::paper_example();
+        assert!((h.mean_edge_size() - 13.0 / 4.0).abs() < 1e-12);
+        assert!((h.mean_vertex_degree() - 13.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_edge_lists(&[], 0);
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.mean_edge_size(), 0.0);
+        assert_eq!(h.max_edge_size(), 0);
+    }
+
+    #[test]
+    fn singleton_and_empty_edges_allowed() {
+        let h = Hypergraph::from_edge_lists(&[vec![0], vec![]], 1);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edge_size(0), 1);
+        assert_eq!(h.edge_size(1), 0);
+    }
+
+    #[test]
+    fn to_edge_lists_roundtrip() {
+        let lists = vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]];
+        let h = Hypergraph::from_edge_lists(&lists, 6);
+        assert_eq!(h.to_edge_lists(), lists);
+    }
+
+    #[test]
+    fn graphs_are_two_uniform_hypergraphs() {
+        // A graph edge {u, v} is just a 2-element hyperedge.
+        let g = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![0, 2]], 3);
+        assert!(g.to_edge_lists().iter().all(|e| e.len() == 2));
+        assert_eq!(g.adj(0, 1), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Hypergraph substrate for the `hyperline` workspace.
+//!
+//! A hypergraph `H = (V, E)` is a vertex set plus a family of hyperedges
+//! `e ⊆ V` of arbitrary (non-uniform) sizes. This crate provides:
+//!
+//! * [`Hypergraph`] — the bipartite incidence structure stored as two
+//!   sorted CSRs (edge→vertices and vertex→edges);
+//! * [`csr::Csr`] — the underlying compressed sparse row storage plus the
+//!   sorted-set intersection kernels used by the baselines;
+//! * [`prep`] — Stage 1 preprocessing (cleaning, relabel-by-degree);
+//! * [`toplex`] — Stage 2 toplex computation / simplification;
+//! * [`io`] — plain-text interchange formats.
+//!
+//! ```
+//! use hyperline_hypergraph::Hypergraph;
+//!
+//! let h = Hypergraph::paper_example();
+//! assert_eq!(h.num_edges(), 4);
+//! assert_eq!(h.inc(0, 2), 3); // edges {a,b,c} and {a,b,c,d,e} share 3 vertices
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod csr;
+pub mod hypergraph;
+pub mod io;
+pub mod prep;
+pub mod toplex;
+
+pub use csr::Csr;
+pub use hypergraph::Hypergraph;
+pub use prep::{clean, relabel_edges_by_degree, RelabelOrder, Relabeled};
+pub use toplex::{is_simple, toplexes, Toplexes};

@@ -1,0 +1,197 @@
+//! Stage 1 preprocessing: cleaning and relabel-by-degree.
+//!
+//! Large hypergraphs with skewed degree distributions benefit from
+//! relabeling hyperedge IDs by degree before the s-overlap computation:
+//! combined with upper-triangle traversal (`i < j`), ascending order makes
+//! heavy hyperedges the *targets* rather than the *sources* of wedge
+//! traversal, which balances load and (per the paper's VTune analysis)
+//! roughly halves LLC misses.
+
+use crate::hypergraph::Hypergraph;
+
+/// Hyperedge relabeling applied during preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RelabelOrder {
+    /// Keep the input labeling (`N` in the paper's notation).
+    #[default]
+    None,
+    /// Sort hyperedges by size, smallest first (`A`).
+    Ascending,
+    /// Sort hyperedges by size, largest first (`D`).
+    Descending,
+}
+
+impl RelabelOrder {
+    /// One-letter code used in the paper's strategy notation (Table III).
+    pub fn code(self) -> char {
+        match self {
+            RelabelOrder::None => 'N',
+            RelabelOrder::Ascending => 'A',
+            RelabelOrder::Descending => 'D',
+        }
+    }
+
+    /// All orders, for sweeps.
+    pub const ALL: [RelabelOrder; 3] =
+        [RelabelOrder::None, RelabelOrder::Ascending, RelabelOrder::Descending];
+}
+
+/// Result of a relabeling: the new hypergraph plus the permutation
+/// (`perm[new_id] = old_id`) needed to report results in original IDs.
+#[derive(Debug, Clone)]
+pub struct Relabeled {
+    /// The relabeled hypergraph.
+    pub hypergraph: Hypergraph,
+    /// `perm[new_edge_id] = old_edge_id`.
+    pub new_to_old: Vec<u32>,
+}
+
+impl Relabeled {
+    /// Translates a new (relabeled) edge ID back to the original ID.
+    #[inline]
+    pub fn original_id(&self, new_id: u32) -> u32 {
+        self.new_to_old[new_id as usize]
+    }
+
+    /// Translates an edge list on new IDs back to original IDs.
+    pub fn restore_edge_ids(&self, edges: &mut [(u32, u32)]) {
+        for (a, b) in edges.iter_mut() {
+            *a = self.new_to_old[*a as usize];
+            *b = self.new_to_old[*b as usize];
+        }
+    }
+}
+
+/// Relabels hyperedges by size in the given order. Ties keep their input
+/// order (stable sort), making the permutation deterministic.
+pub fn relabel_edges_by_degree(h: &Hypergraph, order: RelabelOrder) -> Relabeled {
+    let m = h.num_edges();
+    let mut perm: Vec<u32> = (0..m as u32).collect();
+    match order {
+        RelabelOrder::None => {
+            return Relabeled { hypergraph: h.clone(), new_to_old: perm };
+        }
+        RelabelOrder::Ascending => perm.sort_by_key(|&e| h.edge_size(e)),
+        RelabelOrder::Descending => perm.sort_by_key(|&e| std::cmp::Reverse(h.edge_size(e))),
+    }
+    let edges = h.edge_csr().permute_rows(&perm);
+    Relabeled { hypergraph: Hypergraph::from_edge_csr(edges), new_to_old: perm }
+}
+
+/// Result of cleaning: the cleaned hypergraph plus surviving original IDs.
+#[derive(Debug, Clone)]
+pub struct Cleaned {
+    /// The cleaned hypergraph (no empty edges, no isolated vertices).
+    pub hypergraph: Hypergraph,
+    /// `kept_edges[new_edge_id] = old_edge_id`.
+    pub kept_edges: Vec<u32>,
+    /// `kept_vertices[new_vertex_id] = old_vertex_id`.
+    pub kept_vertices: Vec<u32>,
+}
+
+/// Removes empty hyperedges and isolated (degree-0) vertices, compacting
+/// both ID spaces.
+pub fn clean(h: &Hypergraph) -> Cleaned {
+    let kept_edges: Vec<u32> =
+        (0..h.num_edges() as u32).filter(|&e| h.edge_size(e) > 0).collect();
+    let kept_vertices: Vec<u32> =
+        (0..h.num_vertices() as u32).filter(|&v| h.vertex_degree(v) > 0).collect();
+    let mut vertex_rename = vec![u32::MAX; h.num_vertices()];
+    for (new, &old) in kept_vertices.iter().enumerate() {
+        vertex_rename[old as usize] = new as u32;
+    }
+    let lists: Vec<Vec<u32>> = kept_edges
+        .iter()
+        .map(|&e| {
+            h.edge_vertices(e)
+                .iter()
+                .map(|&v| vertex_rename[v as usize])
+                .collect()
+        })
+        .collect();
+    let hypergraph = Hypergraph::from_edge_lists(&lists, kept_vertices.len());
+    Cleaned { hypergraph, kept_edges, kept_vertices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_none_is_identity() {
+        let h = Hypergraph::paper_example();
+        let r = relabel_edges_by_degree(&h, RelabelOrder::None);
+        assert_eq!(r.hypergraph, h);
+        assert_eq!(r.new_to_old, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn relabel_ascending_sorts_by_size() {
+        let h = Hypergraph::paper_example(); // sizes 3,3,5,2
+        let r = relabel_edges_by_degree(&h, RelabelOrder::Ascending);
+        let sizes: Vec<usize> =
+            (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
+        assert_eq!(sizes, vec![2, 3, 3, 5]);
+        // perm: new 0 = old 3 (size 2); stable ties: new 1 = old 0, new 2 = old 1.
+        assert_eq!(r.new_to_old, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn relabel_descending_sorts_by_size() {
+        let h = Hypergraph::paper_example();
+        let r = relabel_edges_by_degree(&h, RelabelOrder::Descending);
+        let sizes: Vec<usize> =
+            (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
+        assert_eq!(sizes, vec![5, 3, 3, 2]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let h = Hypergraph::paper_example();
+        for order in RelabelOrder::ALL {
+            let r = relabel_edges_by_degree(&h, order);
+            assert_eq!(r.hypergraph.num_edges(), h.num_edges());
+            assert_eq!(r.hypergraph.num_incidences(), h.num_incidences());
+            for new_id in 0..4u32 {
+                let old_id = r.original_id(new_id);
+                assert_eq!(r.hypergraph.edge_vertices(new_id), h.edge_vertices(old_id));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_edge_ids_maps_back() {
+        let h = Hypergraph::paper_example();
+        let r = relabel_edges_by_degree(&h, RelabelOrder::Ascending);
+        let mut edges = vec![(0u32, 3u32)];
+        r.restore_edge_ids(&mut edges);
+        assert_eq!(edges, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn clean_removes_empty_and_isolated() {
+        // vertex 2 is isolated; edge 1 is empty.
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![], vec![3]], 4);
+        let c = clean(&h);
+        assert_eq!(c.hypergraph.num_edges(), 2);
+        assert_eq!(c.hypergraph.num_vertices(), 3);
+        assert_eq!(c.kept_edges, vec![0, 2]);
+        assert_eq!(c.kept_vertices, vec![0, 1, 3]);
+        // old vertex 3 is new vertex 2
+        assert_eq!(c.hypergraph.edge_vertices(1), &[2]);
+    }
+
+    #[test]
+    fn clean_is_noop_on_clean_input() {
+        let h = Hypergraph::paper_example();
+        let c = clean(&h);
+        assert_eq!(c.hypergraph, h);
+    }
+
+    #[test]
+    fn relabel_codes() {
+        assert_eq!(RelabelOrder::None.code(), 'N');
+        assert_eq!(RelabelOrder::Ascending.code(), 'A');
+        assert_eq!(RelabelOrder::Descending.code(), 'D');
+    }
+}

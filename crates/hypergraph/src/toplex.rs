@@ -1,0 +1,200 @@
+//! Stage 2 (optional): toplex computation and hypergraph simplification.
+//!
+//! A *toplex* is a maximal hyperedge: an edge `e` with no strict superset
+//! `f ⊋ e` in the hypergraph. The simplification `Ȟ = (V, Ě)` keeps one
+//! copy of every toplex; working on `Ȟ` can substantially shrink the
+//! inputs to the later stages.
+//!
+//! The algorithm processes edges in descending size order and tests each
+//! edge for containment against the already-kept toplexes, restricting
+//! candidates via the member vertex with the fewest kept toplexes (the
+//! standard extremal-sets trick of Marinov et al., cited by the paper).
+
+use crate::hypergraph::Hypergraph;
+
+/// Result of toplex computation.
+#[derive(Debug, Clone)]
+pub struct Toplexes {
+    /// Original IDs of the kept (maximal, deduplicated) edges, ascending.
+    pub toplex_ids: Vec<u32>,
+    /// The simplified hypergraph `Ȟ` on the same vertex set, edges
+    /// renumbered `0..toplex_ids.len()` in `toplex_ids` order.
+    pub simplified: Hypergraph,
+}
+
+/// Returns true if sorted slice `sub` is a subset of sorted slice `sup`.
+fn is_subset(sub: &[u32], sup: &[u32]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut j = 0usize;
+    for &x in sub {
+        // Advance in sup until we find x or pass it.
+        while j < sup.len() && sup[j] < x {
+            j += 1;
+        }
+        if j == sup.len() || sup[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Computes the toplexes of `h` and the simplified hypergraph.
+///
+/// Duplicate edges keep a single representative (the one with the smallest
+/// original ID, because ties process in ascending ID order).
+pub fn toplexes(h: &Hypergraph) -> Toplexes {
+    let m = h.num_edges();
+    // Order: size descending, ID ascending within equal size.
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_by_key(|&e| (std::cmp::Reverse(h.edge_size(e)), e));
+
+    // For each vertex, the kept toplexes containing it.
+    let mut vertex_toplexes: Vec<Vec<u32>> = vec![Vec::new(); h.num_vertices()];
+    let mut kept: Vec<u32> = Vec::new();
+
+    for &e in &order {
+        let members = h.edge_vertices(e);
+        if members.is_empty() {
+            // Empty edges are subsets of everything; never toplexes unless
+            // the hypergraph has only empty edges — treated as non-maximal.
+            continue;
+        }
+        // Pick the member vertex with the fewest kept toplexes.
+        let pivot = members
+            .iter()
+            .copied()
+            .min_by_key(|&v| vertex_toplexes[v as usize].len())
+            .unwrap();
+        let contained = vertex_toplexes[pivot as usize]
+            .iter()
+            .any(|&t| is_subset(members, h.edge_vertices(t)));
+        if contained {
+            continue;
+        }
+        kept.push(e);
+        for &v in members {
+            vertex_toplexes[v as usize].push(e);
+        }
+    }
+
+    kept.sort_unstable();
+    let lists: Vec<Vec<u32>> = kept.iter().map(|&e| h.edge_vertices(e).to_vec()).collect();
+    let simplified = Hypergraph::from_edge_lists(&lists, h.num_vertices());
+    Toplexes { toplex_ids: kept, simplified }
+}
+
+/// True if `h` is *simple*: every edge is a toplex (`H == Ȟ`).
+pub fn is_simple(h: &Hypergraph) -> bool {
+    toplexes(h).toplex_ids.len() == h.num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 2]));
+        assert!(is_subset(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn paper_example_toplexes() {
+        // Edges: {a,b,c}, {b,c,d}, {a,b,c,d,e}, {e,f}.
+        // Edges 0 and 1 are subsets of edge 2; toplexes are {2, 3}.
+        let h = Hypergraph::paper_example();
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![2, 3]);
+        assert_eq!(t.simplified.num_edges(), 2);
+        assert_eq!(t.simplified.edge_vertices(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(t.simplified.edge_vertices(1), &[4, 5]);
+        assert!(!is_simple(&h));
+        assert!(is_simple(&t.simplified));
+    }
+
+    #[test]
+    fn duplicates_keep_one() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![0, 1], vec![2]], 3);
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_maximal_when_disjoint() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![2, 3], vec![4]], 5);
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![0, 1, 2]);
+        assert!(is_simple(&h));
+    }
+
+    #[test]
+    fn chain_of_subsets() {
+        let h = Hypergraph::from_edge_lists(
+            &[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]],
+            4,
+        );
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![3]);
+    }
+
+    #[test]
+    fn overlapping_but_incomparable_edges_all_kept() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]], 5);
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_edges_dropped() {
+        let h = Hypergraph::from_edge_lists(&[vec![], vec![0]], 1);
+        let t = toplexes(&h);
+        assert_eq!(t.toplex_ids, vec![1]);
+    }
+
+    #[test]
+    fn brute_force_agreement_random() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..10usize);
+            let m = rng.gen_range(1..15usize);
+            let lists: Vec<Vec<u32>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n);
+                    let mut v: Vec<u32> =
+                        (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let h = Hypergraph::from_edge_lists(&lists, n);
+            let got = toplexes(&h).toplex_ids;
+            // Brute force: e is kept iff no *other kept or unkept* edge is a
+            // strict superset, and among equal duplicates only the smallest
+            // ID is kept.
+            let mut expect = Vec::new();
+            'outer: for e in 0..m {
+                let me = h.edge_vertices(e as u32);
+                for f in 0..m {
+                    if f == e {
+                        continue;
+                    }
+                    let other = h.edge_vertices(f as u32);
+                    if is_subset(me, other) && (other.len() > me.len() || f < e) {
+                        continue 'outer;
+                    }
+                }
+                expect.push(e as u32);
+            }
+            assert_eq!(got, expect, "lists={lists:?}");
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The s-line-graph construction algorithms (§III).
+//!
+//! Three constructions of the edge list of `L_s(H)`:
+//!
+//! * [`naive_slinegraph`] — all-pairs set intersection (the §I strawman);
+//! * [`algo1_slinegraph`] — Algorithm 1 of the paper: wedge-driven
+//!   candidate generation plus explicit short-circuited set intersections
+//!   with degree pruning and visited-skipping (the HiPC'21 baseline);
+//! * [`algo2_slinegraph`] — Algorithm 2, the paper's contribution: wedge-
+//!   driven *overlap counting* in per-worker accumulators — **zero** set
+//!   intersections.
+//!
+//! All three return pairs `(i, j)` with `i < j` on the hypergraph's
+//! current edge IDs, sorted, plus per-worker work counters.
+//!
+//! Every variant traverses each wedge `(e_i, v_k, e_j)` once, from the
+//! smaller edge ID to the larger (`i < j`) — the upper-triangle
+//! optimization the relabel-by-degree orders interact with (§IV).
+
+use crate::counter::{AnyCounter, OverlapCounter};
+use crate::partition::execute;
+use crate::stats::{AlgoStats, WorkerStats};
+use crate::strategy::{Strategy, TriangleSide};
+use hyperline_hypergraph::csr::{intersection_at_least, intersection_size};
+use hyperline_hypergraph::Hypergraph;
+
+/// The wedge targets `e_j` reachable from source `e_i` through one vertex
+/// neighbor list, restricted to the traversed triangle (`j > i` for
+/// Upper, `j < i` for Lower). Neighbor lists are sorted, so both are
+/// contiguous slices.
+#[inline]
+pub(crate) fn wedge_targets(nbrs: &[u32], i: u32, side: TriangleSide) -> &[u32] {
+    match side {
+        TriangleSide::Upper => &nbrs[nbrs.partition_point(|&j| j <= i)..],
+        TriangleSide::Lower => &nbrs[..nbrs.partition_point(|&j| j < i)],
+    }
+}
+
+/// Normalizes freshly-drained pairs to `(min, max)` order (needed when
+/// traversing the lower triangle, where targets satisfy `j < i`).
+#[inline]
+pub(crate) fn normalize_pairs(pairs: &mut [(u32, u32)]) {
+    for p in pairs {
+        if p.0 > p.1 {
+            *p = (p.1, p.0);
+        }
+    }
+}
+
+/// Result of an s-overlap computation.
+#[derive(Debug, Clone)]
+pub struct OverlapResult {
+    /// s-line-graph edges `(i, j)`, `i < j`, sorted ascending.
+    pub edges: Vec<(u32, u32)>,
+    /// Per-worker work counters.
+    pub stats: AlgoStats,
+}
+
+fn merge_worker_outputs(locals: Vec<(Vec<(u32, u32)>, WorkerStats)>) -> OverlapResult {
+    let mut edges = Vec::with_capacity(locals.iter().map(|(e, _)| e.len()).sum());
+    let mut per_worker = Vec::with_capacity(locals.len());
+    for (mut local_edges, mut stats) in locals {
+        stats.edges_emitted = local_edges.len() as u64;
+        edges.append(&mut local_edges);
+        per_worker.push(stats);
+    }
+    edges.sort_unstable();
+    OverlapResult { edges, stats: AlgoStats::new(per_worker) }
+}
+
+/// Naive all-pairs construction: intersect every pair of hyperedge vertex
+/// lists. O(m²) pairs — only sensible for small inputs and as a test
+/// oracle. Parallelized over source edges with the strategy's partition.
+pub fn naive_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapResult {
+    assert!(s >= 1, "s must be at least 1");
+    let m = h.num_edges();
+    let locals = execute(
+        m,
+        strategy.workers(),
+        strategy.partition,
+        |_| (Vec::new(), WorkerStats::default()),
+        |i, (out, stats): &mut (Vec<(u32, u32)>, WorkerStats)| {
+            if strategy.degree_pruning && (h.edge_size(i) as u32) < s {
+                return;
+            }
+            stats.edges_processed += 1;
+            let mine = h.edge_vertices(i);
+            for j in (i + 1)..m as u32 {
+                stats.set_intersections += 1;
+                if intersection_size(mine, h.edge_vertices(j)) as u32 >= s {
+                    out.push((i, j));
+                }
+            }
+        },
+    );
+    merge_worker_outputs(locals)
+}
+
+/// Algorithm 1 (the HiPC'21 set-intersection algorithm): for each wedge
+/// `(e_i, v_k, e_j)` with `i < j`, run one short-circuited sorted-set
+/// intersection per *distinct* candidate `e_j` (a per-worker stamp array
+/// skips already-visited candidates), applying degree-based pruning.
+pub fn algo1_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapResult {
+    assert!(s >= 1, "s must be at least 1");
+    let m = h.num_edges();
+    struct Local {
+        out: Vec<(u32, u32)>,
+        stats: WorkerStats,
+        /// stamp[j] == i means candidate j was already intersected for
+        /// source i ("skipping already visited hyperedges").
+        stamp: Vec<u32>,
+    }
+    let locals = execute(
+        m,
+        strategy.workers(),
+        strategy.partition,
+        |_| Local { out: Vec::new(), stats: WorkerStats::default(), stamp: vec![u32::MAX; m] },
+        |i, local: &mut Local| {
+            let size_i = h.edge_size(i) as u32;
+            if strategy.degree_pruning && size_i < s {
+                return;
+            }
+            local.stats.edges_processed += 1;
+            let mine = h.edge_vertices(i);
+            let heuristics = strategy.algo1_heuristics;
+            let before = local.out.len();
+            for &v in mine {
+                for &j in wedge_targets(h.vertex_edges(v), i, strategy.triangle) {
+                    local.stats.wedge_visits += 1;
+                    if heuristics.skip_visited {
+                        if local.stamp[j as usize] == i {
+                            continue;
+                        }
+                        local.stamp[j as usize] = i;
+                    }
+                    // Degree-based pruning on the candidate side.
+                    if strategy.degree_pruning && (h.edge_size(j) as u32) < s {
+                        continue;
+                    }
+                    local.stats.set_intersections += 1;
+                    let hit = if heuristics.short_circuit {
+                        intersection_at_least(mine, h.edge_vertices(j), s as usize)
+                    } else {
+                        intersection_size(mine, h.edge_vertices(j)) as u32 >= s
+                    };
+                    if hit {
+                        local.out.push((i, j));
+                    }
+                }
+            }
+            if !heuristics.skip_visited {
+                // Without visited-skipping the same pair is re-found once
+                // per shared vertex; deduplicate this source's emissions.
+                local.out[before..].sort_unstable();
+                let mut write = before;
+                for k in before..local.out.len() {
+                    if write == before || local.out[write - 1] != local.out[k] {
+                        local.out[write] = local.out[k];
+                        write += 1;
+                    }
+                }
+                local.out.truncate(write);
+            }
+            normalize_pairs(&mut local.out[before..]);
+        },
+    );
+    merge_worker_outputs(locals.into_iter().map(|l| (l.out, l.stats)).collect())
+}
+
+/// Algorithm 2 (the paper's contribution): per source edge, bump a
+/// per-worker overlap counter for every wedge endpoint `j > i`, then emit
+/// pairs whose running count reached `s`. No set intersections at all.
+pub fn algo2_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapResult {
+    assert!(s >= 1, "s must be at least 1");
+    let m = h.num_edges();
+    struct Local {
+        out: Vec<(u32, u32)>,
+        stats: WorkerStats,
+        counter: AnyCounter,
+    }
+    let locals = execute(
+        m,
+        strategy.workers(),
+        strategy.partition,
+        |_| Local {
+            out: Vec::new(),
+            stats: WorkerStats::default(),
+            counter: AnyCounter::new(strategy.counter, m),
+        },
+        |i, local: &mut Local| {
+            if strategy.degree_pruning && (h.edge_size(i) as u32) < s {
+                return;
+            }
+            local.stats.edges_processed += 1;
+            for &v in h.edge_vertices(i) {
+                for &j in wedge_targets(h.vertex_edges(v), i, strategy.triangle) {
+                    local.counter.bump(j);
+                    local.stats.wedge_visits += 1;
+                }
+            }
+            let before = local.out.len();
+            local.counter.drain(i, s, &mut local.out);
+            normalize_pairs(&mut local.out[before..]);
+        },
+    );
+    merge_worker_outputs(locals.into_iter().map(|l| (l.out, l.stats)).collect())
+}
+
+/// Weighted variant of Algorithm 2: emits `(i, j, inc(e_i, e_j))`, the
+/// overlap size as the s-line-graph edge weight (the "strength of
+/// connection" drawn as line width in the paper's Figure 2).
+pub fn algo2_slinegraph_weighted(
+    h: &Hypergraph,
+    s: u32,
+    strategy: &Strategy,
+) -> (Vec<(u32, u32, u32)>, AlgoStats) {
+    assert!(s >= 1, "s must be at least 1");
+    let m = h.num_edges();
+    struct Local {
+        out: Vec<(u32, u32, u32)>,
+        stats: WorkerStats,
+        counter: AnyCounter,
+    }
+    let locals = execute(
+        m,
+        strategy.workers(),
+        strategy.partition,
+        |_| Local {
+            out: Vec::new(),
+            stats: WorkerStats::default(),
+            counter: AnyCounter::new(strategy.counter, m),
+        },
+        |i, local: &mut Local| {
+            if strategy.degree_pruning && (h.edge_size(i) as u32) < s {
+                return;
+            }
+            local.stats.edges_processed += 1;
+            for &v in h.edge_vertices(i) {
+                for &j in wedge_targets(h.vertex_edges(v), i, strategy.triangle) {
+                    local.counter.bump(j);
+                    local.stats.wedge_visits += 1;
+                }
+            }
+            let before = local.out.len();
+            local.counter.drain_weighted(i, s, &mut local.out);
+            for p in &mut local.out[before..] {
+                if p.0 > p.1 {
+                    *p = (p.1, p.0, p.2);
+                }
+            }
+        },
+    );
+    let mut edges = Vec::new();
+    let mut per_worker = Vec::new();
+    for mut l in locals {
+        l.stats.edges_emitted = l.out.len() as u64;
+        edges.append(&mut l.out);
+        per_worker.push(l.stats);
+    }
+    edges.sort_unstable();
+    (edges, AlgoStats::new(per_worker))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterKind;
+    use crate::partition::Partition;
+    use rand::prelude::*;
+
+    fn paper_h() -> Hypergraph {
+        Hypergraph::paper_example()
+    }
+
+    /// Expected s-line graphs of the paper's Figure 2.
+    fn paper_expected(s: u32) -> Vec<(u32, u32)> {
+        match s {
+            1 => vec![(0, 1), (0, 2), (1, 2), (2, 3)],
+            2 => vec![(0, 1), (0, 2), (1, 2)],
+            3 => vec![(0, 2), (1, 2)],
+            4 => vec![],
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn paper_figure2_all_algorithms() {
+        let h = paper_h();
+        let st = Strategy::default();
+        for s in 1..=4u32 {
+            let expect = paper_expected(s);
+            assert_eq!(naive_slinegraph(&h, s, &st).edges, expect, "naive s={s}");
+            assert_eq!(algo1_slinegraph(&h, s, &st).edges, expect, "algo1 s={s}");
+            assert_eq!(algo2_slinegraph(&h, s, &st).edges, expect, "algo2 s={s}");
+        }
+    }
+
+    #[test]
+    fn algo2_performs_zero_set_intersections() {
+        let h = paper_h();
+        let r = algo2_slinegraph(&h, 2, &Strategy::default());
+        assert_eq!(r.stats.total().set_intersections, 0);
+        let r1 = algo1_slinegraph(&h, 2, &Strategy::default());
+        assert!(r1.stats.total().set_intersections > 0);
+    }
+
+    #[test]
+    fn weighted_emits_overlap_counts() {
+        let h = paper_h();
+        let (edges, _) = algo2_slinegraph_weighted(&h, 1, &Strategy::default());
+        // inc values from the example: (0,1)=2, (0,2)=3, (1,2)=3, (2,3)=1
+        assert_eq!(edges, vec![(0, 1, 2), (0, 2, 3), (1, 2, 3), (2, 3, 1)]);
+    }
+
+    fn random_hypergraph(rng: &mut StdRng) -> Hypergraph {
+        let n = rng.gen_range(1..40usize);
+        let m = rng.gen_range(1..60usize);
+        let lists: Vec<Vec<u32>> = (0..m)
+            .map(|_| {
+                let k = rng.gen_range(0..=n.min(12));
+                let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        Hypergraph::from_edge_lists(&lists, n)
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let h = random_hypergraph(&mut rng);
+            let s = rng.gen_range(1..6u32);
+            let st = Strategy::default();
+            let expect = naive_slinegraph(&h, s, &st).edges;
+            assert_eq!(algo1_slinegraph(&h, s, &st).edges, expect, "algo1 s={s}");
+            assert_eq!(algo2_slinegraph(&h, s, &st).edges, expect, "algo2 s={s}");
+        }
+    }
+
+    #[test]
+    fn partitions_and_counters_agree() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let h = random_hypergraph(&mut rng);
+        let s = 2;
+        let reference = algo2_slinegraph(&h, s, &Strategy::default()).edges;
+        for partition in [Partition::Blocked, Partition::Cyclic, Partition::Dynamic { chunk: 4 }] {
+            for counter in CounterKind::ALL {
+                for workers in [1usize, 2, 7] {
+                    let st = Strategy::default()
+                        .with_partition(partition)
+                        .with_counter(counter)
+                        .with_workers(workers);
+                    assert_eq!(
+                        algo2_slinegraph(&h, s, &st).edges,
+                        reference,
+                        "{partition:?} {counter:?} w={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(79);
+        for _ in 0..10 {
+            let h = random_hypergraph(&mut rng);
+            let s = rng.gen_range(2..5u32);
+            let pruned = Strategy::default();
+            let unpruned = Strategy::default().with_pruning(false);
+            assert_eq!(
+                algo2_slinegraph(&h, s, &pruned).edges,
+                algo2_slinegraph(&h, s, &unpruned).edges
+            );
+            assert_eq!(
+                algo1_slinegraph(&h, s, &pruned).edges,
+                algo1_slinegraph(&h, s, &unpruned).edges
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        // One big edge, many small ones: at s=3 the small edges are pruned.
+        let mut lists = vec![vec![0u32, 1, 2, 3, 4]];
+        for i in 0..20u32 {
+            lists.push(vec![i % 5, (i + 1) % 5]);
+        }
+        let h = Hypergraph::from_edge_lists(&lists, 5);
+        let with = algo2_slinegraph(&h, 3, &Strategy::default());
+        let without = algo2_slinegraph(&h, 3, &Strategy::default().with_pruning(false));
+        assert_eq!(with.edges, without.edges);
+        assert!(
+            with.stats.total().edges_processed < without.stats.total().edges_processed,
+            "pruning should skip small edges"
+        );
+    }
+
+    #[test]
+    fn edges_are_upper_triangular_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let h = random_hypergraph(&mut rng);
+        let r = algo2_slinegraph(&h, 1, &Strategy::default());
+        for w in r.edges.windows(2) {
+            assert!(w[0] < w[1], "sorted");
+        }
+        for &(i, j) in &r.edges {
+            assert!(i < j, "upper triangular");
+        }
+    }
+
+    #[test]
+    fn lower_triangle_matches_upper() {
+        use crate::strategy::TriangleSide;
+        let mut rng = StdRng::seed_from_u64(90);
+        for _ in 0..15 {
+            let h = random_hypergraph(&mut rng);
+            let s = rng.gen_range(1..5u32);
+            let upper = Strategy::default();
+            let lower = Strategy::default().with_triangle(TriangleSide::Lower);
+            let expect = algo2_slinegraph(&h, s, &upper).edges;
+            assert_eq!(algo2_slinegraph(&h, s, &lower).edges, expect, "algo2 s={s}");
+            assert_eq!(algo1_slinegraph(&h, s, &lower).edges, expect, "algo1 s={s}");
+        }
+    }
+
+    #[test]
+    fn lower_triangle_weighted_matches() {
+        use crate::strategy::TriangleSide;
+        let h = paper_h();
+        let upper = algo2_slinegraph_weighted(&h, 1, &Strategy::default()).0;
+        let lower = algo2_slinegraph_weighted(
+            &h,
+            1,
+            &Strategy::default().with_triangle(TriangleSide::Lower),
+        )
+        .0;
+        assert_eq!(upper, lower);
+    }
+
+    #[test]
+    fn algo1_heuristics_off_still_exact() {
+        use crate::strategy::Algo1Heuristics;
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..10 {
+            let h = random_hypergraph(&mut rng);
+            let s = rng.gen_range(1..5u32);
+            let expect = algo1_slinegraph(&h, s, &Strategy::default()).edges;
+            for skip_visited in [false, true] {
+                for short_circuit in [false, true] {
+                    let st = Strategy::default()
+                        .with_algo1_heuristics(Algo1Heuristics { skip_visited, short_circuit });
+                    assert_eq!(
+                        algo1_slinegraph(&h, s, &st).edges,
+                        expect,
+                        "skip={skip_visited} sc={short_circuit} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_visited_reduces_intersections() {
+        use crate::strategy::Algo1Heuristics;
+        let h = paper_h();
+        let on = algo1_slinegraph(&h, 2, &Strategy::default());
+        let off = algo1_slinegraph(
+            &h,
+            2,
+            &Strategy::default().with_algo1_heuristics(Algo1Heuristics {
+                skip_visited: false,
+                short_circuit: true,
+            }),
+        );
+        assert_eq!(on.edges, off.edges);
+        assert!(
+            on.stats.total().set_intersections < off.stats.total().set_intersections,
+            "visited-skipping must save intersections"
+        );
+    }
+
+    #[test]
+    fn s_zero_rejected() {
+        let h = paper_h();
+        let result = std::panic::catch_unwind(|| {
+            algo2_slinegraph(&h, 0, &Strategy::default())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_edge_lists(&[], 0);
+        let r = algo2_slinegraph(&h, 1, &Strategy::default());
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_fully_overlap() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2], vec![0, 1, 2]], 3);
+        let r = algo2_slinegraph(&h, 3, &Strategy::default());
+        assert_eq!(r.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn emitted_counts_match_output() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let h = random_hypergraph(&mut rng);
+        let r = algo2_slinegraph(&h, 1, &Strategy::default());
+        assert_eq!(r.stats.total().edges_emitted as usize, r.edges.len());
+    }
+}

@@ -1,0 +1,343 @@
+//! Overlap-count accumulators — the paper's "main performance criterion"
+//! data structure (§III-F).
+//!
+//! Algorithm 2 maintains, per source hyperedge `e_i`, a running count of
+//! shared vertices with every 2-hop neighbor `e_j`. The paper discusses
+//! the trade-off between *dynamically allocated* hashmaps (fresh per
+//! iteration; wins on sparse-overlap inputs) and *pre-allocated
+//! thread-local* storage (reset between iterations; wins on dense-overlap
+//! inputs like Web). Both appear here, plus a dense-array counter with a
+//! touched list, so the choice is measurable (`benches/counter_ablation`).
+
+use hyperline_util::fxhash::FxHashMap;
+
+/// Accumulates counts for one source edge at a time.
+///
+/// Usage per source edge `i`: any number of [`OverlapCounter::bump`]
+/// calls, then one [`OverlapCounter::drain`], which emits the pairs with
+/// count ≥ `s` and resets the counter for the next source edge.
+pub trait OverlapCounter {
+    /// Increments the overlap count of 2-hop neighbor `j`.
+    fn bump(&mut self, j: u32);
+
+    /// Emits `(i, j)` for every `j` with count ≥ `s`, then resets.
+    fn drain(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32)>);
+
+    /// Like [`OverlapCounter::drain`] but also reports the count (the
+    /// s-line-graph edge weight, `inc(e_i, e_j)`).
+    fn drain_weighted(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32, u32)>);
+
+    /// Visits all `(j, count)` pairs, then resets (ensemble Algorithm 3
+    /// stores the raw counts rather than filtering).
+    fn drain_counts(&mut self, out: &mut Vec<(u32, u32)>);
+}
+
+/// Which counter implementation an algorithm run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CounterKind {
+    /// A fresh hashmap is allocated for every source hyperedge and dropped
+    /// after its drain — the paper's default for most datasets.
+    #[default]
+    DynamicMap,
+    /// One thread-local hashmap, cleared (capacity kept) between source
+    /// hyperedges — the paper's pre-allocated TLS choice for dense inputs.
+    ReusedMap,
+    /// A dense `u32` array indexed by hyperedge ID with a touched list —
+    /// O(1) bumps with no hashing at the cost of O(m) memory per worker.
+    DenseArray,
+}
+
+impl CounterKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [CounterKind; 3] =
+        [CounterKind::DynamicMap, CounterKind::ReusedMap, CounterKind::DenseArray];
+
+    /// Short label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterKind::DynamicMap => "dynamic-map",
+            CounterKind::ReusedMap => "reused-map",
+            CounterKind::DenseArray => "dense-array",
+        }
+    }
+}
+
+/// Fresh hashmap per source edge (see [`CounterKind::DynamicMap`]).
+#[derive(Debug, Default)]
+pub struct DynamicMapCounter {
+    map: FxHashMap<u32, u32>,
+}
+
+impl DynamicMapCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OverlapCounter for DynamicMapCounter {
+    #[inline]
+    fn bump(&mut self, j: u32) {
+        *self.map.entry(j).or_insert(0) += 1;
+    }
+
+    fn drain(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32)>) {
+        for (&j, &n) in &self.map {
+            if n >= s {
+                out.push((i, j));
+            }
+        }
+        // Dynamic semantics: drop the allocation, start fresh.
+        self.map = FxHashMap::default();
+    }
+
+    fn drain_weighted(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32, u32)>) {
+        for (&j, &n) in &self.map {
+            if n >= s {
+                out.push((i, j, n));
+            }
+        }
+        self.map = FxHashMap::default();
+    }
+
+    fn drain_counts(&mut self, out: &mut Vec<(u32, u32)>) {
+        out.extend(self.map.iter().map(|(&j, &n)| (j, n)));
+        self.map = FxHashMap::default();
+    }
+}
+
+/// One reused hashmap, cleared between source edges (see
+/// [`CounterKind::ReusedMap`]).
+#[derive(Debug, Default)]
+pub struct ReusedMapCounter {
+    map: FxHashMap<u32, u32>,
+}
+
+impl ReusedMapCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OverlapCounter for ReusedMapCounter {
+    #[inline]
+    fn bump(&mut self, j: u32) {
+        *self.map.entry(j).or_insert(0) += 1;
+    }
+
+    fn drain(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32)>) {
+        for (&j, &n) in &self.map {
+            if n >= s {
+                out.push((i, j));
+            }
+        }
+        self.map.clear();
+    }
+
+    fn drain_weighted(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32, u32)>) {
+        for (&j, &n) in &self.map {
+            if n >= s {
+                out.push((i, j, n));
+            }
+        }
+        self.map.clear();
+    }
+
+    fn drain_counts(&mut self, out: &mut Vec<(u32, u32)>) {
+        out.extend(self.map.iter().map(|(&j, &n)| (j, n)));
+        self.map.clear();
+    }
+}
+
+/// Dense array + touched list (see [`CounterKind::DenseArray`]).
+#[derive(Debug)]
+pub struct DenseArrayCounter {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl DenseArrayCounter {
+    /// Creates a counter over hyperedge IDs `0..num_edges`.
+    pub fn new(num_edges: usize) -> Self {
+        Self { counts: vec![0; num_edges], touched: Vec::new() }
+    }
+}
+
+impl OverlapCounter for DenseArrayCounter {
+    #[inline]
+    fn bump(&mut self, j: u32) {
+        let slot = &mut self.counts[j as usize];
+        if *slot == 0 {
+            self.touched.push(j);
+        }
+        *slot += 1;
+    }
+
+    fn drain(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32)>) {
+        for &j in &self.touched {
+            if self.counts[j as usize] >= s {
+                out.push((i, j));
+            }
+            self.counts[j as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    fn drain_weighted(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32, u32)>) {
+        for &j in &self.touched {
+            let n = self.counts[j as usize];
+            if n >= s {
+                out.push((i, j, n));
+            }
+            self.counts[j as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    fn drain_counts(&mut self, out: &mut Vec<(u32, u32)>) {
+        for &j in &self.touched {
+            out.push((j, self.counts[j as usize]));
+            self.counts[j as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Runtime-dispatched counter for the strategy sweeps.
+#[derive(Debug)]
+pub enum AnyCounter {
+    /// See [`DynamicMapCounter`].
+    Dynamic(DynamicMapCounter),
+    /// See [`ReusedMapCounter`].
+    Reused(ReusedMapCounter),
+    /// See [`DenseArrayCounter`].
+    Dense(DenseArrayCounter),
+}
+
+impl AnyCounter {
+    /// Builds the counter selected by `kind` for a hypergraph with
+    /// `num_edges` hyperedges.
+    pub fn new(kind: CounterKind, num_edges: usize) -> Self {
+        match kind {
+            CounterKind::DynamicMap => AnyCounter::Dynamic(DynamicMapCounter::new()),
+            CounterKind::ReusedMap => AnyCounter::Reused(ReusedMapCounter::new()),
+            CounterKind::DenseArray => AnyCounter::Dense(DenseArrayCounter::new(num_edges)),
+        }
+    }
+}
+
+impl OverlapCounter for AnyCounter {
+    #[inline]
+    fn bump(&mut self, j: u32) {
+        match self {
+            AnyCounter::Dynamic(c) => c.bump(j),
+            AnyCounter::Reused(c) => c.bump(j),
+            AnyCounter::Dense(c) => c.bump(j),
+        }
+    }
+
+    fn drain(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32)>) {
+        match self {
+            AnyCounter::Dynamic(c) => c.drain(i, s, out),
+            AnyCounter::Reused(c) => c.drain(i, s, out),
+            AnyCounter::Dense(c) => c.drain(i, s, out),
+        }
+    }
+
+    fn drain_weighted(&mut self, i: u32, s: u32, out: &mut Vec<(u32, u32, u32)>) {
+        match self {
+            AnyCounter::Dynamic(c) => c.drain_weighted(i, s, out),
+            AnyCounter::Reused(c) => c.drain_weighted(i, s, out),
+            AnyCounter::Dense(c) => c.drain_weighted(i, s, out),
+        }
+    }
+
+    fn drain_counts(&mut self, out: &mut Vec<(u32, u32)>) {
+        match self {
+            AnyCounter::Dynamic(c) => c.drain_counts(out),
+            AnyCounter::Reused(c) => c.drain_counts(out),
+            AnyCounter::Dense(c) => c.drain_counts(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(counter: &mut dyn OverlapCounter) {
+        // Source edge 7 sees: j=3 twice, j=5 once, j=9 three times.
+        for j in [3u32, 5, 9, 3, 9, 9] {
+            counter.bump(j);
+        }
+        let mut out = Vec::new();
+        counter.drain(7, 2, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(7, 3), (7, 9)]);
+
+        // Counter must be reset now.
+        counter.bump(3);
+        let mut out = Vec::new();
+        counter.drain(8, 1, &mut out);
+        assert_eq!(out, vec![(8, 3)]);
+
+        // Weighted drain.
+        for j in [4u32, 4, 4, 6] {
+            counter.bump(j);
+        }
+        let mut out = Vec::new();
+        counter.drain_weighted(1, 2, &mut out);
+        assert_eq!(out, vec![(1, 4, 3)]);
+
+        // Raw counts drain.
+        for j in [2u32, 2, 0] {
+            counter.bump(j);
+        }
+        let mut out = Vec::new();
+        counter.drain_counts(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn dynamic_map_counter() {
+        exercise(&mut DynamicMapCounter::new());
+    }
+
+    #[test]
+    fn reused_map_counter() {
+        exercise(&mut ReusedMapCounter::new());
+    }
+
+    #[test]
+    fn dense_array_counter() {
+        exercise(&mut DenseArrayCounter::new(10));
+    }
+
+    #[test]
+    fn any_counter_all_kinds() {
+        for kind in CounterKind::ALL {
+            exercise(&mut AnyCounter::new(kind, 10));
+        }
+    }
+
+    #[test]
+    fn drain_with_high_s_emits_nothing() {
+        for kind in CounterKind::ALL {
+            let mut c = AnyCounter::new(kind, 4);
+            c.bump(1);
+            c.bump(1);
+            let mut out = Vec::new();
+            c.drain(0, 3, &mut out);
+            assert!(out.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<&str> =
+            CounterKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

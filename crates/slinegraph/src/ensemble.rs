@@ -1,0 +1,213 @@
+//! Algorithm 3: computing an ensemble of s-line graphs in one traversal.
+//!
+//! Ensemble analyses (the paper's §V-B sweeps s = 1..16) would otherwise
+//! re-run Algorithm 2 once per `s`. Algorithm 3 decouples counting from
+//! filtration: one parallel counting pass stores every pair's overlap
+//! count, then each requested `s` filters the stored counts in parallel.
+//! The cost is memory proportional to the number of 1-overlapping pairs —
+//! the paper reports this OOMs on large inputs, which is reproducible
+//! here by feeding it a large profile (see `ensemble` benches).
+
+use crate::counter::{AnyCounter, OverlapCounter};
+use crate::partition::execute;
+use crate::stats::{AlgoStats, WorkerStats};
+use crate::strategy::Strategy;
+use hyperline_hypergraph::Hypergraph;
+use rayon::prelude::*;
+
+/// Result of an ensemble run: one edge list per requested `s`, in input
+/// order, plus counting-phase statistics.
+#[derive(Debug, Clone)]
+pub struct EnsembleResult {
+    /// `(s, edges)` pairs, edges sorted ascending with `i < j`.
+    pub per_s: Vec<(u32, Vec<(u32, u32)>)>,
+    /// Work counters from the counting phase.
+    pub stats: AlgoStats,
+    /// Number of stored overlap pairs (the memory footprint driver).
+    pub stored_pairs: usize,
+}
+
+/// Computes the s-line graphs for every `s` in `s_values` with a single
+/// overlap-counting pass (Algorithm 3).
+///
+/// Degree pruning uses the *smallest* requested `s` during counting; each
+/// filtration step then applies its own `s` exactly.
+///
+/// # Panics
+/// Panics if `s_values` is empty or contains 0.
+pub fn ensemble_slinegraphs(
+    h: &Hypergraph,
+    s_values: &[u32],
+    strategy: &Strategy,
+) -> EnsembleResult {
+    assert!(!s_values.is_empty(), "need at least one s value");
+    assert!(s_values.iter().all(|&s| s >= 1), "s must be at least 1");
+    let s_min = *s_values.iter().min().unwrap();
+    let m = h.num_edges();
+
+    struct Local {
+        /// Flat `(i, j, count)` triples for pairs with count ≥ 1.
+        triples: Vec<(u32, u32, u32)>,
+        scratch: Vec<(u32, u32)>,
+        stats: WorkerStats,
+        counter: AnyCounter,
+    }
+
+    // Phase 1: counting (parallel over source edges).
+    let locals = execute(
+        m,
+        strategy.workers(),
+        strategy.partition,
+        |_| Local {
+            triples: Vec::new(),
+            scratch: Vec::new(),
+            stats: WorkerStats::default(),
+            counter: AnyCounter::new(strategy.counter, m),
+        },
+        |i, local: &mut Local| {
+            if strategy.degree_pruning && (h.edge_size(i) as u32) < s_min {
+                return;
+            }
+            local.stats.edges_processed += 1;
+            for &v in h.edge_vertices(i) {
+                for &j in crate::algorithms::wedge_targets(
+                    h.vertex_edges(v),
+                    i,
+                    strategy.triangle,
+                ) {
+                    local.counter.bump(j);
+                    local.stats.wedge_visits += 1;
+                }
+            }
+            local.scratch.clear();
+            local.counter.drain_counts(&mut local.scratch);
+            for &(j, n) in local.scratch.iter() {
+                // Store normalized (min, max) regardless of triangle side.
+                local.triples.push(if i < j { (i, j, n) } else { (j, i, n) });
+            }
+        },
+    );
+
+    let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+    let mut per_worker = Vec::with_capacity(locals.len());
+    for mut l in locals {
+        triples.append(&mut l.triples);
+        per_worker.push(l.stats);
+    }
+    let stored_pairs = triples.len();
+
+    // Phase 2: per-s filtration, parallel over the requested s values.
+    let per_s: Vec<(u32, Vec<(u32, u32)>)> = s_values
+        .par_iter()
+        .map(|&s| {
+            let mut edges: Vec<(u32, u32)> = triples
+                .iter()
+                .filter(|&&(_, _, n)| n >= s)
+                .map(|&(i, j, _)| (i, j))
+                .collect();
+            edges.sort_unstable();
+            (s, edges)
+        })
+        .collect();
+
+    EnsembleResult { per_s, stats: AlgoStats::new(per_worker), stored_pairs }
+}
+
+/// Convenience: number of s-line-graph edges for each `s` in a range —
+/// the quantity plotted (log-log) in the paper's Figure 4.
+pub fn edge_counts_over_s(h: &Hypergraph, s_values: &[u32], strategy: &Strategy) -> Vec<(u32, usize)> {
+    ensemble_slinegraphs(h, s_values, strategy)
+        .per_s
+        .into_iter()
+        .map(|(s, edges)| (s, edges.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::algo2_slinegraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn matches_repeated_algo2_on_paper_example() {
+        let h = Hypergraph::paper_example();
+        let st = Strategy::default();
+        let s_values = [1u32, 2, 3, 4];
+        let ens = ensemble_slinegraphs(&h, &s_values, &st);
+        assert_eq!(ens.per_s.len(), 4);
+        for (s, edges) in &ens.per_s {
+            let single = algo2_slinegraph(&h, *s, &st);
+            assert_eq!(edges, &single.edges, "s={s}");
+        }
+    }
+
+    #[test]
+    fn matches_repeated_algo2_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..30usize);
+            let m = rng.gen_range(1..50usize);
+            let lists: Vec<Vec<u32>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(0..=n.min(10));
+                    let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let h = Hypergraph::from_edge_lists(&lists, n);
+            let s_values = [1u32, 2, 3, 5];
+            let st = Strategy::default();
+            let ens = ensemble_slinegraphs(&h, &s_values, &st);
+            for (s, edges) in &ens.per_s {
+                assert_eq!(edges, &algo2_slinegraph(&h, *s, &st).edges, "s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_preserves_s_order_and_counts_decrease() {
+        let h = Hypergraph::paper_example();
+        let counts = edge_counts_over_s(&h, &[1, 2, 3, 4], &Strategy::default());
+        assert_eq!(counts.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1, "edge counts must be non-increasing in s");
+        }
+        assert_eq!(counts[0].1, 4);
+        assert_eq!(counts[3].1, 0);
+    }
+
+    #[test]
+    fn stored_pairs_counts_one_overlaps() {
+        let h = Hypergraph::paper_example();
+        // Pairs with >= 1 common vertex: (0,1),(0,2),(1,2),(2,3) = 4.
+        let ens = ensemble_slinegraphs(&h, &[2], &Strategy::default());
+        assert_eq!(ens.stored_pairs, 4);
+    }
+
+    #[test]
+    fn pruning_by_smallest_s() {
+        // With s_values = [3, 4], edges smaller than 3 are pruned at the
+        // counting phase but results stay exact.
+        let h = Hypergraph::paper_example();
+        let st = Strategy::default();
+        let ens = ensemble_slinegraphs(&h, &[3, 4], &st);
+        assert_eq!(ens.per_s[0].1, algo2_slinegraph(&h, 3, &st).edges);
+        assert_eq!(ens.per_s[1].1, algo2_slinegraph(&h, 4, &st).edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one s value")]
+    fn rejects_empty_s_list() {
+        ensemble_slinegraphs(&Hypergraph::paper_example(), &[], &Strategy::default());
+    }
+
+    #[test]
+    fn no_set_intersections_in_ensemble() {
+        let h = Hypergraph::paper_example();
+        let ens = ensemble_slinegraphs(&h, &[1, 2], &Strategy::default());
+        assert_eq!(ens.stats.total().set_intersections, 0);
+    }
+}

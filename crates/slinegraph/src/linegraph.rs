@@ -1,0 +1,251 @@
+//! The s-line graph as a queryable object (Stages 4–5).
+//!
+//! After the overlap stage produces an edge list over hyperedge IDs, the
+//! ID space is usually hypersparse (most hyperedges have no s-deep
+//! neighbor). [`SLineGraph`] squeezes the surviving IDs, builds a CSR
+//! graph on the dense space, and exposes the Stage-5 metrics with results
+//! reported against **original** hyperedge IDs.
+
+use hyperline_graph::{
+    betweenness, cc,
+    graph::Graph,
+    spectral::{self, SpectralOptions},
+};
+use hyperline_util::IdSqueezer;
+
+/// A constructed s-line graph `L_s(H)`.
+#[derive(Debug, Clone)]
+pub struct SLineGraph {
+    /// The `s` this graph was filtered at.
+    pub s: u32,
+    /// Size of the original hyperedge ID space.
+    pub num_hyperedges: usize,
+    /// Edges on original hyperedge IDs (`i < j`, sorted).
+    pub edges: Vec<(u32, u32)>,
+    /// Present when IDs were squeezed (Stage 4).
+    squeezer: Option<IdSqueezer>,
+    /// CSR graph on squeezed IDs (or original IDs when not squeezed).
+    graph: Graph,
+}
+
+impl SLineGraph {
+    /// Builds with ID squeezing (Stage 4): the graph's vertex set is the
+    /// set of hyperedges incident to at least one s-line edge.
+    pub fn new_squeezed(s: u32, num_hyperedges: usize, edges: Vec<(u32, u32)>) -> Self {
+        let squeezer = IdSqueezer::from_edges(&edges);
+        let mut squeezed = edges.clone();
+        squeezer.squeeze_edges(&mut squeezed);
+        let graph = Graph::from_edges(squeezer.len(), &squeezed);
+        Self { s, num_hyperedges, edges, squeezer: Some(squeezer), graph }
+    }
+
+    /// Builds without squeezing: the graph keeps the full hyperedge ID
+    /// space (hypersparse; wasteful for large `m`, as the paper notes).
+    pub fn new_unsqueezed(s: u32, num_hyperedges: usize, edges: Vec<(u32, u32)>) -> Self {
+        let graph = Graph::from_edges(num_hyperedges, &edges);
+        Self { s, num_hyperedges, edges, squeezer: None, graph }
+    }
+
+    /// The underlying CSR graph (on squeezed IDs if squeezed).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether Stage 4 squeezing was applied.
+    pub fn is_squeezed(&self) -> bool {
+        self.squeezer.is_some()
+    }
+
+    /// Number of graph vertices (squeezed count, or `num_hyperedges`).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of s-line-graph edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Maps a graph vertex back to its original hyperedge ID.
+    pub fn original_id(&self, graph_vertex: u32) -> u32 {
+        match &self.squeezer {
+            Some(sq) => sq.unsqueeze(graph_vertex),
+            None => graph_vertex,
+        }
+    }
+
+    /// Maps an original hyperedge ID to its graph vertex, if present.
+    pub fn graph_vertex(&self, original: u32) -> Option<u32> {
+        match &self.squeezer {
+            Some(sq) => sq.squeeze(original),
+            None => ((original as usize) < self.num_hyperedges).then_some(original),
+        }
+    }
+
+    /// s-connected components (Stage 5), as sets of **original** hyperedge
+    /// IDs, largest first. Hyperedges with no s-line edges form singleton
+    /// components only in the unsqueezed view and are omitted here.
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let labels = cc::components_bfs(&self.graph);
+        cc::components_as_sets(&labels)
+            .into_iter()
+            .map(|comp| comp.into_iter().map(|v| self.original_id(v)).collect())
+            .filter(|comp: &Vec<u32>| {
+                // In the unsqueezed view, drop isolated vertices to match
+                // the squeezed semantics.
+                self.is_squeezed() || comp.len() > 1 || {
+                    let v = comp[0];
+                    self.graph.degree(v) > 0
+                }
+            })
+            .collect()
+    }
+
+    /// s-betweenness centrality (Stage 5): `(original hyperedge ID,
+    /// score)`, sorted by descending score. Scores are normalized to
+    /// `[0, 1]` over the squeezed vertex set.
+    pub fn betweenness(&self) -> Vec<(u32, f64)> {
+        let mut scores = betweenness::betweenness_parallel(&self.graph);
+        betweenness::normalize(&mut scores);
+        let mut out: Vec<(u32, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(v, score)| (self.original_id(v as u32), score))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// s-distance between two hyperedges (original IDs): length of the
+    /// shortest s-walk, `None` if not s-connected (or either hyperedge
+    /// has no s-line edges).
+    pub fn s_distance(&self, e: u32, f: u32) -> Option<u32> {
+        let (ge, gf) = (self.graph_vertex(e)?, self.graph_vertex(f)?);
+        hyperline_graph::bfs::distance(&self.graph, ge, gf)
+    }
+
+    /// Normalized algebraic connectivity of the largest component
+    /// (Figure 6's y-axis).
+    pub fn algebraic_connectivity(&self) -> f64 {
+        spectral::normalized_algebraic_connectivity(&self.graph, SpectralOptions::default())
+    }
+
+    /// s-harmonic-closeness centrality: `(original hyperedge ID, score)`,
+    /// sorted by descending score.
+    pub fn closeness(&self) -> Vec<(u32, f64)> {
+        let scores = hyperline_graph::closeness::harmonic_closeness(&self.graph);
+        let mut out: Vec<(u32, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(v, score)| (self.original_id(v as u32), score))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// s-diameter: the largest finite s-distance between any two
+    /// s-connected hyperedges (0 for empty line graphs).
+    pub fn s_diameter(&self) -> u32 {
+        hyperline_graph::bfs::diameter(&self.graph)
+    }
+
+    /// Average local clustering coefficient of the s-line graph.
+    pub fn average_clustering(&self) -> f64 {
+        hyperline_graph::closeness::average_clustering(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// s = 2 line graph of the paper example: triangle on edges {0,1,2};
+    /// hyperedge 3 is isolated.
+    fn paper_s2() -> Vec<(u32, u32)> {
+        vec![(0, 1), (0, 2), (1, 2)]
+    }
+
+    #[test]
+    fn squeezed_compacts_ids() {
+        // Use IDs far apart to exercise squeezing.
+        let edges = vec![(5u32, 900u32), (900, 2000), (5, 2000)];
+        let slg = SLineGraph::new_squeezed(2, 3000, edges.clone());
+        assert_eq!(slg.num_vertices(), 3);
+        assert_eq!(slg.num_edges(), 3);
+        assert!(slg.is_squeezed());
+        assert_eq!(slg.original_id(0), 5);
+        assert_eq!(slg.graph_vertex(900), Some(1));
+        assert_eq!(slg.graph_vertex(7), None);
+        assert_eq!(slg.edges, edges);
+    }
+
+    #[test]
+    fn unsqueezed_keeps_full_space() {
+        let slg = SLineGraph::new_unsqueezed(2, 4, paper_s2());
+        assert_eq!(slg.num_vertices(), 4);
+        assert!(!slg.is_squeezed());
+        assert_eq!(slg.graph_vertex(3), Some(3));
+        assert_eq!(slg.original_id(3), 3);
+    }
+
+    #[test]
+    fn components_report_original_ids() {
+        let slg = SLineGraph::new_squeezed(2, 4, paper_s2());
+        let comps = slg.connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+        // Unsqueezed drops the isolated hyperedge 3 as well.
+        let slg = SLineGraph::new_unsqueezed(2, 4, paper_s2());
+        assert_eq!(slg.connected_components(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn betweenness_on_path() {
+        // Path 10-20-30 in original IDs: 20 is the center.
+        let slg = SLineGraph::new_squeezed(1, 100, vec![(10, 20), (20, 30)]);
+        let bc = slg.betweenness();
+        assert_eq!(bc[0].0, 20);
+        assert!(bc[0].1 > 0.0);
+        assert_eq!(bc[1].1, 0.0);
+    }
+
+    #[test]
+    fn s_distance_through_squeezed_ids() {
+        let slg = SLineGraph::new_squeezed(1, 100, vec![(10, 20), (20, 30)]);
+        assert_eq!(slg.s_distance(10, 30), Some(2));
+        assert_eq!(slg.s_distance(10, 10), Some(0));
+        assert_eq!(slg.s_distance(10, 99), None, "99 has no s-line edges");
+    }
+
+    #[test]
+    fn algebraic_connectivity_of_triangle() {
+        let slg = SLineGraph::new_squeezed(2, 4, paper_s2());
+        // K3: λ₂ of normalized Laplacian = 3/2.
+        assert!((slg.algebraic_connectivity() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_line_graph() {
+        let slg = SLineGraph::new_squeezed(4, 4, vec![]);
+        assert_eq!(slg.num_vertices(), 0);
+        assert!(slg.connected_components().is_empty());
+        assert_eq!(slg.algebraic_connectivity(), 0.0);
+        assert_eq!(slg.s_diameter(), 0);
+        assert_eq!(slg.average_clustering(), 0.0);
+    }
+
+    #[test]
+    fn closeness_and_diameter() {
+        // Path 10-20-30-40: diameter 3; 20/30 most central.
+        let slg = SLineGraph::new_squeezed(1, 100, vec![(10, 20), (20, 30), (30, 40)]);
+        assert_eq!(slg.s_diameter(), 3);
+        let cl = slg.closeness();
+        assert!(cl[0].0 == 20 || cl[0].0 == 30);
+        assert!(cl[0].1 > cl[3].1);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let slg = SLineGraph::new_squeezed(2, 4, paper_s2());
+        assert!((slg.average_clustering() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! Workload partitioning strategies (§III-F, Table III).
+//!
+//! The paper distributes the outermost loop (over hyperedges) with either
+//! oneTBB's `blocked_range` or a custom cyclic range, on top of a
+//! work-stealing scheduler. We reproduce the same three shapes on rayon:
+//!
+//! * [`Partition::Blocked`] — worker `w` of `t` gets the contiguous block
+//!   `[w·m/t, (w+1)·m/t)`;
+//! * [`Partition::Cyclic`] — worker `w` gets `w, w+t, w+2t, …`;
+//! * [`Partition::Dynamic`] — workers claim fixed-size chunks from an
+//!   atomic cursor (work-stealing-style dynamic load balancing; the chunk
+//!   size is the paper's grainsize knob, ≤ 256 recommended).
+//!
+//! [`execute`] runs a per-item body under a chosen strategy and returns
+//! the per-worker local states, which is how the per-thread workload
+//! instrumentation of Figure 10 falls out for free.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How hyperedge indices are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// Contiguous static blocks, one per worker.
+    Blocked,
+    /// Strided (round-robin) static assignment.
+    Cyclic,
+    /// Dynamic chunk claiming from a shared atomic cursor.
+    Dynamic {
+        /// Items claimed per grab. The paper finds ≤ 256 performs well.
+        chunk: usize,
+    },
+}
+
+impl Partition {
+    /// One-letter code in the paper's Table III notation (`B`/`C`; the
+    /// dynamic mode, not part of the paper's grid, is `D`).
+    pub fn code(self) -> char {
+        match self {
+            Partition::Blocked => 'B',
+            Partition::Cyclic => 'C',
+            Partition::Dynamic { .. } => 'D',
+        }
+    }
+}
+
+/// Runs `body(item, local)` for every item in `0..num_items` across
+/// `num_workers` workers under the given partition strategy, returning
+/// each worker's final local state (index = worker ID).
+///
+/// `init(worker)` builds the local state; `body` must be safe to run
+/// concurrently for distinct items (it only mutates its local state).
+pub fn execute<T, I, F>(
+    num_items: usize,
+    num_workers: usize,
+    partition: Partition,
+    init: I,
+    body: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> T + Sync,
+    F: Fn(u32, &mut T) + Sync,
+{
+    let num_workers = num_workers.max(1);
+    let cursor = AtomicUsize::new(0);
+    (0..num_workers)
+        .into_par_iter()
+        .with_max_len(1) // one rayon task per worker
+        .map(|w| {
+            let mut local = init(w);
+            match partition {
+                Partition::Blocked => {
+                    let start = w * num_items / num_workers;
+                    let end = (w + 1) * num_items / num_workers;
+                    for i in start..end {
+                        body(i as u32, &mut local);
+                    }
+                }
+                Partition::Cyclic => {
+                    let mut i = w;
+                    while i < num_items {
+                        body(i as u32, &mut local);
+                        i += num_workers;
+                    }
+                }
+                Partition::Dynamic { chunk } => {
+                    let chunk = chunk.max(1);
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= num_items {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(num_items) {
+                            body(i as u32, &mut local);
+                        }
+                    }
+                }
+            }
+            local
+        })
+        .collect()
+}
+
+/// The indices worker `w` would process under a *static* partition
+/// (useful for tests and workload prediction). Dynamic partitions have no
+/// static assignment and return an empty vector.
+pub fn static_assignment(
+    num_items: usize,
+    num_workers: usize,
+    partition: Partition,
+    worker: usize,
+) -> Vec<u32> {
+    let num_workers = num_workers.max(1);
+    match partition {
+        Partition::Blocked => {
+            let start = worker * num_items / num_workers;
+            let end = (worker + 1) * num_items / num_workers;
+            (start as u32..end as u32).collect()
+        }
+        Partition::Cyclic => (worker..num_items)
+            .step_by(num_workers)
+            .map(|i| i as u32)
+            .collect(),
+        Partition::Dynamic { .. } => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn run_and_collect(partition: Partition, items: usize, workers: usize) -> Vec<Vec<u32>> {
+        execute(items, workers, partition, |_| Vec::new(), |i, local: &mut Vec<u32>| {
+            local.push(i)
+        })
+    }
+
+    fn all_items_once(locals: &[Vec<u32>], items: usize) {
+        let mut seen = HashSet::new();
+        for local in locals {
+            for &i in local {
+                assert!(seen.insert(i), "item {i} processed twice");
+            }
+        }
+        assert_eq!(seen.len(), items, "missing items");
+    }
+
+    #[test]
+    fn blocked_covers_all_items_contiguously() {
+        let locals = run_and_collect(Partition::Blocked, 103, 4);
+        all_items_once(&locals, 103);
+        for local in &locals {
+            for w in local.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "blocked assignment must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_covers_all_items_with_stride() {
+        let locals = run_and_collect(Partition::Cyclic, 50, 7);
+        all_items_once(&locals, 50);
+        for (w, local) in locals.iter().enumerate() {
+            for (k, &i) in local.iter().enumerate() {
+                assert_eq!(i as usize, w + k * 7);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_all_items() {
+        for chunk in [1usize, 3, 16, 1000] {
+            let locals = run_and_collect(Partition::Dynamic { chunk }, 257, 5);
+            all_items_once(&locals, 257);
+        }
+    }
+
+    #[test]
+    fn worker_count_edge_cases() {
+        // More workers than items.
+        let locals = run_and_collect(Partition::Blocked, 3, 10);
+        all_items_once(&locals, 3);
+        let locals = run_and_collect(Partition::Cyclic, 3, 10);
+        all_items_once(&locals, 3);
+        // Zero items.
+        let locals = run_and_collect(Partition::Cyclic, 0, 4);
+        assert!(locals.iter().all(Vec::is_empty));
+        // Zero workers clamps to one.
+        let locals = run_and_collect(Partition::Blocked, 5, 0);
+        all_items_once(&locals, 5);
+    }
+
+    #[test]
+    fn init_receives_worker_id() {
+        let locals = execute(0, 6, Partition::Blocked, |w| w, |_, _| {});
+        assert_eq!(locals, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn static_assignment_matches_execution() {
+        for partition in [Partition::Blocked, Partition::Cyclic] {
+            let locals = run_and_collect(partition, 41, 6);
+            for (w, local) in locals.iter().enumerate() {
+                assert_eq!(
+                    local,
+                    &static_assignment(41, 6, partition, w),
+                    "{partition:?} worker {w}"
+                );
+            }
+        }
+        assert!(static_assignment(41, 6, Partition::Dynamic { chunk: 8 }, 0).is_empty());
+    }
+
+    #[test]
+    fn codes() {
+        assert_eq!(Partition::Blocked.code(), 'B');
+        assert_eq!(Partition::Cyclic.code(), 'C');
+        assert_eq!(Partition::Dynamic { chunk: 256 }.code(), 'D');
+    }
+}

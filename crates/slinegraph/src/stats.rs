@@ -1,0 +1,102 @@
+//! Per-worker work counters.
+//!
+//! The paper instruments the number of hyperedges visited in the
+//! innermost loop per thread (Figure 10) and the total number of set
+//! intersections (Table I). Every algorithm here fills a [`WorkerStats`]
+//! per worker, so that data is a by-product of any run.
+
+use hyperline_util::stats::Summary;
+
+/// Work performed by one worker during the s-overlap stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Source hyperedges processed (outer-loop iterations after pruning).
+    pub edges_processed: u64,
+    /// Hyperedges visited in the innermost loop — the Figure 10 metric.
+    pub wedge_visits: u64,
+    /// Explicit set intersections performed (0 for Algorithm 2/3 —
+    /// the headline claim of Table I).
+    pub set_intersections: u64,
+    /// s-line-graph edges emitted by this worker.
+    pub edges_emitted: u64,
+}
+
+impl WorkerStats {
+    /// Adds another worker's counters into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.edges_processed += other.edges_processed;
+        self.wedge_visits += other.wedge_visits;
+        self.set_intersections += other.set_intersections;
+        self.edges_emitted += other.edges_emitted;
+    }
+}
+
+/// Aggregated per-worker statistics for one algorithm run.
+#[derive(Debug, Clone, Default)]
+pub struct AlgoStats {
+    /// One entry per worker, indexed by worker ID.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl AlgoStats {
+    /// Builds from per-worker stats.
+    pub fn new(per_worker: Vec<WorkerStats>) -> Self {
+        Self { per_worker }
+    }
+
+    /// Totals across all workers.
+    pub fn total(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for w in &self.per_worker {
+            t.merge(w);
+        }
+        t
+    }
+
+    /// Summary of per-worker innermost-loop visits (Figure 10's y-axis);
+    /// its `imbalance()` is max/mean load.
+    pub fn visit_summary(&self) -> Summary {
+        Summary::of(self.per_worker.iter().map(|w| w.wedge_visits as f64))
+    }
+
+    /// Per-worker innermost-loop visit counts.
+    pub fn visits_per_worker(&self) -> Vec<u64> {
+        self.per_worker.iter().map(|w| w.wedge_visits).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_total() {
+        let a = WorkerStats { edges_processed: 1, wedge_visits: 10, set_intersections: 2, edges_emitted: 3 };
+        let b = WorkerStats { edges_processed: 4, wedge_visits: 30, set_intersections: 0, edges_emitted: 1 };
+        let stats = AlgoStats::new(vec![a, b]);
+        let t = stats.total();
+        assert_eq!(t.edges_processed, 5);
+        assert_eq!(t.wedge_visits, 40);
+        assert_eq!(t.set_intersections, 2);
+        assert_eq!(t.edges_emitted, 4);
+    }
+
+    #[test]
+    fn visit_summary_imbalance() {
+        let stats = AlgoStats::new(vec![
+            WorkerStats { wedge_visits: 10, ..Default::default() },
+            WorkerStats { wedge_visits: 30, ..Default::default() },
+        ]);
+        let s = stats.visit_summary();
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.imbalance(), 1.5);
+        assert_eq!(stats.visits_per_worker(), vec![10, 30]);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = AlgoStats::default();
+        assert_eq!(stats.total(), WorkerStats::default());
+        assert_eq!(stats.visit_summary().count, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! s-walk primitives (§II-B).
+//!
+//! An *s-walk* is a sequence of hyperedges where consecutive edges share
+//! at least `s` vertices; an *s-path* repeats no edge. These are the
+//! foundation of every s-measure: s-distance is shortest-s-walk length,
+//! s-betweenness counts shortest s-walks, s-components are s-walk
+//! reachability classes. On a constructed [`SLineGraph`] an s-walk is
+//! just a graph walk, so this module provides the walk-level queries the
+//! framework's Stage 5 builds on: walk validation against the original
+//! hypergraph, shortest s-walk extraction, and shortest-s-walk counting
+//! (the `σ` of the s-betweenness definition).
+
+use crate::linegraph::SLineGraph;
+use hyperline_hypergraph::Hypergraph;
+use std::collections::VecDeque;
+
+/// True if `walk` is a valid s-walk in `h`: every consecutive pair of
+/// hyperedges is s-incident. Walks of length 0 or 1 are trivially valid
+/// (if the edges exist).
+pub fn is_s_walk(h: &Hypergraph, s: u32, walk: &[u32]) -> bool {
+    if walk.iter().any(|&e| (e as usize) >= h.num_edges()) {
+        return false;
+    }
+    walk.windows(2).all(|w| h.inc(w[0], w[1]) >= s as usize)
+}
+
+/// True if `walk` is an s-path: a valid s-walk with no repeated edge.
+pub fn is_s_path(h: &Hypergraph, s: u32, walk: &[u32]) -> bool {
+    let mut seen = hyperline_util::fxhash::FxHashSet::default();
+    walk.iter().all(|&e| seen.insert(e)) && is_s_walk(h, s, walk)
+}
+
+/// One shortest s-walk between two hyperedges (original IDs) on a
+/// constructed s-line graph, as the sequence of hyperedge IDs, or `None`
+/// if they are not s-connected. BFS with parent pointers.
+pub fn shortest_s_walk(slg: &SLineGraph, from: u32, to: u32) -> Option<Vec<u32>> {
+    let (gs, gt) = (slg.graph_vertex(from)?, slg.graph_vertex(to)?);
+    if gs == gt {
+        return Some(vec![from]);
+    }
+    let g = slg.graph();
+    let n = g.num_vertices();
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    parent[gs as usize] = gs;
+    queue.push_back(gs);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if parent[v as usize] == u32::MAX {
+                parent[v as usize] = u;
+                if v == gt {
+                    let mut walk = vec![v];
+                    let mut cur = v;
+                    while cur != gs {
+                        cur = parent[cur as usize];
+                        walk.push(cur);
+                    }
+                    walk.reverse();
+                    return Some(walk.into_iter().map(|x| slg.original_id(x)).collect());
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Counts shortest s-walks between two hyperedges: the `σ_fg` of the
+/// s-betweenness definition. Returns `(distance, count)`, or `None` if
+/// not s-connected. BFS with path-count accumulation; counts are `f64`
+/// (they grow combinatorially).
+pub fn count_shortest_s_walks(slg: &SLineGraph, from: u32, to: u32) -> Option<(u32, f64)> {
+    let (gs, gt) = (slg.graph_vertex(from)?, slg.graph_vertex(to)?);
+    if gs == gt {
+        return Some((0, 1.0));
+    }
+    let g = slg.graph();
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut queue = VecDeque::new();
+    dist[gs as usize] = 0;
+    sigma[gs as usize] = 1.0;
+    queue.push_back(gs);
+    while let Some(u) = queue.pop_front() {
+        if dist[u as usize] >= dist[gt as usize] {
+            break; // all shortest paths to the target are settled
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == dist[u as usize] + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    (dist[gt as usize] != u32::MAX).then(|| (dist[gt as usize], sigma[gt as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::algo2_slinegraph;
+    use crate::strategy::Strategy;
+
+    fn paper_slg(s: u32) -> (Hypergraph, SLineGraph) {
+        let h = Hypergraph::paper_example();
+        let r = algo2_slinegraph(&h, s, &Strategy::default());
+        let slg = SLineGraph::new_squeezed(s, h.num_edges(), r.edges);
+        (h, slg)
+    }
+
+    #[test]
+    fn walk_validation() {
+        let h = Hypergraph::paper_example();
+        // 0-2-3 is a 1-walk (inc(0,2)=3, inc(2,3)=1) but not a 2-walk.
+        assert!(is_s_walk(&h, 1, &[0, 2, 3]));
+        assert!(!is_s_walk(&h, 2, &[0, 2, 3]));
+        // 0-1 is direct at s<=2.
+        assert!(is_s_walk(&h, 2, &[0, 1]));
+        assert!(!is_s_walk(&h, 3, &[0, 1]));
+        // Trivial cases.
+        assert!(is_s_walk(&h, 4, &[2]));
+        assert!(is_s_walk(&h, 4, &[]));
+        // Out-of-range edge.
+        assert!(!is_s_walk(&h, 1, &[0, 9]));
+    }
+
+    #[test]
+    fn path_rejects_repeats() {
+        let h = Hypergraph::paper_example();
+        assert!(is_s_path(&h, 1, &[0, 2, 3]));
+        assert!(is_s_walk(&h, 1, &[0, 2, 0]));
+        assert!(!is_s_path(&h, 1, &[0, 2, 0]));
+    }
+
+    #[test]
+    fn shortest_walk_on_paper_example() {
+        let (h, slg) = paper_slg(1);
+        // Edges 0 and 3 connect through edge 2.
+        let walk = shortest_s_walk(&slg, 0, 3).unwrap();
+        assert_eq!(walk, vec![0, 2, 3]);
+        assert!(is_s_walk(&h, 1, &walk));
+        // Adjacent pair.
+        assert_eq!(shortest_s_walk(&slg, 0, 1).unwrap().len(), 2);
+        // Self.
+        assert_eq!(shortest_s_walk(&slg, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn shortest_walk_absent_when_disconnected() {
+        let (_, slg) = paper_slg(3);
+        // s = 3 line graph: edges {0-2, 1-2}; hyperedge 3 is isolated.
+        assert!(shortest_s_walk(&slg, 0, 3).is_none());
+        assert_eq!(shortest_s_walk(&slg, 0, 1), Some(vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn walk_length_matches_s_distance() {
+        let (_, slg) = paper_slg(1);
+        for e in 0..4u32 {
+            for f in 0..4u32 {
+                let d = slg.s_distance(e, f);
+                let w = shortest_s_walk(&slg, e, f);
+                match (d, w) {
+                    (Some(d), Some(w)) => assert_eq!(w.len() as u32, d + 1, "({e},{f})"),
+                    (None, None) => {}
+                    other => panic!("mismatch at ({e},{f}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_shortest_walks_diamond() {
+        // Hypergraph engineered so its 2-line graph is a 4-cycle:
+        // e0={a,b}, e1={b,c}... simpler: build the line graph directly.
+        let slg = SLineGraph::new_squeezed(1, 10, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let (d, sigma) = count_shortest_s_walks(&slg, 0, 3).unwrap();
+        assert_eq!(d, 2);
+        assert_eq!(sigma, 2.0, "two shortest walks through the diamond");
+        assert_eq!(count_shortest_s_walks(&slg, 0, 0), Some((0, 1.0)));
+        assert_eq!(count_shortest_s_walks(&slg, 0, 9), None);
+    }
+
+    #[test]
+    fn counts_consistent_with_paper_example() {
+        let (_, slg) = paper_slg(2);
+        // Triangle on {0,1,2}: unique shortest walk between any pair.
+        for (e, f) in [(0u32, 1u32), (0, 2), (1, 2)] {
+            assert_eq!(count_shortest_s_walks(&slg, e, f), Some((1, 1.0)));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The weighted clique-expansion matrix `W = H·Hᵀ − D_V` (§III-H).
+//!
+//! `W[i,j]` is the number of hyperedges containing both vertices `i` and
+//! `j` (`adj(i, j)`); thresholding it at `s` gives the adjacency matrix
+//! of the s-clique graph. The paper's point is that materializing `W` is
+//! prohibitively dense and the hashmap algorithms on the dual avoid it —
+//! this module *does* materialize it, as the measurable baseline and as
+//! the test oracle for the dual construction.
+
+use crate::matrix::CsrMatrix;
+use crate::spgemm::{spgemm, Triangle};
+use hyperline_hypergraph::Hypergraph;
+
+/// The weighted clique-expansion matrix `W = H·Hᵀ − D_V` of a hypergraph
+/// (vertex × vertex, diagonal removed). With `triangle == Upper` only the
+/// strict upper triangle is computed.
+pub fn weighted_clique_expansion(h: &Hypergraph, triangle: Triangle) -> CsrMatrix {
+    // H (vertex × edge) times Hᵀ (edge × vertex).
+    let a = CsrMatrix::from_pattern(h.vertex_csr());
+    let b = CsrMatrix::from_pattern(h.edge_csr());
+    let product = spgemm(&a, &b, triangle);
+    match triangle {
+        // Upper triangle already excludes the diagonal (D_V).
+        Triangle::Upper => product,
+        Triangle::Full => strip_diagonal(&product),
+    }
+}
+
+/// Copy of `m` with the diagonal removed (the `− D_V` term).
+fn strip_diagonal(m: &CsrMatrix) -> CsrMatrix {
+    let triplets: Vec<(u32, u32, u32)> =
+        m.iter().filter(|&(i, j, _)| i != j).collect();
+    CsrMatrix::from_triplets(m.nrows(), m.ncols(), &triplets)
+}
+
+/// s-clique edge list straight from the materialized `W` (the
+/// memory-hungry route the paper contrasts with running the hashmap
+/// algorithm on the dual).
+pub fn sclique_via_w(h: &Hypergraph, s: u32) -> Vec<(u32, u32)> {
+    let w = weighted_clique_expansion(h, Triangle::Upper);
+    let mut edges: Vec<(u32, u32)> = w
+        .iter()
+        .filter(|&(_, _, v)| v >= s)
+        .map(|(i, j, _)| (i, j))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_entries_are_adj_counts() {
+        let h = Hypergraph::paper_example();
+        let w = weighted_clique_expansion(&h, Triangle::Full);
+        assert_eq!(w.nrows(), 6);
+        for u in 0..6u32 {
+            assert_eq!(w.get(u as usize, u), 0, "diagonal must be removed");
+            for v in 0..6u32 {
+                if u != v {
+                    assert_eq!(w.get(u as usize, v), h.adj(u, v) as u32, "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_matches_full() {
+        let h = Hypergraph::paper_example();
+        let full = weighted_clique_expansion(&h, Triangle::Full);
+        let upper = weighted_clique_expansion(&h, Triangle::Upper);
+        for (i, j, v) in upper.iter() {
+            assert!(j > i);
+            assert_eq!(full.get(i as usize, j), v);
+        }
+        assert_eq!(upper.nnz() * 2, full.nnz());
+    }
+
+    #[test]
+    fn sclique_via_w_matches_known_values() {
+        let h = Hypergraph::paper_example();
+        // adj(b,c) = 3 is the only pair in >= 3 common edges.
+        assert_eq!(sclique_via_w(&h, 3), vec![(1, 2)]);
+        // s = 1: the 2-section — 11 edges.
+        assert_eq!(sclique_via_w(&h, 1).len(), 11);
+    }
+
+    #[test]
+    fn density_motivates_avoiding_w() {
+        // A single large hyperedge makes W quadratically dense — the
+        // paper's motivating observation for the dual route.
+        let h = Hypergraph::from_edge_lists(&[(0..40u32).collect()], 40);
+        let w = weighted_clique_expansion(&h, Triangle::Full);
+        assert_eq!(w.nnz(), 40 * 39);
+    }
+}

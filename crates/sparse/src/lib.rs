@@ -1,0 +1,30 @@
+//! Sparse matrix substrate: CSR matrices and Gustavson SpGEMM.
+//!
+//! This crate exists to reproduce the paper's **baseline comparator**
+//! (§III-G, §VI-G): computing the hyperedge overlap matrix `L = Hᵀ·H` with
+//! a general sparse matrix-matrix multiplication and then filtering
+//! `L[i,j] ≥ s` into an s-line-graph edge list. The core s-line-graph
+//! algorithms in `hyperline-slinegraph` deliberately avoid this
+//! materialization; benchmarking both sides is how Figure 11 is
+//! regenerated.
+//!
+//! ```
+//! use hyperline_hypergraph::Hypergraph;
+//! use hyperline_sparse::{overlap_matrix, filter_to_edge_list, Triangle};
+//!
+//! let h = Hypergraph::paper_example();
+//! let l = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Upper);
+//! let mut edges = filter_to_edge_list(&l, 2);
+//! edges.sort_unstable();
+//! assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clique;
+pub mod matrix;
+pub mod spgemm;
+
+pub use clique::{sclique_via_w, weighted_clique_expansion};
+pub use matrix::CsrMatrix;
+pub use spgemm::{filter_to_edge_list, overlap_matrix, spgemm, spgemm_seq, Triangle};

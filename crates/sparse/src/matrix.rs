@@ -1,0 +1,239 @@
+//! Integer-valued CSR sparse matrices.
+//!
+//! The SpGEMM baseline operates on Boolean incidence matrices with `u32`
+//! accumulation (overlap counts never exceed the max edge size, far below
+//! `u32::MAX`).
+
+use hyperline_hypergraph::Csr;
+
+/// A sparse matrix in CSR form with `u32` values and sorted column indices
+/// within each row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from raw CSR parts.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (offsets not monotone, lengths
+    /// mismatched, columns out of range or unsorted within a row).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        offsets: Vec<usize>,
+        cols: Vec<u32>,
+        vals: Vec<u32>,
+    ) -> Self {
+        assert_eq!(offsets.len(), nrows + 1, "offsets length");
+        assert_eq!(cols.len(), vals.len(), "cols/vals length");
+        assert_eq!(*offsets.last().unwrap(), cols.len(), "final offset");
+        for r in 0..nrows {
+            assert!(offsets[r] <= offsets[r + 1], "offsets not monotone");
+            let row = &cols[offsets[r]..offsets[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} columns not strictly sorted");
+            }
+            for &c in row {
+                assert!((c as usize) < ncols, "column {c} out of range");
+            }
+        }
+        Self { nrows, ncols, offsets, cols, vals }
+    }
+
+    /// Boolean pattern matrix (all values 1) from a [`Csr`] adjacency.
+    pub fn from_pattern(csr: &Csr) -> Self {
+        Self {
+            nrows: csr.num_rows(),
+            ncols: csr.num_cols(),
+            offsets: csr.offsets().to_vec(),
+            cols: csr.targets().to_vec(),
+            vals: vec![1; csr.num_entries()],
+        }
+    }
+
+    /// Builds from `(row, col, val)` triplets; duplicates are summed.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(u32, u32, u32)]) -> Self {
+        let mut sorted = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut offsets = vec![0usize; nrows + 1];
+        let mut cols = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &sorted {
+            assert!((r as usize) < nrows && (c as usize) < ncols, "triplet out of range");
+            if prev == Some((r, c)) {
+                *vals.last_mut().unwrap() += v;
+                continue;
+            }
+            prev = Some((r, c));
+            offsets[r as usize + 1] += 1;
+            cols.push(c);
+            vals.push(v);
+        }
+        for i in 0..nrows {
+            offsets[i + 1] += offsets[i];
+        }
+        Self { nrows, ncols, offsets, cols, vals }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The sorted column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.cols[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// The values of row `r`, parallel to [`Self::row_cols`].
+    #[inline]
+    pub fn row_vals(&self, r: usize) -> &[u32] {
+        &self.vals[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// The value at `(r, c)`, or 0 if not stored.
+    pub fn get(&self, r: usize, c: u32) -> u32 {
+        match self.row_cols(r).binary_search(&c) {
+            Ok(i) => self.row_vals(r)[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates `(row, col, val)` over stored entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            self.row_cols(r)
+                .iter()
+                .zip(self.row_vals(r))
+                .map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cols = vec![0u32; self.nnz()];
+        let mut vals = vec![0u32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for i in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.cols[i] as usize;
+                cols[cursor[c]] = r as u32;
+                vals[cursor[c]] = self.vals[i];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, offsets, cols, vals }
+    }
+
+    /// Checks structural symmetry *and* value symmetry (requires square).
+    pub fn is_symmetric(&self) -> bool {
+        self.nrows == self.ncols && *self == self.transpose()
+    }
+
+    /// Memory footprint of the stored arrays in bytes (the paper's argument
+    /// against SpGEMM is exactly this materialization cost).
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperline_hypergraph::Hypergraph;
+
+    #[test]
+    fn from_pattern_of_hypergraph() {
+        let h = Hypergraph::paper_example();
+        let a = CsrMatrix::from_pattern(h.edge_csr());
+        assert_eq!(a.nrows(), 4);
+        assert_eq!(a.ncols(), 6);
+        assert_eq!(a.nnz(), 13);
+        assert_eq!(a.get(0, 1), 1);
+        assert_eq!(a.get(0, 5), 0);
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2), (0, 1, 3), (1, 0, 1)]);
+        assert_eq!(m.get(0, 1), 5);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn triplets_unordered_input() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(2, 0, 1), (0, 2, 4), (1, 1, 9)]);
+        assert_eq!(m.get(0, 2), 4);
+        assert_eq!(m.get(1, 1), 9);
+        assert_eq!(m.get(2, 0), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 4, &[(0, 3, 7), (1, 0, 2), (1, 2, 5)]);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.get(3, 0), 7);
+        assert_eq!(t.get(0, 1), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3), (1, 0, 3), (0, 0, 1)]);
+        assert!(sym.is_symmetric());
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3)]);
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1), (0, 1, 2)]);
+        let items: Vec<_> = m.iter().collect();
+        assert_eq!(items, vec![(0, 1, 2), (1, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns not strictly sorted")]
+    fn from_parts_validates_sorting() {
+        CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1, 1]);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1), (0, 1, 1)]);
+        assert_eq!(m.storage_bytes(), 2 * 8 + 2 * 4 + 2 * 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! Gustavson-style sparse general matrix-matrix multiplication (SpGEMM).
+//!
+//! This is the paper's baseline comparator (§III-G, §VI-G): computing the
+//! hyperedge overlap matrix as `L = Hᵀ·H` with a general SpGEMM, then
+//! filtering `L[i,j] ≥ s`. It is intentionally faithful to what makes the
+//! approach slow for this problem:
+//!
+//! 1. it **materializes the full product** before filtering,
+//! 2. the plain variant computes **both triangles** of the symmetric
+//!    product, and
+//! 3. it cannot apply degree-based pruning or in-place filtration.
+//!
+//! Rows of the output are computed in parallel with a two-phase Gustavson
+//! scheme (symbolic nnz count, then numeric fill into pre-sized storage),
+//! using one dense sparse-accumulator (SPA) per worker.
+
+use crate::matrix::CsrMatrix;
+use rayon::prelude::*;
+
+/// Restriction applied while computing the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Compute every entry of the product ("SpGEMM+Filter").
+    Full,
+    /// Compute only entries with `col > row` ("SpGEMM+Filter+Upper") —
+    /// exploits the symmetry of `HᵀH` to halve work and memory; the
+    /// diagonal (edge sizes) is also skipped since the s-line graph has no
+    /// self loops.
+    Upper,
+}
+
+/// A dense sparse accumulator: values plus a touched-column list so reset
+/// is O(touched), not O(ncols).
+struct Spa {
+    vals: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Spa {
+    fn new(ncols: usize) -> Self {
+        Self { vals: vec![0; ncols], touched: Vec::new() }
+    }
+
+    #[inline]
+    fn add(&mut self, col: u32, v: u32) {
+        let slot = &mut self.vals[col as usize];
+        if *slot == 0 {
+            self.touched.push(col);
+        }
+        *slot += v;
+    }
+
+    /// Drains the accumulated row into `(cols, vals)`, sorted by column,
+    /// resetting the accumulator.
+    fn drain_into(&mut self, cols: &mut Vec<u32>, vals: &mut Vec<u32>) {
+        self.touched.sort_unstable();
+        for &c in &self.touched {
+            cols.push(c);
+            vals.push(self.vals[c as usize]);
+            self.vals[c as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Computes `C = A·B` with Gustavson's row-wise algorithm, rows of `C`
+/// in parallel.
+///
+/// With `triangle == Upper`, only entries `(i, j)` with `j > i` are kept
+/// (meaningful when the true product is known symmetric, as for `HᵀH`).
+///
+/// # Panics
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix, triangle: Triangle) -> CsrMatrix {
+    assert_eq!(a.ncols(), b.nrows(), "dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+
+    // Per-row results computed independently, then stitched.
+    let rows: Vec<(Vec<u32>, Vec<u32>)> = (0..nrows)
+        .into_par_iter()
+        .map_init(
+            || Spa::new(ncols),
+            |spa, i| {
+                for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                    for (&j, &bv) in b.row_cols(k as usize).iter().zip(b.row_vals(k as usize)) {
+                        if triangle == Triangle::Upper && j <= i as u32 {
+                            continue;
+                        }
+                        spa.add(j, av * bv);
+                    }
+                }
+                let mut cols = Vec::with_capacity(spa.touched.len());
+                let mut vals = Vec::with_capacity(spa.touched.len());
+                spa.drain_into(&mut cols, &mut vals);
+                (cols, vals)
+            },
+        )
+        .collect();
+
+    let mut offsets = Vec::with_capacity(nrows + 1);
+    offsets.push(0usize);
+    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (rc, rv) in rows {
+        cols.extend_from_slice(&rc);
+        vals.extend_from_slice(&rv);
+        offsets.push(cols.len());
+    }
+    CsrMatrix::from_parts(nrows, ncols, offsets, cols, vals)
+}
+
+/// Sequential reference SpGEMM (used to validate the parallel kernel).
+pub fn spgemm_seq(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.ncols(), b.nrows(), "dimension mismatch");
+    let mut spa = Spa::new(b.ncols());
+    let mut offsets = vec![0usize];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.nrows() {
+        for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            for (&j, &bv) in b.row_cols(k as usize).iter().zip(b.row_vals(k as usize)) {
+                spa.add(j, av * bv);
+            }
+        }
+        spa.drain_into(&mut cols, &mut vals);
+        offsets.push(cols.len());
+    }
+    CsrMatrix::from_parts(a.nrows(), b.ncols(), offsets, cols, vals)
+}
+
+/// Filters a product matrix to the s-line-graph edge list: pairs `(i, j)`
+/// with `value ≥ s`, `i < j` (diagonal excluded). Works on both `Full` and
+/// `Upper` products.
+pub fn filter_to_edge_list(product: &CsrMatrix, s: u32) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for (i, j, v) in product.iter() {
+        if v >= s && i < j {
+            edges.push((i, j));
+        }
+    }
+    edges
+}
+
+/// Convenience: the overlap matrix `L = Hᵀ·H` of a hypergraph given its
+/// edge→vertex CSR pattern `Hᵀ` and vertex→edge CSR pattern `H`.
+pub fn overlap_matrix(
+    edge_csr: &hyperline_hypergraph::Csr,
+    vertex_csr: &hyperline_hypergraph::Csr,
+    triangle: Triangle,
+) -> CsrMatrix {
+    let a = CsrMatrix::from_pattern(edge_csr);
+    let b = CsrMatrix::from_pattern(vertex_csr);
+    spgemm(&a, &b, triangle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperline_hypergraph::Hypergraph;
+    use rand::prelude::*;
+
+    fn dense_mul(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<u32>> {
+        let mut c = vec![vec![0u32; b.ncols()]; a.nrows()];
+        for (i, k, av) in a.iter() {
+            for (&j, &bv) in b.row_cols(k as usize).iter().zip(b.row_vals(k as usize)) {
+                c[i as usize][j as usize] += av * bv;
+            }
+        }
+        c
+    }
+
+    fn random_matrix(rng: &mut StdRng, nrows: usize, ncols: usize, density: f64) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..nrows as u32 {
+            for c in 0..ncols as u32 {
+                if rng.gen_bool(density) {
+                    triplets.push((r, c, rng.gen_range(1..4u32)));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(nrows, ncols, &triplets)
+    }
+
+    #[test]
+    fn small_known_product() {
+        // A = [1 0; 1 1], B = [0 2; 3 0] -> C = [0 2; 3 2]
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1), (1, 0, 1), (1, 1, 1)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2), (1, 0, 3)]);
+        let c = spgemm(&a, &b, Triangle::Full);
+        assert_eq!(c.get(0, 0), 0);
+        assert_eq!(c.get(0, 1), 2);
+        assert_eq!(c.get(1, 0), 3);
+        assert_eq!(c.get(1, 1), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_dense() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let (m, k, n) = (
+                rng.gen_range(1..20),
+                rng.gen_range(1..20),
+                rng.gen_range(1..20),
+            );
+            let a = random_matrix(&mut rng, m, k, 0.3);
+            let b = random_matrix(&mut rng, k, n, 0.3);
+            let par = spgemm(&a, &b, Triangle::Full);
+            let seq = spgemm_seq(&a, &b);
+            assert_eq!(par, seq);
+            let dense = dense_mul(&a, &b);
+            for (i, row) in dense.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    assert_eq!(par.get(i, j as u32), v, "at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_drops_lower_and_diagonal() {
+        let h = Hypergraph::paper_example();
+        let full = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Full);
+        let upper = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Upper);
+        assert!(full.is_symmetric());
+        for (i, j, v) in upper.iter() {
+            assert!(j > i);
+            assert_eq!(full.get(i as usize, j), v);
+        }
+        // Upper nnz = (full nnz - diagonal nnz) / 2.
+        let diag_count = (0..full.nrows()).filter(|&i| full.get(i, i as u32) > 0).count();
+        assert_eq!(upper.nnz(), (full.nnz() - diag_count) / 2);
+    }
+
+    #[test]
+    fn overlap_matrix_matches_inc() {
+        let h = Hypergraph::paper_example();
+        let l = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Full);
+        for e in 0..4u32 {
+            for f in 0..4u32 {
+                let expect = if e == f { h.edge_size(e) } else { h.inc(e, f) };
+                assert_eq!(l.get(e as usize, f), expect as u32, "e={e} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtration_produces_slinegraph_edges() {
+        let h = Hypergraph::paper_example();
+        let l = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Full);
+        // s = 2: pairs sharing >= 2 vertices: (0,1) {b,c}, (0,2) {a,b,c}, (1,2) {b,c,d}
+        let mut edges = filter_to_edge_list(&l, 2);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        // s = 3: only (0,2) and (1,2)... inc(1,2) = |{b,c,d}| = 3. inc(0,2)=3.
+        let mut edges = filter_to_edge_list(&l, 3);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 2), (1, 2)]);
+        // s = 4: none.
+        assert!(filter_to_edge_list(&l, 4).is_empty());
+    }
+
+    #[test]
+    fn filter_on_upper_equals_filter_on_full() {
+        let h = Hypergraph::paper_example();
+        let full = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Full);
+        let upper = overlap_matrix(h.edge_csr(), h.vertex_csr(), Triangle::Upper);
+        for s in 1..=5 {
+            let mut a = filter_to_edge_list(&full, s);
+            let mut b = filter_to_edge_list(&upper, s);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "s={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_check() {
+        let a = CsrMatrix::from_triplets(2, 3, &[]);
+        let b = CsrMatrix::from_triplets(2, 2, &[]);
+        spgemm(&a, &b, Triangle::Full);
+    }
+
+    #[test]
+    fn empty_product() {
+        let a = CsrMatrix::from_triplets(3, 3, &[]);
+        let b = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1)]);
+        let c = spgemm(&a, &b, Triangle::Full);
+        assert_eq!(c.nnz(), 0);
+    }
+}

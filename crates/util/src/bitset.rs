@@ -1,0 +1,155 @@
+//! A compact fixed-capacity bitset.
+//!
+//! Used for visited-marking in graph traversals (BFS frontiers, connected
+//! components) where a `Vec<bool>` wastes 8x the cache footprint.
+
+/// A fixed-capacity bitset over `usize`-indexed slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates a bitset able to hold `len` bits, all initially zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of bits this set can hold.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *word & mask != 0;
+        *word |= mask;
+        was
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Zeroes every bit, keeping capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * WORD_BITS;
+            BitIter { word: w, base }
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1; // clear lowest set bit
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        assert!(!b.set(0));
+        assert!(b.get(0));
+        assert!(b.set(0), "second set reports previously-set");
+        assert!(!b.set(129));
+        assert!(b.get(129));
+        b.clear(129);
+        assert!(!b.get(129));
+    }
+
+    #[test]
+    fn count_and_iter() {
+        let mut b = BitSet::new(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), idx.len());
+        let collected: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = BitSet::new(77);
+        for i in 0..77 {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 77);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 77);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn exact_word_boundary() {
+        let mut b = BitSet::new(64);
+        b.set(63);
+        assert!(b.get(63));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![63]);
+    }
+}

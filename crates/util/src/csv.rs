@@ -1,0 +1,90 @@
+//! Minimal CSV writing for experiment outputs.
+//!
+//! Experiment binaries can emit machine-readable series next to their
+//! human tables (plotting the paper's figures externally). Only writing
+//! is needed — no parsing, no quoting edge cases beyond RFC-4180 basics.
+
+use std::io::{self, Write};
+
+/// A CSV writer over any `io::Write`, with a fixed column count checked
+/// on every row.
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    sink: W,
+    columns: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Starts a CSV document by writing the header row.
+    pub fn new<S: AsRef<str>>(
+        mut sink: W,
+        header: impl IntoIterator<Item = S>,
+    ) -> io::Result<Self> {
+        let cells: Vec<String> = header.into_iter().map(|s| escape(s.as_ref())).collect();
+        writeln!(sink, "{}", cells.join(","))?;
+        Ok(Self { sink, columns: cells.len() })
+    }
+
+    /// Writes one data row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header's.
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) -> io::Result<()> {
+        let cells: Vec<String> = cells.into_iter().map(|s| escape(s.as_ref())).collect();
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        writeln!(self.sink, "{}", cells.join(","))
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// RFC-4180 escaping: quote cells containing commas, quotes or newlines.
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut w = CsvWriter::new(Vec::new(), ["s", "edges"]).unwrap();
+        w.row(["1", "100"]).unwrap();
+        w.row(["2", "40"]).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "s,edges\n1,100\n2,40\n");
+    }
+
+    #[test]
+    fn escapes_special_cells() {
+        let mut w = CsvWriter::new(Vec::new(), ["name", "note"]).unwrap();
+        w.row(["a,b", "say \"hi\""]).unwrap();
+        w.row(["multi\nline", "ok"]).unwrap();
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert!(out.contains("\"a,b\""));
+        assert!(out.contains("\"say \"\"hi\"\"\""));
+        assert!(out.contains("\"multi\nline\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_enforced() {
+        let mut w = CsvWriter::new(Vec::new(), ["a", "b"]).unwrap();
+        let _ = w.row(["only-one"]);
+    }
+
+    #[test]
+    fn plain_cells_unquoted() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("12.5"), "12.5");
+    }
+}

@@ -1,0 +1,130 @@
+//! Dense re-mapping of sparse ID spaces ("ID squeezing").
+//!
+//! Stage 4 of the paper's framework: after s-filtration most hyperedge IDs
+//! no longer appear in the s-line graph, so the ID space is hypersparse.
+//! [`IdSqueezer`] remaps the surviving IDs to a contiguous `0..k` range and
+//! remembers the inverse mapping so metric results can be reported against
+//! original IDs.
+
+use crate::fxhash::FxHashMap;
+
+/// Builds and applies a dense remapping `original ID -> squeezed ID`.
+///
+/// Squeezed IDs are assigned in ascending order of original ID, so the
+/// relative order of surviving IDs is preserved (this keeps downstream
+/// CSR construction deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct IdSqueezer {
+    forward: FxHashMap<u32, u32>,
+    inverse: Vec<u32>,
+}
+
+impl IdSqueezer {
+    /// Builds a squeezer from the set of surviving original IDs.
+    /// Duplicates are allowed and ignored.
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut unique: Vec<u32> = ids.into_iter().collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let forward = unique
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as u32))
+            .collect();
+        Self { forward, inverse: unique }
+    }
+
+    /// Builds a squeezer from the endpoint IDs of an edge list.
+    pub fn from_edges(edges: &[(u32, u32)]) -> Self {
+        Self::from_ids(edges.iter().flat_map(|&(a, b)| [a, b]))
+    }
+
+    /// Number of surviving (squeezed) IDs.
+    pub fn len(&self) -> usize {
+        self.inverse.len()
+    }
+
+    /// True if no IDs survive.
+    pub fn is_empty(&self) -> bool {
+        self.inverse.is_empty()
+    }
+
+    /// Maps an original ID to its squeezed ID, if it survived.
+    #[inline]
+    pub fn squeeze(&self, original: u32) -> Option<u32> {
+        self.forward.get(&original).copied()
+    }
+
+    /// Maps a squeezed ID back to its original ID.
+    ///
+    /// # Panics
+    /// Panics if `squeezed` is out of range.
+    #[inline]
+    pub fn unsqueeze(&self, squeezed: u32) -> u32 {
+        self.inverse[squeezed as usize]
+    }
+
+    /// Remaps an edge list in place. Every endpoint must be a surviving ID
+    /// (which holds by construction when built via [`Self::from_edges`]).
+    pub fn squeeze_edges(&self, edges: &mut [(u32, u32)]) {
+        for (a, b) in edges.iter_mut() {
+            *a = self.forward[a];
+            *b = self.forward[b];
+        }
+    }
+
+    /// The full inverse mapping: `inverse()[squeezed] == original`.
+    pub fn inverse(&self) -> &[u32] {
+        &self.inverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squeeze_preserves_order() {
+        let s = IdSqueezer::from_ids([100, 5, 42, 5, 100]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.squeeze(5), Some(0));
+        assert_eq!(s.squeeze(42), Some(1));
+        assert_eq!(s.squeeze(100), Some(2));
+        assert_eq!(s.squeeze(7), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ids = [9u32, 3, 77, 1024];
+        let s = IdSqueezer::from_ids(ids.iter().copied());
+        for &id in &ids {
+            let sq = s.squeeze(id).unwrap();
+            assert_eq!(s.unsqueeze(sq), id);
+        }
+    }
+
+    #[test]
+    fn from_edges_and_remap() {
+        let mut edges = vec![(10u32, 20u32), (20, 30), (10, 30)];
+        let s = IdSqueezer::from_edges(&edges);
+        assert_eq!(s.len(), 3);
+        s.squeeze_edges(&mut edges);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(s.inverse(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn empty() {
+        let s = IdSqueezer::from_ids(std::iter::empty());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn hypersparse_space_compacts() {
+        // IDs spread across a huge range squeeze to a tiny dense range.
+        let s = IdSqueezer::from_ids([0u32, 1_000_000, 4_000_000_000]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.squeeze(4_000_000_000), Some(2));
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared low-level utilities for the `hyperline` workspace.
+//!
+//! This crate holds the infrastructure that every other crate leans on:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (FxHash) plus
+//!   [`FxHashMap`]/[`FxHashSet`] aliases. Overlap counting in the s-line
+//!   graph algorithms is hashmap-bound, so hashing speed matters
+//!   (see the Rust Performance Book's "Hashing" chapter).
+//! * [`bitset`] — a compact fixed-size bitset used for visited sets.
+//! * [`timer`] — wall-clock timing helpers used by the experiment harness.
+//! * [`stats`] — summary statistics and histograms for workload
+//!   characterization (per-thread visit counts, degree distributions).
+//! * [`table`] — plain-text table rendering for experiment outputs that
+//!   mirror the paper's tables.
+//! * [`idmap`] — dense re-mapping of sparse ID spaces ("ID squeezing",
+//!   Stage 4 of the paper's framework).
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod csv;
+pub mod fxhash;
+pub mod idmap;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use bitset::BitSet;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use idmap::IdSqueezer;
+pub use stats::Summary;
+pub use table::Table;
+pub use timer::Timer;

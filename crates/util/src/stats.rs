@@ -1,0 +1,191 @@
+//! Summary statistics and histograms for workload characterization.
+//!
+//! The paper characterizes inputs by mean/max degree (Table IV) and
+//! per-thread work distribution (Figure 10); [`Summary`] and
+//! [`log_histogram`] produce those numbers.
+
+/// Summary statistics over a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value (0.0 when empty).
+    pub min: f64,
+    /// Maximum value (0.0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0.0 when empty).
+    pub stddev: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            sum += v;
+            sumsq += v * v;
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        if count == 0 {
+            return Self { count: 0, min: 0.0, max: 0.0, mean: 0.0, stddev: 0.0, sum: 0.0 };
+        }
+        let mean = sum / count as f64;
+        let var = (sumsq / count as f64 - mean * mean).max(0.0);
+        Self { count, min, max, mean, stddev: var.sqrt(), sum }
+    }
+
+    /// Computes summary statistics over integer counts.
+    pub fn of_counts<'a>(values: impl IntoIterator<Item = &'a usize>) -> Self {
+        Self::of(values.into_iter().map(|&v| v as f64))
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    ///
+    /// Used as the imbalance score for per-thread workload distributions:
+    /// perfectly balanced work has CV = 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// Max-to-mean ratio, another standard load-imbalance metric.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max / self.mean
+        }
+    }
+}
+
+/// Percentile of a sample (nearest-rank on a sorted copy). `p` in `[0,100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Buckets `values` into power-of-two bins: bin `i` counts values `v` with
+/// `2^i <= v < 2^(i+1)`; bin 0 also includes 0 and 1.
+///
+/// This is the standard way to display skewed degree distributions.
+pub fn log_histogram(values: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut bins: Vec<usize> = Vec::new();
+    for v in values {
+        let bin = if v <= 1 { 0 } else { (usize::BITS - 1 - v.leading_zeros()) as usize };
+        if bin >= bins.len() {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += 1;
+    }
+    bins
+}
+
+/// Geometric mean of strictly positive values; 0.0 when empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.sum, 10.0);
+        assert!((s.stddev - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of([7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn cv_and_imbalance() {
+        let balanced = Summary::of([5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(balanced.cv(), 0.0);
+        assert_eq!(balanced.imbalance(), 1.0);
+
+        let skewed = Summary::of([1.0, 1.0, 1.0, 9.0]);
+        assert!(skewed.cv() > 1.0);
+        assert_eq!(skewed.imbalance(), 3.0);
+    }
+
+    #[test]
+    fn counts_helper() {
+        let counts = [1usize, 2, 3];
+        let s = Summary::of_counts(counts.iter());
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_bins() {
+        // 0,1 -> bin 0; 2,3 -> bin 1; 4..7 -> bin 2; 8..15 -> bin 3
+        let h = log_histogram([0usize, 1, 2, 3, 4, 7, 8, 15]);
+        assert_eq!(h, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn log_histogram_empty() {
+        assert!(log_histogram(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

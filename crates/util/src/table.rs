@@ -1,0 +1,185 @@
+//! Plain-text table rendering for experiment outputs.
+//!
+//! Experiment binaries print rows matching the paper's tables; this module
+//! keeps that output aligned and readable without pulling in a dependency.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (the common label+numbers shape).
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Overrides column alignments. Panics if the count differs from headers.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row. Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], aligns: &[Align], widths: &[usize]| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let w = widths[i];
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<w$}", cells[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>w$}", cells[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &self.aligns, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row, &self.aligns, &widths);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with engineering-style thousands grouping: `1234567` →
+/// `1,234,567` (applied to the integral part only).
+pub fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Compact human format for large counts: `1.5M`, `43.9M`, `265.2k`.
+pub fn human_count(n: u64) -> String {
+    let f = n as f64;
+    if f >= 1e9 {
+        format!("{:.1}B", f / 1e9)
+    } else if f >= 1e6 {
+        format!("{:.1}M", f / 1e6)
+    } else if f >= 1e3 {
+        format!("{:.1}k", f / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["stage", "time"]);
+        t.row(["preprocess", "0.15s"]);
+        t.row(["s-overlap", "12.1s"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        // All lines same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() <= w + 2));
+        assert!(lines[2].starts_with("preprocess"));
+        assert!(lines[3].trim_end().ends_with("12.1s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let t = Table::new(["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        assert_eq!(t.aligns[0], Align::Right);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(1234567), "1,234,567");
+        assert_eq!(group_thousands(8_660_000_000), "8,660,000,000");
+    }
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human_count(12), "12");
+        assert_eq!(human_count(265_200), "265.2k");
+        assert_eq!(human_count(43_900_000), "43.9M");
+        assert_eq!(human_count(10_300_000_000), "10.3B");
+    }
+
+    #[test]
+    fn num_rows_tracks() {
+        let mut t = Table::new(["a"]);
+        assert_eq!(t.num_rows(), 0);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+}

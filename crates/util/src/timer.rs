@@ -1,0 +1,184 @@
+//! Wall-clock timing helpers for the experiment harness.
+//!
+//! The paper reports per-stage wall times (Table I) and runtimes across
+//! parameter sweeps; [`Timer`] and [`StageTimes`] provide exactly that.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new timer.
+    #[inline]
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    #[inline]
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the timer and returns the elapsed time up to now.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+
+    /// Times a closure, returning its result and the elapsed duration.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let t = Self::start();
+        let out = f();
+        (out, t.elapsed())
+    }
+}
+
+/// Human-friendly formatting for a duration: `412ms`, `12.085s`, `3m21s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.3}s")
+    } else {
+        let mins = (s / 60.0).floor();
+        format!("{}m{:02.0}s", mins as u64, s - mins * 60.0)
+    }
+}
+
+/// Named stage timings accumulated through a pipeline run, mirroring the
+/// per-stage breakdown in the paper's Table I.
+#[derive(Debug, Default, Clone)]
+pub struct StageTimes {
+    entries: Vec<(String, Duration)>,
+}
+
+impl StageTimes {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a stage duration.
+    pub fn record(&mut self, stage: impl Into<String>, d: Duration) {
+        self.entries.push((stage.into(), d));
+    }
+
+    /// Runs and times a closure, recording it under `stage`.
+    pub fn run<T>(&mut self, stage: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let (out, d) = Timer::time(f);
+        self.record(stage, d);
+        out
+    }
+
+    /// Duration recorded for `stage`, if present (first match).
+    pub fn get(&self, stage: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, d)| *d)
+    }
+
+    /// Total of all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Iterates over `(stage, duration)` pairs in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for StageTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, d) in &self.entries {
+            writeln!(f, "{name:<24} {}", fmt_duration(*d))?;
+        }
+        writeln!(f, "{:<24} {}", "total", fmt_duration(self.total()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_nonzero() {
+        let t = Timer::start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        assert!(t.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let (v, d) = Timer::time(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = t.lap();
+        assert!(first >= Duration::from_millis(1));
+        // After a lap, elapsed restarts near zero.
+        assert!(t.elapsed() < first + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stage_times_accumulate() {
+        let mut st = StageTimes::new();
+        st.record("preprocess", Duration::from_millis(10));
+        st.record("s-overlap", Duration::from_millis(50));
+        let out = st.run("squeeze", || 5);
+        assert_eq!(out, 5);
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.get("s-overlap"), Some(Duration::from_millis(50)));
+        assert!(st.total() >= Duration::from_millis(60));
+        assert!(st.get("missing").is_none());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(412)), "412.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(12.085)), "12.085s");
+        assert_eq!(fmt_duration(Duration::from_secs(201)), "3m21s");
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut st = StageTimes::new();
+        st.record("a", Duration::from_millis(1));
+        let s = st.to_string();
+        assert!(s.contains("a"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Revealing relationships among authors (§V-B of the paper).
+//!
+//! Builds a condMat-like author-paper hypergraph (papers are hyperedges,
+//! authors are vertices), computes the **ensemble** of s-line graphs for
+//! s = 1..16 in one pass (Algorithm 3), and reports the normalized
+//! algebraic connectivity of each — the paper's Figure 6. Rising
+//! connectivity at high s reveals tightly collaborating author teams
+//! (the planted teams with 13–16 joint papers).
+//!
+//! Run with: `cargo run --release --example collaboration_network`
+
+use hyperline::prelude::*;
+use hyperline::util::Table;
+
+fn main() {
+    let h = Profile::CondMat.generate(42);
+    println!(
+        "condMat-like author-paper network: {} authors, {} papers, {} inclusions",
+        h.num_vertices(),
+        h.num_edges(),
+        h.num_incidences()
+    );
+
+    let s_values: Vec<u32> = (1..=16).collect();
+    let ensemble = ensemble_slinegraphs(&h, &s_values, &Strategy::default());
+    println!(
+        "ensemble pass stored {} overlap pairs, 0 set intersections\n",
+        ensemble.stored_pairs
+    );
+
+    let mut table = Table::new(["s", "|E| of L_s", "non-singleton comps", "norm. algebraic connectivity"]);
+    for (s, edges) in &ensemble.per_s {
+        let slg = SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone());
+        let comps = slg.connected_components();
+        let non_singleton = comps.iter().filter(|c| c.len() > 1).count();
+        let lambda = slg.algebraic_connectivity();
+        table.row([
+            s.to_string(),
+            edges.len().to_string(),
+            non_singleton.to_string(),
+            format!("{lambda:.4}"),
+        ]);
+    }
+    table.print();
+
+    // The planted teams: 5 papers sharing exactly 16 authors each.
+    let range = Profile::CondMat.planted_edge_range(42).unwrap();
+    let slg16 = SLineGraph::new_squeezed(
+        16,
+        h.num_edges(),
+        ensemble.per_s.last().unwrap().1.clone(),
+    );
+    let comps = slg16.connected_components();
+    println!("\nAt s=16, {} component(s) remain — the tightest author teams:", comps.len());
+    for comp in comps.iter().take(3) {
+        let planted: Vec<&u32> = comp.iter().filter(|&&e| range.contains(&e)).collect();
+        println!("  papers {:?} ({} planted)", comp, planted.len());
+    }
+}

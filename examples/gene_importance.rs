@@ -1,0 +1,66 @@
+//! Identifying genes critical to pathogenic viral response (§V-A, Fig. 5).
+//!
+//! Builds a virology-transcriptomics-like hypergraph: ~2500 genes as
+//! hyperedges over 201 experimental-condition vertices, with six planted
+//! "important genes" that are pairwise perturbed in > 100 common
+//! conditions (the paper identifies ISG15, IL6, ATF3, RSAD2, USP18,
+//! IFIT1). Computes s-line graphs at s = 1, 3, 5, then s-connected
+//! components and s-betweenness centrality — the high-s graphs isolate
+//! the important genes exactly as in the paper's Figure 5.
+//!
+//! Run with: `cargo run --release --example gene_importance`
+
+use hyperline::prelude::*;
+use hyperline::util::Table;
+
+/// The six gene names from the paper, assigned to the planted hyperedges.
+const IMPORTANT_GENES: [&str; 6] = ["ISG15", "IL6", "ATF3", "RSAD2", "USP18", "IFIT1"];
+
+fn main() {
+    let seed = 7;
+    let h = Profile::Genomics.generate(seed);
+    let planted = Profile::Genomics.planted_edge_range(seed).unwrap();
+    let gene_name = |e: u32| -> String {
+        if planted.contains(&e) {
+            IMPORTANT_GENES[(e - planted.start) as usize].to_string()
+        } else {
+            format!("gene-{e}")
+        }
+    };
+    println!(
+        "virology genomics hypergraph: {} genes (hyperedges) × {} conditions (vertices)",
+        h.num_edges(),
+        h.num_vertices()
+    );
+
+    for s in [1u32, 3, 5] {
+        let run = run_pipeline(&h, &PipelineConfig::new(s));
+        let slg = &run.line_graph;
+        let comps = run.components.unwrap();
+        println!(
+            "\ns = {s}: line graph has {} vertices, {} edges, {} component(s)",
+            slg.num_vertices(),
+            slg.num_edges(),
+            comps.len()
+        );
+        let bc = slg.betweenness();
+        let mut table = Table::new(["gene", "s-betweenness"]);
+        for &(e, score) in bc.iter().take(6) {
+            table.row([gene_name(e), format!("{score:.4}")]);
+        }
+        table.print();
+    }
+
+    // At very high s only the planted genes survive — they share > 100
+    // conditions pairwise, like IFIT1/USP18 in the paper.
+    let run = run_pipeline(&h, &PipelineConfig::new(100));
+    let surviving: Vec<String> = run
+        .components
+        .unwrap()
+        .iter()
+        .flatten()
+        .map(|&e| gene_name(e))
+        .collect();
+    println!("\nGenes s-connected at s = 100 (perturbed together in >100 conditions):");
+    println!("  {}", surviving.join(", "));
+}

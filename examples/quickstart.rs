@@ -1,0 +1,62 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the hypergraph of Figure 1 (vertices a..f, hyperedges
+//! 1:{a,b,c}, 2:{b,c,d}, 3:{a,b,c,d,e}, 4:{e,f}), computes the s-line
+//! graphs of Figure 2 for s = 1..4 with overlap weights, shows the dual /
+//! toplexes, and runs the five-stage pipeline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hyperline::prelude::*;
+use hyperline::hypergraph::toplex;
+
+fn vertex_name(v: u32) -> char {
+    (b'a' + v as u8) as char
+}
+
+fn main() {
+    let h = Hypergraph::paper_example();
+    println!("Hypergraph H: {} vertices, {} hyperedges, {} incidences", h.num_vertices(), h.num_edges(), h.num_incidences());
+    for e in 0..h.num_edges() as u32 {
+        let members: String = h.edge_vertices(e).iter().map(|&v| vertex_name(v)).collect();
+        println!("  edge {}: {{{}}}", e + 1, members.chars().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+    }
+
+    // Figure 2: hyperedge s-line graphs for s = 1..4, with edge weights
+    // (the overlap sizes drawn as line width in the paper).
+    println!("\ns-line graphs L_s(H) (edge weight = |e_i ∩ e_j|):");
+    for s in 1..=4u32 {
+        let (edges, _) = algo2_slinegraph_weighted(&h, s, &Strategy::default());
+        let rendered: Vec<String> = edges
+            .iter()
+            .map(|&(i, j, w)| format!("{}–{} (w={w})", i + 1, j + 1))
+            .collect();
+        println!("  s={s}: [{}]", rendered.join(", "));
+    }
+
+    // The dual hypergraph (Figure 1 right).
+    let dual = h.dual();
+    println!("\nDual H*: {} vertices (old edges), {} hyperedges (old vertices)", dual.num_vertices(), dual.num_edges());
+
+    // Toplexes (Stage 2): edges 1 and 2 are subsets of edge 3.
+    let t = toplex::toplexes(&h);
+    let names: Vec<String> = t.toplex_ids.iter().map(|&e| (e + 1).to_string()).collect();
+    println!("Toplexes Ě: edges {{{}}} — H is {}simple", names.join(", "), if toplex::is_simple(&h) { "" } else { "not " });
+
+    // The clique expansion (2-section, Figure 3 right) via the dual.
+    let cx = clique_expansion(&h, &Strategy::default());
+    println!("\n2-section H₂ has {} edges (clique expansion of H)", cx.edges.len());
+
+    // Full pipeline at s = 2 with stage timing.
+    let run = run_pipeline(&h, &PipelineConfig::new(2));
+    println!("\nPipeline at s=2:");
+    print!("{}", run.times);
+    println!("2-connected components: {:?}", run.components.unwrap()
+        .iter()
+        .map(|c| c.iter().map(|&e| (e + 1).to_string()).collect::<Vec<_>>())
+        .collect::<Vec<_>>());
+
+    // s-distance: edges 1 and 4 are 1-connected through edge 3.
+    let slg1 = run_pipeline(&h, &PipelineConfig::new(1)).line_graph;
+    println!("1-distance between edges 1 and 4: {:?}", slg1.s_distance(0, 3));
+}

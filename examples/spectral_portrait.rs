@@ -1,0 +1,69 @@
+//! A spectral/structural portrait of a hypergraph across s.
+//!
+//! Sweeps `s` over a compBoard-like membership network and reports, per
+//! s-line graph: size, components, diameter, clustering, degeneracy
+//! (max k-core) and normalized algebraic connectivity — the kind of
+//! multi-metric Stage-5 readout the paper's framework is built for.
+//! Also writes a Graphviz DOT drawing of the weighted s-line graph at the
+//! chosen `s` (the paper's Figure 2 style: line width = overlap size).
+//!
+//! Run with: `cargo run --release --example spectral_portrait`
+
+use hyperline::graph::{dot, kcore, WeightedGraph};
+use hyperline::prelude::*;
+use hyperline::slinegraph::SLineGraph;
+use hyperline::util::Table;
+
+fn main() {
+    let h = Profile::CompBoard.generate(21);
+    println!(
+        "compBoard-like network: {} members (vertices), {} boards (hyperedges)\n",
+        h.num_vertices(),
+        h.num_edges()
+    );
+
+    let s_values: Vec<u32> = (1..=8).collect();
+    let ens = ensemble_slinegraphs(&h, &s_values, &Strategy::default());
+
+    let mut table = Table::new([
+        "s", "|V|", "|E|", "comps", "diam", "avg clust", "degeneracy", "alg. conn",
+    ]);
+    for (s, edges) in &ens.per_s {
+        let slg = SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone());
+        let comps = slg.connected_components().len();
+        let degeneracy = kcore::degeneracy(slg.graph());
+        table.row([
+            s.to_string(),
+            slg.num_vertices().to_string(),
+            slg.num_edges().to_string(),
+            comps.to_string(),
+            slg.s_diameter().to_string(),
+            format!("{:.3}", slg.average_clustering()),
+            degeneracy.to_string(),
+            format!("{:.4}", slg.algebraic_connectivity()),
+        ]);
+    }
+    table.print();
+
+    // Figure-2-style weighted drawing of a small s-line graph.
+    let s = 4;
+    let (weighted_edges, _) = algo2_slinegraph_weighted(&h, s, &Strategy::default());
+    // Squeeze for drawing: only touched hyperedges appear.
+    let squeezer =
+        hyperline::util::IdSqueezer::from_ids(weighted_edges.iter().flat_map(|&(a, b, _)| [a, b]));
+    let compact: Vec<(u32, u32, u32)> = weighted_edges
+        .iter()
+        .map(|&(a, b, w)| (squeezer.squeeze(a).unwrap(), squeezer.squeeze(b).unwrap(), w))
+        .collect();
+    let wg = WeightedGraph::from_edges(squeezer.len(), &compact);
+    let dot_text = dot::to_dot_weighted(&wg, |v| format!("board {}", squeezer.unsqueeze(v)));
+    let path = std::env::temp_dir().join("compboard_s4.dot");
+    std::fs::write(&path, &dot_text).expect("write DOT file");
+    println!(
+        "\nwrote the weighted {s}-line graph ({} vertices, {} edges) to {}",
+        wg.graph.num_vertices(),
+        wg.graph.num_edges(),
+        path.display()
+    );
+    println!("render with: dot -Tpng {} -o portrait.png", path.display());
+}

@@ -1,0 +1,172 @@
+//! Edge-case and failure-injection tests across the whole stack:
+//! degenerate hypergraphs, extreme `s`, adversarial null models, sparse
+//! ID spaces, and worker-count corners.
+
+use hyperline::gen::{ChungLuModel, UniformModel};
+use hyperline::prelude::*;
+use hyperline::slinegraph::SLineGraph;
+
+#[test]
+fn empty_hypergraph_everywhere() {
+    let h = Hypergraph::from_edge_lists(&[], 0);
+    assert!(algo2_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
+    assert!(algo1_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
+    assert!(naive_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
+    assert!(spgemm_slinegraph(&h, 1, true).edges.is_empty());
+    let run = run_pipeline(&h, &PipelineConfig::new(1));
+    assert!(run.line_graph.edges.is_empty());
+    assert!(run.components.unwrap().is_empty());
+}
+
+#[test]
+fn all_empty_edges() {
+    let h = Hypergraph::from_edge_lists(&[vec![], vec![], vec![]], 1);
+    for s in 1..=2 {
+        assert!(algo2_slinegraph(&h, s, &Strategy::default()).edges.is_empty());
+    }
+}
+
+#[test]
+fn single_vertex_many_edges() {
+    // Every pair of the 50 singleton edges {0} shares exactly 1 vertex.
+    let lists: Vec<Vec<u32>> = (0..50).map(|_| vec![0u32]).collect();
+    let h = Hypergraph::from_edge_lists(&lists, 1);
+    let r1 = algo2_slinegraph(&h, 1, &Strategy::default());
+    assert_eq!(r1.edges.len(), 50 * 49 / 2);
+    let r2 = algo2_slinegraph(&h, 2, &Strategy::default());
+    assert!(r2.edges.is_empty());
+}
+
+#[test]
+fn s_larger_than_any_edge() {
+    let h = Profile::LesMis.generate(1);
+    let max = h.max_edge_size() as u32;
+    let r = algo2_slinegraph(&h, max + 1, &Strategy::default());
+    assert!(r.edges.is_empty());
+    assert_eq!(r.stats.total().edges_processed, 0, "all sources pruned");
+}
+
+#[test]
+fn huge_s_value_no_overflow() {
+    let h = Hypergraph::paper_example();
+    let r = algo2_slinegraph(&h, u32::MAX, &Strategy::default());
+    assert!(r.edges.is_empty());
+}
+
+#[test]
+fn identical_edges_form_clique() {
+    let lists: Vec<Vec<u32>> = (0..10).map(|_| vec![0u32, 1, 2, 3]).collect();
+    let h = Hypergraph::from_edge_lists(&lists, 4);
+    let r = algo2_slinegraph(&h, 4, &Strategy::default());
+    assert_eq!(r.edges.len(), 45);
+    let slg = SLineGraph::new_squeezed(4, 10, r.edges);
+    assert_eq!(slg.connected_components(), vec![(0..10u32).collect::<Vec<_>>()]);
+    assert!((slg.average_clustering() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn uniform_null_model_has_trivial_high_s_structure() {
+    // Failure-injection for the planted-structure assumptions: a pure
+    // null model must not accidentally contain deep components.
+    let h = UniformModel {
+        num_vertices: 5_000,
+        num_edges: 2_000,
+        edge_size_min: 2,
+        edge_size_max: 8,
+        edge_size_exponent: 2.0,
+    }
+    .generate(99);
+    let r = algo2_slinegraph(&h, 5, &Strategy::default());
+    assert!(
+        r.edges.len() < 5,
+        "uniform model produced {} 5-deep overlaps",
+        r.edges.len()
+    );
+}
+
+#[test]
+fn chung_lu_hub_dominates_line_graph_degree() {
+    let m = ChungLuModel::zipf(2_000, 1.1, 5_000);
+    let h = m.generate(5);
+    // The 1-line graph edges concentrate on hyperedges containing hub
+    // vertices; just verify the construction stays consistent.
+    let r = algo2_slinegraph(&h, 1, &Strategy::default());
+    let r_naive = naive_slinegraph(&h, 1, &Strategy::default());
+    assert_eq!(r.edges, r_naive.edges);
+}
+
+#[test]
+fn worker_counts_beyond_items() {
+    let h = Hypergraph::paper_example();
+    for workers in [1usize, 3, 64, 1000] {
+        let st = Strategy::default().with_workers(workers);
+        assert_eq!(
+            algo2_slinegraph(&h, 2, &st).edges,
+            vec![(0, 1), (0, 2), (1, 2)],
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn dynamic_partition_tiny_and_huge_chunks() {
+    let h = Profile::LesMis.generate(3);
+    let reference = algo2_slinegraph(&h, 2, &Strategy::default()).edges;
+    for chunk in [1usize, 7, 100_000] {
+        let st = Strategy::default().with_partition(Partition::Dynamic { chunk });
+        assert_eq!(algo2_slinegraph(&h, 2, &st).edges, reference, "chunk={chunk}");
+    }
+}
+
+#[test]
+fn squeeze_on_sparse_high_ids() {
+    // Hyperedge IDs surviving filtration sit at the very end of a large
+    // ID space; squeezing must stay correct.
+    let mut lists: Vec<Vec<u32>> = (0..1000).map(|i| vec![i as u32 % 997]).collect();
+    lists.push((0..50).collect());
+    lists.push((0..50).collect());
+    let h = Hypergraph::from_edge_lists(&lists, 1000);
+    let r = algo2_slinegraph(&h, 50, &Strategy::default());
+    assert_eq!(r.edges, vec![(1000, 1001)]);
+    let slg = SLineGraph::new_squeezed(50, h.num_edges(), r.edges);
+    assert_eq!(slg.num_vertices(), 2);
+    assert_eq!(slg.connected_components(), vec![vec![1000, 1001]]);
+    assert_eq!(slg.s_distance(1000, 1001), Some(1));
+}
+
+#[test]
+fn toplex_of_duplicate_only_hypergraph() {
+    let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![0, 1], vec![0, 1]], 2);
+    let t = hyperline::hypergraph::toplexes(&h);
+    assert_eq!(t.toplex_ids, vec![0]);
+    assert_eq!(t.simplified.num_edges(), 1);
+}
+
+#[test]
+fn ensemble_with_duplicate_and_unsorted_s_values() {
+    let h = Profile::LesMis.generate(4);
+    let ens = ensemble_slinegraphs(&h, &[5, 1, 5, 3], &Strategy::default());
+    assert_eq!(ens.per_s.len(), 4);
+    assert_eq!(ens.per_s[0].0, 5);
+    assert_eq!(ens.per_s[1].0, 1);
+    assert_eq!(ens.per_s[0].1, ens.per_s[2].1, "duplicate s values agree");
+    // Results still exact despite unsorted input.
+    for (s, edges) in &ens.per_s {
+        assert_eq!(edges, &algo2_slinegraph(&h, *s, &Strategy::default()).edges);
+    }
+}
+
+#[test]
+fn pipeline_without_pruning_or_squeezing() {
+    let h = Profile::CompBoard.generate(8);
+    let config = PipelineConfig {
+        s: 2,
+        strategy: Strategy::default().with_pruning(false),
+        squeeze: false,
+        ..PipelineConfig::new(2)
+    };
+    let run = run_pipeline(&h, &config);
+    let reference = run_pipeline(&h, &PipelineConfig::new(2));
+    assert_eq!(run.line_graph.edges, reference.line_graph.edges);
+    assert_eq!(run.line_graph.num_vertices(), h.num_edges());
+}

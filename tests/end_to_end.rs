@@ -1,0 +1,160 @@
+//! End-to-end pipeline tests across crates: generator → preprocessing →
+//! s-overlap → squeeze → metrics.
+
+use hyperline::graph::cc;
+use hyperline::hypergraph::io;
+use hyperline::prelude::*;
+use hyperline::slinegraph::SLineGraph;
+
+#[test]
+fn pipeline_on_generated_profile_all_stages() {
+    let h = Profile::CompBoard.generate(1);
+    let config = PipelineConfig {
+        s: 3,
+        algorithm: Algorithm::Algo2,
+        strategy: Strategy::default(),
+        compute_toplexes: true,
+        squeeze: true,
+        run_components: true,
+    };
+    let run = run_pipeline(&h, &config);
+    assert!(run.num_toplexes.is_some());
+    assert!(run.times.len() >= 4);
+    // Edges are on original IDs and valid.
+    for &(a, b) in &run.line_graph.edges {
+        assert!(a < b);
+        assert!((b as usize) < h.num_edges());
+        assert!(h.inc(a, b) >= 3);
+    }
+}
+
+#[test]
+fn toplex_pipeline_loses_only_non_maximal_edges() {
+    // Every s-line edge between toplexes must appear in both pipelines.
+    let h = Profile::LesMis.generate(2);
+    let with = run_pipeline(
+        &h,
+        &PipelineConfig { compute_toplexes: true, ..PipelineConfig::new(2) },
+    );
+    let without = run_pipeline(&h, &PipelineConfig::new(2));
+    let all: std::collections::HashSet<(u32, u32)> =
+        without.line_graph.edges.iter().copied().collect();
+    for e in &with.line_graph.edges {
+        assert!(all.contains(e), "toplex edge {e:?} missing from full run");
+    }
+    assert!(with.line_graph.edges.len() <= without.line_graph.edges.len());
+}
+
+#[test]
+fn components_match_union_find_oracle() {
+    let h = Profile::EmailEuAll.generate(3);
+    let run = run_pipeline(&h, &PipelineConfig::new(2));
+    let comps = run.components.unwrap();
+    // Oracle: union-find over the raw edge list.
+    let labels = cc::components_union_find(h.num_edges(), &run.line_graph.edges);
+    let oracle = cc::components_as_sets(&labels);
+    let oracle_non_singleton: Vec<Vec<u32>> =
+        oracle.into_iter().filter(|c| c.len() > 1).collect();
+    let got_non_singleton: Vec<Vec<u32>> =
+        comps.into_iter().filter(|c| c.len() > 1).collect();
+    assert_eq!(got_non_singleton, oracle_non_singleton);
+}
+
+#[test]
+fn squeezed_and_unsqueezed_agree_on_metrics() {
+    let h = Profile::LesMis.generate(4);
+    let edges = algo2_slinegraph(&h, 2, &Strategy::default()).edges;
+    let squeezed = SLineGraph::new_squeezed(2, h.num_edges(), edges.clone());
+    let unsqueezed = SLineGraph::new_unsqueezed(2, h.num_edges(), edges);
+    assert_eq!(squeezed.connected_components(), unsqueezed.connected_components());
+    for (e, f) in [(0u32, 5u32), (3, 9), (1, 1)] {
+        assert_eq!(squeezed.s_distance(e, f), unsqueezed.s_distance(e, f), "({e},{f})");
+    }
+}
+
+#[test]
+fn io_roundtrip_preserves_slinegraphs() {
+    let h = Profile::LesMis.generate(5);
+    let mut buf = Vec::new();
+    io::write_edge_list(&h, &mut buf).unwrap();
+    let h2 = io::read_edge_list(buf.as_slice()).unwrap();
+    assert_eq!(h, h2);
+    let st = Strategy::default();
+    assert_eq!(
+        algo2_slinegraph(&h, 3, &st).edges,
+        algo2_slinegraph(&h2, 3, &st).edges
+    );
+}
+
+#[test]
+fn spgemm_pipeline_matches_algo2_pipeline() {
+    let h = Profile::CompBoard.generate(6);
+    let a2 = run_pipeline(&h, &PipelineConfig::new(2));
+    let sp = run_pipeline(
+        &h,
+        &PipelineConfig {
+            algorithm: Algorithm::SpGemm { upper: true },
+            ..PipelineConfig::new(2)
+        },
+    );
+    assert_eq!(a2.line_graph.edges, sp.line_graph.edges);
+}
+
+#[test]
+fn betweenness_identifies_planted_star_hub() {
+    let h = Profile::Imdb.generate(11);
+    let planted = Profile::Imdb.planted_edge_range(11).unwrap();
+    let run = run_pipeline(&h, &PipelineConfig::new(100));
+    let hub = planted.start;
+    // The hub's component is exactly the 5 planted star members.
+    let comps = run.components.unwrap();
+    let star = comps.iter().find(|c| c.contains(&hub)).expect("hub must be s-connected");
+    assert_eq!(star.len(), 5);
+    // Within the star, only the hub has positive betweenness.
+    let bc = run.line_graph.betweenness();
+    for &(e, score) in bc.iter() {
+        if star.contains(&e) {
+            if e == hub {
+                assert!(score > 0.0, "hub must be central");
+            } else {
+                assert_eq!(score, 0.0, "leaf {e} must have zero centrality");
+            }
+        }
+    }
+}
+
+#[test]
+fn clique_expansion_matches_two_section_semantics() {
+    // {u, v} in the 2-section iff some hyperedge contains both.
+    let h = Profile::LesMis.generate(7);
+    let cx = clique_expansion(&h, &Strategy::default());
+    let set: std::collections::HashSet<(u32, u32)> = cx.edges.iter().copied().collect();
+    let n = h.num_vertices() as u32;
+    for u in 0..n.min(40) {
+        for v in (u + 1)..n.min(40) {
+            assert_eq!(set.contains(&(u, v)), h.adj(u, v) >= 1, "pair ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn ensemble_pipeline_on_condmat_reproduces_fig6_shape() {
+    let h = Profile::CondMat.generate(42);
+    let s_values: Vec<u32> = (1..=16).collect();
+    let ens = ensemble_slinegraphs(&h, &s_values, &Strategy::default());
+    let lambdas: Vec<f64> = ens
+        .per_s
+        .iter()
+        .map(|(s, edges)| {
+            SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone()).algebraic_connectivity()
+        })
+        .collect();
+    // Mid-s regime is weakly connected; the high-s regime (planted teams)
+    // is sharply more connected.
+    let mid_max = lambdas[3..12].iter().cloned().fold(0.0, f64::max);
+    let high_max = lambdas[12..].iter().cloned().fold(0.0, f64::max);
+    assert!(
+        high_max > 2.0 * mid_max,
+        "expected sharp rise at s >= 13: mid {mid_max} vs high {high_max}"
+    );
+}

@@ -1,0 +1,84 @@
+//! Structural validation of every synthetic dataset profile: the
+//! generators must produce internally-consistent hypergraphs with the
+//! skew properties the experiments rely on.
+
+use hyperline::gen::{dns_chunks, Profile};
+use hyperline::hypergraph::checks;
+
+#[test]
+fn every_profile_is_structurally_valid() {
+    for profile in Profile::ALL {
+        let h = profile.generate(1);
+        checks::assert_valid(&h);
+        assert!(h.num_edges() > 0, "{}: no edges", profile.name());
+        assert!(h.num_vertices() > 0, "{}: no vertices", profile.name());
+    }
+}
+
+#[test]
+fn dns_chunk_family_is_valid_and_linear() {
+    let mut prev_incidences = 0usize;
+    for chunks in [1usize, 2, 4] {
+        let h = dns_chunks(chunks, 7);
+        checks::assert_valid(&h);
+        assert_eq!(h.num_edges(), 4_000 * chunks);
+        assert!(h.num_incidences() > prev_incidences);
+        prev_incidences = h.num_incidences();
+    }
+    // Linear growth: 4 chunks ≈ 4 × 1 chunk (±20%, dedup jitter).
+    let one = dns_chunks(1, 7).num_incidences() as f64;
+    let four = dns_chunks(4, 7).num_incidences() as f64;
+    assert!((four / one - 4.0).abs() < 0.8, "ratio {}", four / one);
+}
+
+#[test]
+fn social_profiles_are_skewed() {
+    // Table IV: "all the hypergraphs have a skewed hyperedge degree
+    // distribution" — the load-balancing experiments depend on it.
+    for profile in [
+        Profile::LiveJournal,
+        Profile::ComOrkut,
+        Profile::Friendster,
+        Profile::Web,
+        Profile::AmazonReviews,
+    ] {
+        let h = profile.generate(1);
+        let skew = checks::edge_size_skew(&h);
+        assert!(skew > 3.0, "{}: edge-size skew {skew:.1} too uniform", profile.name());
+    }
+}
+
+#[test]
+fn profiles_differ_across_seeds_but_not_within() {
+    for profile in [Profile::LesMis, Profile::Genomics, Profile::CondMat] {
+        assert_eq!(profile.generate(5), profile.generate(5), "{}", profile.name());
+        assert_ne!(profile.generate(5), profile.generate(6), "{}", profile.name());
+    }
+}
+
+#[test]
+fn degree_histograms_have_tails() {
+    let h = Profile::LiveJournal.generate(1);
+    let (vertex_hist, edge_hist) = checks::degree_histograms(&h);
+    // Skewed distributions spread over many log-bins.
+    assert!(vertex_hist.len() >= 6, "vertex bins: {}", vertex_hist.len());
+    assert!(edge_hist.len() >= 6, "edge bins: {}", edge_hist.len());
+    // The head dominates the tail.
+    assert!(vertex_hist[0] + vertex_hist[1] > *vertex_hist.last().unwrap() * 10);
+}
+
+#[test]
+fn planted_ranges_are_in_bounds() {
+    for profile in Profile::ALL {
+        if let Some(range) = profile.planted_edge_range(1) {
+            let h = profile.generate(1);
+            assert!(
+                (range.end as usize) <= h.num_edges(),
+                "{}: planted range {range:?} exceeds {} edges",
+                profile.name(),
+                h.num_edges()
+            );
+            assert!(!range.is_empty(), "{}: empty planted range", profile.name());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Regression tests for the paper's headline qualitative claims, checked
+//! on the synthetic profiles (DESIGN.md §7 lists the expected shapes).
+
+use hyperline::prelude::*;
+use hyperline::graph::pagerank::{pagerank, rank_order, PageRankOptions};
+use hyperline::slinegraph::SLineGraph;
+
+/// §VI-G: Friendster's s = 1024 line graph has exactly 20 connected
+/// components (the planted deep-core communities).
+#[test]
+fn friendster_20_components_at_s1024() {
+    let h = Profile::Friendster.generate(42);
+    let r = algo2_slinegraph(&h, 1024, &Strategy::default());
+    let slg = SLineGraph::new_squeezed(1024, h.num_edges(), r.edges);
+    assert_eq!(slg.connected_components().len(), 20);
+}
+
+/// Table I: Algorithm 2 performs zero set intersections while Algorithm 1
+/// performs millions on a social-network profile, and both agree.
+#[test]
+fn zero_set_intersections_headline() {
+    let h = Profile::EmailEuAll.generate(42);
+    let st = Strategy::default();
+    let r2 = algo2_slinegraph(&h, 4, &st);
+    let r1 = algo1_slinegraph(&h, 4, &st);
+    assert_eq!(r2.stats.total().set_intersections, 0);
+    assert!(r1.stats.total().set_intersections > 0);
+    assert_eq!(r1.edges, r2.edges);
+}
+
+/// Figure 4: s-clique graph density decays rapidly (monotone, and at
+/// least 10x down within the first decade of s) on the four application
+/// profiles.
+#[test]
+fn sclique_density_decays() {
+    for profile in [Profile::DisGeNet, Profile::CondMat, Profile::CompBoard, Profile::LesMis] {
+        let h = profile.generate(42);
+        let counts = sclique_graph(&h, 1, &Strategy::default()).edges.len();
+        let at10 = sclique_graph(&h, 10, &Strategy::default()).edges.len();
+        assert!(counts > 0, "{}: clique expansion must be non-empty", profile.name());
+        assert!(
+            at10 * 10 <= counts,
+            "{}: expected >=10x sparsification by s=10 ({} -> {})",
+            profile.name(),
+            counts,
+            at10
+        );
+    }
+}
+
+/// Table II: the top-5 PageRank diseases of the clique expansion remain
+/// the top-5 (as a set) in the s = 10 s-clique graph, and mostly survive
+/// at s = 100.
+#[test]
+fn pagerank_ranking_stable_across_s() {
+    let h = Profile::DisGeNet.generate(3);
+    let top = |s: u32, k: usize| -> std::collections::HashSet<u32> {
+        let r = sclique_graph(&h, s, &Strategy::default());
+        let g = Graph::from_edges(h.num_vertices(), &r.edges);
+        let pr = pagerank(&g, PageRankOptions::default());
+        rank_order(&pr).into_iter().take(k).map(|(v, _, _)| v).collect()
+    };
+    let base = top(1, 5);
+    let s10 = top(10, 5);
+    assert!(base.intersection(&s10).count() >= 4, "top-5 must be ~stable at s=10");
+    let s100_top10 = top(100, 10);
+    assert!(
+        base.intersection(&s100_top10).count() >= 4,
+        "top-5 of s=1 must stay near the top at s=100"
+    );
+}
+
+/// §V-A: the six planted genes are the only hyperedges s-connected at
+/// s = 100 in the genomics profile, and they top s = 5 betweenness.
+#[test]
+fn genomics_important_genes_isolated() {
+    let seed = 7;
+    let h = Profile::Genomics.generate(seed);
+    let planted = Profile::Genomics.planted_edge_range(seed).unwrap();
+    let run = run_pipeline(&h, &PipelineConfig::new(100));
+    let comps = run.components.unwrap();
+    let members: std::collections::HashSet<u32> = comps.iter().flatten().copied().collect();
+    assert_eq!(members.len(), 6);
+    assert!(members.iter().all(|e| planted.contains(e)));
+
+    let run5 = run_pipeline(&h, &PipelineConfig::new(5));
+    let bc = run5.line_graph.betweenness();
+    let top10: std::collections::HashSet<u32> = bc.iter().take(10).map(|&(e, _)| e).collect();
+    let planted_in_top10 = planted.clone().filter(|e| top10.contains(e)).count();
+    assert!(planted_in_top10 >= 5, "only {planted_in_top10}/6 planted genes in top 10");
+}
+
+/// Degree pruning (§III-E): skipping |e| < s sources never changes the
+/// result but reduces outer-loop work on skewed data.
+#[test]
+fn degree_pruning_sound_and_effective() {
+    let h = Profile::ActiveDns.generate(42);
+    let s = 8;
+    let pruned = algo2_slinegraph(&h, s, &Strategy::default());
+    let unpruned = algo2_slinegraph(&h, s, &Strategy::default().with_pruning(false));
+    assert_eq!(pruned.edges, unpruned.edges);
+    assert!(
+        pruned.stats.total().edges_processed < unpruned.stats.total().edges_processed / 2,
+        "DNS edges are tiny: most sources should be pruned at s=8"
+    );
+}
+
+/// Figure 10's phenomenon: blocked distribution without relabeling is
+/// measurably less balanced than cyclic on a skewed profile.
+#[test]
+fn cyclic_balances_better_than_blocked() {
+    let h = Profile::LiveJournal.generate(42);
+    let workers = 16;
+    let run = |partition| {
+        let st = Strategy::default().with_partition(partition).with_workers(workers);
+        algo2_slinegraph(&h, 8, &st).stats.visit_summary().cv()
+    };
+    let blocked_cv = run(Partition::Blocked);
+    let cyclic_cv = run(Partition::Cyclic);
+    assert!(
+        cyclic_cv < blocked_cv,
+        "cyclic CV {cyclic_cv:.3} should beat blocked CV {blocked_cv:.3}"
+    );
+}
+
+/// Table V's phenomenon: the s = 8 line graph is orders of magnitude
+/// smaller than the 1-line graph on a social profile.
+#[test]
+fn s8_much_smaller_than_s1() {
+    let h = Profile::Friendster.generate(42);
+    let st = Strategy::default();
+    let s1 = algo2_slinegraph(&h, 1, &st).edges.len();
+    let s8 = algo2_slinegraph(&h, 8, &st).edges.len();
+    assert!(s8 * 10 < s1, "s=8 ({s8}) must be <10% of s=1 ({s1})");
+}
