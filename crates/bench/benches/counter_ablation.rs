@@ -48,7 +48,10 @@ fn dense_overlap_input() -> Hypergraph {
 }
 
 fn counter_ablation(c: &mut Criterion) {
-    let inputs = [("sparse-overlap", sparse_overlap_input()), ("dense-overlap", dense_overlap_input())];
+    let inputs = [
+        ("sparse-overlap", sparse_overlap_input()),
+        ("dense-overlap", dense_overlap_input()),
+    ];
     let mut group = c.benchmark_group("counter_ablation");
     group.sample_size(10);
     for (name, h) in &inputs {

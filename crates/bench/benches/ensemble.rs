@@ -17,18 +17,26 @@ fn ensemble_vs_repeated(c: &mut Criterion) {
     group.sample_size(10);
     for k in [2usize, 8, 16] {
         let s_values: Vec<u32> = (1..=k as u32).collect();
-        group.bench_with_input(BenchmarkId::new("algorithm3", k), &s_values, |b, s_values| {
-            b.iter(|| black_box(ensemble_slinegraphs(&h, s_values, &strategy).per_s.len()))
-        });
-        group.bench_with_input(BenchmarkId::new("repeated-algo2", k), &s_values, |b, s_values| {
-            b.iter(|| {
-                let total: usize = s_values
-                    .iter()
-                    .map(|&s| algo2_slinegraph(&h, s, &strategy).edges.len())
-                    .sum();
-                black_box(total)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm3", k),
+            &s_values,
+            |b, s_values| {
+                b.iter(|| black_box(ensemble_slinegraphs(&h, s_values, &strategy).per_s.len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("repeated-algo2", k),
+            &s_values,
+            |b, s_values| {
+                b.iter(|| {
+                    let total: usize = s_values
+                        .iter()
+                        .map(|&s| algo2_slinegraph(&h, s, &strategy).edges.len())
+                        .sum();
+                    black_box(total)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -55,10 +55,12 @@ fn heuristics_ablation(c: &mut Criterion) {
         ("no-degree-pruning", Strategy::default().with_pruning(false)),
         (
             "all-off",
-            Strategy::default().with_pruning(false).with_algo1_heuristics(Algo1Heuristics {
-                skip_visited: false,
-                short_circuit: false,
-            }),
+            Strategy::default()
+                .with_pruning(false)
+                .with_algo1_heuristics(Algo1Heuristics {
+                    skip_visited: false,
+                    short_circuit: false,
+                }),
         ),
     ];
     for (label, strategy) in variants {
@@ -70,7 +72,10 @@ fn heuristics_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("triangle_side");
     group.sample_size(10);
-    for (label, side) in [("upper", TriangleSide::Upper), ("lower", TriangleSide::Lower)] {
+    for (label, side) in [
+        ("upper", TriangleSide::Upper),
+        ("lower", TriangleSide::Lower),
+    ] {
         let strategy = Strategy::default().with_triangle(side);
         group.bench_function(format!("algo2-{label}"), |b| {
             b.iter(|| black_box(algo2_slinegraph(&h, s, &strategy).edges.len()))

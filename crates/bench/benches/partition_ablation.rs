@@ -37,18 +37,30 @@ fn partition_ablation(c: &mut Criterion) {
         for partition in [Partition::Blocked, Partition::Cyclic] {
             let strategy = Strategy::default().with_partition(partition);
             let label = format!("{}{}", partition.code(), relabel.code());
-            group.bench_with_input(BenchmarkId::new("static", label), &strategy, |b, strategy| {
-                b.iter(|| black_box(algo2_slinegraph(&relabeled.hypergraph, 8, strategy).edges.len()))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("static", label),
+                &strategy,
+                |b, strategy| {
+                    b.iter(|| {
+                        black_box(
+                            algo2_slinegraph(&relabeled.hypergraph, 8, strategy)
+                                .edges
+                                .len(),
+                        )
+                    })
+                },
+            );
         }
     }
 
     // Grainsize sweep for the dynamic mode (no relabeling).
     for chunk in [16usize, 64, 256, 2048] {
         let strategy = Strategy::default().with_partition(Partition::Dynamic { chunk });
-        group.bench_with_input(BenchmarkId::new("dynamic-chunk", chunk), &strategy, |b, strategy| {
-            b.iter(|| black_box(algo2_slinegraph(&h, 8, strategy).edges.len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-chunk", chunk),
+            &strategy,
+            |b, strategy| b.iter(|| black_box(algo2_slinegraph(&h, 8, strategy).edges.len())),
+        );
     }
     group.finish();
 }

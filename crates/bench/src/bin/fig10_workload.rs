@@ -26,7 +26,11 @@ fn main() {
     let full = flag("full");
 
     let h = profile.generate(seed);
-    println!("dataset: {} ({} edges), s = {s}, {workers} workers\n", profile.name(), h.num_edges());
+    println!(
+        "dataset: {} ({} edges), s = {s}, {workers} workers\n",
+        profile.name(),
+        h.num_edges()
+    );
 
     let variants: [(&str, Partition, RelabelOrder); 6] = [
         ("2BN", Partition::Blocked, RelabelOrder::None),

@@ -20,12 +20,23 @@ use hyperline_slinegraph::{
 use hyperline_util::table::Table;
 
 fn sweep(h: &Hypergraph, name: &str, s_values: &[u32], reps: usize) {
-    println!("\n--- {name}: {} vertices, {} edges ---", h.num_vertices(), h.num_edges());
+    println!(
+        "\n--- {name}: {} vertices, {} edges ---",
+        h.num_vertices(),
+        h.num_edges()
+    );
     let asc = relabel_edges_by_degree(h, RelabelOrder::Ascending);
     let algo1_strategy = Strategy::default().with_partition(Partition::Cyclic);
     let algo2_strategy = Strategy::default().with_partition(Partition::Blocked);
 
-    let mut table = Table::new(["s", "SpGEMM+Filter", "SpGEMM+F+Upper", "1CA", "2BA", "|E(L_s)|"]);
+    let mut table = Table::new([
+        "s",
+        "SpGEMM+Filter",
+        "SpGEMM+F+Upper",
+        "1CA",
+        "2BA",
+        "|E(L_s)|",
+    ]);
     for &s in s_values {
         let t_full = median_secs(reps, || {
             std::hint::black_box(spgemm_slinegraph(h, s, false).edges.len());
@@ -34,12 +45,22 @@ fn sweep(h: &Hypergraph, name: &str, s_values: &[u32], reps: usize) {
             std::hint::black_box(spgemm_slinegraph(h, s, true).edges.len());
         });
         let t_algo1 = median_secs(reps, || {
-            std::hint::black_box(algo1_slinegraph(&asc.hypergraph, s, &algo1_strategy).edges.len());
+            std::hint::black_box(
+                algo1_slinegraph(&asc.hypergraph, s, &algo1_strategy)
+                    .edges
+                    .len(),
+            );
         });
         let t_algo2 = median_secs(reps, || {
-            std::hint::black_box(algo2_slinegraph(&asc.hypergraph, s, &algo2_strategy).edges.len());
+            std::hint::black_box(
+                algo2_slinegraph(&asc.hypergraph, s, &algo2_strategy)
+                    .edges
+                    .len(),
+            );
         });
-        let edges = algo2_slinegraph(&asc.hypergraph, s, &algo2_strategy).edges.len();
+        let edges = algo2_slinegraph(&asc.hypergraph, s, &algo2_strategy)
+            .edges
+            .len();
         table.row([
             s.to_string(),
             format!("{:.1}ms", t_full * 1e3),

@@ -26,7 +26,11 @@ fn main() {
         let compact: Vec<(u32, u32, u32)> = edges
             .iter()
             .map(|&(a, b, w)| {
-                (squeezer.squeeze(a).unwrap(), squeezer.squeeze(b).unwrap(), w)
+                (
+                    squeezer.squeeze(a).unwrap(),
+                    squeezer.squeeze(b).unwrap(),
+                    w,
+                )
             })
             .collect();
         let wg = WeightedGraph::from_edges(squeezer.len().max(1), &compact);
@@ -43,7 +47,11 @@ fn main() {
         let _ = writeln!(bip, "  e{e} [label=\"{}\", shape=box];", e + 1);
     }
     for v in 0..h.num_vertices() as u32 {
-        let _ = writeln!(bip, "  v{v} [label=\"{}\", shape=circle];", (b'a' + v as u8) as char);
+        let _ = writeln!(
+            bip,
+            "  v{v} [label=\"{}\", shape=circle];",
+            (b'a' + v as u8) as char
+        );
     }
     for e in 0..h.num_edges() as u32 {
         for &v in h.edge_vertices(e) {

@@ -21,7 +21,12 @@ fn main() {
     let mut s_values: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
     s_values.retain(|&s| s <= max_s);
 
-    let profiles = [Profile::DisGeNet, Profile::CondMat, Profile::CompBoard, Profile::LesMis];
+    let profiles = [
+        Profile::DisGeNet,
+        Profile::CondMat,
+        Profile::CompBoard,
+        Profile::LesMis,
+    ];
     let mut table = Table::new(
         std::iter::once("s".to_string()).chain(profiles.iter().map(|p| p.name().to_string())),
     );
@@ -54,6 +59,10 @@ fn main() {
             .find(|&&(_, n)| n * 100 <= base)
             .map(|&(s, _)| s.to_string())
             .unwrap_or_else(|| format!("> {}", s_values.last().unwrap()));
-        println!("{:<22} 99% of clique-expansion edges gone by s = {}", p.name(), s99);
+        println!(
+            "{:<22} 99% of clique-expansion edges gone by s = {}",
+            p.name(),
+            s99
+        );
     }
 }

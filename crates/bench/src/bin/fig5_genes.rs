@@ -35,11 +35,21 @@ fn main() {
         h.num_vertices()
     );
 
-    let mut table = Table::new(["s", "vertices", "edges", "components", "top-3 by s-betweenness"]);
+    let mut table = Table::new([
+        "s",
+        "vertices",
+        "edges",
+        "components",
+        "top-3 by s-betweenness",
+    ]);
     for s in [1u32, 3, 5] {
         let run = run_pipeline(&h, &PipelineConfig::new(s));
         let bc = run.line_graph.betweenness();
-        let top: Vec<String> = bc.iter().take(3).map(|&(e, w)| format!("{}({w:.3})", gene(e))).collect();
+        let top: Vec<String> = bc
+            .iter()
+            .take(3)
+            .map(|&(e, w)| format!("{}({w:.3})", gene(e)))
+            .collect();
         table.row([
             s.to_string(),
             run.line_graph.num_vertices().to_string(),
@@ -57,11 +67,18 @@ fn main() {
     let ranks: Vec<(String, usize)> = planted
         .clone()
         .map(|e| {
-            let rank = bc.iter().position(|&(v, _)| v == e).map(|p| p + 1).unwrap_or(usize::MAX);
+            let rank = bc
+                .iter()
+                .position(|&(v, _)| v == e)
+                .map(|p| p + 1)
+                .unwrap_or(usize::MAX);
             (gene(e), rank)
         })
         .collect();
-    println!("\nimportant-gene betweenness ranks at s = 5 (of {} genes):", bc.len());
+    println!(
+        "\nimportant-gene betweenness ranks at s = 5 (of {} genes):",
+        bc.len()
+    );
     for (name, rank) in &ranks {
         println!("  {name:<6} rank {rank}");
     }

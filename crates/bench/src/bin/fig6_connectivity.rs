@@ -30,7 +30,12 @@ fn main() {
     let s_values: Vec<u32> = (1..=max_s).collect();
     let ens = ensemble_slinegraphs(&h, &s_values, &Strategy::default());
 
-    let mut table = Table::new(["s", "|E(L_s)|", "largest comp", "norm. algebraic connectivity"]);
+    let mut table = Table::new([
+        "s",
+        "|E(L_s)|",
+        "largest comp",
+        "norm. algebraic connectivity",
+    ]);
     let mut series = Vec::new();
     for (s, edges) in &ens.per_s {
         let slg = SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone());

@@ -60,7 +60,12 @@ fn main() {
         for (algorithm, strategy) in &grid {
             let t = time_variant(*algorithm, *strategy);
             cells.push(format!("{:.2}", baseline / t));
-            eprintln!("  {} {:.3}s (baseline 1CN {:.3}s)", strategy.notation(*algorithm), t, baseline);
+            eprintln!(
+                "  {} {:.3}s (baseline 1CN {:.3}s)",
+                strategy.notation(*algorithm),
+                t,
+                baseline
+            );
         }
         table.row(cells);
     }

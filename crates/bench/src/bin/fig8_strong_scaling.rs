@@ -21,7 +21,9 @@ fn main() {
     let s: u32 = arg("s", 8);
     let seed: u64 = arg("seed", 42);
     let chunks: usize = arg("dns-chunks", 256);
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 24, 32]
         .into_iter()
         .filter(|&t| t <= max_threads.max(1))
@@ -42,16 +44,22 @@ fn main() {
             if name.eq_ignore_ascii_case("dns") {
                 (format!("DNS-{chunks}"), dns_chunks(chunks, seed))
             } else {
-                let p = Profile::from_name(name).unwrap_or_else(|| panic!("unknown profile {name}"));
+                let p =
+                    Profile::from_name(name).unwrap_or_else(|| panic!("unknown profile {name}"));
                 (p.name().to_string(), p.generate(seed))
             }
         })
         .collect();
 
     for (name, h) in &datasets {
-        println!("\n--- {name}: {} vertices, {} edges ---", h.num_vertices(), h.num_edges());
+        println!(
+            "\n--- {name}: {} vertices, {} edges ---",
+            h.num_vertices(),
+            h.num_edges()
+        );
         let mut table = Table::new(
-            std::iter::once("threads".to_string()).chain(series.iter().map(|(l, _, _)| l.to_string())),
+            std::iter::once("threads".to_string())
+                .chain(series.iter().map(|(l, _, _)| l.to_string())),
         );
         for &threads in &thread_counts {
             let mut cells = vec![threads.to_string()];

@@ -18,7 +18,9 @@ fn main() {
     print_header("Figure 9: weak scaling of Algorithm 2 on activeDNS (blocked)");
     let seed: u64 = arg("seed", 42);
     let base_chunks: usize = arg("base-chunks", 4);
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let steps: Vec<(usize, usize)> = (0..6)
         .map(|i| (base_chunks << i, 1usize << i))
         .filter(|&(_, t)| t <= max_threads.max(1) * 2)

@@ -40,20 +40,33 @@ fn main() {
 
     let mut runs = Vec::new();
     for (label, algorithm) in configs {
-        let config = PipelineConfig { s, algorithm, strategy, ..PipelineConfig::new(s) };
+        let config = PipelineConfig {
+            s,
+            algorithm,
+            strategy,
+            ..PipelineConfig::new(s)
+        };
         let run = run_pipeline(&h, &config);
         runs.push((label, run));
     }
 
     let mut table = Table::new(["Stage", runs[0].0, runs[1].0]);
-    for stage in ["preprocessing", "s-overlap", "squeeze", "s-connected-components"] {
+    for stage in [
+        "preprocessing",
+        "s-overlap",
+        "squeeze",
+        "s-connected-components",
+    ] {
         table.row([
             stage.to_string(),
             fmt_duration(runs[0].1.times.get(stage).unwrap()),
             fmt_duration(runs[1].1.times.get(stage).unwrap()),
         ]);
     }
-    let totals: Vec<f64> = runs.iter().map(|(_, r)| r.times.total().as_secs_f64()).collect();
+    let totals: Vec<f64> = runs
+        .iter()
+        .map(|(_, r)| r.times.total().as_secs_f64())
+        .collect();
     table.row([
         "total time".to_string(),
         fmt_duration(runs[0].1.times.total()),

@@ -46,7 +46,11 @@ fn main() {
     for &d in &top5 {
         let mut cells = vec![format!("disease-{d}")];
         for (_, order, pct) in &rankings {
-            let rank = order.iter().find(|&&(v, _, _)| v == d).map(|&(_, _, r)| r).unwrap();
+            let rank = order
+                .iter()
+                .find(|&&(v, _, _)| v == d)
+                .map(|&(_, _, r)| r)
+                .unwrap();
             cells.push(format!("{rank} ({:.2}%)", pct[d as usize]));
         }
         table.row(cells);
@@ -54,11 +58,19 @@ fn main() {
     println!();
     table.print();
 
-    let base: std::collections::HashSet<u32> =
-        rankings[0].1.iter().take(topk).map(|&(v, _, _)| v).collect();
+    let base: std::collections::HashSet<u32> = rankings[0]
+        .1
+        .iter()
+        .take(topk)
+        .map(|&(v, _, _)| v)
+        .collect();
     println!();
     for (s, order, _) in rankings.iter().skip(1) {
-        let kept = order.iter().take(topk).filter(|&&(v, _, _)| base.contains(&v)).count();
+        let kept = order
+            .iter()
+            .take(topk)
+            .filter(|&&(v, _, _)| base.contains(&v))
+            .count();
         println!(
             "top-{topk} retention vs clique expansion at s = {s}: {kept}/{topk} ({:.0}%)",
             100.0 * kept as f64 / topk as f64

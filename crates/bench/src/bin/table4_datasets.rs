@@ -15,7 +15,16 @@ fn main() {
     print_header("Table IV: input characteristics (synthetic profiles)");
     let seed: u64 = arg("seed", 42);
 
-    let mut table = Table::new(["hypergraph", "|V|", "|E|", "dv", "de", "max dv", "max de", "gen time"]);
+    let mut table = Table::new([
+        "hypergraph",
+        "|V|",
+        "|E|",
+        "dv",
+        "de",
+        "max dv",
+        "max de",
+        "gen time",
+    ]);
     for profile in Profile::ALL {
         let t = Timer::start();
         let h = profile.generate(seed);

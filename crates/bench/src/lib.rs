@@ -9,15 +9,11 @@
 
 use hyperline_util::timer::Timer;
 
-/// Runs `f` on a dedicated rayon pool with exactly `threads` workers.
-/// Strategies resolving `workers() == current_num_threads()` see the pool
+/// Runs `f` with the ambient worker count pinned to exactly `threads`.
+/// Strategies resolving `workers() == num_threads()` see the pinned
 /// size, so this is how the strong/weak scaling sweeps pin parallelism.
 pub fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("failed to build rayon pool")
-        .install(f)
+    hyperline_util::parallel::with_threads(threads.max(1), f)
 }
 
 /// Times `f` `reps` times and returns the median wall-clock seconds.
@@ -62,9 +58,11 @@ pub fn fmt_speedup(x: f64) -> String {
 pub fn print_header(what: &str) {
     println!("=== {what} ===");
     println!(
-        "machine: {} logical cores, rayon default pool {}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
-        rayon::current_num_threads()
+        "machine: {} logical cores, default worker pool {}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0),
+        hyperline_util::parallel::num_threads()
     );
 }
 
@@ -74,9 +72,9 @@ mod tests {
 
     #[test]
     fn with_pool_pins_thread_count() {
-        let inside = with_pool(3, rayon::current_num_threads);
+        let inside = with_pool(3, hyperline_util::parallel::num_threads);
         assert_eq!(inside, 3);
-        let inside = with_pool(1, rayon::current_num_threads);
+        let inside = with_pool(1, hyperline_util::parallel::num_threads);
         assert_eq!(inside, 1);
     }
 

@@ -1,0 +1,208 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the subset the hyperline benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `bench_with_input`, [`Bencher::iter`] and
+//! [`BenchmarkId`] — with a simple median-of-samples timer instead of
+//! criterion's statistical machinery. Each sample times one call of the
+//! closure; the median and min/max across samples are printed per bench.
+//!
+//! `--quick` (or `HYPERLINE_BENCH_QUICK=1`) caps samples at 2 so the
+//! bench binaries can double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Top-level benchmark driver (holds nothing; exists for API parity).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { sample_size: 10 }
+    }
+}
+
+/// A named benchmark within a group, e.g. `algo2/8`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An ID with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An ID from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("HYPERLINE_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let samples = if quick_mode() {
+            self.sample_size.min(2)
+        } else {
+            self.sample_size
+        };
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher { elapsed_secs: 0.0 };
+            f(&mut bencher);
+            times.push(bencher.elapsed_secs);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        println!(
+            "{id:<40} median {:>12} (min {}, max {}, {samples} samples)",
+            format_secs(median),
+            format_secs(times[0]),
+            format_secs(*times.last().unwrap()),
+            id = id.id,
+        );
+    }
+
+    /// Ends the group (prints nothing; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_secs: f64,
+}
+
+impl Bencher {
+    /// Times one call of `routine`; its return value is dropped after
+    /// timing (opaque to the optimizer via `std::hint::black_box`).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(calls, 3, "one call per sample");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("algo2", 8).id, "algo2/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

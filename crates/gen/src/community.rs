@@ -91,11 +91,18 @@ impl CommunityModel {
         let mut lists: Vec<Vec<u32>> = Vec::with_capacity(self.num_edges);
         let mut members: FxHashSet<u32> = FxHashSet::default();
         for _ in 0..self.num_edges {
-            let k = power_law(&mut rng, self.edge_size_min, self.edge_size_max, self.edge_size_exponent)
-                .min(n);
+            let k = power_law(
+                &mut rng,
+                self.edge_size_min,
+                self.edge_size_max,
+                self.edge_size_exponent,
+            )
+            .min(n);
             let c = community_table.sample(&mut rng) as usize;
             let core_start = (c * stride) % n;
-            let from_core = ((self.affinity * k as f64).round() as usize).min(core_size).min(k);
+            let from_core = ((self.affinity * k as f64).round() as usize)
+                .min(core_size)
+                .min(k);
             members.clear();
             for idx in sample_distinct(&mut rng, core_size, from_core) {
                 members.insert(((core_start + idx as usize) % n) as u32);
@@ -155,7 +162,10 @@ mod tests {
 
     #[test]
     fn produces_skewed_edge_sizes() {
-        let m = CommunityModel { num_edges: 5000, ..small_model() };
+        let m = CommunityModel {
+            num_edges: 5000,
+            ..small_model()
+        };
         let h = m.generate(2);
         let sizes: Vec<usize> = (0..h.num_edges() as u32).map(|e| h.edge_size(e)).collect();
         let small = sizes.iter().filter(|&&s| s <= 4).count();
@@ -166,7 +176,12 @@ mod tests {
 
     #[test]
     fn high_affinity_creates_deep_overlaps() {
-        let m = CommunityModel { affinity: 0.95, edge_size_min: 10, edge_size_max: 20, ..small_model() };
+        let m = CommunityModel {
+            affinity: 0.95,
+            edge_size_min: 10,
+            edge_size_max: 20,
+            ..small_model()
+        };
         let h = m.generate(3);
         // Some pair of edges must overlap in >= 5 vertices.
         let mut deep = 0;
@@ -199,12 +214,19 @@ mod tests {
                 }
             }
         }
-        assert!(deep <= 2, "uniform sparse draws should rarely share 3+ vertices, got {deep}");
+        assert!(
+            deep <= 2,
+            "uniform sparse draws should rarely share 3+ vertices, got {deep}"
+        );
     }
 
     #[test]
     fn skewed_vertex_degrees() {
-        let m = CommunityModel { vertex_skew: 1.2, affinity: 0.2, ..small_model() };
+        let m = CommunityModel {
+            vertex_skew: 1.2,
+            affinity: 0.2,
+            ..small_model()
+        };
         let h = m.generate(5);
         let max_deg = h.max_vertex_degree() as f64;
         let mean_deg = h.mean_vertex_degree();

@@ -170,7 +170,11 @@ mod tests {
             assert_eq!(h.edge_size(leaf), 9);
             assert_eq!(h.inc(hub, leaf), 7, "hub-leaf {leaf}");
             for other in (leaf + 1)..5u32 {
-                assert_eq!(h.inc(leaf, other), 0, "leaves {leaf},{other} must not overlap");
+                assert_eq!(
+                    h.inc(leaf, other),
+                    0,
+                    "leaves {leaf},{other} must not overlap"
+                );
             }
         }
     }
@@ -178,8 +182,18 @@ mod tests {
     #[test]
     fn multiple_groups_do_not_interact() {
         let (h, ranges) = build(&[
-            PlantedGroup { members: 3, shared: 5, extra_per_member: 1, shape: GroupShape::Clique },
-            PlantedGroup { members: 2, shared: 8, extra_per_member: 0, shape: GroupShape::Clique },
+            PlantedGroup {
+                members: 3,
+                shared: 5,
+                extra_per_member: 1,
+                shape: GroupShape::Clique,
+            },
+            PlantedGroup {
+                members: 2,
+                shared: 8,
+                extra_per_member: 0,
+                shape: GroupShape::Clique,
+            },
         ]);
         assert_eq!(ranges, vec![0..3, 3..5]);
         for e in 0..3u32 {
@@ -198,7 +212,12 @@ mod tests {
         let ranges = plant_groups(
             &mut lists,
             &mut n,
-            &[PlantedGroup { members: 2, shared: 4, extra_per_member: 0, shape: GroupShape::Clique }],
+            &[PlantedGroup {
+                members: 2,
+                shared: 4,
+                extra_per_member: 0,
+                shape: GroupShape::Clique,
+            }],
             &mut rng,
         );
         assert_eq!(ranges[0], 2..4);
@@ -231,12 +250,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "chain needs at least two")]
     fn chain_requires_two_members() {
-        build(&[PlantedGroup { members: 1, shared: 3, extra_per_member: 0, shape: GroupShape::Chain }]);
+        build(&[PlantedGroup {
+            members: 1,
+            shared: 3,
+            extra_per_member: 0,
+            shape: GroupShape::Chain,
+        }]);
     }
 
     #[test]
     #[should_panic(expected = "star needs a hub")]
     fn star_requires_two_members() {
-        build(&[PlantedGroup { members: 1, shared: 3, extra_per_member: 0, shape: GroupShape::Star }]);
+        build(&[PlantedGroup {
+            members: 1,
+            shared: 3,
+            extra_per_member: 0,
+            shape: GroupShape::Star,
+        }]);
     }
 }

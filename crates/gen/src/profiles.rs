@@ -324,10 +324,30 @@ impl Profile {
                 // §V-C: the four 100-connected components — a 5-actor star
                 // (Adoor Bhasi at the hub) plus three collaborating pairs.
                 let groups = [
-                    PlantedGroup { members: 5, shared: 110, extra_per_member: 8, shape: GroupShape::Star },
-                    PlantedGroup { members: 2, shared: 105, extra_per_member: 5, shape: GroupShape::Clique },
-                    PlantedGroup { members: 2, shared: 103, extra_per_member: 5, shape: GroupShape::Clique },
-                    PlantedGroup { members: 2, shared: 101, extra_per_member: 5, shape: GroupShape::Clique },
+                    PlantedGroup {
+                        members: 5,
+                        shared: 110,
+                        extra_per_member: 8,
+                        shape: GroupShape::Star,
+                    },
+                    PlantedGroup {
+                        members: 2,
+                        shared: 105,
+                        extra_per_member: 5,
+                        shape: GroupShape::Clique,
+                    },
+                    PlantedGroup {
+                        members: 2,
+                        shared: 103,
+                        extra_per_member: 5,
+                        shape: GroupShape::Clique,
+                    },
+                    PlantedGroup {
+                        members: 2,
+                        shared: 101,
+                        extra_per_member: 5,
+                        shape: GroupShape::Clique,
+                    },
                 ];
                 plant_groups(&mut lists, &mut num_vertices, &groups, &mut rng);
             }
@@ -455,7 +475,10 @@ mod tests {
             }
         }
         // All 15 pairs have expected overlap ≈ 112; allow a couple below.
-        assert!(deep_pairs >= 13, "only {deep_pairs}/15 planted pairs share > 100 conditions");
+        assert!(
+            deep_pairs >= 13,
+            "only {deep_pairs}/15 planted pairs share > 100 conditions"
+        );
     }
 
     #[test]

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn power_law_is_skewed_toward_min() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<usize> = (0..20_000).map(|_| power_law(&mut rng, 1, 1000, 2.5)).collect();
+        let samples: Vec<usize> = (0..20_000)
+            .map(|_| power_law(&mut rng, 1, 1000, 2.5))
+            .collect();
         let small = samples.iter().filter(|&&v| v <= 3).count();
         let large = samples.iter().filter(|&&v| v > 100).count();
         assert!(small > 10 * large.max(1), "small={small} large={large}");

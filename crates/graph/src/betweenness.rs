@@ -4,10 +4,10 @@
 //! `Σ_{f≠g} σ_fg(e) / σ_fg` evaluated on the s-line graph, i.e. exactly
 //! vertex betweenness centrality of the s-line graph. The parallel variant
 //! distributes Brandes' single-source dependency accumulations over
-//! sources with rayon and sums per-worker partial scores.
+//! scoped worker threads and sums per-worker partial scores.
 
 use crate::graph::Graph;
-use rayon::prelude::*;
+use hyperline_util::parallel::{num_threads, scope_workers};
 
 /// State for one single-source Brandes sweep, reused across sources.
 struct BrandesState {
@@ -93,32 +93,38 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
     scores
 }
 
-/// Parallel Brandes betweenness: sources distributed over the rayon pool,
-/// per-worker score vectors summed at the end.
+/// Sums per-worker Brandes sweeps over `sources[w], sources[w + t], …`:
+/// each worker owns a reusable [`BrandesState`] and a local score vector,
+/// merged pairwise at the end.
+fn betweenness_over_sources(g: &Graph, sources: &[u32]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let workers = num_threads().min(sources.len().max(1));
+    let locals = scope_workers(workers, |w| {
+        let mut state = BrandesState::new(n);
+        let mut local = vec![0.0f64; n];
+        for &s in sources.iter().skip(w).step_by(workers) {
+            state.accumulate(g, s, &mut local);
+        }
+        local
+    });
+    let mut scores = vec![0.0f64; n];
+    for local in locals {
+        for (x, y) in scores.iter_mut().zip(&local) {
+            *x += y;
+        }
+    }
+    scores
+}
+
+/// Parallel Brandes betweenness: sources distributed over the worker
+/// pool, per-worker score vectors summed at the end.
 pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
     }
-    let mut scores = (0..n as u32)
-        .into_par_iter()
-        .fold(
-            || (BrandesState::new(n), vec![0.0f64; n]),
-            |(mut state, mut local), s| {
-                state.accumulate(g, s, &mut local);
-                (state, local)
-            },
-        )
-        .map(|(_, local)| local)
-        .reduce(
-            || vec![0.0f64; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    let sources: Vec<u32> = (0..n as u32).collect();
+    let mut scores = betweenness_over_sources(g, &sources);
     for x in &mut scores {
         *x /= 2.0;
     }
@@ -154,25 +160,7 @@ pub fn betweenness_sampled(g: &Graph, num_sources: usize, seed: u64) -> Vec<f64>
     }
     let sources = &ids[..k];
 
-    let mut scores = sources
-        .par_iter()
-        .fold(
-            || (BrandesState::new(n), vec![0.0f64; n]),
-            |(mut state, mut local), &s| {
-                state.accumulate(g, s, &mut local);
-                (state, local)
-            },
-        )
-        .map(|(_, local)| local)
-        .reduce(
-            || vec![0.0f64; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    let mut scores = betweenness_over_sources(g, sources);
     let scale = n as f64 / k as f64 / 2.0;
     for x in &mut scores {
         *x *= scale;
@@ -207,7 +195,9 @@ mod tests {
             .map(|s| {
                 let d = crate::bfs::bfs_distances(g, s);
                 // count shortest paths with DP in BFS order
-                let mut order: Vec<u32> = (0..n as u32).filter(|&v| d[v as usize] != u32::MAX).collect();
+                let mut order: Vec<u32> = (0..n as u32)
+                    .filter(|&v| d[v as usize] != u32::MAX)
+                    .collect();
                 order.sort_by_key(|&v| d[v as usize]);
                 let mut sigma = vec![0.0; n];
                 sigma[s as usize] = 1.0;
@@ -274,8 +264,9 @@ mod tests {
 
     #[test]
     fn complete_graph_all_zero() {
-        let edges: Vec<(u32, u32)> =
-            (0..4u32).flat_map(|a| (a + 1..4).map(move |b| (a, b))).collect();
+        let edges: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|a| (a + 1..4).map(move |b| (a, b)))
+            .collect();
         let g = Graph::from_edges(4, &edges);
         assert_close(&betweenness(&g), &[0.0; 4]);
     }

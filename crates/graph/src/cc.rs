@@ -6,7 +6,7 @@
 //! LPCC plus two alternatives that double as cross-checks.
 
 use crate::graph::Graph;
-use rayon::prelude::*;
+use hyperline_util::parallel::par_for_each_range;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -47,7 +47,8 @@ pub fn components_label_prop(g: &Graph) -> Labels {
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
     while changed.swap(false, Ordering::Relaxed) {
-        (0..n as u32).into_par_iter().for_each(|u| {
+        par_for_each_range(n, |u| {
+            let u = u as u32;
             let mut best = labels[u as usize].load(Ordering::Relaxed);
             for &v in g.neighbors(u) {
                 best = best.min(labels[v as usize].load(Ordering::Relaxed));
@@ -78,7 +79,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// Finds the representative of `x` with path halving.
@@ -168,12 +172,18 @@ pub fn component_count(labels: &Labels) -> usize {
 /// Number of components with at least two vertices ("non-singleton
 /// components", the quantity the paper tracks when choosing max s).
 pub fn non_singleton_component_count(labels: &Labels) -> usize {
-    components_as_sets(labels).iter().filter(|c| c.len() > 1).count()
+    components_as_sets(labels)
+        .iter()
+        .filter(|c| c.len() > 1)
+        .count()
 }
 
 /// The vertices of the largest component (empty input gives empty vec).
 pub fn largest_component(labels: &Labels) -> Vec<u32> {
-    components_as_sets(labels).into_iter().next().unwrap_or_default()
+    components_as_sets(labels)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::bfs::{bfs_distances, UNREACHABLE};
 use crate::graph::Graph;
-use rayon::prelude::*;
+use hyperline_util::parallel::par_map_range;
 
 /// Harmonic closeness centrality of every vertex:
 /// `C(v) = Σ_{u ≠ v} 1 / d(v, u)` with unreachable pairs contributing 0,
@@ -23,43 +23,38 @@ pub fn harmonic_closeness(g: &Graph) -> Vec<f64> {
     if n <= 1 {
         return vec![0.0; n];
     }
-    (0..n as u32)
-        .into_par_iter()
-        .map(|v| {
-            let dist = bfs_distances(g, v);
-            let sum: f64 = dist
-                .iter()
-                .enumerate()
-                .filter(|&(u, &d)| u as u32 != v && d != UNREACHABLE && d > 0)
-                .map(|(_, &d)| 1.0 / d as f64)
-                .sum();
-            sum / (n - 1) as f64
-        })
-        .collect()
+    par_map_range(n, |v| {
+        let v = v as u32;
+        let dist = bfs_distances(g, v);
+        let sum: f64 = dist
+            .iter()
+            .enumerate()
+            .filter(|&(u, &d)| u as u32 != v && d != UNREACHABLE && d > 0)
+            .map(|(_, &d)| 1.0 / d as f64)
+            .sum();
+        sum / (n - 1) as f64
+    })
 }
 
 /// Local clustering coefficient of every vertex: the fraction of its
 /// neighbor pairs that are themselves adjacent. Degree < 2 gives 0.
 pub fn local_clustering(g: &Graph) -> Vec<f64> {
-    (0..g.num_vertices() as u32)
-        .into_par_iter()
-        .map(|v| {
-            let nbrs = g.neighbors(v);
-            let k = nbrs.len();
-            if k < 2 {
-                return 0.0;
-            }
-            let mut closed = 0usize;
-            for (i, &a) in nbrs.iter().enumerate() {
-                for &b in &nbrs[i + 1..] {
-                    if g.has_edge(a, b) {
-                        closed += 1;
-                    }
+    par_map_range(g.num_vertices(), |v| {
+        let nbrs = g.neighbors(v as u32);
+        let k = nbrs.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mut closed = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    closed += 1;
                 }
             }
-            2.0 * closed as f64 / (k * (k - 1)) as f64
-        })
-        .collect()
+        }
+        2.0 * closed as f64 / (k * (k - 1)) as f64
+    })
 }
 
 /// Mean of the local clustering coefficients over vertices with

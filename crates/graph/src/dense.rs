@@ -15,7 +15,10 @@ pub struct SymMatrix {
 impl SymMatrix {
     /// Zero matrix of size `n × n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Builds from a row-major vector.
@@ -146,10 +149,7 @@ mod tests {
     #[test]
     fn path_laplacian() {
         // Combinatorial Laplacian of path 0-1-2: eigenvalues 0, 1, 3.
-        let m = SymMatrix::from_rows(
-            3,
-            vec![1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0],
-        );
+        let m = SymMatrix::from_rows(3, vec![1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0]);
         assert_close(&m.eigenvalues(), &[0.0, 1.0, 3.0], 1e-9);
     }
 

@@ -79,10 +79,7 @@ mod tests {
     #[test]
     fn weighted_dot_scales_penwidth() {
         // Paper Figure 2, s = 1: weights 2, 3, 3, 1.
-        let wg = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 2), (0, 2, 3), (1, 2, 3), (2, 3, 1)],
-        );
+        let wg = WeightedGraph::from_edges(4, &[(0, 1, 2), (0, 2, 3), (1, 2, 3), (2, 3, 1)]);
         let dot = to_dot_weighted(&wg, |v| (v + 1).to_string());
         assert!(dot.contains("label=\"3\", penwidth=5.00"));
         assert!(dot.contains("label=\"1\", penwidth=1.00"));

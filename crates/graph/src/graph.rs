@@ -52,7 +52,11 @@ impl Graph {
         // endpoint *per orientation*; rows are the merge of "b's from
         // (a,b)" (ascending) and "a's from (a,b) with b = row" (ascending),
         // so a final per-row sort is still required.
-        let mut g = Self { offsets, targets, num_edges: clean.len() };
+        let mut g = Self {
+            offsets,
+            targets,
+            num_edges: clean.len(),
+        };
         for v in 0..num_vertices {
             let (s, e) = (g.offsets[v], g.offsets[v + 1]);
             g.targets[s..e].sort_unstable();
@@ -102,7 +106,9 @@ impl Graph {
 
     /// Vertices with degree ≥ 1.
     pub fn non_isolated_count(&self) -> usize {
-        (0..self.num_vertices() as u32).filter(|&v| self.degree(v) > 0).count()
+        (0..self.num_vertices() as u32)
+            .filter(|&v| self.degree(v) > 0)
+            .count()
     }
 
     /// The subgraph induced by `vertices` (which need not be sorted).

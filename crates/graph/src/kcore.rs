@@ -137,8 +137,9 @@ mod tests {
 
     #[test]
     fn complete_graph_core() {
-        let edges: Vec<(u32, u32)> =
-            (0..5u32).flat_map(|a| ((a + 1)..5).map(move |b| (a, b))).collect();
+        let edges: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|a| ((a + 1)..5).map(move |b| (a, b)))
+            .collect();
         let g = Graph::from_edges(5, &edges);
         assert_eq!(core_numbers(&g), vec![4; 5]);
     }

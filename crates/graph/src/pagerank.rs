@@ -5,7 +5,7 @@
 //! s-clique graphs (`s = 10, 100`) and comparing the top-k overlap.
 
 use crate::graph::Graph;
-use rayon::prelude::*;
+use hyperline_util::parallel::par_for_each_indexed_mut;
 
 /// Options for the PageRank iteration.
 #[derive(Debug, Clone, Copy)]
@@ -20,7 +20,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        Self { damping: 0.85, tolerance: 1e-10, max_iterations: 200 }
+        Self {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -41,7 +45,7 @@ pub fn pagerank(g: &Graph, opts: PageRankOptions) -> Vec<f64> {
             .map(|v| rank[v])
             .sum();
         let base = (1.0 - opts.damping) * uniform + opts.damping * dangling_mass * uniform;
-        next.par_iter_mut().enumerate().for_each(|(v, slot)| {
+        par_for_each_indexed_mut(&mut next, |v, slot| {
             let incoming: f64 = g
                 .neighbors(v as u32)
                 .iter()
@@ -160,8 +164,20 @@ mod tests {
     #[test]
     fn converges_under_loose_cap() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
-        let tight = pagerank(&g, PageRankOptions { max_iterations: 500, ..Default::default() });
-        let loose = pagerank(&g, PageRankOptions { max_iterations: 5000, ..Default::default() });
+        let tight = pagerank(
+            &g,
+            PageRankOptions {
+                max_iterations: 500,
+                ..Default::default()
+            },
+        );
+        let loose = pagerank(
+            &g,
+            PageRankOptions {
+                max_iterations: 5000,
+                ..Default::default()
+            },
+        );
         for (a, b) in tight.iter().zip(&loose) {
             assert!((a - b).abs() < 1e-8);
         }

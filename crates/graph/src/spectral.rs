@@ -28,7 +28,11 @@ pub struct SpectralOptions {
 
 impl Default for SpectralOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iterations: 5000, seed: 0x5eed }
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 5000,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -85,7 +89,9 @@ pub fn algebraic_connectivity(g: &Graph, opts: SpectralOptions) -> f64 {
         .map(|v| 1.0 / (g.degree(v).max(1) as f64).sqrt())
         .collect();
     // Known top eigenvector of B: D^{1/2}·1, normalized.
-    let mut top: Vec<f64> = (0..n as u32).map(|v| (g.degree(v).max(1) as f64).sqrt()).collect();
+    let mut top: Vec<f64> = (0..n as u32)
+        .map(|v| (g.degree(v).max(1) as f64).sqrt())
+        .collect();
     normalize(&mut top);
 
     let mut state = opts.seed | 1;
@@ -172,8 +178,7 @@ mod tests {
     #[test]
     fn path_graph_connectivity_matches_dense() {
         for n in [2usize, 3, 5, 10, 17] {
-            let edges: Vec<(u32, u32)> =
-                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
             let g = Graph::from_edges(n, &edges);
             let iterative = algebraic_connectivity(&g, SpectralOptions::default());
             let eigs = normalized_laplacian_dense(&g).eigenvalues();
@@ -189,7 +194,10 @@ mod tests {
     fn disconnected_graph_is_zero() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         let lam = algebraic_connectivity(&g, SpectralOptions::default());
-        assert!(lam.abs() < 1e-6, "λ₂ of disconnected graph should be ~0, got {lam}");
+        assert!(
+            lam.abs() < 1e-6,
+            "λ₂ of disconnected graph should be ~0, got {lam}"
+        );
     }
 
     #[test]
@@ -206,7 +214,10 @@ mod tests {
         let g = Graph::from_edges(1, &[]);
         assert_eq!(algebraic_connectivity(&g, SpectralOptions::default()), 0.0);
         let g = Graph::from_edges(0, &[]);
-        assert_eq!(normalized_algebraic_connectivity(&g, SpectralOptions::default()), 0.0);
+        assert_eq!(
+            normalized_algebraic_connectivity(&g, SpectralOptions::default()),
+            0.0
+        );
         // K2: normalized Laplacian eigenvalues {0, 2}.
         let g = Graph::from_edges(2, &[(0, 1)]);
         let lam = algebraic_connectivity(&g, SpectralOptions::default());
@@ -220,15 +231,18 @@ mod tests {
         let mut tested = 0;
         while tested < 8 {
             let n = rng.gen_range(4..25usize);
-            let mut edges: Vec<(u32, u32)> =
-                (0..n as u32 - 1).map(|i| (i, i + 1)).collect(); // ensure connected
+            let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect(); // ensure connected
             for _ in 0..rng.gen_range(0..2 * n) {
                 edges.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
             }
             let g = Graph::from_edges(n, &edges);
             let iterative = algebraic_connectivity(
                 &g,
-                SpectralOptions { tolerance: 1e-13, max_iterations: 50_000, ..Default::default() },
+                SpectralOptions {
+                    tolerance: 1e-13,
+                    max_iterations: 50_000,
+                    ..Default::default()
+                },
             );
             let dense = normalized_laplacian_dense(&g).eigenvalues()[1];
             assert!(

@@ -51,8 +51,15 @@ impl std::fmt::Display for Violation {
             Violation::TargetOutOfRange { side, row, target } => {
                 write!(f, "{side} row {row} has out-of-range target {target}")
             }
-            Violation::AsymmetricIncidence { edge, vertex, present_in } => {
-                write!(f, "incidence ({edge},{vertex}) only present in {present_in}")
+            Violation::AsymmetricIncidence {
+                edge,
+                vertex,
+                present_in,
+            } => {
+                write!(
+                    f,
+                    "incidence ({edge},{vertex}) only present in {present_in}"
+                )
             }
         }
     }
@@ -67,11 +74,18 @@ pub fn validate(h: &Hypergraph) -> Vec<Violation> {
     for e in 0..m as u32 {
         let row = h.edge_vertices(e);
         if row.windows(2).any(|w| w[0] >= w[1]) {
-            violations.push(Violation::UnsortedRow { side: "edge", row: e });
+            violations.push(Violation::UnsortedRow {
+                side: "edge",
+                row: e,
+            });
         }
         for &v in row {
             if (v as usize) >= n {
-                violations.push(Violation::TargetOutOfRange { side: "edge", row: e, target: v });
+                violations.push(Violation::TargetOutOfRange {
+                    side: "edge",
+                    row: e,
+                    target: v,
+                });
             } else if h.vertex_edges(v).binary_search(&e).is_err() {
                 violations.push(Violation::AsymmetricIncidence {
                     edge: e,
@@ -84,11 +98,18 @@ pub fn validate(h: &Hypergraph) -> Vec<Violation> {
     for v in 0..n as u32 {
         let row = h.vertex_edges(v);
         if row.windows(2).any(|w| w[0] >= w[1]) {
-            violations.push(Violation::UnsortedRow { side: "vertex", row: v });
+            violations.push(Violation::UnsortedRow {
+                side: "vertex",
+                row: v,
+            });
         }
         for &e in row {
             if (e as usize) >= m {
-                violations.push(Violation::TargetOutOfRange { side: "vertex", row: v, target: e });
+                violations.push(Violation::TargetOutOfRange {
+                    side: "vertex",
+                    row: v,
+                    target: e,
+                });
             } else if h.edge_vertices(e).binary_search(&v).is_err() {
                 violations.push(Violation::AsymmetricIncidence {
                     edge: e,
@@ -104,7 +125,11 @@ pub fn validate(h: &Hypergraph) -> Vec<Violation> {
 /// Asserts validity, panicking with the first violation (test helper).
 pub fn assert_valid(h: &Hypergraph) {
     let violations = validate(h);
-    assert!(violations.is_empty(), "invalid hypergraph: {}", violations[0]);
+    assert!(
+        violations.is_empty(),
+        "invalid hypergraph: {}",
+        violations[0]
+    );
 }
 
 /// Log-binned histograms of (vertex degrees, edge sizes): bin `i` counts
@@ -144,7 +169,11 @@ mod tests {
             let n = rng.gen_range(1..30usize);
             let m = rng.gen_range(0..40usize);
             let lists: Vec<Vec<u32>> = (0..m)
-                .map(|_| (0..rng.gen_range(0..8)).map(|_| rng.gen_range(0..n as u32)).collect())
+                .map(|_| {
+                    (0..rng.gen_range(0..8))
+                        .map(|_| rng.gen_range(0..n as u32))
+                        .collect()
+                })
                 .collect();
             assert_valid(&Hypergraph::from_edge_lists(&lists, n));
         }
@@ -172,11 +201,22 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = Violation::UnsortedRow { side: "edge", row: 3 };
+        let v = Violation::UnsortedRow {
+            side: "edge",
+            row: 3,
+        };
         assert!(v.to_string().contains("row 3"));
-        let v = Violation::TargetOutOfRange { side: "vertex", row: 1, target: 99 };
+        let v = Violation::TargetOutOfRange {
+            side: "vertex",
+            row: 1,
+            target: 99,
+        };
         assert!(v.to_string().contains("99"));
-        let v = Violation::AsymmetricIncidence { edge: 1, vertex: 2, present_in: "edge→vertex" };
+        let v = Violation::AsymmetricIncidence {
+            edge: 1,
+            vertex: 2,
+            present_in: "edge→vertex",
+        };
         assert!(v.to_string().contains("(1,2)"));
     }
 }

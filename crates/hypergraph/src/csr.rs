@@ -5,7 +5,7 @@
 //! array into a flat neighbor array. Neighbor lists are kept sorted so that
 //! the set-intersection baseline (Algorithm 1) can merge-scan them.
 
-use rayon::prelude::*;
+use hyperline_util::parallel::par_for_each_mut;
 
 /// CSR adjacency: `num_rows` sorted neighbor lists over targets `< num_cols`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,12 +33,19 @@ impl Csr {
             scratch.sort_unstable();
             scratch.dedup();
             for &t in &scratch {
-                assert!((t as usize) < num_cols, "target {t} out of range {num_cols}");
+                assert!(
+                    (t as usize) < num_cols,
+                    "target {t} out of range {num_cols}"
+                );
             }
             targets.extend_from_slice(&scratch);
             offsets.push(targets.len());
         }
-        Self { offsets, targets, num_cols }
+        Self {
+            offsets,
+            targets,
+            num_cols,
+        }
     }
 
     /// Builds a CSR from `(row, col)` pairs using a counting sort.
@@ -61,7 +68,11 @@ impl Csr {
             targets[slot] = c;
             cursor[r as usize] += 1;
         }
-        let mut csr = Self { offsets, targets, num_cols };
+        let mut csr = Self {
+            offsets,
+            targets,
+            num_cols,
+        };
         csr.sort_and_dedup_rows();
         csr
     }
@@ -83,7 +94,7 @@ impl Csr {
                 rest = tail;
                 consumed += len;
             }
-            rows.par_iter_mut().for_each(|row| row.sort_unstable());
+            par_for_each_mut(&mut rows, |row| row.sort_unstable());
         }
         // Dedup with a single compaction pass.
         let mut write = 0usize;
@@ -108,7 +119,11 @@ impl Csr {
 
     /// An empty CSR with `num_rows` empty rows.
     pub fn empty(num_rows: usize, num_cols: usize) -> Self {
-        Self { offsets: vec![0; num_rows + 1], targets: Vec::new(), num_cols }
+        Self {
+            offsets: vec![0; num_rows + 1],
+            targets: Vec::new(),
+            num_cols,
+        }
     }
 
     /// Number of rows (source IDs).
@@ -187,12 +202,18 @@ impl Csr {
                 cursor[c] += 1;
             }
         }
-        Csr { offsets, targets, num_cols: self.num_rows() }
+        Csr {
+            offsets,
+            targets,
+            num_cols: self.num_rows(),
+        }
     }
 
     /// Degrees of all rows as a vector.
     pub fn degrees(&self) -> Vec<usize> {
-        (0..self.num_rows()).map(|r| self.offsets[r + 1] - self.offsets[r]).collect()
+        (0..self.num_rows())
+            .map(|r| self.offsets[r + 1] - self.offsets[r])
+            .collect()
     }
 
     /// Applies a row permutation: row `r` of the result is row `perm[r]` of
@@ -209,8 +230,16 @@ impl Csr {
             targets.extend_from_slice(self.neighbors(old));
             offsets.push(targets.len());
         }
-        assert_eq!(targets.len(), self.targets.len(), "perm was not a permutation");
-        Csr { offsets, targets, num_cols: self.num_cols }
+        assert_eq!(
+            targets.len(),
+            self.targets.len(),
+            "perm was not a permutation"
+        );
+        Csr {
+            offsets,
+            targets,
+            num_cols: self.num_cols,
+        }
     }
 
     /// Renames targets through `mapping` (new ID = `mapping[old ID]`), then
@@ -225,7 +254,11 @@ impl Csr {
         for &t in &targets {
             assert!((t as usize) < new_num_cols);
         }
-        Csr { offsets: self.offsets.clone(), targets, num_cols: new_num_cols }
+        Csr {
+            offsets: self.offsets.clone(),
+            targets,
+            num_cols: new_num_cols,
+        }
     }
 }
 
@@ -284,7 +317,12 @@ mod tests {
         // Paper's example hypergraph (edge -> vertices), vertices a..f = 0..5:
         // e0 = {a,b,c}, e1 = {b,c,d}, e2 = {a,b,c,d,e}, e3 = {e,f}
         Csr::from_lists(
-            &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]],
+            &[
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3, 4],
+                vec![4, 5],
+            ],
             6,
         )
     }
@@ -403,20 +441,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
             let a: Vec<u32> = {
-                let mut v: Vec<u32> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(0..30)).collect();
+                let mut v: Vec<u32> = (0..rng.gen_range(0..20))
+                    .map(|_| rng.gen_range(0..30))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
             };
             let b: Vec<u32> = {
-                let mut v: Vec<u32> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(0..30)).collect();
+                let mut v: Vec<u32> = (0..rng.gen_range(0..20))
+                    .map(|_| rng.gen_range(0..30))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
             };
             let exact = intersection_size(&a, &b);
             for s in 1..=5usize {
-                assert_eq!(intersection_at_least(&a, &b, s), exact >= s, "a={a:?} b={b:?} s={s}");
+                assert_eq!(
+                    intersection_at_least(&a, &b, s),
+                    exact >= s,
+                    "a={a:?} b={b:?} s={s}"
+                );
             }
         }
     }

@@ -30,7 +30,11 @@ impl Hypergraph {
     }
 
     /// Builds a hypergraph from `(edge, vertex)` incidence pairs.
-    pub fn from_incidence_pairs(pairs: &[(u32, u32)], num_edges: usize, num_vertices: usize) -> Self {
+    pub fn from_incidence_pairs(
+        pairs: &[(u32, u32)],
+        num_edges: usize,
+        num_vertices: usize,
+    ) -> Self {
         let edges = Csr::from_pairs(pairs, num_edges, num_vertices);
         let vertices = edges.transpose();
         Self { edges, vertices }
@@ -112,7 +116,8 @@ impl Hypergraph {
             [] => 0,
             [e] => self.edge_size(*e),
             [first, rest @ ..] => {
-                let mut current: FxHashSet<u32> = self.edge_vertices(*first).iter().copied().collect();
+                let mut current: FxHashSet<u32> =
+                    self.edge_vertices(*first).iter().copied().collect();
                 for &e in rest {
                     let members: FxHashSet<u32> = self.edge_vertices(e).iter().copied().collect();
                     current.retain(|v| members.contains(v));
@@ -131,7 +136,8 @@ impl Hypergraph {
             [] => 0,
             [v] => self.vertex_degree(*v),
             [first, rest @ ..] => {
-                let mut current: FxHashSet<u32> = self.vertex_edges(*first).iter().copied().collect();
+                let mut current: FxHashSet<u32> =
+                    self.vertex_edges(*first).iter().copied().collect();
                 for &v in rest {
                     let edges: FxHashSet<u32> = self.vertex_edges(v).iter().copied().collect();
                     current.retain(|e| edges.contains(e));
@@ -147,17 +153,26 @@ impl Hypergraph {
     /// The dual hypergraph `H*`: vertices and edges swap roles (the
     /// incidence matrix is transposed). `(H*)* == H`.
     pub fn dual(&self) -> Hypergraph {
-        Hypergraph { edges: self.vertices.clone(), vertices: self.edges.clone() }
+        Hypergraph {
+            edges: self.vertices.clone(),
+            vertices: self.edges.clone(),
+        }
     }
 
     /// Maximum edge size `Δe`-style statistic.
     pub fn max_edge_size(&self) -> usize {
-        (0..self.num_edges() as u32).map(|e| self.edge_size(e)).max().unwrap_or(0)
+        (0..self.num_edges() as u32)
+            .map(|e| self.edge_size(e))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum vertex degree `Δv`.
     pub fn max_vertex_degree(&self) -> usize {
-        (0..self.num_vertices() as u32).map(|v| self.vertex_degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices() as u32)
+            .map(|v| self.vertex_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean vertex degree `d_v`.
@@ -181,7 +196,9 @@ impl Hypergraph {
     /// Extracts all edges as owned vertex lists (for round-tripping and
     /// tests; allocates).
     pub fn to_edge_lists(&self) -> Vec<Vec<u32>> {
-        (0..self.num_edges() as u32).map(|e| self.edge_vertices(e).to_vec()).collect()
+        (0..self.num_edges() as u32)
+            .map(|e| self.edge_vertices(e).to_vec())
+            .collect()
     }
 
     /// The paper's running example (Fig. 1): vertices `a..f` mapped to
@@ -189,7 +206,12 @@ impl Hypergraph {
     /// to `0..=3`.
     pub fn paper_example() -> Self {
         Self::from_edge_lists(
-            &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]],
+            &[
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3, 4],
+                vec![4, 5],
+            ],
             6,
         )
     }
@@ -292,7 +314,12 @@ mod tests {
 
     #[test]
     fn to_edge_lists_roundtrip() {
-        let lists = vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 1, 2, 3, 4], vec![4, 5]];
+        let lists = vec![
+            vec![0, 1, 2],
+            vec![1, 2, 3],
+            vec![0, 1, 2, 3, 4],
+            vec![4, 5],
+        ];
         let h = Hypergraph::from_edge_lists(&lists, 6);
         assert_eq!(h.to_edge_lists(), lists);
     }

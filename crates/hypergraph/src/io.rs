@@ -119,7 +119,12 @@ pub fn read_bipartite_pairs<R: Read>(reader: R) -> Result<Hypergraph, ParseError
 /// Writes the edge-list format to a writer.
 pub fn write_edge_list<W: Write>(h: &Hypergraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# hyperline edge list: {} edges, {} vertices", h.num_edges(), h.num_vertices())?;
+    writeln!(
+        w,
+        "# hyperline edge list: {} edges, {} vertices",
+        h.num_edges(),
+        h.num_vertices()
+    )?;
     for e in 0..h.num_edges() as u32 {
         let members = h.edge_vertices(e);
         for (i, v) in members.iter().enumerate() {
@@ -222,7 +227,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ParseError::BadToken { line: 3, token: "zz".into() };
+        let e = ParseError::BadToken {
+            line: 3,
+            token: "zz".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = ParseError::BadPair { line: 9 };
         assert!(e.to_string().contains("line 9"));

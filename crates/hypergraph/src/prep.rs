@@ -32,8 +32,11 @@ impl RelabelOrder {
     }
 
     /// All orders, for sweeps.
-    pub const ALL: [RelabelOrder; 3] =
-        [RelabelOrder::None, RelabelOrder::Ascending, RelabelOrder::Descending];
+    pub const ALL: [RelabelOrder; 3] = [
+        RelabelOrder::None,
+        RelabelOrder::Ascending,
+        RelabelOrder::Descending,
+    ];
 }
 
 /// Result of a relabeling: the new hypergraph plus the permutation
@@ -69,13 +72,19 @@ pub fn relabel_edges_by_degree(h: &Hypergraph, order: RelabelOrder) -> Relabeled
     let mut perm: Vec<u32> = (0..m as u32).collect();
     match order {
         RelabelOrder::None => {
-            return Relabeled { hypergraph: h.clone(), new_to_old: perm };
+            return Relabeled {
+                hypergraph: h.clone(),
+                new_to_old: perm,
+            };
         }
         RelabelOrder::Ascending => perm.sort_by_key(|&e| h.edge_size(e)),
         RelabelOrder::Descending => perm.sort_by_key(|&e| std::cmp::Reverse(h.edge_size(e))),
     }
     let edges = h.edge_csr().permute_rows(&perm);
-    Relabeled { hypergraph: Hypergraph::from_edge_csr(edges), new_to_old: perm }
+    Relabeled {
+        hypergraph: Hypergraph::from_edge_csr(edges),
+        new_to_old: perm,
+    }
 }
 
 /// Result of cleaning: the cleaned hypergraph plus surviving original IDs.
@@ -92,10 +101,12 @@ pub struct Cleaned {
 /// Removes empty hyperedges and isolated (degree-0) vertices, compacting
 /// both ID spaces.
 pub fn clean(h: &Hypergraph) -> Cleaned {
-    let kept_edges: Vec<u32> =
-        (0..h.num_edges() as u32).filter(|&e| h.edge_size(e) > 0).collect();
-    let kept_vertices: Vec<u32> =
-        (0..h.num_vertices() as u32).filter(|&v| h.vertex_degree(v) > 0).collect();
+    let kept_edges: Vec<u32> = (0..h.num_edges() as u32)
+        .filter(|&e| h.edge_size(e) > 0)
+        .collect();
+    let kept_vertices: Vec<u32> = (0..h.num_vertices() as u32)
+        .filter(|&v| h.vertex_degree(v) > 0)
+        .collect();
     let mut vertex_rename = vec![u32::MAX; h.num_vertices()];
     for (new, &old) in kept_vertices.iter().enumerate() {
         vertex_rename[old as usize] = new as u32;
@@ -110,7 +121,11 @@ pub fn clean(h: &Hypergraph) -> Cleaned {
         })
         .collect();
     let hypergraph = Hypergraph::from_edge_lists(&lists, kept_vertices.len());
-    Cleaned { hypergraph, kept_edges, kept_vertices }
+    Cleaned {
+        hypergraph,
+        kept_edges,
+        kept_vertices,
+    }
 }
 
 #[cfg(test)]
@@ -129,8 +144,7 @@ mod tests {
     fn relabel_ascending_sorts_by_size() {
         let h = Hypergraph::paper_example(); // sizes 3,3,5,2
         let r = relabel_edges_by_degree(&h, RelabelOrder::Ascending);
-        let sizes: Vec<usize> =
-            (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
+        let sizes: Vec<usize> = (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
         assert_eq!(sizes, vec![2, 3, 3, 5]);
         // perm: new 0 = old 3 (size 2); stable ties: new 1 = old 0, new 2 = old 1.
         assert_eq!(r.new_to_old, vec![3, 0, 1, 2]);
@@ -140,8 +154,7 @@ mod tests {
     fn relabel_descending_sorts_by_size() {
         let h = Hypergraph::paper_example();
         let r = relabel_edges_by_degree(&h, RelabelOrder::Descending);
-        let sizes: Vec<usize> =
-            (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
+        let sizes: Vec<usize> = (0..4u32).map(|e| r.hypergraph.edge_size(e)).collect();
         assert_eq!(sizes, vec![5, 3, 3, 2]);
     }
 

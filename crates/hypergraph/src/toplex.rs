@@ -83,7 +83,10 @@ pub fn toplexes(h: &Hypergraph) -> Toplexes {
     kept.sort_unstable();
     let lists: Vec<Vec<u32>> = kept.iter().map(|&e| h.edge_vertices(e).to_vec()).collect();
     let simplified = Hypergraph::from_edge_lists(&lists, h.num_vertices());
-    Toplexes { toplex_ids: kept, simplified }
+    Toplexes {
+        toplex_ids: kept,
+        simplified,
+    }
 }
 
 /// True if `h` is *simple*: every edge is a toplex (`H == Ȟ`).
@@ -136,10 +139,8 @@ mod tests {
 
     #[test]
     fn chain_of_subsets() {
-        let h = Hypergraph::from_edge_lists(
-            &[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]],
-            4,
-        );
+        let h =
+            Hypergraph::from_edge_lists(&[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]], 4);
         let t = toplexes(&h);
         assert_eq!(t.toplex_ids, vec![3]);
     }
@@ -168,8 +169,7 @@ mod tests {
             let lists: Vec<Vec<u32>> = (0..m)
                 .map(|_| {
                     let k = rng.gen_range(1..=n);
-                    let mut v: Vec<u32> =
-                        (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+                    let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
                     v.sort_unstable();
                     v.dedup();
                     v

@@ -1,0 +1,560 @@
+//! The artifact cache: LRU-evicted, memory-budgeted, single-flight.
+//!
+//! Computed s-line graphs are keyed by everything that determines their
+//! content — `(dataset, s, algorithm, weighted)` — and held behind `Arc`
+//! so eviction never invalidates an in-flight response. Two guarantees
+//! matter under concurrency:
+//!
+//! * **LRU under a byte budget** — inserting past the budget evicts the
+//!   least-recently-used entries first (the newest entry is kept even if
+//!   it alone exceeds the budget, so oversized artifacts still serve).
+//! * **Single-flight** — concurrent requests for the same missing key
+//!   trigger exactly one computation; the rest block on a condvar and
+//!   share the result (IIPImage's cache plays the same role for tiles).
+
+use hyperline_util::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Identity of one cached artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry name of the source dataset.
+    pub dataset: String,
+    /// The overlap threshold `s`.
+    pub s: u32,
+    /// Construction algorithm (distinct algorithms are distinct artifacts
+    /// so comparative benchmarking never aliases).
+    pub algorithm: AlgoKind,
+    /// Whether overlap weights were materialized.
+    pub weighted: bool,
+}
+
+/// The s-line-graph construction algorithms the server exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// The paper's hashmap-counting Algorithm 2 (default).
+    Algo2,
+    /// The HiPC'21 set-intersection Algorithm 1.
+    Algo1,
+    /// SpGEMM + filtration baseline (upper triangle).
+    Spgemm,
+    /// All-pairs naive baseline.
+    Naive,
+}
+
+impl AlgoKind {
+    /// Parses the `algo=` query value.
+    pub fn from_name(name: &str) -> Option<AlgoKind> {
+        match name {
+            "algo2" | "2" => Some(AlgoKind::Algo2),
+            "algo1" | "1" => Some(AlgoKind::Algo1),
+            "spgemm" => Some(AlgoKind::Spgemm),
+            "naive" => Some(AlgoKind::Naive),
+            _ => None,
+        }
+    }
+
+    /// Canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Algo2 => "algo2",
+            AlgoKind::Algo1 => "algo1",
+            AlgoKind::Spgemm => "spgemm",
+            AlgoKind::Naive => "naive",
+        }
+    }
+}
+
+/// How a [`ArtifactCache::get_or_compute`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Computed by this call.
+    Miss,
+    /// Another in-flight call computed it; this call waited and shared.
+    Coalesced,
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inflight<V> {
+    slot: Mutex<Option<Result<Arc<V>, String>>>,
+    ready: Condvar,
+}
+
+struct Inner<V> {
+    map: FxHashMap<CacheKey, Entry<V>>,
+    inflight: FxHashMap<CacheKey, Arc<Inflight<V>>>,
+    /// Per-dataset invalidation generation: a computation started under
+    /// an older generation must not enter the map (its input was
+    /// replaced mid-flight).
+    generations: FxHashMap<String, u64>,
+    used_bytes: usize,
+    clock: u64,
+}
+
+impl<V> Inner<V> {
+    fn generation(&self, dataset: &str) -> u64 {
+        self.generations.get(dataset).copied().unwrap_or(0)
+    }
+}
+
+/// Point-in-time cache statistics for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that computed their artifact.
+    pub misses: u64,
+    /// Requests that piggybacked on another request's computation.
+    pub coalesced: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub used_bytes: usize,
+    /// Configured byte budget.
+    pub budget_bytes: usize,
+}
+
+/// The LRU + single-flight cache (generic so unit tests stay cheap;
+/// the server instantiates it with its artifact type).
+pub struct ArtifactCache<V> {
+    inner: Mutex<Inner<V>>,
+    budget_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> ArtifactCache<V> {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                inflight: FxHashMap::default(),
+                generations: FxHashMap::default(),
+                used_bytes: 0,
+                clock: 0,
+            }),
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up; on a miss, runs `compute` (outside the cache lock)
+    /// and caches its value with the reported byte size. Concurrent calls
+    /// for the same key run `compute` once. Errors are propagated to all
+    /// waiters and never cached; a panicking `compute` is converted to an
+    /// error so waiters never deadlock on an abandoned flight. If the
+    /// dataset is invalidated while the computation is in flight, the
+    /// result is still returned to callers already waiting on it but is
+    /// not cached (it was built from replaced input).
+    pub fn get_or_compute(
+        &self,
+        key: &CacheKey,
+        compute: impl FnOnce() -> Result<(V, usize), String>,
+    ) -> Result<(Arc<V>, CacheOutcome), String> {
+        // Fast path + single-flight registration under one lock.
+        enum Role<V> {
+            Owner(Arc<Inflight<V>>),
+            Waiter(Arc<Inflight<V>>),
+        }
+        let (role, generation_at_start) = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clock += 1;
+            let now = inner.clock;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&entry.value), CacheOutcome::Hit));
+            }
+            let generation = inner.generation(&key.dataset);
+            match inner.inflight.get(key) {
+                Some(flight) => (Role::Waiter(Arc::clone(flight)), generation),
+                None => {
+                    let flight = Arc::new(Inflight {
+                        slot: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    inner.inflight.insert(key.clone(), Arc::clone(&flight));
+                    (Role::Owner(flight), generation)
+                }
+            }
+        };
+
+        if let Role::Waiter(flight) = role {
+            // Someone else is computing: wait for their result.
+            let mut slot = flight.slot.lock().unwrap();
+            while slot.is_none() {
+                slot = flight.ready.wait(slot).unwrap();
+            }
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return match slot.as_ref().unwrap() {
+                Ok(value) => Ok((Arc::clone(value), CacheOutcome::Coalesced)),
+                Err(e) => Err(e.clone()),
+            };
+        }
+
+        let Role::Owner(flight) = role else {
+            unreachable!("waiters returned above")
+        };
+        // This call owns the computation (lock NOT held). A panic inside
+        // `compute` must still resolve the flight, or every waiter (and
+        // all future requests for this key) would hang.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
+            .unwrap_or_else(|payload| {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(format!("computation panicked: {what}"))
+            });
+        let mut inner = self.inner.lock().unwrap();
+        // Detach only this call's own marker: invalidate_dataset may have
+        // removed it already (and a post-invalidation request may have
+        // registered a fresh flight under the same key — leave theirs).
+        if inner
+            .inflight
+            .get(key)
+            .is_some_and(|current| Arc::ptr_eq(current, &flight))
+        {
+            inner.inflight.remove(key);
+        }
+        let outcome = match result {
+            Ok((value, bytes)) => {
+                let value = Arc::new(value);
+                // Only cache results whose input dataset was not replaced
+                // mid-computation; the value is still valid for callers
+                // that requested it against the old dataset.
+                if inner.generation(&key.dataset) == generation_at_start {
+                    inner.clock += 1;
+                    let now = inner.clock;
+                    inner.map.insert(
+                        key.clone(),
+                        Entry {
+                            value: Arc::clone(&value),
+                            bytes,
+                            last_used: now,
+                        },
+                    );
+                    inner.used_bytes += bytes;
+                    self.evict_lru(&mut inner, key);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok((value, CacheOutcome::Miss))
+            }
+            Err(e) => Err(e),
+        };
+        let shared = match &outcome {
+            Ok((value, _)) => Ok(Arc::clone(value)),
+            Err(e) => Err(e.clone()),
+        };
+        drop(inner);
+        *flight.slot.lock().unwrap() = Some(shared);
+        flight.ready.notify_all();
+        outcome
+    }
+
+    /// Evicts least-recently-used entries (never `keep`) until within
+    /// budget or only `keep` remains.
+    fn evict_lru(&self, inner: &mut Inner<V>, keep: &CacheKey) {
+        while inner.used_bytes > self.budget_bytes && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.used_bytes -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops every entry for `dataset` (used when a dataset is replaced)
+    /// and bumps the dataset's generation so in-flight computations
+    /// started against the old data are not cached when they land.
+    /// In-flight markers for the dataset are detached too: callers
+    /// already waiting still get the old-data result they asked for, but
+    /// requests arriving after the invalidation start a fresh flight
+    /// against the new data instead of coalescing onto the stale one.
+    pub fn invalidate_dataset(&self, dataset: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.generations.entry(dataset.to_string()).or_insert(0) += 1;
+        let victims: Vec<CacheKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .cloned()
+            .collect();
+        for key in victims {
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.used_bytes -= entry.bytes;
+            }
+        }
+        inner.inflight.retain(|k, _| k.dataset != dataset);
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            used_bytes: inner.used_bytes,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(dataset: &str, s: u32) -> CacheKey {
+        CacheKey {
+            dataset: dataset.to_string(),
+            s,
+            algorithm: AlgoKind::Algo2,
+            weighted: false,
+        }
+    }
+
+    #[test]
+    fn cache_key_equality_covers_every_field() {
+        let base = key("a", 2);
+        assert_eq!(base, base.clone());
+        assert_ne!(base, key("b", 2));
+        assert_ne!(base, key("a", 3));
+        assert_ne!(
+            base,
+            CacheKey {
+                algorithm: AlgoKind::Algo1,
+                ..base.clone()
+            }
+        );
+        assert_ne!(
+            base,
+            CacheKey {
+                weighted: true,
+                ..base.clone()
+            }
+        );
+    }
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for algo in [
+            AlgoKind::Algo2,
+            AlgoKind::Algo1,
+            AlgoKind::Spgemm,
+            AlgoKind::Naive,
+        ] {
+            assert_eq!(AlgoKind::from_name(algo.name()), Some(algo));
+        }
+        assert_eq!(AlgoKind::from_name("2"), Some(AlgoKind::Algo2));
+        assert_eq!(AlgoKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache: ArtifactCache<u64> = ArtifactCache::new(1024);
+        let (v, outcome) = cache.get_or_compute(&key("a", 2), || Ok((7, 8))).unwrap();
+        assert_eq!((*v, outcome), (7, CacheOutcome::Miss));
+        let (v, outcome) = cache
+            .get_or_compute(&key("a", 2), || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((*v, outcome), (7, CacheOutcome::Hit));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(100);
+        cache.get_or_compute(&key("a", 1), || Ok((1, 40))).unwrap();
+        cache.get_or_compute(&key("a", 2), || Ok((2, 40))).unwrap();
+        // Touch s=1 so s=2 is now the LRU entry.
+        cache
+            .get_or_compute(&key("a", 1), || unreachable!())
+            .unwrap();
+        // Inserting 40 more bytes (120 > 100) must evict s=2, not s=1.
+        cache.get_or_compute(&key("a", 3), || Ok((3, 40))).unwrap();
+        let (_, outcome) = cache.get_or_compute(&key("a", 1), || Ok((1, 40))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "recently used entry survived");
+        let (_, outcome) = cache.get_or_compute(&key("a", 2), || Ok((2, 40))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "LRU entry was evicted");
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_kept_alone() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(100);
+        cache.get_or_compute(&key("a", 1), || Ok((1, 30))).unwrap();
+        cache.get_or_compute(&key("a", 2), || Ok((2, 500))).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "all other entries evicted");
+        let (_, outcome) = cache.get_or_compute(&key("a", 2), || Ok((2, 500))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "oversized entry still serves");
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(100);
+        let err = cache
+            .get_or_compute(&key("a", 1), || Err("nope".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "nope");
+        // The key is retried, not poisoned.
+        let (v, outcome) = cache.get_or_compute(&key("a", 1), || Ok((9, 8))).unwrap();
+        assert_eq!((*v, outcome), (9, CacheOutcome::Miss));
+    }
+
+    #[test]
+    fn invalidate_dataset_clears_only_that_dataset() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        cache.get_or_compute(&key("a", 1), || Ok((1, 10))).unwrap();
+        cache.get_or_compute(&key("b", 1), || Ok((2, 10))).unwrap();
+        cache.invalidate_dataset("a");
+        let (_, oa) = cache.get_or_compute(&key("a", 1), || Ok((1, 10))).unwrap();
+        let (_, ob) = cache
+            .get_or_compute(&key("b", 1), || unreachable!())
+            .unwrap();
+        assert_eq!((oa, ob), (CacheOutcome::Miss, CacheOutcome::Hit));
+    }
+
+    #[test]
+    fn panicking_compute_resolves_waiters_and_retries() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(100);
+        let err = cache
+            .get_or_compute(&key("a", 1), || panic!("kernel assert"))
+            .unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("kernel assert"), "{err}");
+        // The key is usable again afterwards.
+        let (v, outcome) = cache.get_or_compute(&key("a", 1), || Ok((3, 8))).unwrap();
+        assert_eq!((*v, outcome), (3, CacheOutcome::Miss));
+    }
+
+    #[test]
+    fn invalidation_mid_flight_prevents_stale_caching() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        // The compute simulates "dataset replaced while building".
+        let (v, outcome) = cache
+            .get_or_compute(&key("a", 1), || {
+                cache.invalidate_dataset("a");
+                Ok((1, 10))
+            })
+            .unwrap();
+        assert_eq!(
+            (*v, outcome),
+            (1, CacheOutcome::Miss),
+            "caller still served"
+        );
+        // But the stale artifact was NOT cached.
+        let (v, outcome) = cache.get_or_compute(&key("a", 1), || Ok((2, 10))).unwrap();
+        assert_eq!((*v, outcome), (2, CacheOutcome::Miss));
+        // Subsequent entries cache normally under the new generation.
+        let (_, outcome) = cache
+            .get_or_compute(&key("a", 1), || unreachable!())
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn post_invalidation_requests_do_not_coalesce_onto_stale_flight() {
+        use std::sync::atomic::AtomicBool;
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        let started = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        let (cache, started, release) = (&cache, &started, &release);
+        std::thread::scope(|scope| {
+            let owner = scope.spawn(move || {
+                cache
+                    .get_or_compute(&key("a", 1), || {
+                        started.store(true, Ordering::SeqCst);
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        Ok((1, 10))
+                    })
+                    .unwrap()
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // Dataset replaced while the owner is mid-compute.
+            cache.invalidate_dataset("a");
+            // A post-invalidation request must start a fresh flight, not
+            // wait on (and share) the stale one.
+            let (v, outcome) = cache.get_or_compute(&key("a", 1), || Ok((2, 10))).unwrap();
+            assert_eq!((*v, outcome), (2, CacheOutcome::Miss));
+            release.store(true, Ordering::SeqCst);
+            let (v, outcome) = owner.join().unwrap();
+            assert_eq!((*v, outcome), (1, CacheOutcome::Miss), "owner still served");
+        });
+        // The fresh artifact is what stays cached.
+        let (v, outcome) = cache
+            .get_or_compute(&key("a", 1), || unreachable!())
+            .unwrap();
+        assert_eq!((*v, outcome), (2, CacheOutcome::Hit));
+    }
+
+    #[test]
+    fn single_flight_deduplicates_concurrent_computes() {
+        let cache: Arc<ArtifactCache<u64>> = Arc::new(ArtifactCache::new(1 << 20));
+        let computes = AtomicUsize::new(0);
+        let computes = &computes;
+        let cache_ref = &cache;
+        let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let (v, outcome) = cache_ref
+                            .get_or_compute(&key("a", 5), || {
+                                computes.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window.
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                Ok((11, 8))
+                            })
+                            .unwrap();
+                        assert_eq!(*v, 11);
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "exactly one computation"
+        );
+        let misses = outcomes
+            .iter()
+            .filter(|&&o| o == CacheOutcome::Miss)
+            .count();
+        assert_eq!(misses, 1);
+        assert_eq!(cache.stats().coalesced + cache.stats().hits, 15);
+    }
+}

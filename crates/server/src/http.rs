@@ -1,0 +1,402 @@
+//! A small, strict HTTP/1.1 request parser and response writer.
+//!
+//! Covers exactly what the query server needs: request line + headers +
+//! optional `Content-Length` body, query-string splitting, keep-alive
+//! negotiation and fixed-length JSON responses. Limits are hard-coded
+//! defensively (8 KiB of headers, 1 MiB of body) since the server speaks
+//! only small control messages.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/datasets/x/slg`).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// True when the request line declared `HTTP/1.0` (affects the
+    /// keep-alive default).
+    pub http10: bool,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses query parameter `name`, falling back to `default` when
+    /// absent; `Err` carries a client-facing message when malformed.
+    pub fn query_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("query parameter {name}={raw:?} is not a valid value")),
+        }
+    }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// Underlying socket error (including read timeouts).
+    Io(std::io::Error),
+    /// The request was malformed; the message is client-facing.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Splits a raw query string (`a=1&b=two`) into pairs. Missing `=` yields
+/// an empty value. No percent-decoding is applied (dataset names and
+/// numbers are plain ASCII in this protocol).
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (part.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one `\n`-terminated line, enforcing `budget` *while* reading —
+/// a header line longer than the remaining budget is rejected before it
+/// is buffered, so a newline-less flood cannot grow memory unboundedly.
+fn read_crlf_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Err(ParseError::ConnectionClosed);
+            }
+            // EOF with a partial line: hand it up; the caller's grammar
+            // will reject whatever is incomplete.
+            break;
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if take > *budget {
+            return Err(ParseError::Malformed("headers exceed 8 KiB".into()));
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Reads and parses one request from `reader`.
+///
+/// Returns [`ParseError::ConnectionClosed`] when the peer closed the
+/// socket cleanly between requests (the keep-alive loop's exit signal).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_crlf_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_crlf_line(reader, &mut budget) {
+            Ok(line) => line,
+            // EOF mid-headers is malformed, not a clean close.
+            Err(ParseError::ConnectionClosed) => {
+                return Err(ParseError::Malformed(
+                    "connection closed mid-headers".into(),
+                ))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+        http10: version == "HTTP/1.0",
+    };
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length {len:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ParseError::Malformed("body exceeds 1 MiB".into()));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response with a JSON body.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /datasets/x/slg?s=3&weighted=1 HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/datasets/x/slg");
+        assert_eq!(r.query_param("s"), Some("3"));
+        assert_eq!(r.query_param("weighted"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
+        assert_eq!(r.header("host"), Some("a"));
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /datasets?name=z HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn connection_close_header_disables_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+        let r = parse("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(r.http10);
+        assert!(!r.keep_alive(), "HTTP/1.0 default is close");
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive(), "explicit keep-alive opts in");
+    }
+
+    #[test]
+    fn clean_eof_reports_connection_closed() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn eof_mid_headers_is_malformed() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: a\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\ncontent-length: wat\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_endless_line_without_buffering_it() {
+        // An infinite stream with no newline must be rejected at the
+        // budget, not buffered until OOM.
+        let mut reader = BufReader::new(std::io::repeat(b'a'));
+        assert!(matches!(
+            read_request(&mut reader),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_utf8_header_bytes() {
+        let raw: &[u8] = b"GET / HTTP/1.1\r\nx: \xff\xfe\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(raw)),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let r = parse(&format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ));
+        assert!(matches!(r, Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn query_string_forms() {
+        assert_eq!(
+            parse_query("a=1&b=&c&a=2"),
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), String::new()),
+                ("c".into(), String::new()),
+                ("a".into(), "2".into()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn query_or_parses_with_default() {
+        let r = parse("GET /x?s=4 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query_or("s", 2u32), Ok(4));
+        assert_eq!(r.query_or("top", 10usize), Ok(10));
+        assert!(r.query_or::<u32>("s", 2).is_ok());
+        let r = parse("GET /x?s=banana HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.query_or::<u32>("s", 2).is_err());
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+}

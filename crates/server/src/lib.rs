@@ -1,0 +1,63 @@
+//! `hyperline serve` — a zero-dependency concurrent query server with an
+//! s-line-graph cache.
+//!
+//! The paper computes s-line graphs `L_s(H)` precisely so that downstream
+//! s-metric queries (components, betweenness, s-distance, spectra) become
+//! cheap graph operations. This crate turns that observation into a
+//! long-lived service: load hypergraphs once, build each requested
+//! `L_s(H)` at most once, and answer many cheap queries from the cached
+//! artifact — the architecture of high-performance tile servers
+//! (IIPImage) applied to hypergraph analytics.
+//!
+//! Everything is `std`-only: `TcpListener` + scoped threads, a
+//! hand-rolled HTTP/1.1 parser, and a write-only JSON builder.
+//!
+//! ## Architecture
+//!
+//! * [`registry`] — named, immutable, `Arc`-shared datasets, loaded from
+//!   edge-list files or generator profiles at startup or via
+//!   `POST /datasets`;
+//! * [`cache`] — the artifact cache: computed [`SLineGraph`]s keyed by
+//!   `(dataset, s, algorithm, weighted)`, LRU-evicted under a byte
+//!   budget, with single-flight deduplication of concurrent misses;
+//! * [`server`] — accept loop → bounded queue → fixed worker pool, each
+//!   worker speaking HTTP/1.1 keep-alive;
+//! * [`http`] / [`json`] — the minimal wire-format helpers;
+//! * [`metrics`] — per-endpoint request/latency counters and cache
+//!   hit-rate reporting at `GET /metrics`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hyperline_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//! server
+//!     .registry()
+//!     .load_profile("lesMis", 42, None)
+//!     .unwrap();
+//! let handle = server.spawn();
+//! // GET http://{handle.addr()}/datasets/lesMis/slg?s=2 ...
+//! handle.shutdown();
+//! ```
+//!
+//! [`SLineGraph`]: hyperline_slinegraph::SLineGraph
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod server;
+
+pub use cache::{AlgoKind, ArtifactCache, CacheKey, CacheOutcome, CacheStats};
+pub use metrics::{Route, ServerMetrics};
+pub use registry::{Dataset, DatasetRegistry, DatasetSource};
+pub use server::{Artifact, Server, ServerConfig, ServerHandle, ServerState};

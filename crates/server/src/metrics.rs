@@ -1,0 +1,157 @@
+//! Per-endpoint request/latency counters for `GET /metrics`.
+//!
+//! Lock-free atomics on a fixed route table: recording a sample is a
+//! handful of relaxed atomic adds, cheap enough to run on every request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The server's routes (fixed at compile time so metrics need no map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /` — endpoint index.
+    Index,
+    /// `GET /healthz`.
+    Health,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /datasets`.
+    ListDatasets,
+    /// `POST /datasets`.
+    AddDataset,
+    /// `GET /datasets/{d}/stats`.
+    Stats,
+    /// `GET /datasets/{d}/slg`.
+    Slg,
+    /// `GET /datasets/{d}/components`.
+    Components,
+    /// `GET /datasets/{d}/betweenness`.
+    Betweenness,
+    /// `GET /datasets/{d}/spectrum`.
+    Spectrum,
+    /// `GET /datasets/{d}/sweep`.
+    Sweep,
+    /// Anything else.
+    NotFound,
+}
+
+impl Route {
+    /// Every route, in `/metrics` display order.
+    pub const ALL: [Route; 12] = [
+        Route::Index,
+        Route::Health,
+        Route::Metrics,
+        Route::ListDatasets,
+        Route::AddDataset,
+        Route::Stats,
+        Route::Slg,
+        Route::Components,
+        Route::Betweenness,
+        Route::Spectrum,
+        Route::Sweep,
+        Route::NotFound,
+    ];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Index => "index",
+            Route::Health => "healthz",
+            Route::Metrics => "metrics",
+            Route::ListDatasets => "list_datasets",
+            Route::AddDataset => "add_dataset",
+            Route::Stats => "stats",
+            Route::Slg => "slg",
+            Route::Components => "components",
+            Route::Betweenness => "betweenness",
+            Route::Spectrum => "spectrum",
+            Route::Sweep => "sweep",
+            Route::NotFound => "not_found",
+        }
+    }
+
+    fn index(self) -> usize {
+        Route::ALL.iter().position(|&r| r == self).unwrap()
+    }
+}
+
+/// Counters for one route.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    /// Requests served (any status).
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Sum of handling latencies, microseconds.
+    pub micros_total: AtomicU64,
+    /// Worst handling latency, microseconds.
+    pub micros_max: AtomicU64,
+}
+
+/// All server counters.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    endpoints: [EndpointCounters; Route::ALL.len()],
+    /// Connections accepted into the worker queue.
+    pub connections_accepted: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    pub connections_rejected: AtomicU64,
+    /// Requests whose parse failed (400/408 responses).
+    pub bad_requests: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request on `route`.
+    pub fn record(&self, route: Route, status: u16, elapsed: Duration) {
+        let counters = &self.endpoints[route.index()];
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.micros_total.fetch_add(micros, Ordering::Relaxed);
+        counters.micros_max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// The counters of one route.
+    pub fn endpoint(&self, route: Route) -> &EndpointCounters {
+        &self.endpoints[route.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_route() {
+        let m = ServerMetrics::new();
+        m.record(Route::Slg, 200, Duration::from_micros(120));
+        m.record(Route::Slg, 200, Duration::from_micros(80));
+        m.record(Route::Slg, 404, Duration::from_micros(10));
+        m.record(Route::Health, 200, Duration::from_micros(5));
+        let slg = m.endpoint(Route::Slg);
+        assert_eq!(slg.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(slg.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(slg.micros_total.load(Ordering::Relaxed), 210);
+        assert_eq!(slg.micros_max.load(Ordering::Relaxed), 120);
+        assert_eq!(
+            m.endpoint(Route::Health).requests.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(m.endpoint(Route::Sweep).requests.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn route_names_unique() {
+        let mut names: Vec<&str> = Route::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Route::ALL.len());
+    }
+}

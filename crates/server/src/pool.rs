@@ -1,0 +1,204 @@
+//! A fixed-size worker pool fed by a bounded connection queue.
+//!
+//! The accept loop pushes sockets; `threads` workers pop and serve them.
+//! When the queue is full the push fails immediately so the acceptor can
+//! shed load with a `503` instead of building an unbounded backlog —
+//! the same admission-control shape as IIPImage's FCGI worker model.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue accepting at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. `Err` returns the item when the queue is
+    /// full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// drained (then `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending items still drain, then `pop` returns
+    /// `None` to every worker.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A pool of worker threads consuming jobs from a [`BoundedQueue`].
+pub struct WorkerPool<T: Send + 'static> {
+    queue: Arc<BoundedQueue<T>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Starts `threads` workers, each running `work(job)` per popped job.
+    pub fn start(
+        threads: usize,
+        queue_capacity: usize,
+        work: impl Fn(T) + Send + Sync + 'static,
+    ) -> Self {
+        let queue = Arc::new(BoundedQueue::new(queue_capacity));
+        let work = Arc::new(work);
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let work = Arc::clone(&work);
+                std::thread::Builder::new()
+                    .name(format!("hyperline-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            // A panicking job must not shrink the fixed
+                            // pool: swallow the unwind and keep serving.
+                            let work = &work;
+                            let _ =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    work(job)
+                                }));
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self { queue, handles }
+    }
+
+    /// The shared job queue (for the acceptor side).
+    pub fn queue(&self) -> &Arc<BoundedQueue<T>> {
+        &self.queue
+    }
+
+    /// Closes the queue and joins every worker.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_respects_capacity() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue rejects");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1), "pending items drain");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_processes_all_jobs_across_workers() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let pool = WorkerPool::start(4, 64, move |x: usize| {
+            done2.fetch_add(x, Ordering::SeqCst);
+        });
+        for i in 1..=50 {
+            // Retry on transient fullness: workers drain continuously.
+            let mut item = i;
+            while let Err(back) = pool.queue().try_push(item) {
+                item = back;
+                std::thread::yield_now();
+            }
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), (1..=50).sum::<usize>());
+    }
+
+    #[test]
+    fn worker_survives_panicking_job() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let pool = WorkerPool::start(1, 8, move |x: usize| {
+            if x == 0 {
+                panic!("poison job");
+            }
+            done2.fetch_add(x, Ordering::SeqCst);
+        });
+        pool.queue().try_push(0).unwrap(); // panics inside the worker
+        pool.queue().try_push(5).unwrap(); // must still be processed
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,935 @@
+//! The server proper: TCP lifecycle, routing and endpoint handlers.
+//!
+//! `bind` → `spawn` starts an acceptor thread feeding a fixed worker
+//! pool through a bounded queue; each worker speaks HTTP/1.1 keep-alive
+//! on its connection. Query endpoints resolve their artifact through the
+//! single-flight LRU cache, so the expensive s-line-graph construction
+//! runs at most once per `(dataset, s, algorithm, weighted)`.
+
+use crate::cache::{AlgoKind, ArtifactCache, CacheKey, CacheOutcome};
+use crate::http::{self, ParseError, Request};
+use crate::json::Json;
+use crate::metrics::{Route, ServerMetrics};
+use crate::pool::WorkerPool;
+use crate::registry::{DatasetRegistry, DatasetSource};
+use hyperline_hypergraph::Hypergraph;
+use hyperline_slinegraph::{
+    algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, edge_counts_over_s,
+    naive_slinegraph, spgemm_slinegraph, SLineGraph, Strategy,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration (all fields have serviceable defaults).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means available parallelism.
+    pub threads: usize,
+    /// Artifact-cache budget in mebibytes.
+    pub cache_mb: usize,
+    /// Bounded accept-queue depth (overflow answers 503).
+    pub queue_depth: usize,
+    /// Idle keep-alive / slow-client read timeout.
+    pub read_timeout: Duration,
+    /// Directory `POST /datasets?path=` may load files from. `None`
+    /// (the default) disables path loading entirely — without a sandbox
+    /// root, that endpoint would let any client read server files.
+    pub data_root: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 0,
+            cache_mb: 256,
+            queue_depth: 1024,
+            read_timeout: Duration::from_secs(10),
+            data_root: None,
+        }
+    }
+}
+
+/// A cached artifact: the s-line graph plus (optionally) its weighted
+/// edge list.
+pub struct Artifact {
+    /// The queryable line graph.
+    pub slg: SLineGraph,
+    /// Normalized `(i, j, overlap)` triples when built weighted.
+    pub weighted_edges: Option<Vec<(u32, u32, u32)>>,
+}
+
+impl Artifact {
+    /// Rough resident size, for the cache's byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        let slg = &self.slg;
+        // Edge list (8 B) + CSR adjacency (2×4 B per direction) + offsets.
+        slg.num_edges() * (8 + 16)
+            + slg.num_vertices() * 24
+            + self.weighted_edges.as_ref().map_or(0, |w| w.len() * 12)
+            + 128
+    }
+}
+
+/// Shared state every worker sees.
+pub struct ServerState {
+    /// Named datasets.
+    pub registry: DatasetRegistry,
+    /// The artifact cache.
+    pub cache: ArtifactCache<Artifact>,
+    /// Request counters.
+    pub metrics: ServerMetrics,
+    /// Artifact computations currently running (divides the compute
+    /// thread budget so concurrent misses don't oversubscribe cores).
+    active_computations: std::sync::atomic::AtomicUsize,
+    /// Sandbox root for `POST /datasets?path=` (None = disabled).
+    data_root: Option<std::path::PathBuf>,
+    started: Instant,
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and allocates shared state. No thread starts
+    /// until [`Server::spawn`], so datasets can be preloaded in between.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState {
+            registry: DatasetRegistry::new(),
+            cache: ArtifactCache::new(config.cache_mb.saturating_mul(1024 * 1024)),
+            metrics: ServerMetrics::new(),
+            active_computations: std::sync::atomic::AtomicUsize::new(0),
+            data_root: config.data_root.clone(),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// The shared state (registry preloading, test assertions).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The dataset registry.
+    pub fn registry(&self) -> &DatasetRegistry {
+        &self.state.registry
+    }
+
+    /// Resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.config.threads
+        }
+    }
+
+    /// Starts the worker pool and acceptor thread; returns a handle that
+    /// can stop them.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let threads = self.threads();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::clone(&self.state);
+        let read_timeout = self.config.read_timeout;
+
+        let pool_state = Arc::clone(&state);
+        let pool = WorkerPool::start(threads, self.config.queue_depth, move |stream| {
+            handle_connection(&pool_state, stream, read_timeout);
+        });
+
+        let acceptor_shutdown = Arc::clone(&shutdown);
+        let acceptor_state = Arc::clone(&state);
+        let listener = self.listener;
+        let acceptor = std::thread::Builder::new()
+            .name("hyperline-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if acceptor_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    match pool.queue().try_push(stream) {
+                        Ok(()) => {
+                            acceptor_state
+                                .metrics
+                                .connections_accepted
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(mut stream) => {
+                            // Shed load: immediate 503, never queue.
+                            acceptor_state
+                                .metrics
+                                .connections_rejected
+                                .fetch_add(1, Ordering::Relaxed);
+                            let body = Json::obj()
+                                .set("error", "server overloaded, retry later")
+                                .render();
+                            let _ = http::write_response(&mut stream, 503, &body, false);
+                        }
+                    }
+                }
+                pool.shutdown();
+            })
+            .expect("failed to spawn acceptor thread");
+
+        ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            state,
+        }
+    }
+
+    /// Serves in the foreground until the process exits (the CLI path).
+    pub fn run(self) {
+        let handle = self.spawn();
+        // The acceptor thread never exits unless shut down; park forever.
+        if let Some(acceptor) = handle.acceptor {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// A running server; dropping it leaks the threads, so call
+/// [`ServerHandle::shutdown`] for an orderly stop (tests do).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for assertions and metrics scraping).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the worker pool and joins the acceptor.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop with a read timeout.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive();
+                let started = Instant::now();
+                let (route, status, body) = dispatch(state, &request);
+                state.metrics.record(route, status, started.elapsed());
+                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Io(_)) => {
+                // Idle keep-alive timeout or peer reset: close quietly.
+                return;
+            }
+            Err(ParseError::Malformed(message)) => {
+                state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = Json::obj().set("error", message).render();
+                let _ = http::write_response(&mut writer, 400, &body, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one request to its handler. Returns `(route, status, body)`.
+fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    let outcome = match (method, segments.as_slice()) {
+        ("GET", []) => (Route::Index, handle_index()),
+        ("GET", ["healthz"]) => (Route::Health, Ok((200, handle_health(state)))),
+        ("GET", ["metrics"]) => (Route::Metrics, Ok((200, handle_metrics(state)))),
+        ("GET", ["datasets"]) => (Route::ListDatasets, Ok((200, handle_list(state)))),
+        ("POST", ["datasets"]) => (Route::AddDataset, handle_add_dataset(state, request)),
+        ("GET", ["datasets", name, op]) => {
+            let (route, result) = handle_dataset_op(state, request, name, op);
+            (route, result)
+        }
+        // 405 only on paths that exist with another method; everything
+        // else (including two-segment /datasets/{d}) is 404.
+        (_, ["datasets"]) | (_, ["datasets", _, _]) | (_, ["metrics"]) | (_, ["healthz"]) => (
+            Route::NotFound,
+            Err((405, format!("method {method} not allowed here"))),
+        ),
+        _ => (
+            Route::NotFound,
+            Err((404, format!("no such endpoint {}", request.path))),
+        ),
+    };
+    let (route, result) = outcome;
+    match result {
+        Ok((status, body)) => (route, status, body.render()),
+        Err((status, message)) => (route, status, Json::obj().set("error", message).render()),
+    }
+}
+
+type HandlerResult = Result<(u16, Json), (u16, String)>;
+
+fn handle_index() -> HandlerResult {
+    let endpoints = vec![
+        Json::from("GET /healthz"),
+        Json::from("GET /metrics"),
+        Json::from("GET /datasets"),
+        Json::from("POST /datasets?name=&profile=&seed= | ?name=&path="),
+        Json::from("GET /datasets/{d}/stats"),
+        Json::from("GET /datasets/{d}/slg?s=&algo=&weighted=&limit="),
+        Json::from("GET /datasets/{d}/components?s=&limit="),
+        Json::from("GET /datasets/{d}/betweenness?s=&top="),
+        Json::from("GET /datasets/{d}/spectrum?s="),
+        Json::from("GET /datasets/{d}/sweep?max_s="),
+    ];
+    Ok((
+        200,
+        Json::obj()
+            .set("service", "hyperline-server")
+            .set("version", env!("CARGO_PKG_VERSION"))
+            .set("endpoints", Json::Arr(endpoints)),
+    ))
+}
+
+fn handle_health(state: &ServerState) -> Json {
+    Json::obj()
+        .set("ok", true)
+        .set("datasets", state.registry.len())
+        .set("uptime_secs", state.started.elapsed().as_secs())
+}
+
+fn handle_metrics(state: &ServerState) -> Json {
+    let cache = state.cache.stats();
+    let mut endpoints = Json::obj();
+    for route in Route::ALL {
+        let c = state.metrics.endpoint(route);
+        let requests = c.requests.load(Ordering::Relaxed);
+        let total = c.micros_total.load(Ordering::Relaxed);
+        endpoints = endpoints.set(
+            route.name(),
+            Json::obj()
+                .set("requests", requests)
+                .set("errors", c.errors.load(Ordering::Relaxed))
+                .set(
+                    "latency_micros_avg",
+                    total.checked_div(requests).unwrap_or(0),
+                )
+                .set("latency_micros_max", c.micros_max.load(Ordering::Relaxed)),
+        );
+    }
+    Json::obj()
+        .set("uptime_secs", state.started.elapsed().as_secs())
+        .set(
+            "connections",
+            Json::obj()
+                .set(
+                    "accepted",
+                    state.metrics.connections_accepted.load(Ordering::Relaxed),
+                )
+                .set(
+                    "rejected",
+                    state.metrics.connections_rejected.load(Ordering::Relaxed),
+                )
+                .set(
+                    "bad_requests",
+                    state.metrics.bad_requests.load(Ordering::Relaxed),
+                ),
+        )
+        .set(
+            "cache",
+            Json::obj()
+                .set("hits", cache.hits)
+                .set("misses", cache.misses)
+                .set("coalesced", cache.coalesced)
+                .set("evictions", cache.evictions)
+                .set("entries", cache.entries)
+                .set("used_bytes", cache.used_bytes)
+                .set("budget_bytes", cache.budget_bytes),
+        )
+        .set("endpoints", endpoints)
+}
+
+fn handle_list(state: &ServerState) -> Json {
+    let datasets: Vec<Json> = state
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, d)| {
+            let source = match &d.source {
+                DatasetSource::File(path) => Json::obj().set("file", path.as_str()),
+                DatasetSource::Profile { profile, seed } => Json::obj()
+                    .set("profile", profile.as_str())
+                    .set("seed", *seed),
+                DatasetSource::Inline => Json::obj().set("inline", true),
+            };
+            Json::obj()
+                .set("name", name)
+                .set("vertices", d.hypergraph.num_vertices())
+                .set("hyperedges", d.hypergraph.num_edges())
+                .set("incidences", d.hypergraph.num_incidences())
+                .set("source", source)
+        })
+        .collect();
+    Json::obj().set("datasets", Json::Arr(datasets))
+}
+
+fn handle_add_dataset(state: &ServerState, request: &Request) -> HandlerResult {
+    let name = request.query_param("name");
+    let seed: u64 = request.query_or("seed", 42).map_err(|e| (400, e))?;
+    let loaded = match (request.query_param("profile"), request.query_param("path")) {
+        (Some(profile), None) => state.registry.load_profile(profile, seed, name),
+        (None, Some(path)) => {
+            let full = resolve_data_path(state, path)?;
+            state.registry.load_file(&full, name)
+        }
+        _ => {
+            return Err((
+                400,
+                "exactly one of ?profile= or ?path= is required".to_string(),
+            ))
+        }
+    };
+    let name = loaded.map_err(|e| (400, e))?;
+    // A replaced dataset must not serve artifacts of its predecessor.
+    state.cache.invalidate_dataset(&name);
+    let d = state.registry.get(&name).expect("just inserted");
+    Ok((
+        201,
+        Json::obj()
+            .set("name", name)
+            .set("vertices", d.hypergraph.num_vertices())
+            .set("hyperedges", d.hypergraph.num_edges()),
+    ))
+}
+
+/// Resolves a client-supplied `path=` against the configured data root.
+/// Paths must be relative, `..`-free, and the feature must be enabled —
+/// this is an HTTP-reachable file read, so it never touches anything
+/// outside the sandbox (no absolute paths, no traversal, no existence
+/// oracle for the rest of the filesystem).
+fn resolve_data_path(state: &ServerState, path: &str) -> Result<String, (u16, String)> {
+    use std::path::Component;
+    let Some(root) = &state.data_root else {
+        return Err((
+            403,
+            "path loading is disabled; start the server with --data-root=DIR".to_string(),
+        ));
+    };
+    let requested = std::path::Path::new(path);
+    let traversal = requested
+        .components()
+        .any(|c| !matches!(c, Component::Normal(_) | Component::CurDir));
+    if requested.is_absolute() || traversal {
+        return Err((
+            403,
+            format!("path {path:?} must be relative to the data root, without '..'"),
+        ));
+    }
+    Ok(root.join(requested).to_string_lossy().into_owned())
+}
+
+/// Shared parameter parsing for the per-dataset query endpoints.
+struct QueryParams {
+    s: u32,
+    algorithm: AlgoKind,
+    weighted: bool,
+}
+
+fn parse_query_params(request: &Request) -> Result<QueryParams, (u16, String)> {
+    let s: u32 = request.query_or("s", 2).map_err(|e| (400, e))?;
+    if s == 0 {
+        return Err((400, "s must be at least 1".to_string()));
+    }
+    let algorithm = match request.query_param("algo") {
+        None => AlgoKind::Algo2,
+        Some(raw) => {
+            AlgoKind::from_name(raw).ok_or_else(|| (400, format!("unknown algorithm {raw:?}")))?
+        }
+    };
+    let weighted = matches!(request.query_param("weighted"), Some("1" | "true"));
+    if weighted && algorithm != AlgoKind::Algo2 {
+        return Err((400, "weighted=1 requires algo=algo2".to_string()));
+    }
+    Ok(QueryParams {
+        s,
+        algorithm,
+        weighted,
+    })
+}
+
+fn handle_dataset_op(
+    state: &ServerState,
+    request: &Request,
+    name: &str,
+    op: &str,
+) -> (Route, HandlerResult) {
+    let route = match op {
+        "stats" => Route::Stats,
+        "slg" => Route::Slg,
+        "components" => Route::Components,
+        "betweenness" => Route::Betweenness,
+        "spectrum" => Route::Spectrum,
+        "sweep" => Route::Sweep,
+        _ => {
+            return (
+                Route::NotFound,
+                Err((404, format!("no such dataset operation {op:?}"))),
+            )
+        }
+    };
+    let Some(dataset) = state.registry.get(name) else {
+        return (route, Err((404, format!("no dataset named {name:?}"))));
+    };
+    let h = dataset.hypergraph;
+    let result = match route {
+        Route::Stats => handle_stats(name, &h),
+        // Sweep runs an ensemble pass per request: budget it. The cached
+        // ops budget their own compute/metric sections (wrapping the
+        // whole call would count single-flight waiters as active).
+        Route::Sweep => with_compute_budget(state, || handle_sweep(request, name, &h)),
+        _ => handle_cached_op(state, request, route, name),
+    };
+    (route, result)
+}
+
+/// Runs `f` with the core budget split across the requests currently in
+/// a compute-heavy handler: with `C` cores and `N` such requests, each
+/// gets `max(1, C / N)` workers. A burst of cache misses or Stage-5
+/// metric queries (betweenness runs a parallel kernel per request)
+/// degrades to pipelining instead of spawning `N × C` threads.
+fn with_compute_budget<T>(state: &ServerState, f: impl FnOnce() -> T) -> T {
+    struct ActiveGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let active = state.active_computations.fetch_add(1, Ordering::Relaxed) + 1;
+    let _guard = ActiveGuard(&state.active_computations);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hyperline_util::parallel::with_threads((cores / active).max(1), f)
+}
+
+fn handle_stats(name: &str, h: &Hypergraph) -> HandlerResult {
+    Ok((
+        200,
+        Json::obj()
+            .set("dataset", name)
+            .set("vertices", h.num_vertices())
+            .set("hyperedges", h.num_edges())
+            .set("incidences", h.num_incidences())
+            .set("mean_vertex_degree", h.mean_vertex_degree())
+            .set("mean_edge_size", h.mean_edge_size())
+            .set("max_vertex_degree", h.max_vertex_degree())
+            .set("max_edge_size", h.max_edge_size()),
+    ))
+}
+
+fn handle_sweep(request: &Request, name: &str, h: &Hypergraph) -> HandlerResult {
+    let max_s: u32 = request.query_or("max_s", 16).map_err(|e| (400, e))?;
+    if !(1..=4096).contains(&max_s) {
+        return Err((400, "max_s must be in 1..=4096".to_string()));
+    }
+    let s_values: Vec<u32> = (1..=max_s).collect();
+    let counts = edge_counts_over_s(h, &s_values, &Strategy::default());
+    let rows: Vec<Json> = counts
+        .into_iter()
+        .map(|(s, count)| Json::Arr(vec![Json::from(s), Json::from(count)]))
+        .collect();
+    Ok((
+        200,
+        Json::obj()
+            .set("dataset", name)
+            .set("max_s", max_s)
+            .set("counts", Json::Arr(rows)),
+    ))
+}
+
+/// The endpoints answered from the artifact cache.
+fn handle_cached_op(
+    state: &ServerState,
+    request: &Request,
+    route: Route,
+    name: &str,
+) -> HandlerResult {
+    let params = parse_query_params(request)?;
+    let key = CacheKey {
+        dataset: name.to_string(),
+        s: params.s,
+        algorithm: params.algorithm,
+        weighted: params.weighted,
+    };
+    let (artifact, outcome) = state
+        .cache
+        .get_or_compute(&key, || {
+            // The hypergraph is re-fetched *inside* the flight: a
+            // replacement racing an earlier lookup would otherwise slip
+            // past the cache's generation check and pin a stale
+            // artifact. Any invalidation after this point bumps the
+            // generation the flight observed, which blocks caching.
+            let h = state
+                .registry
+                .get(name)
+                .ok_or_else(|| format!("dataset {name:?} was removed"))?
+                .hypergraph;
+            with_compute_budget(state, || compute_artifact(&h, &key))
+        })
+        .map_err(|e| (500, e))?;
+    let slg = &artifact.slg;
+    let base = Json::obj()
+        .set("dataset", name)
+        .set("s", params.s)
+        .set("algorithm", params.algorithm.name())
+        .set(
+            "cache",
+            match outcome {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+                CacheOutcome::Coalesced => "coalesced",
+            },
+        );
+    // The Stage-5 kernels below (components, betweenness, spectrum) run
+    // parallel work per request; budget them like artifact construction.
+    with_compute_budget(state, || match route {
+        Route::Slg => {
+            let limit: usize = request.query_or("limit", 100_000).map_err(|e| (400, e))?;
+            let edges: Vec<Json> = if params.weighted {
+                artifact
+                    .weighted_edges
+                    .as_ref()
+                    .expect("weighted artifact carries weights")
+                    .iter()
+                    .take(limit)
+                    .map(|&(i, j, w)| Json::Arr(vec![Json::from(i), Json::from(j), Json::from(w)]))
+                    .collect()
+            } else {
+                slg.edges
+                    .iter()
+                    .take(limit)
+                    .map(|&(i, j)| Json::Arr(vec![Json::from(i), Json::from(j)]))
+                    .collect()
+            };
+            Ok((
+                200,
+                base.set("num_vertices", slg.num_vertices())
+                    .set("num_edges", slg.num_edges())
+                    .set("truncated", slg.num_edges() > limit)
+                    .set("edges", Json::Arr(edges)),
+            ))
+        }
+        Route::Components => {
+            let limit: usize = request.query_or("limit", 1_000).map_err(|e| (400, e))?;
+            let components = slg.connected_components();
+            let total = components.len();
+            let rows: Vec<Json> = components
+                .into_iter()
+                .take(limit)
+                .map(|comp| Json::Arr(comp.into_iter().map(Json::from).collect()))
+                .collect();
+            Ok((
+                200,
+                base.set("count", total)
+                    .set("truncated", total > limit)
+                    .set("components", Json::Arr(rows)),
+            ))
+        }
+        Route::Betweenness => {
+            let top: usize = request.query_or("top", 10).map_err(|e| (400, e))?;
+            let ranking: Vec<Json> = slg
+                .betweenness()
+                .into_iter()
+                .take(top)
+                .map(|(edge, score)| Json::obj().set("edge", edge).set("score", score))
+                .collect();
+            Ok((200, base.set("top", top).set("ranking", Json::Arr(ranking))))
+        }
+        Route::Spectrum => Ok((
+            200,
+            base.set("num_vertices", slg.num_vertices())
+                .set("num_edges", slg.num_edges())
+                .set("diameter", slg.s_diameter())
+                .set("algebraic_connectivity", slg.algebraic_connectivity()),
+        )),
+        _ => unreachable!("handle_cached_op only serves cached routes"),
+    })
+}
+
+/// Builds the artifact for `key` (runs outside the cache lock; the
+/// single-flight layer guarantees one concurrent builder per key).
+fn compute_artifact(h: &Hypergraph, key: &CacheKey) -> Result<(Artifact, usize), String> {
+    let strategy = Strategy::default();
+    let (edges, weighted_edges) = if key.weighted {
+        let (mut triples, _stats) = algo2_slinegraph_weighted(h, key.s, &strategy);
+        for t in triples.iter_mut() {
+            if t.0 > t.1 {
+                *t = (t.1, t.0, t.2);
+            }
+        }
+        triples.sort_unstable();
+        let edges = triples.iter().map(|&(i, j, _)| (i, j)).collect();
+        (edges, Some(triples))
+    } else {
+        let edges = match key.algorithm {
+            AlgoKind::Algo2 => algo2_slinegraph(h, key.s, &strategy).edges,
+            AlgoKind::Algo1 => algo1_slinegraph(h, key.s, &strategy).edges,
+            AlgoKind::Naive => naive_slinegraph(h, key.s, &strategy).edges,
+            AlgoKind::Spgemm => spgemm_slinegraph(h, key.s, true).edges,
+        };
+        (edges, None)
+    };
+    let slg = SLineGraph::new_squeezed(key.s, h.num_edges(), edges);
+    let artifact = Artifact {
+        slg,
+        weighted_edges,
+    };
+    let bytes = artifact.approx_bytes();
+    Ok((artifact, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> Server {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_mb: 16,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(2),
+            data_root: None,
+        })
+        .unwrap();
+        server
+            .registry()
+            .insert("paper", Hypergraph::paper_example(), DatasetSource::Inline);
+        server
+    }
+
+    fn request(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), http::parse_query(q)),
+            None => (path.to_string(), Vec::new()),
+        };
+        Request {
+            method: "GET".to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_and_statuses() {
+        let server = test_server();
+        let state = server.state();
+        let (route, status, _) = dispatch(state, &request("/"));
+        assert_eq!((route, status), (Route::Index, 200));
+        let (route, status, _) = dispatch(state, &request("/healthz"));
+        assert_eq!((route, status), (Route::Health, 200));
+        let (route, status, _) = dispatch(state, &request("/nope"));
+        assert_eq!((route, status), (Route::NotFound, 404));
+        // Two-segment dataset paths are unknown routes (404), not 405.
+        let (route, status, _) = dispatch(state, &request("/datasets/paper"));
+        assert_eq!((route, status), (Route::NotFound, 404));
+        // Wrong method on a real route is 405.
+        let mut req = request("/datasets/paper/slg");
+        req.method = "DELETE".to_string();
+        let (_, status, _) = dispatch(state, &req);
+        assert_eq!(status, 405);
+        let (route, status, _) = dispatch(state, &request("/datasets/missing/slg"));
+        assert_eq!((route, status), (Route::Slg, 404));
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cache\":\"miss\""), "{body}");
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cache\":\"hit\""), "{body}");
+    }
+
+    #[test]
+    fn slg_body_contains_paper_triangle() {
+        let server = test_server();
+        let (_, status, body) = dispatch(server.state(), &request("/datasets/paper/slg?s=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"edges\":[[0,1],[0,2],[1,2]]"), "{body}");
+        assert!(body.contains("\"num_edges\":3"));
+    }
+
+    #[test]
+    fn weighted_slg_reports_overlaps() {
+        let server = test_server();
+        let (_, status, body) = dispatch(
+            server.state(),
+            &request("/datasets/paper/slg?s=2&weighted=1"),
+        );
+        assert_eq!(status, 200);
+        // inc(0,1)=2, inc(0,2)=3, inc(1,2)=3 on the paper example.
+        assert!(
+            body.contains("\"edges\":[[0,1,2],[0,2,3],[1,2,3]]"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn bad_parameters_answer_400() {
+        let server = test_server();
+        let state = server.state();
+        for path in [
+            "/datasets/paper/slg?s=0",
+            "/datasets/paper/slg?s=banana",
+            "/datasets/paper/slg?algo=quantum",
+            "/datasets/paper/slg?weighted=1&algo=naive",
+            "/datasets/paper/sweep?max_s=0",
+        ] {
+            let (_, status, _) = dispatch(state, &request(path));
+            assert_eq!(status, 400, "{path}");
+        }
+    }
+
+    #[test]
+    fn components_betweenness_spectrum_sweep() {
+        let server = test_server();
+        let state = server.state();
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/components?s=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\":1"));
+        assert!(body.contains("[0,1,2]"));
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/betweenness?s=2&top=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ranking\""));
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/spectrum?s=2"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"algebraic_connectivity\""));
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"counts\":[[1,4],[2,3],[3,2],[4,0]]"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn path_loading_is_sandboxed() {
+        // Disabled without a data root.
+        let server = test_server();
+        let mut req = request("/datasets?path=somefile.hgr");
+        req.method = "POST".to_string();
+        let (_, status, body) = dispatch(server.state(), &req);
+        assert_eq!(status, 403, "{body}");
+        assert!(body.contains("data-root"), "{body}");
+
+        // With a data root: relative paths inside it load; absolute and
+        // traversing paths are rejected without touching the filesystem.
+        let dir = std::env::temp_dir().join("hyperline-server-data-root");
+        std::fs::create_dir_all(&dir).unwrap();
+        hyperline_hypergraph::io::save_edge_list(
+            &Hypergraph::paper_example(),
+            dir.join("inside.hgr"),
+        )
+        .unwrap();
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_root: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let state = server.state();
+        let mut req = request("/datasets?path=inside.hgr");
+        req.method = "POST".to_string();
+        let (_, status, body) = dispatch(state, &req);
+        assert_eq!(status, 201, "{body}");
+        assert!(state.registry.get("inside").is_some());
+        for bad in [
+            "/datasets?path=/etc/passwd",
+            "/datasets?path=../outside.hgr",
+            "/datasets?path=ok/../../outside.hgr",
+        ] {
+            let mut req = request(bad);
+            req.method = "POST".to_string();
+            let (_, status, _) = dispatch(state, &req);
+            assert_eq!(status, 403, "{bad}");
+        }
+        std::fs::remove_file(dir.join("inside.hgr")).ok();
+    }
+
+    #[test]
+    fn post_datasets_loads_profiles() {
+        let server = test_server();
+        let state = server.state();
+        let mut req = request("/datasets?profile=lesMis&seed=7");
+        req.method = "POST".to_string();
+        let (route, status, body) = dispatch(state, &req);
+        assert_eq!((route, status), (Route::AddDataset, 201));
+        assert!(body.contains("\"name\":\"lesMis\""));
+        assert!(state.registry.get("lesMis").is_some());
+        // Missing source → 400.
+        let mut req = request("/datasets?name=x");
+        req.method = "POST".to_string();
+        let (_, status, _) = dispatch(state, &req);
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn distinct_algorithms_are_distinct_cache_entries() {
+        let server = test_server();
+        let state = server.state();
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
+        assert!(body.contains("\"cache\":\"miss\""));
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=spgemm"));
+        assert!(body.contains("\"cache\":\"miss\""));
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
+        assert!(body.contains("\"cache\":\"hit\""));
+        assert_eq!(state.cache.stats().entries, 2);
+    }
+}

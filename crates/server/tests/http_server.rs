@@ -1,0 +1,294 @@
+//! End-to-end tests: a real listener on an ephemeral port, raw TCP
+//! clients, concurrency, cache behavior and the wire protocol.
+
+use hyperline_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, returns
+/// `(status, body)`.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn post(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: 0\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn start_server(profile: &str, threads: usize) -> (hyperline_server::ServerHandle, String) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        cache_mb: 64,
+        queue_depth: 256,
+        read_timeout: Duration::from_secs(5),
+        data_root: None,
+    })
+    .expect("bind ephemeral port");
+    let name = server
+        .registry()
+        .load_profile(profile, 42, None)
+        .expect("load profile");
+    (server.spawn(), name)
+}
+
+#[test]
+fn serves_basic_endpoints_over_tcp() {
+    let (handle, name) = start_server("lesMis", 2);
+    let addr = handle.addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    let (status, body) = get(addr, "/datasets");
+    assert_eq!(status, 200);
+    assert!(body.contains(&format!("\"name\":\"{name}\"")), "{body}");
+
+    let (status, body) = get(addr, &format!("/datasets/{name}/stats"));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"hyperedges\":400"), "{body}");
+
+    let (status, _) = get(addr, &format!("/datasets/{name}/slg?s=2&limit=5"));
+    assert_eq!(status, 200);
+
+    let (status, body) = get(addr, "/datasets/ghost/slg");
+    assert_eq!(status, 404);
+    assert!(body.contains("error"), "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let (handle, _) = start_server("lesMis", 2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for i in 0..3 {
+        write!(stream, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        // Read exactly one response: headers + fixed content-length body.
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).unwrap();
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8_lossy(&buf).to_string();
+        assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+        assert!(head.contains("connection: keep-alive"), "request {i}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        assert!(String::from_utf8_lossy(&body).contains("\"ok\":true"));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn post_datasets_then_query() {
+    let (handle, _) = start_server("lesMis", 2);
+    let addr = handle.addr();
+    let (status, body) = post(addr, "/datasets?profile=compBoard&seed=7&name=boards");
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = get(addr, "/datasets/boards/spectrum?s=2");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"algebraic_connectivity\""), "{body}");
+    let (status, _) = post(addr, "/datasets?profile=not-a-profile");
+    assert_eq!(status, 400);
+    handle.shutdown();
+}
+
+/// Acceptance: ≥ 64 concurrent connections answered correctly — every
+/// response is 200 and identical up to the cache-outcome field, and the
+/// expensive construction ran exactly once (single-flight).
+#[test]
+fn sixty_four_concurrent_clients_get_identical_answers() {
+    let (handle, name) = start_server("genomics", 8);
+    let addr = handle.addr();
+    let target = format!("/datasets/{name}/slg?s=2&limit=8");
+
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..64)
+            .map(|_| scope.spawn(|| get(addr, &target)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let normalize = |body: &str| {
+        body.replace("\"cache\":\"miss\"", "\"cache\":\"_\"")
+            .replace("\"cache\":\"hit\"", "\"cache\":\"_\"")
+            .replace("\"cache\":\"coalesced\"", "\"cache\":\"_\"")
+    };
+    let reference = normalize(&responses[0].1);
+    assert!(reference.contains("\"num_edges\""), "{reference}");
+    for (i, (status, body)) in responses.iter().enumerate() {
+        assert_eq!(*status, 200, "client {i}");
+        assert_eq!(normalize(body), reference, "client {i} diverged");
+    }
+
+    let stats = handle.state().cache.stats();
+    assert_eq!(stats.misses, 1, "construction must run exactly once");
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        63,
+        "everyone else shares the artifact"
+    );
+    handle.shutdown();
+}
+
+/// Acceptance: a repeated s-line-graph query is served from cache with
+/// ≥ 10× lower latency than the cold first request.
+#[test]
+fn cached_queries_are_at_least_ten_times_faster() {
+    let (handle, name) = start_server("genomics", 4);
+    let addr = handle.addr();
+    let target = format!("/datasets/{name}/slg?s=2&limit=8");
+
+    let cold_started = Instant::now();
+    let (status, body) = get(addr, &target);
+    let cold = cold_started.elapsed();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"cache\":\"miss\""), "{body}");
+
+    // Median of several warm requests to damp scheduler noise.
+    let mut warm_times: Vec<Duration> = (0..7)
+        .map(|_| {
+            let started = Instant::now();
+            let (status, body) = get(addr, &target);
+            assert_eq!(status, 200);
+            assert!(body.contains("\"cache\":\"hit\""), "{body}");
+            started.elapsed()
+        })
+        .collect();
+    warm_times.sort();
+    let warm = warm_times[warm_times.len() / 2];
+
+    assert!(
+        cold >= warm * 10,
+        "cold {cold:?} vs warm {warm:?}: expected ≥ 10× speedup from the cache"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_reflect_traffic_and_cache_state() {
+    let (handle, name) = start_server("lesMis", 2);
+    let addr = handle.addr();
+    for _ in 0..3 {
+        let (status, _) = get(addr, &format!("/datasets/{name}/slg?s=2&limit=4"));
+        assert_eq!(status, 200);
+    }
+    let (status, _) = get(addr, "/datasets/ghost/components");
+    assert_eq!(status, 404);
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"cache\":{\"hits\":2,\"misses\":1"),
+        "{body}"
+    );
+    assert!(body.contains("\"endpoints\""), "{body}");
+    // The slg endpoint saw 3 requests, none failed.
+    assert!(
+        body.contains("\"slg\":{\"requests\":3,\"errors\":0"),
+        "{body}"
+    );
+    // The 404 was recorded on components.
+    assert!(
+        body.contains("\"components\":{\"requests\":1,\"errors\":1"),
+        "{body}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_close() {
+    let (handle, _) = start_server("lesMis", 2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "BOGUS\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn sweep_and_weighted_agree_with_library() {
+    use hyperline_slinegraph::{algo2_slinegraph, Strategy};
+
+    let (handle, name) = start_server("lesMis", 2);
+    let addr = handle.addr();
+    let h = hyperline_gen::Profile::LesMis.generate(42);
+
+    // Sweep counts match direct library calls.
+    let (status, body) = get(addr, &format!("/datasets/{name}/sweep?max_s=3"));
+    assert_eq!(status, 200);
+    for s in 1..=3u32 {
+        let count = algo2_slinegraph(&h, s, &Strategy::default()).edges.len();
+        assert!(
+            body.contains(&format!("[{s},{count}]")),
+            "s={s} count={count}: {body}"
+        );
+    }
+
+    // Weighted edges are (i, j, overlap) with overlap >= s.
+    let (status, body) = get(
+        addr,
+        &format!("/datasets/{name}/slg?s=3&weighted=1&limit=100000"),
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"cache\":\"miss\""));
+    let expected = algo2_slinegraph(&h, 3, &Strategy::default()).edges.len();
+    assert!(
+        body.contains(&format!("\"num_edges\":{expected}")),
+        "{body}"
+    );
+    handle.shutdown();
+}

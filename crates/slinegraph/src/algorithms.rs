@@ -65,7 +65,10 @@ fn merge_worker_outputs(locals: Vec<(Vec<(u32, u32)>, WorkerStats)>) -> OverlapR
         per_worker.push(stats);
     }
     edges.sort_unstable();
-    OverlapResult { edges, stats: AlgoStats::new(per_worker) }
+    OverlapResult {
+        edges,
+        stats: AlgoStats::new(per_worker),
+    }
 }
 
 /// Naive all-pairs construction: intersect every pair of hyperedge vertex
@@ -114,7 +117,11 @@ pub fn algo1_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
         m,
         strategy.workers(),
         strategy.partition,
-        |_| Local { out: Vec::new(), stats: WorkerStats::default(), stamp: vec![u32::MAX; m] },
+        |_| Local {
+            out: Vec::new(),
+            stats: WorkerStats::default(),
+            stamp: vec![u32::MAX; m],
+        },
         |i, local: &mut Local| {
             let size_i = h.edge_size(i) as u32;
             if strategy.degree_pruning && size_i < s {
@@ -346,7 +353,11 @@ mod tests {
         let h = random_hypergraph(&mut rng);
         let s = 2;
         let reference = algo2_slinegraph(&h, s, &Strategy::default()).edges;
-        for partition in [Partition::Blocked, Partition::Cyclic, Partition::Dynamic { chunk: 4 }] {
+        for partition in [
+            Partition::Blocked,
+            Partition::Cyclic,
+            Partition::Dynamic { chunk: 4 },
+        ] {
             for counter in CounterKind::ALL {
                 for workers in [1usize, 2, 7] {
                     let st = Strategy::default()
@@ -451,8 +462,10 @@ mod tests {
             let expect = algo1_slinegraph(&h, s, &Strategy::default()).edges;
             for skip_visited in [false, true] {
                 for short_circuit in [false, true] {
-                    let st = Strategy::default()
-                        .with_algo1_heuristics(Algo1Heuristics { skip_visited, short_circuit });
+                    let st = Strategy::default().with_algo1_heuristics(Algo1Heuristics {
+                        skip_visited,
+                        short_circuit,
+                    });
                     assert_eq!(
                         algo1_slinegraph(&h, s, &st).edges,
                         expect,
@@ -486,9 +499,7 @@ mod tests {
     #[test]
     fn s_zero_rejected() {
         let h = paper_h();
-        let result = std::panic::catch_unwind(|| {
-            algo2_slinegraph(&h, 0, &Strategy::default())
-        });
+        let result = std::panic::catch_unwind(|| algo2_slinegraph(&h, 0, &Strategy::default()));
         assert!(result.is_err());
     }
 

@@ -49,8 +49,11 @@ pub enum CounterKind {
 
 impl CounterKind {
     /// All kinds, for ablation sweeps.
-    pub const ALL: [CounterKind; 3] =
-        [CounterKind::DynamicMap, CounterKind::ReusedMap, CounterKind::DenseArray];
+    pub const ALL: [CounterKind; 3] = [
+        CounterKind::DynamicMap,
+        CounterKind::ReusedMap,
+        CounterKind::DenseArray,
+    ];
 
     /// Short label for benchmark output.
     pub fn label(self) -> &'static str {
@@ -160,7 +163,10 @@ pub struct DenseArrayCounter {
 impl DenseArrayCounter {
     /// Creates a counter over hyperedge IDs `0..num_edges`.
     pub fn new(num_edges: usize) -> Self {
-        Self { counts: vec![0; num_edges], touched: Vec::new() }
+        Self {
+            counts: vec![0; num_edges],
+            touched: Vec::new(),
+        }
     }
 }
 

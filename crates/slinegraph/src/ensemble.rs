@@ -13,7 +13,7 @@ use crate::partition::execute;
 use crate::stats::{AlgoStats, WorkerStats};
 use crate::strategy::Strategy;
 use hyperline_hypergraph::Hypergraph;
-use rayon::prelude::*;
+use hyperline_util::parallel::par_map_slice;
 
 /// Result of an ensemble run: one edge list per requested `s`, in input
 /// order, plus counting-phase statistics.
@@ -70,11 +70,8 @@ pub fn ensemble_slinegraphs(
             }
             local.stats.edges_processed += 1;
             for &v in h.edge_vertices(i) {
-                for &j in crate::algorithms::wedge_targets(
-                    h.vertex_edges(v),
-                    i,
-                    strategy.triangle,
-                ) {
+                for &j in crate::algorithms::wedge_targets(h.vertex_edges(v), i, strategy.triangle)
+                {
                     local.counter.bump(j);
                     local.stats.wedge_visits += 1;
                 }
@@ -83,7 +80,9 @@ pub fn ensemble_slinegraphs(
             local.counter.drain_counts(&mut local.scratch);
             for &(j, n) in local.scratch.iter() {
                 // Store normalized (min, max) regardless of triangle side.
-                local.triples.push(if i < j { (i, j, n) } else { (j, i, n) });
+                local
+                    .triples
+                    .push(if i < j { (i, j, n) } else { (j, i, n) });
             }
         },
     );
@@ -97,25 +96,30 @@ pub fn ensemble_slinegraphs(
     let stored_pairs = triples.len();
 
     // Phase 2: per-s filtration, parallel over the requested s values.
-    let per_s: Vec<(u32, Vec<(u32, u32)>)> = s_values
-        .par_iter()
-        .map(|&s| {
-            let mut edges: Vec<(u32, u32)> = triples
-                .iter()
-                .filter(|&&(_, _, n)| n >= s)
-                .map(|&(i, j, _)| (i, j))
-                .collect();
-            edges.sort_unstable();
-            (s, edges)
-        })
-        .collect();
+    let per_s: Vec<(u32, Vec<(u32, u32)>)> = par_map_slice(s_values, |&s| {
+        let mut edges: Vec<(u32, u32)> = triples
+            .iter()
+            .filter(|&&(_, _, n)| n >= s)
+            .map(|&(i, j, _)| (i, j))
+            .collect();
+        edges.sort_unstable();
+        (s, edges)
+    });
 
-    EnsembleResult { per_s, stats: AlgoStats::new(per_worker), stored_pairs }
+    EnsembleResult {
+        per_s,
+        stats: AlgoStats::new(per_worker),
+        stored_pairs,
+    }
 }
 
 /// Convenience: number of s-line-graph edges for each `s` in a range —
 /// the quantity plotted (log-log) in the paper's Figure 4.
-pub fn edge_counts_over_s(h: &Hypergraph, s_values: &[u32], strategy: &Strategy) -> Vec<(u32, usize)> {
+pub fn edge_counts_over_s(
+    h: &Hypergraph,
+    s_values: &[u32],
+    strategy: &Strategy,
+) -> Vec<(u32, usize)> {
     ensemble_slinegraphs(h, s_values, strategy)
         .per_s
         .into_iter()
@@ -171,7 +175,10 @@ mod tests {
     fn ensemble_preserves_s_order_and_counts_decrease() {
         let h = Hypergraph::paper_example();
         let counts = edge_counts_over_s(&h, &[1, 2, 3, 4], &Strategy::default());
-        assert_eq!(counts.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            counts.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
         for w in counts.windows(2) {
             assert!(w[0].1 >= w[1].1, "edge counts must be non-increasing in s");
         }

@@ -56,7 +56,10 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// Convenience constructor for the common case.
     pub fn new(s: u32) -> Self {
-        Self { s, ..Default::default() }
+        Self {
+            s,
+            ..Default::default()
+        }
     }
 }
 
@@ -97,25 +100,23 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
     });
 
     // Stage 3: s-overlap.
-    let (mut edges, stats) = times.run("s-overlap", || {
-        match config.algorithm {
-            Algorithm::Naive => {
-                let r = naive_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
-                (r.edges, r.stats)
-            }
-            Algorithm::Algo1 => {
-                let r = algo1_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
-                (r.edges, r.stats)
-            }
-            Algorithm::Algo2 => {
-                let r = algo2_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
-                (r.edges, r.stats)
-            }
-            Algorithm::SpGemm { upper } => {
-                let r = spgemm_slinegraph(&relabeled.hypergraph, config.s, upper);
-                let stats = r.stats();
-                (r.edges, stats)
-            }
+    let (mut edges, stats) = times.run("s-overlap", || match config.algorithm {
+        Algorithm::Naive => {
+            let r = naive_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
+            (r.edges, r.stats)
+        }
+        Algorithm::Algo1 => {
+            let r = algo1_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
+            (r.edges, r.stats)
+        }
+        Algorithm::Algo2 => {
+            let r = algo2_slinegraph(&relabeled.hypergraph, config.s, &config.strategy);
+            (r.edges, r.stats)
+        }
+        Algorithm::SpGemm { upper } => {
+            let r = spgemm_slinegraph(&relabeled.hypergraph, config.s, upper);
+            let stats = r.stats();
+            (r.edges, stats)
         }
     });
 
@@ -145,12 +146,20 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
 
     // Stage 5 (representative metric, timed like the paper's Table I).
     let components = if config.run_components {
-        Some(times.run("s-connected-components", || line_graph.connected_components()))
+        Some(times.run("s-connected-components", || {
+            line_graph.connected_components()
+        }))
     } else {
         None
     };
 
-    PipelineRun { line_graph, times, stats, components, num_toplexes }
+    PipelineRun {
+        line_graph,
+        times,
+        stats,
+        components,
+        num_toplexes,
+    }
 }
 
 #[cfg(test)]
@@ -174,15 +183,29 @@ mod tests {
     fn all_algorithms_through_pipeline_agree() {
         let h = Hypergraph::paper_example();
         for s in 1..=4u32 {
-            let reference =
-                run_pipeline(&h, &PipelineConfig { s, ..Default::default() }).line_graph.edges;
+            let reference = run_pipeline(
+                &h,
+                &PipelineConfig {
+                    s,
+                    ..Default::default()
+                },
+            )
+            .line_graph
+            .edges;
             for algorithm in [
                 Algorithm::Naive,
                 Algorithm::Algo1,
                 Algorithm::SpGemm { upper: false },
                 Algorithm::SpGemm { upper: true },
             ] {
-                let run = run_pipeline(&h, &PipelineConfig { s, algorithm, ..Default::default() });
+                let run = run_pipeline(
+                    &h,
+                    &PipelineConfig {
+                        s,
+                        algorithm,
+                        ..Default::default()
+                    },
+                );
                 assert_eq!(run.line_graph.edges, reference, "{algorithm:?} s={s}");
             }
         }
@@ -213,13 +236,20 @@ mod tests {
         };
         let run = run_pipeline(&h, &config);
         assert_eq!(run.num_toplexes, Some(2));
-        assert_eq!(run.line_graph.edges, vec![(2, 3)], "IDs restored to original space");
+        assert_eq!(
+            run.line_graph.edges,
+            vec![(2, 3)],
+            "IDs restored to original space"
+        );
     }
 
     #[test]
     fn unsqueezed_pipeline_keeps_id_space() {
         let h = Hypergraph::paper_example();
-        let config = PipelineConfig { squeeze: false, ..PipelineConfig::new(3) };
+        let config = PipelineConfig {
+            squeeze: false,
+            ..PipelineConfig::new(3)
+        };
         let run = run_pipeline(&h, &config);
         assert_eq!(run.line_graph.num_vertices(), 4);
         assert!(!run.line_graph.is_squeezed());
@@ -228,7 +258,10 @@ mod tests {
     #[test]
     fn component_skip_flag() {
         let h = Hypergraph::paper_example();
-        let config = PipelineConfig { run_components: false, ..PipelineConfig::new(2) };
+        let config = PipelineConfig {
+            run_components: false,
+            ..PipelineConfig::new(2)
+        };
         let run = run_pipeline(&h, &config);
         assert!(run.components.is_none());
         assert!(run.times.get("s-connected-components").is_none());

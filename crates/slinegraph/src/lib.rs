@@ -46,8 +46,7 @@ pub mod strategy;
 pub mod walks;
 
 pub use algorithms::{
-    algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, naive_slinegraph,
-    OverlapResult,
+    algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, naive_slinegraph, OverlapResult,
 };
 pub use counter::CounterKind;
 pub use ensemble::{edge_counts_over_s, ensemble_slinegraphs, EnsembleResult};

@@ -36,14 +36,26 @@ impl SLineGraph {
         let mut squeezed = edges.clone();
         squeezer.squeeze_edges(&mut squeezed);
         let graph = Graph::from_edges(squeezer.len(), &squeezed);
-        Self { s, num_hyperedges, edges, squeezer: Some(squeezer), graph }
+        Self {
+            s,
+            num_hyperedges,
+            edges,
+            squeezer: Some(squeezer),
+            graph,
+        }
     }
 
     /// Builds without squeezing: the graph keeps the full hyperedge ID
     /// space (hypersparse; wasteful for large `m`, as the paper notes).
     pub fn new_unsqueezed(s: u32, num_hyperedges: usize, edges: Vec<(u32, u32)>) -> Self {
         let graph = Graph::from_edges(num_hyperedges, &edges);
-        Self { s, num_hyperedges, edges, squeezer: None, graph }
+        Self {
+            s,
+            num_hyperedges,
+            edges,
+            squeezer: None,
+            graph,
+        }
     }
 
     /// The underlying CSR graph (on squeezed IDs if squeezed).

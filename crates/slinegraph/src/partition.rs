@@ -2,7 +2,8 @@
 //!
 //! The paper distributes the outermost loop (over hyperedges) with either
 //! oneTBB's `blocked_range` or a custom cyclic range, on top of a
-//! work-stealing scheduler. We reproduce the same three shapes on rayon:
+//! work-stealing scheduler. We reproduce the same three shapes on scoped
+//! worker threads ([`hyperline_util::parallel`]):
 //!
 //! * [`Partition::Blocked`] — worker `w` of `t` gets the contiguous block
 //!   `[w·m/t, (w+1)·m/t)`;
@@ -15,7 +16,7 @@
 //! the per-worker local states, which is how the per-thread workload
 //! instrumentation of Figure 10 falls out for free.
 
-use rayon::prelude::*;
+use hyperline_util::parallel::scope_workers;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How hyperedge indices are assigned to workers.
@@ -64,42 +65,38 @@ where
 {
     let num_workers = num_workers.max(1);
     let cursor = AtomicUsize::new(0);
-    (0..num_workers)
-        .into_par_iter()
-        .with_max_len(1) // one rayon task per worker
-        .map(|w| {
-            let mut local = init(w);
-            match partition {
-                Partition::Blocked => {
-                    let start = w * num_items / num_workers;
-                    let end = (w + 1) * num_items / num_workers;
-                    for i in start..end {
-                        body(i as u32, &mut local);
-                    }
+    scope_workers(num_workers, |w| {
+        let mut local = init(w);
+        match partition {
+            Partition::Blocked => {
+                let start = w * num_items / num_workers;
+                let end = (w + 1) * num_items / num_workers;
+                for i in start..end {
+                    body(i as u32, &mut local);
                 }
-                Partition::Cyclic => {
-                    let mut i = w;
-                    while i < num_items {
-                        body(i as u32, &mut local);
-                        i += num_workers;
-                    }
+            }
+            Partition::Cyclic => {
+                let mut i = w;
+                while i < num_items {
+                    body(i as u32, &mut local);
+                    i += num_workers;
                 }
-                Partition::Dynamic { chunk } => {
-                    let chunk = chunk.max(1);
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= num_items {
-                            break;
-                        }
-                        for i in start..(start + chunk).min(num_items) {
-                            body(i as u32, &mut local);
-                        }
+            }
+            Partition::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= num_items {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(num_items) {
+                        body(i as u32, &mut local);
                     }
                 }
             }
-            local
-        })
-        .collect()
+        }
+        local
+    })
 }
 
 /// The indices worker `w` would process under a *static* partition
@@ -132,9 +129,13 @@ mod tests {
     use std::collections::HashSet;
 
     fn run_and_collect(partition: Partition, items: usize, workers: usize) -> Vec<Vec<u32>> {
-        execute(items, workers, partition, |_| Vec::new(), |i, local: &mut Vec<u32>| {
-            local.push(i)
-        })
+        execute(
+            items,
+            workers,
+            partition,
+            |_| Vec::new(),
+            |i, local: &mut Vec<u32>| local.push(i),
+        )
     }
 
     fn all_items_once(locals: &[Vec<u32>], items: usize) {

@@ -20,7 +20,11 @@ pub fn sclique_graph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapResu
 
 /// Edge counts of the s-clique graph for each `s` (Figure 4's y-axis),
 /// computed with one ensemble pass over the dual.
-pub fn sclique_edge_counts(h: &Hypergraph, s_values: &[u32], strategy: &Strategy) -> Vec<(u32, usize)> {
+pub fn sclique_edge_counts(
+    h: &Hypergraph,
+    s_values: &[u32],
+    strategy: &Strategy,
+) -> Vec<(u32, usize)> {
     ensemble_slinegraphs(&h.dual(), s_values, strategy)
         .per_s
         .into_iter()
@@ -44,9 +48,15 @@ mod tests {
         let h = Hypergraph::paper_example();
         let r = clique_expansion(&h, &Strategy::default());
         let mut expect: Vec<(u32, u32)> = vec![
-            (0, 1), (0, 2), (0, 3), (0, 4), // a-b, a-c, a-d, a-e
-            (1, 2), (1, 3), (1, 4), // b-c, b-d, b-e
-            (2, 3), (2, 4), // c-d, c-e
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4), // a-b, a-c, a-d, a-e
+            (1, 2),
+            (1, 3),
+            (1, 4), // b-c, b-d, b-e
+            (2, 3),
+            (2, 4), // c-d, c-e
             (3, 4), // d-e
             (4, 5), // e-f
         ];

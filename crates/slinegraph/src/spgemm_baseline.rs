@@ -38,7 +38,11 @@ impl SpgemmResult {
 /// s-line graph via SpGEMM + filtration.
 pub fn spgemm_slinegraph(h: &Hypergraph, s: u32, upper_only: bool) -> SpgemmResult {
     assert!(s >= 1, "s must be at least 1");
-    let triangle = if upper_only { Triangle::Upper } else { Triangle::Full };
+    let triangle = if upper_only {
+        Triangle::Upper
+    } else {
+        Triangle::Full
+    };
     let product = overlap_matrix(h.edge_csr(), h.vertex_csr(), triangle);
     let mut edges = filter_to_edge_list(&product, s);
     edges.sort_unstable();

@@ -71,8 +71,18 @@ mod tests {
 
     #[test]
     fn merge_and_total() {
-        let a = WorkerStats { edges_processed: 1, wedge_visits: 10, set_intersections: 2, edges_emitted: 3 };
-        let b = WorkerStats { edges_processed: 4, wedge_visits: 30, set_intersections: 0, edges_emitted: 1 };
+        let a = WorkerStats {
+            edges_processed: 1,
+            wedge_visits: 10,
+            set_intersections: 2,
+            edges_emitted: 3,
+        };
+        let b = WorkerStats {
+            edges_processed: 4,
+            wedge_visits: 30,
+            set_intersections: 0,
+            edges_emitted: 1,
+        };
         let stats = AlgoStats::new(vec![a, b]);
         let t = stats.total();
         assert_eq!(t.edges_processed, 5);
@@ -84,8 +94,14 @@ mod tests {
     #[test]
     fn visit_summary_imbalance() {
         let stats = AlgoStats::new(vec![
-            WorkerStats { wedge_visits: 10, ..Default::default() },
-            WorkerStats { wedge_visits: 30, ..Default::default() },
+            WorkerStats {
+                wedge_visits: 10,
+                ..Default::default()
+            },
+            WorkerStats {
+                wedge_visits: 30,
+                ..Default::default()
+            },
         ]);
         let s = stats.visit_summary();
         assert_eq!(s.mean, 20.0);

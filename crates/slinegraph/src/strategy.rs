@@ -71,7 +71,10 @@ pub struct Algo1Heuristics {
 
 impl Default for Algo1Heuristics {
     fn default() -> Self {
-        Self { skip_visited: true, short_circuit: true }
+        Self {
+            skip_visited: true,
+            short_circuit: true,
+        }
     }
 }
 
@@ -82,7 +85,8 @@ pub struct Strategy {
     pub partition: Partition,
     /// Hyperedge relabel-by-degree order applied in preprocessing.
     pub relabel: RelabelOrder,
-    /// Worker count; 0 means "use the current rayon pool size".
+    /// Worker count; 0 means "use the ambient pool size"
+    /// ([`hyperline_util::parallel::num_threads`]).
     pub num_workers: usize,
     /// Overlap-counter implementation (Algorithm 2/3 only).
     pub counter: CounterKind,
@@ -121,7 +125,7 @@ impl Strategy {
         self
     }
 
-    /// Builder: sets the worker count (0 = rayon default).
+    /// Builder: sets the worker count (0 = ambient default).
     pub fn with_workers(mut self, w: usize) -> Self {
         self.num_workers = w;
         self
@@ -154,7 +158,7 @@ impl Strategy {
     /// Resolved worker count.
     pub fn workers(&self) -> usize {
         if self.num_workers == 0 {
-            rayon::current_num_threads()
+            hyperline_util::parallel::num_threads()
         } else {
             self.num_workers
         }
@@ -162,7 +166,12 @@ impl Strategy {
 
     /// Paper notation for this strategy under `algorithm`, e.g. `2BA`.
     pub fn notation(&self, algorithm: Algorithm) -> String {
-        format!("{}{}{}", algorithm.code(), self.partition.code(), self.relabel.code())
+        format!(
+            "{}{}{}",
+            algorithm.code(),
+            self.partition.code(),
+            self.relabel.code()
+        )
     }
 }
 
@@ -176,7 +185,9 @@ pub fn table3_grid() -> Vec<(Algorithm, Strategy)> {
             for relabel in RelabelOrder::ALL {
                 grid.push((
                     algorithm,
-                    Strategy::default().with_partition(partition).with_relabel(relabel),
+                    Strategy::default()
+                        .with_partition(partition)
+                        .with_relabel(relabel),
                 ));
             }
         }
@@ -215,7 +226,7 @@ mod tests {
     #[test]
     fn workers_resolves_zero_to_pool_size() {
         let s = Strategy::default();
-        assert_eq!(s.workers(), rayon::current_num_threads());
+        assert_eq!(s.workers(), hyperline_util::parallel::num_threads());
         let s = s.with_workers(3);
         assert_eq!(s.workers(), 3);
     }
@@ -227,7 +238,10 @@ mod tests {
             .with_counter(CounterKind::DenseArray)
             .with_pruning(false)
             .with_triangle(TriangleSide::Lower)
-            .with_algo1_heuristics(Algo1Heuristics { skip_visited: false, short_circuit: true })
+            .with_algo1_heuristics(Algo1Heuristics {
+                skip_visited: false,
+                short_circuit: true,
+            })
             .with_workers(2);
         assert_eq!(s.partition, Partition::Dynamic { chunk: 64 });
         assert_eq!(s.counter, CounterKind::DenseArray);

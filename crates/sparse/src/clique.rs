@@ -28,8 +28,7 @@ pub fn weighted_clique_expansion(h: &Hypergraph, triangle: Triangle) -> CsrMatri
 
 /// Copy of `m` with the diagonal removed (the `− D_V` term).
 fn strip_diagonal(m: &CsrMatrix) -> CsrMatrix {
-    let triplets: Vec<(u32, u32, u32)> =
-        m.iter().filter(|&(i, j, _)| i != j).collect();
+    let triplets: Vec<(u32, u32, u32)> = m.iter().filter(|&(i, j, _)| i != j).collect();
     CsrMatrix::from_triplets(m.nrows(), m.ncols(), &triplets)
 }
 

@@ -43,7 +43,13 @@ impl CsrMatrix {
                 assert!((c as usize) < ncols, "column {c} out of range");
             }
         }
-        Self { nrows, ncols, offsets, cols, vals }
+        Self {
+            nrows,
+            ncols,
+            offsets,
+            cols,
+            vals,
+        }
     }
 
     /// Boolean pattern matrix (all values 1) from a [`Csr`] adjacency.
@@ -66,7 +72,10 @@ impl CsrMatrix {
         let mut vals: Vec<u32> = Vec::with_capacity(sorted.len());
         let mut prev: Option<(u32, u32)> = None;
         for &(r, c, v) in &sorted {
-            assert!((r as usize) < nrows && (c as usize) < ncols, "triplet out of range");
+            assert!(
+                (r as usize) < nrows && (c as usize) < ncols,
+                "triplet out of range"
+            );
             if prev == Some((r, c)) {
                 *vals.last_mut().unwrap() += v;
                 continue;
@@ -79,7 +88,13 @@ impl CsrMatrix {
         for i in 0..nrows {
             offsets[i + 1] += offsets[i];
         }
-        Self { nrows, ncols, offsets, cols, vals }
+        Self {
+            nrows,
+            ncols,
+            offsets,
+            cols,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -151,7 +166,13 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, offsets, cols, vals }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            offsets,
+            cols,
+            vals,
+        }
     }
 
     /// Checks structural symmetry *and* value symmetry (requires square).

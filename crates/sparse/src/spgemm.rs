@@ -15,7 +15,7 @@
 //! using one dense sparse-accumulator (SPA) per worker.
 
 use crate::matrix::CsrMatrix;
-use rayon::prelude::*;
+use hyperline_util::parallel::par_map_range_init;
 
 /// Restriction applied while computing the product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,10 @@ struct Spa {
 
 impl Spa {
     fn new(ncols: usize) -> Self {
-        Self { vals: vec![0; ncols], touched: Vec::new() }
+        Self {
+            vals: vec![0; ncols],
+            touched: Vec::new(),
+        }
     }
 
     #[inline]
@@ -77,26 +80,24 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix, triangle: Triangle) -> CsrMatrix {
     let ncols = b.ncols();
 
     // Per-row results computed independently, then stitched.
-    let rows: Vec<(Vec<u32>, Vec<u32>)> = (0..nrows)
-        .into_par_iter()
-        .map_init(
-            || Spa::new(ncols),
-            |spa, i| {
-                for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
-                    for (&j, &bv) in b.row_cols(k as usize).iter().zip(b.row_vals(k as usize)) {
-                        if triangle == Triangle::Upper && j <= i as u32 {
-                            continue;
-                        }
-                        spa.add(j, av * bv);
+    let rows: Vec<(Vec<u32>, Vec<u32>)> = par_map_range_init(
+        nrows,
+        || Spa::new(ncols),
+        |spa, i| {
+            for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                for (&j, &bv) in b.row_cols(k as usize).iter().zip(b.row_vals(k as usize)) {
+                    if triangle == Triangle::Upper && j <= i as u32 {
+                        continue;
                     }
+                    spa.add(j, av * bv);
                 }
-                let mut cols = Vec::with_capacity(spa.touched.len());
-                let mut vals = Vec::with_capacity(spa.touched.len());
-                spa.drain_into(&mut cols, &mut vals);
-                (cols, vals)
-            },
-        )
-        .collect();
+            }
+            let mut cols = Vec::with_capacity(spa.touched.len());
+            let mut vals = Vec::with_capacity(spa.touched.len());
+            spa.drain_into(&mut cols, &mut vals);
+            (cols, vals)
+        },
+    );
 
     let mut offsets = Vec::with_capacity(nrows + 1);
     offsets.push(0usize);
@@ -229,7 +230,9 @@ mod tests {
             assert_eq!(full.get(i as usize, j), v);
         }
         // Upper nnz = (full nnz - diagonal nnz) / 2.
-        let diag_count = (0..full.nrows()).filter(|&i| full.get(i, i as u32) > 0).count();
+        let diag_count = (0..full.nrows())
+            .filter(|&i| full.get(i, i as u32) > 0)
+            .count();
         assert_eq!(upper.nnz(), (full.nnz() - diag_count) / 2);
     }
 

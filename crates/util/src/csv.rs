@@ -22,7 +22,10 @@ impl<W: Write> CsvWriter<W> {
     ) -> io::Result<Self> {
         let cells: Vec<String> = header.into_iter().map(|s| escape(s.as_ref())).collect();
         writeln!(sink, "{}", cells.join(","))?;
-        Ok(Self { sink, columns: cells.len() })
+        Ok(Self {
+            sink,
+            columns: cells.len(),
+        })
     }
 
     /// Writes one data row.

@@ -198,7 +198,11 @@ mod tests {
         for i in 0..4096u64 {
             tops.insert((hash_u64(i) >> 48) as u16);
         }
-        assert!(tops.len() > 2048, "only {} distinct top-16 prefixes", tops.len());
+        assert!(
+            tops.len() > 2048,
+            "only {} distinct top-16 prefixes",
+            tops.len()
+        );
     }
 
     #[test]

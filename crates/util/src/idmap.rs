@@ -31,7 +31,10 @@ impl IdSqueezer {
             .enumerate()
             .map(|(new, &old)| (old, new as u32))
             .collect();
-        Self { forward, inverse: unique }
+        Self {
+            forward,
+            inverse: unique,
+        }
     }
 
     /// Builds a squeezer from the endpoint IDs of an edge list.

@@ -14,6 +14,8 @@
 //!   mirror the paper's tables.
 //! * [`idmap`] — dense re-mapping of sparse ID spaces ("ID squeezing",
 //!   Stage 4 of the paper's framework).
+//! * [`parallel`] — structured parallelism on scoped threads (the
+//!   workspace's zero-dependency replacement for rayon).
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod bitset;
 pub mod csv;
 pub mod fxhash;
 pub mod idmap;
+pub mod parallel;
 pub mod stats;
 pub mod table;
 pub mod timer;

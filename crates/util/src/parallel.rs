@@ -1,0 +1,291 @@
+//! Structured parallelism on `std::thread::scope` — the workspace's
+//! replacement for rayon.
+//!
+//! The paper's algorithms only ever need one shape of parallelism: "run N
+//! workers over a range and merge their results". Scoped threads cover
+//! that without a work-stealing runtime or any external dependency:
+//!
+//! * [`scope_workers`] — exactly N workers, one call each (the primitive
+//!   everything else builds on; [`crate::parallel`] callers with
+//!   per-worker state use it directly);
+//! * [`par_map_range`] / [`par_map_range_init`] — ordered map over
+//!   `0..n`, dynamically load-balanced in chunks;
+//! * [`par_map_slice`] — ordered map over a slice;
+//! * [`par_for_each_range`] — side-effect loop over `0..n` (the body
+//!   synchronizes through atomics/locks as needed);
+//! * [`par_for_each_mut`] / [`par_for_each_indexed_mut`] — in-place loop
+//!   over disjoint `&mut` elements.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be pinned per-call-site with [`with_threads`] (a thread-local
+//! override, which is how the scaling benchmarks sweep 1..cores).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The worker count parallel operations on this thread will use:
+/// the innermost [`with_threads`] override, else the machine's available
+/// parallelism (at least 1).
+pub fn num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(Cell::get);
+    if over > 0 {
+        over
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `f` with [`num_threads`] pinned to `n` on the current thread
+/// (parallel operations started inside `f` use `n` workers). Nested
+/// overrides stack; the previous value is restored on exit (also on
+/// panic).
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Spawns exactly `num_workers` scoped workers running `work(worker_id)`
+/// and returns their results indexed by worker ID. Worker 0 runs on the
+/// calling thread.
+///
+/// # Panics
+/// Propagates the first worker panic.
+pub fn scope_workers<T: Send>(num_workers: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let num_workers = num_workers.max(1);
+    if num_workers == 1 {
+        return vec![work(0)];
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..num_workers)
+            .map(|w| scope.spawn(move || work(w)))
+            .collect();
+        let mut results = Vec::with_capacity(num_workers);
+        results.push(work(0));
+        for handle in handles {
+            results.push(match handle.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            });
+        }
+        results
+    })
+}
+
+/// Chunk size giving each worker ~8 grabs: dynamic enough to balance
+/// skewed items, coarse enough to keep the cursor cold.
+fn default_chunk(n: usize, workers: usize) -> usize {
+    (n / (workers * 8)).max(1)
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+/// Work is claimed dynamically in chunks from an atomic cursor.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    par_map_range_init(n, || (), |(), i| f(i))
+}
+
+/// Like [`par_map_range`] with per-worker scratch state: `init()` runs
+/// once per worker and `f(&mut state, i)` maps index `i`. Results come
+/// back in index order (rayon's `map_init` shape).
+pub fn par_map_range_init<S, U: Send>(
+    n: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> U + Sync,
+) -> Vec<U> {
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = default_chunk(n, workers);
+    let cursor = AtomicUsize::new(0);
+    // Each worker returns contiguous (start, results) runs; stitching them
+    // back in start order restores the index order without shared writes.
+    let mut runs: Vec<(usize, Vec<U>)> = scope_workers(workers, |_| {
+        let mut state = init();
+        let mut out: Vec<(usize, Vec<U>)> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            out.push((start, (start..end).map(|i| f(&mut state, i)).collect()));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    runs.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(n);
+    for (_, mut run) in runs {
+        result.append(&mut run);
+    }
+    debug_assert_eq!(result.len(), n);
+    result
+}
+
+/// Maps `f` over a slice in parallel, returning results in input order.
+pub fn par_map_slice<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Runs `f(i)` for every `i` in `0..n` in parallel (unordered;
+/// side-effecting bodies synchronize through atomics or locks).
+pub fn par_for_each_range(n: usize, f: impl Fn(usize) + Sync) {
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        (0..n).for_each(f);
+        return;
+    }
+    let chunk = default_chunk(n, workers);
+    let cursor = AtomicUsize::new(0);
+    scope_workers(workers, |_| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            return;
+        }
+        for i in start..(start + chunk).min(n) {
+            f(i);
+        }
+    });
+}
+
+/// Runs `f` on every element of `items` in parallel (disjoint `&mut`
+/// access, distributed in contiguous chunks).
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    par_for_each_indexed_mut(items, |_, item| f(item));
+}
+
+/// Like [`par_for_each_mut`], also passing each element's index.
+pub fn par_for_each_indexed_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let n = items.len();
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (c, block) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (k, item) in block.iter_mut().enumerate() {
+                    f(c * chunk + k, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_range_preserves_order() {
+        let out = par_map_range(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+        assert!(par_map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        // State is a counter: the sum over all workers must equal n.
+        let counts = par_map_range_init(
+            500,
+            || 0usize,
+            |c, _| {
+                *c += 1;
+                *c
+            },
+        );
+        assert_eq!(counts.len(), 500);
+    }
+
+    #[test]
+    fn map_slice_matches_serial() {
+        let items: Vec<u32> = (0..777).collect();
+        assert_eq!(
+            par_map_slice(&items, |&x| x + 1),
+            items.iter().map(|&x| x + 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn for_each_range_visits_all_once() {
+        let n = 1013;
+        let sum = AtomicU64::new(0);
+        par_for_each_range(n, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (n as u64 * (n as u64 - 1)) / 2);
+    }
+
+    #[test]
+    fn for_each_mut_updates_in_place() {
+        let mut v: Vec<usize> = vec![0; 503];
+        par_for_each_indexed_mut(&mut v, |i, slot| *slot = i + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+        par_for_each_mut(&mut v, |x| *x *= 2);
+        assert_eq!(v[10], 22);
+    }
+
+    #[test]
+    fn scope_workers_ids_and_results() {
+        let out = scope_workers(6, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+        assert_eq!(scope_workers(0, |w| w), vec![0], "clamps to one worker");
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = num_threads();
+        let inside = with_threads(3, num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(num_threads(), outside);
+        // Nested overrides stack.
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 2);
+        });
+        // Zero clamps to one.
+        assert_eq!(with_threads(0, num_threads), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            scope_workers(4, |w| {
+                if w == 3 {
+                    panic!("boom");
+                }
+                w
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -41,11 +41,25 @@ impl Summary {
             }
         }
         if count == 0 {
-            return Self { count: 0, min: 0.0, max: 0.0, mean: 0.0, stddev: 0.0, sum: 0.0 };
+            return Self {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+                sum: 0.0,
+            };
         }
         let mean = sum / count as f64;
         let var = (sumsq / count as f64 - mean * mean).max(0.0);
-        Self { count, min, max, mean, stddev: var.sqrt(), sum }
+        Self {
+            count,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+            sum,
+        }
     }
 
     /// Computes summary statistics over integer counts.
@@ -93,7 +107,11 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 pub fn log_histogram(values: impl IntoIterator<Item = usize>) -> Vec<usize> {
     let mut bins: Vec<usize> = Vec::new();
     for v in values {
-        let bin = if v <= 1 { 0 } else { (usize::BITS - 1 - v.leading_zeros()) as usize };
+        let bin = if v <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - v.leading_zeros()) as usize
+        };
         if bin >= bins.len() {
             bins.resize(bin + 1, 0);
         }

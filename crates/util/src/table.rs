@@ -32,7 +32,11 @@ impl Table {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Self { headers, aligns, rows: Vec::new() }
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Overrides column alignments. Panics if the count differs from headers.
@@ -138,7 +142,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, 2 rows
-        // All lines same width.
+                                    // All lines same width.
         let w = lines[0].len();
         assert!(lines.iter().all(|l| l.len() <= w + 2));
         assert!(lines[2].starts_with("preprocess"));

@@ -16,7 +16,9 @@ impl Timer {
     /// Starts a new timer.
     #[inline]
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

@@ -28,7 +28,12 @@ fn main() {
         ensemble.stored_pairs
     );
 
-    let mut table = Table::new(["s", "|E| of L_s", "non-singleton comps", "norm. algebraic connectivity"]);
+    let mut table = Table::new([
+        "s",
+        "|E| of L_s",
+        "non-singleton comps",
+        "norm. algebraic connectivity",
+    ]);
     for (s, edges) in &ensemble.per_s {
         let slg = SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone());
         let comps = slg.connected_components();
@@ -45,13 +50,13 @@ fn main() {
 
     // The planted teams: 5 papers sharing exactly 16 authors each.
     let range = Profile::CondMat.planted_edge_range(42).unwrap();
-    let slg16 = SLineGraph::new_squeezed(
-        16,
-        h.num_edges(),
-        ensemble.per_s.last().unwrap().1.clone(),
-    );
+    let slg16 =
+        SLineGraph::new_squeezed(16, h.num_edges(), ensemble.per_s.last().unwrap().1.clone());
     let comps = slg16.connected_components();
-    println!("\nAt s=16, {} component(s) remain — the tightest author teams:", comps.len());
+    println!(
+        "\nAt s=16, {} component(s) remain — the tightest author teams:",
+        comps.len()
+    );
     for comp in comps.iter().take(3) {
         let planted: Vec<&u32> = comp.iter().filter(|&&e| range.contains(&e)).collect();
         println!("  papers {:?} ({} planted)", comp, planted.len());

@@ -47,7 +47,11 @@ fn main() {
     for &d in &top5 {
         let mut cells = vec![format!("disease-{d}")];
         for (_, _, order, pct) in &per_s {
-            let rank = order.iter().find(|&&(v, _, _)| v == d).map(|&(_, _, r)| r).unwrap();
+            let rank = order
+                .iter()
+                .find(|&&(v, _, _)| v == d)
+                .map(|&(_, _, r)| r)
+                .unwrap();
             cells.push(format!("{rank} ({:.2}%)", pct[d as usize]));
         }
         table.row(cells);

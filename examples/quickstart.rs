@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hyperline::prelude::*;
 use hyperline::hypergraph::toplex;
+use hyperline::prelude::*;
 
 fn vertex_name(v: u32) -> char {
     (b'a' + v as u8) as char
@@ -16,10 +16,23 @@ fn vertex_name(v: u32) -> char {
 
 fn main() {
     let h = Hypergraph::paper_example();
-    println!("Hypergraph H: {} vertices, {} hyperedges, {} incidences", h.num_vertices(), h.num_edges(), h.num_incidences());
+    println!(
+        "Hypergraph H: {} vertices, {} hyperedges, {} incidences",
+        h.num_vertices(),
+        h.num_edges(),
+        h.num_incidences()
+    );
     for e in 0..h.num_edges() as u32 {
         let members: String = h.edge_vertices(e).iter().map(|&v| vertex_name(v)).collect();
-        println!("  edge {}: {{{}}}", e + 1, members.chars().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+        println!(
+            "  edge {}: {{{}}}",
+            e + 1,
+            members
+                .chars()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
     }
 
     // Figure 2: hyperedge s-line graphs for s = 1..4, with edge weights
@@ -36,27 +49,45 @@ fn main() {
 
     // The dual hypergraph (Figure 1 right).
     let dual = h.dual();
-    println!("\nDual H*: {} vertices (old edges), {} hyperedges (old vertices)", dual.num_vertices(), dual.num_edges());
+    println!(
+        "\nDual H*: {} vertices (old edges), {} hyperedges (old vertices)",
+        dual.num_vertices(),
+        dual.num_edges()
+    );
 
     // Toplexes (Stage 2): edges 1 and 2 are subsets of edge 3.
     let t = toplex::toplexes(&h);
     let names: Vec<String> = t.toplex_ids.iter().map(|&e| (e + 1).to_string()).collect();
-    println!("Toplexes Ě: edges {{{}}} — H is {}simple", names.join(", "), if toplex::is_simple(&h) { "" } else { "not " });
+    println!(
+        "Toplexes Ě: edges {{{}}} — H is {}simple",
+        names.join(", "),
+        if toplex::is_simple(&h) { "" } else { "not " }
+    );
 
     // The clique expansion (2-section, Figure 3 right) via the dual.
     let cx = clique_expansion(&h, &Strategy::default());
-    println!("\n2-section H₂ has {} edges (clique expansion of H)", cx.edges.len());
+    println!(
+        "\n2-section H₂ has {} edges (clique expansion of H)",
+        cx.edges.len()
+    );
 
     // Full pipeline at s = 2 with stage timing.
     let run = run_pipeline(&h, &PipelineConfig::new(2));
     println!("\nPipeline at s=2:");
     print!("{}", run.times);
-    println!("2-connected components: {:?}", run.components.unwrap()
-        .iter()
-        .map(|c| c.iter().map(|&e| (e + 1).to_string()).collect::<Vec<_>>())
-        .collect::<Vec<_>>());
+    println!(
+        "2-connected components: {:?}",
+        run.components
+            .unwrap()
+            .iter()
+            .map(|c| c.iter().map(|&e| (e + 1).to_string()).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
 
     // s-distance: edges 1 and 4 are 1-connected through edge 3.
     let slg1 = run_pipeline(&h, &PipelineConfig::new(1)).line_graph;
-    println!("1-distance between edges 1 and 4: {:?}", slg1.s_distance(0, 3));
+    println!(
+        "1-distance between edges 1 and 4: {:?}",
+        slg1.s_distance(0, 3)
+    );
 }

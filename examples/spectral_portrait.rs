@@ -26,7 +26,14 @@ fn main() {
     let ens = ensemble_slinegraphs(&h, &s_values, &Strategy::default());
 
     let mut table = Table::new([
-        "s", "|V|", "|E|", "comps", "diam", "avg clust", "degeneracy", "alg. conn",
+        "s",
+        "|V|",
+        "|E|",
+        "comps",
+        "diam",
+        "avg clust",
+        "degeneracy",
+        "alg. conn",
     ]);
     for (s, edges) in &ens.per_s {
         let slg = SLineGraph::new_squeezed(*s, h.num_edges(), edges.clone());
@@ -53,7 +60,13 @@ fn main() {
         hyperline::util::IdSqueezer::from_ids(weighted_edges.iter().flat_map(|&(a, b, _)| [a, b]));
     let compact: Vec<(u32, u32, u32)> = weighted_edges
         .iter()
-        .map(|&(a, b, w)| (squeezer.squeeze(a).unwrap(), squeezer.squeeze(b).unwrap(), w))
+        .map(|&(a, b, w)| {
+            (
+                squeezer.squeeze(a).unwrap(),
+                squeezer.squeeze(b).unwrap(),
+                w,
+            )
+        })
         .collect();
     let wg = WeightedGraph::from_edges(squeezer.len(), &compact);
     let dot_text = dot::to_dot_weighted(&wg, |v| format!("board {}", squeezer.unsqueeze(v)));

@@ -13,6 +13,7 @@
 //! hyperline spectrum   <file> --s=8              algebraic connectivity
 //! hyperline sweep      <file> --max-s=16         |E(L_s)| for s = 1..max
 //! hyperline gen        <profile> --out=<f>       write a synthetic dataset
+//! hyperline serve      <file|profile:NAME>...    HTTP query server w/ cache
 //! ```
 
 use hyperline::gen::Profile;
@@ -32,7 +33,12 @@ fn usage() -> ExitCode {
          spectrum   <file> --s=N                normalized algebraic connectivity\n  \
          sweep      <file> [--max-s=N]          edge counts for s = 1..N\n  \
          draw       <file> --s=N [--out=FILE]   weighted s-line graph as Graphviz DOT\n  \
-         gen        <profile> --out=FILE        write a synthetic dataset\n\
+         gen        <profile> --out=FILE        write a synthetic dataset\n  \
+         serve      <file|profile:NAME>... [--port=7878] [--threads=N]\n  \
+                    [--cache-mb=256] [--queue=1024] [--seed=N] [--data-root=DIR]\n  \
+                    concurrent HTTP/1.1 JSON query server with an\n  \
+                    s-line-graph cache (GET / lists the endpoints;\n  \
+                    --data-root sandboxes POST /datasets?path= loading)\n\
          common flags: --pairs (input is `edge vertex` lines), --seed=N, --sclique\n\
          profiles: {}",
         Profile::ALL.map(|p| p.name()).join(", ")
@@ -78,8 +84,16 @@ fn build(h: &Hypergraph, s: u32) -> SLineGraph {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let (Some(command), Some(target)) = (args.get(1), args.get(2)) else {
+    let Some(command) = args.get(1) else {
         return usage();
+    };
+    // `serve` can start empty (datasets arrive via POST /datasets); every
+    // other command needs its file/profile argument.
+    let empty = String::new();
+    let target = match args.get(2) {
+        Some(t) => t,
+        None if command == "serve" => &empty,
+        None => return usage(),
     };
     let s: u32 = opt("s", 2);
     match command.as_str() {
@@ -96,8 +110,15 @@ fn main() -> ExitCode {
             println!("max vertex degree:   {}", h.max_vertex_degree());
             println!("max edge size:       {}", h.max_edge_size());
             let t = toplex::toplexes(&h);
-            println!("toplexes:            {} ({})", t.toplex_ids.len(),
-                if t.toplex_ids.len() == h.num_edges() { "simple" } else { "not simple" });
+            println!(
+                "toplexes:            {} ({})",
+                t.toplex_ids.len(),
+                if t.toplex_ids.len() == h.num_edges() {
+                    "simple"
+                } else {
+                    "not simple"
+                }
+            );
         }
         "slg" => {
             let h = match load(target) {
@@ -180,19 +201,21 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             };
             let (edges, _) = algo2_slinegraph_weighted(&h, s, &Strategy::default());
-            let squeezer = hyperline::util::IdSqueezer::from_ids(
-                edges.iter().flat_map(|&(a, b, _)| [a, b]),
-            );
+            let squeezer =
+                hyperline::util::IdSqueezer::from_ids(edges.iter().flat_map(|&(a, b, _)| [a, b]));
             let compact: Vec<(u32, u32, u32)> = edges
                 .iter()
                 .map(|&(a, b, w)| {
-                    (squeezer.squeeze(a).unwrap(), squeezer.squeeze(b).unwrap(), w)
+                    (
+                        squeezer.squeeze(a).unwrap(),
+                        squeezer.squeeze(b).unwrap(),
+                        w,
+                    )
                 })
                 .collect();
             let wg = hyperline::graph::WeightedGraph::from_edges(squeezer.len().max(1), &compact);
-            let dot_text = hyperline::graph::dot::to_dot_weighted(&wg, |v| {
-                squeezer.unsqueeze(v).to_string()
-            });
+            let dot_text =
+                hyperline::graph::dot::to_dot_weighted(&wg, |v| squeezer.unsqueeze(v).to_string());
             let out_path: String = opt("out", String::new());
             if out_path.is_empty() {
                 print!("{dot_text}");
@@ -205,6 +228,50 @@ fn main() -> ExitCode {
                     wg.graph.num_edges()
                 );
             }
+        }
+        "serve" => {
+            use hyperline::server::{Server, ServerConfig};
+            let port: u16 = opt("port", 7878);
+            let host: String = opt("host", "127.0.0.1".to_string());
+            let data_root: String = opt("data-root", String::new());
+            let config = ServerConfig {
+                addr: format!("{host}:{port}"),
+                threads: opt("threads", 0),
+                cache_mb: opt("cache-mb", 256),
+                queue_depth: opt("queue", 1024),
+                data_root: (!data_root.is_empty()).then(|| data_root.clone().into()),
+                ..ServerConfig::default()
+            };
+            let server = match Server::bind(config) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot bind {host}:{port}: {e}")),
+            };
+            let seed: u64 = opt("seed", 42);
+            // Positional arguments are datasets: files, or `profile:NAME`.
+            for spec in args.iter().skip(2).filter(|a| !a.starts_with("--")) {
+                let loaded = match spec.strip_prefix("profile:") {
+                    Some(profile) => server.registry().load_profile(profile, seed, None),
+                    None => server.registry().load_file(spec, None),
+                };
+                match loaded {
+                    Ok(name) => {
+                        let d = server.registry().get(&name).unwrap();
+                        eprintln!(
+                            "loaded {name} ({} vertices, {} hyperedges)",
+                            d.hypergraph.num_vertices(),
+                            d.hypergraph.num_edges()
+                        );
+                    }
+                    Err(e) => return fail(&e),
+                }
+            }
+            eprintln!(
+                "hyperline-server listening on http://{} ({} threads, {} MiB cache)",
+                server.local_addr(),
+                server.threads(),
+                opt("cache-mb", 256usize),
+            );
+            server.run();
         }
         "gen" => {
             let Some(profile) = Profile::from_name(target) else {

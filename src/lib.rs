@@ -38,13 +38,15 @@
 //! | [`graph`] | `hyperline-graph` | s-metric kernels (CC, betweenness, PageRank, spectral) |
 //! | [`sparse`] | `hyperline-sparse` | SpGEMM baseline |
 //! | [`gen`] | `hyperline-gen` | synthetic dataset profiles |
-//! | [`util`] | `hyperline-util` | hashing, bitsets, timers, stats |
+//! | [`server`] | `hyperline-server` | concurrent HTTP query server with an s-line-graph cache |
+//! | [`util`] | `hyperline-util` | hashing, bitsets, timers, stats, scoped-thread parallelism |
 
 #![warn(missing_docs)]
 
 pub use hyperline_gen as gen;
 pub use hyperline_graph as graph;
 pub use hyperline_hypergraph as hypergraph;
+pub use hyperline_server as server;
 pub use hyperline_slinegraph as slinegraph;
 pub use hyperline_sparse as sparse;
 pub use hyperline_util as util;

@@ -5,8 +5,8 @@
 //! partitions, counters, worker counts and relabel orders. Property-based
 //! tests generate the hypergraphs.
 
-use hyperline::prelude::*;
 use hyperline::hypergraph::relabel_edges_by_degree;
+use hyperline::prelude::*;
 use proptest::prelude::*;
 // Both globs export a `Strategy`; explicit imports disambiguate — the
 // execution strategy by name, proptest's trait under an alias.
@@ -16,11 +16,8 @@ use proptest::strategy::Strategy as PropStrategy;
 /// Proptest generator: a random hypergraph as (edge lists, num_vertices).
 fn hypergraph_strategy() -> impl PropStrategy<Value = Hypergraph> {
     (1usize..30).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..n as u32, 0..=n.min(10)),
-            0..40,
-        )
-        .prop_map(move |lists| Hypergraph::from_edge_lists(&lists, n))
+        proptest::collection::vec(proptest::collection::vec(0..n as u32, 0..=n.min(10)), 0..40)
+            .prop_map(move |lists| Hypergraph::from_edge_lists(&lists, n))
     })
 }
 
@@ -130,7 +127,11 @@ fn strategies_agree_on_profile_data() {
     // Heavier, deterministic cross-check on a generated profile.
     let h = Profile::EmailEuAll.generate(9);
     let reference = algo2_slinegraph(&h, 3, &Strategy::default()).edges;
-    for partition in [Partition::Blocked, Partition::Cyclic, Partition::Dynamic { chunk: 64 }] {
+    for partition in [
+        Partition::Blocked,
+        Partition::Cyclic,
+        Partition::Dynamic { chunk: 64 },
+    ] {
         for counter in CounterKind::ALL {
             let st = Strategy::default()
                 .with_partition(partition)
@@ -143,6 +144,9 @@ fn strategies_agree_on_profile_data() {
             );
         }
     }
-    assert_eq!(algo1_slinegraph(&h, 3, &Strategy::default()).edges, reference);
+    assert_eq!(
+        algo1_slinegraph(&h, 3, &Strategy::default()).edges,
+        reference
+    );
     assert_eq!(spgemm_slinegraph(&h, 3, true).edges, reference);
 }

@@ -67,7 +67,12 @@ fn slg_writes_output_file() {
 #[test]
 fn components_lists_sets() {
     let path = write_paper_example();
-    let out = cli().arg("components").arg(&path).arg("--s=2").output().unwrap();
+    let out = cli()
+        .arg("components")
+        .arg(&path)
+        .arg("--s=2")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 2-connected component(s):"));
@@ -77,7 +82,12 @@ fn components_lists_sets() {
 #[test]
 fn sweep_counts_match_figure2() {
     let path = write_paper_example();
-    let out = cli().arg("sweep").arg(&path).arg("--max-s=4").output().unwrap();
+    let out = cli()
+        .arg("sweep")
+        .arg(&path)
+        .arg("--max-s=4")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let rows: Vec<&str> = stdout.lines().collect();
@@ -97,7 +107,10 @@ fn sclique_flag_analyzes_dual() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     // s-clique counts of the paper example: 11, 5, 1.
-    assert_eq!(stdout.lines().collect::<Vec<_>>(), vec!["1\t11", "2\t5", "3\t1"]);
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["1\t11", "2\t5", "3\t1"]
+    );
 }
 
 #[test]
@@ -109,7 +122,11 @@ fn gen_roundtrips_through_stats() {
         .arg(format!("--out={}", out_path.display()))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = cli().arg("stats").arg(&out_path).output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("hyperedges:          400"));
@@ -119,7 +136,11 @@ fn gen_roundtrips_through_stats() {
 fn unknown_command_and_missing_file_fail() {
     let out = cli().arg("frobnicate").arg("x").output().unwrap();
     assert!(!out.status.success());
-    let out = cli().arg("stats").arg("/nonexistent/file.hgr").output().unwrap();
+    let out = cli()
+        .arg("stats")
+        .arg("/nonexistent/file.hgr")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 }
@@ -140,7 +161,12 @@ fn draw_emits_dot() {
 fn pairs_format_accepted() {
     let path = temp_file("pairs.txt");
     std::fs::write(&path, "0 0\n0 1\n1 1\n1 2\n").unwrap();
-    let out = cli().arg("stats").arg(&path).arg("--pairs").output().unwrap();
+    let out = cli()
+        .arg("stats")
+        .arg(&path)
+        .arg("--pairs")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("hyperedges:          2"));

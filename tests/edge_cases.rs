@@ -9,9 +9,15 @@ use hyperline::slinegraph::SLineGraph;
 #[test]
 fn empty_hypergraph_everywhere() {
     let h = Hypergraph::from_edge_lists(&[], 0);
-    assert!(algo2_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
-    assert!(algo1_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
-    assert!(naive_slinegraph(&h, 1, &Strategy::default()).edges.is_empty());
+    assert!(algo2_slinegraph(&h, 1, &Strategy::default())
+        .edges
+        .is_empty());
+    assert!(algo1_slinegraph(&h, 1, &Strategy::default())
+        .edges
+        .is_empty());
+    assert!(naive_slinegraph(&h, 1, &Strategy::default())
+        .edges
+        .is_empty());
     assert!(spgemm_slinegraph(&h, 1, true).edges.is_empty());
     let run = run_pipeline(&h, &PipelineConfig::new(1));
     assert!(run.line_graph.edges.is_empty());
@@ -22,7 +28,9 @@ fn empty_hypergraph_everywhere() {
 fn all_empty_edges() {
     let h = Hypergraph::from_edge_lists(&[vec![], vec![], vec![]], 1);
     for s in 1..=2 {
-        assert!(algo2_slinegraph(&h, s, &Strategy::default()).edges.is_empty());
+        assert!(algo2_slinegraph(&h, s, &Strategy::default())
+            .edges
+            .is_empty());
     }
 }
 
@@ -60,7 +68,10 @@ fn identical_edges_form_clique() {
     let r = algo2_slinegraph(&h, 4, &Strategy::default());
     assert_eq!(r.edges.len(), 45);
     let slg = SLineGraph::new_squeezed(4, 10, r.edges);
-    assert_eq!(slg.connected_components(), vec![(0..10u32).collect::<Vec<_>>()]);
+    assert_eq!(
+        slg.connected_components(),
+        vec![(0..10u32).collect::<Vec<_>>()]
+    );
     assert!((slg.average_clustering() - 1.0).abs() < 1e-12);
 }
 
@@ -114,7 +125,11 @@ fn dynamic_partition_tiny_and_huge_chunks() {
     let reference = algo2_slinegraph(&h, 2, &Strategy::default()).edges;
     for chunk in [1usize, 7, 100_000] {
         let st = Strategy::default().with_partition(Partition::Dynamic { chunk });
-        assert_eq!(algo2_slinegraph(&h, 2, &st).edges, reference, "chunk={chunk}");
+        assert_eq!(
+            algo2_slinegraph(&h, 2, &st).edges,
+            reference,
+            "chunk={chunk}"
+        );
     }
 }
 

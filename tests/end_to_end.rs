@@ -34,7 +34,10 @@ fn toplex_pipeline_loses_only_non_maximal_edges() {
     let h = Profile::LesMis.generate(2);
     let with = run_pipeline(
         &h,
-        &PipelineConfig { compute_toplexes: true, ..PipelineConfig::new(2) },
+        &PipelineConfig {
+            compute_toplexes: true,
+            ..PipelineConfig::new(2)
+        },
     );
     let without = run_pipeline(&h, &PipelineConfig::new(2));
     let all: std::collections::HashSet<(u32, u32)> =
@@ -53,10 +56,8 @@ fn components_match_union_find_oracle() {
     // Oracle: union-find over the raw edge list.
     let labels = cc::components_union_find(h.num_edges(), &run.line_graph.edges);
     let oracle = cc::components_as_sets(&labels);
-    let oracle_non_singleton: Vec<Vec<u32>> =
-        oracle.into_iter().filter(|c| c.len() > 1).collect();
-    let got_non_singleton: Vec<Vec<u32>> =
-        comps.into_iter().filter(|c| c.len() > 1).collect();
+    let oracle_non_singleton: Vec<Vec<u32>> = oracle.into_iter().filter(|c| c.len() > 1).collect();
+    let got_non_singleton: Vec<Vec<u32>> = comps.into_iter().filter(|c| c.len() > 1).collect();
     assert_eq!(got_non_singleton, oracle_non_singleton);
 }
 
@@ -66,9 +67,16 @@ fn squeezed_and_unsqueezed_agree_on_metrics() {
     let edges = algo2_slinegraph(&h, 2, &Strategy::default()).edges;
     let squeezed = SLineGraph::new_squeezed(2, h.num_edges(), edges.clone());
     let unsqueezed = SLineGraph::new_unsqueezed(2, h.num_edges(), edges);
-    assert_eq!(squeezed.connected_components(), unsqueezed.connected_components());
+    assert_eq!(
+        squeezed.connected_components(),
+        unsqueezed.connected_components()
+    );
     for (e, f) in [(0u32, 5u32), (3, 9), (1, 1)] {
-        assert_eq!(squeezed.s_distance(e, f), unsqueezed.s_distance(e, f), "({e},{f})");
+        assert_eq!(
+            squeezed.s_distance(e, f),
+            unsqueezed.s_distance(e, f),
+            "({e},{f})"
+        );
     }
 }
 
@@ -108,7 +116,10 @@ fn betweenness_identifies_planted_star_hub() {
     let hub = planted.start;
     // The hub's component is exactly the 5 planted star members.
     let comps = run.components.unwrap();
-    let star = comps.iter().find(|c| c.contains(&hub)).expect("hub must be s-connected");
+    let star = comps
+        .iter()
+        .find(|c| c.contains(&hub))
+        .expect("hub must be s-connected");
     assert_eq!(star.len(), 5);
     // Within the star, only the hub has positive betweenness.
     let bc = run.line_graph.betweenness();

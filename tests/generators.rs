@@ -44,15 +44,29 @@ fn social_profiles_are_skewed() {
     ] {
         let h = profile.generate(1);
         let skew = checks::edge_size_skew(&h);
-        assert!(skew > 3.0, "{}: edge-size skew {skew:.1} too uniform", profile.name());
+        assert!(
+            skew > 3.0,
+            "{}: edge-size skew {skew:.1} too uniform",
+            profile.name()
+        );
     }
 }
 
 #[test]
 fn profiles_differ_across_seeds_but_not_within() {
     for profile in [Profile::LesMis, Profile::Genomics, Profile::CondMat] {
-        assert_eq!(profile.generate(5), profile.generate(5), "{}", profile.name());
-        assert_ne!(profile.generate(5), profile.generate(6), "{}", profile.name());
+        assert_eq!(
+            profile.generate(5),
+            profile.generate(5),
+            "{}",
+            profile.name()
+        );
+        assert_ne!(
+            profile.generate(5),
+            profile.generate(6),
+            "{}",
+            profile.name()
+        );
     }
 }
 

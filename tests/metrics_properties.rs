@@ -10,11 +10,8 @@ use proptest::strategy::Strategy as PropStrategy;
 
 fn hypergraph_gen() -> impl PropStrategy<Value = Hypergraph> {
     (2usize..25).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..n as u32, 0..=n.min(8)),
-            1..30,
-        )
-        .prop_map(move |lists| Hypergraph::from_edge_lists(&lists, n))
+        proptest::collection::vec(proptest::collection::vec(0..n as u32, 0..=n.min(8)), 1..30)
+            .prop_map(move |lists| Hypergraph::from_edge_lists(&lists, n))
     })
 }
 

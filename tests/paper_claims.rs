@@ -1,8 +1,8 @@
 //! Regression tests for the paper's headline qualitative claims, checked
 //! on the synthetic profiles (DESIGN.md §7 lists the expected shapes).
 
-use hyperline::prelude::*;
 use hyperline::graph::pagerank::{pagerank, rank_order, PageRankOptions};
+use hyperline::prelude::*;
 use hyperline::slinegraph::SLineGraph;
 
 /// §VI-G: Friendster's s = 1024 line graph has exactly 20 connected
@@ -33,11 +33,20 @@ fn zero_set_intersections_headline() {
 /// profiles.
 #[test]
 fn sclique_density_decays() {
-    for profile in [Profile::DisGeNet, Profile::CondMat, Profile::CompBoard, Profile::LesMis] {
+    for profile in [
+        Profile::DisGeNet,
+        Profile::CondMat,
+        Profile::CompBoard,
+        Profile::LesMis,
+    ] {
         let h = profile.generate(42);
         let counts = sclique_graph(&h, 1, &Strategy::default()).edges.len();
         let at10 = sclique_graph(&h, 10, &Strategy::default()).edges.len();
-        assert!(counts > 0, "{}: clique expansion must be non-empty", profile.name());
+        assert!(
+            counts > 0,
+            "{}: clique expansion must be non-empty",
+            profile.name()
+        );
         assert!(
             at10 * 10 <= counts,
             "{}: expected >=10x sparsification by s=10 ({} -> {})",
@@ -58,11 +67,18 @@ fn pagerank_ranking_stable_across_s() {
         let r = sclique_graph(&h, s, &Strategy::default());
         let g = Graph::from_edges(h.num_vertices(), &r.edges);
         let pr = pagerank(&g, PageRankOptions::default());
-        rank_order(&pr).into_iter().take(k).map(|(v, _, _)| v).collect()
+        rank_order(&pr)
+            .into_iter()
+            .take(k)
+            .map(|(v, _, _)| v)
+            .collect()
     };
     let base = top(1, 5);
     let s10 = top(10, 5);
-    assert!(base.intersection(&s10).count() >= 4, "top-5 must be ~stable at s=10");
+    assert!(
+        base.intersection(&s10).count() >= 4,
+        "top-5 must be ~stable at s=10"
+    );
     let s100_top10 = top(100, 10);
     assert!(
         base.intersection(&s100_top10).count() >= 4,
@@ -87,7 +103,10 @@ fn genomics_important_genes_isolated() {
     let bc = run5.line_graph.betweenness();
     let top10: std::collections::HashSet<u32> = bc.iter().take(10).map(|&(e, _)| e).collect();
     let planted_in_top10 = planted.clone().filter(|e| top10.contains(e)).count();
-    assert!(planted_in_top10 >= 5, "only {planted_in_top10}/6 planted genes in top 10");
+    assert!(
+        planted_in_top10 >= 5,
+        "only {planted_in_top10}/6 planted genes in top 10"
+    );
 }
 
 /// Degree pruning (§III-E): skipping |e| < s sources never changes the
@@ -112,7 +131,9 @@ fn cyclic_balances_better_than_blocked() {
     let h = Profile::LiveJournal.generate(42);
     let workers = 16;
     let run = |partition| {
-        let st = Strategy::default().with_partition(partition).with_workers(workers);
+        let st = Strategy::default()
+            .with_partition(partition)
+            .with_workers(workers);
         algo2_slinegraph(&h, 8, &st).stats.visit_summary().cv()
     };
     let blocked_cv = run(Partition::Blocked);
