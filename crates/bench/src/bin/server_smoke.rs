@@ -1,0 +1,143 @@
+//! Server smoke benchmark: cold vs warm latency of the cache-backed
+//! endpoints, recorded to `BENCH_server.json`.
+//!
+//! Starts a real `hyperline-server` on an ephemeral port, loads a
+//! generator profile, and measures — over raw TCP, like a client —
+//! the cold (first, cache-miss) and warm (repeated, metric-tier hit)
+//! latencies of `/sweep?max_s=8` and `/betweenness?s=2`, plus a warm
+//! `/slg` artifact-tier read. The JSON report is the bench trajectory's
+//! record of the two-tier cache's effect; `scripts/check.sh` runs this
+//! after the test suite.
+//!
+//! `cargo run -p hyperline-bench --release --bin server_smoke`
+//! Options: `--profile=genomics --seed=42 --reps=9 --out=BENCH_server.json`
+
+use hyperline_bench::{arg, print_header};
+use hyperline_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One `Connection: close` GET; returns `(status, body)`.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Cold latency + median warm latency (of `reps` repeats) for `target`,
+/// asserting 200s and byte-identical repeated bodies along the way
+/// (modulo the `/slg` cache-outcome tag, which legitimately flips from
+/// `miss` to `hit`).
+fn measure(addr: SocketAddr, target: &str, reps: usize) -> (f64, f64) {
+    fn normalize(body: &str) -> String {
+        body.replace("\"cache\":\"miss\"", "\"cache\":\"hit\"")
+            .replace("\"cache\":\"coalesced\"", "\"cache\":\"hit\"")
+    }
+    let started = Instant::now();
+    let (status, cold_body) = get(addr, target);
+    let cold = started.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(status, 200, "{target}: {cold_body}");
+    let mut warm: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let started = Instant::now();
+            let (status, body) = get(addr, target);
+            assert_eq!(status, 200);
+            assert_eq!(
+                normalize(&body),
+                normalize(&cold_body),
+                "{target}: response diverged"
+            );
+            started.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (cold, warm[warm.len() / 2])
+}
+
+fn endpoint_report(name: &str, cold_micros: f64, warm_micros: f64) -> hyperline_server::json::Json {
+    use hyperline_server::json::Json;
+    println!(
+        "{name:<14} cold {:>10.0} us   warm {:>8.0} us   speedup {:>8.1}x",
+        cold_micros,
+        warm_micros,
+        cold_micros / warm_micros
+    );
+    Json::obj()
+        .set("endpoint", name)
+        .set("cold_micros", cold_micros)
+        .set("warm_micros_median", warm_micros)
+        .set("speedup", cold_micros / warm_micros)
+}
+
+fn main() {
+    use hyperline_server::json::Json;
+    print_header("server smoke: cold vs warm latency of the two-tier cache");
+    let profile: String = arg("profile", "genomics".to_string());
+    let seed: u64 = arg("seed", 42);
+    let reps: usize = arg("reps", 9);
+    let out: String = arg("out", "BENCH_server.json".to_string());
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let name = server
+        .registry()
+        .load_profile(&profile, seed, None)
+        .expect("load profile");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // `/slg` first: the sweep below would otherwise pre-populate its
+    // artifact and hide the artifact-tier's cold cost.
+    let (slg_cold, slg_warm) = measure(addr, &format!("/datasets/{name}/slg?s=2&limit=16"), reps);
+    let (sweep_cold, sweep_warm) = measure(addr, &format!("/datasets/{name}/sweep?max_s=8"), reps);
+    let (bc_cold, bc_warm) = measure(addr, &format!("/datasets/{name}/betweenness?s=2"), reps);
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let report = Json::obj()
+        .set("profile", name.as_str())
+        .set("seed", seed)
+        .set("reps", reps)
+        .set(
+            "endpoints",
+            Json::Arr(vec![
+                endpoint_report("slg", slg_cold, slg_warm),
+                endpoint_report("sweep", sweep_cold, sweep_warm),
+                endpoint_report("betweenness", bc_cold, bc_warm),
+            ]),
+        );
+    std::fs::write(&out, report.render()).expect("write report");
+    println!("\nwrote {out}");
+    // Surface the tier counters so a broken cache is visible in CI logs.
+    if let Some(cache) = metrics
+        .split("\"cache\":")
+        .nth(1)
+        .and_then(|rest| rest.split("},\"endpoints\"").next())
+    {
+        println!("cache tiers: {cache}}}");
+    }
+    handle.shutdown();
+}

@@ -7,7 +7,7 @@
 //! scoped worker threads and sums per-worker partial scores.
 
 use crate::graph::Graph;
-use hyperline_util::parallel::{num_threads, scope_workers};
+use hyperline_util::parallel::par_map_range_init;
 
 /// State for one single-source Brandes sweep, reused across sources.
 struct BrandesState {
@@ -93,22 +93,51 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
     scores
 }
 
-/// Sums per-worker Brandes sweeps over `sources[w], sources[w + t], …`:
-/// each worker owns a reusable [`BrandesState`] and a local score vector,
-/// merged pairwise at the end.
+/// Maximum number of logical accumulation blocks a parallel betweenness
+/// run is split into. Deliberately *not* a function of the worker
+/// count — so the floating-point reduction order is identical no matter
+/// how many threads the caller's compute budget happens to grant.
+/// 64 blocks keep any realistic core count busy.
+const MAX_REDUCTION_BLOCKS: usize = 64;
+
+/// Byte cap on the transient partial-score vectors held live during the
+/// reduction (all blocks' partials exist until the ordered merge). On
+/// huge line graphs the block count shrinks to respect this — trading
+/// parallelism for memory — which stays deterministic because the cap
+/// divides by `n`, a property of the input, not of the machine.
+const MAX_PARTIAL_BYTES: usize = 1 << 28; // 256 MiB
+
+/// Sums Brandes sweeps over `sources` with a **fixed-order reduction**:
+/// sources are strided over logical blocks, each block accumulates its
+/// partial score vector sequentially (in source order), and the partials
+/// are summed in block order. Because the block count and both summation
+/// orders depend only on the input (`sources.len()` and `n`), the result
+/// is bit-identical across thread counts and runs — a served
+/// `/betweenness` response can be cached and compared byte-for-byte.
 fn betweenness_over_sources(g: &Graph, sources: &[u32]) -> Vec<f64> {
     let n = g.num_vertices();
-    let workers = num_threads().min(sources.len().max(1));
-    let locals = scope_workers(workers, |w| {
-        let mut state = BrandesState::new(n);
-        let mut local = vec![0.0f64; n];
-        for &s in sources.iter().skip(w).step_by(workers) {
-            state.accumulate(g, s, &mut local);
-        }
-        local
-    });
+    let memory_cap = (MAX_PARTIAL_BYTES / (n.max(1) * std::mem::size_of::<f64>())).max(1);
+    let stride = MAX_REDUCTION_BLOCKS
+        .min(memory_cap)
+        .min(sources.len().max(1));
+    // Results come back in block-index order, which is what makes the
+    // merge below a fixed-order reduction. The O(n) BrandesState is
+    // allocated once per *worker* and reused across that worker's
+    // blocks — `accumulate` fully resets it per source, so reuse cannot
+    // leak state between blocks (and thus cannot perturb bits).
+    let partials = par_map_range_init(
+        stride,
+        || BrandesState::new(n),
+        |state, b| {
+            let mut local = vec![0.0f64; n];
+            for &s in sources.iter().skip(b).step_by(stride) {
+                state.accumulate(g, s, &mut local);
+            }
+            local
+        },
+    );
     let mut scores = vec![0.0f64; n];
-    for local in locals {
+    for local in partials {
         for (x, y) in scores.iter_mut().zip(&local) {
             *x += y;
         }
@@ -134,7 +163,9 @@ pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
 /// Approximate betweenness by sampling `num_sources` BFS sources
 /// (Brandes–Pich style): scores are scaled by `n / num_sources` so they
 /// estimate the exact values. Deterministic in `seed`. Sampling all
-/// sources reproduces the exact algorithm.
+/// sources matches the exact algorithm up to floating-point summation
+/// order (the sampled sweep sums over a permuted source list, so low
+/// bits can differ from [`betweenness`]).
 ///
 /// Useful when the squeezed s-line graph is still large and only a
 /// ranking of the top-central hyperedges is needed.
@@ -145,9 +176,18 @@ pub fn betweenness_sampled(g: &Graph, num_sources: usize, seed: u64) -> Vec<f64>
     }
     let k = num_sources.clamp(1, n);
     // Deterministic sample without replacement via xorshift + partial
-    // Fisher-Yates over the vertex IDs.
+    // Fisher-Yates over the vertex IDs. The seed is passed through a
+    // splitmix64 finalizer first: seeding the xorshift state directly
+    // (e.g. with `seed | 1` to dodge the all-zero state) would alias
+    // every even seed with its odd neighbor and hand them the exact
+    // same sample.
     let mut ids: Vec<u32> = (0..n as u32).collect();
-    let mut state = seed | 1;
+    let mut state = {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) | 1
+    };
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -291,6 +331,43 @@ mod tests {
             let g = Graph::from_edges(n, &edges);
             assert_close(&betweenness(&g), &betweenness_parallel(&g));
         }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        // The fixed-order reduction must make scores *bit*-identical (not
+        // merely close) no matter the worker budget — ties in downstream
+        // rankings and cached HTTP bodies depend on it.
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 120usize;
+        let edges: Vec<(u32, u32)> = (0..400)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let reference: Vec<u64> =
+            hyperline_util::parallel::with_threads(1, || betweenness_parallel(&g))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+        for threads in [2usize, 3, 5, 8, 13] {
+            let bits: Vec<u64> =
+                hyperline_util::parallel::with_threads(threads, || betweenness_parallel(&g))
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+            assert_eq!(bits, reference, "{threads} threads diverged");
+        }
+        // The sampled variant is deterministic in (samples, seed) too.
+        let sampled: Vec<u64> = betweenness_sampled(&g, 40, 7)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        let again: Vec<u64> =
+            hyperline_util::parallel::with_threads(3, || betweenness_sampled(&g, 40, 7))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+        assert_eq!(sampled, again);
     }
 
     #[test]

@@ -256,7 +256,6 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::strategy::Strategy as _;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]

@@ -1,20 +1,42 @@
-//! The artifact cache: LRU-evicted, memory-budgeted, single-flight.
+//! The two cache tiers: LRU-evicted, memory-budgeted, single-flight.
 //!
-//! Computed s-line graphs are keyed by everything that determines their
-//! content — `(dataset, s, algorithm, weighted)` — and held behind `Arc`
-//! so eviction never invalidates an in-flight response. Two guarantees
-//! matter under concurrency:
+//! One generic engine, [`SingleFlightCache`], backs both tiers of the
+//! server's cache hierarchy (the multi-level cache that makes IIPImage's
+//! repeated tile queries cheap plays the same role):
+//!
+//! * the **artifact tier** ([`ArtifactCache`], keyed by [`CacheKey`]) —
+//!   computed s-line graphs, keyed by everything that determines their
+//!   content: `(dataset, s, algorithm, weighted)`;
+//! * the **metric tier** (keyed by [`MetricKey`]) — Stage-5 results
+//!   (components, betweenness rankings, spectra, sweep counts) layered
+//!   over the artifact tier, so warm metric queries skip the parallel
+//!   kernels entirely.
+//!
+//! Values are held behind `Arc` so eviction never invalidates an
+//! in-flight response. Three guarantees matter under concurrency:
 //!
 //! * **LRU under a byte budget** — inserting past the budget evicts the
 //!   least-recently-used entries first (the newest entry is kept even if
 //!   it alone exceeds the budget, so oversized artifacts still serve).
 //! * **Single-flight** — concurrent requests for the same missing key
 //!   trigger exactly one computation; the rest block on a condvar and
-//!   share the result (IIPImage's cache plays the same role for tiles).
+//!   share the result.
+//! * **Generation-fenced invalidation** — replacing a dataset bumps its
+//!   generation; computations started against the old data may still be
+//!   served to the callers that asked for them but are never cached.
 
 use hyperline_util::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// A cache key scoped to one dataset: generation bookkeeping and
+/// invalidation group entries by [`TierKey::dataset`]. Both tiers' keys
+/// implement this, which is what lets them share the engine (and its
+/// invalidation semantics).
+pub trait TierKey: Clone + Eq + std::hash::Hash {
+    /// The registry name of the dataset this entry was derived from.
+    fn dataset(&self) -> &str;
+}
 
 /// Identity of one cached artifact.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -28,6 +50,56 @@ pub struct CacheKey {
     pub algorithm: AlgoKind,
     /// Whether overlap weights were materialized.
     pub weighted: bool,
+}
+
+impl TierKey for CacheKey {
+    fn dataset(&self) -> &str {
+        &self.dataset
+    }
+}
+
+/// Identity of one cached Stage-5 metric result: the artifact it was
+/// computed from plus the metric and its compute-time parameters.
+/// Render-time parameters (`top`, `limit`) are *not* part of the key —
+/// every truncation of one ranking shares one cached compute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MetricKey {
+    /// The artifact this metric was computed from. For [`MetricKind::Sweep`]
+    /// (which spans every `s`), this is the dataset's sweep pseudo-key:
+    /// `s = 0` with the default algorithm.
+    pub artifact: CacheKey,
+    /// The metric and its compute-time parameters.
+    pub metric: MetricKind,
+}
+
+impl TierKey for MetricKey {
+    fn dataset(&self) -> &str {
+        &self.artifact.dataset
+    }
+}
+
+/// The Stage-5 metrics the metric tier caches, with the parameters that
+/// change the computed value (and therefore belong in the key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// s-connected components (full list; `limit` applies at render).
+    Components,
+    /// s-betweenness ranking (full ranking; `top` applies at render).
+    Betweenness {
+        /// Number of sampled BFS sources (0 = exact Brandes).
+        samples: u32,
+        /// Sampling seed. The server pins this to 0 when `samples == 0`
+        /// (the exact variant never reads it), so every exact request
+        /// shares one entry regardless of any `?seed=` it carried.
+        seed: u64,
+    },
+    /// Diameter + algebraic connectivity.
+    Spectrum,
+    /// `|E(L_s)|` for `s = 1..=max_s`.
+    Sweep {
+        /// Upper end of the sweep.
+        max_s: u32,
+    },
 }
 
 /// The s-line-graph construction algorithms the server exposes.
@@ -66,7 +138,7 @@ impl AlgoKind {
     }
 }
 
-/// How a [`ArtifactCache::get_or_compute`] call was satisfied.
+/// How a [`SingleFlightCache::get_or_compute`] call was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
     /// Served from the cache.
@@ -88,9 +160,9 @@ struct Inflight<V> {
     ready: Condvar,
 }
 
-struct Inner<V> {
-    map: FxHashMap<CacheKey, Entry<V>>,
-    inflight: FxHashMap<CacheKey, Arc<Inflight<V>>>,
+struct Inner<K, V> {
+    map: FxHashMap<K, Entry<V>>,
+    inflight: FxHashMap<K, Arc<Inflight<V>>>,
     /// Per-dataset invalidation generation: a computation started under
     /// an older generation must not enter the map (its input was
     /// replaced mid-flight).
@@ -99,7 +171,7 @@ struct Inner<V> {
     clock: u64,
 }
 
-impl<V> Inner<V> {
+impl<K, V> Inner<K, V> {
     fn generation(&self, dataset: &str) -> u64 {
         self.generations.get(dataset).copied().unwrap_or(0)
     }
@@ -124,10 +196,10 @@ pub struct CacheStats {
     pub budget_bytes: usize,
 }
 
-/// The LRU + single-flight cache (generic so unit tests stay cheap;
-/// the server instantiates it with its artifact type).
-pub struct ArtifactCache<V> {
-    inner: Mutex<Inner<V>>,
+/// The LRU + single-flight cache engine, generic over key and value so
+/// both tiers (and cheap unit tests) share one implementation.
+pub struct SingleFlightCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
     budget_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -135,7 +207,10 @@ pub struct ArtifactCache<V> {
     evictions: AtomicU64,
 }
 
-impl<V> ArtifactCache<V> {
+/// The artifact tier: s-line graphs keyed by [`CacheKey`].
+pub type ArtifactCache<V> = SingleFlightCache<CacheKey, V>;
+
+impl<K: TierKey, V> SingleFlightCache<K, V> {
     /// An empty cache with the given byte budget.
     pub fn new(budget_bytes: usize) -> Self {
         Self {
@@ -164,7 +239,7 @@ impl<V> ArtifactCache<V> {
     /// not cached (it was built from replaced input).
     pub fn get_or_compute(
         &self,
-        key: &CacheKey,
+        key: &K,
         compute: impl FnOnce() -> Result<(V, usize), String>,
     ) -> Result<(Arc<V>, CacheOutcome), String> {
         // Fast path + single-flight registration under one lock.
@@ -181,7 +256,7 @@ impl<V> ArtifactCache<V> {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(&entry.value), CacheOutcome::Hit));
             }
-            let generation = inner.generation(&key.dataset);
+            let generation = inner.generation(key.dataset());
             match inner.inflight.get(key) {
                 Some(flight) => (Role::Waiter(Arc::clone(flight)), generation),
                 None => {
@@ -240,17 +315,24 @@ impl<V> ArtifactCache<V> {
                 // Only cache results whose input dataset was not replaced
                 // mid-computation; the value is still valid for callers
                 // that requested it against the old dataset.
-                if inner.generation(&key.dataset) == generation_at_start {
+                if inner.generation(key.dataset()) == generation_at_start {
                     inner.clock += 1;
                     let now = inner.clock;
-                    inner.map.insert(
+                    // The key can already be resident: a sweep's
+                    // `insert_if_current` may land the same artifact
+                    // while this flight computes (flights are invisible
+                    // to `lookup`). Account the replaced entry's bytes
+                    // or `used_bytes` inflates permanently.
+                    if let Some(previous) = inner.map.insert(
                         key.clone(),
                         Entry {
                             value: Arc::clone(&value),
                             bytes,
                             last_used: now,
                         },
-                    );
+                    ) {
+                        inner.used_bytes -= previous.bytes;
+                    }
                     inner.used_bytes += bytes;
                     self.evict_lru(&mut inner, key);
                 }
@@ -269,9 +351,61 @@ impl<V> ArtifactCache<V> {
         outcome
     }
 
+    /// Looks `key` up without computing anything. Touches the LRU clock
+    /// and counts a hit when found; an absent key counts nothing (the
+    /// `misses` stat means "computed", and a probe computes nothing).
+    /// The sweep fast path probes per-s artifacts this way.
+    pub fn lookup(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let now = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = now;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// The current invalidation generation of `dataset`. Record it
+    /// *before* reading the dataset, then pass it to
+    /// [`SingleFlightCache::insert_if_current`]: the pair fences direct
+    /// inserts against a concurrent dataset replacement the same way
+    /// `get_or_compute` fences its flights.
+    pub fn generation(&self, dataset: &str) -> u64 {
+        self.inner.lock().unwrap().generation(dataset)
+    }
+
+    /// Inserts a value computed outside a flight (the sweep path builds
+    /// many artifacts in one ensemble pass), but only when the dataset's
+    /// generation still equals `generation` — a replacement racing the
+    /// computation must not pin stale entries. Counts as a miss when
+    /// inserted (a computation happened); returns whether it entered the
+    /// map.
+    pub fn insert_if_current(&self, key: K, generation: u64, value: V, bytes: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.generation(key.dataset()) != generation {
+            return false;
+        }
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(previous) = inner.map.insert(
+            key.clone(),
+            Entry {
+                value: Arc::new(value),
+                bytes,
+                last_used: now,
+            },
+        ) {
+            inner.used_bytes -= previous.bytes;
+        }
+        inner.used_bytes += bytes;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.evict_lru(&mut inner, &key);
+        true
+    }
+
     /// Evicts least-recently-used entries (never `keep`) until within
     /// budget or only `keep` remains.
-    fn evict_lru(&self, inner: &mut Inner<V>, keep: &CacheKey) {
+    fn evict_lru(&self, inner: &mut Inner<K, V>, keep: &K) {
         while inner.used_bytes > self.budget_bytes && inner.map.len() > 1 {
             let victim = inner
                 .map
@@ -297,10 +431,10 @@ impl<V> ArtifactCache<V> {
     pub fn invalidate_dataset(&self, dataset: &str) {
         let mut inner = self.inner.lock().unwrap();
         *inner.generations.entry(dataset.to_string()).or_insert(0) += 1;
-        let victims: Vec<CacheKey> = inner
+        let victims: Vec<K> = inner
             .map
             .keys()
-            .filter(|k| k.dataset == dataset)
+            .filter(|k| k.dataset() == dataset)
             .cloned()
             .collect();
         for key in victims {
@@ -308,7 +442,7 @@ impl<V> ArtifactCache<V> {
                 inner.used_bytes -= entry.bytes;
             }
         }
-        inner.inflight.retain(|k, _| k.dataset != dataset);
+        inner.inflight.retain(|k, _| k.dataset() != dataset);
     }
 
     /// Current statistics snapshot.
@@ -518,6 +652,104 @@ mod tests {
             .get_or_compute(&key("a", 1), || unreachable!())
             .unwrap();
         assert_eq!((*v, outcome), (2, CacheOutcome::Hit));
+    }
+
+    #[test]
+    fn lookup_probes_without_computing() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        assert!(cache.lookup(&key("a", 1)).is_none());
+        // A failed probe is not a miss (nothing was computed).
+        assert_eq!(cache.stats().misses, 0);
+        cache.get_or_compute(&key("a", 1), || Ok((9, 10))).unwrap();
+        assert_eq!(*cache.lookup(&key("a", 1)).unwrap(), 9);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_position() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(100);
+        cache.get_or_compute(&key("a", 1), || Ok((1, 40))).unwrap();
+        cache.get_or_compute(&key("a", 2), || Ok((2, 40))).unwrap();
+        // Probe s=1 so s=2 becomes the eviction victim.
+        assert!(cache.lookup(&key("a", 1)).is_some());
+        cache.get_or_compute(&key("a", 3), || Ok((3, 40))).unwrap();
+        assert!(cache.lookup(&key("a", 1)).is_some(), "probed entry kept");
+        assert!(cache.lookup(&key("a", 2)).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn insert_if_current_respects_generation_fence() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        let generation = cache.generation("a");
+        // Replacement lands between the generation read and the insert:
+        // the insert must be dropped.
+        cache.invalidate_dataset("a");
+        assert!(!cache.insert_if_current(key("a", 1), generation, 7, 10));
+        assert!(cache.lookup(&key("a", 1)).is_none(), "stale insert pinned");
+        // Under the current generation the insert lands and serves.
+        let generation = cache.generation("a");
+        assert!(cache.insert_if_current(key("a", 1), generation, 8, 10));
+        assert_eq!(*cache.lookup(&key("a", 1)).unwrap(), 8);
+        // Re-inserting the same key replaces the entry without leaking
+        // accounted bytes.
+        assert!(cache.insert_if_current(key("a", 1), generation, 9, 30));
+        assert_eq!(cache.stats().used_bytes, 30);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn flight_insert_over_resident_entry_accounts_bytes_once() {
+        // A sweep's insert_if_current can land an entry while a flight
+        // for the same key is still computing; when the flight lands its
+        // own copy, the replaced entry's bytes must be released.
+        let cache: ArtifactCache<u32> = ArtifactCache::new(1000);
+        let generation = cache.generation("a");
+        cache
+            .get_or_compute(&key("a", 1), || {
+                // Simulates the concurrent direct insert mid-flight.
+                assert!(cache.insert_if_current(key("a", 1), generation, 7, 40));
+                Ok((8, 40))
+            })
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.used_bytes, 40, "replaced entry's bytes leaked");
+        assert_eq!(*cache.lookup(&key("a", 1)).unwrap(), 8, "flight value wins");
+    }
+
+    #[test]
+    fn metric_tier_shares_invalidation_semantics() {
+        fn mkey(dataset: &str, metric: MetricKind) -> MetricKey {
+            MetricKey {
+                artifact: key(dataset, 2),
+                metric,
+            }
+        }
+        let cache: SingleFlightCache<MetricKey, u32> = SingleFlightCache::new(1000);
+        let bc = MetricKind::Betweenness {
+            samples: 0,
+            seed: 42,
+        };
+        cache
+            .get_or_compute(&mkey("a", bc), || Ok((1, 10)))
+            .unwrap();
+        cache
+            .get_or_compute(&mkey("b", bc), || Ok((2, 10)))
+            .unwrap();
+        // Distinct metric params are distinct entries.
+        let sampled = MetricKind::Betweenness {
+            samples: 8,
+            seed: 42,
+        };
+        cache
+            .get_or_compute(&mkey("a", sampled), || Ok((3, 10)))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 3);
+        // Invalidating one dataset clears exactly its metric entries.
+        cache.invalidate_dataset("a");
+        assert!(cache.lookup(&mkey("a", bc)).is_none());
+        assert!(cache.lookup(&mkey("a", sampled)).is_none());
+        assert_eq!(*cache.lookup(&mkey("b", bc)).unwrap(), 2);
     }
 
     #[test]

@@ -32,23 +32,22 @@ pub struct Request {
 }
 
 impl Request {
-    /// First value of query parameter `name`, if present.
+    /// The request's parameters as a [`Params`] view.
+    pub fn params(&self) -> Params<'_> {
+        Params(&self.query)
+    }
+
+    /// First non-empty value of query parameter `name`, if present. An
+    /// empty value (`?s=`) counts as absent, so defaults apply instead of
+    /// failing to parse the empty string.
     pub fn query_param(&self, name: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
+        self.params().get(name)
     }
 
     /// Parses query parameter `name`, falling back to `default` when
     /// absent; `Err` carries a client-facing message when malformed.
     pub fn query_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
-        match self.query_param(name) {
-            None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("query parameter {name}={raw:?} is not a valid value")),
-        }
+        self.params().parse_or(name, default)
     }
 
     /// First value of header `name` (case-insensitive), if present.
@@ -68,6 +67,37 @@ impl Request {
             Some(v) if v.eq_ignore_ascii_case("close") => false,
             Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
             _ => !self.http10,
+        }
+    }
+}
+
+/// A borrowed view of `name=value` parameters, shared by the query
+/// string of GET endpoints and the JSON sub-queries of `POST /query`
+/// (whose scalar fields are rendered to the same string form). This is
+/// the one place parameter semantics live: first occurrence wins, and an
+/// **empty value counts as absent** so `?s=` falls back to the default
+/// instead of failing to parse `""`.
+#[derive(Debug, Clone, Copy)]
+pub struct Params<'a>(pub &'a [(String, String)]);
+
+impl<'a> Params<'a> {
+    /// First non-empty value of parameter `name`, if present (empty
+    /// occurrences are skipped entirely, so `?s=&s=3` resolves to `3`).
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .find(|(k, v)| k == name && !v.is_empty())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses parameter `name`, falling back to `default` when absent or
+    /// empty; `Err` carries a client-facing message when malformed.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("query parameter {name}={raw:?} is not a valid value")),
         }
     }
 }
@@ -99,15 +129,70 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-/// Splits a raw query string (`a=1&b=two`) into pairs. Missing `=` yields
-/// an empty value. No percent-decoding is applied (dataset names and
-/// numbers are plain ASCII in this protocol).
-pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+/// Percent-decodes one path segment, query key or query value: `%XX`
+/// becomes the byte `0xXX` and `+` becomes a space (the form-encoding
+/// clients and curl emit). Invalid escapes (`%`, `%2`, `%zz`) and
+/// non-UTF-8 decoded bytes are rejected — silently passing them through
+/// would mint distinct dataset names / cache keys for what the client
+/// meant as one string.
+pub fn percent_decode(raw: &str) -> Result<String, String> {
+    if !raw.as_bytes().iter().any(|&b| b == b'%' || b == b'+') {
+        return Ok(raw.to_string());
+    }
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                // Require two hex *digits*: from_str_radix alone would
+                // also accept sign-prefixed forms like "%+5".
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .filter(|pair| pair.iter().all(u8::is_ascii_hexdigit))
+                    .and_then(|pair| std::str::from_utf8(pair).ok())
+                    .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                    .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent escapes in {raw:?} are not UTF-8"))
+}
+
+/// Percent-decodes a request path segment by segment and re-joins with
+/// `/`. Note this makes `%2F` routing-equivalent to a literal slash
+/// (the decoded path is what [`crate::server`] splits into segments);
+/// that is harmless here because no routable name may contain `/` —
+/// dataset names are validated to `[A-Za-z0-9._-]` — so an encoded
+/// slash can only ever produce the same route the literal spelling
+/// would, never smuggle a separator into a name.
+pub fn decode_path(raw: &str) -> Result<String, String> {
+    let segments: Vec<String> = raw
+        .split('/')
+        .map(percent_decode)
+        .collect::<Result<_, _>>()?;
+    Ok(segments.join("/"))
+}
+
+/// Splits a raw query string (`a=1&b=two`) into pairs, percent-decoding
+/// every key and value (`%XX` and `+`). Missing `=` yields an empty
+/// value; invalid escapes are an error (answered with 400).
+pub fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
     raw.split('&')
         .filter(|part| !part.is_empty())
         .map(|part| match part.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (part.to_string(), String::new()),
+            Some((k, v)) => Ok((percent_decode(k)?, percent_decode(v)?)),
+            None => Ok((percent_decode(part)?, String::new())),
         })
         .collect()
 }
@@ -166,8 +251,14 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         )));
     }
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query(q)),
-        None => (target.to_string(), Vec::new()),
+        Some((p, q)) => (
+            decode_path(p).map_err(ParseError::Malformed)?,
+            parse_query(q).map_err(ParseError::Malformed)?,
+        ),
+        None => (
+            decode_path(target).map_err(ParseError::Malformed)?,
+            Vec::new(),
+        ),
     };
     let mut headers = Vec::new();
     loop {
@@ -363,7 +454,7 @@ mod tests {
     #[test]
     fn query_string_forms() {
         assert_eq!(
-            parse_query("a=1&b=&c&a=2"),
+            parse_query("a=1&b=&c&a=2").unwrap(),
             vec![
                 ("a".into(), "1".into()),
                 ("b".into(), String::new()),
@@ -371,7 +462,7 @@ mod tests {
                 ("a".into(), "2".into()),
             ]
         );
-        assert!(parse_query("").is_empty());
+        assert!(parse_query("").unwrap().is_empty());
     }
 
     #[test]
@@ -382,6 +473,54 @@ mod tests {
         assert!(r.query_or::<u32>("s", 2).is_ok());
         let r = parse("GET /x?s=banana HTTP/1.1\r\n\r\n").unwrap();
         assert!(r.query_or::<u32>("s", 2).is_err());
+    }
+
+    #[test]
+    fn empty_query_value_counts_as_absent() {
+        // `?s=` must fall back to the default, not fail to parse "".
+        let r = parse("GET /x?s=&top=7 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query_param("s"), None);
+        assert_eq!(r.query_or("s", 2u32), Ok(2));
+        assert_eq!(r.query_or("top", 10usize), Ok(7));
+        // Empty occurrences are skipped, not short-circuited: a later
+        // non-empty occurrence wins.
+        let r = parse("GET /x?s=&s=3 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query_param("s"), Some("3"));
+        assert_eq!(r.query_or("s", 2u32), Ok(3));
+    }
+
+    #[test]
+    fn percent_decoding_roundtrips() {
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert_eq!(percent_decode("a%20b").unwrap(), "a b");
+        assert_eq!(percent_decode("a+b").unwrap(), "a b");
+        assert_eq!(percent_decode("100%25").unwrap(), "100%");
+        assert_eq!(percent_decode("h%C3%A9llo").unwrap(), "héllo");
+        // `%+5` / `%-5` must not sneak through via from_str_radix's
+        // tolerance for sign prefixes.
+        for bad in ["%", "%2", "%zz", "%ff", "%+5", "%-5", "% 1"] {
+            assert!(percent_decode(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn request_paths_and_queries_are_decoded() {
+        let r = parse("GET /datasets/my%20set/slg?s=%32&x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/datasets/my set/slg");
+        assert_eq!(r.query_or("s", 0u32), Ok(2));
+        assert_eq!(r.query_param("x"), Some("a b"));
+        // An encoded slash adds a path segment; it cannot hide in one.
+        let r = parse("GET /datasets/a%2Fb/slg HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/datasets/a/b/slg");
+        // Invalid escapes are a 400, not a silent passthrough.
+        assert!(matches!(
+            parse("GET /datasets/a%zz/slg HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x?bad=%f HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

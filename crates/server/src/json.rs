@@ -1,9 +1,11 @@
-//! A minimal JSON value builder and serializer (write-only).
+//! A minimal JSON value builder, serializer and parser.
 //!
-//! The wire protocol only ever *emits* JSON; requests carry their inputs
-//! in the query string, so no parser is needed. [`Json`] covers the value
-//! shapes the endpoints build, with `From` impls keeping handler code
-//! terse.
+//! The wire protocol *emits* JSON everywhere and *reads* it in exactly
+//! one place: the body of `POST /query`, a batch of sub-queries. [`Json`]
+//! covers the value shapes the endpoints build, with `From` impls keeping
+//! handler code terse; [`Json::parse`] is a strict recursive-descent
+//! RFC 8259 parser sized for request bodies (depth-limited, no trailing
+//! garbage).
 
 /// A JSON value under construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +42,75 @@ impl Json {
             other => panic!("set() on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parses JSON text into a [`Json`] value. Strict: rejects trailing
+    /// characters, unterminated values, invalid escapes and nesting
+    /// deeper than 64 levels (the batch endpoint only needs an array of
+    /// flat objects). Error messages are client-facing.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!(
+                "trailing characters after JSON value at byte {}",
+                parser.pos
+            ));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The first value of object field `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.entries()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Serializes to compact JSON text.
@@ -102,6 +173,259 @@ fn escape_into(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Maximum nesting depth [`Json::parse`] accepts (guards the recursion
+/// against adversarial `[[[[…]]]]` bodies).
+const MAX_PARSE_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes `literal` or errors.
+    fn expect(&mut self, literal: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(format!("expected {literal:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err("JSON nested deeper than 64 levels".to_string());
+        }
+        match self.peek() {
+            Some(b'n') => self.expect("null").map(|()| Json::Null),
+            Some(b't') => self.expect("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.expect("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of JSON".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(":")?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the unescaped run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-UTF-8 bytes in JSON string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require the paired \uXXXX.
+                                self.expect("\\u")
+                                    .map_err(|_| "unpaired surrogate".to_string())?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(c.ok_or_else(|| "invalid \\u escape".to_string())?);
+                        }
+                        other => {
+                            return Err(format!("invalid escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(_) => return Err("unescaped control byte in string".to_string()),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        // Require four hex *digits*: from_str_radix alone would also
+        // accept sign-prefixed forms like "\u+123".
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| "invalid \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        // FromStr alone is laxer than the RFC 8259 grammar (it accepts
+        // "01" and "1."), so validate the token shape first.
+        if !valid_number_token(text.as_bytes()) {
+            return Err(format!("invalid number {text:?}"));
+        }
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("invalid number {text:?}"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| format!("invalid number {text:?}"))
+        }
+    }
+}
+
+/// Whether `token` matches RFC 8259's number grammar:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+fn valid_number_token(token: &[u8]) -> bool {
+    let mut i = 0;
+    if token.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match token.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(token.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if token.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(token.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(token.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(token.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(token.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(token.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(token.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == token.len()
 }
 
 impl From<bool> for Json {
@@ -187,5 +511,102 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn set_on_array_panics() {
         let _ = Json::Arr(vec![]).set("k", 1u32);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Float(2000.0));
+        assert_eq!(Json::parse("-0.5e-1").unwrap(), Json::Float(-0.05));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::from("hi"));
+        assert_eq!(Json::parse(" 1 ").unwrap(), Json::Int(1));
+    }
+
+    #[test]
+    fn parse_structures_and_accessors() {
+        let v = Json::parse(r#"[{"dataset":"d","op":"slg","s":2,"weighted":true}, 5]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("dataset").and_then(Json::as_str), Some("d"));
+        assert_eq!(items[0].get("s").and_then(Json::as_int), Some(2));
+        assert_eq!(items[0].get("weighted").and_then(Json::as_bool), Some(true));
+        assert_eq!(items[0].get("missing"), None);
+        assert_eq!(items[1].as_int(), Some(5));
+        assert_eq!(items[1].as_str(), None);
+        assert_eq!(items[0].entries().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        for text in [
+            r#"{"a":[1,2.5,null,true],"b":{"c":"x\ny"},"d":[]}"#,
+            r#"[{"k":"héllo"},-3]"#,
+            "{}",
+            "[]",
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.render()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\ndAé""#).unwrap(),
+            Json::from("a\"b\\c\ndAé")
+        );
+        // Surrogate pair escape for 𝄞 (U+1D11E), and the literal form.
+        assert_eq!(
+            Json::parse(r#""\ud834\udd1e""#).unwrap(),
+            Json::from("\u{1D11E}")
+        );
+        assert_eq!(Json::parse("\"𝄞\"").unwrap(), Json::from("\u{1D11E}"));
+        assert!(Json::parse(r#""\ud834""#).is_err(), "unpaired surrogate");
+        assert!(Json::parse(r#""\x""#).is_err(), "unknown escape");
+        assert!(Json::parse(r#""\u+123""#).is_err(), "sign-prefixed hex");
+        assert!(Json::parse(r#""\u12""#).is_err(), "truncated hex");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{a:1}",
+            "1 2",
+            "nul",
+            "\"unterminated",
+            "01a",
+            "--3",
+            // RFC 8259 number grammar: no leading zeros, no bare dots
+            // or exponents, no interior signs.
+            "01",
+            "-01",
+            "1.",
+            "1.e3",
+            "1e",
+            "1e+",
+            "2-3",
+            "1+2",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} accepted");
+        }
+        // Depth bomb is rejected, not a stack overflow.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+        let ok_depth = "[".repeat(30) + &"]".repeat(30);
+        assert!(Json::parse(&ok_depth).is_ok());
     }
 }

@@ -17,14 +17,24 @@
 //! * [`registry`] — named, immutable, `Arc`-shared datasets, loaded from
 //!   edge-list files or generator profiles at startup or via
 //!   `POST /datasets`;
-//! * [`cache`] — the artifact cache: computed [`SLineGraph`]s keyed by
-//!   `(dataset, s, algorithm, weighted)`, LRU-evicted under a byte
-//!   budget, with single-flight deduplication of concurrent misses;
+//! * [`cache`] — the **two cache tiers** on one single-flight LRU
+//!   engine: the artifact tier holds computed [`SLineGraph`]s keyed by
+//!   `(dataset, s, algorithm, weighted)`; the metric tier layered over
+//!   it holds Stage-5 results (components, betweenness rankings,
+//!   spectra, sweep counts) keyed by `(artifact, metric, params)`, so
+//!   warm metric queries skip the parallel kernels entirely. Both tiers
+//!   are LRU-evicted under byte budgets, deduplicate concurrent misses,
+//!   and invalidate together (generation-fenced) when a dataset is
+//!   replaced;
 //! * [`server`] — accept loop → bounded queue → fixed worker pool, each
-//!   worker speaking HTTP/1.1 keep-alive;
-//! * [`http`] / [`json`] — the minimal wire-format helpers;
-//! * [`metrics`] — per-endpoint request/latency counters and cache
-//!   hit-rate reporting at `GET /metrics`.
+//!   worker speaking HTTP/1.1 keep-alive; `GET /datasets/{d}/sweep`
+//!   reuses and populates per-s artifacts, and `POST /query` answers a
+//!   JSON batch of sub-queries in one round-trip under one compute
+//!   budget;
+//! * [`http`] / [`json`] — the minimal wire-format helpers
+//!   (percent-decoding request parser; JSON builder + strict parser);
+//! * [`metrics`] — per-endpoint request/latency counters and per-tier
+//!   cache hit/miss reporting at `GET /metrics`.
 //!
 //! ## Quick start
 //!
@@ -57,7 +67,10 @@ pub mod pool;
 pub mod registry;
 pub mod server;
 
-pub use cache::{AlgoKind, ArtifactCache, CacheKey, CacheOutcome, CacheStats};
+pub use cache::{
+    AlgoKind, ArtifactCache, CacheKey, CacheOutcome, CacheStats, MetricKey, MetricKind,
+    SingleFlightCache, TierKey,
+};
 pub use metrics::{Route, ServerMetrics};
 pub use registry::{Dataset, DatasetRegistry, DatasetSource};
-pub use server::{Artifact, Server, ServerConfig, ServerHandle, ServerState};
+pub use server::{Artifact, MetricResult, Server, ServerConfig, ServerHandle, ServerState};

@@ -31,13 +31,15 @@ pub enum Route {
     Spectrum,
     /// `GET /datasets/{d}/sweep`.
     Sweep,
+    /// `POST /query` (batched sub-queries).
+    Query,
     /// Anything else.
     NotFound,
 }
 
 impl Route {
     /// Every route, in `/metrics` display order.
-    pub const ALL: [Route; 12] = [
+    pub const ALL: [Route; 13] = [
         Route::Index,
         Route::Health,
         Route::Metrics,
@@ -49,6 +51,7 @@ impl Route {
         Route::Betweenness,
         Route::Spectrum,
         Route::Sweep,
+        Route::Query,
         Route::NotFound,
     ];
 
@@ -66,6 +69,7 @@ impl Route {
             Route::Betweenness => "betweenness",
             Route::Spectrum => "spectrum",
             Route::Sweep => "sweep",
+            Route::Query => "query",
             Route::NotFound => "not_found",
         }
     }

@@ -2,19 +2,27 @@
 //!
 //! `bind` → `spawn` starts an acceptor thread feeding a fixed worker
 //! pool through a bounded queue; each worker speaks HTTP/1.1 keep-alive
-//! on its connection. Query endpoints resolve their artifact through the
-//! single-flight LRU cache, so the expensive s-line-graph construction
-//! runs at most once per `(dataset, s, algorithm, weighted)`.
+//! on its connection. Query endpoints resolve through a two-tier
+//! single-flight LRU cache: the **artifact tier** builds each s-line
+//! graph at most once per `(dataset, s, algorithm, weighted)`, and the
+//! **metric tier** layered on top computes each Stage-5 result
+//! (components, betweenness, spectrum, sweep counts) at most once per
+//! `(artifact, metric, params)` — so warm metric queries are O(1)
+//! lookups plus rendering instead of parallel kernel runs.
+//! `POST /query` answers a JSON array of sub-queries in one round-trip
+//! under one compute budget.
 
-use crate::cache::{AlgoKind, ArtifactCache, CacheKey, CacheOutcome};
-use crate::http::{self, ParseError, Request};
+use crate::cache::{
+    AlgoKind, ArtifactCache, CacheKey, CacheOutcome, MetricKey, MetricKind, SingleFlightCache,
+};
+use crate::http::{self, Params, ParseError, Request};
 use crate::json::Json;
 use crate::metrics::{Route, ServerMetrics};
 use crate::pool::WorkerPool;
 use crate::registry::{DatasetRegistry, DatasetSource};
 use hyperline_hypergraph::Hypergraph;
 use hyperline_slinegraph::{
-    algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, edge_counts_over_s,
+    algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, build_slinegraphs_over_s,
     naive_slinegraph, spgemm_slinegraph, SLineGraph, Strategy,
 };
 use std::io::BufReader;
@@ -76,12 +84,56 @@ impl Artifact {
     }
 }
 
+/// A cached Stage-5 metric result — the metric tier's value type. Full,
+/// untruncated results are cached; render-time parameters (`top`,
+/// `limit`) apply when the response body is built, so every truncation
+/// of one ranking shares one compute.
+pub enum MetricResult {
+    /// s-connected components, largest first.
+    Components(Vec<Vec<u32>>),
+    /// `(original hyperedge ID, score)` by descending score.
+    Betweenness(Vec<(u32, f64)>),
+    /// The spectrum summary.
+    Spectrum {
+        /// Squeezed vertex count of the line graph.
+        num_vertices: usize,
+        /// Edge count of the line graph.
+        num_edges: usize,
+        /// s-diameter.
+        diameter: u32,
+        /// Normalized algebraic connectivity of the largest component.
+        algebraic_connectivity: f64,
+    },
+    /// `(s, |E(L_s)|)` for `s = 1..=max_s`.
+    Sweep(Vec<(u32, usize)>),
+}
+
+impl MetricResult {
+    /// Rough resident size, for the metric tier's byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        64 + match self {
+            MetricResult::Components(comps) => comps
+                .iter()
+                .map(|c| size_of::<Vec<u32>>() + c.len() * size_of::<u32>())
+                .sum::<usize>(),
+            MetricResult::Betweenness(ranking) => ranking.len() * size_of::<(u32, f64)>(),
+            MetricResult::Spectrum { .. } => 0,
+            MetricResult::Sweep(counts) => counts.len() * size_of::<(u32, usize)>(),
+        }
+    }
+}
+
 /// Shared state every worker sees.
 pub struct ServerState {
     /// Named datasets.
     pub registry: DatasetRegistry,
-    /// The artifact cache.
+    /// The artifact tier: s-line graphs keyed by
+    /// `(dataset, s, algorithm, weighted)`.
     pub cache: ArtifactCache<Artifact>,
+    /// The metric tier: Stage-5 results keyed by
+    /// `(artifact key, metric, metric params)`.
+    pub metric_cache: SingleFlightCache<MetricKey, MetricResult>,
     /// Request counters.
     pub metrics: ServerMetrics,
     /// Artifact computations currently running (divides the compute
@@ -90,6 +142,19 @@ pub struct ServerState {
     /// Sandbox root for `POST /datasets?path=` (None = disabled).
     data_root: Option<std::path::PathBuf>,
     started: Instant,
+}
+
+impl ServerState {
+    /// Drops every cached entry derived from `dataset` — **both tiers**
+    /// — and bumps their invalidation generations so in-flight
+    /// computations against the replaced data are never cached. Stale
+    /// metric results must go even when their artifact survives nowhere;
+    /// invalidating only one tier would let the other serve the old
+    /// dataset forever.
+    pub fn invalidate_dataset(&self, dataset: &str) {
+        self.cache.invalidate_dataset(dataset);
+        self.metric_cache.invalidate_dataset(dataset);
+    }
 }
 
 /// A bound-but-not-yet-serving server.
@@ -107,6 +172,11 @@ impl Server {
         let state = Arc::new(ServerState {
             registry: DatasetRegistry::new(),
             cache: ArtifactCache::new(config.cache_mb.saturating_mul(1024 * 1024)),
+            // Metric results are far smaller than the artifacts they
+            // derive from; a quarter of the artifact budget is generous.
+            metric_cache: SingleFlightCache::new(
+                (config.cache_mb / 4).max(1).saturating_mul(1024 * 1024),
+            ),
             metrics: ServerMetrics::new(),
             active_computations: std::sync::atomic::AtomicUsize::new(0),
             data_root: config.data_root.clone(),
@@ -291,13 +361,18 @@ fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, String) {
         ("GET", ["metrics"]) => (Route::Metrics, Ok((200, handle_metrics(state)))),
         ("GET", ["datasets"]) => (Route::ListDatasets, Ok((200, handle_list(state)))),
         ("POST", ["datasets"]) => (Route::AddDataset, handle_add_dataset(state, request)),
+        ("POST", ["query"]) => (Route::Query, handle_query(state, request)),
         ("GET", ["datasets", name, op]) => {
-            let (route, result) = handle_dataset_op(state, request, name, op);
+            let (route, result) = handle_dataset_op(state, &request.params(), name, op);
             (route, result)
         }
         // 405 only on paths that exist with another method; everything
         // else (including two-segment /datasets/{d}) is 404.
-        (_, ["datasets"]) | (_, ["datasets", _, _]) | (_, ["metrics"]) | (_, ["healthz"]) => (
+        (_, ["datasets"])
+        | (_, ["datasets", _, _])
+        | (_, ["metrics"])
+        | (_, ["healthz"])
+        | (_, ["query"]) => (
             Route::NotFound,
             Err((405, format!("method {method} not allowed here"))),
         ),
@@ -321,10 +396,11 @@ fn handle_index() -> HandlerResult {
         Json::from("GET /metrics"),
         Json::from("GET /datasets"),
         Json::from("POST /datasets?name=&profile=&seed= | ?name=&path="),
+        Json::from("POST /query  (body: JSON array of {dataset, op, ...params})"),
         Json::from("GET /datasets/{d}/stats"),
         Json::from("GET /datasets/{d}/slg?s=&algo=&weighted=&limit="),
         Json::from("GET /datasets/{d}/components?s=&limit="),
-        Json::from("GET /datasets/{d}/betweenness?s=&top="),
+        Json::from("GET /datasets/{d}/betweenness?s=&top=&samples=&seed="),
         Json::from("GET /datasets/{d}/spectrum?s="),
         Json::from("GET /datasets/{d}/sweep?max_s="),
     ];
@@ -344,8 +420,19 @@ fn handle_health(state: &ServerState) -> Json {
         .set("uptime_secs", state.started.elapsed().as_secs())
 }
 
+/// Renders one tier's statistics for `/metrics`.
+fn render_cache_stats(stats: crate::cache::CacheStats) -> Json {
+    Json::obj()
+        .set("hits", stats.hits)
+        .set("misses", stats.misses)
+        .set("coalesced", stats.coalesced)
+        .set("evictions", stats.evictions)
+        .set("entries", stats.entries)
+        .set("used_bytes", stats.used_bytes)
+        .set("budget_bytes", stats.budget_bytes)
+}
+
 fn handle_metrics(state: &ServerState) -> Json {
-    let cache = state.cache.stats();
     let mut endpoints = Json::obj();
     for route in Route::ALL {
         let c = state.metrics.endpoint(route);
@@ -384,13 +471,8 @@ fn handle_metrics(state: &ServerState) -> Json {
         .set(
             "cache",
             Json::obj()
-                .set("hits", cache.hits)
-                .set("misses", cache.misses)
-                .set("coalesced", cache.coalesced)
-                .set("evictions", cache.evictions)
-                .set("entries", cache.entries)
-                .set("used_bytes", cache.used_bytes)
-                .set("budget_bytes", cache.budget_bytes),
+                .set("artifacts", render_cache_stats(state.cache.stats()))
+                .set("metrics", render_cache_stats(state.metric_cache.stats())),
         )
         .set("endpoints", endpoints)
 }
@@ -436,8 +518,9 @@ fn handle_add_dataset(state: &ServerState, request: &Request) -> HandlerResult {
         }
     };
     let name = loaded.map_err(|e| (400, e))?;
-    // A replaced dataset must not serve artifacts of its predecessor.
-    state.cache.invalidate_dataset(&name);
+    // A replaced dataset must not serve artifacts *or metrics* of its
+    // predecessor; both tiers invalidate together.
+    state.invalidate_dataset(&name);
     let d = state.registry.get(&name).expect("just inserted");
     Ok((
         201,
@@ -481,18 +564,18 @@ struct QueryParams {
     weighted: bool,
 }
 
-fn parse_query_params(request: &Request) -> Result<QueryParams, (u16, String)> {
-    let s: u32 = request.query_or("s", 2).map_err(|e| (400, e))?;
+fn parse_query_params(params: &Params<'_>) -> Result<QueryParams, (u16, String)> {
+    let s: u32 = params.parse_or("s", 2).map_err(|e| (400, e))?;
     if s == 0 {
         return Err((400, "s must be at least 1".to_string()));
     }
-    let algorithm = match request.query_param("algo") {
+    let algorithm = match params.get("algo") {
         None => AlgoKind::Algo2,
         Some(raw) => {
             AlgoKind::from_name(raw).ok_or_else(|| (400, format!("unknown algorithm {raw:?}")))?
         }
     };
-    let weighted = matches!(request.query_param("weighted"), Some("1" | "true"));
+    let weighted = matches!(params.get("weighted"), Some("1" | "true"));
     if weighted && algorithm != AlgoKind::Algo2 {
         return Err((400, "weighted=1 requires algo=algo2".to_string()));
     }
@@ -503,37 +586,38 @@ fn parse_query_params(request: &Request) -> Result<QueryParams, (u16, String)> {
     })
 }
 
+/// The route of a per-dataset operation name, if it exists.
+fn dataset_route(op: &str) -> Option<Route> {
+    match op {
+        "stats" => Some(Route::Stats),
+        "slg" => Some(Route::Slg),
+        "components" => Some(Route::Components),
+        "betweenness" => Some(Route::Betweenness),
+        "spectrum" => Some(Route::Spectrum),
+        "sweep" => Some(Route::Sweep),
+        _ => None,
+    }
+}
+
 fn handle_dataset_op(
     state: &ServerState,
-    request: &Request,
+    params: &Params<'_>,
     name: &str,
     op: &str,
 ) -> (Route, HandlerResult) {
-    let route = match op {
-        "stats" => Route::Stats,
-        "slg" => Route::Slg,
-        "components" => Route::Components,
-        "betweenness" => Route::Betweenness,
-        "spectrum" => Route::Spectrum,
-        "sweep" => Route::Sweep,
-        _ => {
-            return (
-                Route::NotFound,
-                Err((404, format!("no such dataset operation {op:?}"))),
-            )
-        }
+    let Some(route) = dataset_route(op) else {
+        return (
+            Route::NotFound,
+            Err((404, format!("no such dataset operation {op:?}"))),
+        );
     };
     let Some(dataset) = state.registry.get(name) else {
         return (route, Err((404, format!("no dataset named {name:?}"))));
     };
-    let h = dataset.hypergraph;
     let result = match route {
-        Route::Stats => handle_stats(name, &h),
-        // Sweep runs an ensemble pass per request: budget it. The cached
-        // ops budget their own compute/metric sections (wrapping the
-        // whole call would count single-flight waiters as active).
-        Route::Sweep => with_compute_budget(state, || handle_sweep(request, name, &h)),
-        _ => handle_cached_op(state, request, route, name),
+        Route::Stats => handle_stats(name, &dataset.hypergraph),
+        Route::Sweep => handle_sweep(state, params, name),
+        _ => handle_cached_op(state, params, route, name),
     };
     (route, result)
 }
@@ -543,6 +627,11 @@ fn handle_dataset_op(
 /// gets `max(1, C / N)` workers. A burst of cache misses or Stage-5
 /// metric queries (betweenness runs a parallel kernel per request)
 /// degrades to pipelining instead of spawning `N × C` threads.
+///
+/// Call sites are structured so these sections never nest (a metric
+/// flight resolves its artifact *before* entering its own budget
+/// section; a batch wraps nothing itself) — nesting would register one
+/// request twice and halve its own budget, so keep it that way.
 fn with_compute_budget<T>(state: &ServerState, f: impl FnOnce() -> T) -> T {
     struct ActiveGuard<'a>(&'a std::sync::atomic::AtomicUsize);
     impl Drop for ActiveGuard<'_> {
@@ -573,16 +662,54 @@ fn handle_stats(name: &str, h: &Hypergraph) -> HandlerResult {
     ))
 }
 
-fn handle_sweep(request: &Request, name: &str, h: &Hypergraph) -> HandlerResult {
-    let max_s: u32 = request.query_or("max_s", 16).map_err(|e| (400, e))?;
+/// Resolves `key` through the artifact tier (computing on miss).
+fn get_artifact(
+    state: &ServerState,
+    key: &CacheKey,
+) -> Result<(Arc<Artifact>, CacheOutcome), (u16, String)> {
+    state
+        .cache
+        .get_or_compute(key, || {
+            // The hypergraph is re-fetched *inside* the flight: a
+            // replacement racing an earlier lookup would otherwise slip
+            // past the cache's generation check and pin a stale
+            // artifact. Any invalidation after this point bumps the
+            // generation the flight observed, which blocks caching.
+            let h = state
+                .registry
+                .get(&key.dataset)
+                .ok_or_else(|| format!("dataset {:?} was removed", key.dataset))?
+                .hypergraph;
+            with_compute_budget(state, || compute_artifact(&h, key))
+        })
+        .map_err(|e| (500, e))
+}
+
+/// `GET /datasets/{d}/sweep?max_s=` — answered from the metric tier,
+/// which in turn reuses (and populates) the artifact tier's per-s
+/// entries: only the s values with no cached artifact are computed, all
+/// of them in **one** Algorithm-3 ensemble pass, and each freshly built
+/// `L_s(H)` is inserted into the artifact tier so later `/slg?s=` (and
+/// metric) queries for any swept `s` start warm.
+fn handle_sweep(state: &ServerState, params: &Params<'_>, name: &str) -> HandlerResult {
+    let max_s: u32 = params.parse_or("max_s", 16).map_err(|e| (400, e))?;
     if !(1..=4096).contains(&max_s) {
         return Err((400, "max_s must be in 1..=4096".to_string()));
     }
-    let s_values: Vec<u32> = (1..=max_s).collect();
-    let counts = edge_counts_over_s(h, &s_values, &Strategy::default());
+    let metric_key = MetricKey {
+        artifact: sweep_pseudo_key(name),
+        metric: MetricKind::Sweep { max_s },
+    };
+    let (result, _outcome) = state
+        .metric_cache
+        .get_or_compute(&metric_key, || compute_sweep(state, name, max_s))
+        .map_err(|e| (500, e))?;
+    let MetricResult::Sweep(counts) = &*result else {
+        unreachable!("sweep key holds a sweep result")
+    };
     let rows: Vec<Json> = counts
-        .into_iter()
-        .map(|(s, count)| Json::Arr(vec![Json::from(s), Json::from(count)]))
+        .iter()
+        .map(|&(s, count)| Json::Arr(vec![Json::from(s), Json::from(count)]))
         .collect();
     Ok((
         200,
@@ -593,86 +720,225 @@ fn handle_sweep(request: &Request, name: &str, h: &Hypergraph) -> HandlerResult 
     ))
 }
 
-/// The endpoints answered from the artifact cache.
+/// The artifact key a sweep's per-s probes and inserts use for `s`.
+fn sweep_artifact_key(name: &str, s: u32) -> CacheKey {
+    CacheKey {
+        dataset: name.to_string(),
+        s,
+        algorithm: AlgoKind::Algo2,
+        weighted: false,
+    }
+}
+
+/// The artifact slot of a whole-sweep metric entry (`s = 0` is not a
+/// valid query, so it cannot collide with a real artifact key).
+fn sweep_pseudo_key(name: &str) -> CacheKey {
+    sweep_artifact_key(name, 0)
+}
+
+/// Computes the sweep counts for the metric tier: probe the artifact
+/// tier per `s`, ensemble-build only the missing values, and insert the
+/// new artifacts behind a generation fence so a dataset replacement
+/// racing the sweep can never pin stale per-s entries.
+fn compute_sweep(
+    state: &ServerState,
+    name: &str,
+    max_s: u32,
+) -> Result<(MetricResult, usize), String> {
+    // Generation first, hypergraph second: if a replacement lands in
+    // between, the recorded generation is already stale and every insert
+    // below is dropped (fresh data is simply recomputed later — the
+    // conservative direction).
+    let generation = state.cache.generation(name);
+    let h = state
+        .registry
+        .get(name)
+        .ok_or_else(|| format!("dataset {name:?} was removed"))?
+        .hypergraph;
+    let mut counts: Vec<(u32, usize)> = Vec::with_capacity(max_s as usize);
+    let mut missing: Vec<u32> = Vec::new();
+    for s in 1..=max_s {
+        match state.cache.lookup(&sweep_artifact_key(name, s)) {
+            Some(artifact) => counts.push((s, artifact.slg.num_edges())),
+            None => {
+                counts.push((s, usize::MAX)); // patched below
+                missing.push(s);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let built = with_compute_budget(state, || {
+            build_slinegraphs_over_s(&h, &missing, &Strategy::default())
+        });
+        for (s, slg) in built {
+            let count = slg.num_edges();
+            counts[(s - 1) as usize] = (s, count);
+            let artifact = Artifact {
+                slg,
+                weighted_edges: None,
+            };
+            let bytes = artifact.approx_bytes();
+            state
+                .cache
+                .insert_if_current(sweep_artifact_key(name, s), generation, artifact, bytes);
+        }
+    }
+    debug_assert!(counts.iter().all(|&(_, c)| c != usize::MAX));
+    let result = MetricResult::Sweep(counts);
+    let bytes = result.approx_bytes();
+    Ok((result, bytes))
+}
+
+/// The per-dataset query endpoints answered from the cache tiers:
+/// `/slg` from the artifact tier, the Stage-5 metrics (components,
+/// betweenness, spectrum) from the metric tier layered over it.
 fn handle_cached_op(
     state: &ServerState,
-    request: &Request,
+    params: &Params<'_>,
     route: Route,
     name: &str,
 ) -> HandlerResult {
-    let params = parse_query_params(request)?;
+    let query = parse_query_params(params)?;
     let key = CacheKey {
         dataset: name.to_string(),
-        s: params.s,
-        algorithm: params.algorithm,
-        weighted: params.weighted,
+        s: query.s,
+        algorithm: query.algorithm,
+        weighted: query.weighted,
     };
-    let (artifact, outcome) = state
-        .cache
-        .get_or_compute(&key, || {
-            // The hypergraph is re-fetched *inside* the flight: a
-            // replacement racing an earlier lookup would otherwise slip
-            // past the cache's generation check and pin a stale
-            // artifact. Any invalidation after this point bumps the
-            // generation the flight observed, which blocks caching.
-            let h = state
-                .registry
-                .get(name)
-                .ok_or_else(|| format!("dataset {name:?} was removed"))?
-                .hypergraph;
-            with_compute_budget(state, || compute_artifact(&h, &key))
-        })
-        .map_err(|e| (500, e))?;
-    let slg = &artifact.slg;
     let base = Json::obj()
         .set("dataset", name)
-        .set("s", params.s)
-        .set("algorithm", params.algorithm.name())
-        .set(
-            "cache",
-            match outcome {
-                CacheOutcome::Hit => "hit",
-                CacheOutcome::Miss => "miss",
-                CacheOutcome::Coalesced => "coalesced",
-            },
-        );
-    // The Stage-5 kernels below (components, betweenness, spectrum) run
-    // parallel work per request; budget them like artifact construction.
-    with_compute_budget(state, || match route {
-        Route::Slg => {
-            let limit: usize = request.query_or("limit", 100_000).map_err(|e| (400, e))?;
-            let edges: Vec<Json> = if params.weighted {
-                artifact
-                    .weighted_edges
-                    .as_ref()
-                    .expect("weighted artifact carries weights")
-                    .iter()
-                    .take(limit)
-                    .map(|&(i, j, w)| Json::Arr(vec![Json::from(i), Json::from(j), Json::from(w)]))
-                    .collect()
-            } else {
-                slg.edges
-                    .iter()
-                    .take(limit)
-                    .map(|&(i, j)| Json::Arr(vec![Json::from(i), Json::from(j)]))
-                    .collect()
-            };
-            Ok((
-                200,
-                base.set("num_vertices", slg.num_vertices())
-                    .set("num_edges", slg.num_edges())
-                    .set("truncated", slg.num_edges() > limit)
-                    .set("edges", Json::Arr(edges)),
-            ))
-        }
+        .set("s", query.s)
+        .set("algorithm", query.algorithm.name());
+
+    if route == Route::Slg {
+        // Validate render-time params before resolving the artifact: a
+        // doomed request must 400 without running the construction.
+        let limit: usize = params.parse_or("limit", 100_000).map_err(|e| (400, e))?;
+        let (artifact, outcome) = get_artifact(state, &key)?;
+        let slg = &artifact.slg;
+        let edges: Vec<Json> = if query.weighted {
+            artifact
+                .weighted_edges
+                .as_ref()
+                .expect("weighted artifact carries weights")
+                .iter()
+                .take(limit)
+                .map(|&(i, j, w)| Json::Arr(vec![Json::from(i), Json::from(j), Json::from(w)]))
+                .collect()
+        } else {
+            slg.edges
+                .iter()
+                .take(limit)
+                .map(|&(i, j)| Json::Arr(vec![Json::from(i), Json::from(j)]))
+                .collect()
+        };
+        return Ok((
+            200,
+            base.set(
+                "cache",
+                match outcome {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Miss => "miss",
+                    CacheOutcome::Coalesced => "coalesced",
+                },
+            )
+            .set("num_vertices", slg.num_vertices())
+            .set("num_edges", slg.num_edges())
+            .set("truncated", slg.num_edges() > limit)
+            .set("edges", Json::Arr(edges)),
+        ));
+    }
+
+    // Stage-5 metric routes: resolved through the metric tier. The
+    // response body deliberately carries no per-request cache-outcome
+    // field — repeated identical requests must be **byte-identical**
+    // (outcomes are visible in `/metrics` per tier). Render-time
+    // parameters (`top`, `limit`) are validated before the compute so a
+    // doomed request answers 400 without running a Stage-5 kernel.
+    let metric = match route {
         Route::Components => {
-            let limit: usize = request.query_or("limit", 1_000).map_err(|e| (400, e))?;
-            let components = slg.connected_components();
+            params
+                .parse_or::<usize>("limit", 1_000)
+                .map_err(|e| (400, e))?;
+            MetricKind::Components
+        }
+        Route::Betweenness => {
+            params.parse_or::<usize>("top", 10).map_err(|e| (400, e))?;
+            let samples: u32 = params.parse_or("samples", 0).map_err(|e| (400, e))?;
+            let seed: u64 = params.parse_or("seed", 42).map_err(|e| (400, e))?;
+            // Normalize the key so equivalent requests share one entry:
+            // the sampler clamps its source count to the line graph's
+            // vertex count n, and n ≤ the dataset's hyperedge count m —
+            // so any samples ≥ m computes the same ranking as samples=m
+            // (n itself is unknown until the artifact is built, so m is
+            // the tightest cheap bound). The seed only affects sampling;
+            // pinning it for the exact variant keeps `?seed=7` and
+            // `?seed=42` from computing identical rankings twice.
+            let num_hyperedges = state
+                .registry
+                .get(name)
+                .map(|d| d.hypergraph.num_edges())
+                .unwrap_or(usize::MAX);
+            let samples = samples.min(u32::try_from(num_hyperedges).unwrap_or(u32::MAX));
+            MetricKind::Betweenness {
+                samples,
+                seed: if samples == 0 { 0 } else { seed },
+            }
+        }
+        Route::Spectrum => MetricKind::Spectrum,
+        _ => unreachable!("handle_cached_op only serves cached routes"),
+    };
+    let metric_key = MetricKey {
+        artifact: key.clone(),
+        metric,
+    };
+    let (result, _outcome) = state
+        .metric_cache
+        .get_or_compute(&metric_key, || {
+            // Resolving the artifact *inside* the metric flight re-runs
+            // the registry fetch under the artifact tier's generation
+            // fence; the metric tier's own fence (bumped by the same
+            // invalidation) then blocks caching a result computed from a
+            // replaced dataset.
+            let (artifact, _) = get_artifact(state, &key).map_err(|(_, message)| message)?;
+            let result = with_compute_budget(state, || compute_metric(&artifact.slg, metric));
+            let bytes = result.approx_bytes();
+            Ok((result, bytes))
+        })
+        .map_err(|e| (500, e))?;
+    render_metric(base, params, &result)
+}
+
+/// Runs one Stage-5 kernel (the expensive, cache-once part).
+fn compute_metric(slg: &SLineGraph, metric: MetricKind) -> MetricResult {
+    match metric {
+        MetricKind::Components => MetricResult::Components(slg.connected_components()),
+        MetricKind::Betweenness { samples, seed } => MetricResult::Betweenness(if samples == 0 {
+            slg.betweenness()
+        } else {
+            slg.betweenness_sampled(samples as usize, seed)
+        }),
+        MetricKind::Spectrum => MetricResult::Spectrum {
+            num_vertices: slg.num_vertices(),
+            num_edges: slg.num_edges(),
+            diameter: slg.s_diameter(),
+            algebraic_connectivity: slg.algebraic_connectivity(),
+        },
+        MetricKind::Sweep { .. } => unreachable!("sweep computes via compute_sweep"),
+    }
+}
+
+/// Renders a cached metric result with this request's render-time
+/// parameters (`limit`, `top`).
+fn render_metric(base: Json, params: &Params<'_>, result: &MetricResult) -> HandlerResult {
+    match result {
+        MetricResult::Components(components) => {
+            let limit: usize = params.parse_or("limit", 1_000).map_err(|e| (400, e))?;
             let total = components.len();
             let rows: Vec<Json> = components
-                .into_iter()
+                .iter()
                 .take(limit)
-                .map(|comp| Json::Arr(comp.into_iter().map(Json::from).collect()))
+                .map(|comp| Json::Arr(comp.iter().map(|&id| Json::from(id)).collect()))
                 .collect();
             Ok((
                 200,
@@ -681,25 +947,135 @@ fn handle_cached_op(
                     .set("components", Json::Arr(rows)),
             ))
         }
-        Route::Betweenness => {
-            let top: usize = request.query_or("top", 10).map_err(|e| (400, e))?;
-            let ranking: Vec<Json> = slg
-                .betweenness()
-                .into_iter()
+        MetricResult::Betweenness(ranking) => {
+            let top: usize = params.parse_or("top", 10).map_err(|e| (400, e))?;
+            let rows: Vec<Json> = ranking
+                .iter()
                 .take(top)
-                .map(|(edge, score)| Json::obj().set("edge", edge).set("score", score))
+                .map(|&(edge, score)| Json::obj().set("edge", edge).set("score", score))
                 .collect();
-            Ok((200, base.set("top", top).set("ranking", Json::Arr(ranking))))
+            Ok((200, base.set("top", top).set("ranking", Json::Arr(rows))))
         }
-        Route::Spectrum => Ok((
+        MetricResult::Spectrum {
+            num_vertices,
+            num_edges,
+            diameter,
+            algebraic_connectivity,
+        } => Ok((
             200,
-            base.set("num_vertices", slg.num_vertices())
-                .set("num_edges", slg.num_edges())
-                .set("diameter", slg.s_diameter())
-                .set("algebraic_connectivity", slg.algebraic_connectivity()),
+            base.set("num_vertices", *num_vertices)
+                .set("num_edges", *num_edges)
+                .set("diameter", *diameter)
+                .set("algebraic_connectivity", *algebraic_connectivity),
         )),
-        _ => unreachable!("handle_cached_op only serves cached routes"),
-    })
+        MetricResult::Sweep(_) => unreachable!("sweep renders in handle_sweep"),
+    }
+}
+
+/// Maximum number of sub-queries one `POST /query` batch may carry.
+const MAX_BATCH_QUERIES: usize = 64;
+
+/// `POST /query` — a JSON array of sub-queries answered in one
+/// round-trip. Each sub-query is an object with `dataset` and `op`
+/// (any per-dataset operation: `stats`, `slg`, `components`,
+/// `betweenness`, `spectrum`, `sweep`) plus that operation's usual
+/// query parameters as scalar fields. Items run sequentially, so the
+/// batch never holds more than one compute-budget slot — a 64-item
+/// batch competes for cores like one request, not 64 — and failures are
+/// reported per item, so one bad sub-query does not void the rest.
+fn handle_query(state: &ServerState, request: &Request) -> HandlerResult {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
+    if text.trim().is_empty() {
+        return Err((
+            400,
+            "request body must be a JSON array of sub-queries".to_string(),
+        ));
+    }
+    let parsed = Json::parse(text).map_err(|e| (400, format!("invalid JSON body: {e}")))?;
+    let items = parsed.as_array().ok_or_else(|| {
+        (
+            400,
+            "request body must be a JSON array of sub-queries".to_string(),
+        )
+    })?;
+    if items.is_empty() {
+        return Err((400, "batch needs at least one sub-query".to_string()));
+    }
+    if items.len() > MAX_BATCH_QUERIES {
+        return Err((
+            400,
+            format!("batch exceeds {MAX_BATCH_QUERIES} sub-queries"),
+        ));
+    }
+    // Items run sequentially, so the batch occupies at most one
+    // compute-budget slot at a time — each sub-query's own kernels
+    // register exactly like the equivalent GET would. No outer budget
+    // wrapper: it would pin a slot even while the batch is merely
+    // waiting on another request's flight or rendering cache hits,
+    // shrinking every concurrent request's budget for no compute.
+    let results: Vec<Json> = items
+        .iter()
+        .map(|item| match answer_sub_query(state, item) {
+            Ok((_, body)) => body,
+            Err((status, message)) => {
+                // Tag failures with whatever identifies the item, so
+                // mixed success/failure batches stay correlatable.
+                let mut failure = Json::obj().set("status", status).set("error", message);
+                if let Some(dataset) = item.get("dataset").and_then(Json::as_str) {
+                    failure = failure.set("dataset", dataset);
+                }
+                if let Some(op) = item.get("op").and_then(Json::as_str) {
+                    failure = failure.set("op", op);
+                }
+                failure
+            }
+        })
+        .collect();
+    Ok((
+        200,
+        Json::obj()
+            .set("count", results.len())
+            .set("results", Json::Arr(results)),
+    ))
+}
+
+/// Answers one sub-query of a batch by converting its scalar fields to
+/// the common parameter form and reusing the per-dataset handlers — a
+/// batch item produces the same body as the equivalent GET, plus an
+/// `op` tag so callers can correlate items.
+fn answer_sub_query(state: &ServerState, item: &Json) -> HandlerResult {
+    let Some(fields) = item.entries() else {
+        return Err((400, "sub-query must be a JSON object".to_string()));
+    };
+    let dataset = item.get("dataset").and_then(Json::as_str).ok_or_else(|| {
+        (
+            400,
+            "sub-query needs a string \"dataset\" field".to_string(),
+        )
+    })?;
+    let op = item
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| (400, "sub-query needs a string \"op\" field".to_string()))?;
+    let mut pairs: Vec<(String, String)> = Vec::with_capacity(fields.len());
+    for (key, value) in fields {
+        if key == "dataset" || key == "op" {
+            continue;
+        }
+        let rendered = match value {
+            Json::Str(s) => s.clone(),
+            Json::Int(i) => i.to_string(),
+            Json::Float(x) => format!("{x}"),
+            Json::Bool(b) => b.to_string(),
+            Json::Null => continue, // explicit null = absent
+            _ => return Err((400, format!("sub-query field {key:?} must be a scalar"))),
+        };
+        pairs.push((key.clone(), rendered));
+    }
+    let (_route, result) = handle_dataset_op(state, &Params(&pairs), dataset, op);
+    // Tag the body with the op so batch callers can correlate items.
+    result.map(|(status, body)| (status, body.set("op", op)))
 }
 
 /// Builds the artifact for `key` (runs outside the cache lock; the
@@ -756,7 +1132,7 @@ mod tests {
 
     fn request(path: &str) -> Request {
         let (path, query) = match path.split_once('?') {
-            Some((p, q)) => (p.to_string(), http::parse_query(q)),
+            Some((p, q)) => (p.to_string(), http::parse_query(q).unwrap()),
             None => (path.to_string(), Vec::new()),
         };
         Request {
@@ -918,6 +1294,289 @@ mod tests {
         req.method = "POST".to_string();
         let (_, status, _) = dispatch(state, &req);
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn empty_query_values_fall_back_to_defaults() {
+        let server = test_server();
+        let state = server.state();
+        // `?s=` previously failed u32 parsing with a confusing 400; it
+        // must behave exactly like an absent parameter.
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s="));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"s\":2"), "{body}");
+        let (_, status, _) = dispatch(state, &request("/datasets/paper/slg?s=&algo=&weighted="));
+        assert_eq!(status, 200);
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/sweep?max_s="));
+        assert_eq!(status, 200, "{body}");
+    }
+
+    #[test]
+    fn metric_tier_serves_stage5_results_byte_identically() {
+        let server = test_server();
+        let state = server.state();
+        for path in [
+            "/datasets/paper/betweenness?s=2&top=3",
+            "/datasets/paper/components?s=2",
+            "/datasets/paper/spectrum?s=2",
+        ] {
+            let (_, status, first) = dispatch(state, &request(path));
+            assert_eq!(status, 200, "{path}");
+            let (_, status, second) = dispatch(state, &request(path));
+            assert_eq!(status, 200, "{path}");
+            assert_eq!(first, second, "{path}: repeated response diverged");
+        }
+        let stats = state.metric_cache.stats();
+        assert_eq!((stats.misses, stats.hits), (3, 3));
+        // A different render-time `top` shares the cached ranking: hits
+        // grow, misses do not.
+        let (_, status, body) = dispatch(state, &request("/datasets/paper/betweenness?s=2&top=1"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"top\":1"), "{body}");
+        let stats = state.metric_cache.stats();
+        assert_eq!((stats.misses, stats.hits), (3, 4));
+        // Different compute-time params (sampled betweenness) are a
+        // distinct metric entry.
+        let (_, status, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2&samples=2"));
+        assert_eq!(status, 200);
+        assert_eq!(state.metric_cache.stats().misses, 4);
+        // But an exact request never reads the seed, so `?seed=` does
+        // not mint a duplicate exact entry...
+        let (_, status, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2&seed=7"));
+        assert_eq!(status, 200);
+        assert_eq!(state.metric_cache.stats().misses, 4);
+        // ...while for sampled requests the seed is part of the key.
+        let (_, status, _) = dispatch(
+            state,
+            &request("/datasets/paper/betweenness?s=2&samples=2&seed=7"),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(state.metric_cache.stats().misses, 5);
+        // Oversized sample counts normalize to the hyperedge count
+        // (m = 4 on the paper example), so equivalent oversampled
+        // requests share one entry instead of re-running the kernel.
+        let (_, status, _) = dispatch(
+            state,
+            &request("/datasets/paper/betweenness?s=2&samples=100"),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(state.metric_cache.stats().misses, 6);
+        let (_, status, _) = dispatch(
+            state,
+            &request("/datasets/paper/betweenness?s=2&samples=4000"),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(
+            state.metric_cache.stats().misses,
+            6,
+            "duplicate entry minted"
+        );
+    }
+
+    #[test]
+    fn bad_render_params_answer_400_without_computing() {
+        let server = test_server();
+        let state = server.state();
+        for path in [
+            "/datasets/paper/betweenness?s=2&top=abc",
+            "/datasets/paper/components?s=2&limit=abc",
+            "/datasets/paper/slg?s=2&limit=abc",
+        ] {
+            let (_, status, _) = dispatch(state, &request(path));
+            assert_eq!(status, 400, "{path}");
+        }
+        // The doomed requests must not have run (or cached) a kernel.
+        let stats = state.metric_cache.stats();
+        assert_eq!((stats.misses, stats.entries), (0, 0));
+        assert_eq!(state.cache.stats().misses, 0, "no artifact was built");
+    }
+
+    #[test]
+    fn sweep_populates_and_reuses_the_artifact_tier() {
+        let server = test_server();
+        let state = server.state();
+        // Prime s=2 through /slg so the sweep has something to reuse.
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        assert!(body.contains("\"cache\":\"miss\""));
+        let artifact_misses_before = state.cache.stats().misses;
+
+        let (_, status, cold) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        assert_eq!(status, 200);
+        assert!(
+            cold.contains("\"counts\":[[1,4],[2,3],[3,2],[4,0]]"),
+            "{cold}"
+        );
+        // The sweep inserted the three missing artifacts (s = 1, 3, 4)
+        // and reused the primed s=2 one.
+        assert_eq!(state.cache.stats().entries, 4);
+        assert_eq!(state.cache.stats().misses, artifact_misses_before + 3);
+
+        // Every swept s now serves /slg warm...
+        for s in 1..=4 {
+            let (_, status, body) =
+                dispatch(state, &request(&format!("/datasets/paper/slg?s={s}")));
+            assert_eq!(status, 200);
+            assert!(body.contains("\"cache\":\"hit\""), "s={s}: {body}");
+        }
+        // ...and the swept artifacts are identical to /slg-built ones.
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=3"));
+        assert!(body.contains("\"edges\":[[0,2],[1,2]]"), "{body}");
+
+        // A repeated sweep is a metric-tier hit with a byte-identical body.
+        let (_, status, warm) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        assert_eq!(status, 200);
+        assert_eq!(cold, warm, "sweep bodies diverged");
+        assert!(state.metric_cache.stats().hits >= 1);
+        // A longer sweep reuses all four cached artifacts.
+        let (_, _, body) = dispatch(state, &request("/datasets/paper/sweep?max_s=6"));
+        assert!(body.contains("[4,0],[5,0],[6,0]"), "{body}");
+    }
+
+    #[test]
+    fn replacing_a_dataset_invalidates_both_tiers() {
+        let server = test_server();
+        let state = server.state();
+        let (_, _, triangle_bc) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, _, triangle_sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+        assert!(triangle_sweep.contains("\"counts\":[[1,4],[2,3]]"));
+
+        // Replace `paper` with a generated lesMis profile under the same
+        // name: every per-s result changes shape.
+        let mut req = request("/datasets?profile=lesMis&seed=1&name=paper");
+        req.method = "POST".to_string();
+        let (_, status, _) = dispatch(state, &req);
+        assert_eq!(status, 201);
+
+        let (_, status, new_bc) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
+        assert_eq!(status, 200);
+        assert_ne!(triangle_bc, new_bc, "stale betweenness served");
+        let (_, status, new_sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+        assert_eq!(status, 200);
+        assert_ne!(triangle_sweep, new_sweep, "stale sweep served");
+    }
+
+    #[test]
+    fn sweep_racing_replacement_never_pins_stale_artifacts() {
+        use hyperline_hypergraph::Hypergraph;
+        // The replacement hypergraph (two copies of {0, 1}) has sweep
+        // counts [[1,1],[2,1]] vs the paper example's [[1,4],[2,3]].
+        let replacement = || Hypergraph::from_edge_lists(&[vec![0, 1], vec![0, 1]], 2);
+        for _ in 0..20 {
+            let server = test_server();
+            let state = server.state();
+            std::thread::scope(|scope| {
+                let sweeper =
+                    scope.spawn(|| dispatch(state, &request("/datasets/paper/sweep?max_s=2")));
+                // Replace mid-flight (whichever side wins the race, the
+                // invariant below must hold).
+                state
+                    .registry
+                    .insert("paper", replacement(), DatasetSource::Inline);
+                state.invalidate_dataset("paper");
+                let (_, status, _) = sweeper.join().unwrap();
+                assert_eq!(status, 200);
+            });
+            // After the replacement, served artifacts and sweep counts
+            // must reflect the new dataset — a stale pinned per-s entry
+            // would surface here.
+            let (_, _, sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+            assert!(sweep.contains("\"counts\":[[1,1],[2,1]]"), "{sweep}");
+            let (_, _, slg) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+            assert!(slg.contains("\"edges\":[[0,1]]"), "{slg}");
+        }
+    }
+
+    #[test]
+    fn batch_query_answers_subqueries_with_per_item_errors() {
+        let server = test_server();
+        let state = server.state();
+        let mut req = request("/query");
+        req.method = "POST".to_string();
+        req.body = br#"[
+            {"dataset":"paper","op":"stats"},
+            {"dataset":"paper","op":"slg","s":2,"limit":2},
+            {"dataset":"paper","op":"betweenness","s":2,"top":1},
+            {"dataset":"ghost","op":"stats"},
+            {"dataset":"paper","op":"sweep","max_s":2},
+            {"dataset":"paper","op":"slg","s":0}
+        ]"#
+        .to_vec();
+        let (route, status, body) = dispatch(state, &req);
+        assert_eq!((route, status), (Route::Query, 200), "{body}");
+        assert!(body.contains("\"count\":6"), "{body}");
+        assert!(body.contains("\"hyperedges\":4"), "{body}");
+        assert!(body.contains("\"truncated\":true"), "{body}");
+        assert!(body.contains("\"ranking\""), "{body}");
+        assert!(body.contains(r#"no dataset named \"ghost\""#), "{body}");
+        // Failed items carry their identifying tags for correlation.
+        assert!(
+            body.contains("\"dataset\":\"ghost\",\"op\":\"stats\""),
+            "{body}"
+        );
+        assert!(body.contains("\"counts\":[[1,4],[2,3]]"), "{body}");
+        assert!(body.contains("s must be at least 1"), "{body}");
+        // Batch items populate the same tiers as GETs: this betweenness
+        // request is now warm.
+        assert!(state.metric_cache.stats().misses >= 1);
+        let (_, status, single) =
+            dispatch(state, &request("/datasets/paper/betweenness?s=2&top=1"));
+        assert_eq!(status, 200);
+        assert!(single.contains("\"ranking\""));
+        assert!(state.metric_cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn batch_query_rejects_malformed_bodies() {
+        let server = test_server();
+        let state = server.state();
+        let bodies: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"not json".to_vec(),
+            b"{\"dataset\":\"paper\"}".to_vec(), // object, not array
+            b"[]".to_vec(),
+            b"[1,2]".to_vec(),                // items must be objects
+            b"[{\"op\":\"stats\"}]".to_vec(), // missing dataset (per-item)
+            format!(
+                "[{}]",
+                vec!["{\"dataset\":\"paper\",\"op\":\"stats\"}"; 65].join(",")
+            )
+            .into_bytes(),
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let mut req = request("/query");
+            req.method = "POST".to_string();
+            req.body = body;
+            let (_, status, response) = dispatch(state, &req);
+            if i == 4 || i == 5 {
+                // Item-level failures: the batch succeeds, the item errors.
+                assert_eq!(status, 200, "case {i}: {response}");
+                assert!(response.contains("\"error\""), "case {i}: {response}");
+            } else {
+                assert_eq!(status, 400, "case {i}: {response}");
+            }
+        }
+        // Wrong method on /query is 405.
+        let (_, status, _) = dispatch(state, &request("/query"));
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn metrics_report_both_tiers() {
+        let server = test_server();
+        let state = server.state();
+        let (_, _, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, _, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, status, body) = dispatch(state, &request("/metrics"));
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"cache\":{\"artifacts\":{\"hits\":0,\"misses\":1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"metrics\":{\"hits\":1,\"misses\":1"),
+            "{body}"
+        );
+        assert!(body.contains("\"query\":{\"requests\":0"), "{body}");
     }
 
     #[test]

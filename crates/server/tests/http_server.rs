@@ -24,13 +24,18 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
 }
 
 fn post(addr: SocketAddr, target: &str) -> (u16, String) {
+    post_body(addr, target, "")
+}
+
+fn post_body(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: 0\r\n\r\n"
+        "POST {target} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
     )
     .expect("send request");
     let mut raw = String::new();
@@ -228,7 +233,7 @@ fn metrics_reflect_traffic_and_cache_state() {
     let (status, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     assert!(
-        body.contains("\"cache\":{\"hits\":2,\"misses\":1"),
+        body.contains("\"artifacts\":{\"hits\":2,\"misses\":1"),
         "{body}"
     );
     assert!(body.contains("\"endpoints\""), "{body}");
@@ -256,6 +261,117 @@ fn malformed_requests_get_400_and_close() {
     let mut raw = String::new();
     stream.read_to_string(&mut raw).unwrap();
     assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    handle.shutdown();
+}
+
+/// Acceptance: warm `/sweep?max_s=8` and warm `/betweenness` are each
+/// ≥ 5× faster than cold, repeated identical requests return
+/// byte-identical bodies, and the metric-tier hits are visible in
+/// `/metrics`.
+#[test]
+fn warm_sweep_and_betweenness_are_five_times_faster() {
+    let (handle, name) = start_server("genomics", 4);
+    let addr = handle.addr();
+
+    let timed = |target: &str| {
+        let cold_started = Instant::now();
+        let (status, cold_body) = get(addr, target);
+        let cold = cold_started.elapsed();
+        assert_eq!(status, 200, "{target}: {cold_body}");
+        let mut warm_times: Vec<Duration> = Vec::new();
+        for _ in 0..7 {
+            let started = Instant::now();
+            let (status, warm_body) = get(addr, target);
+            warm_times.push(started.elapsed());
+            assert_eq!(status, 200);
+            assert_eq!(
+                cold_body, warm_body,
+                "{target}: repeated responses diverged"
+            );
+        }
+        warm_times.sort();
+        let warm = warm_times[warm_times.len() / 2];
+        assert!(
+            cold >= warm * 5,
+            "{target}: cold {cold:?} vs warm {warm:?}: expected ≥ 5× speedup"
+        );
+    };
+
+    timed(&format!("/datasets/{name}/sweep?max_s=8"));
+    timed(&format!("/datasets/{name}/betweenness?s=2&top=10"));
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // 16 requests, 2 metric-tier computes: 14 hits.
+    assert!(
+        body.contains("\"metrics\":{\"hits\":14,\"misses\":2"),
+        "{body}"
+    );
+    handle.shutdown();
+}
+
+/// Acceptance: `POST /query` answers a batch of sub-queries in one
+/// round-trip, reporting failures per item.
+#[test]
+fn batch_query_over_tcp() {
+    let (handle, name) = start_server("lesMis", 2);
+    let addr = handle.addr();
+    let body = format!(
+        r#"[{{"dataset":"{name}","op":"stats"}},
+            {{"dataset":"{name}","op":"sweep","max_s":3}},
+            {{"dataset":"{name}","op":"slg","s":2,"limit":4}},
+            {{"dataset":"{name}","op":"betweenness","s":2,"top":3}},
+            {{"dataset":"ghost","op":"stats"}}]"#
+    );
+    let (status, response) = post_body(addr, "/query", &body);
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"count\":5"), "{response}");
+    assert!(response.contains("\"hyperedges\":400"), "{response}");
+    assert!(response.contains("\"counts\":[[1,"), "{response}");
+    assert!(response.contains("\"ranking\""), "{response}");
+    assert!(response.contains("\"error\""), "{response}");
+
+    // The batch populated both tiers: the equivalent GETs are warm.
+    let (status, body) = get(addr, &format!("/datasets/{name}/slg?s=2&limit=4"));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"cache\":\"hit\""), "{body}");
+
+    // A malformed body is a 400 for the whole batch.
+    let (status, response) = post_body(addr, "/query", "this is not json");
+    assert_eq!(status, 400);
+    assert!(response.contains("error"), "{response}");
+    handle.shutdown();
+}
+
+/// Percent-encoded paths and query values resolve to the same resources
+/// (and the same cache keys) as their literal spellings.
+#[test]
+fn percent_encoded_requests_resolve() {
+    let (handle, name) = start_server("lesMis", 2);
+    let addr = handle.addr();
+
+    let (status, plain) = get(addr, &format!("/datasets/{name}/slg?s=2&limit=4"));
+    assert_eq!(status, 200);
+    assert!(plain.contains("\"cache\":\"miss\""), "{plain}");
+    // `%32` is '2'; the encoded spelling must hit the artifact the plain
+    // one cached (same key), not mint a new one.
+    let (status, encoded) = get(addr, &format!("/datasets/{name}/slg?s=%32&limit=4"));
+    assert_eq!(status, 200);
+    assert!(encoded.contains("\"cache\":\"hit\""), "{encoded}");
+    assert_eq!(
+        plain.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+        encoded
+    );
+    // The dataset name is decodable in the path position too.
+    let encoded_name: String = name.bytes().map(|b| format!("%{b:02x}")).collect();
+    let (status, _) = get(addr, &format!("/datasets/{encoded_name}/stats"));
+    assert_eq!(status, 200);
+
+    // Invalid escapes are a 400, not a silent passthrough.
+    let (status, body) = get(addr, &format!("/datasets/{name}/slg?s=%zz"));
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = get(addr, "/datasets/bad%2name/stats");
+    assert_eq!(status, 400);
     handle.shutdown();
 }
 

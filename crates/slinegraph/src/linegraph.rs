@@ -128,6 +128,25 @@ impl SLineGraph {
         out
     }
 
+    /// Approximate s-betweenness centrality from `samples` sampled BFS
+    /// sources (Brandes–Pich), deterministic in `(samples, seed)`:
+    /// `(original hyperedge ID, score)`, sorted by descending score.
+    /// Scores estimate the exact normalized values; sampling all sources
+    /// matches [`SLineGraph::betweenness`] up to floating-point
+    /// summation order (not bit-identically — the sampled sweep sums
+    /// over a permuted source list).
+    pub fn betweenness_sampled(&self, samples: usize, seed: u64) -> Vec<(u32, f64)> {
+        let mut scores = betweenness::betweenness_sampled(&self.graph, samples, seed);
+        betweenness::normalize(&mut scores);
+        let mut out: Vec<(u32, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(v, score)| (self.original_id(v as u32), score))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// s-distance between two hyperedges (original IDs): length of the
     /// shortest s-walk, `None` if not s-connected (or either hyperedge
     /// has no s-line edges).
@@ -218,6 +237,24 @@ mod tests {
         assert_eq!(bc[0].0, 20);
         assert!(bc[0].1 > 0.0);
         assert_eq!(bc[1].1, 0.0);
+    }
+
+    #[test]
+    fn sampled_betweenness_full_sampling_is_exact() {
+        let slg = SLineGraph::new_squeezed(
+            1,
+            100,
+            vec![(10, 20), (20, 30), (30, 40), (40, 50), (20, 40)],
+        );
+        let exact = slg.betweenness();
+        let sampled = slg.betweenness_sampled(slg.num_vertices(), 7);
+        assert_eq!(exact.len(), sampled.len());
+        for ((e1, s1), (e2, s2)) in exact.iter().zip(&sampled) {
+            assert_eq!(e1, e2);
+            assert!((s1 - s2).abs() < 1e-9, "{e1}: {s1} vs {s2}");
+        }
+        // Deterministic in (samples, seed).
+        assert_eq!(slg.betweenness_sampled(2, 9), slg.betweenness_sampled(2, 9));
     }
 
     #[test]

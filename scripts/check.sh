@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Pre-merge gate: formatting, lints, release build, full test suite.
+# Pre-merge gate: formatting, lints, release build, full test suite, and
+# the server smoke benchmark (cold vs warm cache latencies).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,5 +16,8 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> server smoke benchmark (cold vs warm -> BENCH_server.json)"
+cargo run --release -q -p hyperline-bench --bin server_smoke
 
 echo "All checks passed."

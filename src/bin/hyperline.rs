@@ -9,7 +9,7 @@
 //! hyperline stats      <file>                    input characteristics
 //! hyperline slg        <file> --s=8 [--out=f]    s-line graph edge list
 //! hyperline components <file> --s=8              s-connected components
-//! hyperline between    <file> --s=8 [--top=10]   s-betweenness ranking
+//! hyperline between    <file> --s=8 [--top=10] [--samples=64]  s-betweenness ranking
 //! hyperline spectrum   <file> --s=8              algebraic connectivity
 //! hyperline sweep      <file> --max-s=16         |E(L_s)| for s = 1..max
 //! hyperline gen        <profile> --out=<f>       write a synthetic dataset
@@ -29,15 +29,16 @@ fn usage() -> ExitCode {
          stats      <file>                      input characteristics\n  \
          slg        <file> --s=N [--out=FILE]   s-line graph edge list\n  \
          components <file> --s=N                s-connected components\n  \
-         between    <file> --s=N [--top=K]      s-betweenness ranking\n  \
+         between    <file> --s=N [--top=K] [--samples=K] s-betweenness ranking (sampled if --samples)\n  \
          spectrum   <file> --s=N                normalized algebraic connectivity\n  \
          sweep      <file> [--max-s=N]          edge counts for s = 1..N\n  \
          draw       <file> --s=N [--out=FILE]   weighted s-line graph as Graphviz DOT\n  \
          gen        <profile> --out=FILE        write a synthetic dataset\n  \
          serve      <file|profile:NAME>... [--port=7878] [--threads=N]\n  \
                     [--cache-mb=256] [--queue=1024] [--seed=N] [--data-root=DIR]\n  \
-                    concurrent HTTP/1.1 JSON query server with an\n  \
-                    s-line-graph cache (GET / lists the endpoints;\n  \
+                    concurrent HTTP/1.1 JSON query server with a\n  \
+                    two-tier (artifact + Stage-5 metric) cache and\n  \
+                    batched POST /query (GET / lists the endpoints;\n  \
                     --data-root sandboxes POST /datasets?path= loading)\n\
          common flags: --pairs (input is `edge vertex` lines), --seed=N, --sclique\n\
          profiles: {}",
@@ -163,8 +164,17 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             };
             let top: usize = opt("top", 10);
+            // --samples=K switches to the Brandes–Pich approximation
+            // (deterministic in --seed), for large line graphs where only
+            // the top ranking matters.
+            let samples: usize = opt("samples", 0);
             let slg = build(&h, s);
-            for (e, score) in slg.betweenness().into_iter().take(top) {
+            let ranking = if samples == 0 {
+                slg.betweenness()
+            } else {
+                slg.betweenness_sampled(samples, opt("seed", 42))
+            };
+            for (e, score) in ranking.into_iter().take(top) {
                 println!("{e}\t{score:.6}");
             }
         }
