@@ -1,46 +1,70 @@
 //! Server smoke benchmark: cold vs warm latency of the cache-backed
-//! endpoints, recorded to `BENCH_server.json`.
+//! endpoints plus bytes-on-wire of the streamed edge-list path,
+//! recorded to `BENCH_server.json`.
 //!
 //! Starts a real `hyperline-server` on an ephemeral port, loads a
 //! generator profile, and measures — over raw TCP, like a client —
 //! the cold (first, cache-miss) and warm (repeated, metric-tier hit)
 //! latencies of `/sweep?max_s=8` and `/betweenness?s=2`, plus a warm
-//! `/slg` artifact-tier read. The JSON report is the bench trajectory's
-//! record of the two-tier cache's effect; `scripts/check.sh` runs this
-//! after the test suite.
+//! `/slg` artifact-tier read. A second section fetches the **full**
+//! (un-`limit`ed) edge list cold and warm, with and without
+//! `Accept-Encoding: gzip`, recording body bytes on the wire and the
+//! peak-RSS proxy of each path: the streamed response renders through
+//! fixed-size writer buffers, versus the body-sized buffer the old
+//! render-then-send path would have allocated. The JSON report is the
+//! bench trajectory's record of the cache + transport behavior;
+//! `scripts/check.sh` runs this after the test suite.
 //!
 //! `cargo run -p hyperline-bench --release --bin server_smoke`
 //! Options: `--profile=genomics --seed=42 --reps=9 --out=BENCH_server.json`
 
 use hyperline_bench::{arg, print_header};
-use hyperline_server::{Server, ServerConfig};
+use hyperline_server::{gzip, http, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// One `Connection: close` GET; returns `(status, body)`.
-fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+/// One GET with optional extra headers; returns the raw response bytes.
+fn get_raw(addr: SocketAddr, target: &str, extra_headers: &str) -> Vec<u8> {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .unwrap();
     write!(
         stream,
-        "GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n"
+        "GET {target} HTTP/1.1\r\nhost: bench\r\n{extra_headers}connection: close\r\n\r\n"
     )
     .expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    raw
+}
+
+/// One `Connection: close` GET; returns `(status, body)` with chunked
+/// bodies reassembled.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let raw = get_raw(addr, target, "");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    let body = if head
+        .lines()
+        .any(|l| l.eq_ignore_ascii_case("transfer-encoding: chunked"))
+    {
+        String::from_utf8(dechunk(body.as_bytes())).expect("UTF-8 chunked body")
+    } else {
+        body.to_string()
+    };
     (status, body)
+}
+
+/// Reassembles a chunked body (shared strict helper, unwrapped).
+fn dechunk(body: &[u8]) -> Vec<u8> {
+    hyperline_server::http::dechunk(body).expect("well-formed chunked body")
 }
 
 /// Cold latency + median warm latency (of `reps` repeats) for `target`,
@@ -115,6 +139,56 @@ fn main() {
     let (sweep_cold, sweep_warm) = measure(addr, &format!("/datasets/{name}/sweep?max_s=8"), reps);
     let (bc_cold, bc_warm) = measure(addr, &format!("/datasets/{name}/betweenness?s=2"), reps);
 
+    // Wire section: the full (un-`limit`ed) edge list, cold and warm,
+    // identity and gzip, on a second dataset instance so the cold
+    // request genuinely builds its artifact.
+    let wire_name = handle
+        .state()
+        .registry
+        .load_profile(&profile, seed + 1, Some("wire"))
+        .expect("load wire profile");
+    let wire_target = format!("/datasets/{wire_name}/slg?s=2&limit=1000000000");
+    let split_body = |raw: &[u8]| -> Vec<u8> {
+        let boundary = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head/body boundary");
+        dechunk(&raw[boundary + 4..])
+    };
+    let started = Instant::now();
+    let _ = get_raw(addr, &wire_target, "");
+    let wire_cold = started.elapsed().as_secs_f64() * 1e6;
+    let started = Instant::now();
+    let warm_raw = get_raw(addr, &wire_target, "");
+    let wire_warm = started.elapsed().as_secs_f64() * 1e6;
+    let identity_body = split_body(&warm_raw);
+    let started = Instant::now();
+    let gzip_raw = get_raw(addr, &wire_target, "accept-encoding: gzip\r\n");
+    let wire_warm_gzip = started.elapsed().as_secs_f64() * 1e6;
+    let gzip_body = split_body(&gzip_raw);
+    let decoded = gzip::decode(&gzip_body).expect("valid gzip body");
+    assert_eq!(
+        decoded, identity_body,
+        "gzip body must round-trip byte-identical"
+    );
+    let gzip_ratio = identity_body.len() as f64 / gzip_body.len() as f64;
+    // Peak-RSS proxy of the response path: the streamed writer stack
+    // buffers one chunk frame + one gzip block + its bit buffer, versus
+    // the body-sized String the buffered path would allocate.
+    let streamed_buffer_bytes = http::CHUNK_BYTES + gzip::BLOCK_BYTES + 4096;
+    println!(
+        "slg-full       cold {:>10.0} us   warm {:>8.0} us   gzip-warm {:>8.0} us",
+        wire_cold, wire_warm, wire_warm_gzip
+    );
+    println!(
+        "wire bytes     identity {:>9}   gzip {:>9}   ratio {:>6.2}x   body-buffer {} B (streamed) vs {} B (buffered)",
+        identity_body.len(),
+        gzip_body.len(),
+        gzip_ratio,
+        streamed_buffer_bytes,
+        identity_body.len(),
+    );
+
     let (status, metrics) = get(addr, "/metrics");
     assert_eq!(status, 200);
     let report = Json::obj()
@@ -128,6 +202,23 @@ fn main() {
                 endpoint_report("sweep", sweep_cold, sweep_warm),
                 endpoint_report("betweenness", bc_cold, bc_warm),
             ]),
+        )
+        .set(
+            "wire",
+            Json::obj()
+                .set("endpoint", "slg-full")
+                .set("dataset", wire_name.as_str())
+                .set("cold_micros", wire_cold)
+                .set("warm_micros_identity", wire_warm)
+                .set("warm_micros_gzip", wire_warm_gzip)
+                .set("body_bytes_identity", identity_body.len())
+                .set("body_bytes_gzip", gzip_body.len())
+                .set("wire_bytes_identity_total", warm_raw.len())
+                .set("wire_bytes_gzip_total", gzip_raw.len())
+                .set("gzip_ratio", gzip_ratio)
+                .set("streamed", true)
+                .set("peak_body_buffer_bytes_streamed", streamed_buffer_bytes)
+                .set("peak_body_buffer_bytes_buffered", identity_body.len()),
         );
     std::fs::write(&out, report.render()).expect("write report");
     println!("\nwrote {out}");

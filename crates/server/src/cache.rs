@@ -13,7 +13,11 @@
 //!   kernels entirely.
 //!
 //! Values are held behind `Arc` so eviction never invalidates an
-//! in-flight response. Three guarantees matter under concurrency:
+//! in-flight response — and so responses can **stream** straight from a
+//! cached value: a streamed edge-list body holds the `Arc<Artifact>`
+//! and renders it into the socket at write time, never materializing a
+//! body-sized buffer (see `server::EdgeRows` and [`crate::json`]'s
+//! `StreamFragment`). Three guarantees matter under concurrency:
 //!
 //! * **LRU under a byte budget** — inserting past the budget evicts the
 //!   least-recently-used entries first (the newest entry is kept even if

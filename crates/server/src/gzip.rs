@@ -1,0 +1,1132 @@
+//! A std-only streaming gzip encoder (RFC 1951/1952), plus a strict
+//! decoder for tests and benchmarks.
+//!
+//! The server negotiates `Accept-Encoding: gzip` for its streamed
+//! responses (large edge lists render straight from cached artifacts),
+//! so the encoder is a [`std::io::Write`] adapter with **bounded
+//! buffering**: input is compressed in independent 32 KiB blocks using
+//! LZ77 matching over a hash-chain table (greedy with one-position lazy
+//! evaluation, like zlib's fast levels). Each block is then emitted in
+//! whichever DEFLATE representation is smallest for its actual symbol
+//! frequencies — **dynamic Huffman** (`BTYPE=10`, the usual winner on
+//! JSON, whose digit-heavy literals cost ~4 bits instead of fixed's 8),
+//! fixed Huffman (`BTYPE=01`), or stored (`BTYPE=00`, incompressible
+//! input). Everything is hand-rolled on `std` — the same vendoring
+//! philosophy as the in-tree `rand`/`proptest`/`criterion` stand-ins.
+//!
+//! Layering: the response writer stacks `json → GzipWriter →
+//! ChunkedWriter → socket`, so compressed bytes are chunk-framed
+//! (`Transfer-Encoding` is applied over `Content-Encoding`).
+
+use std::io::{self, Write};
+
+/// Uncompressed bytes buffered per DEFLATE block. 32 KiB keeps every
+/// match distance within the format's window without tracking a sliding
+/// window across blocks, which is what bounds the encoder's memory.
+pub const BLOCK_BYTES: usize = 32 * 1024;
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 14;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many previous candidate positions a match search visits.
+const CHAIN_DEPTH: usize = 128;
+const NO_POS: u32 = u32::MAX;
+
+/// Literal/length alphabet size (symbols 286/287 are reserved).
+const NUM_LITLEN: usize = 286;
+/// Distance alphabet size.
+const NUM_DIST: usize = 30;
+/// Code-length alphabet size (for the dynamic-block header).
+const NUM_CL: usize = 19;
+/// Longest allowed litlen/dist code.
+const MAX_CODE_BITS: usize = 15;
+/// Longest allowed code-length code.
+const MAX_CL_BITS: usize = 7;
+/// Transmission order of code-length code lengths (RFC 1951 §3.2.7).
+const CL_ORDER: [usize; NUM_CL] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// `(base length, extra bits)` for length codes 257..=285 (RFC 1951 §3.2.5).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// `(base distance, extra bits)` for distance codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+};
+
+fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Bit-level output
+// ---------------------------------------------------------------------
+
+/// LSB-first bit packer feeding an inner [`Write`] through a small
+/// fixed-size byte buffer (DEFLATE packs bits least-significant-first;
+/// Huffman codes go in bit-reversed).
+struct BitWriter<W: Write> {
+    inner: W,
+    bitbuf: u64,
+    nbits: u32,
+    out: Vec<u8>,
+}
+
+impl<W: Write> BitWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            bitbuf: 0,
+            nbits: 0,
+            out: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Appends `count` bits of `value`, LSB first.
+    fn write_bits(&mut self, value: u32, count: u32) -> io::Result<()> {
+        debug_assert!(count <= 16 && u64::from(value) < (1u64 << count));
+        self.bitbuf |= u64::from(value) << self.nbits;
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.out.push((self.bitbuf & 0xff) as u8);
+            self.bitbuf >>= 8;
+            self.nbits -= 8;
+        }
+        if self.out.len() >= 4096 - 8 {
+            self.inner.write_all(&self.out)?;
+            self.out.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends a Huffman code, which the format stores MSB-first.
+    fn write_code(&mut self, code: u32, count: u32) -> io::Result<()> {
+        self.write_bits(code.reverse_bits() >> (32 - count), count)
+    }
+
+    /// Pads the current byte with zero bits.
+    fn align_byte(&mut self) -> io::Result<()> {
+        if self.nbits > 0 {
+            self.write_bits(0, 8 - self.nbits)?;
+        }
+        Ok(())
+    }
+
+    /// Writes raw bytes (caller must be byte-aligned).
+    fn write_bytes(&mut self, data: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(self.nbits, 0);
+        self.inner.write_all(&self.out)?;
+        self.out.clear();
+        self.inner.write_all(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.write_all(&self.out)?;
+        self.out.clear();
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// LZ77 tokenization
+// ---------------------------------------------------------------------
+
+/// One LZ77 token, packed: bit 23 set = match with `len - 3` in bits
+/// 15..23 and `dist - 1` in bits 0..15; otherwise a literal byte.
+type Token = u32;
+const MATCH_FLAG: u32 = 1 << 23;
+
+fn literal_token(byte: u8) -> Token {
+    u32::from(byte)
+}
+
+fn match_token(len: usize, dist: usize) -> Token {
+    MATCH_FLAG | (((len - MIN_MATCH) as u32) << 15) | ((dist - 1) as u32)
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// The litlen symbol + extra bits of a match length.
+fn length_code(len: usize) -> (usize, u32, u32) {
+    let li = LENGTH_BASE
+        .iter()
+        .rposition(|&b| usize::from(b) <= len)
+        .expect("length >= 3");
+    (
+        257 + li,
+        (len - usize::from(LENGTH_BASE[li])) as u32,
+        LENGTH_EXTRA[li],
+    )
+}
+
+/// The distance symbol + extra bits of a match distance.
+fn dist_code(dist: usize) -> (usize, u32, u32) {
+    let di = DIST_BASE
+        .iter()
+        .rposition(|&b| usize::from(b) <= dist)
+        .expect("distance >= 1");
+    (
+        di,
+        (dist - usize::from(DIST_BASE[di])) as u32,
+        DIST_EXTRA[di],
+    )
+}
+
+/// Greedy LZ77 with one-position lazy evaluation over a hash-chain
+/// table, confined to `data` (so every distance fits the window).
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    fn insert(data: &[u8], head: &mut [u32; HASH_SIZE], prev: &mut [u32], i: usize) {
+        let h = hash3(data, i);
+        prev[i] = head[h];
+        head[h] = i as u32;
+    }
+
+    /// Longest match for position `i` among the hash chain's candidates.
+    fn find_match(data: &[u8], head: &[u32; HASH_SIZE], prev: &[u32], i: usize) -> (usize, usize) {
+        let (mut best_len, mut best_dist) = (0usize, 0usize);
+        if i + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let limit = (data.len() - i).min(MAX_MATCH);
+        let mut cand = head[hash3(data, i)];
+        let mut depth = CHAIN_DEPTH;
+        while cand != NO_POS && depth > 0 {
+            let c = cand as usize;
+            let mut l = 0;
+            while l < limit && data[c + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - c;
+                if l == limit {
+                    break;
+                }
+            }
+            cand = prev[c];
+            depth -= 1;
+        }
+        (best_len, best_dist)
+    }
+
+    let mut tokens = Vec::with_capacity(data.len() / 3 + 16);
+    let mut head = [NO_POS; HASH_SIZE];
+    let mut prev = vec![NO_POS; data.len()];
+    // Last position with MIN_MATCH bytes left to hash (exclusive).
+    let hashable = data.len().saturating_sub(MIN_MATCH - 1);
+    let mut i = 0;
+    while i < data.len() {
+        let (mut best_len, mut best_dist) = find_match(data, &head, &prev, i);
+        if best_len >= MIN_MATCH {
+            // Lazy evaluation: when the next position matches longer,
+            // emit this byte as a literal and take the later match.
+            if i < hashable {
+                insert(data, &mut head, &mut prev, i);
+                let (next_len, next_dist) = find_match(data, &head, &prev, i + 1);
+                if next_len > best_len {
+                    tokens.push(literal_token(data[i]));
+                    i += 1;
+                    (best_len, best_dist) = (next_len, next_dist);
+                    if i < hashable {
+                        insert(data, &mut head, &mut prev, i);
+                    }
+                }
+            }
+            tokens.push(match_token(best_len, best_dist));
+            let next = i + best_len;
+            // The match head is already hashed above; chain the rest.
+            i += 1;
+            while i < next.min(hashable) {
+                insert(data, &mut head, &mut prev, i);
+                i += 1;
+            }
+            i = next;
+        } else {
+            tokens.push(literal_token(data[i]));
+            if i < hashable {
+                insert(data, &mut head, &mut prev, i);
+            }
+            i += 1;
+        }
+    }
+    tokens
+}
+
+// ---------------------------------------------------------------------
+// Huffman code construction
+// ---------------------------------------------------------------------
+
+/// Computes length-limited Huffman code lengths for `freqs` (zlib's
+/// `gen_bitlen` overflow redistribution keeps every length ≤ `max_bits`
+/// while preserving a complete Kraft sum). A lone used symbol gets
+/// length 1 — the one-code special case DEFLATE permits.
+fn huffman_lengths(freqs: &[u32], max_bits: usize) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let mut used: Vec<usize> = (0..n).filter(|&s| freqs[s] > 0).collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Build the Huffman tree bottom-up over (freq, node) pairs; ties
+    // break on node index so output is deterministic.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = used
+        .iter()
+        .map(|&s| std::cmp::Reverse((u64::from(freqs[s]), s)))
+        .collect();
+    let mut parent = vec![usize::MAX; n + used.len()];
+    let mut next_node = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().unwrap();
+        let std::cmp::Reverse((fb, b)) = heap.pop().unwrap();
+        parent[a] = next_node;
+        parent[b] = next_node;
+        heap.push(std::cmp::Reverse((fa + fb, next_node)));
+        next_node += 1;
+    }
+    let root = heap.pop().unwrap().0 .1;
+    // Leaf depths by walking parent links (tree height ≤ used.len());
+    // the count array spans tree depths *and* the 1..=max_bits range the
+    // redistribution and assignment loops index.
+    let mut bl_count = vec![0usize; used.len().max(max_bits) + 1];
+    for &sym in &used {
+        let mut depth = 0;
+        let mut node = sym;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        bl_count[depth.min(max_bits)] += 1;
+    }
+    // Clamping over-deep leaves to max_bits overfills the code: the
+    // Kraft sum K = Σ count[bits]·2^(max_bits − bits) exceeds 2^max_bits
+    // by an integer excess. Each redistribution step (zlib gen_bitlen)
+    // splits a leaf above the limit into two children one level down and
+    // adopts one max-length leaf as the sibling, which frees exactly one
+    // unit — so driving the measured excess to zero restores a complete
+    // code.
+    let kraft: u64 = (1..=max_bits)
+        .map(|bits| (bl_count[bits] as u64) << (max_bits - bits))
+        .sum();
+    let mut excess = kraft - (1u64 << max_bits);
+    while excess > 0 {
+        let mut bits = max_bits - 1;
+        while bl_count[bits] == 0 {
+            bits -= 1;
+        }
+        bl_count[bits] -= 1;
+        bl_count[bits + 1] += 2;
+        bl_count[max_bits] -= 1;
+        excess -= 1;
+    }
+    // Reassign the length multiset: least frequent symbols get the
+    // longest codes (stable on symbol index for determinism).
+    used.sort_by_key(|&s| (freqs[s], s));
+    let mut slot = 0;
+    for bits in (1..=max_bits).rev() {
+        for _ in 0..bl_count[bits] {
+            lengths[used[slot]] = bits as u8;
+            slot += 1;
+        }
+    }
+    debug_assert_eq!(slot, used.len());
+    debug_assert_eq!(
+        used.iter()
+            .map(|&s| 1u64 << (max_bits - lengths[s] as usize))
+            .sum::<u64>(),
+        1u64 << max_bits,
+        "code must be complete"
+    );
+    lengths
+}
+
+/// Canonical codes (MSB-first) for a length assignment.
+fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let mut bl_count = [0u16; MAX_CODE_BITS + 1];
+    for &l in lengths {
+        bl_count[usize::from(l)] += 1;
+    }
+    bl_count[0] = 0;
+    let mut next_code = [0u16; MAX_CODE_BITS + 2];
+    let mut code = 0u16;
+    for bits in 1..=MAX_CODE_BITS {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[usize::from(l)];
+                next_code[usize::from(l)] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// The fixed litlen code lengths (RFC 1951 §3.2.6).
+fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    lengths[144..256].fill(9);
+    lengths[256..280].fill(7);
+    lengths
+}
+
+// ---------------------------------------------------------------------
+// Dynamic-block header (code-length RLE)
+// ---------------------------------------------------------------------
+
+/// One RLE item of the code-length stream: `(symbol, extra value,
+/// extra bits)`.
+type ClItem = (u8, u32, u32);
+
+/// Run-length encodes one lengths array with the code-length alphabet
+/// (16 = repeat previous 3–6, 17 = zeros 3–10, 18 = zeros 11–138),
+/// accumulating symbol frequencies for the CL Huffman code.
+fn rle_lengths(lengths: &[u8], items: &mut Vec<ClItem>, cl_freqs: &mut [u32; NUM_CL]) {
+    let mut i = 0;
+    while i < lengths.len() {
+        let run_start = i;
+        let value = lengths[i];
+        while i < lengths.len() && lengths[i] == value {
+            i += 1;
+        }
+        let mut run = i - run_start;
+        if value == 0 {
+            while run >= 11 {
+                let take = run.min(138);
+                items.push((18, (take - 11) as u32, 7));
+                cl_freqs[18] += 1;
+                run -= take;
+            }
+            if run >= 3 {
+                items.push((17, (run - 3) as u32, 3));
+                cl_freqs[17] += 1;
+                run = 0;
+            }
+        } else {
+            // First occurrence is always spelled out; repeats pack.
+            items.push((value, 0, 0));
+            cl_freqs[usize::from(value)] += 1;
+            run -= 1;
+            while run >= 3 {
+                let take = run.min(6);
+                items.push((16, (take - 3) as u32, 2));
+                cl_freqs[16] += 1;
+                run -= take;
+            }
+        }
+        for _ in 0..run {
+            items.push((value, 0, 0));
+            cl_freqs[usize::from(value)] += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block emission
+// ---------------------------------------------------------------------
+
+/// Everything needed to emit one block's tokens under some code pair.
+struct CodePair {
+    litlen_lengths: Vec<u8>,
+    litlen_codes: Vec<u16>,
+    dist_lengths: Vec<u8>,
+    dist_codes: Vec<u16>,
+}
+
+/// Cost in bits of emitting `freqs`-distributed symbols under `lengths`
+/// (plus the per-symbol extra bits in `extra`).
+fn symbol_cost(freqs: &[u32], lengths: &[u8]) -> u64 {
+    freqs
+        .iter()
+        .zip(lengths)
+        .map(|(&f, &l)| u64::from(f) * u64::from(l))
+        .sum()
+}
+
+/// Compresses one block (`data.len() <= BLOCK_BYTES`), choosing the
+/// smallest of stored / fixed / dynamic representations.
+fn deflate_block<W: Write>(bits: &mut BitWriter<W>, data: &[u8], last: bool) -> io::Result<()> {
+    debug_assert!(data.len() <= BLOCK_BYTES);
+    let tokens = tokenize(data);
+
+    // Symbol frequencies (extra bits counted separately since they are
+    // representation-independent).
+    let mut litlen_freqs = vec![0u32; NUM_LITLEN];
+    let mut dist_freqs = vec![0u32; NUM_DIST];
+    let mut extra_cost = 0u64;
+    for &t in &tokens {
+        if t & MATCH_FLAG == 0 {
+            litlen_freqs[(t & 0xff) as usize] += 1;
+        } else {
+            let len = ((t >> 15) & 0xff) as usize + MIN_MATCH;
+            let dist = (t & 0x7fff) as usize + 1;
+            let (ls, _, le) = length_code(len);
+            let (ds, _, de) = dist_code(dist);
+            litlen_freqs[ls] += 1;
+            dist_freqs[ds] += 1;
+            extra_cost += u64::from(le) + u64::from(de);
+        }
+    }
+    litlen_freqs[256] += 1; // end-of-block
+
+    // Dynamic code construction + header cost.
+    let dyn_litlen = huffman_lengths(&litlen_freqs, MAX_CODE_BITS);
+    let dyn_dist = huffman_lengths(&dist_freqs, MAX_CODE_BITS);
+    let hlit = dyn_litlen
+        .iter()
+        .rposition(|&l| l > 0)
+        .unwrap_or(0)
+        .max(256)
+        + 1;
+    let hdist = dyn_dist.iter().rposition(|&l| l > 0).unwrap_or(0) + 1;
+    let mut cl_items: Vec<ClItem> = Vec::new();
+    let mut cl_freqs = [0u32; NUM_CL];
+    rle_lengths(&dyn_litlen[..hlit], &mut cl_items, &mut cl_freqs);
+    rle_lengths(&dyn_dist[..hdist], &mut cl_items, &mut cl_freqs);
+    let cl_lengths = huffman_lengths(&cl_freqs, MAX_CL_BITS);
+    let cl_codes = canonical_codes(&cl_lengths);
+    let hclen = CL_ORDER
+        .iter()
+        .rposition(|&s| cl_lengths[s] > 0)
+        .unwrap_or(3)
+        .max(3)
+        + 1;
+    let header_cost = 5
+        + 5
+        + 4
+        + 3 * hclen as u64
+        + cl_items
+            .iter()
+            .map(|&(s, _, eb)| u64::from(cl_lengths[usize::from(s)]) + u64::from(eb))
+            .sum::<u64>();
+    let dynamic_cost =
+        header_cost + symbol_cost(&litlen_freqs, &dyn_litlen) + symbol_cost(&dist_freqs, &dyn_dist);
+
+    // Fixed + stored costs for comparison (all exclude the 3 header bits
+    // common to every type; stored adds its byte-alignment padding).
+    let fixed_litlen = fixed_litlen_lengths();
+    let fixed_cost = symbol_cost(&litlen_freqs, &fixed_litlen)
+        + dist_freqs.iter().map(|&f| u64::from(f) * 5).sum::<u64>();
+    let stored_cost = 7 + 32 + 8 * data.len() as u64;
+
+    bits.write_bits(u32::from(last), 1)?; // BFINAL
+    if stored_cost < (dynamic_cost + extra_cost).min(fixed_cost + extra_cost) {
+        bits.write_bits(0b00, 2)?;
+        bits.align_byte()?;
+        let len = data.len() as u16;
+        bits.write_bytes(&len.to_le_bytes())?;
+        bits.write_bytes(&(!len).to_le_bytes())?;
+        bits.write_bytes(data)?;
+        return Ok(());
+    }
+
+    let pair = if dynamic_cost < fixed_cost {
+        bits.write_bits(0b10, 2)?;
+        bits.write_bits((hlit - 257) as u32, 5)?;
+        bits.write_bits((hdist - 1) as u32, 5)?;
+        bits.write_bits((hclen - 4) as u32, 4)?;
+        for &s in &CL_ORDER[..hclen] {
+            bits.write_bits(u32::from(cl_lengths[s]), 3)?;
+        }
+        for &(s, extra, extra_bits) in &cl_items {
+            let s = usize::from(s);
+            bits.write_code(u32::from(cl_codes[s]), u32::from(cl_lengths[s]))?;
+            if extra_bits > 0 {
+                bits.write_bits(extra, extra_bits)?;
+            }
+        }
+        let litlen_codes = canonical_codes(&dyn_litlen);
+        let dist_codes = canonical_codes(&dyn_dist);
+        CodePair {
+            litlen_lengths: dyn_litlen,
+            litlen_codes,
+            dist_lengths: dyn_dist,
+            dist_codes,
+        }
+    } else {
+        bits.write_bits(0b01, 2)?;
+        let litlen_codes = canonical_codes(&fixed_litlen);
+        let dist_lengths = vec![5u8; 32];
+        let dist_codes = canonical_codes(&dist_lengths);
+        CodePair {
+            litlen_lengths: fixed_litlen,
+            litlen_codes,
+            dist_lengths,
+            dist_codes,
+        }
+    };
+
+    for &t in &tokens {
+        if t & MATCH_FLAG == 0 {
+            let s = (t & 0xff) as usize;
+            bits.write_code(
+                u32::from(pair.litlen_codes[s]),
+                u32::from(pair.litlen_lengths[s]),
+            )?;
+        } else {
+            let len = ((t >> 15) & 0xff) as usize + MIN_MATCH;
+            let dist = (t & 0x7fff) as usize + 1;
+            let (ls, lextra, lbits) = length_code(len);
+            bits.write_code(
+                u32::from(pair.litlen_codes[ls]),
+                u32::from(pair.litlen_lengths[ls]),
+            )?;
+            if lbits > 0 {
+                bits.write_bits(lextra, lbits)?;
+            }
+            let (ds, dextra, dbits) = dist_code(dist);
+            bits.write_code(
+                u32::from(pair.dist_codes[ds]),
+                u32::from(pair.dist_lengths[ds]),
+            )?;
+            if dbits > 0 {
+                bits.write_bits(dextra, dbits)?;
+            }
+        }
+    }
+    bits.write_code(
+        u32::from(pair.litlen_codes[256]),
+        u32::from(pair.litlen_lengths[256]),
+    ) // end of block
+}
+
+// ---------------------------------------------------------------------
+// The streaming encoder
+// ---------------------------------------------------------------------
+
+/// A streaming gzip encoder: a [`Write`] adapter that compresses into
+/// its inner writer with bounded buffering (one [`BLOCK_BYTES`] input
+/// block plus a small bit buffer). Call [`GzipWriter::finish`] to flush
+/// the final block and trailer — dropping without finishing truncates
+/// the stream.
+pub struct GzipWriter<W: Write> {
+    bits: BitWriter<W>,
+    buf: Vec<u8>,
+    crc: u32,
+    total_in: u64,
+}
+
+impl<W: Write> GzipWriter<W> {
+    /// Starts a gzip stream on `inner` (writes the 10-byte header).
+    pub fn new(mut inner: W) -> io::Result<Self> {
+        // magic, CM=8 (deflate), FLG=0, MTIME=0 (deterministic output),
+        // XFL=0, OS=255 (unknown).
+        inner.write_all(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff])?;
+        Ok(Self {
+            bits: BitWriter::new(inner),
+            buf: Vec::with_capacity(BLOCK_BYTES),
+            crc: 0,
+            total_in: 0,
+        })
+    }
+
+    /// Compresses the final block (even when empty), writes the CRC32 +
+    /// length trailer, flushes, and returns the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        deflate_block(&mut self.bits, &self.buf, true)?;
+        self.bits.align_byte()?;
+        let mut trailer = [0u8; 8];
+        trailer[..4].copy_from_slice(&self.crc.to_le_bytes());
+        trailer[4..].copy_from_slice(&(self.total_in as u32).to_le_bytes());
+        self.bits.write_bytes(&trailer)?;
+        self.bits.flush()?;
+        Ok(self.bits.inner)
+    }
+}
+
+impl<W: Write> Write for GzipWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.crc = crc32_update(self.crc, data);
+        self.total_in += data.len() as u64;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = BLOCK_BYTES - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == BLOCK_BYTES {
+                let block = std::mem::take(&mut self.buf);
+                deflate_block(&mut self.bits, &block, false)?;
+                self.buf = block;
+                self.buf.clear();
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Pending block bytes cannot be emitted without ending a block;
+        // only the already-compressed output is flushed through.
+        self.bits.flush()
+    }
+}
+
+/// Compresses `data` to a complete in-memory gzip stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut gz = GzipWriter::new(Vec::new()).expect("Vec write cannot fail");
+    gz.write_all(data).expect("Vec write cannot fail");
+    gz.finish().expect("Vec write cannot fail")
+}
+
+// ---------------------------------------------------------------------
+// The decoder (tests + benchmarks)
+// ---------------------------------------------------------------------
+
+/// LSB-first bit reader over a byte slice (the decoder half).
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bitbuf: u32,
+    nbits: u32,
+}
+
+impl BitReader<'_> {
+    fn bit(&mut self) -> Result<u32, String> {
+        if self.nbits == 0 {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "truncated DEFLATE stream".to_string())?;
+            self.pos += 1;
+            self.bitbuf = u32::from(b);
+            self.nbits = 8;
+        }
+        let bit = self.bitbuf & 1;
+        self.bitbuf >>= 1;
+        self.nbits -= 1;
+        Ok(bit)
+    }
+
+    fn bits(&mut self, count: u32) -> Result<u32, String> {
+        let mut v = 0;
+        for k in 0..count {
+            v |= self.bit()? << k;
+        }
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        self.bitbuf = 0;
+        self.nbits = 0;
+    }
+}
+
+/// A canonical Huffman decode table: per-length symbol counts plus the
+/// symbols sorted by (length, symbol) — the bit-by-bit decode of
+/// Deutsch's `puff`.
+struct DecodeTable {
+    count: [u16; MAX_CODE_BITS + 1],
+    symbols: Vec<u16>,
+}
+
+impl DecodeTable {
+    fn build(lengths: &[u8]) -> Result<DecodeTable, String> {
+        let mut count = [0u16; MAX_CODE_BITS + 1];
+        for &l in lengths {
+            count[usize::from(l)] += 1;
+        }
+        count[0] = 0;
+        let mut symbols = Vec::with_capacity(lengths.len());
+        for bits in 1..=MAX_CODE_BITS as u8 {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == bits {
+                    symbols.push(sym as u16);
+                }
+            }
+        }
+        Ok(DecodeTable { count, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, String> {
+        let (mut code, mut first, mut index) = (0u32, 0u32, 0u32);
+        for bits in 1..=MAX_CODE_BITS {
+            code |= r.bit()?;
+            let count = u32::from(self.count[bits]);
+            if code < first + count {
+                return Ok(self.symbols[(index + code - first) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err("invalid Huffman code".to_string())
+    }
+}
+
+/// Reads a dynamic block's header into litlen + dist decode tables.
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(DecodeTable, DecodeTable), String> {
+    let hlit = r.bits(5)? as usize + 257;
+    let hdist = r.bits(5)? as usize + 1;
+    let hclen = r.bits(4)? as usize + 4;
+    let mut cl_lengths = [0u8; NUM_CL];
+    for &s in &CL_ORDER[..hclen] {
+        cl_lengths[s] = r.bits(3)? as u8;
+    }
+    let cl_table = DecodeTable::build(&cl_lengths)?;
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        match cl_table.decode(r)? {
+            s @ 0..=15 => lengths.push(s as u8),
+            16 => {
+                let &last = lengths.last().ok_or("repeat with no previous length")?;
+                let run = 3 + r.bits(2)? as usize;
+                lengths.resize(lengths.len() + run, last);
+            }
+            17 => {
+                let run = 3 + r.bits(3)? as usize;
+                lengths.resize(lengths.len() + run, 0);
+            }
+            18 => {
+                let run = 11 + r.bits(7)? as usize;
+                lengths.resize(lengths.len() + run, 0);
+            }
+            other => return Err(format!("invalid code-length symbol {other}")),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err("code-length repeat overran the header".to_string());
+    }
+    Ok((
+        DecodeTable::build(&lengths[..hlit])?,
+        DecodeTable::build(&lengths[hlit..])?,
+    ))
+}
+
+/// Inflates one Huffman-coded block into `out`.
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    litlen: &DecodeTable,
+    dist: &DecodeTable,
+) -> Result<(), String> {
+    loop {
+        let sym = litlen.decode(r)?;
+        match usize::from(sym) {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            s => {
+                let li = s - 257;
+                if li >= LENGTH_BASE.len() {
+                    return Err(format!("invalid length code {s}"));
+                }
+                let len = usize::from(LENGTH_BASE[li]) + r.bits(LENGTH_EXTRA[li])? as usize;
+                let di = usize::from(dist.decode(r)?);
+                if di >= DIST_BASE.len() {
+                    return Err(format!("invalid distance code {di}"));
+                }
+                let d = usize::from(DIST_BASE[di]) + r.bits(DIST_EXTRA[di])? as usize;
+                if d > out.len() {
+                    return Err("distance past start of output".to_string());
+                }
+                for _ in 0..len {
+                    out.push(out[out.len() - d]);
+                }
+            }
+        }
+    }
+}
+
+/// Decompresses a complete gzip stream (header + DEFLATE + trailer),
+/// verifying the CRC32 and length trailer. Supports stored, fixed- and
+/// dynamic-Huffman blocks. Used by the integration tests and the
+/// `server_smoke` benchmark to byte-compare compressed bodies against
+/// their buffered renderings.
+pub fn decode(stream: &[u8]) -> Result<Vec<u8>, String> {
+    if stream.len() < 18 || stream[0] != 0x1f || stream[1] != 0x8b || stream[2] != 8 {
+        return Err("not a gzip stream".to_string());
+    }
+    let flags = stream[3];
+    let mut pos = 10;
+    if flags & 0x04 != 0 {
+        // FEXTRA
+        let lo = *stream.get(pos).ok_or("truncated header")?;
+        let hi = *stream.get(pos + 1).ok_or("truncated header")?;
+        pos += 2 + (usize::from(lo) | (usize::from(hi) << 8));
+    }
+    for mask in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flags & mask != 0 {
+            while *stream.get(pos).ok_or("truncated header")? != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    let mut r = BitReader {
+        bytes: stream,
+        pos,
+        bitbuf: 0,
+        nbits: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        let last = r.bits(1)?;
+        match r.bits(2)? {
+            0b00 => {
+                r.align_byte();
+                let header = stream
+                    .get(r.pos..r.pos + 4)
+                    .ok_or("truncated stored block header")?;
+                let len = usize::from(header[0]) | (usize::from(header[1]) << 8);
+                let nlen = usize::from(header[2]) | (usize::from(header[3]) << 8);
+                if len != !nlen & 0xffff {
+                    return Err("stored block LEN/NLEN mismatch".to_string());
+                }
+                r.pos += 4;
+                out.extend_from_slice(
+                    stream
+                        .get(r.pos..r.pos + len)
+                        .ok_or("truncated stored block")?,
+                );
+                r.pos += len;
+            }
+            0b01 => {
+                let litlen = DecodeTable::build(&fixed_litlen_lengths())?;
+                let dist = DecodeTable::build(&[5u8; 32])?;
+                inflate_block(&mut r, &mut out, &litlen, &dist)?;
+            }
+            0b10 => {
+                let (litlen, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &mut out, &litlen, &dist)?;
+            }
+            _ => return Err("invalid block type".to_string()),
+        }
+        if last == 1 {
+            break;
+        }
+    }
+    r.align_byte();
+    let trailer = stream
+        .get(r.pos..r.pos + 8)
+        .ok_or("truncated gzip trailer")?;
+    let crc = u32::from_le_bytes(trailer[..4].try_into().unwrap());
+    let isize_ = u32::from_le_bytes(trailer[4..].try_into().unwrap());
+    if crc32_update(0, &out) != crc {
+        return Err("CRC32 mismatch".to_string());
+    }
+    if out.len() as u32 != isize_ {
+        return Err("length trailer mismatch".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        decode(&compress(data)).expect("decode compressed stream")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_roundtrip() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"ab"), b"ab");
+        assert_eq!(roundtrip(b"hello, world"), b"hello, world");
+    }
+
+    #[test]
+    fn repetitive_input_roundtrips_and_compresses() {
+        let data: Vec<u8> = b"[[12,345],[12,346],[13,7],"
+            .iter()
+            .copied()
+            .cycle()
+            .take(200_000)
+            .collect();
+        let compressed = compress(&data);
+        assert_eq!(decode(&compressed).unwrap(), data);
+        assert!(
+            compressed.len() * 10 < data.len(),
+            "repetitive JSON should compress >10x, got {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn json_edge_list_compresses_well() {
+        // The acceptance-criterion shape: a sorted JSON edge list. This
+        // synthetic one (uniformly random neighbors) is *harder* than
+        // real s-line-graph output; the integration tests assert the
+        // same bound on genomics data over the wire.
+        let mut body = String::from("[");
+        let mut x = 1u64;
+        for i in 0..40_000u32 {
+            // Cheap xorshift so coordinates are irregular, like real data.
+            x ^= x << 13;
+            x %= 1 << 20;
+            x ^= x >> 7;
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("[{},{}]", i / 7, x % 100_000));
+        }
+        body.push(']');
+        let compressed = compress(body.as_bytes());
+        assert_eq!(decode(&compressed).unwrap(), body.as_bytes());
+        assert!(
+            compressed.len() * 5 <= body.len() * 2,
+            "edge-list JSON must compress >=2.5x, got {} -> {}",
+            body.len(),
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips_via_stored_blocks() {
+        // Pseudo-random bytes defeat both Huffman codes; block-type
+        // selection must fall back to stored blocks, bounding expansion
+        // to the ~5 bytes of framing per 32 KiB block.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let compressed = compress(&data);
+        assert_eq!(decode(&compressed).unwrap(), data);
+        assert!(
+            compressed.len() < data.len() + 100,
+            "stored fallback must bound expansion: {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn block_boundaries_roundtrip() {
+        for len in [
+            BLOCK_BYTES - 1,
+            BLOCK_BYTES,
+            BLOCK_BYTES + 1,
+            2 * BLOCK_BYTES,
+            2 * BLOCK_BYTES + 17,
+        ] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(roundtrip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).cycle().take(4096).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn streamed_writes_match_one_shot_compression() {
+        let data: Vec<u8> = (0..70_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut gz = GzipWriter::new(Vec::new()).unwrap();
+        for chunk in data.chunks(777) {
+            gz.write_all(chunk).unwrap();
+        }
+        let streamed = gz.finish().unwrap();
+        assert_eq!(streamed, compress(&data), "write slicing changed output");
+        assert_eq!(decode(&streamed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_streams_are_rejected() {
+        let mut stream = compress(b"some payload worth checking, long enough to matter");
+        let mid = stream.len() / 2;
+        stream[mid] ^= 0x40;
+        assert!(decode(&stream).is_err(), "corruption must not pass the CRC");
+        assert!(decode(b"\x1f\x8b").is_err());
+        assert!(decode(b"not gzip at all").is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32_update(0, b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_update(0, b""), 0);
+        // Incremental updates equal one-shot.
+        let once = crc32_update(0, b"hello world");
+        let split = crc32_update(crc32_update(0, b"hello "), b"world");
+        assert_eq!(once, split);
+    }
+
+    #[test]
+    fn huffman_lengths_respect_the_limit_and_kraft() {
+        // Fibonacci-ish frequencies force deep unlimited trees; the
+        // limiter must clamp to max_bits with a complete Kraft sum.
+        let mut freqs = vec![0u32; 40];
+        let (mut a, mut b) = (1u32, 1u32);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        for max_bits in [7, 15] {
+            let lengths = huffman_lengths(&freqs, max_bits);
+            assert!(lengths.iter().all(|&l| usize::from(l) <= max_bits));
+            let kraft: u64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 1u64 << (max_bits - usize::from(l)))
+                .sum();
+            assert_eq!(kraft, 1u64 << max_bits, "max_bits {max_bits}");
+        }
+        // Degenerate cases.
+        assert!(huffman_lengths(&[0, 0, 0], 15).iter().all(|&l| l == 0));
+        assert_eq!(huffman_lengths(&[0, 7, 0], 15), vec![0, 1, 0]);
+    }
+}

@@ -1,10 +1,15 @@
-//! A small, strict HTTP/1.1 request parser and response writer.
+//! A small, strict HTTP/1.1 request parser and response writer stack.
 //!
 //! Covers exactly what the query server needs: request line + headers +
-//! optional `Content-Length` body, query-string splitting, keep-alive
-//! negotiation and fixed-length JSON responses. Limits are hard-coded
-//! defensively (8 KiB of headers, 1 MiB of body) since the server speaks
-//! only small control messages.
+//! optional `Content-Length` body (with `Expect: 100-continue`
+//! handling), query-string splitting, keep-alive negotiation,
+//! fixed-length JSON responses for small bodies, and a
+//! [`ChunkedWriter`] transfer-encoding adapter for streamed ones.
+//! Everything body-shaped takes `impl Write`, not `TcpStream`, so the
+//! writer stack composes (`json → gzip → chunked → socket`) and tests
+//! run against byte buffers. Limits are hard-coded defensively (8 KiB
+//! of headers, 1 MiB of body) since request bodies are small control
+//! messages — responses are the large direction.
 
 use std::io::{BufRead, Write};
 
@@ -111,6 +116,17 @@ pub enum ParseError {
     Io(std::io::Error),
     /// The request was malformed; the message is client-facing.
     Malformed(String),
+    /// The head parsed but the request must be refused with `status`,
+    /// and the connection closed: its body bytes were **not** read, so
+    /// continuing the keep-alive loop would parse them as the next
+    /// request (a desync a client could exploit for request smuggling).
+    Rejected {
+        /// Response status (`400` oversized body, `417` unsupported
+        /// expectation, `501` unsupported transfer coding).
+        status: u16,
+        /// Client-facing message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -119,6 +135,9 @@ impl std::fmt::Display for ParseError {
             ParseError::ConnectionClosed => write!(f, "connection closed"),
             ParseError::Io(e) => write!(f, "I/O error: {e}"),
             ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::Rejected { status, message } => {
+                write!(f, "rejected request ({status}): {message}")
+            }
         }
     }
 }
@@ -232,9 +251,19 @@ fn read_crlf_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Strin
 
 /// Reads and parses one request from `reader`.
 ///
+/// `interim` receives 1xx interim responses: a conforming HTTP/1.1
+/// client that sent `Expect: 100-continue` waits for `100 Continue`
+/// before transmitting its body, so the parser must answer mid-read
+/// (previously such clients stalled until the read timeout).
+///
 /// Returns [`ParseError::ConnectionClosed`] when the peer closed the
-/// socket cleanly between requests (the keep-alive loop's exit signal).
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+/// socket cleanly between requests (the keep-alive loop's exit signal);
+/// [`ParseError::Rejected`] means body bytes were left unread and the
+/// caller must answer the carried status and close the connection.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    interim: &mut impl Write,
+) -> Result<Request, ParseError> {
     let mut budget = MAX_HEAD_BYTES;
     let request_line = read_crlf_line(reader, &mut budget)?;
     let mut parts = request_line.split_whitespace();
@@ -288,12 +317,57 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         body: Vec::new(),
         http10: version == "HTTP/1.0",
     };
+    // Request bodies with a transfer coding are not supported; ignoring
+    // the header would leave the chunked body on the socket to be parsed
+    // as the next request, so refuse and close (RFC 9112 §6.1 says
+    // answer 501 for transfer codings the server does not understand).
+    if request.header("transfer-encoding").is_some() {
+        return Err(ParseError::Rejected {
+            status: 501,
+            message: "transfer-encoding request bodies are not supported".into(),
+        });
+    }
+    // Duplicate Content-Length headers are the classic request-smuggling
+    // ambiguity: two in-path parsers disagreeing on which one frames the
+    // body desynchronize. Reject outright rather than pick one.
+    if request
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(ParseError::Malformed(
+            "multiple content-length headers".into(),
+        ));
+    }
+    let expect = request.header("expect").map(str::to_string);
+    if let Some(expect) = &expect {
+        if !expect.eq_ignore_ascii_case("100-continue") {
+            return Err(ParseError::Rejected {
+                status: 417,
+                message: format!("unsupported expectation {expect:?}"),
+            });
+        }
+    }
     if let Some(len) = request.header("content-length") {
         let len: usize = len
             .parse()
             .map_err(|_| ParseError::Malformed(format!("bad content-length {len:?}")))?;
         if len > MAX_BODY_BYTES {
-            return Err(ParseError::Malformed("body exceeds 1 MiB".into()));
+            // The body was not read: the caller must close, or its bytes
+            // would be parsed as the next pipelined request.
+            return Err(ParseError::Rejected {
+                status: 400,
+                message: "body exceeds 1 MiB".into(),
+            });
+        }
+        // A 100-continue client sends nothing until told to proceed
+        // (1xx responses predate HTTP/1.1, so never send one to a 1.0
+        // client — they would read it as the final response).
+        if len > 0 && expect.is_some() && !request.http10 {
+            interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+            interim.flush()?;
         }
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body)?;
@@ -305,6 +379,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
 /// Reason phrase for the status codes the server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
+        100 => "Continue",
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
@@ -312,27 +387,218 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        417 => "Expectation Failed",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes a fixed-length response with a JSON body.
+/// Whether the client accepts a gzip response body: `Accept-Encoding`
+/// lists `gzip` (case-insensitively) with a nonzero quality. Only an
+/// explicit listing opts in — `*` is ignored, so clients that never
+/// asked keep getting identity bodies.
+pub fn accepts_gzip(request: &Request) -> bool {
+    let Some(value) = request.header("accept-encoding") else {
+        return false;
+    };
+    value.split(',').any(|entry| {
+        let mut parts = entry.trim().split(';');
+        if !parts
+            .next()
+            .is_some_and(|token| token.trim().eq_ignore_ascii_case("gzip"))
+        {
+            return false;
+        }
+        for param in parts {
+            // Parameter names are case-insensitive (RFC 9110 §5.6.6):
+            // `Q=0` refuses exactly like `q=0`.
+            if let Some((name, value)) = param.split_once('=') {
+                if name.trim().eq_ignore_ascii_case("q") {
+                    return value.trim().parse::<f64>().is_ok_and(|q| q > 0.0);
+                }
+            }
+        }
+        true
+    })
+}
+
+/// Writes a response head: status line, `content-type`, any `extra`
+/// headers (framing: `content-length`, `transfer-encoding`,
+/// `content-encoding`), `connection`, and the terminating blank line.
+pub fn write_response_head(
+    stream: &mut impl Write,
+    status: u16,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n",
+        reason(status)
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(stream, "connection: {connection}\r\n\r\n")
+}
+
+/// Writes a fixed-length response with a JSON body (the fast path for
+/// small bodies; large ones stream through [`ChunkedWriter`]).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
-        reason(status),
-        body.len(),
-    )?;
+    let length = body.len().to_string();
+    write_response_head(stream, status, keep_alive, &[("content-length", &length)])?;
+    stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Writes a headers-only response carrying the `content-length` the
+/// equivalent GET body would have — the HEAD half of every GET route.
+pub fn write_head_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_length: u64,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let length = content_length.to_string();
+    write_response_head(stream, status, keep_alive, &[("content-length", &length)])?;
+    stream.flush()
+}
+
+/// Payload bytes buffered per `Transfer-Encoding: chunked` frame.
+pub const CHUNK_BYTES: usize = 16 * 1024;
+
+/// A `Transfer-Encoding: chunked` framing adapter over any [`Write`]:
+/// buffered bytes are emitted as `SIZE\r\nPAYLOAD\r\n` frames of up to
+/// [`CHUNK_BYTES`], and [`ChunkedWriter::finish`] writes the terminal
+/// zero-length chunk. This is what lets a response start before its
+/// length is known — the body renders straight from cached artifacts
+/// with O(1) buffering instead of into a body-sized `String`.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps `inner`; the response head (with `transfer-encoding:
+    /// chunked`) must already be written.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+        }
+    }
+
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            // A zero-size chunk would terminate the body.
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", self.buf.len())?;
+        self.inner.write_all(&self.buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the pending chunk, writes the terminal `0\r\n\r\n`, and
+    /// returns the inner writer. Skipping this truncates the body (which
+    /// chunked clients detect — unlike a close-delimited body).
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_chunk()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        // Fill to the frame size and emit, so a single large write still
+        // produces bounded frames (and bounded buffering).
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = CHUNK_BYTES - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() >= CHUNK_BYTES {
+                self.flush_chunk()?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.flush()
+    }
+}
+
+/// Reassembles a chunked body's payload bytes — the strict inverse of
+/// [`ChunkedWriter`], shared by the integration tests and the
+/// `server_smoke` benchmark (the same role `gzip::decode` plays for
+/// compressed bodies). Requires well-formed framing: hex size lines,
+/// `\r\n` chunk terminators, a terminal zero chunk, and nothing after
+/// its final CRLF.
+pub fn dechunk(mut body: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| "missing chunk-size line".to_string())?;
+        let size = std::str::from_utf8(&body[..line_end])
+            .ok()
+            .and_then(|line| usize::from_str_radix(line.trim(), 16).ok())
+            .ok_or_else(|| "bad chunk-size line".to_string())?;
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return if body == b"\r\n" {
+                Ok(out)
+            } else {
+                Err("bytes after the terminal chunk".to_string())
+            };
+        }
+        let payload = body
+            .get(..size)
+            .ok_or_else(|| "truncated chunk payload".to_string())?;
+        out.extend_from_slice(payload);
+        if body.get(size..size + 2) != Some(b"\r\n") {
+            return Err("missing chunk payload terminator".to_string());
+        }
+        body = &body[size + 2..];
+    }
+}
+
+/// A [`Write`] that only counts bytes — how HEAD answers compute the
+/// exact `content-length` of a streamed body without allocating it.
+#[derive(Debug, Default)]
+pub struct CountingWriter(u64);
+
+impl CountingWriter {
+    /// Bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0 += data.len() as u64;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -341,7 +607,7 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(text: &str) -> Result<Request, ParseError> {
-        read_request(&mut BufReader::new(text.as_bytes()))
+        read_request(&mut BufReader::new(text.as_bytes()), &mut Vec::new())
     }
 
     #[test]
@@ -428,7 +694,7 @@ mod tests {
         // budget, not buffered until OOM.
         let mut reader = BufReader::new(std::io::repeat(b'a'));
         assert!(matches!(
-            read_request(&mut reader),
+            read_request(&mut reader, &mut Vec::new()),
             Err(ParseError::Malformed(_))
         ));
     }
@@ -437,17 +703,64 @@ mod tests {
     fn rejects_non_utf8_header_bytes() {
         let raw: &[u8] = b"GET / HTTP/1.1\r\nx: \xff\xfe\r\n\r\n";
         assert!(matches!(
-            read_request(&mut BufReader::new(raw)),
+            read_request(&mut BufReader::new(raw), &mut Vec::new()),
             Err(ParseError::Malformed(_))
         ));
     }
 
     #[test]
-    fn rejects_oversized_body_declaration() {
+    fn oversized_body_is_rejected_without_reading_it() {
+        // The body bytes stay on the socket, so the error must instruct
+        // the caller to close (Rejected), not continue the keep-alive
+        // loop into a desync.
         let r = parse(&format!(
             "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         ));
+        assert!(matches!(r, Err(ParseError::Rejected { status: 400, .. })));
+    }
+
+    #[test]
+    fn expect_100_continue_emits_interim_response_before_body() {
+        let raw = "POST /query HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 5\r\n\r\nhello";
+        let mut interim = Vec::new();
+        let r = read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert_eq!(r.body, b"hello");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // Case-insensitive expectation value.
+        let raw = "POST / HTTP/1.1\r\nExpect: 100-Continue\r\ncontent-length: 2\r\n\r\nok";
+        let mut interim = Vec::new();
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert!(!interim.is_empty());
+        // No body declared: nothing to wait for, no interim response.
+        let raw = "GET / HTTP/1.1\r\nexpect: 100-continue\r\n\r\n";
+        let mut interim = Vec::new();
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert!(interim.is_empty());
+        // 1xx responses must never go to an HTTP/1.0 client.
+        let raw = "POST / HTTP/1.0\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\nok";
+        let mut interim = Vec::new();
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn unsupported_expectation_is_417() {
+        let r = parse("POST / HTTP/1.1\r\nexpect: teleport\r\ncontent-length: 2\r\n\r\nok");
+        assert!(matches!(r, Err(ParseError::Rejected { status: 417, .. })));
+    }
+
+    #[test]
+    fn transfer_encoded_request_bodies_are_501() {
+        // Ignoring the header would desync the connection (the chunked
+        // body would be parsed as the next request).
+        let r = parse("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n");
+        assert!(matches!(r, Err(ParseError::Rejected { status: 501, .. })));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_malformed() {
+        let r = parse("POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\nokx");
         assert!(matches!(r, Err(ParseError::Malformed(_))));
     }
 
@@ -537,5 +850,86 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn head_response_has_length_but_no_body() {
+        let mut out = Vec::new();
+        write_head_response(&mut out, 200, 1234, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-length: 1234\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body after the head: {text}");
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut chunked = ChunkedWriter::new(Vec::new());
+        chunked.write_all(b"hello ").unwrap();
+        chunked.write_all(b"world").unwrap();
+        let out = chunked.finish().unwrap();
+        assert_eq!(out, b"b\r\nhello world\r\n0\r\n\r\n");
+        // Empty body: just the terminal chunk.
+        let out = ChunkedWriter::new(Vec::new()).finish().unwrap();
+        assert_eq!(out, b"0\r\n\r\n");
+        // Large writes split at the chunk size: one full frame, and the
+        // remainder rides the terminal flush.
+        let mut chunked = ChunkedWriter::new(Vec::new());
+        chunked.write_all(&vec![b'x'; CHUNK_BYTES + 3]).unwrap();
+        let out = chunked.finish().unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with(&format!("{CHUNK_BYTES:x}\r\n")));
+        assert!(text.contains("\r\n3\r\nxxx\r\n0\r\n\r\n"));
+        assert_eq!(dechunk(&out).unwrap(), vec![b'x'; CHUNK_BYTES + 3]);
+        // An explicit flush mid-stream emits a frame without terminating.
+        let mut chunked = ChunkedWriter::new(Vec::new());
+        chunked.write_all(b"ab").unwrap();
+        chunked.flush().unwrap();
+        chunked.write_all(b"cd").unwrap();
+        let out = chunked.finish().unwrap();
+        assert_eq!(out, b"2\r\nab\r\n2\r\ncd\r\n0\r\n\r\n");
+        assert_eq!(dechunk(&out).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn dechunk_rejects_malformed_framing() {
+        for bad in [
+            b"nope".as_slice(),
+            b"5\r\nhello",               // missing payload terminator
+            b"5\r\nhello\r\n",           // missing terminal chunk
+            b"zz\r\nhello\r\n0\r\n\r\n", // bad size line
+            b"0\r\n\r\nextra",           // bytes after the terminal chunk
+        ] {
+            assert!(dechunk(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn counting_writer_counts() {
+        let mut counter = CountingWriter::default();
+        counter.write_all(b"hello").unwrap();
+        counter.write_all(b" world").unwrap();
+        assert_eq!(counter.bytes(), 11);
+    }
+
+    #[test]
+    fn accept_encoding_negotiation() {
+        let with = |value: Option<&str>| {
+            let mut r = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+            if let Some(v) = value {
+                r.headers
+                    .push(("accept-encoding".to_string(), v.to_string()));
+            }
+            accepts_gzip(&r)
+        };
+        assert!(!with(None));
+        assert!(with(Some("gzip")));
+        assert!(with(Some("GZIP")), "token is case-insensitive");
+        assert!(with(Some("deflate, gzip;q=0.5, br")));
+        assert!(with(Some("gzip; q=1.0")));
+        assert!(!with(Some("gzip;q=0")), "q=0 refuses gzip");
+        assert!(!with(Some("gzip;q=0.0")));
+        assert!(!with(Some("identity")));
+        assert!(!with(Some("*")), "wildcard does not opt in");
+        assert!(!with(Some("sgzip")), "substring is not a token match");
     }
 }

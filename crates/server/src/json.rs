@@ -1,4 +1,4 @@
-//! A minimal JSON value builder, serializer and parser.
+//! A minimal JSON value builder, streaming serializer and parser.
 //!
 //! The wire protocol *emits* JSON everywhere and *reads* it in exactly
 //! one place: the body of `POST /query`, a batch of sub-queries. [`Json`]
@@ -6,9 +6,31 @@
 //! handler code terse; [`Json::parse`] is a strict recursive-descent
 //! RFC 8259 parser sized for request bodies (depth-limited, no trailing
 //! garbage).
+//!
+//! Serialization goes through [`Json::write_into`], which renders the
+//! tree directly into any [`Write`] — a `Vec<u8>` for the buffered
+//! fast path ([`Json::render`]), or the server's chunked/gzip writer
+//! stack for streamed responses. The [`Json::Stream`] variant holds a
+//! [`StreamFragment`] that renders lazily at write time, so a response
+//! carrying a cached million-edge list never materializes a body-sized
+//! `String`: the tree holds an `Arc` to the artifact and the edges are
+//! formatted straight into the socket.
+
+use std::io::{self, Write};
+use std::sync::Arc;
+
+/// A JSON fragment rendered lazily, straight into the response writer.
+///
+/// Implementors hold `Arc`s to cached data (an artifact's edge list, a
+/// metric result) and write one complete JSON value — rendering must be
+/// deterministic, since repeated identical requests are byte-compared.
+pub trait StreamFragment: Send + Sync {
+    /// Writes the fragment's complete JSON form (one valid JSON value).
+    fn write_json(&self, out: &mut dyn Write) -> io::Result<()>;
+}
 
 /// A JSON value under construction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub enum Json {
     /// `null`
     Null,
@@ -24,6 +46,42 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
+    /// A lazily-rendered fragment (large arrays streamed from cached
+    /// `Arc` data). Never produced by [`Json::parse`].
+    Stream(Arc<dyn StreamFragment>),
+}
+
+impl std::fmt::Debug for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => write!(f, "Null"),
+            Json::Bool(b) => f.debug_tuple("Bool").field(b).finish(),
+            Json::Int(i) => f.debug_tuple("Int").field(i).finish(),
+            Json::Float(x) => f.debug_tuple("Float").field(x).finish(),
+            Json::Str(s) => f.debug_tuple("Str").field(s).finish(),
+            Json::Arr(items) => f.debug_tuple("Arr").field(items).finish(),
+            Json::Obj(fields) => f.debug_tuple("Obj").field(fields).finish(),
+            Json::Stream(_) => write!(f, "Stream(..)"),
+        }
+    }
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Float(a), Json::Float(b)) => a == b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            // Fragments compare by identity — equality of rendered
+            // output would defeat the point of not rendering.
+            (Json::Stream(a), Json::Stream(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -113,66 +171,95 @@ impl Json {
             .map(|(_, v)| v)
     }
 
-    /// Serializes to compact JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
+    /// Whether this tree contains a [`Json::Stream`] fragment — the
+    /// server's signal to use the chunked streaming response path
+    /// instead of rendering a fixed-length body.
+    pub fn is_streaming(&self) -> bool {
+        match self {
+            Json::Stream(_) => true,
+            Json::Arr(items) => items.iter().any(Json::is_streaming),
+            Json::Obj(fields) => fields.iter().any(|(_, v)| v.is_streaming()),
+            _ => false,
+        }
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Serializes to compact JSON text (buffered; fragments render too).
+    pub fn render(&self) -> String {
+        let mut out = Vec::new();
+        self.write_into(&mut out).expect("Vec write cannot fail");
+        String::from_utf8(out).expect("rendered JSON is UTF-8")
+    }
+
+    /// Streams compact JSON text into `out`. This is *the* serializer:
+    /// [`Json::render`] wraps it over a `Vec<u8>`, and streamed
+    /// responses hand it the chunked/gzip writer stack so rendering
+    /// never buffers more than the writers' fixed-size frames.
+    pub fn write_into(&self, out: &mut dyn Write) -> io::Result<()> {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Null => out.write_all(b"null"),
+            Json::Bool(b) => out.write_all(if *b { b"true" } else { b"false" }),
+            Json::Int(i) => write!(out, "{i}"),
             Json::Float(x) => {
                 if x.is_finite() {
-                    out.push_str(&format!("{x}"));
+                    write!(out, "{x}")
                 } else {
-                    out.push_str("null");
+                    out.write_all(b"null")
                 }
             }
             Json::Str(s) => escape_into(s, out),
             Json::Arr(items) => {
-                out.push('[');
+                out.write_all(b"[")?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_all(b",")?;
                     }
-                    item.render_into(out);
+                    item.write_into(out)?;
                 }
-                out.push(']');
+                out.write_all(b"]")
             }
             Json::Obj(fields) => {
-                out.push('{');
+                out.write_all(b"{")?;
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_all(b",")?;
                     }
-                    escape_into(k, out);
-                    out.push(':');
-                    v.render_into(out);
+                    escape_into(k, out)?;
+                    out.write_all(b":")?;
+                    v.write_into(out)?;
                 }
-                out.push('}');
+                out.write_all(b"}")
             }
+            Json::Stream(fragment) => fragment.write_json(out),
         }
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+fn escape_into(s: &str, out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        // Multi-byte UTF-8 units are >= 0x80 and pass through in runs.
+        let escape: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            b if b < 0x20 => {
+                out.write_all(&bytes[start..i])?;
+                write!(out, "\\u{b:04x}")?;
+                start = i + 1;
+                continue;
+            }
+            _ => continue,
+        };
+        out.write_all(&bytes[start..i])?;
+        out.write_all(escape)?;
+        start = i + 1;
     }
-    out.push('"');
+    out.write_all(&bytes[start..])?;
+    out.write_all(b"\"")
 }
 
 /// Maximum nesting depth [`Json::parse`] accepts (guards the recursion
@@ -511,6 +598,59 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn set_on_array_panics() {
         let _ = Json::Arr(vec![]).set("k", 1u32);
+    }
+
+    struct Edges(Vec<(u32, u32)>);
+
+    impl StreamFragment for Edges {
+        fn write_json(&self, out: &mut dyn Write) -> io::Result<()> {
+            out.write_all(b"[")?;
+            for (n, &(i, j)) in self.0.iter().enumerate() {
+                if n > 0 {
+                    out.write_all(b",")?;
+                }
+                write!(out, "[{i},{j}]")?;
+            }
+            out.write_all(b"]")
+        }
+    }
+
+    #[test]
+    fn stream_fragments_render_lazily_and_mark_the_tree() {
+        let fragment: Arc<dyn StreamFragment> = Arc::new(Edges(vec![(0, 1), (0, 2)]));
+        let body = Json::obj()
+            .set("n", 2u32)
+            .set("edges", Json::Stream(Arc::clone(&fragment)));
+        assert!(body.is_streaming());
+        assert!(!Json::obj().set("n", 2u32).is_streaming());
+        assert_eq!(body.render(), r#"{"n":2,"edges":[[0,1],[0,2]]}"#);
+        // write_into and render agree byte for byte.
+        let mut streamed = Vec::new();
+        body.write_into(&mut streamed).unwrap();
+        assert_eq!(streamed, body.render().into_bytes());
+        // Fragments compare by identity, not content.
+        assert_eq!(
+            Json::Stream(Arc::clone(&fragment)),
+            Json::Stream(Arc::clone(&fragment))
+        );
+        assert_ne!(
+            Json::Stream(fragment),
+            Json::Stream(Arc::new(Edges(vec![(0, 1), (0, 2)])))
+        );
+    }
+
+    #[test]
+    fn write_into_matches_render_for_all_shapes() {
+        let v = Json::obj()
+            .set("s", "a\"b\\c\nd\u{1}é")
+            .set(
+                "xs",
+                Json::Arr(vec![Json::Null, Json::from(1.5), Json::from(-7i64)]),
+            )
+            .set("nested", Json::obj().set("ok", true));
+        let mut streamed = Vec::new();
+        v.write_into(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), v.render());
     }
 
     #[test]

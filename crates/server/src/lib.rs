@@ -27,14 +27,23 @@
 //!   and invalidate together (generation-fenced) when a dataset is
 //!   replaced;
 //! * [`server`] — accept loop → bounded queue → fixed worker pool, each
-//!   worker speaking HTTP/1.1 keep-alive; `GET /datasets/{d}/sweep`
+//!   worker speaking HTTP/1.1 keep-alive (HEAD, `Expect: 100-continue`
+//!   and desync-safe error handling included); `GET /datasets/{d}/sweep`
 //!   reuses and populates per-s artifacts, and `POST /query` answers a
 //!   JSON batch of sub-queries in one round-trip under one compute
-//!   budget;
-//! * [`http`] / [`json`] — the minimal wire-format helpers
-//!   (percent-decoding request parser; JSON builder + strict parser);
-//! * [`metrics`] — per-endpoint request/latency counters and per-tier
-//!   cache hit/miss reporting at `GET /metrics`.
+//!   budget. Large bodies (edge lists, sweeps, components) **stream**
+//!   from the cached `Arc` artifacts through a chunked (and, when
+//!   negotiated, gzip) writer stack with O(1) buffering;
+//! * [`http`] / [`json`] — the wire-format helpers: percent-decoding
+//!   request parser, chunked-transfer writer, `Accept-Encoding`
+//!   negotiation; JSON builder + strict parser + streaming serializer
+//!   ([`json::StreamFragment`]);
+//! * [`gzip`] — a std-only streaming gzip encoder (LZ77 + per-block
+//!   dynamic/fixed/stored DEFLATE selection) and a strict decoder for
+//!   tests and benchmarks;
+//! * [`metrics`] — per-endpoint request/latency counters, per-tier
+//!   cache hit/miss and transport (streamed/gzipped) reporting at
+//!   `GET /metrics`.
 //!
 //! ## Quick start
 //!
@@ -60,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod gzip;
 pub mod http;
 pub mod json;
 pub mod metrics;

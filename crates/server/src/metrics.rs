@@ -100,8 +100,15 @@ pub struct ServerMetrics {
     pub connections_accepted: AtomicU64,
     /// Connections rejected with 503 because the queue was full.
     pub connections_rejected: AtomicU64,
-    /// Requests whose parse failed (400/408 responses).
+    /// Requests whose parse failed (400/417/501 responses that close
+    /// the connection).
     pub bad_requests: AtomicU64,
+    /// Responses streamed (chunked or close-delimited) instead of
+    /// rendered into a fixed-length buffer.
+    pub streamed_responses: AtomicU64,
+    /// Streamed responses compressed with gzip (negotiated via
+    /// `Accept-Encoding`).
+    pub gzip_responses: AtomicU64,
 }
 
 impl ServerMetrics {

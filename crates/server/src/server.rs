@@ -15,8 +15,9 @@
 use crate::cache::{
     AlgoKind, ArtifactCache, CacheKey, CacheOutcome, MetricKey, MetricKind, SingleFlightCache,
 };
-use crate::http::{self, Params, ParseError, Request};
-use crate::json::Json;
+use crate::gzip::GzipWriter;
+use crate::http::{self, ChunkedWriter, Params, ParseError, Request};
+use crate::json::{Json, StreamFragment};
 use crate::metrics::{Route, ServerMetrics};
 use crate::pool::WorkerPool;
 use crate::registry::{DatasetRegistry, DatasetSource};
@@ -25,7 +26,7 @@ use hyperline_slinegraph::{
     algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, build_slinegraphs_over_s,
     naive_slinegraph, spgemm_slinegraph, SLineGraph, Strategy,
 };
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -121,6 +122,86 @@ impl MetricResult {
             MetricResult::Spectrum { .. } => 0,
             MetricResult::Sweep(counts) => counts.len() * size_of::<(u32, usize)>(),
         }
+    }
+}
+
+/// Streams `/slg` edge rows (`[i,j]` or `[i,j,overlap]`) straight from
+/// the cached artifact: the response holds the `Arc`, not a rendered
+/// body, so a full edge list serializes with O(1) buffering.
+struct EdgeRows {
+    artifact: Arc<Artifact>,
+    limit: usize,
+}
+
+impl StreamFragment for EdgeRows {
+    fn write_json(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        out.write_all(b"[")?;
+        if let Some(weighted) = &self.artifact.weighted_edges {
+            for (n, &(i, j, w)) in weighted.iter().take(self.limit).enumerate() {
+                if n > 0 {
+                    out.write_all(b",")?;
+                }
+                write!(out, "[{i},{j},{w}]")?;
+            }
+        } else {
+            for (n, &(i, j)) in self.artifact.slg.edges.iter().take(self.limit).enumerate() {
+                if n > 0 {
+                    out.write_all(b",")?;
+                }
+                write!(out, "[{i},{j}]")?;
+            }
+        }
+        out.write_all(b"]")
+    }
+}
+
+/// Streams `/sweep` `[s, count]` rows from the cached metric result.
+struct SweepRows {
+    result: Arc<MetricResult>,
+}
+
+impl StreamFragment for SweepRows {
+    fn write_json(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        let MetricResult::Sweep(counts) = &*self.result else {
+            unreachable!("sweep fragment holds a sweep result")
+        };
+        out.write_all(b"[")?;
+        for (n, &(s, count)) in counts.iter().enumerate() {
+            if n > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "[{s},{count}]")?;
+        }
+        out.write_all(b"]")
+    }
+}
+
+/// Streams `/components` member arrays from the cached metric result.
+struct ComponentRows {
+    result: Arc<MetricResult>,
+    limit: usize,
+}
+
+impl StreamFragment for ComponentRows {
+    fn write_json(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        let MetricResult::Components(components) = &*self.result else {
+            unreachable!("component fragment holds a components result")
+        };
+        out.write_all(b"[")?;
+        for (n, comp) in components.iter().take(self.limit).enumerate() {
+            if n > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(b"[")?;
+            for (m, id) in comp.iter().enumerate() {
+                if m > 0 {
+                    out.write_all(b",")?;
+                }
+                write!(out, "{id}")?;
+            }
+            out.write_all(b"]")?;
+        }
+        out.write_all(b"]")
     }
 }
 
@@ -323,17 +404,19 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, read_timeout: 
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match http::read_request(&mut reader) {
+        match http::read_request(&mut reader, &mut writer) {
             Ok(request) => {
                 let keep_alive = request.keep_alive();
                 let started = Instant::now();
                 let (route, status, body) = dispatch(state, &request);
+                // Latency is recorded before the body is transmitted:
+                // it measures server work, not how fast the client
+                // drains a streamed multi-MB edge list.
                 state.metrics.record(route, status, started.elapsed());
-                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
-                    return;
-                }
-                if !keep_alive {
-                    return;
+                let sent = respond(state, &mut writer, &request, status, &body, keep_alive);
+                match sent {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return,
                 }
             }
             Err(ParseError::ConnectionClosed) => return,
@@ -347,14 +430,122 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, read_timeout: 
                 let _ = http::write_response(&mut writer, 400, &body, false);
                 return;
             }
+            Err(ParseError::Rejected { status, message }) => {
+                // The request's body bytes were left on the socket;
+                // answering and continuing the keep-alive loop would
+                // parse them as the next request (desync), so the
+                // connection always closes here.
+                state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = Json::obj().set("error", message).render();
+                let _ = http::write_response(&mut writer, status, &body, false);
+                return;
+            }
         }
     }
 }
 
-/// Routes one request to its handler. Returns `(route, status, body)`.
-fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, String) {
+/// Writes one response: HEAD gets headers only (with the exact
+/// `content-length` the GET body would have), small bodies keep the
+/// fixed-length fast path, and streamed bodies go out chunked
+/// (HTTP/1.1) or close-delimited (HTTP/1.0), gzip-compressed when the
+/// request negotiated it. Generic over the writer so tests run the full
+/// stack against byte buffers. Returns whether the connection can serve
+/// another request.
+fn respond<W: Write>(
+    state: &ServerState,
+    writer: &mut W,
+    request: &Request,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    if request.method == "HEAD" {
+        // Headers only — but with the true body length, which for a
+        // streamed body is counted without allocating it. HEAD always
+        // answers in identity coding (choosing identity per-request is
+        // legal regardless of Accept-Encoding): the exact uncompressed
+        // length is the useful metadata, and computing a gzip length
+        // would cost a full compression pass with nothing to send.
+        let length = if body.is_streaming() {
+            let mut counter = http::CountingWriter::default();
+            body.write_into(&mut counter)?;
+            counter.bytes()
+        } else {
+            body.render().len() as u64
+        };
+        http::write_head_response(writer, status, length, keep_alive)?;
+        return Ok(keep_alive);
+    }
+    if !body.is_streaming() {
+        http::write_response(writer, status, &body.render(), keep_alive)?;
+        return Ok(keep_alive);
+    }
+    let gzip = http::accepts_gzip(request);
+    state
+        .metrics
+        .streamed_responses
+        .fetch_add(1, Ordering::Relaxed);
+    if gzip {
+        state.metrics.gzip_responses.fetch_add(1, Ordering::Relaxed);
+    }
+    if request.http10 {
+        // HTTP/1.0 has no chunked framing: the body is delimited by
+        // closing the connection.
+        let extra: &[(&str, &str)] = if gzip {
+            &[("content-encoding", "gzip")]
+        } else {
+            &[]
+        };
+        http::write_response_head(writer, status, false, extra)?;
+        if gzip {
+            let mut gz = GzipWriter::new(&mut *writer)?;
+            body.write_into(&mut gz)?;
+            gz.finish()?;
+        } else {
+            // Fragments issue many small writes; batch them so a raw
+            // identity body is not one syscall per edge row.
+            let mut buffered = std::io::BufWriter::with_capacity(http::CHUNK_BYTES, &mut *writer);
+            body.write_into(&mut buffered)?;
+            buffered.flush()?;
+        }
+        writer.flush()?;
+        return Ok(false);
+    }
+    let extra: &[(&str, &str)] = if gzip {
+        &[
+            ("content-encoding", "gzip"),
+            ("transfer-encoding", "chunked"),
+        ]
+    } else {
+        &[("transfer-encoding", "chunked")]
+    };
+    http::write_response_head(writer, status, keep_alive, extra)?;
+    if gzip {
+        // Transfer-Encoding applies over Content-Encoding: the gzip
+        // stream is what gets chunk-framed.
+        let mut gz = GzipWriter::new(ChunkedWriter::new(&mut *writer))?;
+        body.write_into(&mut gz)?;
+        gz.finish()?.finish()?;
+    } else {
+        let mut chunked = ChunkedWriter::new(&mut *writer);
+        body.write_into(&mut chunked)?;
+        chunked.finish()?;
+    }
+    writer.flush()?;
+    Ok(keep_alive)
+}
+
+/// Routes one request to its handler. Returns `(route, status, body)` —
+/// the body as a [`Json`] tree so the response writer can choose the
+/// fixed-length or streaming path (and HEAD can count without sending).
+fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, Json) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    let method = request.method.as_str();
+    // HEAD is GET without the body: route identically, suppress the
+    // body at write time (`respond`).
+    let method = match request.method.as_str() {
+        "HEAD" => "GET",
+        m => m,
+    };
     let outcome = match (method, segments.as_slice()) {
         ("GET", []) => (Route::Index, handle_index()),
         ("GET", ["healthz"]) => (Route::Health, Ok((200, handle_health(state)))),
@@ -383,8 +574,8 @@ fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, String) {
     };
     let (route, result) = outcome;
     match result {
-        Ok((status, body)) => (route, status, body.render()),
-        Err((status, message)) => (route, status, Json::obj().set("error", message).render()),
+        Ok((status, body)) => (route, status, body),
+        Err((status, message)) => (route, status, Json::obj().set("error", message)),
     }
 }
 
@@ -466,6 +657,18 @@ fn handle_metrics(state: &ServerState) -> Json {
                 .set(
                     "bad_requests",
                     state.metrics.bad_requests.load(Ordering::Relaxed),
+                ),
+        )
+        .set(
+            "transport",
+            Json::obj()
+                .set(
+                    "streamed_responses",
+                    state.metrics.streamed_responses.load(Ordering::Relaxed),
+                )
+                .set(
+                    "gzip_responses",
+                    state.metrics.gzip_responses.load(Ordering::Relaxed),
                 ),
         )
         .set(
@@ -704,19 +907,13 @@ fn handle_sweep(state: &ServerState, params: &Params<'_>, name: &str) -> Handler
         .metric_cache
         .get_or_compute(&metric_key, || compute_sweep(state, name, max_s))
         .map_err(|e| (500, e))?;
-    let MetricResult::Sweep(counts) = &*result else {
-        unreachable!("sweep key holds a sweep result")
-    };
-    let rows: Vec<Json> = counts
-        .iter()
-        .map(|&(s, count)| Json::Arr(vec![Json::from(s), Json::from(count)]))
-        .collect();
+    debug_assert!(matches!(&*result, MetricResult::Sweep(_)));
     Ok((
         200,
         Json::obj()
             .set("dataset", name)
             .set("max_s", max_s)
-            .set("counts", Json::Arr(rows)),
+            .set("counts", Json::Stream(Arc::new(SweepRows { result }))),
     ))
 }
 
@@ -816,22 +1013,15 @@ fn handle_cached_op(
         let limit: usize = params.parse_or("limit", 100_000).map_err(|e| (400, e))?;
         let (artifact, outcome) = get_artifact(state, &key)?;
         let slg = &artifact.slg;
-        let edges: Vec<Json> = if query.weighted {
-            artifact
-                .weighted_edges
-                .as_ref()
-                .expect("weighted artifact carries weights")
-                .iter()
-                .take(limit)
-                .map(|&(i, j, w)| Json::Arr(vec![Json::from(i), Json::from(j), Json::from(w)]))
-                .collect()
-        } else {
-            slg.edges
-                .iter()
-                .take(limit)
-                .map(|&(i, j)| Json::Arr(vec![Json::from(i), Json::from(j)]))
-                .collect()
-        };
+        // The fragment keys row shape off the artifact's own weights; a
+        // mismatch with the request would mean a cache-key bug serving
+        // wrong rows, so fail loudly instead of answering 200.
+        if query.weighted != artifact.weighted_edges.is_some() {
+            return Err((
+                500,
+                "cached artifact does not match the weighted flag".to_string(),
+            ));
+        }
         return Ok((
             200,
             base.set(
@@ -845,7 +1035,14 @@ fn handle_cached_op(
             .set("num_vertices", slg.num_vertices())
             .set("num_edges", slg.num_edges())
             .set("truncated", slg.num_edges() > limit)
-            .set("edges", Json::Arr(edges)),
+            // The edge list streams from the cached artifact at write
+            // time — the response never materializes a body-sized
+            // buffer, which is what keeps a `?limit=`-less full edge
+            // list O(1) in memory.
+            .set(
+                "edges",
+                Json::Stream(Arc::new(EdgeRows { artifact, limit })),
+            ),
         ));
     }
 
@@ -929,22 +1126,25 @@ fn compute_metric(slg: &SLineGraph, metric: MetricKind) -> MetricResult {
 }
 
 /// Renders a cached metric result with this request's render-time
-/// parameters (`limit`, `top`).
-fn render_metric(base: Json, params: &Params<'_>, result: &MetricResult) -> HandlerResult {
-    match result {
+/// parameters (`limit`, `top`). Takes the `Arc` so potentially large
+/// results (component lists) stream from the cached value instead of
+/// being rendered into the response tree.
+fn render_metric(base: Json, params: &Params<'_>, result: &Arc<MetricResult>) -> HandlerResult {
+    match &**result {
         MetricResult::Components(components) => {
             let limit: usize = params.parse_or("limit", 1_000).map_err(|e| (400, e))?;
             let total = components.len();
-            let rows: Vec<Json> = components
-                .iter()
-                .take(limit)
-                .map(|comp| Json::Arr(comp.iter().map(|&id| Json::from(id)).collect()))
-                .collect();
             Ok((
                 200,
                 base.set("count", total)
                     .set("truncated", total > limit)
-                    .set("components", Json::Arr(rows)),
+                    .set(
+                        "components",
+                        Json::Stream(Arc::new(ComponentRows {
+                            result: Arc::clone(result),
+                            limit,
+                        })),
+                    ),
             ))
         }
         MetricResult::Betweenness(ranking) => {
@@ -1145,30 +1345,37 @@ mod tests {
         }
     }
 
+    /// Dispatches and renders the body — most tests assert on the
+    /// rendered text regardless of whether the tree streams.
+    fn dispatch_text(state: &ServerState, request: &Request) -> (Route, u16, String) {
+        let (route, status, body) = dispatch(state, request);
+        (route, status, body.render())
+    }
+
     #[test]
     fn dispatch_routes_and_statuses() {
         let server = test_server();
         let state = server.state();
-        let (route, status, _) = dispatch(state, &request("/"));
+        let (route, status, _) = dispatch_text(state, &request("/"));
         assert_eq!((route, status), (Route::Index, 200));
-        let (route, status, _) = dispatch(state, &request("/healthz"));
+        let (route, status, _) = dispatch_text(state, &request("/healthz"));
         assert_eq!((route, status), (Route::Health, 200));
-        let (route, status, _) = dispatch(state, &request("/nope"));
+        let (route, status, _) = dispatch_text(state, &request("/nope"));
         assert_eq!((route, status), (Route::NotFound, 404));
         // Two-segment dataset paths are unknown routes (404), not 405.
-        let (route, status, _) = dispatch(state, &request("/datasets/paper"));
+        let (route, status, _) = dispatch_text(state, &request("/datasets/paper"));
         assert_eq!((route, status), (Route::NotFound, 404));
         // Wrong method on a real route is 405.
         let mut req = request("/datasets/paper/slg");
         req.method = "DELETE".to_string();
-        let (_, status, _) = dispatch(state, &req);
+        let (_, status, _) = dispatch_text(state, &req);
         assert_eq!(status, 405);
-        let (route, status, _) = dispatch(state, &request("/datasets/missing/slg"));
+        let (route, status, _) = dispatch_text(state, &request("/datasets/missing/slg"));
         assert_eq!((route, status), (Route::Slg, 404));
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"cache\":\"miss\""), "{body}");
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"cache\":\"hit\""), "{body}");
     }
@@ -1176,7 +1383,7 @@ mod tests {
     #[test]
     fn slg_body_contains_paper_triangle() {
         let server = test_server();
-        let (_, status, body) = dispatch(server.state(), &request("/datasets/paper/slg?s=2"));
+        let (_, status, body) = dispatch_text(server.state(), &request("/datasets/paper/slg?s=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"edges\":[[0,1],[0,2],[1,2]]"), "{body}");
         assert!(body.contains("\"num_edges\":3"));
@@ -1185,7 +1392,7 @@ mod tests {
     #[test]
     fn weighted_slg_reports_overlaps() {
         let server = test_server();
-        let (_, status, body) = dispatch(
+        let (_, status, body) = dispatch_text(
             server.state(),
             &request("/datasets/paper/slg?s=2&weighted=1"),
         );
@@ -1208,7 +1415,7 @@ mod tests {
             "/datasets/paper/slg?weighted=1&algo=naive",
             "/datasets/paper/sweep?max_s=0",
         ] {
-            let (_, status, _) = dispatch(state, &request(path));
+            let (_, status, _) = dispatch_text(state, &request(path));
             assert_eq!(status, 400, "{path}");
         }
     }
@@ -1217,17 +1424,18 @@ mod tests {
     fn components_betweenness_spectrum_sweep() {
         let server = test_server();
         let state = server.state();
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/components?s=2"));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/components?s=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"count\":1"));
         assert!(body.contains("[0,1,2]"));
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/betweenness?s=2&top=2"));
+        let (_, status, body) =
+            dispatch_text(state, &request("/datasets/paper/betweenness?s=2&top=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"ranking\""));
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/spectrum?s=2"));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/spectrum?s=2"));
         assert_eq!(status, 200);
         assert!(body.contains("\"algebraic_connectivity\""));
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/sweep?max_s=4"));
         assert_eq!(status, 200);
         assert!(
             body.contains("\"counts\":[[1,4],[2,3],[3,2],[4,0]]"),
@@ -1241,7 +1449,7 @@ mod tests {
         let server = test_server();
         let mut req = request("/datasets?path=somefile.hgr");
         req.method = "POST".to_string();
-        let (_, status, body) = dispatch(server.state(), &req);
+        let (_, status, body) = dispatch_text(server.state(), &req);
         assert_eq!(status, 403, "{body}");
         assert!(body.contains("data-root"), "{body}");
 
@@ -1263,7 +1471,7 @@ mod tests {
         let state = server.state();
         let mut req = request("/datasets?path=inside.hgr");
         req.method = "POST".to_string();
-        let (_, status, body) = dispatch(state, &req);
+        let (_, status, body) = dispatch_text(state, &req);
         assert_eq!(status, 201, "{body}");
         assert!(state.registry.get("inside").is_some());
         for bad in [
@@ -1273,7 +1481,7 @@ mod tests {
         ] {
             let mut req = request(bad);
             req.method = "POST".to_string();
-            let (_, status, _) = dispatch(state, &req);
+            let (_, status, _) = dispatch_text(state, &req);
             assert_eq!(status, 403, "{bad}");
         }
         std::fs::remove_file(dir.join("inside.hgr")).ok();
@@ -1285,14 +1493,14 @@ mod tests {
         let state = server.state();
         let mut req = request("/datasets?profile=lesMis&seed=7");
         req.method = "POST".to_string();
-        let (route, status, body) = dispatch(state, &req);
+        let (route, status, body) = dispatch_text(state, &req);
         assert_eq!((route, status), (Route::AddDataset, 201));
         assert!(body.contains("\"name\":\"lesMis\""));
         assert!(state.registry.get("lesMis").is_some());
         // Missing source → 400.
         let mut req = request("/datasets?name=x");
         req.method = "POST".to_string();
-        let (_, status, _) = dispatch(state, &req);
+        let (_, status, _) = dispatch_text(state, &req);
         assert_eq!(status, 400);
     }
 
@@ -1302,12 +1510,13 @@ mod tests {
         let state = server.state();
         // `?s=` previously failed u32 parsing with a confusing 400; it
         // must behave exactly like an absent parameter.
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/slg?s="));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/slg?s="));
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"s\":2"), "{body}");
-        let (_, status, _) = dispatch(state, &request("/datasets/paper/slg?s=&algo=&weighted="));
+        let (_, status, _) =
+            dispatch_text(state, &request("/datasets/paper/slg?s=&algo=&weighted="));
         assert_eq!(status, 200);
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/sweep?max_s="));
+        let (_, status, body) = dispatch_text(state, &request("/datasets/paper/sweep?max_s="));
         assert_eq!(status, 200, "{body}");
     }
 
@@ -1320,9 +1529,9 @@ mod tests {
             "/datasets/paper/components?s=2",
             "/datasets/paper/spectrum?s=2",
         ] {
-            let (_, status, first) = dispatch(state, &request(path));
+            let (_, status, first) = dispatch_text(state, &request(path));
             assert_eq!(status, 200, "{path}");
-            let (_, status, second) = dispatch(state, &request(path));
+            let (_, status, second) = dispatch_text(state, &request(path));
             assert_eq!(status, 200, "{path}");
             assert_eq!(first, second, "{path}: repeated response diverged");
         }
@@ -1330,23 +1539,26 @@ mod tests {
         assert_eq!((stats.misses, stats.hits), (3, 3));
         // A different render-time `top` shares the cached ranking: hits
         // grow, misses do not.
-        let (_, status, body) = dispatch(state, &request("/datasets/paper/betweenness?s=2&top=1"));
+        let (_, status, body) =
+            dispatch_text(state, &request("/datasets/paper/betweenness?s=2&top=1"));
         assert_eq!(status, 200);
         assert!(body.contains("\"top\":1"), "{body}");
         let stats = state.metric_cache.stats();
         assert_eq!((stats.misses, stats.hits), (3, 4));
         // Different compute-time params (sampled betweenness) are a
         // distinct metric entry.
-        let (_, status, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2&samples=2"));
+        let (_, status, _) =
+            dispatch_text(state, &request("/datasets/paper/betweenness?s=2&samples=2"));
         assert_eq!(status, 200);
         assert_eq!(state.metric_cache.stats().misses, 4);
         // But an exact request never reads the seed, so `?seed=` does
         // not mint a duplicate exact entry...
-        let (_, status, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2&seed=7"));
+        let (_, status, _) =
+            dispatch_text(state, &request("/datasets/paper/betweenness?s=2&seed=7"));
         assert_eq!(status, 200);
         assert_eq!(state.metric_cache.stats().misses, 4);
         // ...while for sampled requests the seed is part of the key.
-        let (_, status, _) = dispatch(
+        let (_, status, _) = dispatch_text(
             state,
             &request("/datasets/paper/betweenness?s=2&samples=2&seed=7"),
         );
@@ -1355,13 +1567,13 @@ mod tests {
         // Oversized sample counts normalize to the hyperedge count
         // (m = 4 on the paper example), so equivalent oversampled
         // requests share one entry instead of re-running the kernel.
-        let (_, status, _) = dispatch(
+        let (_, status, _) = dispatch_text(
             state,
             &request("/datasets/paper/betweenness?s=2&samples=100"),
         );
         assert_eq!(status, 200);
         assert_eq!(state.metric_cache.stats().misses, 6);
-        let (_, status, _) = dispatch(
+        let (_, status, _) = dispatch_text(
             state,
             &request("/datasets/paper/betweenness?s=2&samples=4000"),
         );
@@ -1382,7 +1594,7 @@ mod tests {
             "/datasets/paper/components?s=2&limit=abc",
             "/datasets/paper/slg?s=2&limit=abc",
         ] {
-            let (_, status, _) = dispatch(state, &request(path));
+            let (_, status, _) = dispatch_text(state, &request(path));
             assert_eq!(status, 400, "{path}");
         }
         // The doomed requests must not have run (or cached) a kernel.
@@ -1396,11 +1608,11 @@ mod tests {
         let server = test_server();
         let state = server.state();
         // Prime s=2 through /slg so the sweep has something to reuse.
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2"));
         assert!(body.contains("\"cache\":\"miss\""));
         let artifact_misses_before = state.cache.stats().misses;
 
-        let (_, status, cold) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        let (_, status, cold) = dispatch_text(state, &request("/datasets/paper/sweep?max_s=4"));
         assert_eq!(status, 200);
         assert!(
             cold.contains("\"counts\":[[1,4],[2,3],[3,2],[4,0]]"),
@@ -1414,21 +1626,21 @@ mod tests {
         // Every swept s now serves /slg warm...
         for s in 1..=4 {
             let (_, status, body) =
-                dispatch(state, &request(&format!("/datasets/paper/slg?s={s}")));
+                dispatch_text(state, &request(&format!("/datasets/paper/slg?s={s}")));
             assert_eq!(status, 200);
             assert!(body.contains("\"cache\":\"hit\""), "s={s}: {body}");
         }
         // ...and the swept artifacts are identical to /slg-built ones.
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=3"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/slg?s=3"));
         assert!(body.contains("\"edges\":[[0,2],[1,2]]"), "{body}");
 
         // A repeated sweep is a metric-tier hit with a byte-identical body.
-        let (_, status, warm) = dispatch(state, &request("/datasets/paper/sweep?max_s=4"));
+        let (_, status, warm) = dispatch_text(state, &request("/datasets/paper/sweep?max_s=4"));
         assert_eq!(status, 200);
         assert_eq!(cold, warm, "sweep bodies diverged");
         assert!(state.metric_cache.stats().hits >= 1);
         // A longer sweep reuses all four cached artifacts.
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/sweep?max_s=6"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/sweep?max_s=6"));
         assert!(body.contains("[4,0],[5,0],[6,0]"), "{body}");
     }
 
@@ -1436,21 +1648,23 @@ mod tests {
     fn replacing_a_dataset_invalidates_both_tiers() {
         let server = test_server();
         let state = server.state();
-        let (_, _, triangle_bc) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
-        let (_, _, triangle_sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+        let (_, _, triangle_bc) = dispatch_text(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, _, triangle_sweep) =
+            dispatch_text(state, &request("/datasets/paper/sweep?max_s=2"));
         assert!(triangle_sweep.contains("\"counts\":[[1,4],[2,3]]"));
 
         // Replace `paper` with a generated lesMis profile under the same
         // name: every per-s result changes shape.
         let mut req = request("/datasets?profile=lesMis&seed=1&name=paper");
         req.method = "POST".to_string();
-        let (_, status, _) = dispatch(state, &req);
+        let (_, status, _) = dispatch_text(state, &req);
         assert_eq!(status, 201);
 
-        let (_, status, new_bc) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, status, new_bc) = dispatch_text(state, &request("/datasets/paper/betweenness?s=2"));
         assert_eq!(status, 200);
         assert_ne!(triangle_bc, new_bc, "stale betweenness served");
-        let (_, status, new_sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+        let (_, status, new_sweep) =
+            dispatch_text(state, &request("/datasets/paper/sweep?max_s=2"));
         assert_eq!(status, 200);
         assert_ne!(triangle_sweep, new_sweep, "stale sweep served");
     }
@@ -1466,7 +1680,7 @@ mod tests {
             let state = server.state();
             std::thread::scope(|scope| {
                 let sweeper =
-                    scope.spawn(|| dispatch(state, &request("/datasets/paper/sweep?max_s=2")));
+                    scope.spawn(|| dispatch_text(state, &request("/datasets/paper/sweep?max_s=2")));
                 // Replace mid-flight (whichever side wins the race, the
                 // invariant below must hold).
                 state
@@ -1479,9 +1693,9 @@ mod tests {
             // After the replacement, served artifacts and sweep counts
             // must reflect the new dataset — a stale pinned per-s entry
             // would surface here.
-            let (_, _, sweep) = dispatch(state, &request("/datasets/paper/sweep?max_s=2"));
+            let (_, _, sweep) = dispatch_text(state, &request("/datasets/paper/sweep?max_s=2"));
             assert!(sweep.contains("\"counts\":[[1,1],[2,1]]"), "{sweep}");
-            let (_, _, slg) = dispatch(state, &request("/datasets/paper/slg?s=2"));
+            let (_, _, slg) = dispatch_text(state, &request("/datasets/paper/slg?s=2"));
             assert!(slg.contains("\"edges\":[[0,1]]"), "{slg}");
         }
     }
@@ -1501,7 +1715,7 @@ mod tests {
             {"dataset":"paper","op":"slg","s":0}
         ]"#
         .to_vec();
-        let (route, status, body) = dispatch(state, &req);
+        let (route, status, body) = dispatch_text(state, &req);
         assert_eq!((route, status), (Route::Query, 200), "{body}");
         assert!(body.contains("\"count\":6"), "{body}");
         assert!(body.contains("\"hyperedges\":4"), "{body}");
@@ -1519,7 +1733,7 @@ mod tests {
         // request is now warm.
         assert!(state.metric_cache.stats().misses >= 1);
         let (_, status, single) =
-            dispatch(state, &request("/datasets/paper/betweenness?s=2&top=1"));
+            dispatch_text(state, &request("/datasets/paper/betweenness?s=2&top=1"));
         assert_eq!(status, 200);
         assert!(single.contains("\"ranking\""));
         assert!(state.metric_cache.stats().hits >= 1);
@@ -1546,7 +1760,7 @@ mod tests {
             let mut req = request("/query");
             req.method = "POST".to_string();
             req.body = body;
-            let (_, status, response) = dispatch(state, &req);
+            let (_, status, response) = dispatch_text(state, &req);
             if i == 4 || i == 5 {
                 // Item-level failures: the batch succeeds, the item errors.
                 assert_eq!(status, 200, "case {i}: {response}");
@@ -1556,7 +1770,7 @@ mod tests {
             }
         }
         // Wrong method on /query is 405.
-        let (_, status, _) = dispatch(state, &request("/query"));
+        let (_, status, _) = dispatch_text(state, &request("/query"));
         assert_eq!(status, 405);
     }
 
@@ -1564,9 +1778,9 @@ mod tests {
     fn metrics_report_both_tiers() {
         let server = test_server();
         let state = server.state();
-        let (_, _, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
-        let (_, _, _) = dispatch(state, &request("/datasets/paper/betweenness?s=2"));
-        let (_, status, body) = dispatch(state, &request("/metrics"));
+        let (_, _, _) = dispatch_text(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, _, _) = dispatch_text(state, &request("/datasets/paper/betweenness?s=2"));
+        let (_, status, body) = dispatch_text(state, &request("/metrics"));
         assert_eq!(status, 200);
         assert!(
             body.contains("\"cache\":{\"artifacts\":{\"hits\":0,\"misses\":1"),
@@ -1583,12 +1797,157 @@ mod tests {
     fn distinct_algorithms_are_distinct_cache_entries() {
         let server = test_server();
         let state = server.state();
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
         assert!(body.contains("\"cache\":\"miss\""));
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=spgemm"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2&algo=spgemm"));
         assert!(body.contains("\"cache\":\"miss\""));
-        let (_, _, body) = dispatch(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
+        let (_, _, body) = dispatch_text(state, &request("/datasets/paper/slg?s=2&algo=algo1"));
         assert!(body.contains("\"cache\":\"hit\""));
         assert_eq!(state.cache.stats().entries, 2);
+    }
+
+    /// Splits a raw response into `(head, body bytes)`.
+    fn split_response(wire: &[u8]) -> (String, Vec<u8>) {
+        let boundary = wire
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head/body boundary");
+        (
+            String::from_utf8(wire[..boundary].to_vec()).unwrap(),
+            wire[boundary + 4..].to_vec(),
+        )
+    }
+
+    /// Reassembles a chunked body (shared strict helper, unwrapped).
+    fn dechunk(body: &[u8]) -> Vec<u8> {
+        http::dechunk(body).expect("well-formed chunked body")
+    }
+
+    #[test]
+    fn streamed_responses_chunk_and_gzip_byte_identically() {
+        let server = test_server();
+        let state = server.state();
+        let req = request("/datasets/paper/slg?s=2");
+        let (_, status, body) = dispatch(state, &req);
+        assert_eq!(status, 200);
+        assert!(body.is_streaming(), "/slg bodies stream");
+        let buffered = body.render();
+
+        // Identity: chunked framing, no content-length, de-chunks to
+        // exactly the buffered rendering.
+        let mut wire = Vec::new();
+        assert!(respond(state, &mut wire, &req, status, &body, true).unwrap());
+        let (head, raw_body) = split_response(&wire);
+        assert!(head.contains("transfer-encoding: chunked"), "{head}");
+        assert!(!head.contains("content-length"), "{head}");
+        assert!(head.contains("connection: keep-alive"), "{head}");
+        assert_eq!(dechunk(&raw_body), buffered.as_bytes());
+
+        // Gzip negotiated: content-encoding header, and the de-chunked,
+        // decompressed body round-trips byte-identical.
+        let mut gz_req = req.clone();
+        gz_req
+            .headers
+            .push(("accept-encoding".to_string(), "gzip".to_string()));
+        let mut wire = Vec::new();
+        assert!(respond(state, &mut wire, &gz_req, status, &body, true).unwrap());
+        let (head, raw_body) = split_response(&wire);
+        assert!(head.contains("content-encoding: gzip"), "{head}");
+        assert!(head.contains("transfer-encoding: chunked"), "{head}");
+        let decoded = crate::gzip::decode(&dechunk(&raw_body)).expect("valid gzip body");
+        assert_eq!(decoded, buffered.as_bytes());
+
+        // `Accept-Encoding: gzip;q=0` refuses compression.
+        let mut refuse = req.clone();
+        refuse
+            .headers
+            .push(("accept-encoding".to_string(), "gzip;q=0".to_string()));
+        let mut wire = Vec::new();
+        respond(state, &mut wire, &refuse, status, &body, true).unwrap();
+        let (head, _) = split_response(&wire);
+        assert!(!head.contains("content-encoding"), "{head}");
+
+        let transported = state.metrics.streamed_responses.load(Ordering::Relaxed);
+        let gzipped = state.metrics.gzip_responses.load(Ordering::Relaxed);
+        assert_eq!((transported, gzipped), (3, 1));
+    }
+
+    #[test]
+    fn head_responses_carry_exact_length_and_no_body() {
+        let server = test_server();
+        let state = server.state();
+        for path in [
+            "/healthz",
+            "/datasets/paper/slg?s=2",
+            "/datasets/paper/sweep?max_s=3",
+        ] {
+            // Prime the caches, then compare warm GET vs HEAD (the
+            // /slg cache-outcome tag flips miss→hit on the first pair).
+            let get = request(path);
+            let (_, status, _) = dispatch(state, &get);
+            assert_eq!(status, 200, "{path}");
+            let (_, _, warm_body) = dispatch(state, &get);
+            let expected_len = warm_body.render().len() as u64;
+
+            let mut head_req = request(path);
+            head_req.method = "HEAD".to_string();
+            let (_, head_status, head_body) = dispatch(state, &head_req);
+            assert_eq!(head_status, 200, "HEAD routes like GET: {path}");
+            let mut wire = Vec::new();
+            assert!(
+                respond(state, &mut wire, &head_req, head_status, &head_body, true).unwrap(),
+                "HEAD keeps the connection alive"
+            );
+            let (head, raw_body) = split_response(&wire);
+            assert!(raw_body.is_empty(), "{path}: HEAD must not send a body");
+            assert!(
+                head.contains(&format!("content-length: {expected_len}")),
+                "{path}: expected length {expected_len} in {head}"
+            );
+            assert!(!head.contains("transfer-encoding"), "{head}");
+        }
+        // HEAD on a POST-only route is 405, like any other wrong method.
+        let mut head_req = request("/query");
+        head_req.method = "HEAD".to_string();
+        let (_, status, _) = dispatch(state, &head_req);
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn http10_streams_close_delimited() {
+        let server = test_server();
+        let state = server.state();
+        let mut req = request("/datasets/paper/slg?s=2");
+        req.http10 = true;
+        let (_, status, body) = dispatch(state, &req);
+        let buffered = body.render();
+        let mut wire = Vec::new();
+        assert!(
+            !respond(state, &mut wire, &req, status, &body, false).unwrap(),
+            "HTTP/1.0 streamed responses close the connection"
+        );
+        let (head, raw_body) = split_response(&wire);
+        assert!(!head.contains("transfer-encoding"), "{head}");
+        assert!(head.contains("connection: close"), "{head}");
+        assert_eq!(raw_body, buffered.as_bytes(), "body delimited by close");
+    }
+
+    #[test]
+    fn batch_responses_stream_when_items_stream() {
+        let server = test_server();
+        let state = server.state();
+        let mut req = request("/query");
+        req.method = "POST".to_string();
+        req.body = br#"[{"dataset":"paper","op":"slg","s":2},
+                        {"dataset":"paper","op":"sweep","max_s":2}]"#
+            .to_vec();
+        let (_, status, body) = dispatch(state, &req);
+        assert_eq!(status, 200);
+        assert!(body.is_streaming(), "batch inherits streamed items");
+        let buffered = body.render();
+        let mut wire = Vec::new();
+        respond(state, &mut wire, &req, status, &body, true).unwrap();
+        let (_, raw_body) = split_response(&wire);
+        assert_eq!(dechunk(&raw_body), buffered.as_bytes());
     }
 }

@@ -49,11 +49,21 @@ fn parse_response(raw: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad response: {raw:?}"));
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw, ""));
+    let chunked = head
+        .lines()
+        .any(|l| l.eq_ignore_ascii_case("transfer-encoding: chunked"));
+    let body = if chunked {
+        String::from_utf8(dechunk(body.as_bytes())).expect("UTF-8 chunked body")
+    } else {
+        body.to_string()
+    };
     (status, body)
+}
+
+/// Reassembles a chunked body (shared strict helper, unwrapped).
+fn dechunk(body: &[u8]) -> Vec<u8> {
+    hyperline_server::http::dechunk(body).expect("well-formed chunked body")
 }
 
 fn start_server(profile: &str, threads: usize) -> (hyperline_server::ServerHandle, String) {

@@ -1,0 +1,345 @@
+//! Wire-level tests for the streaming response stack: chunked framing,
+//! gzip negotiation (decode + byte-compare against the buffered
+//! rendering), HEAD semantics, `Expect: 100-continue`, and the
+//! oversized-body desync regression.
+
+use hyperline_server::{gzip, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_server(profile: &str) -> (hyperline_server::ServerHandle, String) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_mb: 64,
+        queue_depth: 64,
+        read_timeout: Duration::from_secs(5),
+        data_root: None,
+    })
+    .expect("bind ephemeral port");
+    let name = server
+        .registry()
+        .load_profile(profile, 42, None)
+        .expect("load profile");
+    (server.spawn(), name)
+}
+
+/// One request with caller-controlled headers; returns the raw response
+/// bytes (status line through EOF).
+fn exchange(addr: SocketAddr, request: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    raw
+}
+
+/// Splits a raw response into `(head, body bytes)`.
+fn split_response(wire: &[u8]) -> (String, Vec<u8>) {
+    let boundary = wire
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head/body boundary in {wire:?}"));
+    (
+        String::from_utf8(wire[..boundary].to_vec()).unwrap(),
+        wire[boundary + 4..].to_vec(),
+    )
+}
+
+/// Reassembles a chunked body (shared strict helper, unwrapped).
+fn dechunk(body: &[u8]) -> Vec<u8> {
+    hyperline_server::http::dechunk(body).expect("well-formed chunked body")
+}
+
+/// Acceptance: a full (un-`limit`ed) genomics edge list streams chunked,
+/// the gzip body de-chunks + decodes byte-identical to the identity
+/// rendering, and gzip shrinks the edge list at least 3x on the wire.
+#[test]
+fn full_edge_list_streams_chunked_and_gzips_three_times_smaller() {
+    let (handle, name) = start_server("genomics");
+    let addr = handle.addr();
+    let target = format!("/datasets/{name}/slg?s=2&limit=100000000");
+
+    // Warm the artifact so both measured responses carry `cache: hit`
+    // and compare byte-identical.
+    exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    );
+    let identity = exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    );
+    let (head, raw_body) = split_response(&identity);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "{head}"
+    );
+    assert!(
+        !head.to_ascii_lowercase().contains("content-length"),
+        "streamed responses must not claim a length: {head}"
+    );
+    let identity_body = dechunk(&raw_body);
+    assert!(
+        identity_body.len() > 1_000_000,
+        "full genomics edge list should be >1 MB, got {}",
+        identity_body.len()
+    );
+
+    let gzipped = exchange(
+        addr,
+        &format!(
+            "GET {target} HTTP/1.1\r\nhost: t\r\naccept-encoding: gzip\r\nconnection: close\r\n\r\n"
+        ),
+    );
+    let (head, raw_body) = split_response(&gzipped);
+    assert!(
+        head.to_ascii_lowercase().contains("content-encoding: gzip"),
+        "{head}"
+    );
+    let gzip_body = dechunk(&raw_body);
+    let decoded = gzip::decode(&gzip_body).expect("valid gzip stream");
+    assert_eq!(
+        decoded, identity_body,
+        "gzip body must round-trip byte-identical to the identity rendering"
+    );
+    assert!(
+        gzip_body.len() * 3 <= identity_body.len(),
+        "acceptance: >=3x wire reduction on edge lists, got {} -> {}",
+        identity_body.len(),
+        gzip_body.len()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn chunked_responses_keep_the_connection_reusable() {
+    let (handle, name) = start_server("lesMis");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Three streamed requests on one keep-alive connection; each body
+    // must de-chunk cleanly and identically (warm repeats).
+    let mut bodies = Vec::new();
+    for i in 0..3 {
+        write!(
+            stream,
+            "GET /datasets/{name}/sweep?max_s=4 HTTP/1.1\r\nhost: t\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        // Read until the terminal chunk marker.
+        while !raw.ends_with(b"0\r\n\r\n") {
+            stream
+                .read_exact(&mut byte)
+                .unwrap_or_else(|e| panic!("request {i}: connection died mid-response: {e}"));
+            raw.push(byte[0]);
+        }
+        let (head, body) = split_response(&raw);
+        assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+        assert!(head.contains("connection: keep-alive"), "request {i}");
+        bodies.push(dechunk(&body));
+    }
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+    assert!(std::str::from_utf8(&bodies[0])
+        .unwrap()
+        .contains("\"counts\":"));
+    handle.shutdown();
+}
+
+#[test]
+fn head_matches_get_and_keeps_the_connection() {
+    let (handle, name) = start_server("lesMis");
+    let addr = handle.addr();
+
+    // Warm the cache so GET and HEAD see identical (hit) bodies.
+    let warm = |target: &str| {
+        let raw = exchange(
+            addr,
+            &format!("GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+        );
+        let (head, body) = split_response(&raw);
+        if head
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+        {
+            dechunk(&body)
+        } else {
+            body
+        }
+    };
+    for target in [
+        "/healthz".to_string(),
+        format!("/datasets/{name}/slg?s=2&limit=50"),
+        format!("/datasets/{name}/sweep?max_s=3"),
+    ] {
+        warm(&target);
+        let get_body = warm(&target);
+        let raw = exchange(
+            addr,
+            &format!("HEAD {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+        );
+        let (head, body) = split_response(&raw);
+        assert!(head.starts_with("HTTP/1.1 200"), "{target}: {head}");
+        assert!(body.is_empty(), "{target}: HEAD must not send a body");
+        assert!(
+            head.contains(&format!("content-length: {}", get_body.len())),
+            "{target}: expected length {} in {head}",
+            get_body.len()
+        );
+    }
+
+    // HEAD keeps the connection alive: a GET on the same socket works.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "HEAD /healthz HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).unwrap();
+        raw.push(byte[0]);
+    }
+    assert!(raw.starts_with(b"HTTP/1.1 200"));
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(
+        String::from_utf8_lossy(&rest).contains("\"ok\":true"),
+        "connection must survive the HEAD exchange"
+    );
+    handle.shutdown();
+}
+
+/// Regression: an oversized `Content-Length` must be answered with 400
+/// and a closed connection *without* reading the body — otherwise the
+/// body bytes (here: a smuggled pipelined request) would be parsed as
+/// the next request on the keep-alive loop.
+#[test]
+fn oversized_body_is_rejected_and_closed_without_desync() {
+    let (handle, _) = start_server("lesMis");
+    let oversized = 1024 * 1024 + 1;
+    let smuggled = "GET /healthz HTTP/1.1\r\nhost: smuggled\r\n\r\n";
+    let raw = exchange(
+        handle.addr(),
+        &format!(
+            "POST /query HTTP/1.1\r\nhost: t\r\ncontent-length: {oversized}\r\n\r\n{smuggled}"
+        ),
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+    assert_eq!(
+        text.matches("HTTP/1.1").count(),
+        1,
+        "exactly one response: the smuggled body bytes must never be answered: {text}"
+    );
+    handle.shutdown();
+}
+
+/// A conforming `Expect: 100-continue` client waits for the interim
+/// response before sending its body; the server must emit it instead of
+/// stalling the exchange until the read timeout.
+#[test]
+fn expect_100_continue_receives_interim_then_final_response() {
+    let (handle, name) = start_server("lesMis");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = format!(r#"[{{"dataset":"{name}","op":"stats"}}]"#);
+    write!(
+        stream,
+        "POST /query HTTP/1.1\r\nhost: t\r\nexpect: 100-continue\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    // Do NOT send the body yet: wait for the 100 like a real client.
+    let mut interim = Vec::new();
+    let mut byte = [0u8; 1];
+    while !interim.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("interim response");
+        interim.push(byte[0]);
+    }
+    assert!(
+        interim.starts_with(b"HTTP/1.1 100 Continue"),
+        "{}",
+        String::from_utf8_lossy(&interim)
+    );
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    let text = String::from_utf8_lossy(&rest);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("\"hyperedges\":400"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn unsupported_codings_and_expectations_close_with_an_error() {
+    let (handle, _) = start_server("lesMis");
+    let addr = handle.addr();
+    // Transfer-encoded request bodies: 501 + close (ignoring the header
+    // would desync on the chunked body bytes).
+    let raw = exchange(
+        addr,
+        "POST /query HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 501"), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+    assert_eq!(text.matches("HTTP/1.1").count(), 1, "{text}");
+
+    // Unknown expectation: 417 + close.
+    let raw = exchange(
+        addr,
+        "POST /query HTTP/1.1\r\nhost: t\r\nexpect: teleport\r\ncontent-length: 2\r\n\r\nok",
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 417"), "{text}");
+
+    // Conflicting Content-Length headers: 400 + close.
+    let raw = exchange(
+        addr,
+        "POST /query HTTP/1.1\r\nhost: t\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\nokx",
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    handle.shutdown();
+}
+
+/// HTTP/1.0 clients get identity close-delimited bodies (no chunked
+/// framing, which 1.0 does not understand).
+#[test]
+fn http10_gets_close_delimited_identity_bodies() {
+    let (handle, name) = start_server("lesMis");
+    let raw = exchange(
+        handle.addr(),
+        &format!("GET /datasets/{name}/slg?s=2&limit=50 HTTP/1.0\r\nhost: t\r\n\r\n"),
+    );
+    let (head, body) = split_response(&raw);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        !head.to_ascii_lowercase().contains("transfer-encoding"),
+        "{head}"
+    );
+    assert!(head.contains("connection: close"), "{head}");
+    let text = std::str::from_utf8(&body).unwrap();
+    assert!(text.starts_with('{') && text.ends_with('}'), "{text}");
+    assert!(text.contains("\"edges\":[["), "{text}");
+    handle.shutdown();
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Pre-merge gate: formatting, lints, release build, full test suite, and
-# the server smoke benchmark (cold vs warm cache latencies).
+# the server smoke benchmark (cold vs warm cache latencies + streamed
+# edge-list wire bytes, identity vs gzip).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
