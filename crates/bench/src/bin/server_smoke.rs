@@ -172,6 +172,29 @@ fn main() {
         "gzip body must round-trip byte-identical"
     );
     let gzip_ratio = identity_body.len() as f64 / gzip_body.len() as f64;
+    // Encoder effort comparison on the same body: default (archival)
+    // vs fast (what streamed responses use). Medians of 5 encodes.
+    let encode = |effort: gzip::Effort| -> (f64, usize) {
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let out = gzip::compress_with(&identity_body, effort);
+                let secs = t.elapsed().as_secs_f64();
+                std::hint::black_box(&out);
+                secs
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (
+            times[times.len() / 2],
+            gzip::compress_with(&identity_body, effort).len(),
+        )
+    };
+    let (default_secs, default_bytes) = encode(gzip::Effort::Default);
+    let (fast_secs, fast_bytes) = encode(gzip::Effort::Fast);
+    let mbps = |secs: f64| identity_body.len() as f64 / secs / 1e6;
+    let encode_speedup = default_secs / fast_secs;
+    let ratio_loss_pct = (fast_bytes as f64 / default_bytes as f64 - 1.0) * 100.0;
     // Peak-RSS proxy of the response path: the streamed writer stack
     // buffers one chunk frame + one gzip block + its bit buffer, versus
     // the body-sized String the buffered path would allocate.
@@ -187,6 +210,15 @@ fn main() {
         gzip_ratio,
         streamed_buffer_bytes,
         identity_body.len(),
+    );
+    println!(
+        "gzip encode    default {:>7.1} MB/s ({} B)   fast {:>7.1} MB/s ({} B)   speedup {:.2}x   ratio loss {:+.1}%",
+        mbps(default_secs),
+        default_bytes,
+        mbps(fast_secs),
+        fast_bytes,
+        encode_speedup,
+        ratio_loss_pct,
     );
 
     let (status, metrics) = get(addr, "/metrics");
@@ -216,6 +248,26 @@ fn main() {
                 .set("wire_bytes_identity_total", warm_raw.len())
                 .set("wire_bytes_gzip_total", gzip_raw.len())
                 .set("gzip_ratio", gzip_ratio)
+                .set(
+                    "gzip_encode",
+                    Json::obj()
+                        .set(
+                            "default",
+                            Json::obj()
+                                .set("micros", default_secs * 1e6)
+                                .set("bytes", default_bytes)
+                                .set("mb_per_s", mbps(default_secs)),
+                        )
+                        .set(
+                            "fast",
+                            Json::obj()
+                                .set("micros", fast_secs * 1e6)
+                                .set("bytes", fast_bytes)
+                                .set("mb_per_s", mbps(fast_secs)),
+                        )
+                        .set("speedup", encode_speedup)
+                        .set("ratio_loss_pct", ratio_loss_pct),
+                )
                 .set("streamed", true)
                 .set("peak_body_buffer_bytes_streamed", streamed_buffer_bytes)
                 .set("peak_body_buffer_bytes_buffered", identity_body.len()),

@@ -54,6 +54,7 @@ fn main() {
     for stage in [
         "preprocessing",
         "s-overlap",
+        "postprocess",
         "squeeze",
         "s-connected-components",
     ] {

@@ -5,6 +5,133 @@
 //! kernels. Graphs are simple (no self loops, no parallel edges) and may
 //! carry per-edge weights (the overlap counts, used for weighted drawings
 //! like the paper's Figure 2).
+//!
+//! Construction is parallel end-to-end (histogram + prefix sum + scatter
+//! into disjoint rows), with a fast path that skips the clean/sort/dedup
+//! pass entirely when the input is already a sorted upper-triangle edge
+//! list — which every s-line-graph edge list is. Untrusted inputs go
+//! through the checked [`Graph::try_from_edges`] builders; internal edge
+//! lists keep the infallible [`Graph::from_edges`] /
+//! [`Graph::from_sorted_edges`] paths.
+
+use hyperline_util::parallel::{
+    exclusive_prefix_sum, num_threads, par_filter_map, par_for_each_indexed_mut, par_for_each_mut,
+    par_map_range, par_map_slice, par_sort_unstable,
+};
+
+/// Error from the checked (`try_`) CSR builders: an edge endpoint
+/// outside `0..num_vertices`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeOutOfRange {
+    /// The offending edge (first such edge in input order).
+    pub edge: (u32, u32),
+    /// The vertex-space size the edge violated.
+    pub num_vertices: usize,
+}
+
+impl std::fmt::Display for EdgeOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edge ({},{}) out of range {}",
+            self.edge.0, self.edge.1, self.num_vertices
+        )
+    }
+}
+
+impl std::error::Error for EdgeOutOfRange {}
+
+/// Fixed chunk size for the parallel scan/clean passes. A function of
+/// nothing but the input length, so results never depend on the ambient
+/// worker count.
+const SCAN_CHUNK: usize = 1 << 16;
+
+/// Below this many clean edges the serial builder wins (thread spawn
+/// costs more than the work). Decided by length alone.
+const PAR_BUILD_MIN: usize = 1 << 14;
+
+/// First out-of-range item in input order, if any (parallel scan).
+/// Generic over the item so the pair and weighted-triple builders share
+/// one scan; `ends` projects an item to its two endpoints.
+fn first_out_of_range<T, E>(num_vertices: usize, items: &[T], ends: E) -> Option<(u32, u32)>
+where
+    T: Copy + Sync,
+    E: Fn(T) -> (u32, u32) + Sync,
+{
+    let nchunks = items.len().div_ceil(SCAN_CHUNK).max(1);
+    par_map_range(nchunks, |c| {
+        items[c * SCAN_CHUNK..((c + 1) * SCAN_CHUNK).min(items.len())]
+            .iter()
+            .copied()
+            .map(&ends)
+            .find(|&(a, b)| a as usize >= num_vertices || b as usize >= num_vertices)
+    })
+    .into_iter()
+    .flatten()
+    .next()
+}
+
+/// True when `edges` is already in canonical clean form: strictly
+/// ascending `(a, b)` pairs with `a < b` — sorted, no self loops, no
+/// duplicates. Every s-line-graph edge list has this shape.
+fn is_sorted_upper(edges: &[(u32, u32)]) -> bool {
+    let nchunks = edges.len().div_ceil(SCAN_CHUNK).max(1);
+    par_map_range(nchunks, |c| {
+        let lo = c * SCAN_CHUNK;
+        let hi = ((c + 1) * SCAN_CHUNK).min(edges.len());
+        let chunk = &edges[lo..hi];
+        chunk.iter().all(|&(a, b)| a < b)
+            && chunk.windows(2).all(|w| w[0] < w[1])
+            && (lo == 0 || hi == lo || edges[lo - 1] < edges[lo])
+    })
+    .into_iter()
+    .all(|ok| ok)
+}
+
+/// One worker's slice of a row-parallel fill: a contiguous vertex range
+/// plus the CSR storage slice its rows own.
+struct RowSegment<'a, T> {
+    v_lo: usize,
+    v_hi: usize,
+    out: &'a mut [T],
+}
+
+/// Contiguous vertex ranges covering all rows, balanced by entry count,
+/// one per available worker.
+fn row_ranges(offsets: &[usize]) -> Vec<(usize, usize)> {
+    let num_vertices = offsets.len() - 1;
+    let total = offsets[num_vertices];
+    let workers = num_threads().min(num_vertices.max(1));
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0usize);
+    for k in 1..workers {
+        let target = k * total / workers;
+        bounds.push(offsets.partition_point(|&o| o < target).min(num_vertices));
+    }
+    bounds.push(num_vertices);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Splits a CSR-aligned storage array into the disjoint slices owned by
+/// each vertex range of `ranges`.
+fn split_by_rows<'a, T>(
+    data: &'a mut [T],
+    offsets: &[usize],
+    ranges: &[(usize, usize)],
+) -> Vec<RowSegment<'a, T>> {
+    let mut rest = data;
+    let mut segs = Vec::with_capacity(ranges.len());
+    for &(v_lo, v_hi) in ranges {
+        let (head, tail) = rest.split_at_mut(offsets[v_hi] - offsets[v_lo]);
+        rest = tail;
+        segs.push(RowSegment {
+            v_lo,
+            v_hi,
+            out: head,
+        });
+    }
+    segs
+}
 
 /// An undirected simple graph over vertices `0..num_vertices`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,22 +144,151 @@ pub struct Graph {
 impl Graph {
     /// Builds a graph from an undirected edge list. Self loops are dropped,
     /// duplicate edges (in either orientation) are collapsed.
+    ///
+    /// Already-clean inputs (sorted upper-triangle, the shape every
+    /// s-line-graph edge list has) are detected with one parallel scan
+    /// and skip the clean/sort/dedup pass entirely.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= num_vertices` (internal edge lists
+    /// satisfy this by construction; untrusted inputs should use
+    /// [`Graph::try_from_edges`]).
     pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
-        let mut counts = vec![0usize; num_vertices + 1];
-        let mut clean: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
-        for &(a, b) in edges {
-            assert!(
-                (a as usize) < num_vertices && (b as usize) < num_vertices,
-                "edge ({a},{b}) out of range {num_vertices}"
-            );
-            if a == b {
-                continue;
-            }
-            clean.push(if a < b { (a, b) } else { (b, a) });
+        Self::try_from_edges(num_vertices, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`Graph::from_edges`] for untrusted inputs
+    /// (e.g. dataset loads): returns an error instead of panicking when
+    /// an endpoint is out of range.
+    pub fn try_from_edges(
+        num_vertices: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, EdgeOutOfRange> {
+        if let Some(edge) = first_out_of_range(num_vertices, edges, |e| e) {
+            return Err(EdgeOutOfRange { edge, num_vertices });
         }
-        clean.sort_unstable();
+        if is_sorted_upper(edges) {
+            return Ok(Self::build_clean(num_vertices, edges));
+        }
+        // Clean in parallel: drop self loops, orient as (min, max).
+        let mut clean = par_filter_map(edges, |&(a, b)| {
+            (a != b).then_some(if a < b { (a, b) } else { (b, a) })
+        });
+        par_sort_unstable(&mut clean);
         clean.dedup();
-        for &(a, b) in &clean {
+        Ok(Self::build_clean(num_vertices, &clean))
+    }
+
+    /// Fast path for edge lists known to be sorted upper-triangle
+    /// (strictly ascending `(a, b)` with `a < b`, all endpoints in
+    /// range): skips the detection scan as well as the clean/sort/dedup
+    /// pass. The precondition is debug-checked; release builds trust the
+    /// caller (a violation stays memory-safe but may panic or produce an
+    /// unspecified graph).
+    pub fn from_sorted_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        debug_assert!(
+            first_out_of_range(num_vertices, edges, |e| e).is_none(),
+            "from_sorted_edges: endpoint out of range"
+        );
+        debug_assert!(
+            is_sorted_upper(edges),
+            "from_sorted_edges: input not strictly sorted upper-triangle"
+        );
+        Self::build_clean(num_vertices, edges)
+    }
+
+    /// Builds the CSR from canonical clean edges (sorted, `a < b`,
+    /// unique, in range).
+    ///
+    /// Layout trick: each row stores its backward targets (the `a`s of
+    /// edges `(a, v)` — all `< v`, arriving in ascending order) first,
+    /// then its forward targets (the `b`s of edges `(v, b)` — all `> v`,
+    /// a contiguous range of the sorted input). Rows therefore come out
+    /// fully sorted with **no per-row sort and no comparison sort of a
+    /// transpose** — degree histograms, a parallel prefix sum and
+    /// counting scatters into disjoint rows do all the work.
+    fn build_clean(num_vertices: usize, clean: &[(u32, u32)]) -> Self {
+        if clean.len() < PAR_BUILD_MIN || num_vertices < 2 {
+            return Self::build_clean_serial(num_vertices, clean);
+        }
+        let m = clean.len();
+        // Forward row boundaries: `clean` is sorted by first endpoint, so
+        // row a's forward targets are one contiguous edge range.
+        let fstart: Vec<usize> = par_map_range(num_vertices + 1, |v| {
+            clean.partition_point(|e| (e.0 as usize) < v)
+        });
+        // Backward degree histogram: workers own disjoint vertex ranges
+        // and count second endpoints falling in their range. Deliberate
+        // trade-off: every worker reads the whole edge list (O(workers·m)
+        // sequential, cache-friendly reads here and in the scatter below)
+        // in exchange for purely disjoint writes in safe code — the
+        // alternative (per-chunk histograms + per-worker cursors) needs
+        // interleaved writes or a workers×V cursor matrix.
+        let workers = num_threads().min(num_vertices).max(1);
+        let vchunk = num_vertices.div_ceil(workers);
+        let mut bdeg = vec![0usize; num_vertices];
+        {
+            let mut blocks: Vec<&mut [usize]> = bdeg.chunks_mut(vchunk).collect();
+            par_for_each_indexed_mut(&mut blocks, |i, block| {
+                let lo = (i * vchunk) as u32;
+                let hi = lo + block.len() as u32;
+                for &(_, b) in clean {
+                    if b >= lo && b < hi {
+                        block[(b - lo) as usize] += 1;
+                    }
+                }
+            });
+        }
+        // Degrees → offsets: parallel prefix sum.
+        let mut offsets: Vec<usize> = par_map_range(num_vertices + 1, |v| {
+            if v < num_vertices {
+                (fstart[v + 1] - fstart[v]) + bdeg[v]
+            } else {
+                0
+            }
+        });
+        let total = exclusive_prefix_sum(&mut offsets);
+        debug_assert_eq!(total, 2 * m);
+        // Scatter into disjoint rows. Workers own entry-balanced vertex
+        // ranges; each scans the edge list once, placing backward targets
+        // by per-row cursor (edge order = ascending `a`, so they land
+        // sorted) and copying the contiguous forward range after them.
+        let mut targets = vec![0u32; 2 * m];
+        let ranges = row_ranges(&offsets);
+        let mut segs = split_by_rows(&mut targets, &offsets, &ranges);
+        par_for_each_mut(&mut segs, |seg| {
+            let base = offsets[seg.v_lo];
+            let (v_lo, v_hi) = (seg.v_lo as u32, seg.v_hi as u32);
+            // Backward fill: cursor per owned row, starting at the row
+            // head (backward targets come first).
+            let mut cursor: Vec<usize> = (seg.v_lo..seg.v_hi).map(|v| offsets[v] - base).collect();
+            for &(a, b) in clean {
+                if b >= v_lo && b < v_hi {
+                    let c = &mut cursor[(b - v_lo) as usize];
+                    seg.out[*c] = a;
+                    *c += 1;
+                }
+            }
+            // Forward fill: contiguous copy after each row's backward part.
+            for v in seg.v_lo..seg.v_hi {
+                let start = offsets[v] - base + bdeg[v];
+                for (k, &(_, b)) in clean[fstart[v]..fstart[v + 1]].iter().enumerate() {
+                    seg.out[start + k] = b;
+                }
+            }
+        });
+        Self {
+            offsets,
+            targets,
+            num_edges: m,
+        }
+    }
+
+    /// Serial CSR build for small inputs (counting sort + per-row sort);
+    /// produces exactly the same graph as the parallel path.
+    fn build_clean_serial(num_vertices: usize, clean: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; num_vertices + 1];
+        for &(a, b) in clean {
             counts[a as usize + 1] += 1;
             counts[b as usize + 1] += 1;
         }
@@ -42,7 +298,7 @@ impl Graph {
         let offsets = counts.clone();
         let mut targets = vec![0u32; clean.len() * 2];
         let mut cursor = counts;
-        for &(a, b) in &clean {
+        for &(a, b) in clean {
             targets[cursor[a as usize]] = b;
             cursor[a as usize] += 1;
             targets[cursor[b as usize]] = a;
@@ -147,25 +403,67 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Builds from weighted undirected edges; duplicate edges keep the
     /// maximum weight.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= num_vertices`; untrusted inputs
+    /// should use [`WeightedGraph::try_from_edges`].
     pub fn from_edges(num_vertices: usize, edges: &[(u32, u32, u32)]) -> Self {
-        let unweighted: Vec<(u32, u32)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
-        let graph = Graph::from_edges(num_vertices, &unweighted);
-        let mut weights = vec![0u32; graph.targets.len()];
-        for &(a, b, w) in edges {
-            if a == b {
-                continue;
-            }
-            for (u, v) in [(a, b), (b, a)] {
-                let start = graph.offsets[u as usize];
-                let idx = start
-                    + graph
-                        .neighbors(u)
-                        .binary_search(&v)
-                        .expect("edge must exist in underlying graph");
-                weights[idx] = weights[idx].max(w);
-            }
+        Self::try_from_edges(num_vertices, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`WeightedGraph::from_edges`] for untrusted
+    /// inputs: returns an error instead of panicking when an endpoint is
+    /// out of range.
+    pub fn try_from_edges(
+        num_vertices: usize,
+        edges: &[(u32, u32, u32)],
+    ) -> Result<Self, EdgeOutOfRange> {
+        // Range check, then clean: drop loops, orient as (min, max),
+        // parallel sort, collapse duplicates keeping the max weight
+        // (ascending sort puts the max last in each group).
+        if let Some(edge) = first_out_of_range(num_vertices, edges, |(a, b, _)| (a, b)) {
+            return Err(EdgeOutOfRange { edge, num_vertices });
         }
-        Self { graph, weights }
+        let mut clean = par_filter_map(edges, |&(a, b, w)| {
+            (a != b).then_some(if a < b { (a, b, w) } else { (b, a, w) })
+        });
+        par_sort_unstable(&mut clean);
+        clean.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 && cur.1 == prev.1 {
+                prev.2 = prev.2.max(cur.2);
+                true
+            } else {
+                false
+            }
+        });
+        let pairs: Vec<(u32, u32)> = par_map_slice(&clean, |&(a, b, _)| (a, b));
+        let graph = Graph::from_sorted_edges(num_vertices, &pairs);
+        // Weights aligned with the CSR targets, filled row-parallel past
+        // a small-input threshold: each arc's weight is one binary
+        // search into the sorted clean triples (no serial post-pass).
+        let mut weights = vec![0u32; graph.targets.len()];
+        let fill_rows = |v_lo: usize, v_hi: usize, out: &mut [u32]| {
+            let base = graph.offsets[v_lo];
+            for v in v_lo..v_hi {
+                let v32 = v as u32;
+                let start = graph.offsets[v] - base;
+                for (k, &u) in graph.neighbors(v32).iter().enumerate() {
+                    let key = if v32 < u { (v32, u) } else { (u, v32) };
+                    let idx = clean
+                        .binary_search_by(|t| (t.0, t.1).cmp(&key))
+                        .expect("edge must exist in clean triples");
+                    out[start + k] = clean[idx].2;
+                }
+            }
+        };
+        if weights.len() < PAR_BUILD_MIN {
+            fill_rows(0, graph.num_vertices(), &mut weights);
+        } else {
+            let ranges = row_ranges(&graph.offsets);
+            let mut segs = split_by_rows(&mut weights, &graph.offsets, &ranges);
+            par_for_each_mut(&mut segs, |seg| fill_rows(seg.v_lo, seg.v_hi, seg.out));
+        }
+        Ok(Self { graph, weights })
     }
 
     /// Weights aligned with `graph.neighbors(v)`.
@@ -255,5 +553,103 @@ mod tests {
         let w = WeightedGraph::from_edges(2, &[(0, 1, 2), (1, 0, 7)]);
         assert_eq!(w.weight(0, 1), Some(7));
         assert_eq!(w.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn try_from_edges_reports_first_bad_edge() {
+        let err = Graph::try_from_edges(3, &[(0, 1), (1, 5), (2, 9)]).unwrap_err();
+        assert_eq!(err.edge, (1, 5));
+        assert_eq!(err.num_vertices, 3);
+        assert!(err.to_string().contains("out of range"));
+        let err = WeightedGraph::try_from_edges(2, &[(0, 1, 3), (0, 2, 1)]).unwrap_err();
+        assert_eq!(err.edge, (0, 2));
+        assert!(Graph::try_from_edges(3, &[(0, 2), (1, 2)]).is_ok());
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_general_builder() {
+        // Strictly sorted upper-triangle input takes the fast path in
+        // from_edges and the explicit from_sorted_edges; both must equal
+        // the general (shuffled-input) construction.
+        let mut x = 9u64;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..120_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x % 5_000) as u32;
+            let b = ((x >> 20) % 5_000) as u32;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let fast = Graph::from_sorted_edges(5_000, &edges);
+        let auto = Graph::from_edges(5_000, &edges);
+        let mut shuffled = edges.clone();
+        shuffled.reverse();
+        shuffled.extend(edges.iter().map(|&(a, b)| (b, a))); // duplicates, both orientations
+        let general = Graph::from_edges(5_000, &shuffled);
+        assert_eq!(fast, auto);
+        assert_eq!(fast, general);
+        assert_eq!(fast.num_edges(), edges.len());
+        for v in 0..5_000u32 {
+            assert!(fast.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_build_identical_across_worker_counts() {
+        use hyperline_util::parallel::with_threads;
+        let mut x = 3u64;
+        let edges: Vec<(u32, u32)> = (0..80_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x % 700) as u32, ((x >> 24) % 700) as u32)
+            })
+            .collect();
+        let reference = with_threads(1, || Graph::from_edges(700, &edges));
+        for workers in [2usize, 7, 16] {
+            let g = with_threads(workers, || Graph::from_edges(700, &edges));
+            assert_eq!(g, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn weighted_parallel_matches_serial_semantics() {
+        // Big enough to hit the parallel path; duplicate (a,b) groups
+        // with different weights must keep the max.
+        let mut x = 77u64;
+        let edges: Vec<(u32, u32, u32)> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (
+                    (x % 300) as u32,
+                    ((x >> 16) % 300) as u32,
+                    (x >> 40) as u32 % 100,
+                )
+            })
+            .collect();
+        let wg = WeightedGraph::from_edges(300, &edges);
+        // Reference semantics computed naively.
+        let mut best = std::collections::HashMap::new();
+        for &(a, b, w) in &edges {
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            let e = best.entry(key).or_insert(0u32);
+            *e = (*e).max(w);
+        }
+        assert_eq!(wg.graph.num_edges(), best.len());
+        for (&(a, b), &w) in &best {
+            assert_eq!(wg.weight(a, b), Some(w), "({a},{b})");
+            assert_eq!(wg.weight(b, a), Some(w), "({b},{a})");
+        }
     }
 }

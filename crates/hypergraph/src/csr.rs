@@ -7,6 +7,28 @@
 
 use hyperline_util::parallel::par_for_each_mut;
 
+/// Error from the checked (`try_`) CSR builders: an entry outside the
+/// declared ID space. Untrusted inputs (dataset loads) go through the
+/// `try_` builders and surface this instead of panicking; internal
+/// callers keep the infallible builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrOutOfRange {
+    /// Which side was violated (`"row"`, `"col"` or `"target"`).
+    pub what: &'static str,
+    /// The offending ID.
+    pub id: u32,
+    /// The size of the ID space it had to fit.
+    pub space: usize,
+}
+
+impl std::fmt::Display for CsrOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} out of range {}", self.what, self.id, self.space)
+    }
+}
+
+impl std::error::Error for CsrOutOfRange {}
+
 /// CSR adjacency: `num_rows` sorted neighbor lists over targets `< num_cols`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
@@ -21,8 +43,15 @@ impl Csr {
     /// must be `< num_cols`.
     ///
     /// # Panics
-    /// Panics if any target is out of range.
+    /// Panics if any target is out of range (use [`Csr::try_from_lists`]
+    /// for untrusted inputs).
     pub fn from_lists(lists: &[Vec<u32>], num_cols: usize) -> Self {
+        Self::try_from_lists(lists, num_cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`Csr::from_lists`]: returns an error instead
+    /// of panicking on an out-of-range target.
+    pub fn try_from_lists(lists: &[Vec<u32>], num_cols: usize) -> Result<Self, CsrOutOfRange> {
         let mut offsets = Vec::with_capacity(lists.len() + 1);
         offsets.push(0usize);
         let mut targets = Vec::with_capacity(lists.iter().map(Vec::len).sum());
@@ -32,29 +61,56 @@ impl Csr {
             scratch.extend_from_slice(list);
             scratch.sort_unstable();
             scratch.dedup();
-            for &t in &scratch {
-                assert!(
-                    (t as usize) < num_cols,
-                    "target {t} out of range {num_cols}"
-                );
+            if let Some(&t) = scratch.last().filter(|&&t| t as usize >= num_cols) {
+                return Err(CsrOutOfRange {
+                    what: "target",
+                    id: t,
+                    space: num_cols,
+                });
             }
             targets.extend_from_slice(&scratch);
             offsets.push(targets.len());
         }
-        Self {
+        Ok(Self {
             offsets,
             targets,
             num_cols,
-        }
+        })
     }
 
     /// Builds a CSR from `(row, col)` pairs using a counting sort.
     /// Duplicate pairs are removed.
+    ///
+    /// # Panics
+    /// Panics if a row or column is out of range (use
+    /// [`Csr::try_from_pairs`] for untrusted inputs).
     pub fn from_pairs(pairs: &[(u32, u32)], num_rows: usize, num_cols: usize) -> Self {
+        Self::try_from_pairs(pairs, num_rows, num_cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`Csr::from_pairs`]: returns an error instead
+    /// of panicking on an out-of-range row or column.
+    pub fn try_from_pairs(
+        pairs: &[(u32, u32)],
+        num_rows: usize,
+        num_cols: usize,
+    ) -> Result<Self, CsrOutOfRange> {
         let mut counts = vec![0usize; num_rows + 1];
         for &(r, c) in pairs {
-            assert!((r as usize) < num_rows, "row {r} out of range {num_rows}");
-            assert!((c as usize) < num_cols, "col {c} out of range {num_cols}");
+            if r as usize >= num_rows {
+                return Err(CsrOutOfRange {
+                    what: "row",
+                    id: r,
+                    space: num_rows,
+                });
+            }
+            if c as usize >= num_cols {
+                return Err(CsrOutOfRange {
+                    what: "col",
+                    id: c,
+                    space: num_cols,
+                });
+            }
             counts[r as usize + 1] += 1;
         }
         for i in 0..num_rows {
@@ -74,7 +130,7 @@ impl Csr {
             num_cols,
         };
         csr.sort_and_dedup_rows();
-        csr
+        Ok(csr)
     }
 
     /// Sorts each row's targets and removes duplicates, compacting storage.

@@ -1,6 +1,6 @@
 //! The hypergraph type: a bipartite incidence structure stored as two CSRs.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrOutOfRange};
 use hyperline_util::fxhash::FxHashSet;
 
 /// A non-uniform hypergraph `H = (V, E)` with `n` vertices and `m`
@@ -29,6 +29,18 @@ impl Hypergraph {
         Self { edges, vertices }
     }
 
+    /// Checked variant of [`Hypergraph::from_edge_lists`] for untrusted
+    /// inputs (dataset loads): returns an error instead of panicking on
+    /// an out-of-range vertex.
+    pub fn try_from_edge_lists(
+        lists: &[Vec<u32>],
+        num_vertices: usize,
+    ) -> Result<Self, CsrOutOfRange> {
+        let edges = Csr::try_from_lists(lists, num_vertices)?;
+        let vertices = edges.transpose();
+        Ok(Self { edges, vertices })
+    }
+
     /// Builds a hypergraph from `(edge, vertex)` incidence pairs.
     pub fn from_incidence_pairs(
         pairs: &[(u32, u32)],
@@ -38,6 +50,19 @@ impl Hypergraph {
         let edges = Csr::from_pairs(pairs, num_edges, num_vertices);
         let vertices = edges.transpose();
         Self { edges, vertices }
+    }
+
+    /// Checked variant of [`Hypergraph::from_incidence_pairs`] for
+    /// untrusted inputs: returns an error instead of panicking on an
+    /// out-of-range edge or vertex ID.
+    pub fn try_from_incidence_pairs(
+        pairs: &[(u32, u32)],
+        num_edges: usize,
+        num_vertices: usize,
+    ) -> Result<Self, CsrOutOfRange> {
+        let edges = Csr::try_from_pairs(pairs, num_edges, num_vertices)?;
+        let vertices = edges.transpose();
+        Ok(Self { edges, vertices })
     }
 
     /// Wraps a pre-built edge→vertex CSR.

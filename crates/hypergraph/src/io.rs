@@ -31,6 +31,20 @@ pub enum ParseError {
         /// 1-based line number.
         line: usize,
     },
+    /// The largest ID implies a dense ID space wildly disproportionate
+    /// to the data (a handful of huge IDs would make the CSR/transpose
+    /// allocation orders of magnitude larger than the file). Remap IDs
+    /// densely before loading. This is the untrusted-load guard: a
+    /// 20-byte file must not be able to OOM a server.
+    IdSpaceTooLarge {
+        /// The largest ID seen.
+        max_id: u32,
+        /// Number of incidence entries actually parsed.
+        entries: usize,
+    },
+    /// An entry violated the declared ID space — surfaced from the
+    /// checked CSR builders instead of panicking.
+    OutOfRange(crate::csr::CsrOutOfRange),
 }
 
 impl std::fmt::Display for ParseError {
@@ -43,6 +57,14 @@ impl std::fmt::Display for ParseError {
             ParseError::BadPair { line } => {
                 write!(f, "line {line}: expected `edge vertex` pair")
             }
+            ParseError::IdSpaceTooLarge { max_id, entries } => {
+                write!(
+                    f,
+                    "ID space too large: max ID {max_id} with only {entries} entries; \
+                     remap IDs densely before loading"
+                )
+            }
+            ParseError::OutOfRange(e) => write!(f, "{e}"),
         }
     }
 }
@@ -60,12 +82,26 @@ fn is_comment(line: &str) -> bool {
     t.is_empty() || t.starts_with('#') || t.starts_with('%')
 }
 
+/// Guards the dense-ID-space assumption of the text loaders: the implied
+/// space (`max ID + 1`) may not exceed the parsed entry count by more
+/// than this factor (plus slack for small files). Allocations stay
+/// proportional to input size even for adversarial files.
+fn check_id_space(max_id: Option<u32>, entries: usize) -> Result<usize, ParseError> {
+    let Some(max_id) = max_id else { return Ok(0) };
+    let space = max_id as usize + 1;
+    if space > 64 * entries + 65_536 {
+        return Err(ParseError::IdSpaceTooLarge { max_id, entries });
+    }
+    Ok(space)
+}
+
 /// Reads the edge-list format from a reader. Vertex IDs may be arbitrary
 /// `u32`s; the vertex count is `max ID + 1`.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Hypergraph, ParseError> {
     let reader = BufReader::new(reader);
     let mut lists: Vec<Vec<u32>> = Vec::new();
     let mut max_vertex: Option<u32> = None;
+    let mut entries = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         if is_comment(&line) {
@@ -79,11 +115,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Hypergraph, ParseError> {
             })?;
             max_vertex = Some(max_vertex.map_or(v, |m| m.max(v)));
             edge.push(v);
+            entries += 1;
         }
         lists.push(edge);
     }
-    let n = max_vertex.map_or(0, |m| m as usize + 1);
-    Ok(Hypergraph::from_edge_lists(&lists, n))
+    let n = check_id_space(max_vertex, entries)?;
+    Hypergraph::try_from_edge_lists(&lists, n).map_err(ParseError::OutOfRange)
 }
 
 /// Reads the bipartite-pair format (`edge vertex` per line) from a reader.
@@ -111,9 +148,9 @@ pub fn read_bipartite_pairs<R: Read>(reader: R) -> Result<Hypergraph, ParseError
         max_v = Some(max_v.map_or(v, |m| m.max(v)));
         pairs.push((e, v));
     }
-    let m = max_e.map_or(0, |m| m as usize + 1);
-    let n = max_v.map_or(0, |m| m as usize + 1);
-    Ok(Hypergraph::from_incidence_pairs(&pairs, m, n))
+    let m = check_id_space(max_e, pairs.len())?;
+    let n = check_id_space(max_v, pairs.len())?;
+    Hypergraph::try_from_incidence_pairs(&pairs, m, n).map_err(ParseError::OutOfRange)
 }
 
 /// Writes the edge-list format to a writer.
@@ -223,6 +260,27 @@ mod tests {
         let h2 = load_edge_list(&path).unwrap();
         assert_eq!(h, h2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn huge_sparse_ids_rejected() {
+        // A tiny file naming a ~4-billion ID must not force a 4-billion
+        // slot allocation: the dense-space guard rejects it.
+        let err = read_edge_list("0 4000000000\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::IdSpaceTooLarge {
+                max_id: 4_000_000_000,
+                entries: 2
+            }
+        ));
+        assert!(err.to_string().contains("ID space too large"));
+        let err = read_bipartite_pairs("4000000000 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::IdSpaceTooLarge { .. }));
+        // Dense IDs of any absolute size stay loadable: the guard is
+        // proportionality, not magnitude.
+        let h = read_edge_list("0 1 2 3\n2 3\n".as_bytes()).unwrap();
+        assert_eq!(h.num_vertices(), 4);
     }
 
     #[test]

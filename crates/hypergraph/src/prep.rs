@@ -56,12 +56,21 @@ impl Relabeled {
         self.new_to_old[new_id as usize]
     }
 
-    /// Translates an edge list on new IDs back to original IDs.
+    /// Translates an edge list on new IDs back to original IDs (in
+    /// parallel past a small-input threshold — this is part of the
+    /// post-counting tail).
     pub fn restore_edge_ids(&self, edges: &mut [(u32, u32)]) {
-        for (a, b) in edges.iter_mut() {
+        if edges.len() < (1 << 15) {
+            for (a, b) in edges.iter_mut() {
+                *a = self.new_to_old[*a as usize];
+                *b = self.new_to_old[*b as usize];
+            }
+            return;
+        }
+        hyperline_util::parallel::par_for_each_mut(edges, |(a, b)| {
             *a = self.new_to_old[*a as usize];
             *b = self.new_to_old[*b as usize];
-        }
+        });
     }
 }
 

@@ -29,9 +29,54 @@ const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = 258;
 const HASH_BITS: u32 = 14;
 const HASH_SIZE: usize = 1 << HASH_BITS;
-/// How many previous candidate positions a match search visits.
-const CHAIN_DEPTH: usize = 128;
 const NO_POS: u32 = u32::MAX;
+
+/// How hard the LZ77 stage works. `Default` is the archival setting;
+/// `Fast` trades ~10% ratio for several-fold encode throughput, which is
+/// the right trade on streamed responses where encode time is
+/// first-byte latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Effort {
+    /// Greedy matching, short hash chains, early exit on good-enough
+    /// matches, and skip-ahead through incompressible runs — the zlib
+    /// "fast level" playbook.
+    Fast,
+    /// Lazy matching over deep hash chains (the original tuning).
+    #[default]
+    Default,
+}
+
+/// Match-search knobs derived from an [`Effort`].
+struct MatchParams {
+    /// How many previous candidate positions a match search visits.
+    chain_depth: usize,
+    /// Evaluate position `i + 1` before committing a match at `i`.
+    lazy: bool,
+    /// A match at least this long is accepted without searching deeper.
+    good_len: usize,
+    /// After this many consecutive literal misses, start stepping over
+    /// input (emitting skipped bytes as literals); `usize::MAX` disables.
+    skip_after: usize,
+}
+
+impl Effort {
+    fn params(self) -> MatchParams {
+        match self {
+            Effort::Fast => MatchParams {
+                chain_depth: 16,
+                lazy: false,
+                good_len: 64,
+                skip_after: 64,
+            },
+            Effort::Default => MatchParams {
+                chain_depth: 128,
+                lazy: true,
+                good_len: MAX_MATCH,
+                skip_after: usize::MAX,
+            },
+        }
+    }
+}
 
 /// Literal/length alphabet size (symbols 286/287 are reserved).
 const NUM_LITLEN: usize = 286;
@@ -213,9 +258,12 @@ fn dist_code(dist: usize) -> (usize, u32, u32) {
     )
 }
 
-/// Greedy LZ77 with one-position lazy evaluation over a hash-chain
-/// table, confined to `data` (so every distance fits the window).
-fn tokenize(data: &[u8]) -> Vec<Token> {
+/// Greedy LZ77 with optional one-position lazy evaluation over a
+/// hash-chain table, confined to `data` (so every distance fits the
+/// window). The [`MatchParams`] decide chain depth, laziness and
+/// skip-ahead; every setting produces a valid token stream — effort only
+/// moves the ratio/throughput trade.
+fn tokenize(data: &[u8], p: &MatchParams) -> Vec<Token> {
     fn insert(data: &[u8], head: &mut [u32; HASH_SIZE], prev: &mut [u32], i: usize) {
         let h = hash3(data, i);
         prev[i] = head[h];
@@ -223,14 +271,20 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
     }
 
     /// Longest match for position `i` among the hash chain's candidates.
-    fn find_match(data: &[u8], head: &[u32; HASH_SIZE], prev: &[u32], i: usize) -> (usize, usize) {
+    fn find_match(
+        data: &[u8],
+        head: &[u32; HASH_SIZE],
+        prev: &[u32],
+        i: usize,
+        p: &MatchParams,
+    ) -> (usize, usize) {
         let (mut best_len, mut best_dist) = (0usize, 0usize);
         if i + MIN_MATCH > data.len() {
             return (0, 0);
         }
         let limit = (data.len() - i).min(MAX_MATCH);
         let mut cand = head[hash3(data, i)];
-        let mut depth = CHAIN_DEPTH;
+        let mut depth = p.chain_depth;
         while cand != NO_POS && depth > 0 {
             let c = cand as usize;
             let mut l = 0;
@@ -240,7 +294,7 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
             if l > best_len {
                 best_len = l;
                 best_dist = i - c;
-                if l == limit {
+                if l == limit || l >= p.good_len {
                     break;
                 }
             }
@@ -256,14 +310,18 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
     // Last position with MIN_MATCH bytes left to hash (exclusive).
     let hashable = data.len().saturating_sub(MIN_MATCH - 1);
     let mut i = 0;
+    // Consecutive positions that produced no match — drives skip-ahead.
+    let mut miss_run = 0usize;
     while i < data.len() {
-        let (mut best_len, mut best_dist) = find_match(data, &head, &prev, i);
+        let (mut best_len, mut best_dist) = find_match(data, &head, &prev, i, p);
         if best_len >= MIN_MATCH {
+            miss_run = 0;
             // Lazy evaluation: when the next position matches longer,
             // emit this byte as a literal and take the later match.
-            if i < hashable {
+            // (The greedy fast path skips the second search entirely.)
+            if p.lazy && best_len < p.good_len && i < hashable {
                 insert(data, &mut head, &mut prev, i);
-                let (next_len, next_dist) = find_match(data, &head, &prev, i + 1);
+                let (next_len, next_dist) = find_match(data, &head, &prev, i + 1, p);
                 if next_len > best_len {
                     tokens.push(literal_token(data[i]));
                     i += 1;
@@ -272,10 +330,13 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
                         insert(data, &mut head, &mut prev, i);
                     }
                 }
+            } else if i < hashable {
+                insert(data, &mut head, &mut prev, i);
             }
+            // Emit the match; its head is hashed above, chain the body
+            // (cheap, and later matches can anchor inside it).
             tokens.push(match_token(best_len, best_dist));
             let next = i + best_len;
-            // The match head is already hashed above; chain the rest.
             i += 1;
             while i < next.min(hashable) {
                 insert(data, &mut head, &mut prev, i);
@@ -288,6 +349,23 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
                 insert(data, &mut head, &mut prev, i);
             }
             i += 1;
+            miss_run += 1;
+            if miss_run >= p.skip_after {
+                // Incompressible run: step over input, emitting skipped
+                // bytes as literals without match searches. The step
+                // grows with the run (capped), zlib/libdeflate-style.
+                let step = ((miss_run - p.skip_after) >> 5).min(7);
+                for _ in 0..step {
+                    if i >= data.len() {
+                        break;
+                    }
+                    tokens.push(literal_token(data[i]));
+                    if i < hashable {
+                        insert(data, &mut head, &mut prev, i);
+                    }
+                    i += 1;
+                }
+            }
         }
     }
     tokens
@@ -495,9 +573,14 @@ fn symbol_cost(freqs: &[u32], lengths: &[u8]) -> u64 {
 
 /// Compresses one block (`data.len() <= BLOCK_BYTES`), choosing the
 /// smallest of stored / fixed / dynamic representations.
-fn deflate_block<W: Write>(bits: &mut BitWriter<W>, data: &[u8], last: bool) -> io::Result<()> {
+fn deflate_block<W: Write>(
+    bits: &mut BitWriter<W>,
+    data: &[u8],
+    last: bool,
+    effort: Effort,
+) -> io::Result<()> {
     debug_assert!(data.len() <= BLOCK_BYTES);
-    let tokens = tokenize(data);
+    let tokens = tokenize(data, &effort.params());
 
     // Symbol frequencies (extra bits counted separately since they are
     // representation-independent).
@@ -654,11 +737,21 @@ pub struct GzipWriter<W: Write> {
     buf: Vec<u8>,
     crc: u32,
     total_in: u64,
+    effort: Effort,
 }
 
 impl<W: Write> GzipWriter<W> {
-    /// Starts a gzip stream on `inner` (writes the 10-byte header).
-    pub fn new(mut inner: W) -> io::Result<Self> {
+    /// Starts a gzip stream on `inner` (writes the 10-byte header) at
+    /// [`Effort::Default`].
+    pub fn new(inner: W) -> io::Result<Self> {
+        Self::with_effort(inner, Effort::Default)
+    }
+
+    /// Starts a gzip stream at the given effort level. Streamed server
+    /// responses use [`Effort::Fast`]: encode time there is first-byte
+    /// latency, and the fast level trades a small ratio loss for a
+    /// several-fold encode speedup.
+    pub fn with_effort(mut inner: W, effort: Effort) -> io::Result<Self> {
         // magic, CM=8 (deflate), FLG=0, MTIME=0 (deterministic output),
         // XFL=0, OS=255 (unknown).
         inner.write_all(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff])?;
@@ -667,13 +760,14 @@ impl<W: Write> GzipWriter<W> {
             buf: Vec::with_capacity(BLOCK_BYTES),
             crc: 0,
             total_in: 0,
+            effort,
         })
     }
 
     /// Compresses the final block (even when empty), writes the CRC32 +
     /// length trailer, flushes, and returns the inner writer.
     pub fn finish(mut self) -> io::Result<W> {
-        deflate_block(&mut self.bits, &self.buf, true)?;
+        deflate_block(&mut self.bits, &self.buf, true, self.effort)?;
         self.bits.align_byte()?;
         let mut trailer = [0u8; 8];
         trailer[..4].copy_from_slice(&self.crc.to_le_bytes());
@@ -696,7 +790,7 @@ impl<W: Write> Write for GzipWriter<W> {
             rest = &rest[take..];
             if self.buf.len() == BLOCK_BYTES {
                 let block = std::mem::take(&mut self.buf);
-                deflate_block(&mut self.bits, &block, false)?;
+                deflate_block(&mut self.bits, &block, false, self.effort)?;
                 self.buf = block;
                 self.buf.clear();
             }
@@ -711,9 +805,16 @@ impl<W: Write> Write for GzipWriter<W> {
     }
 }
 
-/// Compresses `data` to a complete in-memory gzip stream.
+/// Compresses `data` to a complete in-memory gzip stream at
+/// [`Effort::Default`].
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut gz = GzipWriter::new(Vec::new()).expect("Vec write cannot fail");
+    compress_with(data, Effort::Default)
+}
+
+/// Compresses `data` to a complete in-memory gzip stream at the given
+/// effort level.
+pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
+    let mut gz = GzipWriter::with_effort(Vec::new(), effort).expect("Vec write cannot fail");
     gz.write_all(data).expect("Vec write cannot fail");
     gz.finish().expect("Vec write cannot fail")
 }
@@ -1080,6 +1181,63 @@ mod tests {
         let streamed = gz.finish().unwrap();
         assert_eq!(streamed, compress(&data), "write slicing changed output");
         assert_eq!(decode(&streamed).unwrap(), data);
+    }
+
+    #[test]
+    fn fast_effort_roundtrips_all_shapes() {
+        // Every input family the default-effort tests cover must also
+        // round-trip at Effort::Fast (skip-ahead, greedy matching and
+        // short chains change the token stream, never correctness).
+        let repetitive: Vec<u8> = b"[[12,345],[12,346],[13,7],"
+            .iter()
+            .copied()
+            .cycle()
+            .take(150_000)
+            .collect();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let random: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let structured: Vec<u8> = (0..70_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        for (name, data) in [
+            ("empty", Vec::new()),
+            ("tiny", b"hello".to_vec()),
+            ("repetitive", repetitive),
+            ("random", random),
+            ("structured", structured),
+        ] {
+            let fast = compress_with(&data, Effort::Fast);
+            assert_eq!(decode(&fast).unwrap(), data, "{name}");
+        }
+    }
+
+    #[test]
+    fn fast_effort_ratio_stays_close_to_default() {
+        // The acceptance shape: JSON edge-list bodies. Fast may lose
+        // some ratio but must stay within 15% of default's output size.
+        let mut body = String::from("[");
+        let mut x = 1u64;
+        for i in 0..40_000u32 {
+            x ^= x << 13;
+            x %= 1 << 20;
+            x ^= x >> 7;
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("[{},{}]", i / 7, x % 100_000));
+        }
+        body.push(']');
+        let default_len = compress_with(body.as_bytes(), Effort::Default).len();
+        let fast_len = compress_with(body.as_bytes(), Effort::Fast).len();
+        assert!(
+            fast_len as f64 <= default_len as f64 * 1.15,
+            "fast ratio loss too large: {fast_len} vs {default_len}"
+        );
     }
 
     #[test]

@@ -84,6 +84,14 @@ impl DatasetRegistry {
             io::ParseError::BadPair { line } => {
                 format!("cannot load {path}: line {line} is not a valid edge list")
             }
+            io::ParseError::IdSpaceTooLarge { max_id, .. } => {
+                format!(
+                    "cannot load {path}: ID space too large (max ID {max_id}); remap IDs densely"
+                )
+            }
+            // IDs are numeric, not file content: safe to echo, and the
+            // side/ID/space triple is the actionable part.
+            io::ParseError::OutOfRange(e) => format!("cannot load {path}: {e}"),
         })?;
         self.insert(&name, h, DatasetSource::File(path.to_string()));
         Ok(name)

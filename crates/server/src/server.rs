@@ -498,7 +498,9 @@ fn respond<W: Write>(
         };
         http::write_response_head(writer, status, false, extra)?;
         if gzip {
-            let mut gz = GzipWriter::new(&mut *writer)?;
+            // Fast effort: on a streamed response the encode time is
+            // first-byte latency, so trade a little ratio for throughput.
+            let mut gz = GzipWriter::with_effort(&mut *writer, crate::gzip::Effort::Fast)?;
             body.write_into(&mut gz)?;
             gz.finish()?;
         } else {
@@ -522,8 +524,9 @@ fn respond<W: Write>(
     http::write_response_head(writer, status, keep_alive, extra)?;
     if gzip {
         // Transfer-Encoding applies over Content-Encoding: the gzip
-        // stream is what gets chunk-framed.
-        let mut gz = GzipWriter::new(ChunkedWriter::new(&mut *writer))?;
+        // stream is what gets chunk-framed. Fast effort — see above.
+        let mut gz =
+            GzipWriter::with_effort(ChunkedWriter::new(&mut *writer), crate::gzip::Effort::Fast)?;
         body.write_into(&mut gz)?;
         gz.finish()?.finish()?;
     } else {

@@ -13,7 +13,7 @@ use crate::partition::execute;
 use crate::stats::{AlgoStats, WorkerStats};
 use crate::strategy::Strategy;
 use hyperline_hypergraph::Hypergraph;
-use hyperline_util::parallel::par_map_slice;
+use hyperline_util::parallel::{par_filter_map, par_map_slice, par_sort_unstable};
 
 /// Result of an ensemble run: one edge list per requested `s`, in input
 /// order, plus counting-phase statistics.
@@ -78,6 +78,11 @@ pub fn ensemble_slinegraphs(
             }
             local.scratch.clear();
             local.counter.drain_counts(&mut local.scratch);
+            // Presort the source's group: sources ascend per worker, so
+            // under the upper triangle each worker's triples come out
+            // globally sorted and the phase-2 parallel sort reduces to
+            // its sortedness check.
+            local.scratch.sort_unstable();
             for &(j, n) in local.scratch.iter() {
                 // Store normalized (min, max) regardless of triangle side.
                 local
@@ -95,22 +100,40 @@ pub fn ensemble_slinegraphs(
     }
     let stored_pairs = triples.len();
 
-    // Phase 2: per-s filtration, parallel over the requested s values.
-    let per_s: Vec<(u32, Vec<(u32, u32)>)> = par_map_slice(s_values, |&s| {
-        let mut edges: Vec<(u32, u32)> = triples
-            .iter()
-            .filter(|&&(_, _, n)| n >= s)
-            .map(|&(i, j, _)| (i, j))
-            .collect();
-        edges.sort_unstable();
-        (s, edges)
-    });
+    // Phase 2: one parallel sort of the stored counts by (i, j) — each
+    // pair is stored exactly once, so this is a full order — then per-s
+    // filtration. Filtering a sorted list preserves order, so the old
+    // per-s `sort_unstable` calls (a serial tail re-paid for every s)
+    // disappear entirely.
+    par_sort_unstable(&mut triples);
+    let per_s: Vec<(u32, Vec<(u32, u32)>)> = if s_values.len() == 1 {
+        // A single-s call (the server's artifact-cache path) gets its
+        // parallelism from chunked filtration instead of the s sweep.
+        let s = s_values[0];
+        vec![(
+            s,
+            par_filter_map(&triples, |&(i, j, n)| (n >= s).then_some((i, j))),
+        )]
+    } else {
+        // Serial filter per s here: the s sweep is already parallel and
+        // nesting would oversubscribe.
+        par_map_slice(s_values, |&s| (s, filter_pairs(&triples, s)))
+    };
 
     EnsembleResult {
         per_s,
         stats: AlgoStats::new(per_worker),
         stored_pairs,
     }
+}
+
+/// Pairs with overlap count `>= s`, preserving the (sorted) input order.
+fn filter_pairs(triples: &[(u32, u32, u32)], s: u32) -> Vec<(u32, u32)> {
+    triples
+        .iter()
+        .filter(|&&(_, _, n)| n >= s)
+        .map(|&(i, j, _)| (i, j))
+        .collect()
 }
 
 /// Convenience: number of s-line-graph edges for each `s` in a range —

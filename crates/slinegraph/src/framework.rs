@@ -4,6 +4,9 @@
 //! Stage 2 — toplexes: simplify to maximal edges (optional).
 //! Stage 3 — s-overlap: construct the s-line-graph edge list (the
 //!            compute-bound stage; algorithm + strategy selectable).
+//! Post-processing ("postprocess" in the stage times): restore original
+//!            IDs, normalize orientation, re-sort — all parallel, so the
+//!            Amdahl tail after the counting pass stays off one core.
 //! Stage 4 — ID squeezing: compact the hypersparse ID space (optional)
 //!            and build the CSR s-line graph.
 //! Stage 5 — s-metrics: connected components, centrality, spectral
@@ -20,6 +23,7 @@ use crate::spgemm_baseline::spgemm_slinegraph;
 use crate::stats::AlgoStats;
 use crate::strategy::{Algorithm, Strategy};
 use hyperline_hypergraph::{prep, toplex, Hypergraph};
+use hyperline_util::parallel::{par_for_each_mut, par_sort_unstable};
 use hyperline_util::timer::StageTimes;
 
 /// Configuration of one end-to-end pipeline run.
@@ -120,20 +124,31 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
         }
     });
 
-    // Restore original IDs: undo relabeling, then undo simplification.
-    relabeled.restore_edge_ids(&mut edges);
-    if let Some(ids) = &toplex_ids {
-        for (a, b) in edges.iter_mut() {
-            *a = ids[*a as usize];
-            *b = ids[*b as usize];
+    // Post-processing tail, timed as its own stage: restore original IDs
+    // (undo relabeling, then simplification) and normalize orientation in
+    // one parallel pass, then re-sort in parallel. The sorted multiset of
+    // restored pairs is unique, so the output is byte-identical for every
+    // worker count.
+    times.run("postprocess", || {
+        let new_to_old = &relabeled.new_to_old;
+        let restore = |pair: &mut (u32, u32)| {
+            let mut a = new_to_old[pair.0 as usize];
+            let mut b = new_to_old[pair.1 as usize];
+            if let Some(ids) = &toplex_ids {
+                a = ids[a as usize];
+                b = ids[b as usize];
+            }
+            *pair = if a <= b { (a, b) } else { (b, a) };
+        };
+        // Tiny results (high s, small datasets) restore serially: worker
+        // spawn would dwarf the loop.
+        if edges.len() < (1 << 15) {
+            edges.iter_mut().for_each(restore);
+        } else {
+            par_for_each_mut(&mut edges, restore);
         }
-    }
-    for pair in edges.iter_mut() {
-        if pair.0 > pair.1 {
-            *pair = (pair.1, pair.0);
-        }
-    }
-    edges.sort_unstable();
+        par_sort_unstable(&mut edges);
+    });
 
     // Stage 4: squeeze + construction.
     let line_graph = times.run("squeeze", || {
@@ -197,6 +212,7 @@ mod tests {
         assert_eq!(run.components.as_ref().unwrap(), &vec![vec![0, 1, 2]]);
         assert!(run.times.get("s-overlap").is_some());
         assert!(run.times.get("preprocessing").is_some());
+        assert!(run.times.get("postprocess").is_some());
         assert!(run.times.get("squeeze").is_some());
         assert!(run.times.get("s-connected-components").is_some());
     }
@@ -313,7 +329,7 @@ mod tests {
     fn stage_total_covers_all_stages() {
         let h = Hypergraph::paper_example();
         let run = run_pipeline(&h, &PipelineConfig::new(2));
-        assert_eq!(run.times.len(), 4);
+        assert_eq!(run.times.len(), 5);
         assert!(run.times.total() >= run.times.get("s-overlap").unwrap());
     }
 }

@@ -32,9 +32,22 @@ impl SLineGraph {
     /// Builds with ID squeezing (Stage 4): the graph's vertex set is the
     /// set of hyperedges incident to at least one s-line edge.
     pub fn new_squeezed(s: u32, num_hyperedges: usize, edges: Vec<(u32, u32)>) -> Self {
-        let squeezer = IdSqueezer::from_edges(&edges);
+        // Bounded build: one presence pass over the hyperedge ID space
+        // plus a dense rename table — no endpoint sort, no hashmap probes
+        // in the bulk remap.
+        let mut squeezer = IdSqueezer::from_edges_bounded(&edges, num_hyperedges);
         let mut squeezed = edges.clone();
         squeezer.squeeze_edges(&mut squeezed);
+        // Drop the O(num_hyperedges) rename scratch before this squeezer
+        // gets stored (possibly inside a server cache artifact): point
+        // lookups fall back to binary search, memory back to
+        // O(surviving IDs).
+        squeezer.compact();
+        // Squeezing is strictly monotone, so a sorted upper-triangle edge
+        // list (every pipeline output) stays sorted and `from_edges`
+        // detects it with one cheap parallel scan, skipping the
+        // clean/sort/dedup pass. Unsorted callers still work — they just
+        // pay for the sort they need.
         let graph = Graph::from_edges(squeezer.len(), &squeezed);
         Self {
             s,

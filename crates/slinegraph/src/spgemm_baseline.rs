@@ -44,8 +44,10 @@ pub fn spgemm_slinegraph(h: &Hypergraph, s: u32, upper_only: bool) -> SpgemmResu
         Triangle::Full
     };
     let product = overlap_matrix(h.edge_csr(), h.vertex_csr(), triangle);
-    let mut edges = filter_to_edge_list(&product, s);
-    edges.sort_unstable();
+    // Row-major filtration of sorted rows is already sorted — the old
+    // full `sort_unstable` here was a pure serial tail.
+    let edges = filter_to_edge_list(&product, s);
+    debug_assert!(edges.is_sorted());
     SpgemmResult {
         edges,
         product_nnz: product.nnz(),

@@ -36,12 +36,26 @@ impl WorkerStats {
 pub struct AlgoStats {
     /// One entry per worker, indexed by worker ID.
     pub per_worker: Vec<WorkerStats>,
+    /// Wall seconds spent merging per-worker emissions into the final
+    /// sorted edge list — the slice of Stage 3 that is post-processing
+    /// tail rather than counting (the `kernel_smoke` bench subtracts it
+    /// from the stage time for the counting-vs-tail breakdown).
+    pub merge_seconds: f64,
 }
 
 impl AlgoStats {
     /// Builds from per-worker stats.
     pub fn new(per_worker: Vec<WorkerStats>) -> Self {
-        Self { per_worker }
+        Self {
+            per_worker,
+            merge_seconds: 0.0,
+        }
+    }
+
+    /// Builder: records the wall time of the output-merge step.
+    pub fn with_merge_seconds(mut self, seconds: f64) -> Self {
+        self.merge_seconds = seconds;
+        self
     }
 
     /// Totals across all workers.

@@ -15,7 +15,7 @@
 //! using one dense sparse-accumulator (SPA) per worker.
 
 use crate::matrix::CsrMatrix;
-use hyperline_util::parallel::par_map_range_init;
+use hyperline_util::parallel::{par_map_range, par_map_range_init};
 
 /// Restriction applied while computing the product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,12 +134,34 @@ pub fn spgemm_seq(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 /// Filters a product matrix to the s-line-graph edge list: pairs `(i, j)`
 /// with `value ≥ s`, `i < j` (diagonal excluded). Works on both `Full` and
 /// `Upper` products.
+///
+/// Row-major iteration over sorted columns means the output is already
+/// sorted ascending — no post-sort needed. Rows filter in parallel
+/// (contiguous row blocks, stitched back in order).
 pub fn filter_to_edge_list(product: &CsrMatrix, s: u32) -> Vec<(u32, u32)> {
-    let mut edges = Vec::new();
-    for (i, j, v) in product.iter() {
-        if v >= s && i < j {
-            edges.push((i, j));
-        }
+    let filter_row = |i: usize| {
+        product
+            .row_cols(i)
+            .iter()
+            .zip(product.row_vals(i))
+            .filter(move |&(&j, &v)| v >= s && (i as u32) < j)
+            .map(move |(&j, _)| (i as u32, j))
+    };
+    if product.nnz() < (1 << 14) {
+        return (0..product.nrows()).flat_map(filter_row).collect();
+    }
+    // Fixed row-block boundaries (a function of the shape alone), so the
+    // output is identical for every worker count.
+    let nrows = product.nrows();
+    let blocks = 256.min(nrows);
+    let parts: Vec<Vec<(u32, u32)>> = par_map_range(blocks, |b| {
+        (b * nrows / blocks..(b + 1) * nrows / blocks)
+            .flat_map(filter_row)
+            .collect()
+    });
+    let mut edges = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for mut p in parts {
+        edges.append(&mut p);
     }
     edges
 }

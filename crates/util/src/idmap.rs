@@ -7,6 +7,7 @@
 //! original IDs.
 
 use crate::fxhash::FxHashMap;
+use crate::parallel::{par_for_each_mut, par_sort_unstable};
 
 /// Builds and applies a dense remapping `original ID -> squeezed ID`.
 ///
@@ -17,6 +18,11 @@ use crate::fxhash::FxHashMap;
 pub struct IdSqueezer {
     forward: FxHashMap<u32, u32>,
     inverse: Vec<u32>,
+    /// Dense `old -> new` table, present when the original ID space was
+    /// known at construction ([`IdSqueezer::from_edges_bounded`]):
+    /// `u32::MAX` marks non-surviving IDs. Makes bulk remaps O(1) array
+    /// reads instead of hashmap probes.
+    rename: Option<Vec<u32>>,
 }
 
 impl IdSqueezer {
@@ -24,7 +30,7 @@ impl IdSqueezer {
     /// Duplicates are allowed and ignored.
     pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
         let mut unique: Vec<u32> = ids.into_iter().collect();
-        unique.sort_unstable();
+        par_sort_unstable(&mut unique);
         unique.dedup();
         let forward = unique
             .iter()
@@ -34,12 +40,46 @@ impl IdSqueezer {
         Self {
             forward,
             inverse: unique,
+            rename: None,
         }
     }
 
     /// Builds a squeezer from the endpoint IDs of an edge list.
     pub fn from_edges(edges: &[(u32, u32)]) -> Self {
         Self::from_ids(edges.iter().flat_map(|&(a, b)| [a, b]))
+    }
+
+    /// Builds a squeezer from an edge list whose endpoints are known to
+    /// lie in `0..space` (the hyperedge ID space of Stage 4). Replaces
+    /// the sort-and-dedup of `2·|E|` endpoints with one O(|E| + space)
+    /// presence pass, and keeps a dense rename table so
+    /// [`IdSqueezer::squeeze_edges`] is array reads instead of hashmap
+    /// probes — the ID-squeezing slice of the post-counting tail.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= space`.
+    pub fn from_edges_bounded(edges: &[(u32, u32)], space: usize) -> Self {
+        let mut present = vec![false; space];
+        for &(a, b) in edges {
+            present[a as usize] = true;
+            present[b as usize] = true;
+        }
+        let inverse: Vec<u32> = present
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &p)| p.then_some(id as u32))
+            .collect();
+        let mut rename = vec![u32::MAX; space];
+        for (new, &old) in inverse.iter().enumerate() {
+            rename[old as usize] = new as u32;
+        }
+        // No forward hashmap at all on this path: point lookups and bulk
+        // remaps both read the dense rename table.
+        Self {
+            forward: FxHashMap::default(),
+            inverse,
+            rename: Some(rename),
+        }
     }
 
     /// Number of surviving (squeezed) IDs.
@@ -55,7 +95,28 @@ impl IdSqueezer {
     /// Maps an original ID to its squeezed ID, if it survived.
     #[inline]
     pub fn squeeze(&self, original: u32) -> Option<u32> {
-        self.forward.get(&original).copied()
+        match &self.rename {
+            Some(rename) => rename
+                .get(original as usize)
+                .copied()
+                .filter(|&new| new != u32::MAX),
+            // Compacted bounded squeezer: binary-search the sorted
+            // inverse — O(log k) per point lookup, zero extra memory.
+            None if self.forward.is_empty() => {
+                self.inverse.binary_search(&original).ok().map(|i| i as u32)
+            }
+            None => self.forward.get(&original).copied(),
+        }
+    }
+
+    /// Drops the dense rename scratch of a bounded squeezer (bulk
+    /// remaps and point lookups fall back to binary search over the
+    /// sorted inverse). Call once bulk remapping is done, before storing
+    /// the squeezer long-term: it shrinks a bounded squeezer from
+    /// O(original ID space) to O(surviving IDs), which matters when
+    /// squeezers live inside cached artifacts.
+    pub fn compact(&mut self) {
+        self.rename = None;
     }
 
     /// Maps a squeezed ID back to its original ID.
@@ -67,12 +128,46 @@ impl IdSqueezer {
         self.inverse[squeezed as usize]
     }
 
-    /// Remaps an edge list in place. Every endpoint must be a surviving ID
-    /// (which holds by construction when built via [`Self::from_edges`]).
+    /// Remaps an edge list in place (in parallel — part of the Stage-4
+    /// tail). Every endpoint must be a surviving ID (which holds by
+    /// construction when built via [`Self::from_edges`]). Because
+    /// squeezed IDs are assigned in ascending original-ID order, the
+    /// remapping is strictly monotone: a sorted edge list stays sorted.
     pub fn squeeze_edges(&self, edges: &mut [(u32, u32)]) {
-        for (a, b) in edges.iter_mut() {
-            *a = self.forward[a];
-            *b = self.forward[b];
+        // Small lists remap serially: spawning workers costs more than
+        // the loop (same threshold family as the parallel sorts).
+        const PAR_MIN: usize = 1 << 15;
+        match &self.rename {
+            Some(rename) if edges.len() >= PAR_MIN => par_for_each_mut(edges, |(a, b)| {
+                *a = rename[*a as usize];
+                *b = rename[*b as usize];
+            }),
+            Some(rename) => {
+                for (a, b) in edges.iter_mut() {
+                    *a = rename[*a as usize];
+                    *b = rename[*b as usize];
+                }
+            }
+            None => {
+                let map = |id: u32| -> u32 {
+                    match self.forward.get(&id) {
+                        Some(&new) => new,
+                        // Compacted bounded squeezer: see `squeeze`.
+                        None => self.inverse.binary_search(&id).expect("surviving ID") as u32,
+                    }
+                };
+                if edges.len() >= PAR_MIN {
+                    par_for_each_mut(edges, |(a, b)| {
+                        *a = map(*a);
+                        *b = map(*b);
+                    });
+                } else {
+                    for (a, b) in edges.iter_mut() {
+                        *a = map(*a);
+                        *b = map(*b);
+                    }
+                }
+            }
         }
     }
 
@@ -121,6 +216,34 @@ mod tests {
         let s = IdSqueezer::from_ids(std::iter::empty());
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded() {
+        let edges = vec![(10u32, 20u32), (20, 30), (10, 30), (5, 29)];
+        let bounded = IdSqueezer::from_edges_bounded(&edges, 31);
+        let unbounded = IdSqueezer::from_edges(&edges);
+        assert_eq!(bounded.inverse(), unbounded.inverse());
+        assert_eq!(bounded.len(), 5);
+        for id in 0..31u32 {
+            assert_eq!(bounded.squeeze(id), unbounded.squeeze(id), "id {id}");
+        }
+        let mut a = edges.clone();
+        let mut b = edges.clone();
+        bounded.squeeze_edges(&mut a);
+        unbounded.squeeze_edges(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(bounded.unsqueeze(0), 5);
+        // Compacting drops the dense table; lookups and bulk remaps must
+        // keep working (binary search over the inverse).
+        let mut compacted = bounded.clone();
+        compacted.compact();
+        for id in 0..31u32 {
+            assert_eq!(compacted.squeeze(id), unbounded.squeeze(id), "id {id}");
+        }
+        let mut c = edges.clone();
+        compacted.squeeze_edges(&mut c);
+        assert_eq!(c, a);
     }
 
     #[test]

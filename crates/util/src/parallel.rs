@@ -14,13 +14,21 @@
 //! * [`par_for_each_range`] — side-effect loop over `0..n` (the body
 //!   synchronizes through atomics/locks as needed);
 //! * [`par_for_each_mut`] / [`par_for_each_indexed_mut`] — in-place loop
-//!   over disjoint `&mut` elements.
+//!   over disjoint `&mut` elements;
+//! * [`par_sort_unstable`] / [`par_sort_unstable_by_key`] — parallel
+//!   sorting (sorted runs + parallel multi-way merge), with output
+//!   **independent of the worker count**;
+//! * [`merge_sorted_runs`] — k-way merge of already-sorted runs (the
+//!   shape per-worker emissions have under a blocked partition);
+//! * [`exclusive_prefix_sum`] — blocked parallel prefix sum (the CSR
+//!   offsets step).
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! and can be pinned per-call-site with [`with_threads`] (a thread-local
 //! override, which is how the scaling benchmarks sweep 1..cores).
 
 use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
@@ -194,6 +202,360 @@ pub fn par_for_each_indexed_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut
     });
 }
 
+// ---------------------------------------------------------------------
+// Parallel sorting and merging
+// ---------------------------------------------------------------------
+//
+// The sorts below are deterministic **independent of the worker count**:
+// run boundaries are a function of the input length alone, each run is
+// sorted serially (deterministic), and the multi-way merge breaks ties
+// on run index. The ambient worker count only decides how much of that
+// fixed work happens concurrently — which is what lets the s-line-graph
+// pipeline promise byte-identical output for any `--threads`.
+
+/// Inputs shorter than this sort serially. Decided by length alone so
+/// the output never depends on the ambient worker count.
+const PAR_SORT_MIN: usize = 1 << 15;
+
+/// Number of sorted runs for a length-`n` parallel sort: ~64 Ki elements
+/// per run, at least 2, at most 64. A function of `n` only, so run
+/// boundaries (and with them the exact output of by-key sorts over
+/// duplicate keys) are identical for every worker count.
+fn run_count(n: usize) -> usize {
+    (n >> 16).clamp(2, 64)
+}
+
+/// Sorts `v` in parallel. Equivalent to `v.sort_unstable()` (for `T:
+/// Ord`, equal elements are indistinguishable), but the post-counting
+/// tail this replaces runs on all cores: sorted runs with fixed
+/// boundaries, then a splitter-partitioned parallel multi-way merge.
+pub fn par_sort_unstable<T: Ord + Clone + Send + Sync>(v: &mut [T]) {
+    par_sort_by_impl(v, &T::cmp);
+}
+
+/// Sorts `v` in parallel by a key function. Deterministic independent of
+/// the worker count: elements with equal keys end up grouped in run
+/// order (runs have length-derived boundaries), which is a fixed —
+/// though not serial-`sort_unstable_by_key`-identical — permutation.
+pub fn par_sort_unstable_by_key<T, K, F>(v: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sort_by_impl(v, &|a: &T, b: &T| key(a).cmp(&key(b)));
+}
+
+/// Parallel sortedness check over fixed-size chunks (including chunk
+/// boundaries).
+fn par_is_sorted_by<T, F>(v: &[T], cmp: &F) -> bool
+where
+    T: Sync,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    const CHUNK: usize = 1 << 16;
+    let nchunks = v.len().div_ceil(CHUNK).max(1);
+    par_map_range(nchunks, |c| {
+        let lo = c * CHUNK;
+        let hi = ((c + 1) * CHUNK).min(v.len());
+        v[lo..hi]
+            .windows(2)
+            .all(|w| cmp(&w[0], &w[1]) != CmpOrdering::Greater)
+            && (lo == 0 || hi == lo || cmp(&v[lo - 1], &v[lo]) != CmpOrdering::Greater)
+    })
+    .into_iter()
+    .all(|ok| ok)
+}
+
+fn par_sort_by_impl<T, F>(v: &mut [T], cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let n = v.len();
+    if n < PAR_SORT_MIN {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    // Already-sorted inputs are common on the hot paths (per-worker
+    // emissions arrive presorted; ID restoration under the identity
+    // relabeling preserves order): one cheap parallel scan beats
+    // re-sorting, and keeping it a pure function of the content keeps
+    // the output worker-count independent.
+    if par_is_sorted_by(v, cmp) {
+        return;
+    }
+    let runs = run_count(n);
+    let bounds: Vec<usize> = (0..=runs).map(|r| r * n / runs).collect();
+    let mut aux: Vec<T> = v.to_vec();
+    {
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(runs);
+        let mut rest: &mut [T] = &mut aux;
+        for r in 0..runs {
+            let (head, tail) = rest.split_at_mut(bounds[r + 1] - bounds[r]);
+            slices.push(head);
+            rest = tail;
+        }
+        par_for_each_mut(&mut slices, |run| run.sort_unstable_by(cmp));
+    }
+    let run_refs: Vec<&[T]> = bounds.windows(2).map(|w| &aux[w[0]..w[1]]).collect();
+    merge_runs_into(&run_refs, v, cmp);
+}
+
+/// Merges already-sorted runs into one sorted vector, in parallel. Ties
+/// keep earlier-run elements first (run order, then position), so the
+/// result is the unique stable k-way merge — independent of the worker
+/// count. This is the cheap path for merging per-worker emissions, which
+/// under blocked-partition ownership are already sorted (or near-sorted)
+/// runs.
+///
+/// Runs must each be sorted ascending (debug-checked).
+pub fn merge_sorted_runs<T: Ord + Clone + Send + Sync>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+    runs.retain(|r| !r.is_empty());
+    debug_assert!(runs.iter().all(|r| r.is_sorted()), "runs must be sorted");
+    match runs.len() {
+        0 => Vec::new(),
+        1 => runs.pop().unwrap(),
+        // Mutually ordered runs (each starts at or after the previous
+        // one's end — what blocked-partition worker emissions look like)
+        // concatenate without a single comparison.
+        _ if runs
+            .windows(2)
+            .all(|w| w[0].last().unwrap() <= w[1].first().unwrap()) =>
+        {
+            let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+            for mut r in runs {
+                out.append(&mut r);
+            }
+            out
+        }
+        _ => {
+            let n = runs.iter().map(Vec::len).sum();
+            // Concatenating first yields an initialized buffer of the
+            // right length that `split_at_mut` can partition for the
+            // parallel merge to overwrite.
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            for r in &runs {
+                out.extend_from_slice(r);
+            }
+            let refs: Vec<&[T]> = runs.iter().map(Vec::as_slice).collect();
+            merge_runs_into(&refs, &mut out, &T::cmp);
+            out
+        }
+    }
+}
+
+/// One parallel merge segment: the per-run input ranges between two
+/// splitters plus the output slice they merge into.
+struct MergeSegment<'a, T> {
+    inputs: Vec<&'a [T]>,
+    out: &'a mut [T],
+}
+
+/// Merges sorted `runs` into `out` (lengths must match). Ties break on
+/// run index, so the output is unique regardless of how the work is
+/// partitioned. Parallelism comes from splitter-partitioning: sampled
+/// splitter elements cut every run at the same key boundary, giving
+/// per-worker segments that merge into disjoint output slices.
+fn merge_runs_into<T, F>(runs: &[&[T]], out: &mut [T], cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let n: usize = runs.iter().map(|r| r.len()).sum();
+    debug_assert_eq!(n, out.len());
+    let segments = num_threads();
+    if segments <= 1 || n < PAR_SORT_MIN {
+        merge_segment(runs, out, cmp);
+        return;
+    }
+    // Sample candidate splitters evenly from every run; sorting the
+    // sample and picking evenly spaced elements approximates balanced
+    // segment sizes.
+    let mut samples: Vec<T> = Vec::new();
+    for run in runs {
+        let take = run.len().min(2 * segments);
+        for t in 0..take {
+            samples.push(run[t * run.len() / take].clone());
+        }
+    }
+    samples.sort_unstable_by(cmp);
+    let splitters: Vec<T> = (1..segments)
+        .map(|k| samples[k * samples.len() / segments].clone())
+        .collect();
+    // Cut every run at each splitter: elements `< splitter` go left,
+    // `>= splitter` right. Equal-key groups stay whole within one
+    // segment, so segment-local merges compose to the global merge.
+    let cuts: Vec<Vec<usize>> = runs
+        .iter()
+        .map(|run| {
+            let mut c = Vec::with_capacity(segments + 1);
+            c.push(0);
+            for sp in &splitters {
+                c.push(run.partition_point(|x| cmp(x, sp) == CmpOrdering::Less));
+            }
+            c.push(run.len());
+            c
+        })
+        .collect();
+    let mut segs: Vec<MergeSegment<'_, T>> = Vec::with_capacity(segments);
+    let mut rest: &mut [T] = out;
+    for k in 0..segments {
+        let len: usize = cuts.iter().map(|c| c[k + 1] - c[k]).sum();
+        let (head, tail) = rest.split_at_mut(len);
+        rest = tail;
+        segs.push(MergeSegment {
+            inputs: runs
+                .iter()
+                .zip(&cuts)
+                .map(|(run, c)| &run[c[k]..c[k + 1]])
+                .collect(),
+            out: head,
+        });
+    }
+    par_for_each_mut(&mut segs, |seg| merge_segment(&seg.inputs, seg.out, cmp));
+}
+
+/// Serial k-way merge of sorted inputs into `out` by pairwise folding
+/// (adjacent pairing preserves input order, and two-way merges take the
+/// left input on ties — together equivalent to run-index tie-breaking).
+fn merge_segment<T, F>(inputs: &[&[T]], out: &mut [T], cmp: &F)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    let active: Vec<&[T]> = inputs.iter().copied().filter(|s| !s.is_empty()).collect();
+    match active.len() {
+        0 => return,
+        1 => {
+            out.clone_from_slice(active[0]);
+            return;
+        }
+        2 => {
+            merge_two_into(active[0], active[1], out, cmp);
+            return;
+        }
+        _ => {}
+    }
+    // First round borrows; later rounds fold owned buffers.
+    let mut cur: Vec<Vec<T>> = active
+        .chunks(2)
+        .map(|pair| {
+            if pair.len() == 1 {
+                pair[0].to_vec()
+            } else {
+                let mut m = vec![pair[0][0].clone(); pair[0].len() + pair[1].len()];
+                merge_two_into(pair[0], pair[1], &mut m, cmp);
+                m
+            }
+        })
+        .collect();
+    while cur.len() > 2 {
+        let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+        let mut it = cur.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    let mut m = vec![a[0].clone(); a.len() + b.len()];
+                    merge_two_into(&a, &b, &mut m, cmp);
+                    next.push(m);
+                }
+                None => next.push(a),
+            }
+        }
+        cur = next;
+    }
+    merge_two_into(&cur[0], &cur[1], out, cmp);
+}
+
+/// Merges two sorted slices into `out` (`out.len() == a.len() +
+/// b.len()`); ties take from `a` first.
+fn merge_two_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let take_a = i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != CmpOrdering::Greater);
+        if take_a {
+            slot.clone_from(&a[i]);
+            i += 1;
+        } else {
+            slot.clone_from(&b[j]);
+            j += 1;
+        }
+    }
+}
+
+/// Parallel `filter_map` over fixed-size chunks, concatenated in input
+/// order. Chunk boundaries derive from the length alone, so the output
+/// is worker-count independent — the shared shape of the clean and
+/// filtration passes. Small inputs run serially.
+pub fn par_filter_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    const CHUNK: usize = 1 << 16;
+    if items.len() <= CHUNK {
+        return items.iter().filter_map(&f).collect();
+    }
+    let nchunks = items.len().div_ceil(CHUNK);
+    let parts: Vec<Vec<U>> = par_map_range(nchunks, |c| {
+        items[c * CHUNK..((c + 1) * CHUNK).min(items.len())]
+            .iter()
+            .filter_map(&f)
+            .collect()
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for mut p in parts {
+        out.append(&mut p);
+    }
+    out
+}
+
+/// In-place exclusive prefix sum: `v[i]` becomes the sum of the original
+/// `v[..i]`; returns the grand total. Blocked-parallel (per-block sums,
+/// a serial scan over block totals, then a parallel offset pass), which
+/// is the offsets step of parallel CSR construction.
+pub fn exclusive_prefix_sum(v: &mut [usize]) -> usize {
+    let n = v.len();
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n < (1 << 14) {
+        let mut acc = 0usize;
+        for x in v.iter_mut() {
+            let t = *x;
+            *x = acc;
+            acc += t;
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(workers);
+    let sums: Vec<usize> = {
+        let blocks: Vec<&[usize]> = v.chunks(chunk).collect();
+        par_map_slice(&blocks, |b| b.iter().sum())
+    };
+    let mut bases = Vec::with_capacity(sums.len());
+    let mut acc = 0usize;
+    for s in sums {
+        bases.push(acc);
+        acc += s;
+    }
+    let mut blocks: Vec<&mut [usize]> = v.chunks_mut(chunk).collect();
+    par_for_each_indexed_mut(&mut blocks, |i, block| {
+        let mut a = bases[i];
+        for x in block.iter_mut() {
+            let t = *x;
+            *x = a;
+            a += t;
+        }
+    });
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +636,123 @@ mod tests {
         });
         // Zero clamps to one.
         assert_eq!(with_threads(0, num_threads), 1);
+    }
+
+    /// A deterministic xorshift so the adversarial sort inputs need no
+    /// external crate (util has no dependencies).
+    fn xorshift_stream(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+        let mut x = seed | 1;
+        std::iter::repeat_with(move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .take(n)
+    }
+
+    #[test]
+    fn par_sort_matches_serial_on_adversarial_inputs() {
+        let n = PAR_SORT_MIN * 3 + 17; // force the parallel path
+        let random: Vec<u64> = xorshift_stream(42, n).collect();
+        let presorted: Vec<u64> = (0..n as u64).collect();
+        let reversed: Vec<u64> = (0..n as u64).rev().collect();
+        let duplicates: Vec<u64> = xorshift_stream(7, n).map(|x| x % 13).collect();
+        let all_equal: Vec<u64> = vec![9; n];
+        let sawtooth: Vec<u64> = (0..n as u64).map(|i| i % 101).collect();
+        for (name, input) in [
+            ("random", random),
+            ("presorted", presorted),
+            ("reversed", reversed),
+            ("duplicates", duplicates),
+            ("all_equal", all_equal),
+            ("sawtooth", sawtooth),
+            ("empty", Vec::new()),
+            ("single", vec![5]),
+        ] {
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let mut got = input.clone();
+            par_sort_unstable(&mut got);
+            assert_eq!(got, expect, "{name}");
+            // And the small-input serial path through the same API.
+            let mut small: Vec<u64> = input.iter().copied().take(100).collect();
+            let mut small_expect = small.clone();
+            small_expect.sort_unstable();
+            par_sort_unstable(&mut small);
+            assert_eq!(small, small_expect, "{name} (small)");
+        }
+    }
+
+    #[test]
+    fn par_sort_identical_across_worker_counts() {
+        let n = PAR_SORT_MIN * 2 + 3;
+        // Pairs with heavy key duplication: the by-key sort must place
+        // equal-key elements identically for every worker count.
+        let input: Vec<(u64, u64)> = xorshift_stream(3, n)
+            .enumerate()
+            .map(|(i, x)| (x % 7, i as u64))
+            .collect();
+        let reference = with_threads(1, || {
+            let mut v = input.clone();
+            par_sort_unstable_by_key(&mut v, |&(k, _)| k);
+            v
+        });
+        assert!(reference.is_sorted_by_key(|&(k, _)| k));
+        for workers in [2usize, 3, 7, 16] {
+            let got = with_threads(workers, || {
+                let mut v = input.clone();
+                par_sort_unstable_by_key(&mut v, |&(k, _)| k);
+                v
+            });
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_runs_matches_flatten_and_sort() {
+        let sizes = [0usize, 1, 17, 40_000, 3, 25_000];
+        let runs: Vec<Vec<u64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &len)| {
+                let mut r: Vec<u64> = xorshift_stream(k as u64 + 1, len)
+                    .map(|x| x % 50_000)
+                    .collect();
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        for workers in [1usize, 4] {
+            let got = with_threads(workers, || merge_sorted_runs(runs.clone()));
+            assert_eq!(got, expect, "workers={workers}");
+        }
+        assert!(merge_sorted_runs::<u64>(vec![]).is_empty());
+        assert_eq!(merge_sorted_runs(vec![vec![], vec![2, 4], vec![]]), [2, 4]);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_matches_serial() {
+        for n in [0usize, 1, 5, (1 << 14) + 123, 100_000] {
+            let input: Vec<usize> = xorshift_stream(n as u64 + 9, n)
+                .map(|x| (x % 100) as usize)
+                .collect();
+            let mut expect = input.clone();
+            let mut acc = 0usize;
+            for x in expect.iter_mut() {
+                let t = *x;
+                *x = acc;
+                acc += t;
+            }
+            for workers in [1usize, 5] {
+                let mut got = input.clone();
+                let total = with_threads(workers, || exclusive_prefix_sum(&mut got));
+                assert_eq!(got, expect, "n={n} workers={workers}");
+                assert_eq!(total, acc, "n={n} workers={workers}");
+            }
+        }
     }
 
     #[test]

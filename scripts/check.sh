@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate: formatting, lints, release build, full test suite, and
-# the server smoke benchmark (cold vs warm cache latencies + streamed
-# edge-list wire bytes, identity vs gzip).
+# the two smoke benchmarks — server (cold vs warm cache latencies +
+# streamed edge-list wire bytes, identity vs gzip, both encoder efforts)
+# and kernels (cold pipeline stage timings with the counting-vs-tail
+# breakdown, warn-only compared against the previous BENCH_kernels.json).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,5 +22,8 @@ cargo test -q
 
 echo "==> server smoke benchmark (cold vs warm -> BENCH_server.json)"
 cargo run --release -q -p hyperline-bench --bin server_smoke
+
+echo "==> kernel smoke benchmark (counting vs tail -> BENCH_kernels.json)"
+cargo run --release -q -p hyperline-bench --bin kernel_smoke
 
 echo "All checks passed."
