@@ -13,18 +13,34 @@
 //! line-graph edge lists are asserted byte-identical across all
 //! measured worker counts.
 //!
+//! The `stage5` section does the same for the Stage-5 frontier engine:
+//! cold per-worker-count medians of connected components, s-diameter
+//! and harmonic closeness on the constructed s-line graph, the pre-PR
+//! kernels re-measured in the same run at their original parallelism
+//! (queue-based BFS components and the O(V·E) diameter sweep were
+//! serial; the old closeness was already source-parallel and runs at
+//! the comparison worker count), and the combined `stage5_speedup` at
+//! the ≥4-worker point. Outputs are asserted byte-identical across all
+//! worker counts (closeness compared bit-for-bit).
+//!
 //! Before overwriting an existing `BENCH_kernels.json` the binary
 //! prints a warn-only comparison: any stage whose cold median regressed
 //! by more than 20% versus the previous file gets a `WARN` line (never
-//! a failure — machines differ; the trajectory is for eyeballs).
+//! a failure — machines differ; the trajectory is for eyeballs). Each
+//! run is also **appended** to `BENCH_history.jsonl` (one line per run:
+//! commit, unix timestamp, the full report), so the trajectory survives
+//! the snapshot overwrite as a per-commit series.
 //!
 //! `cargo run -p hyperline-bench --release --bin kernel_smoke`
-//! Options: `--profiles=genomics --s=2 --seed=42 --reps=5 --out=BENCH_kernels.json`
+//! Options: `--profiles=genomics --s=2 --seed=42 --reps=5
+//! --out=BENCH_kernels.json --history=BENCH_history.jsonl` (empty
+//! `--history=` skips the append).
 
 use hyperline_bench::{arg, print_header, with_pool};
 use hyperline_gen::Profile;
+use hyperline_graph::{bfs, cc};
 use hyperline_server::json::Json;
-use hyperline_slinegraph::{run_pipeline, PipelineConfig};
+use hyperline_slinegraph::{run_pipeline, PipelineConfig, SLineGraph};
 use hyperline_util::FxHashMap;
 use std::time::Instant;
 
@@ -156,8 +172,138 @@ fn measure_serial_baseline(
 
 /// Median of a sample (ms).
 fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
+}
+
+/// One worker count's cold Stage-5 kernel medians (ms).
+#[derive(Clone, Copy)]
+struct Stage5Medians {
+    components_ms: f64,
+    diameter_ms: f64,
+    closeness_ms: f64,
+}
+
+impl Stage5Medians {
+    /// Combined Stage-5 time.
+    fn stage5_ms(&self) -> f64 {
+        self.components_ms + self.diameter_ms + self.closeness_ms
+    }
+
+    fn fields() -> [&'static str; 4] {
+        ["components_ms", "diameter_ms", "closeness_ms", "stage5_ms"]
+    }
+
+    fn get(&self, field: &str) -> f64 {
+        match field {
+            "components_ms" => self.components_ms,
+            "diameter_ms" => self.diameter_ms,
+            "closeness_ms" => self.closeness_ms,
+            "stage5_ms" => self.stage5_ms(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Everything the Stage-5 kernels produced, with closeness scores as
+/// raw bits so the cross-worker-count identity check is bit-exact.
+#[derive(PartialEq, Eq)]
+struct Stage5Outputs {
+    components: Vec<Vec<u32>>,
+    diameter: u32,
+    closeness_bits: Vec<(u32, u64)>,
+}
+
+/// Runs the Stage-5 frontier-engine kernels `reps` times cold under the
+/// ambient worker count.
+fn measure_stage5(slg: &SLineGraph, reps: usize) -> (Stage5Medians, Stage5Outputs) {
+    let mut components = Vec::with_capacity(reps);
+    let mut diameter = Vec::with_capacity(reps);
+    let mut closeness = Vec::with_capacity(reps);
+    let mut outputs = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let comps = slg.connected_components();
+        components.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let diam = slg.s_diameter();
+        diameter.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let close = slg.closeness();
+        closeness.push(t.elapsed().as_secs_f64() * 1e3);
+        outputs = Some(Stage5Outputs {
+            components: comps,
+            diameter: diam,
+            closeness_bits: close.into_iter().map(|(e, s)| (e, s.to_bits())).collect(),
+        });
+    }
+    (
+        Stage5Medians {
+            components_ms: median(components),
+            diameter_ms: median(diameter),
+            closeness_ms: median(closeness),
+        },
+        outputs.expect("at least one rep ran"),
+    )
+}
+
+/// The pre-PR Stage-5 kernels, re-implemented verbatim at **their
+/// original parallelism** and measured in the same run: queue-based BFS
+/// components ([`cc::components_bfs`] — the old `connected_components`
+/// call) and the O(V·E) eccentricity sweep ([`bfs::diameter`]) were
+/// genuinely serial; the old closeness was already source-parallel
+/// (`par_map_range` with a fresh distance allocation per source), so it
+/// runs under the *ambient* worker count — callers pin that to the same
+/// count as the parallel point, keeping `stage5_speedup` an honest
+/// user-visible number on multi-core machines rather than a
+/// single-thread strawman.
+fn measure_stage5_baseline(slg: &SLineGraph, reps: usize) -> Stage5Medians {
+    let g = slg.graph();
+    let n = g.num_vertices();
+    let mut components = Vec::with_capacity(reps);
+    let mut diameter = Vec::with_capacity(reps);
+    let mut closeness = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let labels = cc::components_bfs(g);
+        let comps: Vec<Vec<u32>> = cc::components_as_sets(&labels)
+            .into_iter()
+            .map(|c| c.into_iter().map(|v| slg.original_id(v)).collect())
+            .collect();
+        std::hint::black_box(&comps);
+        components.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        std::hint::black_box(bfs::diameter(g));
+        diameter.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let scores: Vec<f64> = hyperline_util::parallel::par_map_range(n, |v| {
+            let dist = bfs::bfs_distances(g, v as u32);
+            let sum: f64 = dist
+                .iter()
+                .enumerate()
+                .filter(|&(u, &d)| u != v && d != bfs::UNREACHABLE && d > 0)
+                .map(|(_, &d)| 1.0 / d as f64)
+                .sum();
+            if n <= 1 {
+                0.0
+            } else {
+                sum / (n - 1) as f64
+            }
+        });
+        let mut out: Vec<(u32, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(v, score)| (slg.original_id(v as u32), score))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        std::hint::black_box(&out);
+        closeness.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Stage5Medians {
+        components_ms: median(components),
+        diameter_ms: median(diameter),
+        closeness_ms: median(closeness),
+    }
 }
 
 /// One worker count's cold medians, all in milliseconds.
@@ -260,6 +406,21 @@ fn previous_medians(previous: Option<&Json>, profile: &str, workers: usize) -> O
         .iter()
         .find(|p| p.get("profile").and_then(Json::as_str) == Some(profile))?;
     entry
+        .get("runs")?
+        .as_array()?
+        .iter()
+        .find(|r| num(r, "workers") == Some(workers as f64))
+        .cloned()
+}
+
+/// Like [`previous_medians`] for the `stage5` section.
+fn previous_stage5_medians(previous: Option<&Json>, profile: &str, workers: usize) -> Option<Json> {
+    let profiles = previous?.get("profiles")?.as_array()?;
+    let entry = profiles
+        .iter()
+        .find(|p| p.get("profile").and_then(Json::as_str) == Some(profile))?;
+    entry
+        .get("stage5")?
         .get("runs")?
         .as_array()?
         .iter()
@@ -376,6 +537,109 @@ fn main() {
             tail_speedup,
             edges_out,
         );
+        // Stage 5: frontier-engine kernels on the constructed s-line
+        // graph — cold medians per worker count, byte-identity asserted,
+        // plus the pre-PR serial kernels measured in the same run.
+        let slg = SLineGraph::new_squeezed(s, h.num_edges(), reference_edges.clone());
+        println!(
+            "\nstage 5 ({} vertices, {} edges):",
+            slg.num_vertices(),
+            slg.num_edges()
+        );
+        println!(
+            "{:>8} {:>12} {:>10} {:>11} {:>10}",
+            "workers", "components", "diameter", "closeness", "stage5"
+        );
+        let mut s5_rows: Vec<(usize, Stage5Medians)> = Vec::new();
+        let mut s5_reference: Option<Stage5Outputs> = None;
+        for &w in &worker_counts {
+            let (meds, outputs) = with_pool(w, || measure_stage5(&slg, reps));
+            match &s5_reference {
+                None => s5_reference = Some(outputs),
+                Some(r) => assert!(
+                    &outputs == r,
+                    "stage-5 outputs diverged between worker counts (w={w})"
+                ),
+            }
+            println!(
+                "{:>8} {:>10.2}ms {:>8.2}ms {:>9.2}ms {:>8.2}ms",
+                w,
+                meds.components_ms,
+                meds.diameter_ms,
+                meds.closeness_ms,
+                meds.stage5_ms()
+            );
+            if let Some(prev) = previous_stage5_medians(previous.as_ref(), profile.name(), w) {
+                for field in Stage5Medians::fields() {
+                    if let Some(old) = num(&prev, field) {
+                        let new = meds.get(field);
+                        if old > 0.5 && new > old * 1.2 {
+                            warnings += 1;
+                            println!(
+                                "  WARN {} w={w} stage5.{field}: {old:.2}ms -> {new:.2}ms (+{:.0}%)",
+                                profile.name(),
+                                (new / old - 1.0) * 100.0
+                            );
+                        }
+                    }
+                }
+            }
+            s5_rows.push((w, meds));
+        }
+        let (s5_workers, s5_meds) = s5_rows
+            .iter()
+            .rev()
+            .find(|(w, _)| *w >= 4)
+            .unwrap_or(s5_rows.last().unwrap());
+        // Components/diameter were serial pre-PR; closeness was already
+        // source-parallel, so the baseline runs it under the same worker
+        // count as the parallel point (an honest comparison, not a
+        // single-thread strawman).
+        let s5_baseline = with_pool(*s5_workers, || measure_stage5_baseline(&slg, reps));
+        let stage5_speedup = s5_baseline.stage5_ms() / s5_meds.stage5_ms();
+        println!(
+            "{:>8} {:>10.2}ms {:>8.2}ms {:>9.2}ms {:>8.2}ms   (pre-PR kernels: serial CC/diameter, source-parallel closeness)",
+            "baseline",
+            s5_baseline.components_ms,
+            s5_baseline.diameter_ms,
+            s5_baseline.closeness_ms,
+            s5_baseline.stage5_ms()
+        );
+        println!(
+            "stage5: {:.2}ms pre-PR kernels -> {:.2}ms at {} workers = {:.2}x speedup  \
+             (outputs byte-identical across worker counts)",
+            s5_baseline.stage5_ms(),
+            s5_meds.stage5_ms(),
+            s5_workers,
+            stage5_speedup,
+        );
+        let stage5_runs_json: Vec<Json> = s5_rows
+            .iter()
+            .map(|(w, m)| {
+                Json::obj()
+                    .set("workers", *w)
+                    .set("components_ms", m.components_ms)
+                    .set("diameter_ms", m.diameter_ms)
+                    .set("closeness_ms", m.closeness_ms)
+                    .set("stage5_ms", m.stage5_ms())
+            })
+            .collect();
+        let stage5_json = Json::obj()
+            .set("runs", Json::Arr(stage5_runs_json))
+            .set(
+                "baseline",
+                Json::obj()
+                    .set("components_ms", s5_baseline.components_ms)
+                    .set("diameter_ms", s5_baseline.diameter_ms)
+                    .set("closeness_ms", s5_baseline.closeness_ms)
+                    .set("closeness_workers", *s5_workers)
+                    .set("stage5_ms", s5_baseline.stage5_ms()),
+            )
+            .set("stage5_baseline_ms", s5_baseline.stage5_ms())
+            .set("stage5_parallel_ms", s5_meds.stage5_ms())
+            .set("stage5_parallel_workers", *s5_workers)
+            .set("stage5_speedup", stage5_speedup)
+            .set("identical_across_workers", true);
         let runs_json: Vec<Json> = rows
             .iter()
             .map(|(w, m)| {
@@ -408,7 +672,8 @@ fn main() {
                 .set("tail_parallel_ms", par_meds.tail_ms())
                 .set("tail_parallel_workers", *par_workers)
                 .set("tail_speedup", tail_speedup)
-                .set("identical_across_workers", true),
+                .set("identical_across_workers", true)
+                .set("stage5", stage5_json),
         );
     }
 
@@ -427,12 +692,64 @@ fn main() {
         )
         .set("profiles", Json::Arr(profile_reports));
     std::fs::write(&out, report.render()).expect("write report");
+    let history: String = arg("history", "BENCH_history.jsonl".to_string());
+    let appended = if history.is_empty() {
+        String::new()
+    } else {
+        append_history(&history, &report);
+        format!(", appended to {history}")
+    };
     println!(
-        "\nwrote {out}{}",
+        "\nwrote {out}{appended}{}",
         if warnings > 0 {
             format!(" ({warnings} warn-only regressions vs previous run)")
         } else {
             String::new()
         }
     );
+}
+
+/// Appends one `{commit, timestamp_unix, report}` line to the JSONL
+/// history file, so the per-commit series survives the snapshot
+/// overwrite of `BENCH_kernels.json`.
+fn append_history(path: &str, report: &Json) {
+    use std::io::Write;
+    let mut commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    // A run from an uncommitted tree is attributed to its parent commit;
+    // mark it so the series stays honest. The BENCH_* outputs are
+    // excluded from the check — this binary (and server_smoke before it
+    // in check.sh) just rewrote them, which would otherwise tag every
+    // entry dirty.
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain", "-uno", "--", ":(exclude)BENCH_*"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        commit.push_str("-dirty");
+    }
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = Json::obj()
+        .set("commit", commit)
+        .set("timestamp_unix", timestamp)
+        .set("report", report.clone())
+        .render();
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("warning: could not append history to {path}: {e}");
+    }
 }

@@ -34,11 +34,18 @@ pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
 /// Shortest-path distance between two vertices, or `None` if disconnected.
 ///
 /// Early-exits as soon as `target` is settled.
+///
+/// # Panics
+/// Panics if either endpoint is `>= g.num_vertices()` — including
+/// `distance(v, v)` with `v` out of range, which used to answer
+/// `Some(0)` before ever validating `v`.
 pub fn distance(g: &Graph, source: u32, target: u32) -> Option<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    assert!((target as usize) < n, "target out of range");
     if source == target {
         return Some(0);
     }
-    let n = g.num_vertices();
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
     let mut queue = VecDeque::new();
@@ -60,7 +67,11 @@ pub fn distance(g: &Graph, source: u32, target: u32) -> Option<u32> {
 
 /// Eccentricity of `v`: the greatest finite BFS distance from `v`.
 /// Returns 0 for an isolated vertex.
+///
+/// # Panics
+/// Panics if `v >= g.num_vertices()`.
 pub fn eccentricity(g: &Graph, v: u32) -> u32 {
+    assert!((v as usize) < g.num_vertices(), "source out of range");
     bfs_distances(g, v)
         .into_iter()
         .filter(|&d| d != UNREACHABLE)
@@ -70,8 +81,9 @@ pub fn eccentricity(g: &Graph, v: u32) -> u32 {
 
 /// Diameter of the graph restricted to reachable pairs: the maximum finite
 /// eccentricity over all vertices. This is the paper's *s-diameter* when
-/// run on an s-line graph. O(V·E) — intended for the (small) squeezed
-/// s-line graphs.
+/// run on an s-line graph. O(V·E) of sequential sweeps — kept as the
+/// serial reference; Stage 5 routes through
+/// [`crate::frontier::diameter`], the source-parallel engine.
 pub fn diameter(g: &Graph) -> u32 {
     (0..g.num_vertices() as u32)
         .map(|v| eccentricity(g, v))
@@ -128,6 +140,25 @@ mod tests {
         let g = Graph::from_edges(2, &[]);
         assert_eq!(eccentricity(&g, 0), 0);
         assert_eq!(diameter(&g), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn distance_same_out_of_range_vertex_panics() {
+        // Used to early-return Some(0) without ever validating `v`.
+        distance(&path5(), 9, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn distance_target_bounds_checked() {
+        distance(&path5(), 0, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn eccentricity_bounds_checked() {
+        eccentricity(&path5(), 8);
     }
 
     #[test]

@@ -3,7 +3,13 @@
 //! s-connected components of a hypergraph are exactly the connected
 //! components of its s-line graph (Stage 5). The paper's Table V runs
 //! Label-Propagation Connected Components (LPCC) end-to-end; we provide
-//! LPCC plus two alternatives that double as cross-checks.
+//! LPCC, the frontier-parallel BFS path ([`components_parallel`], the
+//! Stage-5 default) and two serial alternatives that double as
+//! cross-checks.
+//!
+//! Every `components_*` function returns **canonical labels**: each
+//! vertex is labeled with the smallest vertex ID in its component.
+//! Helpers like [`component_count`] rely on that invariant.
 
 use crate::graph::Graph;
 use hyperline_util::parallel::par_for_each_range;
@@ -35,6 +41,16 @@ pub fn components_bfs(g: &Graph) -> Labels {
         }
     }
     labels
+}
+
+/// Frontier-parallel BFS connected components (the Stage-5 default):
+/// unvisited start vertices seed one parallel direction-optimizing BFS
+/// each, in ascending ID order, so labels are canonical by construction
+/// and byte-identical to [`components_bfs`] for every worker count.
+/// [`components_label_prop`] (LPCC, the paper's Table-V kernel) serves
+/// as an independent cross-check in the test suite.
+pub fn components_parallel(g: &Graph) -> Labels {
+    crate::frontier::components(g)
 }
 
 /// Parallel label-propagation connected components (LPCC).
@@ -161,12 +177,27 @@ pub fn components_as_sets(labels: &Labels) -> Vec<Vec<u32>> {
 }
 
 /// Number of distinct components.
+///
+/// Requires **root-consistent labels** — every label must itself be a
+/// fixed point, `labels[l] == l`. Canonical labels (the smallest member
+/// ID, which every `components_*` function in this module returns) and
+/// raw union-find representatives both satisfy this, and then each
+/// component has exactly one fixed point, so a single counting pass
+/// replaces the old hash-set build over all labels. The invariant is
+/// checked in all builds (it costs one load per vertex); violating
+/// input panics instead of silently miscounting.
 pub fn component_count(labels: &Labels) -> usize {
-    let mut seen = hyperline_util::fxhash::FxHashSet::default();
-    for &l in labels {
-        seen.insert(l);
+    let mut count = 0usize;
+    for (v, &l) in labels.iter().enumerate() {
+        assert!(
+            labels[l as usize] == l,
+            "component_count requires root-consistent labels (labels[{l}] != {l})"
+        );
+        if l == v as u32 {
+            count += 1;
+        }
     }
-    seen.len()
+    count
 }
 
 /// Number of components with at least two vertices ("non-singleton
@@ -209,6 +240,12 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_bfs() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(components_parallel(&g), components_bfs(&g));
+    }
+
+    #[test]
     fn union_find_matches_bfs() {
         let g = two_triangles_and_isolated();
         let edges: Vec<(u32, u32)> = g.iter_edges().collect();
@@ -228,6 +265,7 @@ mod tests {
             let bfs = components_bfs(&g);
             assert_eq!(components_label_prop(&g), bfs);
             assert_eq!(components_union_find(n, &edges), bfs);
+            assert_eq!(components_parallel(&g), bfs);
         }
     }
 
@@ -243,6 +281,21 @@ mod tests {
         assert_eq!(sets[1], vec![3, 4, 5]);
         assert_eq!(sets[2], vec![6]);
         assert_eq!(largest_component(&labels), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn component_count_accepts_any_root_consistent_labeling() {
+        // Non-canonical but root-consistent (2 is its own label, 0 and 1
+        // point at it): still counts correctly.
+        assert_eq!(component_count(&vec![2, 2, 2, 3]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "root-consistent")]
+    fn component_count_rejects_non_root_labels() {
+        // Label 1 is not a fixed point (labels[1] == 0): a silent
+        // miscount in the old fixed-point scheme, now a loud error.
+        component_count(&vec![0, 0, 1]);
     }
 
     #[test]

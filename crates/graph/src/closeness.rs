@@ -7,7 +7,6 @@
 //! (Aksoy et al. define s-closeness via s-walk distances, and clustering
 //! coefficients appear in the related-work thread the paper cites).
 
-use crate::bfs::{bfs_distances, UNREACHABLE};
 use crate::graph::Graph;
 use hyperline_util::parallel::par_map_range;
 
@@ -18,22 +17,13 @@ use hyperline_util::parallel::par_map_range;
 /// Harmonic (rather than classic) closeness is used because s-line graphs
 /// are routinely disconnected, and the harmonic form handles that without
 /// per-component bookkeeping.
+///
+/// Runs on the batched multi-source sweep of [`crate::frontier`]:
+/// source-parallel, direction-optimizing, per-worker reused scratch —
+/// no per-source distance allocation, and output bit-identical for
+/// every worker count.
 pub fn harmonic_closeness(g: &Graph) -> Vec<f64> {
-    let n = g.num_vertices();
-    if n <= 1 {
-        return vec![0.0; n];
-    }
-    par_map_range(n, |v| {
-        let v = v as u32;
-        let dist = bfs_distances(g, v);
-        let sum: f64 = dist
-            .iter()
-            .enumerate()
-            .filter(|&(u, &d)| u as u32 != v && d != UNREACHABLE && d > 0)
-            .map(|(_, &d)| 1.0 / d as f64)
-            .sum();
-        sum / (n - 1) as f64
-    })
+    crate::frontier::harmonic_closeness(g)
 }
 
 /// Local clustering coefficient of every vertex: the fraction of its

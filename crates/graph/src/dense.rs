@@ -114,7 +114,9 @@ impl SymMatrix {
             }
         }
         let mut eigs: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
-        eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        // total_cmp: a NaN (non-convergent input) sorts to the end
+        // instead of panicking mid-sort.
+        eigs.sort_by(f64::total_cmp);
         eigs
     }
 }

@@ -4,11 +4,14 @@
 //! (squeezed) s-line graph; any standard graph kernel applies. This crate
 //! provides the ones the paper uses:
 //!
-//! * [`cc`] — connected components (BFS, parallel label propagation /
-//!   LPCC, union-find) → *s-connected components*;
+//! * [`cc`] — connected components (frontier-parallel BFS, parallel
+//!   label propagation / LPCC, union-find) → *s-connected components*;
 //! * [`betweenness`] — Brandes betweenness centrality, sequential and
 //!   source-parallel → *s-betweenness centrality*;
-//! * [`bfs`] — BFS distances, eccentricity, diameter → *s-distance*;
+//! * [`bfs`] — serial BFS distances, eccentricity, diameter →
+//!   *s-distance* (reference kernels);
+//! * [`frontier`] — the parallel direction-optimizing frontier engine
+//!   the Stage-5 kernels run on (components, diameter, closeness);
 //! * [`pagerank`] — PageRank power iteration (Table II);
 //! * [`spectral`] — normalized Laplacian λ₂ / algebraic connectivity by
 //!   matrix-free deflated power iteration (Figure 6);
@@ -22,6 +25,7 @@ pub mod cc;
 pub mod closeness;
 pub mod dense;
 pub mod dot;
+pub mod frontier;
 pub mod graph;
 pub mod kcore;
 pub mod pagerank;

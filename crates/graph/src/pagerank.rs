@@ -63,13 +63,14 @@ pub fn pagerank(g: &Graph, opts: PageRankOptions) -> Vec<f64> {
 }
 
 /// Ranks vertices by score descending; returns `(vertex, score, rank)`
-/// where rank is 1-based and ties share order by vertex ID.
+/// where rank is 1-based and ties share order by vertex ID. NaN-safe:
+/// scores compare under [`f64::total_cmp`] (a NaN score ranks ahead of
+/// `+∞` instead of panicking the sort).
 pub fn rank_order(scores: &[f64]) -> Vec<(u32, f64, usize)> {
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
     idx.sort_by(|&a, &b| {
         scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap()
+            .total_cmp(&scores[a as usize])
             .then(a.cmp(&b))
     });
     idx.into_iter()
@@ -86,7 +87,7 @@ pub fn score_percentiles(scores: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut sorted: Vec<f64> = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     scores
         .iter()
         .map(|&s| {
@@ -153,6 +154,20 @@ mod tests {
         assert_eq!(order[0], (1, 0.5, 1));
         assert_eq!(order[1].0, 0);
         assert_eq!(order[2].0, 2);
+    }
+
+    #[test]
+    fn nan_scores_rank_without_panicking() {
+        // Regression: partial_cmp().unwrap() used to panic here.
+        let order = rank_order(&[0.3, f64::NAN, 0.5]);
+        assert_eq!(order.len(), 3);
+        // total_cmp places NaN above +inf: it ranks first, deterministically.
+        assert_eq!(order[0].0, 1);
+        assert!(order[0].1.is_nan());
+        assert_eq!(order[1], (2, 0.5, 2));
+        assert_eq!(order[2], (0, 0.3, 3));
+        let p = score_percentiles(&[0.1, f64::NAN, 0.2]);
+        assert_eq!(p.len(), 3);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `μ₁ = 2` with eigenvector `D^{1/2}·1`), so only O(V + E) memory is
 //! needed. A dense Jacobi cross-check lives in [`crate::dense`].
 
-use crate::cc::{components_bfs, largest_component};
+use crate::cc::{components_parallel, largest_component};
 use crate::dense::SymMatrix;
 use crate::graph::Graph;
 
@@ -127,7 +127,7 @@ pub fn algebraic_connectivity(g: &Graph, opts: SpectralOptions) -> f64 {
 /// The paper's Figure-6 quantity: λ₂ of the normalized Laplacian of the
 /// **largest connected component** of `g`. Components of size < 2 give 0.
 pub fn normalized_algebraic_connectivity(g: &Graph, opts: SpectralOptions) -> f64 {
-    let labels = components_bfs(g);
+    let labels = components_parallel(g);
     let comp = largest_component(&labels);
     if comp.len() < 2 {
         return 0.0;

@@ -13,6 +13,15 @@ use hyperline_graph::{
 };
 use hyperline_util::IdSqueezer;
 
+/// Sorts a `(hyperedge ID, score)` ranking by descending score, ties by
+/// ascending ID. NaN-safe: scores compare under [`f64::total_cmp`], so a
+/// NaN score lands at a deterministic rank (total order puts NaN above
+/// `+∞`, hence first in a descending ranking) instead of panicking the
+/// worker mid-sort — these rankings are served over HTTP.
+fn sort_ranking(out: &mut [(u32, f64)]) {
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
 /// A constructed s-line graph `L_s(H)`.
 #[derive(Debug, Clone)]
 pub struct SLineGraph {
@@ -110,8 +119,12 @@ impl SLineGraph {
     /// s-connected components (Stage 5), as sets of **original** hyperedge
     /// IDs, largest first. Hyperedges with no s-line edges form singleton
     /// components only in the unsqueezed view and are omitted here.
+    ///
+    /// Computed by the frontier-parallel BFS engine
+    /// ([`cc::components_parallel`]); output is byte-identical to the
+    /// serial reference for every worker count.
     pub fn connected_components(&self) -> Vec<Vec<u32>> {
-        let labels = cc::components_bfs(&self.graph);
+        let labels = cc::components_parallel(&self.graph);
         cc::components_as_sets(&labels)
             .into_iter()
             .map(|comp| comp.into_iter().map(|v| self.original_id(v)).collect())
@@ -137,7 +150,7 @@ impl SLineGraph {
             .enumerate()
             .map(|(v, score)| (self.original_id(v as u32), score))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        sort_ranking(&mut out);
         out
     }
 
@@ -156,7 +169,7 @@ impl SLineGraph {
             .enumerate()
             .map(|(v, score)| (self.original_id(v as u32), score))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        sort_ranking(&mut out);
         out
     }
 
@@ -175,7 +188,8 @@ impl SLineGraph {
     }
 
     /// s-harmonic-closeness centrality: `(original hyperedge ID, score)`,
-    /// sorted by descending score.
+    /// sorted by descending score. Source-parallel over the frontier
+    /// engine's batched sweeps; bit-identical for every worker count.
     pub fn closeness(&self) -> Vec<(u32, f64)> {
         let scores = hyperline_graph::closeness::harmonic_closeness(&self.graph);
         let mut out: Vec<(u32, f64)> = scores
@@ -183,14 +197,15 @@ impl SLineGraph {
             .enumerate()
             .map(|(v, score)| (self.original_id(v as u32), score))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        sort_ranking(&mut out);
         out
     }
 
     /// s-diameter: the largest finite s-distance between any two
-    /// s-connected hyperedges (0 for empty line graphs).
+    /// s-connected hyperedges (0 for empty line graphs). Source-parallel
+    /// over the frontier engine's batched sweeps.
     pub fn s_diameter(&self) -> u32 {
-        hyperline_graph::bfs::diameter(&self.graph)
+        hyperline_graph::frontier::diameter(&self.graph)
     }
 
     /// Average local clustering coefficient of the s-line graph.
@@ -268,6 +283,22 @@ mod tests {
         }
         // Deterministic in (samples, seed).
         assert_eq!(slg.betweenness_sampled(2, 9), slg.betweenness_sampled(2, 9));
+    }
+
+    #[test]
+    fn ranking_sort_survives_nan_scores() {
+        // Regression: these rankings used partial_cmp().unwrap(), so one
+        // NaN score panicked the serving worker instead of returning a
+        // ranked result.
+        let mut scores = vec![(7u32, 0.25), (3, f64::NAN), (9, 0.5), (1, 0.25)];
+        sort_ranking(&mut scores);
+        // NaN > +inf under total_cmp: deterministic first place; ties
+        // break by ascending ID; no panic.
+        assert_eq!(scores[0].0, 3);
+        assert!(scores[0].1.is_nan());
+        assert_eq!(scores[1], (9, 0.5));
+        assert_eq!(scores[2], (1, 0.25));
+        assert_eq!(scores[3], (7, 0.25));
     }
 
     #[test]

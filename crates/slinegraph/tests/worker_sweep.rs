@@ -97,6 +97,62 @@ fn graph_construction_byte_identical_across_worker_counts() {
     }
 }
 
+/// One snapshot of every Stage-5 metric, with f64 scores captured as
+/// raw bits so "byte-identical" means exactly that.
+type Stage5Snapshot = (
+    Vec<Vec<u32>>,   // connected components
+    u32,             // s-diameter
+    Vec<(u32, u64)>, // closeness ranking (score bits)
+    Vec<(u32, u64)>, // sampled betweenness ranking (score bits)
+);
+
+fn stage5_snapshot(slg: &hyperline_slinegraph::SLineGraph) -> Stage5Snapshot {
+    let bits = |ranking: Vec<(u32, f64)>| -> Vec<(u32, u64)> {
+        ranking.into_iter().map(|(e, s)| (e, s.to_bits())).collect()
+    };
+    (
+        slg.connected_components(),
+        slg.s_diameter(),
+        bits(slg.closeness()),
+        bits(slg.betweenness_sampled(64, 7)),
+    )
+}
+
+#[test]
+fn stage5_metrics_byte_identical_across_worker_counts() {
+    // A mid-size hypergraph: the s = 1 line graph is dense enough that
+    // the frontier engine's parallel push/pull paths and the batched
+    // sweeps all engage, small enough for an exact-betweenness-free
+    // debug-mode run.
+    let mut rng = StdRng::seed_from_u64(41);
+    let n = 200usize;
+    let lists: Vec<Vec<u32>> = (0..600)
+        .map(|_| {
+            let k = rng.gen_range(2..12usize);
+            let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let h = Hypergraph::from_edge_lists(&lists, n);
+    let run = with_threads(1, || run_pipeline(&h, &PipelineConfig::new(1)));
+    let slg = &run.line_graph;
+    assert!(
+        slg.num_edges() > 10_000,
+        "input too small to exercise the parallel frontier paths: {}",
+        slg.num_edges()
+    );
+    let reference = with_threads(1, || stage5_snapshot(slg));
+    for workers in sweep_workers() {
+        let got = with_threads(workers, || stage5_snapshot(slg));
+        assert_eq!(
+            got, reference,
+            "stage-5 metrics diverged (workers={workers})"
+        );
+    }
+}
+
 #[test]
 fn weighted_and_ensemble_byte_identical_across_worker_counts() {
     let h = dense_hypergraph(23);

@@ -95,7 +95,9 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp keeps a NaN sample from panicking the sort; NaNs order
+    // above +∞, so they only surface at p = 100.
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -186,6 +188,15 @@ mod tests {
         assert_eq!(percentile(&v, 50.0), 3.0);
         assert_eq!(percentile(&v, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan() {
+        // Regression: the sort used partial_cmp().unwrap() and panicked.
+        let v = [2.0, f64::NAN, 1.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert!(percentile(&v, 100.0).is_nan(), "NaN sorts above +inf");
     }
 
     #[test]

@@ -3,7 +3,11 @@
 # the two smoke benchmarks — server (cold vs warm cache latencies +
 # streamed edge-list wire bytes, identity vs gzip, both encoder efforts)
 # and kernels (cold pipeline stage timings with the counting-vs-tail
-# breakdown, warn-only compared against the previous BENCH_kernels.json).
+# breakdown plus the Stage-5 frontier-engine section, warn-only compared
+# against the previous BENCH_kernels.json). Each kernel run is also
+# appended as one line (commit, timestamp, full report) to
+# BENCH_history.jsonl, so the per-commit trajectory survives the
+# snapshot overwrite.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,7 +27,7 @@ cargo test -q
 echo "==> server smoke benchmark (cold vs warm -> BENCH_server.json)"
 cargo run --release -q -p hyperline-bench --bin server_smoke
 
-echo "==> kernel smoke benchmark (counting vs tail -> BENCH_kernels.json)"
+echo "==> kernel smoke benchmark (counting vs tail + stage5 -> BENCH_kernels.json, history -> BENCH_history.jsonl)"
 cargo run --release -q -p hyperline-bench --bin kernel_smoke
 
 echo "All checks passed."
