@@ -18,7 +18,8 @@
 //! `cargo run -p hyperline-bench --release --bin server_smoke`
 //! Options: `--profile=genomics --seed=42 --reps=9 --out=BENCH_server.json`
 
-use hyperline_bench::{arg, print_header};
+use hyperline_bench::{arg, flag, print_header};
+use hyperline_server::json::Json;
 use hyperline_server::{gzip, http, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -97,10 +98,18 @@ fn measure(addr: SocketAddr, target: &str, reps: usize) -> (f64, f64) {
     (cold, warm[warm.len() / 2])
 }
 
-fn endpoint_report(name: &str, cold_micros: f64, warm_micros: f64) -> hyperline_server::json::Json {
-    use hyperline_server::json::Json;
+fn endpoint_report(
+    name: &str,
+    cold_micros: f64,
+    warm_micros: f64,
+    metrics: &Json,
+) -> hyperline_server::json::Json {
+    // Alongside the client-side round-trips, read the server's own
+    // latency histogram for the route: p50/p99 of every request it
+    // handled, measured server-side (parse to response, no socket).
+    let (p50, p99) = route_quantiles(metrics, name);
     println!(
-        "{name:<14} cold {:>10.0} us   warm {:>8.0} us   speedup {:>8.1}x",
+        "{name:<14} cold {:>10.0} us   warm {:>8.0} us   speedup {:>8.1}x   server p50 {p50:>6} us  p99 {p99:>6} us",
         cold_micros,
         warm_micros,
         cold_micros / warm_micros
@@ -110,10 +119,93 @@ fn endpoint_report(name: &str, cold_micros: f64, warm_micros: f64) -> hyperline_
         .set("cold_micros", cold_micros)
         .set("warm_micros_median", warm_micros)
         .set("speedup", cold_micros / warm_micros)
+        .set("server_p50_micros", p50)
+        .set("server_p99_micros", p99)
+}
+
+/// `(p50, p99)` of a route's server-side latency histogram in a parsed
+/// `/metrics` body.
+fn route_quantiles(metrics: &Json, route: &str) -> (i64, i64) {
+    let hist = metrics
+        .get("endpoints")
+        .and_then(|e| e.get(route))
+        .and_then(|r| r.get("latency"))
+        .unwrap_or_else(|| panic!("no latency histogram for route {route}"));
+    let q = |key: &str| hist.get(key).and_then(Json::as_int).unwrap_or(0) as i64;
+    (q("p50"), q("p99"))
+}
+
+/// Numeric field lookup in a parsed JSON object.
+fn num(obj: &Json, key: &str) -> Option<f64> {
+    match obj.get(key)? {
+        Json::Int(i) => Some(*i as f64),
+        Json::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Every dotted key path down to the leaves of a JSON object tree —
+/// the `/metrics` schema, independent of the values.
+fn schema_paths(json: &Json, prefix: &str, out: &mut Vec<String>) {
+    match json.entries() {
+        Some(entries) if !entries.is_empty() => {
+            for (key, value) in entries {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                schema_paths(value, &path, out);
+            }
+        }
+        _ => out.push(prefix.to_string()),
+    }
+}
+
+/// Asserts the `/metrics` JSON key set matches the checked-in snapshot
+/// (`scripts/metrics_schema.txt`): dashboards and scrapers key on these
+/// paths, so the schema only changes deliberately, with
+/// `--update-schema` regenerating the snapshot. Missing snapshot files
+/// bootstrap instead of failing (first run, or odd working directory).
+fn check_metrics_schema(metrics: &Json, snapshot_path: &str, update: bool) {
+    let mut paths = Vec::new();
+    schema_paths(metrics, "", &mut paths);
+    paths.sort_unstable();
+    let current = paths.join("\n") + "\n";
+    match std::fs::read_to_string(snapshot_path) {
+        Ok(expected) if expected == current => {
+            println!(
+                "metrics schema: {} key paths match {snapshot_path}",
+                paths.len()
+            );
+        }
+        Ok(expected) => {
+            if update {
+                std::fs::write(snapshot_path, &current).expect("write schema snapshot");
+                println!("metrics schema: updated {snapshot_path}");
+                return;
+            }
+            let expected: Vec<&str> = expected.lines().collect();
+            let current: Vec<&str> = current.lines().collect();
+            for path in expected.iter().filter(|p| !current.contains(p)) {
+                eprintln!("  removed: {path}");
+            }
+            for path in current.iter().filter(|p| !expected.contains(p)) {
+                eprintln!("  added:   {path}");
+            }
+            panic!(
+                "/metrics key set diverged from {snapshot_path}; \
+                 rerun with --update-schema if the change is deliberate"
+            );
+        }
+        Err(_) => {
+            std::fs::write(snapshot_path, &current).expect("write schema snapshot");
+            println!("metrics schema: bootstrapped {snapshot_path}");
+        }
+    }
 }
 
 fn main() {
-    use hyperline_server::json::Json;
     print_header("server smoke: cold vs warm latency of the two-tier cache");
     let profile: String = arg("profile", "genomics".to_string());
     let seed: u64 = arg("seed", 42);
@@ -223,18 +315,62 @@ fn main() {
 
     let (status, metrics) = get(addr, "/metrics");
     assert_eq!(status, 200);
+    let metrics_json = Json::parse(&metrics).expect("/metrics body parses");
+    check_metrics_schema(
+        &metrics_json,
+        &arg("schema", "scripts/metrics_schema.txt".to_string()),
+        flag("update-schema"),
+    );
+    // The previous report, for the warn-only trajectory comparison.
+    let previous = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok());
+    let endpoints = vec![
+        endpoint_report("slg", slg_cold, slg_warm, &metrics_json),
+        endpoint_report("sweep", sweep_cold, sweep_warm, &metrics_json),
+        endpoint_report("betweenness", bc_cold, bc_warm, &metrics_json),
+    ];
+    // Warn-only: flag any endpoint whose latency regressed > 20% vs the
+    // previous run (client round-trips and server-side quantiles alike).
+    // Sub-50µs numbers are scheduler noise, not signal.
+    let mut warnings = 0usize;
+    if let Some(prev_endpoints) = previous
+        .as_ref()
+        .and_then(|p| p.get("endpoints"))
+        .and_then(Json::as_array)
+    {
+        for entry in &endpoints {
+            let endpoint = entry.get("endpoint").and_then(Json::as_str).unwrap();
+            let Some(prev) = prev_endpoints
+                .iter()
+                .find(|p| p.get("endpoint").and_then(Json::as_str) == Some(endpoint))
+            else {
+                continue;
+            };
+            for field in [
+                "cold_micros",
+                "warm_micros_median",
+                "server_p50_micros",
+                "server_p99_micros",
+            ] {
+                let (Some(old), Some(new)) = (num(prev, field), num(entry, field)) else {
+                    continue;
+                };
+                if old > 50.0 && new > old * 1.2 {
+                    warnings += 1;
+                    println!(
+                        "  WARN {endpoint} {field}: {old:.0}us -> {new:.0}us (+{:.0}%)",
+                        (new / old - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
     let report = Json::obj()
         .set("profile", name.as_str())
         .set("seed", seed)
         .set("reps", reps)
-        .set(
-            "endpoints",
-            Json::Arr(vec![
-                endpoint_report("slg", slg_cold, slg_warm),
-                endpoint_report("sweep", sweep_cold, sweep_warm),
-                endpoint_report("betweenness", bc_cold, bc_warm),
-            ]),
-        )
+        .set("endpoints", Json::Arr(endpoints))
         .set(
             "wire",
             Json::obj()
@@ -273,7 +409,14 @@ fn main() {
                 .set("peak_body_buffer_bytes_buffered", identity_body.len()),
         );
     std::fs::write(&out, report.render()).expect("write report");
-    println!("\nwrote {out}");
+    println!(
+        "\nwrote {out}{}",
+        if warnings > 0 {
+            format!(" ({warnings} warn-only regressions vs previous run)")
+        } else {
+            String::new()
+        }
+    );
     // Surface the tier counters so a broken cache is visible in CI logs.
     if let Some(cache) = metrics
         .split("\"cache\":")

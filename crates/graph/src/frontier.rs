@@ -41,6 +41,7 @@ use crate::graph::Graph;
 use hyperline_util::parallel::{
     par_for_each_range, par_map_range, par_map_range_init, par_sort_unstable,
 };
+use hyperline_util::telemetry::Span;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Beamer's α: switch push→pull when the frontier's out-edges exceed
@@ -284,6 +285,7 @@ fn pull_level(g: &Graph, visited: &AtomicBits, dist: &[AtomicU32], level: u32) -
 /// computed with the direction-optimizing parallel engine.
 pub fn bfs_distances_parallel(g: &Graph, source: u32) -> Vec<u32> {
     assert!((source as usize) < g.num_vertices(), "source out of range");
+    let _span = Span::enter("frontier-bfs");
     let mut bfs = ParBfs::new(g);
     bfs.run_with(source, |_, _| {});
     bfs.into_distances()
@@ -298,6 +300,7 @@ pub fn bfs_distances_parallel(g: &Graph, source: u32) -> Vec<u32> {
 /// every worker count; [`crate::cc::components_label_prop`] (LPCC)
 /// cross-checks it in the test suite.
 pub fn components(g: &Graph) -> Vec<u32> {
+    let _span = Span::enter("frontier-cc");
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let mut bfs = ParBfs::new(g);
@@ -436,6 +439,7 @@ impl SweepScratch {
 /// All eccentricities, source-parallel over reused per-worker scratch.
 /// Identical to mapping [`crate::bfs::eccentricity`] over every vertex.
 pub fn eccentricities(g: &Graph) -> Vec<u32> {
+    let _span = Span::enter("frontier-sweeps");
     let n = g.num_vertices();
     par_map_range_init(
         n,
@@ -455,6 +459,7 @@ pub fn diameter(g: &Graph) -> u32 {
 /// normalized by `n - 1`. Values are bit-identical for every worker
 /// count (each source's sum has a fixed per-level accumulation order).
 pub fn harmonic_closeness(g: &Graph) -> Vec<f64> {
+    let _span = Span::enter("frontier-sweeps");
     let n = g.num_vertices();
     if n <= 1 {
         return vec![0.0; n];

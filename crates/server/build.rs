@@ -1,0 +1,19 @@
+//! Embeds the git commit into the server at compile time, so
+//! `GET /metrics` can report exactly which build is serving.
+
+use std::process::Command;
+
+fn main() {
+    let commit = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=HYPERLINE_GIT_COMMIT={commit}");
+    // Rebuild when HEAD moves so the reported commit never goes stale.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

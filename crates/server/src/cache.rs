@@ -29,9 +29,11 @@
 //!   generation; computations started against the old data may still be
 //!   served to the callers that asked for them but are never cached.
 
+use hyperline_util::telemetry::Histogram;
 use hyperline_util::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// A cache key scoped to one dataset: generation bookkeeping and
 /// invalidation group entries by [`TierKey::dataset`]. Both tiers' keys
@@ -209,6 +211,38 @@ pub struct SingleFlightCache<K, V> {
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    /// How long the cache's central mutex stays held per acquisition,
+    /// microseconds. Eviction scans and big map mutations show up here
+    /// as tail latency — the histogram is what tells contention apart
+    /// from slow critical sections.
+    lock_hold: Histogram,
+}
+
+/// A guard over [`Inner`] that records how long the lock was held into
+/// the cache's `lock_hold` histogram when released.
+struct TimedGuard<'a, K, V> {
+    guard: MutexGuard<'a, Inner<K, V>>,
+    hold: &'a Histogram,
+    acquired: Instant,
+}
+
+impl<K, V> std::ops::Deref for TimedGuard<'_, K, V> {
+    type Target = Inner<K, V>;
+    fn deref(&self) -> &Inner<K, V> {
+        &self.guard
+    }
+}
+
+impl<K, V> std::ops::DerefMut for TimedGuard<'_, K, V> {
+    fn deref_mut(&mut self) -> &mut Inner<K, V> {
+        &mut self.guard
+    }
+}
+
+impl<K, V> Drop for TimedGuard<'_, K, V> {
+    fn drop(&mut self) {
+        self.hold.record_micros(self.acquired.elapsed());
+    }
 }
 
 /// The artifact tier: s-line graphs keyed by [`CacheKey`].
@@ -230,7 +264,23 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            lock_hold: Histogram::new(),
         }
+    }
+
+    /// Acquires the central lock, timing the hold.
+    fn lock(&self) -> TimedGuard<'_, K, V> {
+        let guard = self.inner.lock().unwrap();
+        TimedGuard {
+            guard,
+            hold: &self.lock_hold,
+            acquired: Instant::now(),
+        }
+    }
+
+    /// Hold-time distribution of the cache's central mutex.
+    pub fn lock_hold_histogram(&self) -> &Histogram {
+        &self.lock_hold
     }
 
     /// Looks `key` up; on a miss, runs `compute` (outside the cache lock)
@@ -252,7 +302,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             Waiter(Arc<Inflight<V>>),
         }
         let (role, generation_at_start) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.lock();
             inner.clock += 1;
             let now = inner.clock;
             if let Some(entry) = inner.map.get_mut(key) {
@@ -302,7 +352,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                     .unwrap_or_else(|| "unknown panic".to_string());
                 Err(format!("computation panicked: {what}"))
             });
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         // Detach only this call's own marker: invalidate_dataset may have
         // removed it already (and a post-invalidation request may have
         // registered a fresh flight under the same key — leave theirs).
@@ -360,7 +410,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
     /// `misses` stat means "computed", and a probe computes nothing).
     /// The sweep fast path probes per-s artifacts this way.
     pub fn lookup(&self, key: &K) -> Option<Arc<V>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.clock += 1;
         let now = inner.clock;
         let entry = inner.map.get_mut(key)?;
@@ -375,7 +425,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
     /// inserts against a concurrent dataset replacement the same way
     /// `get_or_compute` fences its flights.
     pub fn generation(&self, dataset: &str) -> u64 {
-        self.inner.lock().unwrap().generation(dataset)
+        self.lock().generation(dataset)
     }
 
     /// Inserts a value computed outside a flight (the sweep path builds
@@ -385,7 +435,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
     /// inserted (a computation happened); returns whether it entered the
     /// map.
     pub fn insert_if_current(&self, key: K, generation: u64, value: V, bytes: usize) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.generation(key.dataset()) != generation {
             return false;
         }
@@ -433,7 +483,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
     /// requests arriving after the invalidation start a fresh flight
     /// against the new data instead of coalescing onto the stale one.
     pub fn invalidate_dataset(&self, dataset: &str) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         *inner.generations.entry(dataset.to_string()).or_insert(0) += 1;
         let victims: Vec<K> = inner
             .map
@@ -451,7 +501,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -19,6 +19,7 @@
 //! (`Transfer-Encoding` is applied over `Content-Encoding`).
 
 use std::io::{self, Write};
+use std::time::{Duration, Instant};
 
 /// Uncompressed bytes buffered per DEFLATE block. 32 KiB keeps every
 /// match distance within the format's window without tracking a sliding
@@ -738,6 +739,11 @@ pub struct GzipWriter<W: Write> {
     crc: u32,
     total_in: u64,
     effort: Effort,
+    /// Wall time spent inside the encoder (CRC, LZ77, Huffman, bit
+    /// packing *and* the inner writes it performs). Server metrics feed
+    /// this into the `gzip_encode` histogram via
+    /// [`GzipWriter::finish_timed`].
+    spent: Duration,
 }
 
 impl<W: Write> GzipWriter<W> {
@@ -761,12 +767,22 @@ impl<W: Write> GzipWriter<W> {
             crc: 0,
             total_in: 0,
             effort,
+            spent: Duration::ZERO,
         })
     }
 
     /// Compresses the final block (even when empty), writes the CRC32 +
     /// length trailer, flushes, and returns the inner writer.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(self) -> io::Result<W> {
+        self.finish_timed().map(|(inner, _)| inner)
+    }
+
+    /// Like [`GzipWriter::finish`], but also reports the total wall time
+    /// this encoder spent compressing (across every `write` plus the
+    /// final block). The server records it into its `gzip_encode`
+    /// latency histogram.
+    pub fn finish_timed(mut self) -> io::Result<(W, Duration)> {
+        let started = Instant::now();
         deflate_block(&mut self.bits, &self.buf, true, self.effort)?;
         self.bits.align_byte()?;
         let mut trailer = [0u8; 8];
@@ -774,12 +790,11 @@ impl<W: Write> GzipWriter<W> {
         trailer[4..].copy_from_slice(&(self.total_in as u32).to_le_bytes());
         self.bits.write_bytes(&trailer)?;
         self.bits.flush()?;
-        Ok(self.bits.inner)
+        let spent = self.spent + started.elapsed();
+        Ok((self.bits.inner, spent))
     }
-}
 
-impl<W: Write> Write for GzipWriter<W> {
-    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+    fn write_compressing(&mut self, data: &[u8]) -> io::Result<usize> {
         self.crc = crc32_update(self.crc, data);
         self.total_in += data.len() as u64;
         let mut rest = data;
@@ -796,6 +811,15 @@ impl<W: Write> Write for GzipWriter<W> {
             }
         }
         Ok(data.len())
+    }
+}
+
+impl<W: Write> Write for GzipWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let started = Instant::now();
+        let result = self.write_compressing(data);
+        self.spent += started.elapsed();
+        result
     }
 
     fn flush(&mut self) -> io::Result<()> {

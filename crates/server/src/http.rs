@@ -424,18 +424,26 @@ pub fn accepts_gzip(request: &Request) -> bool {
     })
 }
 
-/// Writes a response head: status line, `content-type`, any `extra`
-/// headers (framing: `content-length`, `transfer-encoding`,
+/// The `content-type` of every JSON response.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// The `content-type` of Prometheus text exposition format 0.0.4
+/// (`GET /metrics?format=prometheus`).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Writes a response head: status line, the given `content-type`, any
+/// `extra` headers (framing: `content-length`, `transfer-encoding`,
 /// `content-encoding`), `connection`, and the terminating blank line.
 pub fn write_response_head(
     stream: &mut impl Write,
     status: u16,
+    content_type: &str,
     keep_alive: bool,
     extra: &[(&str, &str)],
 ) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\n",
         reason(status)
     )?;
     for (name, value) in extra {
@@ -454,7 +462,13 @@ pub fn write_response(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let length = body.len().to_string();
-    write_response_head(stream, status, keep_alive, &[("content-length", &length)])?;
+    write_response_head(
+        stream,
+        status,
+        CONTENT_TYPE_JSON,
+        keep_alive,
+        &[("content-length", &length)],
+    )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -468,7 +482,13 @@ pub fn write_head_response(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let length = content_length.to_string();
-    write_response_head(stream, status, keep_alive, &[("content-length", &length)])?;
+    write_response_head(
+        stream,
+        status,
+        CONTENT_TYPE_JSON,
+        keep_alive,
+        &[("content-length", &length)],
+    )?;
     stream.flush()
 }
 

@@ -49,6 +49,15 @@ pub enum Json {
     /// A lazily-rendered fragment (large arrays streamed from cached
     /// `Arc` data). Never produced by [`Json::parse`].
     Stream(Arc<dyn StreamFragment>),
+    /// A preformatted non-JSON body rendered verbatim, carrying its own
+    /// `content-type` (Prometheus text exposition). Never produced by
+    /// [`Json::parse`].
+    Text {
+        /// The `content-type` header value to declare.
+        content_type: &'static str,
+        /// The raw body text.
+        body: String,
+    },
 }
 
 impl std::fmt::Debug for Json {
@@ -62,6 +71,7 @@ impl std::fmt::Debug for Json {
             Json::Arr(items) => f.debug_tuple("Arr").field(items).finish(),
             Json::Obj(fields) => f.debug_tuple("Obj").field(fields).finish(),
             Json::Stream(_) => write!(f, "Stream(..)"),
+            Json::Text { content_type, .. } => f.debug_tuple("Text").field(content_type).finish(),
         }
     }
 }
@@ -79,6 +89,16 @@ impl PartialEq for Json {
             // Fragments compare by identity — equality of rendered
             // output would defeat the point of not rendering.
             (Json::Stream(a), Json::Stream(b)) => Arc::ptr_eq(a, b),
+            (
+                Json::Text {
+                    content_type: ta,
+                    body: ba,
+                },
+                Json::Text {
+                    content_type: tb,
+                    body: bb,
+                },
+            ) => ta == tb && ba == bb,
             _ => false,
         }
     }
@@ -230,6 +250,7 @@ impl Json {
                 out.write_all(b"}")
             }
             Json::Stream(fragment) => fragment.write_json(out),
+            Json::Text { body, .. } => out.write_all(body.as_bytes()),
         }
     }
 }

@@ -41,9 +41,14 @@
 //! * [`gzip`] — a std-only streaming gzip encoder (LZ77 + per-block
 //!   dynamic/fixed/stored DEFLATE selection) and a strict decoder for
 //!   tests and benchmarks;
-//! * [`metrics`] — per-endpoint request/latency counters, per-tier
-//!   cache hit/miss and transport (streamed/gzipped) reporting at
-//!   `GET /metrics`.
+//! * [`metrics`] — per-endpoint request counters and latency
+//!   *histograms* (p50/p90/p99/p999), per-tier cache hit/miss and
+//!   transport (streamed/gzipped) reporting at `GET /metrics` — as JSON
+//!   or Prometheus text exposition (`?format=prometheus`); pipeline
+//!   stage spans aggregate per dataset at `GET /debug/pipeline`;
+//! * [`access_log`] — structured JSONL request logs (request ID, route,
+//!   cache outcome, queue wait, bytes out) on a non-blocking writer
+//!   thread, enabled with `--access-log`.
 //!
 //! ## Quick start
 //!
@@ -68,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod cache;
 pub mod gzip;
 pub mod http;
@@ -77,6 +83,7 @@ pub mod pool;
 pub mod registry;
 pub mod server;
 
+pub use access_log::{AccessLog, AccessRecord, RequestIds};
 pub use cache::{
     AlgoKind, ArtifactCache, CacheKey, CacheOutcome, CacheStats, MetricKey, MetricKind,
     SingleFlightCache, TierKey,

@@ -1,13 +1,22 @@
 //! Per-endpoint request/latency counters for `GET /metrics`.
 //!
 //! Lock-free atomics on a fixed route table: recording a sample is a
-//! handful of relaxed atomic adds, cheap enough to run on every request.
+//! handful of relaxed atomic adds plus one histogram record, cheap
+//! enough to run on every request. Latencies land in a log-bucketed
+//! [`Histogram`] per route, so `/metrics` serves p50/p90/p99/p999 (and
+//! still the exact average and max — the histogram tracks an exact sum
+//! and max beside its buckets).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use hyperline_util::telemetry::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The server's routes (fixed at compile time so metrics need no map).
+///
+/// The discriminant is the index into [`Route::ALL`] and the metrics
+/// table — pinned by `route_index_is_discriminant` below.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
 pub enum Route {
     /// `GET /` — endpoint index.
     Index,
@@ -15,6 +24,8 @@ pub enum Route {
     Health,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/pipeline` — per-dataset pipeline stage spans.
+    DebugPipeline,
     /// `GET /datasets`.
     ListDatasets,
     /// `POST /datasets`.
@@ -39,10 +50,11 @@ pub enum Route {
 
 impl Route {
     /// Every route, in `/metrics` display order.
-    pub const ALL: [Route; 13] = [
+    pub const ALL: [Route; 14] = [
         Route::Index,
         Route::Health,
         Route::Metrics,
+        Route::DebugPipeline,
         Route::ListDatasets,
         Route::AddDataset,
         Route::Stats,
@@ -61,6 +73,7 @@ impl Route {
             Route::Index => "index",
             Route::Health => "healthz",
             Route::Metrics => "metrics",
+            Route::DebugPipeline => "debug_pipeline",
             Route::ListDatasets => "list_datasets",
             Route::AddDataset => "add_dataset",
             Route::Stats => "stats",
@@ -74,8 +87,11 @@ impl Route {
         }
     }
 
+    /// Index into [`Route::ALL`] — a direct discriminant cast, O(1) on
+    /// every request record (was an O(n) table scan).
+    #[inline]
     fn index(self) -> usize {
-        Route::ALL.iter().position(|&r| r == self).unwrap()
+        self as usize
     }
 }
 
@@ -86,10 +102,8 @@ pub struct EndpointCounters {
     pub requests: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
-    /// Sum of handling latencies, microseconds.
-    pub micros_total: AtomicU64,
-    /// Worst handling latency, microseconds.
-    pub micros_max: AtomicU64,
+    /// Handling latencies, microseconds (p50/p99 plus exact sum/max).
+    pub latency: Histogram,
 }
 
 /// All server counters.
@@ -109,6 +123,34 @@ pub struct ServerMetrics {
     /// Streamed responses compressed with gzip (negotiated via
     /// `Accept-Encoding`).
     pub gzip_responses: AtomicU64,
+    /// Gauge: connections sitting in the accept queue right now.
+    pub queue_depth: AtomicI64,
+    /// Gauge: workers currently serving a connection.
+    pub busy_workers: AtomicI64,
+    /// Time connections spent queued before a worker picked them up,
+    /// microseconds.
+    pub queue_wait: Histogram,
+    /// Wall time spent inside the streaming gzip encoder per response,
+    /// microseconds.
+    pub gzip_encode: Histogram,
+}
+
+/// RAII increment of a gauge: `enter` adds one, dropping subtracts it.
+/// Worker panics unwind through the guard, so gauges never drift.
+pub struct GaugeGuard<'a>(&'a AtomicI64);
+
+impl<'a> GaugeGuard<'a> {
+    /// Increments `gauge` until the guard drops.
+    pub fn enter(gauge: &'a AtomicI64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ServerMetrics {
@@ -120,13 +162,11 @@ impl ServerMetrics {
     /// Records one handled request on `route`.
     pub fn record(&self, route: Route, status: u16, elapsed: Duration) {
         let counters = &self.endpoints[route.index()];
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
         counters.requests.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             counters.errors.fetch_add(1, Ordering::Relaxed);
         }
-        counters.micros_total.fetch_add(micros, Ordering::Relaxed);
-        counters.micros_max.fetch_max(micros, Ordering::Relaxed);
+        counters.latency.record_micros(elapsed);
     }
 
     /// The counters of one route.
@@ -149,8 +189,9 @@ mod tests {
         let slg = m.endpoint(Route::Slg);
         assert_eq!(slg.requests.load(Ordering::Relaxed), 3);
         assert_eq!(slg.errors.load(Ordering::Relaxed), 1);
-        assert_eq!(slg.micros_total.load(Ordering::Relaxed), 210);
-        assert_eq!(slg.micros_max.load(Ordering::Relaxed), 120);
+        assert_eq!(slg.latency.count(), 3);
+        assert_eq!(slg.latency.sum(), 210);
+        assert_eq!(slg.latency.max(), 120);
         assert_eq!(
             m.endpoint(Route::Health).requests.load(Ordering::Relaxed),
             1
@@ -164,5 +205,34 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Route::ALL.len());
+    }
+
+    #[test]
+    fn gauge_guard_balances_even_on_unwind() {
+        let gauge = AtomicI64::new(0);
+        {
+            let _g = GaugeGuard::enter(&gauge);
+            assert_eq!(gauge.load(Ordering::Relaxed), 1);
+            let _h = GaugeGuard::enter(&gauge);
+            assert_eq!(gauge.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        // A panic unwinding through the guard still releases it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = GaugeGuard::enter(&gauge);
+            panic!("worker died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn route_index_is_discriminant() {
+        // The O(1) cast must agree with the table position for every
+        // route — pins ALL's order to the enum declaration order.
+        for (pos, &route) in Route::ALL.iter().enumerate() {
+            assert_eq!(route.index(), pos, "{route:?}");
+            assert_eq!(Route::ALL[route.index()], route);
+        }
     }
 }

@@ -73,7 +73,7 @@ fn start_server(profile: &str, threads: usize) -> (hyperline_server::ServerHandl
         cache_mb: 64,
         queue_depth: 256,
         read_timeout: Duration::from_secs(5),
-        data_root: None,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let name = server
@@ -417,4 +417,119 @@ fn sweep_and_weighted_agree_with_library() {
         "{body}"
     );
     handle.shutdown();
+}
+
+#[test]
+fn access_log_and_pipeline_observability_end_to_end() {
+    use hyperline_server::json::Json;
+
+    let log_path =
+        std::env::temp_dir().join(format!("hyperline-access-log-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_mb: 64,
+        access_log: Some(log_path.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let name = server
+        .registry()
+        .load_profile("lesMis", 42, None)
+        .expect("load profile");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // A cold metric query exercises the full pipeline; a warm repeat
+    // gives the log a cache-hit line.
+    let (status, _) = get(addr, &format!("/datasets/{name}/spectrum?s=2"));
+    assert_eq!(status, 200);
+    let (status, _) = get(addr, &format!("/datasets/{name}/spectrum?s=2"));
+    assert_eq!(status, 200);
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    // /debug/pipeline shows the collected stage tree over HTTP.
+    let (status, body) = get(addr, "/debug/pipeline");
+    assert_eq!(status, 200);
+    for stage in ["counting", "merge", "postprocess", "csr", "stage5"] {
+        assert!(body.contains(&format!("\"{stage}\"")), "{stage}: {body}");
+    }
+
+    // The Prometheus exposition serves over HTTP with its content-type.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /metrics?format=prometheus HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.contains("content-type: text/plain; version=0.0.4"),
+        "{raw}"
+    );
+    assert!(
+        raw.contains("hyperline_requests_total{route=\"spectrum\"} 2"),
+        "{raw}"
+    );
+
+    // Queue-wait samples were recorded for every handled connection.
+    let (_, metrics) = get(addr, "/metrics");
+    let parsed = Json::parse(&metrics).unwrap();
+    let queue_wait = parsed
+        .get("pool")
+        .and_then(|p| p.get("queue_wait"))
+        .expect("queue_wait histogram");
+    assert!(queue_wait.get("count").unwrap().as_int().unwrap() >= 5);
+
+    // Every request so far produced one structured JSONL line.
+    handle.state().access_log().expect("log enabled").flush();
+    let text = std::fs::read_to_string(&log_path).expect("log file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 6, "expected >= 6 lines, got {}", lines.len());
+    let records: Vec<Json> = lines
+        .iter()
+        .map(|l| Json::parse(l).expect("log line parses"))
+        .collect();
+    for record in &records {
+        for field in [
+            "id",
+            "route",
+            "status",
+            "bytes_out",
+            "gzip",
+            "queue_wait_micros",
+            "handle_micros",
+        ] {
+            assert!(record.get(field).is_some(), "missing {field}: {record:?}");
+        }
+        assert!(record.get("bytes_out").unwrap().as_int().unwrap() > 0);
+    }
+    // The cold/warm spectrum pair logs miss then hit, with dataset + s.
+    let spectra: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get("route").and_then(Json::as_str) == Some("spectrum"))
+        .collect();
+    assert_eq!(spectra.len(), 2, "{text}");
+    assert_eq!(spectra[0].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(spectra[1].get("cache").unwrap().as_str(), Some("hit"));
+    for r in &spectra {
+        assert_eq!(r.get("dataset").unwrap().as_str(), Some(name.as_str()));
+        assert_eq!(r.get("s").unwrap().as_int(), Some(2));
+    }
+    // Request IDs are unique and share one startup nonce.
+    let ids: Vec<&str> = records
+        .iter()
+        .map(|r| r.get("id").unwrap().as_str().unwrap())
+        .collect();
+    let mut unique = ids.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), ids.len(), "duplicate request IDs");
+
+    handle.shutdown();
+    std::fs::remove_file(&log_path).ok();
 }

@@ -15,7 +15,7 @@ fn start_server(profile: &str) -> (hyperline_server::ServerHandle, String) {
         cache_mb: 64,
         queue_depth: 64,
         read_timeout: Duration::from_secs(5),
-        data_root: None,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let name = server

@@ -24,6 +24,7 @@ use crate::strategy::{Strategy, TriangleSide};
 use hyperline_hypergraph::csr::{intersection_at_least, intersection_size};
 use hyperline_hypergraph::Hypergraph;
 use hyperline_util::parallel::{merge_sorted_runs, par_for_each_mut};
+use hyperline_util::telemetry::Span;
 use hyperline_util::Timer;
 
 /// The wedge targets `e_j` reachable from source `e_i` through one vertex
@@ -67,6 +68,7 @@ pub struct OverlapResult {
 /// sorted multiset of all emissions, so it is byte-identical for every
 /// worker count and partition.
 fn merge_worker_outputs(locals: Vec<(Vec<(u32, u32)>, WorkerStats)>) -> OverlapResult {
+    let _span = Span::enter("merge");
     let timer = Timer::start();
     let mut runs = Vec::with_capacity(locals.len());
     let mut per_worker = Vec::with_capacity(locals.len());
@@ -89,6 +91,7 @@ fn merge_worker_outputs(locals: Vec<(Vec<(u32, u32)>, WorkerStats)>) -> OverlapR
 pub fn naive_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapResult {
     assert!(s >= 1, "s must be at least 1");
     let m = h.num_edges();
+    let counting = Span::enter("counting");
     let locals = execute(
         m,
         strategy.workers(),
@@ -108,6 +111,7 @@ pub fn naive_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
             }
         },
     );
+    drop(counting);
     merge_worker_outputs(locals)
 }
 
@@ -125,6 +129,7 @@ pub fn algo1_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
         /// source i ("skipping already visited hyperedges").
         stamp: Vec<u32>,
     }
+    let counting = Span::enter("counting");
     let locals = execute(
         m,
         strategy.workers(),
@@ -189,6 +194,7 @@ pub fn algo1_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
             local.out[before..].sort_unstable();
         },
     );
+    drop(counting);
     merge_worker_outputs(locals.into_iter().map(|l| (l.out, l.stats)).collect())
 }
 
@@ -203,6 +209,7 @@ pub fn algo2_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
         stats: WorkerStats,
         counter: AnyCounter,
     }
+    let counting = Span::enter("counting");
     let locals = execute(
         m,
         strategy.workers(),
@@ -234,6 +241,7 @@ pub fn algo2_slinegraph(h: &Hypergraph, s: u32, strategy: &Strategy) -> OverlapR
             local.out[before..].sort_unstable();
         },
     );
+    drop(counting);
     merge_worker_outputs(locals.into_iter().map(|l| (l.out, l.stats)).collect())
 }
 
@@ -252,6 +260,7 @@ pub fn algo2_slinegraph_weighted(
         stats: WorkerStats,
         counter: AnyCounter,
     }
+    let counting = Span::enter("counting");
     let locals = execute(
         m,
         strategy.workers(),
@@ -282,8 +291,10 @@ pub fn algo2_slinegraph_weighted(
             local.out[before..].sort_unstable();
         },
     );
+    drop(counting);
     // Same sorted-runs merge as `merge_worker_outputs`, over weighted
     // triples.
+    let _span = Span::enter("merge");
     let timer = Timer::start();
     let mut runs = Vec::with_capacity(locals.len());
     let mut per_worker = Vec::with_capacity(locals.len());

@@ -11,6 +11,7 @@ use hyperline_graph::{
     graph::Graph,
     spectral::{self, SpectralOptions},
 };
+use hyperline_util::telemetry::Span;
 use hyperline_util::IdSqueezer;
 
 /// Sorts a `(hyperedge ID, score)` ranking by descending score, ties by
@@ -44,6 +45,7 @@ impl SLineGraph {
         // Bounded build: one presence pass over the hyperedge ID space
         // plus a dense rename table — no endpoint sort, no hashmap probes
         // in the bulk remap.
+        let postprocess = Span::enter("postprocess");
         let mut squeezer = IdSqueezer::from_edges_bounded(&edges, num_hyperedges);
         let mut squeezed = edges.clone();
         squeezer.squeeze_edges(&mut squeezed);
@@ -52,12 +54,15 @@ impl SLineGraph {
         // lookups fall back to binary search, memory back to
         // O(surviving IDs).
         squeezer.compact();
+        drop(postprocess);
         // Squeezing is strictly monotone, so a sorted upper-triangle edge
         // list (every pipeline output) stays sorted and `from_edges`
         // detects it with one cheap parallel scan, skipping the
         // clean/sort/dedup pass. Unsorted callers still work — they just
         // pay for the sort they need.
+        let csr = Span::enter("csr");
         let graph = Graph::from_edges(squeezer.len(), &squeezed);
+        drop(csr);
         Self {
             s,
             num_hyperedges,
@@ -70,7 +75,9 @@ impl SLineGraph {
     /// Builds without squeezing: the graph keeps the full hyperedge ID
     /// space (hypersparse; wasteful for large `m`, as the paper notes).
     pub fn new_unsqueezed(s: u32, num_hyperedges: usize, edges: Vec<(u32, u32)>) -> Self {
+        let csr = Span::enter("csr");
         let graph = Graph::from_edges(num_hyperedges, &edges);
+        drop(csr);
         Self {
             s,
             num_hyperedges,
@@ -124,6 +131,7 @@ impl SLineGraph {
     /// ([`cc::components_parallel`]); output is byte-identical to the
     /// serial reference for every worker count.
     pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let _span = Span::enter("components");
         let labels = cc::components_parallel(&self.graph);
         cc::components_as_sets(&labels)
             .into_iter()
@@ -143,6 +151,7 @@ impl SLineGraph {
     /// score)`, sorted by descending score. Scores are normalized to
     /// `[0, 1]` over the squeezed vertex set.
     pub fn betweenness(&self) -> Vec<(u32, f64)> {
+        let _span = Span::enter("betweenness");
         let mut scores = betweenness::betweenness_parallel(&self.graph);
         betweenness::normalize(&mut scores);
         let mut out: Vec<(u32, f64)> = scores
@@ -162,6 +171,7 @@ impl SLineGraph {
     /// summation order (not bit-identically — the sampled sweep sums
     /// over a permuted source list).
     pub fn betweenness_sampled(&self, samples: usize, seed: u64) -> Vec<(u32, f64)> {
+        let _span = Span::enter("betweenness");
         let mut scores = betweenness::betweenness_sampled(&self.graph, samples, seed);
         betweenness::normalize(&mut scores);
         let mut out: Vec<(u32, f64)> = scores
@@ -184,6 +194,7 @@ impl SLineGraph {
     /// Normalized algebraic connectivity of the largest component
     /// (Figure 6's y-axis).
     pub fn algebraic_connectivity(&self) -> f64 {
+        let _span = Span::enter("spectral");
         spectral::normalized_algebraic_connectivity(&self.graph, SpectralOptions::default())
     }
 
@@ -191,6 +202,7 @@ impl SLineGraph {
     /// sorted by descending score. Source-parallel over the frontier
     /// engine's batched sweeps; bit-identical for every worker count.
     pub fn closeness(&self) -> Vec<(u32, f64)> {
+        let _span = Span::enter("closeness");
         let scores = hyperline_graph::closeness::harmonic_closeness(&self.graph);
         let mut out: Vec<(u32, f64)> = scores
             .into_iter()
@@ -205,6 +217,7 @@ impl SLineGraph {
     /// s-connected hyperedges (0 for empty line graphs). Source-parallel
     /// over the frontier engine's batched sweeps.
     pub fn s_diameter(&self) -> u32 {
+        let _span = Span::enter("diameter");
         hyperline_graph::frontier::diameter(&self.graph)
     }
 

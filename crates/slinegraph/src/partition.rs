@@ -17,6 +17,7 @@
 //! instrumentation of Figure 10 falls out for free.
 
 use hyperline_util::parallel::scope_workers;
+use hyperline_util::telemetry::Span;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How hyperedge indices are assigned to workers.
@@ -66,6 +67,10 @@ where
     let num_workers = num_workers.max(1);
     let cursor = AtomicUsize::new(0);
     scope_workers(num_workers, |w| {
+        // One span per worker loop: the stage report shows per-worker
+        // occupancy of the counting stage (count = workers, max = the
+        // straggler).
+        let _span = Span::enter("worker");
         let mut local = init(w);
         match partition {
             Partition::Blocked => {

@@ -16,6 +16,8 @@
 //!   Stage 4 of the paper's framework).
 //! * [`parallel`] — structured parallelism on scoped threads (the
 //!   workspace's zero-dependency replacement for rayon).
+//! * [`telemetry`] — lock-free latency histograms and RAII pipeline
+//!   spans (the server's observability layer).
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod idmap;
 pub mod parallel;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 pub mod timer;
 
 pub use bitset::BitSet;

@@ -77,9 +77,15 @@ pub fn scope_workers<T: Send>(num_workers: usize, work: impl Fn(usize) -> T + Sy
         return vec![work(0)];
     }
     let work = &work;
+    // Spawned workers inherit the caller's telemetry scope so spans
+    // entered inside parallel loops land in the same stage report.
+    let ctx = crate::telemetry::current_context();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..num_workers)
-            .map(|w| scope.spawn(move || work(w)))
+            .map(|w| {
+                let ctx = ctx.clone();
+                scope.spawn(move || crate::telemetry::with_context(ctx, || work(w)))
+            })
             .collect();
         let mut results = Vec::with_capacity(num_workers);
         results.push(work(0));

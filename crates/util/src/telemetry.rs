@@ -1,0 +1,611 @@
+//! Lock-free telemetry primitives: latency histograms and pipeline spans.
+//!
+//! Two building blocks, both std-only and cheap enough for hot paths:
+//!
+//! * [`Histogram`] — an HdrHistogram-style log-bucketed latency
+//!   histogram: power-of-two major buckets split into [`SUB_BUCKETS`]
+//!   linear sub-buckets, every count an `AtomicU64`. Recording is
+//!   lock-free (four relaxed atomic ops), histograms merge, and
+//!   quantiles (p50/p90/p99/p999) come out of a consistent
+//!   [`HistogramSnapshot`] with bounded relative error (half a
+//!   sub-bucket, ≤ 1/32 of the value).
+//! * [`Span`] — RAII stage timing. `Span::enter("counting")` inside an
+//!   active [`collect`] scope records wall time under a `/`-separated
+//!   stage path ("stage5/components"); outside one it is a no-op (no
+//!   clock read, no allocation), so library code can be instrumented
+//!   unconditionally. [`crate::parallel::scope_workers`] propagates the
+//!   active scope into spawned workers, so spans inside parallel loops
+//!   land in the same report.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fxhash::FxHashMap;
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// log2 of the linear sub-buckets per power-of-two major bucket.
+pub const SUB_BUCKET_BITS: u32 = 4;
+/// Linear sub-buckets per major bucket (16 → ≤ 6.25% bucket width).
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Major (power-of-two) buckets: values `< SUB_BUCKETS` are exact in
+/// major 0; majors 1..=60 cover the rest of the `u64` range.
+pub const MAJOR_BUCKETS: usize = 64 - SUB_BUCKET_BITS as usize + 1;
+/// Total bucket count.
+pub const NUM_BUCKETS: usize = MAJOR_BUCKETS * SUB_BUCKETS;
+
+/// Bucket index for a value: values below [`SUB_BUCKETS`] map exactly;
+/// larger values keep their top `SUB_BUCKET_BITS + 1` significant bits.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+    let major = (exp - SUB_BUCKET_BITS + 1) as usize;
+    let sub = ((value >> (exp - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    major * SUB_BUCKETS + sub
+}
+
+/// Inclusive `[low, high]` value range covered by bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let major = (index / SUB_BUCKETS) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let shift = major - 1;
+    let low = (SUB_BUCKETS as u64 + sub) << shift;
+    let width = 1u64 << shift;
+    (low, low.saturating_add(width - 1))
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (typically
+/// microseconds). Recording never blocks; reading takes a
+/// [`HistogramSnapshot`] for consistent quantiles.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: four relaxed atomic RMW ops.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    #[inline]
+    pub fn record_micros(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (exact, not bucketed).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact), or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Adds every count from `other` into `self` (merge is commutative
+    /// and associative; concurrent recording on either side is safe).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.counts.iter().zip(other.counts.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy for consistent quantile extraction.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+
+    /// Convenience: quantile straight off a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A non-atomic copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the bucket midpoint of the
+    /// sample with (1-based) rank `ceil(q · count)`, clamped to the
+    /// exact recorded max. Returns 0 for an empty snapshot. Relative
+    /// error is bounded by half a bucket width (≤ 1/32 of the value).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (low, high) = bucket_bounds(i);
+                return (low + (high - low) / 2).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`
+    /// pairs in ascending bound order — the shape a Prometheus
+    /// `_bucket{le=...}` series needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_bounds(i).1, cum));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// Aggregate timing for one stage path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Times the stage ran.
+    pub count: u64,
+    /// Total wall nanoseconds across runs.
+    pub total_nanos: u64,
+    /// Slowest single run, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl StageAgg {
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &StageAgg) {
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+#[derive(Default)]
+struct SpanCollector {
+    stages: Mutex<FxHashMap<String, StageAgg>>,
+}
+
+impl SpanCollector {
+    fn record(&self, path: &str, nanos: u64) {
+        let mut stages = self.stages.lock().unwrap();
+        match stages.get_mut(path) {
+            Some(agg) => agg.record(nanos),
+            None => {
+                let mut agg = StageAgg::default();
+                agg.record(nanos);
+                stages.insert(path.to_string(), agg);
+            }
+        }
+    }
+}
+
+/// The ambient span scope: the sink spans record into plus the current
+/// stage-path prefix. Cloneable so [`crate::parallel::scope_workers`]
+/// can install the caller's scope on spawned workers.
+#[derive(Clone)]
+pub struct SpanContext {
+    sink: Arc<SpanCollector>,
+    path: String,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<SpanContext>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's active span scope, if any.
+pub fn current_context() -> Option<SpanContext> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` with `ctx` installed as the thread's span scope, restoring
+/// the previous scope afterwards (also on panic).
+pub fn with_context<T>(ctx: Option<SpanContext>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<SpanContext>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Runs `f` with a fresh span scope and returns its result together
+/// with the aggregated [`StageReport`] of every span entered inside
+/// (including spans from parallel workers spawned through
+/// [`crate::parallel::scope_workers`]).
+pub fn collect<T>(f: impl FnOnce() -> T) -> (T, StageReport) {
+    let sink = Arc::new(SpanCollector::default());
+    let ctx = SpanContext {
+        sink: Arc::clone(&sink),
+        path: String::new(),
+    };
+    let out = with_context(Some(ctx), f);
+    let mut stages: Vec<(String, StageAgg)> = sink
+        .stages
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    stages.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    (out, StageReport { stages })
+}
+
+/// An RAII stage timer. Created with [`Span::enter`]; records elapsed
+/// wall time into the ambient scope on drop. A no-op (no clock read)
+/// when no scope is active.
+pub struct Span {
+    start: Option<Instant>,
+    prev_path: String,
+}
+
+impl Span {
+    /// Enters stage `name`, nesting under any enclosing span
+    /// (`outer/name` in the report).
+    pub fn enter(name: &str) -> Span {
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            match cur.as_mut() {
+                None => Span {
+                    start: None,
+                    prev_path: String::new(),
+                },
+                Some(ctx) => {
+                    let prev_path = ctx.path.clone();
+                    if !ctx.path.is_empty() {
+                        ctx.path.push('/');
+                    }
+                    ctx.path.push_str(name);
+                    Span {
+                        start: Some(Instant::now()),
+                        prev_path,
+                    }
+                }
+            }
+        })
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        CURRENT.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                ctx.sink.record(&ctx.path, nanos);
+                ctx.path.truncate(self.prev_path.len());
+            }
+        });
+    }
+}
+
+/// Aggregated span timings from one [`collect`] scope, sorted by stage
+/// path (`/`-separated nesting).
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// `(stage path, aggregate)` pairs sorted by path.
+    pub stages: Vec<(String, StageAgg)>,
+}
+
+impl StageReport {
+    /// True when no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Aggregate for an exact stage path, if recorded.
+    pub fn get(&self, path: &str) -> Option<&StageAgg> {
+        self.stages
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.stages[i].1)
+    }
+
+    /// Folds this report into a path-keyed aggregate map.
+    pub fn merge_into(&self, target: &mut FxHashMap<String, StageAgg>) {
+        for (path, agg) in &self.stages {
+            target.entry(path.clone()).or_default().merge(agg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_bounds_consistent() {
+        let mut prev = 0usize;
+        let mut checked = 0u64;
+        let mut v = 0u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            let (low, high) = bucket_bounds(i);
+            assert!(
+                low <= v && v <= high,
+                "{v} outside [{low},{high}] (bucket {i})"
+            );
+            prev = i;
+            checked += 1;
+            v = (v + 1) + v / 3;
+        }
+        assert!(checked > 50);
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), SUB_BUCKETS as u64);
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn sum_and_max_are_exact() {
+        let h = Histogram::new();
+        for v in [3u64, 17, 1000, 123_456_789] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3 + 17 + 1000 + 123_456_789);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 5, 900, 900, 900, 1_000_000] {
+            h.record(v);
+        }
+        let buckets = h.snapshot().cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 7);
+        assert!(buckets
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn spans_record_nested_paths() {
+        let ((), report) = collect(|| {
+            let _outer = Span::enter("stage5");
+            {
+                let _inner = Span::enter("components");
+            }
+            {
+                let _inner = Span::enter("components");
+            }
+        });
+        let inner = report.get("stage5/components").expect("nested path");
+        assert_eq!(inner.count, 2);
+        assert!(report.get("stage5").is_some());
+        assert!(report.get("components").is_none());
+    }
+
+    #[test]
+    fn spans_outside_collect_are_noops() {
+        let _span = Span::enter("orphan");
+        // Nothing to assert beyond "does not panic / leak state":
+        let ((), report) = collect(|| ());
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn spans_propagate_to_scoped_workers() {
+        let ((), report) = collect(|| {
+            let _counting = Span::enter("counting");
+            crate::parallel::scope_workers(4, |_w| {
+                let _worker = Span::enter("worker");
+                std::hint::black_box(0u64)
+            });
+        });
+        assert_eq!(report.get("counting/worker").unwrap().count, 4);
+        assert_eq!(report.get("counting").unwrap().count, 1);
+    }
+
+    #[test]
+    fn collect_restores_outer_scope() {
+        let ((), outer) = collect(|| {
+            let _a = Span::enter("outer-stage");
+            let ((), inner) = collect(|| {
+                let _b = Span::enter("inner-stage");
+            });
+            assert!(inner.get("inner-stage").is_some());
+            assert!(inner.get("outer-stage").is_none());
+        });
+        assert!(outer.get("outer-stage").is_some());
+        assert!(outer.get("inner-stage").is_none());
+    }
+
+    #[test]
+    fn merge_into_accumulates() {
+        let mut map = FxHashMap::default();
+        for _ in 0..3 {
+            let ((), r) = collect(|| {
+                let _s = Span::enter("csr");
+            });
+            r.merge_into(&mut map);
+        }
+        assert_eq!(map["csr"].count, 3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let h = Histogram::new();
+        let threads = 8;
+        let per_thread = 50_000u64;
+        crate::parallel::scope_workers(threads, |w| {
+            for i in 0..per_thread {
+                h.record((w as u64 * per_thread + i) % 10_000);
+            }
+        });
+        assert_eq!(h.count(), threads as u64 * per_thread);
+        assert_eq!(h.snapshot().count(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn merge_is_associative_on_snapshots() {
+        let samples: [&[u64]; 3] = [&[1, 2, 3, 900], &[17, 17, 42_000], &[5]];
+        let make = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let left = make(samples[0]);
+        left.merge_from(&make(samples[1]));
+        left.merge_from(&make(samples[2]));
+        // a ⊕ (b ⊕ c)
+        let bc = make(samples[1]);
+        bc.merge_from(&make(samples[2]));
+        let right = make(samples[0]);
+        right.merge_from(&bc);
+        let (l, r) = (left.snapshot(), right.snapshot());
+        assert_eq!(l.count(), r.count());
+        assert_eq!(l.sum(), r.sum());
+        assert_eq!(l.max(), r.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(l.quantile(q), r.quantile(q));
+        }
+    }
+
+    #[test]
+    fn recording_overhead_under_one_micro() {
+        let h = Histogram::new();
+        let n = 200_000u64;
+        let t = crate::timer::Timer::start();
+        for i in 0..n {
+            h.record(i % 65_536);
+        }
+        let per_sample = t.elapsed().as_nanos() as f64 / n as f64;
+        assert_eq!(h.count(), n);
+        // Acceptance bound is 1 µs/sample; a relaxed-atomic record is
+        // ~10-50 ns even in debug builds.
+        assert!(per_sample < 1000.0, "record took {per_sample:.0} ns/sample");
+    }
+}

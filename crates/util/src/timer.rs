@@ -81,9 +81,14 @@ impl StageTimes {
         self.entries.push((stage.into(), d));
     }
 
-    /// Runs and times a closure, recording it under `stage`.
+    /// Runs and times a closure, recording it under `stage`. Also emits
+    /// a telemetry span with the same name, so pipeline stages show up
+    /// in any enclosing [`crate::telemetry::collect`] scope for free.
     pub fn run<T>(&mut self, stage: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let stage = stage.into();
+        let span = crate::telemetry::Span::enter(&stage);
         let (out, d) = Timer::time(f);
+        drop(span);
         self.record(stage, d);
         out
     }

@@ -1,0 +1,70 @@
+//! Property tests for the telemetry histogram: quantile estimates are
+//! cross-checked against an exact sorted-vector oracle on random sample
+//! sets, and merging two histograms matches recording into one.
+
+use hyperline_util::telemetry::Histogram;
+use proptest::prelude::*;
+
+/// The oracle: exact value at quantile `q` under the histogram's rank
+/// definition (1-based rank `ceil(q · n)`).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_match_sorted_oracle(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..400),
+        qnum in 0u32..=1000,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let q = qnum as f64 / 1000.0;
+        let oracle = oracle_quantile(&sorted, q);
+        let est = h.quantile(q);
+        // Log-bucketed storage bounds relative error by half a
+        // sub-bucket width (1/32); allow the full bucket width plus one
+        // to stay robust at bucket edges and tiny values.
+        let err = est.abs_diff(oracle);
+        prop_assert!(
+            err <= oracle / 16 + 1,
+            "q={} est={} oracle={} err={}", q, est, oracle, err
+        );
+        prop_assert!(est <= h.max());
+    }
+
+    #[test]
+    fn merged_histogram_equals_single_recorder(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge_from(&hb);
+        let (merged, single) = (ha.snapshot(), hall.snapshot());
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.sum(), single.sum());
+        prop_assert_eq!(merged.max(), single.max());
+        for qnum in [0u32, 250, 500, 900, 990, 1000] {
+            let q = qnum as f64 / 1000.0;
+            prop_assert_eq!(merged.quantile(q), single.quantile(q), "q={}", q);
+        }
+    }
+}

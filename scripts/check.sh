@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Pre-merge gate: formatting, lints, release build, full test suite, and
 # the two smoke benchmarks — server (cold vs warm cache latencies +
-# streamed edge-list wire bytes, identity vs gzip, both encoder efforts)
-# and kernels (cold pipeline stage timings with the counting-vs-tail
-# breakdown plus the Stage-5 frontier-engine section, warn-only compared
-# against the previous BENCH_kernels.json). Each kernel run is also
-# appended as one line (commit, timestamp, full report) to
-# BENCH_history.jsonl, so the per-commit trajectory survives the
-# snapshot overwrite.
+# server-side p50/p99 from the /metrics histograms + streamed edge-list
+# wire bytes, identity vs gzip, both encoder efforts) and kernels (cold
+# pipeline stage timings with the counting-vs-tail breakdown plus the
+# Stage-5 frontier-engine section). Both are warn-only compared (>20%)
+# against their previous BENCH_*.json; the server smoke additionally
+# HARD-asserts that the /metrics JSON key set matches the checked-in
+# scripts/metrics_schema.txt snapshot — scrapers key on those paths, so
+# schema drift must be deliberate (rerun with --update-schema to accept
+# a change). Each kernel run is also appended as one line (commit,
+# timestamp, full report) to BENCH_history.jsonl, so the per-commit
+# trajectory survives the snapshot overwrite.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -36,10 +36,13 @@ fn usage() -> ExitCode {
          gen        <profile> --out=FILE        write a synthetic dataset\n  \
          serve      <file|profile:NAME>... [--port=7878] [--threads=N]\n  \
                     [--cache-mb=256] [--queue=1024] [--seed=N] [--data-root=DIR]\n  \
+                    [--access-log=FILE] [--access-log-sample=N]\n  \
                     concurrent HTTP/1.1 JSON query server with a\n  \
                     two-tier (artifact + Stage-5 metric) cache and\n  \
                     batched POST /query (GET / lists the endpoints;\n  \
-                    --data-root sandboxes POST /datasets?path= loading)\n\
+                    --data-root sandboxes POST /datasets?path= loading;\n  \
+                    --access-log writes JSONL request logs, keeping\n  \
+                    1-in-N with --access-log-sample)\n\
          common flags: --pairs (input is `edge vertex` lines), --seed=N, --sclique\n\
          profiles: {}",
         Profile::ALL.map(|p| p.name()).join(", ")
@@ -244,12 +247,15 @@ fn main() -> ExitCode {
             let port: u16 = opt("port", 7878);
             let host: String = opt("host", "127.0.0.1".to_string());
             let data_root: String = opt("data-root", String::new());
+            let access_log: String = opt("access-log", String::new());
             let config = ServerConfig {
                 addr: format!("{host}:{port}"),
                 threads: opt("threads", 0),
                 cache_mb: opt("cache-mb", 256),
                 queue_depth: opt("queue", 1024),
                 data_root: (!data_root.is_empty()).then(|| data_root.clone().into()),
+                access_log: (!access_log.is_empty()).then(|| access_log.clone().into()),
+                access_log_sample: opt("access-log-sample", 1),
                 ..ServerConfig::default()
             };
             let server = match Server::bind(config) {
