@@ -94,7 +94,7 @@ fn measure(addr: SocketAddr, target: &str, reps: usize) -> (f64, f64) {
             started.elapsed().as_secs_f64() * 1e6
         })
         .collect();
-    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm.sort_by(|a, b| a.total_cmp(b));
     (cold, warm[warm.len() / 2])
 }
 
@@ -276,7 +276,7 @@ fn main() {
                 secs
             })
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.total_cmp(b));
         (
             times[times.len() / 2],
             gzip::compress_with(&identity_body, effort).len(),

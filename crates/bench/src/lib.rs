@@ -26,7 +26,7 @@ pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
             t.seconds()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
 

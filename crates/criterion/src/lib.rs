@@ -115,7 +115,7 @@ impl BenchmarkGroup {
             f(&mut bencher);
             times.push(bencher.elapsed_secs);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.total_cmp(b));
         let median = times[times.len() / 2];
         println!(
             "{id:<40} median {:>12} (min {}, max {}, {samples} samples)",

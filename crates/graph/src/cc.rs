@@ -13,8 +13,8 @@
 
 use crate::graph::Graph;
 use hyperline_util::parallel::par_for_each_range;
+use hyperline_util::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Component labels: `labels[v]` is the smallest vertex ID in `v`'s
 /// component (a canonical representative).

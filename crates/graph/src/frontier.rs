@@ -41,8 +41,8 @@ use crate::graph::Graph;
 use hyperline_util::parallel::{
     par_for_each_range, par_map_range, par_map_range_init, par_sort_unstable,
 };
+use hyperline_util::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use hyperline_util::telemetry::Span;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Beamer's α: switch push→pull when the frontier's out-edges exceed
 /// `unexplored_edges / ALPHA`.
@@ -70,12 +70,17 @@ const SERIAL_LABEL_MIN: usize = 1 << 14;
 /// A shared atomic visit bitmap: the claim `fetch_or` is the only
 /// synchronization the push phase needs — exactly one worker sees the
 /// bit flip and emits the vertex.
-struct AtomicBits {
+///
+/// Public so the model-checked frontier unit (`tests/sched_frontier.rs`)
+/// can exhaustively verify first-parent uniqueness of [`claim`]
+/// (`AtomicBits::claim`) across every bounded interleaving.
+pub struct AtomicBits {
     words: Vec<AtomicU64>,
 }
 
 impl AtomicBits {
-    fn new(len: usize) -> Self {
+    /// A bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
         Self {
             words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -83,13 +88,14 @@ impl AtomicBits {
 
     /// Sets bit `i`; returns true if this call flipped it (the claim).
     #[inline]
-    fn claim(&self, i: u32) -> bool {
+    pub fn claim(&self, i: u32) -> bool {
         let mask = 1u64 << (i % 64);
         self.words[(i / 64) as usize].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 
+    /// Reads bit `i`.
     #[inline]
-    fn get(&self, i: u32) -> bool {
+    pub fn get(&self, i: u32) -> bool {
         self.words[(i / 64) as usize].load(Ordering::Relaxed) & (1u64 << (i % 64)) != 0
     }
 }

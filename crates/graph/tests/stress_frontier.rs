@@ -1,0 +1,58 @@
+//! Seeded-random stress variant of the model-checked bitmap-claim unit
+//! (`tests/sched_frontier.rs`), runnable under plain `cargo test` with
+//! real threads: many workers hammer overlapping vertex sets; every
+//! vertex must be claimed by exactly one worker.
+
+use hyperline_graph::frontier::AtomicBits;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn stress_claims_are_unique_per_vertex() {
+    let mut seed = 0xb17_5e7u64;
+    for round in 0..40 {
+        let n = 256u32;
+        let workers = 2 + (round % 3);
+        let bits = Arc::new(AtomicBits::new(n as usize));
+        let claims: Arc<Vec<AtomicU32>> = Arc::new((0..n).map(|_| AtomicU32::new(0)).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let bits = bits.clone();
+                let claims = claims.clone();
+                let mut rng = splitmix(&mut seed);
+                scope.spawn(move || {
+                    // Every worker walks all vertices in a seeded order,
+                    // so every vertex is contended by every worker.
+                    let start = (splitmix(&mut rng) % n as u64) as u32;
+                    let stride = (splitmix(&mut rng) % 16) as u32 * 2 + 1; // odd → full cycle mod 256
+                    let mut v = start;
+                    for _ in 0..n {
+                        if bits.claim(v) {
+                            claims[v as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        v = (v + stride) % n;
+                    }
+                });
+            }
+        });
+        for v in 0..n {
+            assert_eq!(
+                claims[v as usize].load(Ordering::Relaxed),
+                1,
+                "round {round}: vertex {v} claimed != 1 times"
+            );
+            assert!(
+                bits.get(v),
+                "round {round}: vertex {v} bit not set after full sweep"
+            );
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The exploration driver: bounded-preemption DFS over schedules, with
+//! seeded-random fallback above a cap, replay, and failure shrinking.
+//!
+//! A *schedule* is the sequence of nondeterministic choices a run made:
+//! which thread continues at each scheduling point, which store a
+//! relaxed load observes, which waiter a `notify_one` wakes. The runtime
+//! records every non-trivial choice as `(taken, options)`; the DFS
+//! enumerates schedules by re-running the closure with the last branch
+//! advanced — classic stateless model checking.
+//!
+//! On failure the driver shrinks the schedule (zeroing choices while the
+//! failure persists — choice 0 is always "no preemption / newest value",
+//! so zeros are the boring default) and reports a dotted replay string.
+//! `HYPERLINE_SCHED_REPLAY=<string> cargo test <name>` re-runs exactly
+//! that schedule.
+
+use crate::rt::{self, Ctx, Runtime, SchedAbort};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Max forced switches away from a runnable thread per schedule.
+    pub preemption_bound: usize,
+    /// DFS cap; past it, fall back to seeded-random schedules.
+    pub max_schedules: u64,
+    /// Random schedules to run when the DFS cap was hit.
+    pub random_schedules: u64,
+    /// Seed for the random phase.
+    pub seed: u64,
+    /// Per-schedule scheduling-point budget (livelock guard).
+    pub max_steps: usize,
+    /// How many (newest-first) stores a relaxed load may branch over.
+    pub max_value_choices: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 40_000,
+            random_schedules: 2_000,
+            seed: 0x5eed_cafe,
+            max_steps: 20_000,
+            max_value_choices: 2,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The panic / oracle message from the failing run.
+    pub message: String,
+    /// Shrunk schedule as a dotted replay string.
+    pub schedule: String,
+}
+
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules actually run (DFS + random + shrink probes).
+    pub schedules: u64,
+    /// `true` iff the bounded DFS enumerated every schedule.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+/// Mutes panic output from model threads (named `sched-*`) and from the
+/// internal teardown unwind, chaining to the previous hook otherwise.
+/// Probing thousands of schedules — and re-running a failing one while
+/// shrinking — would print a backtrace per run without this.
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<SchedAbort>() {
+                return;
+            }
+            let muted = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sched-"));
+            if !muted {
+                prev(info);
+            }
+        }));
+    });
+}
+
+type TestFn = Arc<dyn Fn() + Send + Sync>;
+
+/// Runs the closure once under a fresh runtime with the given forced
+/// choice prefix (or seeded-random choices), returning the recorded
+/// choices and any failure.
+fn run_once(
+    f: &TestFn,
+    prefix: Vec<u32>,
+    random: Option<u64>,
+    cfg: &Config,
+) -> (Vec<(u32, u32)>, Option<String>) {
+    let rt = Runtime::new(
+        prefix,
+        random,
+        cfg.preemption_bound,
+        cfg.max_steps,
+        cfg.max_value_choices,
+    );
+    let root = rt.register_root();
+    let f = f.clone();
+    let rt2 = rt.clone();
+    let os = std::thread::Builder::new()
+        .name("sched-root".to_string())
+        .spawn(move || {
+            rt::set_ctx(Some(Ctx {
+                rt: rt2.clone(),
+                tid: root,
+            }));
+            let res = catch_unwind(AssertUnwindSafe(|| f()));
+            let msg = match &res {
+                Ok(_) => None,
+                Err(p) if p.is::<SchedAbort>() => None,
+                Err(p) => Some(crate::thread::panic_message(p.as_ref())),
+            };
+            rt2.finish_thread(root, msg);
+            rt::set_ctx(None);
+        })
+        .expect("failed to spawn sched root thread");
+    let (recorded, failure) = rt.wait_done();
+    let _ = os.join();
+    (recorded, failure)
+}
+
+/// The DFS successor: advance the deepest branch with options left.
+fn next_prefix(recorded: &[(u32, u32)]) -> Option<Vec<u32>> {
+    for i in (0..recorded.len()).rev() {
+        let (taken, options) = recorded[i];
+        if taken + 1 < options {
+            let mut p: Vec<u32> = recorded[..i].iter().map(|r| r.0).collect();
+            p.push(taken + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn fmt_schedule(choices: &[u32]) -> String {
+    choices
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Parses `HYPERLINE_SCHED_REPLAY` (dotted choice indices) if set.
+pub fn replay_from_env() -> Option<Vec<u32>> {
+    let raw = std::env::var("HYPERLINE_SCHED_REPLAY").ok()?;
+    let parsed: Vec<u32> = raw
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        None
+    } else {
+        Some(parsed)
+    }
+}
+
+/// Greedy shrink: repeatedly try zeroing nonzero choices (choice 0 is
+/// the default action) while the failure reproduces, budget-bounded.
+/// Returns the shrunk choice vector and the probe count.
+fn shrink(f: &TestFn, mut best: Vec<(u32, u32)>, cfg: &Config) -> (Vec<u32>, u64) {
+    let mut budget: u32 = 200;
+    let mut probes = 0u64;
+    let mut improved = true;
+    while improved && budget > 0 {
+        improved = false;
+        for i in 0..best.len() {
+            if best[i].0 == 0 || budget == 0 {
+                continue;
+            }
+            let mut candidate: Vec<u32> = best.iter().map(|r| r.0).collect();
+            candidate[i] = 0;
+            budget -= 1;
+            probes += 1;
+            let (rec, fail) = run_once(f, candidate, None, cfg);
+            if fail.is_some() {
+                best = rec;
+                improved = true;
+                break;
+            }
+        }
+    }
+    (best.iter().map(|r| r.0).collect(), probes)
+}
+
+/// Explores the closure under `cfg` and returns a [`Report`] instead of
+/// panicking — the entry point for tests that *expect* a failure (e.g.
+/// the weakened-ordering mutant).
+pub fn explore_with<F>(cfg: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_hook();
+    let f: TestFn = Arc::new(f);
+    let mut schedules = 0u64;
+
+    if let Some(replay) = replay_from_env() {
+        let (recorded, failure) = run_once(&f, replay, None, &cfg);
+        return Report {
+            schedules: 1,
+            complete: false,
+            failure: failure.map(|message| Failure {
+                message,
+                schedule: fmt_schedule(&recorded.iter().map(|r| r.0).collect::<Vec<_>>()),
+            }),
+        };
+    }
+
+    let fail_with = |message: String, recorded: Vec<(u32, u32)>, schedules: &mut u64| {
+        let (choices, probes) = shrink(&f, recorded, &cfg);
+        *schedules += probes;
+        Report {
+            schedules: *schedules,
+            complete: false,
+            failure: Some(Failure {
+                message,
+                schedule: fmt_schedule(&choices),
+            }),
+        }
+    };
+
+    // Phase 1: bounded-preemption DFS.
+    let mut prefix = Vec::new();
+    let complete = loop {
+        let (recorded, failure) = run_once(&f, prefix, None, &cfg);
+        schedules += 1;
+        if let Some(message) = failure {
+            return fail_with(message, recorded, &mut schedules);
+        }
+        match next_prefix(&recorded) {
+            None => break true,
+            Some(_) if schedules >= cfg.max_schedules => break false,
+            Some(p) => prefix = p,
+        }
+    };
+
+    // Phase 2: seeded-random fallback when the DFS was cut short.
+    if !complete {
+        for i in 0..cfg.random_schedules {
+            let (recorded, failure) =
+                run_once(&f, Vec::new(), Some(cfg.seed.wrapping_add(i)), &cfg);
+            schedules += 1;
+            if let Some(message) = failure {
+                return fail_with(message, recorded, &mut schedules);
+            }
+        }
+    }
+
+    Report {
+        schedules,
+        complete,
+        failure: None,
+    }
+}
+
+/// Explores the closure with the default config and panics with a
+/// replayable schedule on the first invariant violation. This is the
+/// call model-checked tests make.
+pub fn explore<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore_with(Config::default(), f);
+    if let Some(fail) = report.failure {
+        panic!(
+            "sched: invariant violated after {} schedules: {}\n  \
+             replay with: HYPERLINE_SCHED_REPLAY={}",
+            report.schedules, fail.message, fail.schedule
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! `hyperline-sched` — a miniature [loom]-style concurrency model checker,
+//! std-only, built for this workspace's zero-external-crates rule.
+//!
+//! The repo's parallel kernels and serving infrastructure are hand-rolled
+//! on atomics, mutexes and condvars; the ordinary test suite only ever
+//! samples a few interleavings of them. This crate closes that gap for
+//! *small* concurrent units:
+//!
+//! * [`sync`] — shim `AtomicU64`/`AtomicUsize`/`AtomicU32`/`AtomicI64`/
+//!   `AtomicBool`, `Mutex` and `Condvar` types with the same API shape as
+//!   `std::sync`. Outside a model run they delegate straight to the real
+//!   std primitives (zero behavioural change); inside [`explore`] every
+//!   operation becomes a *scheduling point* the checker controls.
+//! * [`thread`] — shim `spawn`/`Builder`/`JoinHandle` with the same
+//!   fallback: real threads normally, checker-controlled model threads
+//!   inside a run.
+//! * [`explore`] — the driver: runs a closure once per schedule,
+//!   exhaustively enumerating thread interleavings (and weak-memory
+//!   load results) via bounded-preemption DFS, falling back to seeded
+//!   random schedules above a cap. Failures print a persisted schedule
+//!   that can be replayed (`HYPERLINE_SCHED_REPLAY=...`) after an
+//!   automatic shrinking pass.
+//!
+//! Production crates never import this directly. They import
+//! `hyperline_util::sync`, a type-alias seam that resolves to
+//! `std::sync` normally and to these shims under `--cfg hyperline_sched`
+//! — the same source compiles under both, so the code the checker
+//! explores is the code that ships.
+//!
+//! # Memory model
+//!
+//! The checker models the release/acquire fragment of the C11 model with
+//! per-location store histories and vector clocks: a relaxed load may
+//! return *any* store not already ordered before the reader's knowledge
+//! (bounded by a small history window), an acquire load reading a
+//! released store joins the writer's clock, and RMW operations always
+//! read the newest store (atomicity) while continuing release sequences.
+//! `SeqCst` is over-approximated as "reads the newest store", which is
+//! sound for catching bugs introduced by *weakening* an ordering (the
+//! checker's purpose) but does not explore non-SC behaviours of mixed
+//! SeqCst protocols. See `rt.rs` for the exact rules.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+pub mod explore;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{explore, explore_with, replay_from_env, Config, Failure, Report};

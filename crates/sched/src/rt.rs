@@ -1,0 +1,683 @@
+//! The scheduler runtime: one instance per explored schedule.
+//!
+//! Exactly one model thread runs at a time. Every shim operation enters
+//! the runtime, parks the calling OS thread, and lets the scheduler pick
+//! who continues — the pick is a recorded *choice*, and the sequence of
+//! choices is the schedule the explorer enumerates. Weak-memory effects
+//! are modelled with per-location store histories + vector clocks; which
+//! store a relaxed load returns is a choice too.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Per-OS-thread model context: set for the lifetime of a model thread,
+/// absent everywhere else (which is what makes the shims fall back to
+/// real std behaviour outside a run).
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Payload of the internal unwind used to tear down model threads after
+/// a failure. The thread wrapper swallows it; the panic hook mutes it.
+pub(crate) struct SchedAbort;
+
+/// Signals "the run was aborted" out of a runtime entry point so the
+/// shim can unwind *outside* the runtime lock.
+pub(crate) struct Aborted;
+
+/// Monotonic epoch distinguishing runs, so shim objects (including
+/// `static`s) can lazily re-register per run.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// A vector clock: `clock[tid]` counts events of thread `tid` known to
+/// the owner. Missing entries are zero.
+pub(crate) type Vc = Vec<u64>;
+
+fn vc_join(a: &mut Vc, b: &Vc) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+fn vc_leq(a: &Vc, b: &Vc) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &x)| x == 0 || b.get(i).copied().unwrap_or(0) >= x)
+}
+
+/// One write to an atomic location.
+struct Store {
+    value: u64,
+    /// Synchronization message: joined into an acquire reader's clock.
+    /// Empty for stores that neither release nor continue a release
+    /// sequence.
+    msg: Vc,
+    /// The writer's full clock at the store — used for coherence: a
+    /// reader that already knows about this store can't read older ones.
+    hb: Vc,
+}
+
+struct LocState {
+    /// Absolute sequence number of `stores[0]`.
+    base: usize,
+    stores: VecDeque<Store>,
+    /// Per-thread coherence floor: lowest absolute store index the
+    /// thread may still read.
+    floors: Vec<usize>,
+}
+
+struct MutexSt {
+    locked_by: Option<usize>,
+    /// Clock released by the last unlock; joined on acquire.
+    release: Vc,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Running,
+    /// Blocked trying to lock the mutex.
+    MutexWait(usize),
+    /// Blocked in `Condvar::wait` until notified.
+    CvWait {
+        cv: usize,
+    },
+    /// Blocked joining another model thread.
+    JoinWait(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    clock: Vc,
+}
+
+pub(crate) struct RtState {
+    threads: Vec<ThreadSt>,
+    current: usize,
+    locations: Vec<LocState>,
+    mutexes: Vec<MutexSt>,
+    condvars: usize,
+    /// Forced choices for this run (the DFS prefix or a replayed
+    /// schedule); past its end the first option is taken.
+    prefix: Vec<u32>,
+    /// Every non-trivial choice made this run, as `(taken, options)`.
+    recorded: Vec<(u32, u32)>,
+    pos: usize,
+    preemptions_left: usize,
+    steps_left: usize,
+    /// Seeded RNG state; `Some` switches from DFS to random scheduling.
+    random: Option<u64>,
+    max_value_choices: usize,
+    failure: Option<String>,
+    abort: bool,
+}
+
+impl RtState {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+/// One schedule run's shared scheduler state. Model threads and the
+/// explorer park on `cv`.
+pub(crate) struct Runtime {
+    state: Mutex<RtState>,
+    cv: Condvar,
+    pub(crate) epoch: u64,
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn lock_state(m: &Mutex<RtState>) -> MutexGuard<'_, RtState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Runtime {
+    pub(crate) fn new(
+        prefix: Vec<u32>,
+        random: Option<u64>,
+        preemption_bound: usize,
+        max_steps: usize,
+        max_value_choices: usize,
+    ) -> Arc<Runtime> {
+        Arc::new(Runtime {
+            state: Mutex::new(RtState {
+                threads: Vec::new(),
+                current: 0,
+                locations: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                prefix,
+                recorded: Vec::new(),
+                pos: 0,
+                preemptions_left: preemption_bound,
+                steps_left: max_steps,
+                random,
+                max_value_choices: max_value_choices.max(1),
+                failure: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
+        })
+    }
+
+    // -- registration --------------------------------------------------
+
+    /// Registers a new atomic location initialized to `value`.
+    pub(crate) fn register_location(&self, value: u64) -> usize {
+        let mut st = lock_state(&self.state);
+        let nthreads = st.threads.len().max(1);
+        st.locations.push(LocState {
+            base: 0,
+            stores: VecDeque::from([Store {
+                value,
+                msg: Vec::new(),
+                hb: Vec::new(),
+            }]),
+            floors: vec![0; nthreads],
+        });
+        st.locations.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = lock_state(&self.state);
+        st.mutexes.push(MutexSt {
+            locked_by: None,
+            release: Vec::new(),
+        });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = lock_state(&self.state);
+        st.condvars += 1;
+        st.condvars - 1
+    }
+
+    // -- choices & scheduling ------------------------------------------
+
+    fn choose(&self, st: &mut RtState, options: u32) -> u32 {
+        if options <= 1 {
+            return 0;
+        }
+        let taken = if let Some(rng) = st.random.as_mut() {
+            (splitmix(rng) % options as u64) as u32
+        } else if st.pos < st.prefix.len() {
+            st.prefix[st.pos].min(options - 1)
+        } else {
+            0
+        };
+        st.recorded.push((taken, options));
+        st.pos += 1;
+        taken
+    }
+
+    fn fail_locked(&self, st: &mut RtState, message: &str) {
+        if st.failure.is_none() {
+            st.failure = Some(message.to_string());
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. The caller has already set the
+    /// current thread's status (Runnable to stay eligible, a blocked
+    /// variant, or Finished).
+    fn pick_next(&self, st: &mut RtState) {
+        if st.steps_left == 0 {
+            self.fail_locked(st, "schedule exceeded max_steps (livelock?)");
+            return;
+        }
+        st.steps_left -= 1;
+        let me = st.current;
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.all_finished() {
+                self.cv.notify_all();
+            } else {
+                self.fail_locked(st, "deadlock: every live thread is blocked");
+            }
+            return;
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        // Continuing the current thread is option 0 (free); switching
+        // away from a still-runnable thread costs a preemption. This is
+        // the classic bounded-preemption reduction: most bugs need very
+        // few forced switches, and it keeps the DFS tractable.
+        let options: Vec<usize> = if me_runnable {
+            if st.preemptions_left == 0 {
+                vec![me]
+            } else {
+                std::iter::once(me)
+                    .chain(runnable.iter().copied().filter(|&t| t != me))
+                    .collect()
+            }
+        } else {
+            runnable
+        };
+        let choice = self.choose(st, options.len() as u32);
+        let next = options[choice as usize];
+        if me_runnable && next != me {
+            st.preemptions_left -= 1;
+        }
+        st.threads[next].status = Status::Running;
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling model thread until it is scheduled again (or
+    /// the run aborts).
+    fn park<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, RtState>,
+        me: usize,
+    ) -> Result<MutexGuard<'a, RtState>, Aborted> {
+        loop {
+            if st.abort {
+                return Err(Aborted);
+            }
+            if st.current == me && st.threads[me].status == Status::Running {
+                return Ok(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// One scheduling point: stay runnable, let the scheduler pick, park
+    /// until picked.
+    fn yield_point<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, RtState>,
+        me: usize,
+    ) -> Result<MutexGuard<'a, RtState>, Aborted> {
+        if st.abort {
+            return Err(Aborted);
+        }
+        st.threads[me].status = Status::Runnable;
+        self.pick_next(&mut st);
+        self.park(st, me)
+    }
+
+    // -- atomics -------------------------------------------------------
+
+    fn tick(st: &mut RtState, me: usize) {
+        let clock = &mut st.threads[me].clock;
+        if clock.len() <= me {
+            clock.resize(me + 1, 0);
+        }
+        clock[me] += 1;
+    }
+
+    /// Absolute indices of the stores thread `me` may legally read:
+    /// everything from its coherence floor up, minus stores already
+    /// superseded by a store the thread knows happened (its clock covers
+    /// the newer store's writer event).
+    fn eligible(st: &RtState, loc: usize, me: usize) -> Vec<usize> {
+        let l = &st.locations[loc];
+        let clock = &st.threads[me].clock;
+        let floor = l.floors.get(me).copied().unwrap_or(l.base).max(l.base);
+        let mut out = Vec::new();
+        let mut superseded = false;
+        for k in (floor..l.base + l.stores.len()).rev() {
+            let s = &l.stores[k - l.base];
+            if !superseded {
+                out.push(k);
+            }
+            if vc_leq(&s.hb, clock) {
+                superseded = true;
+            }
+        }
+        out // newest first
+    }
+
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        loc: usize,
+        order: Ordering,
+    ) -> Result<u64, Aborted> {
+        let st = lock_state(&self.state);
+        let mut st = self.yield_point(st, me)?;
+        let newest_only = matches!(order, Ordering::SeqCst);
+        let mut candidates = Self::eligible(&st, loc, me);
+        if newest_only {
+            candidates.truncate(1);
+        } else {
+            candidates.truncate(st.max_value_choices);
+        }
+        // Which store the load returns is itself explored: index 0 (the
+        // newest) first, staler values on later branches.
+        let pick = self.choose(&mut st, candidates.len() as u32) as usize;
+        let abs = candidates[pick];
+        let l = &st.locations[loc];
+        let store_msg = l.stores[abs - l.base].msg.clone();
+        let value = l.stores[abs - l.base].value;
+        if matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            vc_join(&mut st.threads[me].clock, &store_msg);
+        }
+        let l = &mut st.locations[loc];
+        if l.floors.len() <= me {
+            l.floors.resize(me + 1, l.base);
+        }
+        l.floors[me] = l.floors[me].max(abs);
+        Ok(value)
+    }
+
+    /// Store, or read-modify-write when `rmw` is set (RMWs read the
+    /// newest store — atomicity — and continue its release sequence).
+    /// Returns the value read (the previous value).
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        loc: usize,
+        order: Ordering,
+        rmw: Option<&mut dyn FnMut(u64) -> u64>,
+        plain_value: u64,
+    ) -> Result<u64, Aborted> {
+        let st = lock_state(&self.state);
+        let mut st = self.yield_point(st, me)?;
+        Self::tick(&mut st, me);
+        let releasing = matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        );
+        let acquiring = matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        );
+        let (prev_value, prev_msg) = {
+            let newest = st.locations[loc]
+                .stores
+                .back()
+                .expect("history never empty");
+            (newest.value, newest.msg.clone())
+        };
+        let is_rmw = rmw.is_some();
+        // The acquire half of an acquiring RMW happens before its release
+        // half, so join the read store's message into our clock first.
+        if acquiring && is_rmw && !prev_msg.is_empty() {
+            vc_join(&mut st.threads[me].clock, &prev_msg);
+        }
+        let clock = st.threads[me].clock.clone();
+        let (new_value, mut msg) = match rmw {
+            Some(f) => {
+                // A release sequence headed by a release store continues
+                // through RMWs of any ordering (C11 §5.1.2.4-ish).
+                (f(prev_value), prev_msg)
+            }
+            // A plain store starts a new modification; it does not
+            // continue the previous release sequence.
+            None => (plain_value, Vec::new()),
+        };
+        if releasing {
+            vc_join(&mut msg, &clock);
+        }
+        let hb = clock;
+        let l = &mut st.locations[loc];
+        l.stores.push_back(Store {
+            value: new_value,
+            msg,
+            hb,
+        });
+        let abs = l.base + l.stores.len() - 1;
+        if l.floors.len() <= me {
+            l.floors.resize(me + 1, l.base);
+        }
+        l.floors[me] = l.floors[me].max(abs);
+        // Bound the history window (staleness the checker explores).
+        if l.stores.len() > HISTORY {
+            l.stores.pop_front();
+            l.base += 1;
+        }
+        Ok(prev_value)
+    }
+
+    // -- mutexes -------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, loc: usize) -> Result<(), Aborted> {
+        let st = lock_state(&self.state);
+        let mut st = self.yield_point(st, me)?;
+        loop {
+            if st.mutexes[loc].locked_by.is_none() {
+                st.mutexes[loc].locked_by = Some(me);
+                let release = st.mutexes[loc].release.clone();
+                vc_join(&mut st.threads[me].clock, &release);
+                Self::tick(&mut st, me);
+                return Ok(());
+            }
+            st.threads[me].status = Status::MutexWait(loc);
+            self.pick_next(&mut st);
+            st = self.park(st, me)?;
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, loc: usize) {
+        let mut st = lock_state(&self.state);
+        if st.abort {
+            // Teardown: just free the lock so other unwinding threads
+            // can finish; no scheduling, no panicking (we may be inside
+            // a Drop during unwind).
+            st.mutexes[loc].locked_by = None;
+            self.cv.notify_all();
+            return;
+        }
+        Self::tick(&mut st, me);
+        let clock = st.threads[me].clock.clone();
+        let m = &mut st.mutexes[loc];
+        m.locked_by = None;
+        vc_join(&mut m.release, &clock);
+        // Wake lock waiters; they re-contend when scheduled.
+        for t in st.threads.iter_mut() {
+            if t.status == Status::MutexWait(loc) {
+                t.status = Status::Runnable;
+            }
+        }
+        // The unlock itself is a scheduling point: a woken waiter may
+        // grab the lock before we run again.
+        if let Ok(st) = self.yield_point(st, me) {
+            drop(st);
+        }
+    }
+
+    // -- condvars ------------------------------------------------------
+
+    /// Blocks on `cv`, releasing model-mutex `mutex` first. Returns when
+    /// notified; the caller re-locks the mutex afterwards.
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, mutex: usize) -> Result<(), Aborted> {
+        let mut st = lock_state(&self.state);
+        if st.abort {
+            return Err(Aborted);
+        }
+        // Release the mutex exactly like mutex_unlock (sans yield).
+        Self::tick(&mut st, me);
+        let clock = st.threads[me].clock.clone();
+        let m = &mut st.mutexes[mutex];
+        debug_assert_eq!(m.locked_by, Some(me), "condvar wait without the lock");
+        m.locked_by = None;
+        vc_join(&mut m.release, &clock);
+        for t in st.threads.iter_mut() {
+            if t.status == Status::MutexWait(mutex) {
+                t.status = Status::Runnable;
+            }
+        }
+        st.threads[me].status = Status::CvWait { cv };
+        self.pick_next(&mut st);
+        let st = self.park(st, me)?;
+        drop(st);
+        Ok(())
+    }
+
+    /// Wakes one waiter (a scheduler choice among them) or all.
+    pub(crate) fn condvar_notify(&self, me: usize, cv: usize, all: bool) -> Result<(), Aborted> {
+        let st = lock_state(&self.state);
+        let mut st = self.yield_point(st, me)?;
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::CvWait { cv })
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return Ok(());
+        }
+        if all {
+            for w in waiters {
+                st.threads[w].status = Status::Runnable;
+            }
+        } else {
+            // Which waiter a notify_one wakes is nondeterministic.
+            let pick = self.choose(&mut st, waiters.len() as u32) as usize;
+            st.threads[waiters[pick]].status = Status::Runnable;
+        }
+        Ok(())
+    }
+
+    // -- threads -------------------------------------------------------
+
+    /// Allocates the root model thread (id 0, immediately running).
+    pub(crate) fn register_root(&self) -> usize {
+        let mut st = lock_state(&self.state);
+        debug_assert!(st.threads.is_empty());
+        st.threads.push(ThreadSt {
+            status: Status::Running,
+            clock: vec![1],
+        });
+        st.current = 0;
+        0
+    }
+
+    /// Allocates a child model thread inheriting the parent's clock.
+    ///
+    /// This is NOT a scheduling point: the caller must first actually
+    /// spawn the child's OS thread and only then yield (via
+    /// [`Runtime::yield_op`]) — otherwise the scheduler could pick a
+    /// child that does not exist yet and park everyone forever. No
+    /// other thread can be scheduled in between because the parent is
+    /// the single running thread until its next runtime call.
+    pub(crate) fn register_child(&self, parent: usize) -> Result<usize, Aborted> {
+        let mut st = lock_state(&self.state);
+        if st.abort {
+            return Err(Aborted);
+        }
+        Self::tick(&mut st, parent);
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        if clock.len() <= tid {
+            clock.resize(tid + 1, 0);
+        }
+        clock[tid] = 1;
+        st.threads.push(ThreadSt {
+            status: Status::Runnable,
+            clock,
+        });
+        for l in st.locations.iter_mut() {
+            let base = l.base;
+            l.floors.resize(tid + 1, base);
+        }
+        Ok(tid)
+    }
+
+    /// Marks `me` finished (after its result slot is populated), records
+    /// a failure if it panicked with anything but [`SchedAbort`], wakes
+    /// joiners, and schedules the next thread.
+    pub(crate) fn finish_thread(&self, me: usize, panic_message: Option<String>) {
+        let mut st = lock_state(&self.state);
+        st.threads[me].status = Status::Finished;
+        if let Some(msg) = panic_message {
+            self.fail_locked(&mut st, &msg);
+        }
+        for t in st.threads.iter_mut() {
+            if t.status == Status::JoinWait(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st);
+    }
+
+    /// A pure scheduling point (`thread::yield_now` / model `sleep`).
+    pub(crate) fn yield_op(&self, me: usize) -> Result<(), Aborted> {
+        let st = lock_state(&self.state);
+        let st = self.yield_point(st, me)?;
+        drop(st);
+        Ok(())
+    }
+
+    /// First call a child model thread makes: park until the scheduler
+    /// hands it the CPU for the first time.
+    pub(crate) fn start_thread(&self, tid: usize) -> Result<(), Aborted> {
+        let st = lock_state(&self.state);
+        let st = self.park(st, tid)?;
+        drop(st);
+        Ok(())
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, target: usize) -> Result<(), Aborted> {
+        let st = lock_state(&self.state);
+        let mut st = self.yield_point(st, me)?;
+        while st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::JoinWait(target);
+            self.pick_next(&mut st);
+            st = self.park(st, me)?;
+        }
+        let target_clock = st.threads[target].clock.clone();
+        vc_join(&mut st.threads[me].clock, &target_clock);
+        Ok(())
+    }
+
+    // -- explorer ------------------------------------------------------
+
+    /// Blocks the (non-model) explorer thread until the run completes,
+    /// returning the recorded schedule and any failure.
+    pub(crate) fn wait_done(&self) -> (Vec<(u32, u32)>, Option<String>) {
+        let mut st = lock_state(&self.state);
+        while !st.all_finished() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        (st.recorded.clone(), st.failure.take())
+    }
+}
+
+/// Stores kept per location; older stores age out (bounding how stale a
+/// relaxed load can get — a window, like a store buffer).
+const HISTORY: usize = 4;

@@ -1,0 +1,452 @@
+//! Shim sync types with the same API shape as `std::sync`.
+//!
+//! Each shim owns the *real* std primitive plus a small registration
+//! cell. Outside a model run (no scheduler context on the current OS
+//! thread) every operation delegates straight to std — zero behavioural
+//! difference, so production code compiled against these types under
+//! `--cfg hyperline_sched` still works in ordinary tests. Inside a run,
+//! operations route through the scheduler runtime instead and become
+//! explored scheduling points.
+//!
+//! Registration is lazy and per-run: the cell packs `(epoch << 20) |
+//! (id + 1)` where `epoch` identifies the current [`crate::explore`]
+//! run, so the same shim object (even a `static`) re-registers cleanly
+//! on every schedule. Model stores are written through to the real
+//! primitive so that teardown paths (running while a failure unwinds
+//! the model threads) read plausible values.
+
+use crate::rt::{self, Ctx};
+use std::sync::atomic::Ordering as StdOrdering;
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{LockResult, PoisonError};
+
+/// Resolves (registering on first touch this run) the runtime id for a
+/// shim object, given its packed registration cell.
+fn lookup(
+    reg: &std::sync::atomic::AtomicU64,
+    ctx: &Ctx,
+    register: impl FnOnce() -> usize,
+) -> usize {
+    let packed = reg.load(StdOrdering::Relaxed);
+    if packed != 0 && (packed >> 20) == ctx.rt.epoch {
+        ((packed & 0xF_FFFF) - 1) as usize
+    } else {
+        let id = register();
+        reg.store((ctx.rt.epoch << 20) | (id as u64 + 1), StdOrdering::Relaxed);
+        id
+    }
+}
+
+/// Run when the model run has been aborted: during an unwind, fall back
+/// to the real primitive so `Drop` impls can finish; otherwise start the
+/// teardown unwind for this thread.
+fn on_abort<T>(direct: impl FnOnce() -> T) -> T {
+    if std::thread::panicking() {
+        direct()
+    } else {
+        std::panic::panic_any(rt::SchedAbort)
+    }
+}
+
+macro_rules! shim_atomic {
+    ($Atomic:ident, $Raw:ty, $to:expr, $from:expr) => {
+        pub struct $Atomic {
+            real: std::sync::atomic::$Atomic,
+            reg: std::sync::atomic::AtomicU64,
+        }
+
+        impl $Atomic {
+            pub const fn new(v: $Raw) -> Self {
+                Self {
+                    real: std::sync::atomic::$Atomic::new(v),
+                    reg: std::sync::atomic::AtomicU64::new(0),
+                }
+            }
+
+            #[inline]
+            fn model(&self) -> Option<(Ctx, usize)> {
+                let ctx = rt::current_ctx()?;
+                let init = ($to)(self.real.load(StdOrdering::Relaxed));
+                let loc = lookup(&self.reg, &ctx, || ctx.rt.register_location(init));
+                Some((ctx, loc))
+            }
+
+            pub fn load(&self, order: Ordering) -> $Raw {
+                match self.model() {
+                    None => self.real.load(order),
+                    Some((ctx, loc)) => match ctx.rt.atomic_load(ctx.tid, loc, order) {
+                        Ok(v) => ($from)(v),
+                        Err(_) => on_abort(|| self.real.load(StdOrdering::Relaxed)),
+                    },
+                }
+            }
+
+            pub fn store(&self, v: $Raw, order: Ordering) {
+                match self.model() {
+                    None => self.real.store(v, order),
+                    Some((ctx, loc)) => {
+                        match ctx.rt.atomic_store(ctx.tid, loc, order, None, ($to)(v)) {
+                            Ok(_) => self.real.store(v, StdOrdering::Relaxed),
+                            Err(_) => on_abort(|| self.real.store(v, StdOrdering::Relaxed)),
+                        }
+                    }
+                }
+            }
+
+            fn rmw(
+                &self,
+                order: Ordering,
+                direct: impl FnOnce(&std::sync::atomic::$Atomic) -> $Raw,
+                f: impl Fn($Raw) -> $Raw,
+            ) -> $Raw {
+                match self.model() {
+                    None => direct(&self.real),
+                    Some((ctx, loc)) => {
+                        let mut g = |u: u64| ($to)(f(($from)(u)));
+                        match ctx.rt.atomic_store(ctx.tid, loc, order, Some(&mut g), 0) {
+                            Ok(prev) => {
+                                let prev = ($from)(prev);
+                                self.real.store(f(prev), StdOrdering::Relaxed);
+                                prev
+                            }
+                            Err(_) => on_abort(|| direct(&self.real)),
+                        }
+                    }
+                }
+            }
+
+            pub fn swap(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.swap(v, order), |_| v)
+            }
+
+            pub fn fetch_add(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_add(v, order), |p| p.wrapping_add(v))
+            }
+
+            pub fn fetch_sub(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_sub(v, order), |p| p.wrapping_sub(v))
+            }
+
+            pub fn fetch_or(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_or(v, order), |p| p | v)
+            }
+
+            pub fn fetch_and(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_and(v, order), |p| p & v)
+            }
+
+            pub fn fetch_max(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_max(v, order), |p| p.max(v))
+            }
+
+            pub fn fetch_min(&self, v: $Raw, order: Ordering) -> $Raw {
+                self.rmw(order, |r| r.fetch_min(v, order), |p| p.min(v))
+            }
+
+            pub fn into_inner(self) -> $Raw {
+                self.real.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $Raw {
+                self.real.get_mut()
+            }
+        }
+
+        impl Default for $Atomic {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $Atomic {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(&self.load(Ordering::Relaxed), f)
+            }
+        }
+
+        impl From<$Raw> for $Atomic {
+            fn from(v: $Raw) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+shim_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+shim_atomic!(AtomicU32, u32, |v: u32| v as u64, |v: u64| v as u32);
+shim_atomic!(AtomicI64, i64, |v: i64| v as u64, |v: u64| v as i64);
+
+/// `AtomicBool` is not covered by the integer macro (no arithmetic).
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    reg: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+            reg: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn model(&self) -> Option<(Ctx, usize)> {
+        let ctx = rt::current_ctx()?;
+        let init = self.real.load(StdOrdering::Relaxed) as u64;
+        let loc = lookup(&self.reg, &ctx, || ctx.rt.register_location(init));
+        Some((ctx, loc))
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        match self.model() {
+            None => self.real.load(order),
+            Some((ctx, loc)) => match ctx.rt.atomic_load(ctx.tid, loc, order) {
+                Ok(v) => v != 0,
+                Err(_) => on_abort(|| self.real.load(StdOrdering::Relaxed)),
+            },
+        }
+    }
+
+    pub fn store(&self, v: bool, order: Ordering) {
+        match self.model() {
+            None => self.real.store(v, order),
+            Some((ctx, loc)) => match ctx.rt.atomic_store(ctx.tid, loc, order, None, v as u64) {
+                Ok(_) => self.real.store(v, StdOrdering::Relaxed),
+                Err(_) => on_abort(|| self.real.store(v, StdOrdering::Relaxed)),
+            },
+        }
+    }
+
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        match self.model() {
+            None => self.real.swap(v, order),
+            Some((ctx, loc)) => {
+                let mut g = |_: u64| v as u64;
+                match ctx.rt.atomic_store(ctx.tid, loc, order, Some(&mut g), 0) {
+                    Ok(prev) => {
+                        self.real.store(v, StdOrdering::Relaxed);
+                        prev != 0
+                    }
+                    Err(_) => on_abort(|| self.real.swap(v, order)),
+                }
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.real.into_inner()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.load(Ordering::Relaxed), f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------
+
+/// Shim mutex. In a model run, mutual exclusion is enforced by the
+/// scheduler (blocking is model-blocking, i.e. a schedule choice); the
+/// real `std::sync::Mutex` is still locked by the model owner so the
+/// guard can hand out `&mut T` safely.
+pub struct Mutex<T> {
+    reg: std::sync::atomic::AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            reg: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    #[inline]
+    fn model(&self) -> Option<(Ctx, usize)> {
+        let ctx = rt::current_ctx()?;
+        let loc = lookup(&self.reg, &ctx, || ctx.rt.register_mutex());
+        Some((ctx, loc))
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.model() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    mx: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    mx: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((ctx, loc)) => {
+                if ctx.rt.mutex_lock(ctx.tid, loc).is_err() {
+                    // Aborted: during teardown just take the real lock
+                    // (its owner, if any, is unwinding and will drop it).
+                    if !std::thread::panicking() {
+                        std::panic::panic_any(rt::SchedAbort);
+                    }
+                }
+                let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    mx: self,
+                    inner: Some(g),
+                    model: Some((ctx, loc)),
+                })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before telling the scheduler, so the
+        // next model owner can take it without contention.
+        self.inner.take();
+        if let Some((ctx, loc)) = self.model.take() {
+            ctx.rt.mutex_unlock(ctx.tid, loc);
+        }
+    }
+}
+
+pub struct Condvar {
+    reg: std::sync::atomic::AtomicU64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            reg: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[inline]
+    fn model(&self) -> Option<(Ctx, usize)> {
+        let ctx = rt::current_ctx()?;
+        let loc = lookup(&self.reg, &ctx, || ctx.rt.register_condvar());
+        Some((ctx, loc))
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let mx = guard.mx;
+                let std_guard = guard.inner.take().expect("guard still live");
+                drop(guard); // inert now: both halves taken
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        mx,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        mx,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((ctx, mloc)) => {
+                let mx = guard.mx;
+                guard.inner.take();
+                drop(guard);
+                let cv = lookup(&self.reg, &ctx, || ctx.rt.register_condvar());
+                if ctx.rt.condvar_wait(ctx.tid, cv, mloc).is_err() && !std::thread::panicking() {
+                    std::panic::panic_any(rt::SchedAbort);
+                }
+                mx.lock()
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match self.model() {
+            None => self.inner.notify_one(),
+            Some((ctx, cv)) => {
+                if ctx.rt.condvar_notify(ctx.tid, cv, false).is_err() && !std::thread::panicking() {
+                    std::panic::panic_any(rt::SchedAbort);
+                }
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match self.model() {
+            None => self.inner.notify_all(),
+            Some((ctx, cv)) => {
+                if ctx.rt.condvar_notify(ctx.tid, cv, true).is_err() && !std::thread::panicking() {
+                    std::panic::panic_any(rt::SchedAbort);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,175 @@
+//! Shim `thread::spawn`/`Builder`/`JoinHandle`.
+//!
+//! Outside a model run these are thin wrappers over `std::thread`.
+//! Inside a run, spawning creates a *model thread*: a real OS thread
+//! that immediately parks until the scheduler hands it the CPU, so only
+//! one model thread ever executes user code at a time. Model OS threads
+//! are named with a `sched-` prefix, which the explorer's panic hook
+//! uses to mute the per-schedule panic spew while probing failing
+//! schedules.
+
+use crate::rt::{self, Ctx, SchedAbort};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+pub struct Builder {
+    name: Option<String>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        ctx: Ctx,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        p.downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "model thread panicked".to_string())
+    }
+}
+
+impl Builder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current_ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+            }
+            Some(ctx) => {
+                let tid = match ctx.rt.register_child(ctx.tid) {
+                    Ok(t) => t,
+                    Err(_) => std::panic::panic_any(SchedAbort),
+                };
+                let result = Arc::new(Mutex::new(None));
+                let slot = result.clone();
+                let child_ctx = Ctx {
+                    rt: ctx.rt.clone(),
+                    tid,
+                };
+                let os_name = format!("sched-{}", self.name.as_deref().unwrap_or("thread"));
+                let os = std::thread::Builder::new().name(os_name).spawn(move || {
+                    let rt = child_ctx.rt.clone();
+                    rt::set_ctx(Some(child_ctx));
+                    let msg;
+                    if rt.start_thread(tid).is_ok() {
+                        let res = catch_unwind(AssertUnwindSafe(f));
+                        msg = match &res {
+                            Ok(_) => None,
+                            Err(p) if p.is::<SchedAbort>() => None,
+                            Err(p) => Some(panic_message(p.as_ref())),
+                        };
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+                    } else {
+                        // Aborted before first scheduled: the closure
+                        // never ran; record a sentinel panic result.
+                        msg = None;
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(Err(Box::new(SchedAbort) as Box<dyn std::any::Any + Send>));
+                    }
+                    rt.finish_thread(tid, msg);
+                    rt::set_ctx(None);
+                })?;
+                // Only now that the child's OS thread exists does the
+                // spawn become a scheduling point (the child may run
+                // first).
+                if ctx.rt.yield_op(ctx.tid).is_err() {
+                    // Aborted: the child will observe the abort in
+                    // start_thread and finish itself.
+                    if !std::thread::panicking() {
+                        std::panic::panic_any(SchedAbort);
+                    }
+                }
+                Ok(JoinHandle(Inner::Model {
+                    tid,
+                    ctx,
+                    result,
+                    os,
+                }))
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model {
+                tid,
+                ctx,
+                result,
+                os,
+            } => {
+                if ctx.rt.join_thread(ctx.tid, tid).is_err() && !std::thread::panicking() {
+                    std::panic::panic_any(SchedAbort);
+                }
+                let _ = os.join();
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .unwrap_or_else(|| Err(Box::new(SchedAbort) as Box<dyn std::any::Any + Send>))
+            }
+        }
+    }
+}
+
+/// A pure scheduling point in a model run; `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match rt::current_ctx() {
+        None => std::thread::yield_now(),
+        Some(ctx) => {
+            if ctx.rt.yield_op(ctx.tid).is_err() && !std::thread::panicking() {
+                std::panic::panic_any(SchedAbort);
+            }
+        }
+    }
+}
+
+/// Model runs have no clock: sleeping is just a scheduling point.
+pub fn sleep(dur: std::time::Duration) {
+    match rt::current_ctx() {
+        None => std::thread::sleep(dur),
+        Some(ctx) => {
+            if ctx.rt.yield_op(ctx.tid).is_err() && !std::thread::panicking() {
+                std::panic::panic_any(SchedAbort);
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Engine tests for the model checker itself. These run under plain
+//! `cargo test` — the shims are used directly (not through the
+//! `hyperline_util::sync` seam), so no special cfg is needed.
+//!
+//! The suite proves both directions: correct protocols survive every
+//! explored schedule, and known-buggy variants (lost update, deadlock,
+//! lost wakeup, and the weakened-ordering mutant of the single-flight
+//! publish fence) are *caught*. The mutant test is the regression
+//! demanded by the tooling issue: weakening one Release/Acquire pair to
+//! Relaxed must produce a failing schedule, or the checker has lost its
+//! teeth.
+
+use hyperline_sched::sync::{AtomicU64, Condvar, Mutex, Ordering};
+use hyperline_sched::{explore, explore_with, thread, Config};
+use std::sync::Arc;
+
+fn small() -> Config {
+    Config {
+        max_schedules: 20_000,
+        ..Config::default()
+    }
+}
+
+// -- basic soundness ---------------------------------------------------
+
+#[test]
+fn fetch_add_never_loses_increments() {
+    explore(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2, "atomic RMW lost an increment");
+    });
+}
+
+#[test]
+fn load_store_increment_race_is_found() {
+    // The classic lost update: two threads do a non-atomic
+    // read-modify-write. The checker must find the interleaving where
+    // both read 0 and the final value is 1.
+    let report = explore_with(small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    let fail = report.failure.expect("checker missed the lost-update race");
+    assert!(
+        !fail.schedule.is_empty(),
+        "failure should carry a replayable schedule"
+    );
+}
+
+#[test]
+fn fetch_or_claim_is_exclusive() {
+    // Mirrors the frontier bitmap claim: fetch_or returning a clear bit
+    // grants ownership to exactly one thread.
+    explore(|| {
+        let bits = Arc::new(AtomicU64::new(0));
+        let wins = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let bits = bits.clone();
+                let wins = wins.clone();
+                thread::spawn(move || {
+                    if bits.fetch_or(1, Ordering::Relaxed) & 1 == 0 {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            1,
+            "bitmap claim granted to != 1 thread"
+        );
+    });
+}
+
+// -- mutex / condvar ---------------------------------------------------
+
+#[test]
+fn mutex_protects_nonatomic_increment() {
+    explore(|| {
+        let c = Arc::new(Mutex::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let mut g = c.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn abba_deadlock_is_found() {
+    let report = explore_with(small(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t1 = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let (a3, b3) = (a.clone(), b.clone());
+        let t2 = thread::spawn(move || {
+            let _gb = b3.lock().unwrap();
+            let _ga = a3.lock().unwrap();
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    let fail = report.failure.expect("checker missed the ABBA deadlock");
+    assert!(
+        fail.message.contains("deadlock"),
+        "unexpected failure: {}",
+        fail.message
+    );
+}
+
+#[test]
+fn condvar_handoff_completes() {
+    explore(|| {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let s2 = slot.clone();
+        let consumer = thread::spawn(move || {
+            let (mx, cv) = &*s2;
+            let mut g = mx.lock().unwrap();
+            while g.is_none() {
+                g = cv.wait(g).unwrap();
+            }
+            g.take().unwrap()
+        });
+        {
+            let (mx, cv) = &*slot;
+            *mx.lock().unwrap() = Some(7);
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().unwrap(), 7);
+    });
+}
+
+#[test]
+fn lost_wakeup_is_found() {
+    // Buggy protocol: the consumer drops the lock between checking the
+    // predicate and waiting, so the producer's notify can land in the
+    // gap and the wait blocks forever. Detected as a deadlock.
+    let report = explore_with(small(), || {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let s2 = slot.clone();
+        let consumer = thread::spawn(move || {
+            let (mx, cv) = &*s2;
+            let empty = mx.lock().unwrap().is_none();
+            if empty {
+                let g = mx.lock().unwrap();
+                let _g = cv.wait(g).unwrap();
+            }
+            mx.lock().unwrap().take()
+        });
+        let (mx, cv) = &*slot;
+        *mx.lock().unwrap() = Some(7);
+        cv.notify_one();
+        let _ = consumer.join();
+    });
+    let fail = report.failure.expect("checker missed the lost wakeup");
+    assert!(
+        fail.message.contains("deadlock"),
+        "unexpected failure: {}",
+        fail.message
+    );
+}
+
+// -- memory model ------------------------------------------------------
+
+/// Test-only copy of the single-flight publish fence: the flight owner
+/// writes the computed value into the slot, then publishes readiness
+/// with a generation stamp. Waiters that observe the stamp must observe
+/// the value. `correct` selects Release/Acquire on the stamp; the
+/// mutant weakens both sides to Relaxed.
+fn single_flight_fence(correct: bool) {
+    let slot = Arc::new(AtomicU64::new(0));
+    let ready = Arc::new(AtomicU64::new(0));
+    let (pub_order, sub_order) = if correct {
+        (Ordering::Release, Ordering::Acquire)
+    } else {
+        (Ordering::Relaxed, Ordering::Relaxed)
+    };
+    let (s2, r2) = (slot.clone(), ready.clone());
+    let owner = thread::spawn(move || {
+        s2.store(42, Ordering::Relaxed);
+        r2.store(1, pub_order);
+    });
+    let (s3, r3) = (slot.clone(), ready.clone());
+    let waiter = thread::spawn(move || {
+        if r3.load(sub_order) == 1 {
+            assert_eq!(
+                s3.load(Ordering::Relaxed),
+                42,
+                "waiter observed the generation stamp but a stale slot value"
+            );
+        }
+    });
+    owner.join().unwrap();
+    waiter.join().unwrap();
+}
+
+#[test]
+fn single_flight_fence_is_sound() {
+    explore(|| single_flight_fence(true));
+}
+
+#[test]
+fn weakened_single_flight_fence_mutant_is_caught() {
+    // THE teeth test: one ordering pair weakened to Relaxed must yield a
+    // failing schedule, proving the checker detects the exact bug class
+    // it exists for.
+    let report = explore_with(small(), || single_flight_fence(false));
+    let fail = report
+        .failure
+        .expect("checker failed to catch the Relaxed-weakened publish fence");
+    assert!(
+        fail.message.contains("stale slot value"),
+        "unexpected failure: {}",
+        fail.message
+    );
+}
+
+// -- explorer plumbing -------------------------------------------------
+
+#[test]
+fn exhaustive_run_reports_complete() {
+    let report = explore_with(small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.failure.is_none());
+    assert!(report.complete, "tiny test should be fully enumerated");
+    assert!(report.schedules > 1, "expected more than one interleaving");
+}

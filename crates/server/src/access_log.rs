@@ -18,8 +18,8 @@
 //! ```
 
 use crate::json::Json;
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::io::{self, BufWriter, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{SystemTime, UNIX_EPOCH};
 

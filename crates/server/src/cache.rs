@@ -29,10 +29,10 @@
 //!   generation; computations started against the old data may still be
 //!   served to the callers that asked for them but are never cached.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
 use hyperline_util::telemetry::Histogram;
 use hyperline_util::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// A cache key scoped to one dataset: generation bookkeeping and
@@ -680,15 +680,15 @@ mod tests {
             let owner = scope.spawn(move || {
                 cache
                     .get_or_compute(&key("a", 1), || {
-                        started.store(true, Ordering::SeqCst);
-                        while !release.load(Ordering::SeqCst) {
+                        started.store(true, Ordering::Relaxed);
+                        while !release.load(Ordering::Relaxed) {
                             std::thread::sleep(std::time::Duration::from_millis(1));
                         }
                         Ok((1, 10))
                     })
                     .unwrap()
             });
-            while !started.load(Ordering::SeqCst) {
+            while !started.load(Ordering::Relaxed) {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
             // Dataset replaced while the owner is mid-compute.
@@ -697,7 +697,7 @@ mod tests {
             // wait on (and share) the stale one.
             let (v, outcome) = cache.get_or_compute(&key("a", 1), || Ok((2, 10))).unwrap();
             assert_eq!((*v, outcome), (2, CacheOutcome::Miss));
-            release.store(true, Ordering::SeqCst);
+            release.store(true, Ordering::Relaxed);
             let (v, outcome) = owner.join().unwrap();
             assert_eq!((*v, outcome), (1, CacheOutcome::Miss), "owner still served");
         });
@@ -818,7 +818,7 @@ mod tests {
                     scope.spawn(move || {
                         let (v, outcome) = cache_ref
                             .get_or_compute(&key("a", 5), || {
-                                computes.fetch_add(1, Ordering::SeqCst);
+                                computes.fetch_add(1, Ordering::Relaxed);
                                 // Widen the race window.
                                 std::thread::sleep(std::time::Duration::from_millis(30));
                                 Ok((11, 8))
@@ -832,7 +832,7 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(
-            computes.load(Ordering::SeqCst),
+            computes.load(Ordering::Relaxed),
             1,
             "exactly one computation"
         );

@@ -304,7 +304,7 @@ impl Parser<'_> {
     }
 
     /// Consumes `literal` or errors.
-    fn expect(&mut self, literal: &str) -> Result<(), String> {
+    fn expect_lit(&mut self, literal: &str) -> Result<(), String> {
         if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
             self.pos += literal.len();
             Ok(())
@@ -318,9 +318,9 @@ impl Parser<'_> {
             return Err("JSON nested deeper than 64 levels".to_string());
         }
         match self.peek() {
-            Some(b'n') => self.expect("null").map(|()| Json::Null),
-            Some(b't') => self.expect("true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.expect("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.expect_lit("null").map(|()| Json::Null),
+            Some(b't') => self.expect_lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.expect_lit("false").map(|()| Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
             Some(b'[') => self.array(depth),
             Some(b'{') => self.object(depth),
@@ -368,7 +368,7 @@ impl Parser<'_> {
             self.skip_whitespace();
             let key = self.string()?;
             self.skip_whitespace();
-            self.expect(":")?;
+            self.expect_lit(":")?;
             self.skip_whitespace();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -427,7 +427,7 @@ impl Parser<'_> {
                             let unit = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&unit) {
                                 // High surrogate: require the paired \uXXXX.
-                                self.expect("\\u")
+                                self.expect_lit("\\u")
                                     .map_err(|_| "unpaired surrogate".to_string())?;
                                 let low = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&low) {

@@ -73,6 +73,8 @@
 
 #![warn(missing_docs)]
 
+pub use hyperline_util::sync;
+
 pub mod access_log;
 pub mod cache;
 pub mod gzip;

@@ -7,8 +7,8 @@
 //! still the exact average and max — the histogram tracks an exact sum
 //! and max beside its buckets).
 
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use hyperline_util::telemetry::Histogram;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The server's routes (fixed at compile time so metrics need no map).

@@ -5,8 +5,8 @@
 //! shed load with a `503` instead of building an unbounded backlog —
 //! the same admission-control shape as IIPImage's FCGI worker model.
 
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -82,7 +82,7 @@ impl<T> BoundedQueue<T> {
 /// A pool of worker threads consuming jobs from a [`BoundedQueue`].
 pub struct WorkerPool<T: Send + 'static> {
     queue: Arc<BoundedQueue<T>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -98,7 +98,7 @@ impl<T: Send + 'static> WorkerPool<T> {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let work = Arc::clone(&work);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("hyperline-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
@@ -162,7 +162,7 @@ mod tests {
         let done = Arc::new(AtomicUsize::new(0));
         let done2 = Arc::clone(&done);
         let pool = WorkerPool::start(4, 64, move |x: usize| {
-            done2.fetch_add(x, Ordering::SeqCst);
+            done2.fetch_add(x, Ordering::Relaxed);
         });
         for i in 1..=50 {
             // Retry on transient fullness: workers drain continuously.
@@ -173,7 +173,7 @@ mod tests {
             }
         }
         pool.shutdown();
-        assert_eq!(done.load(Ordering::SeqCst), (1..=50).sum::<usize>());
+        assert_eq!(done.load(Ordering::Relaxed), (1..=50).sum::<usize>());
     }
 
     #[test]
@@ -184,12 +184,12 @@ mod tests {
             if x == 0 {
                 panic!("poison job");
             }
-            done2.fetch_add(x, Ordering::SeqCst);
+            done2.fetch_add(x, Ordering::Relaxed);
         });
         pool.queue().try_push(0).unwrap(); // panics inside the worker
         pool.queue().try_push(5).unwrap(); // must still be processed
         pool.shutdown();
-        assert_eq!(done.load(Ordering::SeqCst), 5);
+        assert_eq!(done.load(Ordering::Relaxed), 5);
     }
 
     #[test]

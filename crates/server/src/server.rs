@@ -22,6 +22,8 @@ use crate::json::{Json, StreamFragment};
 use crate::metrics::{GaugeGuard, Route, ServerMetrics};
 use crate::pool::WorkerPool;
 use crate::registry::{DatasetRegistry, DatasetSource};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Mutex};
 use hyperline_hypergraph::Hypergraph;
 use hyperline_slinegraph::{
     algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, build_slinegraphs_over_s,
@@ -31,8 +33,6 @@ use hyperline_util::telemetry::{self, Span, StageAgg};
 use hyperline_util::FxHashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server configuration (all fields have serviceable defaults).
@@ -377,7 +377,10 @@ impl Server {
             .name("hyperline-acceptor".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if acceptor_shutdown.load(Ordering::SeqCst) {
+                    // ordering: pairs with the Release store in
+                    // `shutdown()`; seeing the flag must also see every
+                    // write the shutting-down thread made before it.
+                    if acceptor_shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
@@ -456,7 +459,9 @@ impl ServerHandle {
 
     /// Stops accepting, drains the worker pool and joins the acceptor.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: publishes all pre-shutdown writes to the acceptor's
+        // Acquire load of this flag.
+        self.shutdown.store(true, Ordering::Release);
         // Unblock the accept loop with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
@@ -1210,7 +1215,11 @@ fn handle_add_dataset(state: &ServerState, request: &Request) -> HandlerResult {
     // A replaced dataset must not serve artifacts *or metrics* of its
     // predecessor; both tiers invalidate together.
     state.invalidate_dataset(&name);
-    let d = state.registry.get(&name).expect("just inserted");
+    // The dataset was inserted a moment ago, but a concurrent DELETE may
+    // race the re-read; answer 500 rather than panic the worker.
+    let Some(d) = state.registry.get(&name) else {
+        return Err((500, format!("dataset '{name}' vanished during load")));
+    };
     Ok((
         201,
         Json::obj()

@@ -1,0 +1,173 @@
+//! Model-checked server concurrency units (exhaustive interleavings).
+//!
+//! Runs only under `RUSTFLAGS="--cfg hyperline_sched"` (the sched step
+//! of `scripts/check.sh`), where `hyperline_server::sync` resolves to
+//! the model-checker shims. The code explored here — single-flight
+//! cache, gauge guards, bounded queue + worker pool — is the exact
+//! production source, compiled against the shims through the seam.
+//!
+//! Three of the issue's five high-risk units live here:
+//! * (a) single-flight cache generation fencing + miss deduplication,
+//! * (c) `GaugeGuard` never-negative accounting,
+//! * (e) worker-pool shutdown and panic recovery.
+#![cfg(hyperline_sched)]
+
+use hyperline_sched::explore;
+use hyperline_server::cache::{AlgoKind, CacheKey, SingleFlightCache};
+use hyperline_server::metrics::GaugeGuard;
+use hyperline_server::pool::{BoundedQueue, WorkerPool};
+use hyperline_server::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use hyperline_server::sync::{thread, Arc};
+
+fn key(dataset: &str) -> CacheKey {
+    CacheKey {
+        dataset: dataset.to_string(),
+        s: 1,
+        algorithm: AlgoKind::Algo2,
+        weighted: false,
+    }
+}
+
+// -- (a) generation fencing -------------------------------------------
+
+#[test]
+fn insert_if_current_fences_concurrent_invalidation() {
+    explore(|| {
+        let cache = Arc::new(SingleFlightCache::<CacheKey, u64>::new(1 << 20));
+        let k = key("d");
+        // The generation is read BEFORE the invalidation races in —
+        // exactly the sweep path's window.
+        let gen0 = cache.generation("d");
+        let (c2, k2) = (cache.clone(), k.clone());
+        let inserter = thread::spawn(move || c2.insert_if_current(k2, gen0, 42, 8));
+        let c3 = cache.clone();
+        let invalidator = thread::spawn(move || c3.invalidate_dataset("d"));
+        let inserted = inserter.join().unwrap();
+        invalidator.join().unwrap();
+        // Whichever order the lock arbitration picked: an insert that
+        // beat the invalidation was evicted by it, and one that lost
+        // was rejected by the stale generation. A stale artifact must
+        // never survive the replacement.
+        assert!(
+            cache.lookup(&k).is_none(),
+            "stale artifact (inserted={inserted}) survived a dataset replacement"
+        );
+        assert_ne!(
+            cache.generation("d"),
+            gen0,
+            "invalidation did not bump the generation"
+        );
+    });
+}
+
+#[test]
+fn single_flight_dedups_concurrent_misses() {
+    explore(|| {
+        let cache = Arc::new(SingleFlightCache::<CacheKey, u64>::new(1 << 20));
+        let computes = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let (c, n) = (cache.clone(), computes.clone());
+                let k = key("d");
+                thread::spawn(move || {
+                    let (value, _outcome) = c
+                        .get_or_compute(&k, || {
+                            n.fetch_add(1, Ordering::Relaxed);
+                            Ok((7u64, 8))
+                        })
+                        .expect("compute never fails here");
+                    *value
+                })
+            })
+            .collect();
+        for h in hs {
+            assert_eq!(
+                h.join().unwrap(),
+                7,
+                "caller saw a value other than the computed one"
+            );
+        }
+        // Second caller either coalesced onto the flight or hit the
+        // cached entry — the computation itself ran exactly once.
+        assert_eq!(
+            computes.load(Ordering::Relaxed),
+            1,
+            "single-flight ran the computation more than once"
+        );
+    });
+}
+
+// -- (c) gauge accounting ---------------------------------------------
+
+#[test]
+fn gauge_guard_in_flight_count_never_negative() {
+    explore(|| {
+        let gauge = Arc::new(AtomicI64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let g = gauge.clone();
+                thread::spawn(move || {
+                    let _guard = GaugeGuard::enter(&g);
+                    let seen = g.load(Ordering::Relaxed);
+                    // Our own increment is in flight, so any observation
+                    // from inside the guard is at least 1 — and never
+                    // negative anywhere.
+                    assert!(seen >= 1, "gauge observed {seen} inside a live guard");
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            gauge.load(Ordering::Relaxed),
+            0,
+            "gauge did not return to zero after all guards dropped"
+        );
+    });
+}
+
+// -- (e) worker pool ---------------------------------------------------
+
+#[test]
+fn worker_pool_recovers_from_panicking_job_and_shuts_down() {
+    explore(|| {
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        let pool = WorkerPool::start(1, 4, move |job: u32| {
+            if job == 13 {
+                panic!("poisoned job");
+            }
+            d2.fetch_add(1, Ordering::Relaxed);
+        });
+        // The panicking job lands first; the worker must survive it and
+        // still process the next one. A hang here (worker died, queue
+        // never drains) is caught as a model deadlock.
+        pool.queue().try_push(13).expect("queue accepts job 1");
+        pool.queue().try_push(1).expect("queue accepts job 2");
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "worker lost a job after recovering from a panic"
+        );
+    });
+}
+
+#[test]
+fn bounded_queue_close_wakes_blocked_worker() {
+    explore(|| {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let q2 = q.clone();
+        let popper = thread::spawn(move || q2.pop());
+        // Close races the pop: the worker either drains nothing and
+        // sees the close, or was parked and must be woken by it.
+        q.close();
+        assert_eq!(
+            popper.join().unwrap(),
+            None,
+            "pop returned an item from a closed empty queue"
+        );
+        assert!(q.try_push(9).is_err(), "push succeeded on a closed queue");
+    });
+}

@@ -17,8 +17,8 @@
 //! instrumentation of Figure 10 falls out for free.
 
 use hyperline_util::parallel::scope_workers;
+use hyperline_util::sync::atomic::{AtomicUsize, Ordering};
 use hyperline_util::telemetry::Span;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How hyperedge indices are assigned to workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -18,6 +18,9 @@
 //!   workspace's zero-dependency replacement for rayon).
 //! * [`telemetry`] — lock-free latency histograms and RAII pipeline
 //!   spans (the server's observability layer).
+//! * [`sync`] — the sync seam: re-exports `std::sync` primitives
+//!   normally, or the `hyperline-sched` model-checker shims under
+//!   `--cfg hyperline_sched`.
 
 #![warn(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod fxhash;
 pub mod idmap;
 pub mod parallel;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod telemetry;
 pub mod timer;

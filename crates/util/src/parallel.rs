@@ -27,9 +27,9 @@
 //! and can be pinned per-call-site with [`with_threads`] (a thread-local
 //! override, which is how the scaling benchmarks sweep 1..cores).
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
@@ -565,7 +565,7 @@ pub fn exclusive_prefix_sum(v: &mut [usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
 
     #[test]
     fn map_range_preserves_order() {

@@ -1,0 +1,57 @@
+//! The sync seam: the one place the workspace chooses between real
+//! `std::sync` primitives and the `hyperline-sched` model-checker shims.
+//!
+//! Concurrent production code imports its sync types from here —
+//! `crate::sync::atomic::{AtomicU64, Ordering}`, `crate::sync::Mutex`,
+//! `crate::sync::thread` — never from `std::sync` directly. Normal
+//! builds resolve every name to the std original (type aliases, zero
+//! cost). Under `RUSTFLAGS="--cfg hyperline_sched"` the same names
+//! resolve to the shims in [`hyperline_sched`], whose every operation
+//! becomes a scheduling point the model checker controls, so the code
+//! explored by `scripts/check.sh`'s sched step is byte-for-byte the code
+//! that ships.
+//!
+//! Seam rules for future concurrent code (epoll core, router tier):
+//!
+//! 1. New concurrent modules import atomics/locks/thread-spawns from
+//!    this module (or re-export it, as `hyperline_server::sync` does).
+//! 2. `std::thread::scope` has no shim — scoped fork/join parallelism
+//!    (see [`crate::parallel`]) is checked at the algorithm level by the
+//!    worker-sweep tests instead; only its atomics go through the seam.
+//! 3. Types not listed here (e.g. `RwLock`, channels) must grow a shim
+//!    in `crates/sched` before concurrent code may use them.
+//! 4. Model-checked units live in `#![cfg(hyperline_sched)]` test files
+//!    and call [`hyperline_sched::explore`] with an oracle that must
+//!    hold on *every* schedule.
+
+/// `Arc` never needs shimming: its reference counts are internal and
+/// the checker only schedules at user-visible sync operations.
+pub use std::sync::Arc;
+
+#[cfg(not(hyperline_sched))]
+pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(hyperline_sched)]
+pub use hyperline_sched::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+/// Atomic integer/bool types and `Ordering`, mirroring
+/// `std::sync::atomic`'s layout.
+pub mod atomic {
+    #[cfg(not(hyperline_sched))]
+    pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(hyperline_sched)]
+    pub use hyperline_sched::sync::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Thread spawning, mirroring `std::thread`'s layout for the subset the
+/// workspace uses on model-checked paths.
+pub mod thread {
+    #[cfg(not(hyperline_sched))]
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+
+    #[cfg(hyperline_sched)]
+    pub use hyperline_sched::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}

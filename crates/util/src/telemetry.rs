@@ -17,9 +17,9 @@
 //!   active scope into spawned workers, so spans inside parallel loops
 //!   land in the same report.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fxhash::FxHashMap;

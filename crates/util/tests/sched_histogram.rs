@@ -1,0 +1,100 @@
+//! Model-checked telemetry `Histogram` unit (exhaustive interleavings).
+//!
+//! Runs only under `RUSTFLAGS="--cfg hyperline_sched"` (the sched step
+//! of `scripts/check.sh`), where `hyperline_util::sync` resolves to the
+//! model-checker shims — the histogram code explored here is the exact
+//! production source.
+//!
+//! Oracles are chosen to be *true* invariants of the lock-free design:
+//! quiescent totals are exact, and mid-flight observations are bounded
+//! (the counters are monotonic). Bucket-vs-count *consistency of a
+//! concurrent snapshot* is deliberately not asserted — `record` bumps
+//! the bucket and the total in two separate relaxed ops, and the
+//! documented contract only promises point-in-time bounds, not a torn-
+//! free view.
+#![cfg(hyperline_sched)]
+
+use hyperline_sched::{explore, explore_with, Config};
+use hyperline_util::sync::{thread, Arc};
+use hyperline_util::telemetry::Histogram;
+
+/// The bucket-loop units walk every histogram bucket per operation, so
+/// their schedules are deep; cap the DFS to keep the check.sh sched
+/// step fast while still covering thousands of interleavings (plus the
+/// seeded-random tail).
+fn explore_budgeted(f: impl Fn() + Send + Sync + 'static) {
+    let cfg = Config {
+        max_schedules: 2_000,
+        random_schedules: 250,
+        ..Config::default()
+    };
+    let report = explore_with(cfg, f);
+    if let Some(fail) = report.failure {
+        panic!(
+            "sched: invariant violated after {} schedules: {}\n  replay with: HYPERLINE_SCHED_REPLAY={}",
+            report.schedules, fail.message, fail.schedule
+        );
+    }
+}
+
+#[test]
+fn concurrent_records_sum_exactly() {
+    explore(|| {
+        let h = Arc::new(Histogram::new());
+        let h1 = h.clone();
+        let h2 = h.clone();
+        let a = thread::spawn(move || h1.record(3));
+        let b = thread::spawn(move || h2.record(5));
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(h.count(), 2, "lost a concurrent record");
+        assert_eq!(h.sum(), 8, "sum dropped a concurrent sample");
+        assert_eq!(h.max(), 5, "max missed a concurrent sample");
+        assert_eq!(h.snapshot().quantile(1.0), h.snapshot().quantile(1.0));
+    });
+}
+
+#[test]
+fn merge_concurrent_with_record_is_bounded() {
+    explore_budgeted(|| {
+        let src = Arc::new(Histogram::new());
+        let dst = Arc::new(Histogram::new());
+        let s2 = src.clone();
+        let recorder = thread::spawn(move || s2.record(3));
+        // Merge races the record: it may or may not see the sample, but
+        // every observed counter stays within the recorded bounds.
+        dst.merge_from(&src);
+        assert!(dst.count() <= 1, "merge invented a sample");
+        assert!(dst.sum() <= 3, "merge invented value mass");
+        assert!(dst.max() <= 3, "merge invented a max");
+        recorder.join().unwrap();
+        // Quiescent merge is exact.
+        let settled = Histogram::new();
+        settled.merge_from(&src);
+        assert_eq!(settled.count(), 1);
+        assert_eq!(settled.sum(), 3);
+        assert_eq!(settled.max(), 3);
+    });
+}
+
+#[test]
+fn snapshot_concurrent_with_record_is_bounded() {
+    explore_budgeted(|| {
+        let h = Arc::new(Histogram::new());
+        let h2 = h.clone();
+        let recorder = thread::spawn(move || h2.record(7));
+        let snap = h.snapshot();
+        assert!(snap.count() <= 1, "snapshot saw more samples than recorded");
+        assert!(
+            snap.sum() <= 7,
+            "snapshot saw more value mass than recorded"
+        );
+        assert!(snap.max() <= 7);
+        recorder.join().unwrap();
+        let settled = h.snapshot();
+        assert_eq!(settled.count(), 1);
+        assert_eq!(settled.sum(), 7);
+        assert_eq!(settled.max(), 7);
+        assert_eq!(settled.quantile(0.5), settled.max());
+    });
+}

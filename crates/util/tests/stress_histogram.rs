@@ -1,0 +1,88 @@
+//! Seeded-random stress variant of the model-checked histogram unit
+//! (`tests/sched_histogram.rs`), runnable under plain `cargo test` with
+//! real threads. The exhaustive scheduler covers *all* bounded
+//! interleavings of a tiny instance; this covers *sampled* interleavings
+//! of bigger instances, seeded for reproducibility.
+
+use hyperline_util::telemetry::Histogram;
+use std::sync::Arc;
+
+/// splitmix64 — the workspace's standard tiny deterministic generator.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn jitter(rng: &mut u64) {
+    for _ in 0..(splitmix(rng) % 4) {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn stress_concurrent_records_and_merges() {
+    let mut seed = 0x1157_0921u64;
+    for round in 0..60 {
+        let threads = 2 + (round % 3) as usize;
+        let per_thread = 16;
+        let h = Arc::new(Histogram::new());
+        let sink = Arc::new(Histogram::new());
+        let mut expected_sum = 0u64;
+        let mut expected_max = 0u64;
+        let mut thread_seeds = Vec::new();
+        for _ in 0..threads {
+            let s = splitmix(&mut seed);
+            let mut probe = s;
+            for _ in 0..per_thread {
+                let v = splitmix(&mut probe) % 1_000;
+                expected_sum += v;
+                expected_max = expected_max.max(v);
+            }
+            thread_seeds.push(s);
+        }
+        std::thread::scope(|scope| {
+            for s in &thread_seeds {
+                let h = h.clone();
+                let mut rng = *s;
+                // Jitter draws from a separate stream so the value
+                // sequence matches the expected-total precomputation.
+                let mut jrng = s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5eed;
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let v = splitmix(&mut rng) % 1_000;
+                        jitter(&mut jrng);
+                        h.record(v);
+                    }
+                });
+            }
+            // Concurrent merges must stay within recorded bounds.
+            let snap = h.snapshot();
+            assert!(snap.count() <= (threads * per_thread) as u64);
+            assert!(snap.sum() <= expected_sum);
+            sink.merge_from(&h);
+            assert!(sink.count() <= (threads * per_thread) as u64);
+        });
+        assert_eq!(
+            h.count(),
+            (threads * per_thread) as u64,
+            "round {round}: lost records"
+        );
+        assert_eq!(h.sum(), expected_sum, "round {round}: sum drifted");
+        assert_eq!(h.max(), expected_max, "round {round}: max drifted");
+        let settled = Histogram::new();
+        settled.merge_from(&h);
+        assert_eq!(
+            settled.count(),
+            h.count(),
+            "round {round}: quiescent merge lost counts"
+        );
+        assert_eq!(
+            settled.sum(),
+            h.sum(),
+            "round {round}: quiescent merge lost sum"
+        );
+    }
+}

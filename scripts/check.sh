@@ -1,23 +1,54 @@
 #!/usr/bin/env bash
-# Pre-merge gate: formatting, lints, release build, full test suite, and
-# the two smoke benchmarks — server (cold vs warm cache latencies +
-# server-side p50/p99 from the /metrics histograms + streamed edge-list
-# wire bytes, identity vs gzip, both encoder efforts) and kernels (cold
-# pipeline stage timings with the counting-vs-tail breakdown plus the
-# Stage-5 frontier-engine section). Both are warn-only compared (>20%)
-# against their previous BENCH_*.json; the server smoke additionally
-# HARD-asserts that the /metrics JSON key set matches the checked-in
-# scripts/metrics_schema.txt snapshot — scrapers key on those paths, so
-# schema drift must be deliberate (rerun with --update-schema to accept
-# a change). Each kernel run is also appended as one line (commit,
-# timestamp, full report) to BENCH_history.jsonl, so the per-commit
-# trajectory survives the snapshot overwrite.
-# Usage: scripts/check.sh
+# Pre-merge gate, in dependency order:
+#   1. cargo fmt --check
+#   2. hyperline-lint        — workspace invariant linter (HL001-HL006,
+#      suppressions in scripts/lint_allow.txt; see README "Correctness
+#      tooling")
+#   3. sched suite           — the model-checked concurrency units and
+#      the scheduler's own engine tests, built under
+#      RUSTFLAGS="--cfg hyperline_sched" into target/sched so the
+#      shim-world artifacts never collide with the std-world cache
+#   4. cargo clippy -D warnings
+#   5. cargo build --release
+#   6. cargo test -q
+#   7. the two smoke benchmarks (skipped with --fast) — server (cold vs
+#      warm cache latencies + server-side p50/p99 from the /metrics
+#      histograms + streamed edge-list wire bytes, identity vs gzip) and
+#      kernels (pipeline stage timings with the counting-vs-tail
+#      breakdown plus the Stage-5 frontier-engine section). Both are
+#      warn-only compared (>20%) against their previous BENCH_*.json;
+#      the server smoke additionally HARD-asserts that the /metrics
+#      JSON key set matches scripts/metrics_schema.txt (rerun with
+#      --update-schema to accept a deliberate change). Kernel runs are
+#      appended to BENCH_history.jsonl for the per-commit trajectory.
+# A trailing summary line reports which BENCH_*.json snapshots changed
+# and whether any warn-only regression fired.
+# Usage: scripts/check.sh [--fast]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> hyperline-lint"
+cargo run -q -p hyperline-lint
+
+echo "==> sched suite (exhaustive interleavings under --cfg hyperline_sched)"
+# Separate target dir: these artifacts are compiled against the model-
+# checker shims and must never be reused by std-world builds.
+RUSTFLAGS="--cfg hyperline_sched" CARGO_TARGET_DIR=target/sched \
+  cargo test -q -p hyperline-sched --test engine \
+    -p hyperline-util --test sched_histogram \
+    -p hyperline-graph --test sched_frontier \
+    -p hyperline-server --test sched_models
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
@@ -28,10 +59,32 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> server smoke benchmark (cold vs warm -> BENCH_server.json)"
-cargo run --release -q -p hyperline-bench --bin server_smoke
+BENCH_LOG=""
+if [ "$FAST" = "1" ]; then
+  echo "==> smoke benchmarks skipped (--fast)"
+else
+  BENCH_LOG="$(mktemp)"
+  trap 'rm -f "$BENCH_LOG"' EXIT
 
-echo "==> kernel smoke benchmark (counting vs tail + stage5 -> BENCH_kernels.json, history -> BENCH_history.jsonl)"
-cargo run --release -q -p hyperline-bench --bin kernel_smoke
+  echo "==> server smoke benchmark (cold vs warm -> BENCH_server.json)"
+  cargo run --release -q -p hyperline-bench --bin server_smoke | tee -a "$BENCH_LOG"
+
+  echo "==> kernel smoke benchmark (counting vs tail + stage5 -> BENCH_kernels.json, history -> BENCH_history.jsonl)"
+  cargo run --release -q -p hyperline-bench --bin kernel_smoke | tee -a "$BENCH_LOG"
+fi
+
+# ---- trailing summary ------------------------------------------------
+if [ "$FAST" = "1" ]; then
+  echo "summary: benches skipped (--fast); BENCH_*.json untouched"
+else
+  changed="$(git diff --name-only -- 'BENCH_*.json' | tr '\n' ' ' | sed 's/ $//')"
+  [ -n "$changed" ] || changed="none"
+  warns="$(grep -c '^  WARN' "$BENCH_LOG" || true)"
+  if [ "${warns:-0}" -gt 0 ]; then
+    echo "summary: changed snapshots: $changed; $warns warn-only regression(s) fired (see WARN lines above)"
+  else
+    echo "summary: changed snapshots: $changed; no warn-only regressions"
+  fi
+fi
 
 echo "All checks passed."
