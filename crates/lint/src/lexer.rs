@@ -1,0 +1,483 @@
+//! A std-only Rust lexer for the workspace analyzer.
+//!
+//! Produces a flat token stream with byte spans into the source; all
+//! trivia (whitespace, line/block comments — including *nested* block
+//! comments) lives in the gaps between consecutive token spans, so the
+//! original file reconstructs byte-identically from the spans alone
+//! (asserted by the workspace self-parse test via [`round_trip`]).
+//!
+//! The lexer is tolerant where tolerance is safe (a malformed numeric
+//! suffix still becomes one token) but records an error for anything
+//! that would desynchronize the stream — an unterminated string or
+//! block comment — because every downstream rule assumes the stream
+//! covers the whole file.
+
+/// Token classification — just enough structure for the parser.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal.
+    Float,
+    /// String, raw string, byte-string or char/byte literal.
+    Literal,
+    /// A single punctuation byte (`.` `,` `;` `!` `&` …).
+    Punct(u8),
+    /// `::`
+    PathSep,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `(`, `[` or `{` (the byte is the opening delimiter).
+    Open(u8),
+    /// `)`, `]` or `}` (the byte is the *opening* delimiter it closes).
+    Close(u8),
+}
+
+/// One token: kind plus byte span and 1-based source line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: Tok,
+    /// Byte offset of the first byte.
+    pub lo: u32,
+    /// Byte offset one past the last byte.
+    pub hi: u32,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.lo as usize..self.hi as usize]
+    }
+}
+
+/// A lexed file: tokens plus any desync errors (empty on success).
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Errors that would desynchronize the stream (unterminated
+    /// string/comment). Non-empty means downstream analysis must not
+    /// trust the stream.
+    pub errors: Vec<String>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never panics on any input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut tokens = Vec::with_capacity(src.len() / 6);
+    let mut errors = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Tracks newline counting lazily: `line` is advanced as bytes are
+    // consumed, so every token records the line its first byte sits on.
+    macro_rules! bump_lines {
+        ($lo:expr, $hi:expr) => {
+            for k in $lo..$hi {
+                if b[k] == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        // Trivia: whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Trivia: line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Trivia: block comment, nesting tracked.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            if depth > 0 {
+                errors.push(format!("line {start_line}: unterminated block comment"));
+            }
+            i = j;
+            continue;
+        }
+        let lo = i;
+        let tok_line = line;
+        // Raw strings and raw identifiers: r"..", r#".."#, br".."‚ r#ident.
+        let (raw_offset, is_raw_candidate) = match c {
+            b'r' => (1usize, true),
+            b'b' if b.get(i + 1) == Some(&b'r') => (2, true),
+            _ => (0, false),
+        };
+        if is_raw_candidate {
+            let mut j = i + raw_offset;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                // Raw (byte) string: scan for `"` + `hashes` hashes.
+                j += 1;
+                let mut closed = false;
+                while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            closed = true;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if !closed {
+                    errors.push(format!("line {tok_line}: unterminated raw string"));
+                }
+                bump_lines!(lo, j.min(b.len()));
+                tokens.push(Token {
+                    kind: Tok::Literal,
+                    lo: lo as u32,
+                    hi: j.min(b.len()) as u32,
+                    line: tok_line,
+                });
+                i = j.min(b.len());
+                continue;
+            }
+            if raw_offset == 1 && hashes == 1 && b.get(j).is_some_and(|&x| is_ident_start(x)) {
+                // Raw identifier r#type.
+                let mut k = j;
+                while k < b.len() && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                tokens.push(Token {
+                    kind: Tok::Ident,
+                    lo: lo as u32,
+                    hi: k as u32,
+                    line: tok_line,
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Identifiers / keywords (also absorbs b'x' byte-char prefix and
+        // b"..." byte-string prefix via the literal checks below).
+        if is_ident_start(c) {
+            // b'..' byte char / b".." byte string.
+            if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                if let Some(end) = scan_char(b, i + 1) {
+                    bump_lines!(lo, end);
+                    tokens.push(Token {
+                        kind: Tok::Literal,
+                        lo: lo as u32,
+                        hi: end as u32,
+                        line: tok_line,
+                    });
+                    i = end;
+                    continue;
+                }
+            }
+            if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                match scan_string(b, i + 1) {
+                    Some(end) => {
+                        bump_lines!(lo, end);
+                        tokens.push(Token {
+                            kind: Tok::Literal,
+                            lo: lo as u32,
+                            hi: end as u32,
+                            line: tok_line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                    None => {
+                        errors.push(format!("line {tok_line}: unterminated byte string"));
+                        i = b.len();
+                        continue;
+                    }
+                }
+            }
+            let mut j = i + 1;
+            while j < b.len() && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: Tok::Ident,
+                lo: lo as u32,
+                hi: j as u32,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (end, is_float) = scan_number(b, i);
+            tokens.push(Token {
+                kind: if is_float { Tok::Float } else { Tok::Int },
+                lo: lo as u32,
+                hi: end as u32,
+                line: tok_line,
+            });
+            i = end;
+            continue;
+        }
+        // Strings.
+        if c == b'"' {
+            match scan_string(b, i) {
+                Some(end) => {
+                    bump_lines!(lo, end);
+                    tokens.push(Token {
+                        kind: Tok::Literal,
+                        lo: lo as u32,
+                        hi: end as u32,
+                        line: tok_line,
+                    });
+                    i = end;
+                    continue;
+                }
+                None => {
+                    errors.push(format!("line {tok_line}: unterminated string"));
+                    i = b.len();
+                    continue;
+                }
+            }
+        }
+        // Char literal vs lifetime/label.
+        if c == b'\'' {
+            if let Some(end) = scan_char(b, i) {
+                tokens.push(Token {
+                    kind: Tok::Literal,
+                    lo: lo as u32,
+                    hi: end as u32,
+                    line: tok_line,
+                });
+                i = end;
+                continue;
+            }
+            // Lifetime: tick + identifier.
+            let mut j = i + 1;
+            while j < b.len() && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: Tok::Lifetime,
+                lo: lo as u32,
+                hi: j.max(i + 1) as u32,
+                line: tok_line,
+            });
+            i = j.max(i + 1);
+            continue;
+        }
+        // Multi-byte operators the parser leans on.
+        if c == b':' && b.get(i + 1) == Some(&b':') {
+            tokens.push(Token {
+                kind: Tok::PathSep,
+                lo: lo as u32,
+                hi: (i + 2) as u32,
+                line: tok_line,
+            });
+            i += 2;
+            continue;
+        }
+        if c == b'-' && b.get(i + 1) == Some(&b'>') {
+            tokens.push(Token {
+                kind: Tok::Arrow,
+                lo: lo as u32,
+                hi: (i + 2) as u32,
+                line: tok_line,
+            });
+            i += 2;
+            continue;
+        }
+        if c == b'=' && b.get(i + 1) == Some(&b'>') {
+            tokens.push(Token {
+                kind: Tok::FatArrow,
+                lo: lo as u32,
+                hi: (i + 2) as u32,
+                line: tok_line,
+            });
+            i += 2;
+            continue;
+        }
+        // Delimiters.
+        let kind = match c {
+            b'(' | b'[' | b'{' => Tok::Open(c),
+            b')' => Tok::Close(b'('),
+            b']' => Tok::Close(b'['),
+            b'}' => Tok::Close(b'{'),
+            other => Tok::Punct(other),
+        };
+        tokens.push(Token {
+            kind,
+            lo: lo as u32,
+            hi: (i + 1) as u32,
+            line: tok_line,
+        });
+        i += 1;
+    }
+    Lexed { tokens, errors }
+}
+
+/// Scans a char/byte-char literal starting at the `'`; returns the end
+/// offset, or `None` when this is a lifetime tick instead.
+fn scan_char(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(b.get(i), Some(&b'\''));
+    let mut j = i + 1;
+    if b.get(j) == Some(&b'\\') {
+        j += 1;
+        // Escape body: \n, \u{..}, \x7f — bounded scan to the close.
+        let mut n = 0;
+        while j < b.len() && b[j] != b'\'' && n < 12 {
+            j += 1;
+            n += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    if j < b.len() && b[j] != b'\'' {
+        // One scalar value (skip UTF-8 continuation bytes).
+        j += 1;
+        while j < b.len() && (b[j] & 0xC0) == 0x80 {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') && !is_ident_cont(b[i + 1]) {
+            return Some(j + 1);
+        }
+        // `'x'` where x is ident-ish could still be a char literal if
+        // exactly one char wide and closed — `'q'` — but `'a` followed
+        // by more ident chars is a lifetime.
+        if b.get(j) == Some(&b'\'') && j == i + 2 {
+            return Some(j + 1);
+        }
+    }
+    None
+}
+
+/// Scans a (byte-)string literal starting at the `"`; returns the end
+/// offset, or `None` when unterminated.
+fn scan_string(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return Some(j + 1),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Scans a numeric literal; returns `(end, is_float)`.
+fn scan_number(b: &[u8], i: usize) -> (usize, bool) {
+    let radix_prefixed = b[i] == b'0'
+        && matches!(
+            b.get(i + 1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        );
+    let mut j = i;
+    let mut is_float = false;
+    let consume_run = |j: &mut usize| {
+        while *j < b.len() && (b[*j].is_ascii_alphanumeric() || b[*j] == b'_') {
+            *j += 1;
+        }
+    };
+    consume_run(&mut j);
+    // Exponent sign: `1e-3` / `2.5E+7` (never after 0x/0o/0b).
+    let exponent_sign = |j: &mut usize| -> bool {
+        if !radix_prefixed
+            && *j > i
+            && matches!(b[*j - 1], b'e' | b'E')
+            && matches!(b.get(*j), Some(b'+') | Some(b'-'))
+            && b.get(*j + 1).is_some_and(|d| d.is_ascii_digit())
+        {
+            *j += 1;
+            return true;
+        }
+        false
+    };
+    if exponent_sign(&mut j) {
+        is_float = true;
+        consume_run(&mut j);
+    }
+    // Fraction: a `.` joins only when followed by a digit (so `0..n`
+    // and `1.max(2)` tokenize as Int + Punct).
+    if !radix_prefixed
+        && b.get(j) == Some(&b'.')
+        && b.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+    {
+        is_float = true;
+        j += 1;
+        consume_run(&mut j);
+        if exponent_sign(&mut j) {
+            consume_run(&mut j);
+        }
+    }
+    // `1e3` with no sign still floats.
+    if !radix_prefixed && b[i..j].iter().any(|&c| matches!(c, b'e' | b'E')) {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+/// Reconstructs the source from the token spans plus the trivia gaps
+/// between them and compares byte-for-byte. The stream is only valid
+/// when spans are strictly monotonic and in-bounds — both checked here.
+pub fn round_trip(src: &str, tokens: &[Token]) -> bool {
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev = 0usize;
+    for t in tokens {
+        let (lo, hi) = (t.lo as usize, t.hi as usize);
+        if lo < prev || hi < lo || hi > src.len() {
+            return false;
+        }
+        rebuilt.push_str(&src[prev..lo]); // trivia gap
+        rebuilt.push_str(&src[lo..hi]); // the token itself
+        prev = hi;
+    }
+    rebuilt.push_str(&src[prev..]);
+    rebuilt == src
+}

@@ -1,55 +1,33 @@
-//! `hyperline-lint` — workspace invariant linter.
+//! `hyperline-lint` CLI — see the crate docs in `lib.rs` for the rule
+//! catalog. This binary only handles argument parsing, file loading,
+//! allowlist application and output formatting; all analysis lives in
+//! the library so the fixture tests can drive it in-memory.
 //!
-//! A token-level analyzer (no rustc plumbing, std only) that enforces
-//! the concurrency and robustness invariants the rest of the tooling
-//! assumes. It masks comments and string literals before matching, so
-//! a pattern inside a doc comment or a log message never fires, and it
-//! skips `#[cfg(test)]` regions for every rule except HL003.
+//! Usage: `hyperline-lint [--root <workspace-root>] [--json]`
 //!
-//! Rules:
-//! * **HL001** — every non-`Relaxed` atomic ordering (`Acquire`,
-//!   `Release`, `AcqRel`, `SeqCst`) must carry an adjacent
-//!   `// ordering:` comment explaining why it is required.
-//! * **HL002** — no `partial_cmp(..).unwrap()`; floats compare with
-//!   `total_cmp`, which is NaN-total and cannot panic.
-//! * **HL003** — no `unsafe` anywhere in the workspace.
-//! * **HL004** — kernel crates (`graph`, `slinegraph`, `sparse`) stay
-//!   clock-free: no `Instant::now()` / `SystemTime` in their `src/`.
-//! * **HL005** — no `.unwrap()` / `.expect(` in `crates/server/src`
-//!   outside the allowlist; request paths return logged errors.
-//! * **HL006** — no new external dependencies: every entry in any
-//!   `Cargo.toml` dependency section must be an in-repo `path` dep.
-//!
-//! Suppressions live in `scripts/lint_allow.txt`, one per line:
-//! `RULE <path-substring> <line-substring-or-*> # justification`.
-//! Exit status is nonzero iff findings remain after suppression.
+//! Text mode ends with a machine-greppable summary line:
+//! `lint-summary: files=<rs>+<manifests> findings=<n> stale=<n>
+//!  parse_errors=<n> roots=<n> reachable=<n> unresolved=<n>
+//!  total_ms=<t> HL001=<n> … HL009=<n>`
+//! (per-rule counts are post-suppression). `--json` emits the schema
+//! documented in the README ("Correctness tooling") instead. Exit
+//! status is nonzero iff findings remain after suppression or stale
+//! allowlist entries exist.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-struct Finding {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    what: String,
-    hint: &'static str,
-}
-
-struct Allow {
-    rule: String,
-    path: String,
-    needle: String, // "*" matches any finding text
-    used: std::cell::Cell<bool>,
-    raw: String,
-}
+use hyperline_lint::{analyze, collect, load_allowlist, Finding, Report};
 
 fn main() -> ExitCode {
     let mut root = String::from(".");
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().unwrap_or_else(|| usage()),
+            "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hyperline-lint: unknown argument `{other}`");
@@ -61,572 +39,157 @@ fn main() -> ExitCode {
 
     let allows = load_allowlist(&root.join("scripts/lint_allow.txt"));
 
-    let mut files = Vec::new();
-    collect(&root.join("crates"), &mut files);
-    files.sort();
+    let mut paths = Vec::new();
+    collect(&root.join("crates"), &mut paths);
+    paths.sort();
 
-    let mut findings = Vec::new();
-    for path in &files {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in &paths {
         let rel = path.strip_prefix(&root).unwrap_or(path);
         let rel = rel.to_string_lossy().replace('\\', "/");
-        let Ok(text) = fs::read_to_string(path) else {
-            continue;
-        };
-        if rel.ends_with(".rs") {
-            lint_rust(&rel, &text, &mut findings);
-        } else if rel.ends_with("Cargo.toml") {
-            lint_manifest(&rel, &text, &mut findings);
+        if let Ok(text) = fs::read_to_string(path) {
+            sources.push((rel, text));
         }
     }
     // The workspace root manifest declares members and shared lint config.
     if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
-        lint_manifest("Cargo.toml", &text, &mut findings);
+        sources.push(("Cargo.toml".to_string(), text));
     }
 
-    let mut shown = 0usize;
-    for f in &findings {
-        if allows.iter().any(|a| a.matches(f)) {
-            continue;
-        }
-        shown += 1;
-        println!("{}:{}: {} {}", f.file, f.line, f.rule, f.what);
-        println!("    hint: {}", f.hint);
+    let report = analyze(&sources);
+    let kept: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| !allows.iter().any(|a| a.matches(f)))
+        .collect();
+    let stale: Vec<&str> = allows
+        .iter()
+        .filter(|a| !a.used.get())
+        .map(|a| a.raw.as_str())
+        .collect();
+
+    if json {
+        print_json(&report, &kept, &stale);
+    } else {
+        print_text(&report, &kept, &stale);
     }
-    for a in &allows {
-        if !a.used.get() {
-            println!(
-                "allowlist: unused entry `{}` (stale suppression — remove it)",
-                a.raw
-            );
-            shown += 1;
-        }
-    }
-    if shown == 0 {
-        println!("hyperline-lint: {} files clean", files.len() + 1);
+    if kept.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("hyperline-lint: {shown} finding(s)");
         ExitCode::FAILURE
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: hyperline-lint [--root <workspace-root>]");
+    eprintln!("usage: hyperline-lint [--root <workspace-root>] [--json]");
     std::process::exit(2);
 }
 
-impl Allow {
-    fn matches(&self, f: &Finding) -> bool {
-        let hit = self.rule == f.rule
-            && f.file.contains(&self.path)
-            && (self.needle == "*" || f.what.contains(&self.needle));
-        if hit {
-            self.used.set(true);
-        }
-        hit
-    }
+/// Post-suppression count for one rule.
+fn shown_count(kept: &[&Finding], rule: &str) -> usize {
+    kept.iter().filter(|f| f.rule == rule).count()
 }
 
-fn load_allowlist(path: &Path) -> Vec<Allow> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let body = line.split('#').next().unwrap_or("").trim();
-        if body.is_empty() {
-            continue;
-        }
-        let mut parts = body.split_whitespace();
-        match (parts.next(), parts.next(), parts.next()) {
-            (Some(rule), Some(path), Some(needle)) => out.push(Allow {
-                rule: rule.to_string(),
-                path: path.to_string(),
-                needle: needle.to_string(),
-                used: std::cell::Cell::new(false),
-                raw: body.to_string(),
-            }),
-            _ => {
-                eprintln!(
-                    "scripts/lint_allow.txt:{}: malformed entry `{body}` (want: RULE path substring # why)",
-                    i + 1
-                );
-                std::process::exit(2);
-            }
+fn print_text(report: &Report, kept: &[&Finding], stale: &[&str]) {
+    for f in kept {
+        println!("{}:{}: {} {}", f.file, f.line, f.rule, f.what);
+        println!("    hint: {}", f.hint);
+    }
+    for raw in stale {
+        println!("allowlist: unused entry `{raw}` (stale suppression — remove it)");
+    }
+    let mut per_rule = String::new();
+    for (name, stat) in &report.stats {
+        if name.starts_with("HL") {
+            per_rule.push_str(&format!(
+                " {name}={}/{:.1}ms",
+                shown_count(kept, name),
+                stat.micros as f64 / 1000.0
+            ));
         }
     }
-    out
-}
-
-fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        let name = e.file_name();
-        let name = name.to_string_lossy().into_owned();
-        if p.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect(&p, out);
-        } else if name.ends_with(".rs") || name == "Cargo.toml" {
-            out.push(p);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rust source rules
-// ---------------------------------------------------------------------
-
-fn lint_rust(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let masked = mask(text);
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    let in_test = test_regions(&masked_lines);
-
-    let kernel_src = [
-        "crates/graph/src/",
-        "crates/slinegraph/src/",
-        "crates/sparse/src/",
-    ]
-    .iter()
-    .any(|p| rel.starts_with(p));
-    let server_src = rel.starts_with("crates/server/src/");
-
-    for (i, m) in masked_lines.iter().enumerate() {
-        let raw = raw_lines.get(i).copied().unwrap_or("");
-        let line = i + 1;
-
-        // HL003 applies even inside #[cfg(test)] — unsafe is never OK.
-        if has_word(m, "unsafe") {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line,
-                rule: "HL003",
-                what: format!("`unsafe` is forbidden in this workspace: {}", raw.trim()),
-                hint: "rewrite with safe primitives; the perf story must not depend on unsafe",
-            });
-        }
-
-        if in_test[i] {
-            continue;
-        }
-
-        // HL001: non-Relaxed orderings need an adjacent `// ordering:` note.
-        for ord in [
-            "Ordering::Acquire",
-            "Ordering::Release",
-            "Ordering::AcqRel",
-            "Ordering::SeqCst",
-        ] {
-            if m.contains(ord) {
-                // Accept a trailing comment on the same line, or an
-                // `// ordering:` anywhere in the contiguous comment
-                // block directly above.
-                let mut documented = raw.contains("// ordering:");
-                let mut k = i;
-                while !documented && k > 0 {
-                    let above = raw_lines[k - 1].trim_start();
-                    if !above.starts_with("//") {
-                        break;
-                    }
-                    documented = above.starts_with("// ordering:");
-                    k -= 1;
-                }
-                if !documented {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        line,
-                        rule: "HL001",
-                        what: format!("undocumented `{ord}`"),
-                        hint: "add an adjacent `// ordering: <why this fence>` comment, or relax to Ordering::Relaxed",
-                    });
-                }
-            }
-        }
-
-        // HL002: partial_cmp(..).unwrap() — panics on NaN.
-        if let Some(at) = m.find("partial_cmp") {
-            let next = masked_lines.get(i + 1).copied().unwrap_or("");
-            if m[at..].contains(".unwrap()") || next.trim_start().starts_with(".unwrap()") {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "HL002",
-                    what: "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
-                    hint: "use f64::total_cmp (NaN-total, never panics) for metric ordering",
-                });
-            }
-        }
-
-        // HL004: kernel crates stay clock-free.
-        if kernel_src && (m.contains("Instant::now") || m.contains("SystemTime")) {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line,
-                rule: "HL004",
-                what: format!("wall-clock access in a kernel crate: {}", raw.trim()),
-                hint: "kernel crates must be deterministic; thread timing through the caller (bench/server layers)",
-            });
-        }
-
-        // HL005: server request paths never panic.
-        if server_src {
-            for pat in [".unwrap()", ".expect("] {
-                if m.contains(pat) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        line,
-                        rule: "HL005",
-                        what: format!("`{pat}..` on a server path: {}", raw.trim()),
-                        hint: "return a logged 500 / Option instead, or allowlist in scripts/lint_allow.txt with a justification",
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// True at index i if the line is inside a `#[cfg(test)]` item body.
-fn test_regions(masked_lines: &[&str]) -> Vec<bool> {
-    let mut flags = vec![false; masked_lines.len()];
-    let mut i = 0;
-    while i < masked_lines.len() {
-        if masked_lines[i].contains("#[cfg(test)]") || masked_lines[i].contains("#[cfg(all(test") {
-            // Skip to the matching close brace of the annotated item.
-            // Attributes may stack, so scan forward for the first `{`.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < masked_lines.len() {
-                for c in masked_lines[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                flags[j] = true;
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    flags
-}
-
-fn has_word(line: &str, word: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Replace comments and string/char literals with spaces, preserving
-/// line structure, so rule patterns never match inside them.
-fn mask(text: &str) -> String {
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(usize),
-    }
-    let b = text.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        match st {
-            St::Code => {
-                if c == b'/' && b.get(i + 1) == Some(&b'/') {
-                    st = St::Line;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::Block(1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if c == b'"' {
-                    st = St::Str;
-                    out.push(b' ');
-                    i += 1;
-                } else if c == b'r' && matches!(b.get(i + 1), Some(b'"') | Some(b'#')) {
-                    // raw string r"..." or r#"..."# (not an identifier tail)
-                    let ident_prefix = i > 0 && is_ident(b[i - 1]);
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while b.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if !ident_prefix && b.get(j) == Some(&b'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(b' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                } else if c == b'\'' {
-                    // Char literal vs lifetime: a literal closes within a
-                    // few bytes ('x', '\n', '\u{7f}'); a lifetime doesn't.
-                    let mut j = i + 1;
-                    if b.get(j) == Some(&b'\\') {
-                        j += 1;
-                        while j < b.len() && b[j] != b'\'' && j - i < 12 {
-                            j += 1;
-                        }
-                    } else if j < b.len() {
-                        j += 1;
-                        while j < b.len() && (b[j] & 0xC0) == 0x80 {
-                            j += 1; // skip UTF-8 continuation bytes
-                        }
-                    }
-                    if b.get(j) == Some(&b'\'') && j > i + 1 {
-                        for _ in i..=j {
-                            out.push(b' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c); // lifetime tick
-                        i += 1;
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            St::Line => {
-                if c == b'\n' {
-                    st = St::Code;
-                    out.push(c);
-                } else {
-                    out.push(b' ');
-                }
-                i += 1;
-            }
-            St::Block(d) => {
-                if c == b'*' && b.get(i + 1) == Some(&b'/') {
-                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::Block(d + 1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else {
-                    out.push(if c == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == b'\\' && i + 1 < b.len() {
-                    out.extend_from_slice(if b[i + 1] == b'\n' { b" \n" } else { b"  " });
-                    i += 2;
-                } else {
-                    if c == b'"' {
-                        st = St::Code;
-                    }
-                    out.push(if c == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            St::RawStr(h) => {
-                if c == b'"' {
-                    let mut j = i + 1;
-                    let mut k = 0;
-                    while k < h && b.get(j) == Some(&b'#') {
-                        k += 1;
-                        j += 1;
-                    }
-                    if k == h {
-                        st = St::Code;
-                        for _ in i..j {
-                            out.push(b' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                }
-                out.push(if c == b'\n' { b'\n' } else { b' ' });
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-// ---------------------------------------------------------------------
-// Manifest rule (HL006)
-// ---------------------------------------------------------------------
-
-fn lint_manifest(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let mut in_deps = false;
-    let mut table_dep: Option<(String, usize, bool)> = None; // [dependencies.NAME]
-    for (i, line) in text.lines().enumerate() {
-        let body = line.split('#').next().unwrap_or("").trim();
-        if body.starts_with('[') {
-            if let Some((name, at, saw_path)) = table_dep.take() {
-                if !saw_path {
-                    push_dep_finding(rel, at, &name, findings);
-                }
-            }
-            let section = body.trim_matches(['[', ']']);
-            in_deps = matches!(
-                section,
-                "dependencies"
-                    | "dev-dependencies"
-                    | "build-dependencies"
-                    | "workspace.dependencies"
-            );
-            for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
-                if let Some(name) = section.strip_prefix(prefix) {
-                    table_dep = Some((name.to_string(), i + 1, false));
-                }
-            }
-            continue;
-        }
-        if let Some((_, _, saw_path)) = &mut table_dep {
-            if body.starts_with("path ") || body.starts_with("path=") || body.starts_with("path =")
-            {
-                *saw_path = true;
-            }
-            continue;
-        }
-        if in_deps && !body.is_empty() {
-            let Some((name, spec)) = body.split_once('=') else {
-                continue;
-            };
-            if !spec.contains("path") {
-                push_dep_finding(rel, i + 1, name.trim(), findings);
-            }
-        }
-    }
-    if let Some((name, at, saw_path)) = table_dep {
-        if !saw_path {
-            push_dep_finding(rel, at, &name, findings);
-        }
-    }
-}
-
-fn push_dep_finding(rel: &str, line: usize, name: &str, findings: &mut Vec<Finding>) {
-    findings.push(Finding {
-        file: rel.to_string(),
-        line,
-        rule: "HL006",
-        what: format!("external dependency `{name}`"),
-        hint: "the workspace is std-only; vendor needed code under crates/ as a path dependency",
-    });
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rules_on(rel: &str, src: &str) -> Vec<(usize, &'static str)> {
-        let mut f = Vec::new();
-        lint_rust(rel, src, &mut f);
-        f.into_iter().map(|x| (x.line, x.rule)).collect()
-    }
-
-    #[test]
-    fn mask_blanks_strings_and_comments_but_keeps_lines() {
-        let src = "let a = \"unsafe\"; // unsafe in a comment\nlet b = 1; /* unsafe\nstill comment */ let c = 'x';\n";
-        let m = mask(src);
-        assert_eq!(m.lines().count(), src.lines().count());
-        assert!(
-            !m.contains("unsafe"),
-            "patterns inside strings/comments must not survive: {m}"
+    println!(
+        "lint-summary: files={}+{} findings={} stale={} parse_errors={} roots={} reachable={} unresolved={} total_ms={:.1}{per_rule}",
+        report.rs_files,
+        report.manifests,
+        kept.len(),
+        stale.len(),
+        report.parse_failures.len(),
+        report.panics.roots,
+        report.panics.reachable,
+        report.unresolved_calls,
+        report.total_micros as f64 / 1000.0,
+    );
+    if kept.is_empty() && stale.is_empty() {
+        println!(
+            "hyperline-lint: {} files clean",
+            report.rs_files + report.manifests
         );
-        assert!(m.contains("let a"), "code must survive masking");
+    } else {
+        println!("hyperline-lint: {} finding(s)", kept.len() + stale.len());
     }
+}
 
-    #[test]
-    fn mask_keeps_lifetimes_but_blanks_char_literals() {
-        let m = mask("fn f<'a>(x: &'a str) { let c = '\\n'; let d = 'q'; }");
-        assert!(m.contains("<'a>"), "lifetime ticks must survive: {m}");
-        assert!(
-            !m.contains('q'),
-            "char literal contents must be blanked: {m}"
-        );
+fn print_json(report: &Report, kept: &[&Finding], stale: &[&str]) {
+    use hyperline_lint::json_escape as esc;
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files\": {},\n", report.rs_files));
+    out.push_str(&format!("  \"manifests\": {},\n", report.manifests));
+    out.push_str(&format!(
+        "  \"parse_errors\": {},\n",
+        report.parse_failures.len()
+    ));
+    out.push_str(&format!(
+        "  \"unresolved_calls\": {},\n",
+        report.unresolved_calls
+    ));
+    out.push_str(&format!("  \"roots\": {},\n", report.panics.roots));
+    out.push_str(&format!("  \"reachable\": {},\n", report.panics.reachable));
+    out.push_str(&format!("  \"lock_edges\": {},\n", report.lock_edges));
+    out.push_str(&format!("  \"atomic_fields\": {},\n", report.atomic_fields));
+    out.push_str(&format!("  \"total_micros\": {},\n", report.total_micros));
+    out.push_str("  \"rules\": {");
+    let mut first = true;
+    for (name, stat) in &report.stats {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{name}\": {{\"raw_findings\": {}, \"shown\": {}, \"micros\": {}}}",
+            stat.findings,
+            if name.starts_with("HL") {
+                shown_count(kept, name)
+            } else {
+                0
+            },
+            stat.micros
+        ));
     }
-
-    #[test]
-    fn hl001_requires_an_ordering_note_and_accepts_block_comments() {
-        let bad = "use std::sync::atomic::Ordering;\nfn f(a: &AB) { a.load(Ordering::Acquire); }\n";
-        assert_eq!(rules_on("crates/x/src/a.rs", bad), vec![(2, "HL001")]);
-        let good = "// ordering: pairs with the Release store in g()\n// (multi-line block is fine)\nfn f(a: &AB) { a.load(Ordering::Acquire); }\n";
-        assert!(rules_on("crates/x/src/a.rs", good).is_empty());
-        let trailing = "fn f(a: &AB) { a.load(Ordering::Release); } // ordering: publishes init\n";
-        assert!(rules_on("crates/x/src/a.rs", trailing).is_empty());
+    out.push_str("\n  },\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in kept.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"what\": \"{}\", \"hint\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.what),
+            esc(f.hint)
+        ));
     }
-
-    #[test]
-    fn hl002_flags_partial_cmp_unwrap_even_split_across_lines() {
-        let bad = "v.sort_by(|a, b| a.partial_cmp(b)\n    .unwrap());\n";
-        assert_eq!(rules_on("crates/x/src/a.rs", bad), vec![(1, "HL002")]);
-        let good = "v.sort_by(|a, b| a.total_cmp(b));\n";
-        assert!(rules_on("crates/x/src/a.rs", good).is_empty());
+    out.push_str("\n  ],\n");
+    out.push_str("  \"stale_allow\": [");
+    for (i, raw) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", esc(raw)));
     }
-
-    #[test]
-    fn hl003_fires_even_inside_cfg_test() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { danger() } }\n}\n";
-        assert_eq!(rules_on("crates/x/src/a.rs", src), vec![(3, "HL003")]);
-    }
-
-    #[test]
-    fn hl004_only_fires_in_kernel_crate_src() {
-        let src = "fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(rules_on("crates/graph/src/a.rs", src), vec![(1, "HL004")]);
-        assert!(rules_on("crates/bench/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn hl005_skips_cfg_test_modules() {
-        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
-        assert_eq!(rules_on("crates/server/src/a.rs", src), vec![(1, "HL005")]);
-    }
-
-    #[test]
-    fn hl006_accepts_path_deps_and_flags_external_ones() {
-        let mut f = Vec::new();
-        lint_manifest(
-            "crates/x/Cargo.toml",
-            "[dependencies]\nhyperline-util = { path = \"../util\" }\nserde = \"1\"\n\n[dev-dependencies.hyperline-sched]\npath = \"../sched\"\n",
-            &mut f,
-        );
-        let got: Vec<_> = f.iter().map(|x| (x.line, x.rule, x.what.clone())).collect();
-        assert_eq!(got.len(), 1, "only serde should be flagged: {got:?}");
-        assert_eq!(got[0].0, 3);
-        assert!(got[0].2.contains("serde"));
-    }
+    out.push_str("]\n}");
+    println!("{out}");
 }

@@ -1,0 +1,174 @@
+//! HL009 — release/acquire pairing on atomic fields.
+//!
+//! Every `Release` (or `AcqRel`/`SeqCst`) store on an atomic field must
+//! have at least one `Acquire` (or `AcqRel`/`SeqCst`) load site on the
+//! same field somewhere in the workspace, and vice versa: an acquiring
+//! load with no releasing publisher is a weakened-fence bug waiting to
+//! happen (the fence pairs with nothing).
+//!
+//! Atomic identity is the final receiver-chain segment after alias
+//! resolution (`let flag = Arc::clone(&shutdown); flag.load(..)`
+//! merges with `shutdown.store(..)`), pooled across the whole
+//! workspace — the rule checks *existence of a pairing site*, not
+//! happens-before on every path (that is `crates/sched`'s dynamic
+//! job). Scope: files importing through the `hyperline_util::sync`
+//! seam, excluding `crates/sched/` and test code. Relaxed-only fields
+//! are never flagged.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::parser::atomic_method;
+use crate::Finding;
+
+fn is_release(ord: &str) -> bool {
+    matches!(ord, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn is_acquire(ord: &str) -> bool {
+    matches!(ord, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+#[derive(Default)]
+struct FieldSites {
+    /// (file, line, method) of releasing writes.
+    releases: Vec<(String, usize, String)>,
+    /// (file, line, method) of acquiring reads.
+    acquires: Vec<(String, usize, String)>,
+    /// Any synchronizing op at all (gates the rule per field).
+    any_sync: bool,
+}
+
+/// Runs HL009 over the graph. Returns the number of distinct atomic
+/// fields seen for the summary line.
+pub fn run(graph: &CallGraph<'_>, findings: &mut Vec<Finding>) -> usize {
+    let mut fields: BTreeMap<String, FieldSites> = BTreeMap::new();
+    for node in &graph.nodes {
+        let file_ast = graph
+            .files
+            .iter()
+            .find(|f| f.path == node.file)
+            .expect("node file present");
+        if !file_ast.uses_sync_seam || node.file.starts_with("crates/sched/") {
+            continue;
+        }
+        for op in &node.def.atomics {
+            let Some((reads, writes)) = atomic_method(&op.method) else {
+                continue;
+            };
+            let key = op.chain.rsplit('.').next().unwrap_or(&op.chain).to_string();
+            let entry = fields.entry(key).or_default();
+            let releasing = writes && op.orderings.iter().any(|o| is_release(o));
+            let acquiring = reads && op.orderings.iter().any(|o| is_acquire(o));
+            if releasing {
+                entry
+                    .releases
+                    .push((node.file.to_string(), op.line as usize, op.method.clone()));
+            }
+            if acquiring {
+                entry
+                    .acquires
+                    .push((node.file.to_string(), op.line as usize, op.method.clone()));
+            }
+            if releasing || acquiring {
+                entry.any_sync = true;
+            }
+        }
+    }
+    let count = fields.len();
+    for (field, sites) in &fields {
+        if !sites.any_sync {
+            continue;
+        }
+        if sites.acquires.is_empty() {
+            for (file, line, method) in &sites.releases {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "HL009",
+                    what: format!(
+                        "atomic `{field}`: Release {method} has no Acquire load site anywhere"
+                    ),
+                    hint: "pair the Release with an Acquire/AcqRel load on the same field, or relax both to Relaxed if no data is published",
+                });
+            }
+        }
+        if sites.releases.is_empty() {
+            for (file, line, method) in &sites.acquires {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "HL009",
+                    what: format!(
+                        "atomic `{field}`: Acquire {method} has no Release store site anywhere"
+                    ),
+                    hint: "pair the Acquire with a Release/AcqRel store on the same field, or relax it to Relaxed if it orders nothing",
+                });
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Finding> {
+        let asts: Vec<_> = files.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let graph = CallGraph::build(&asts);
+        let mut findings = Vec::new();
+        run(&graph, &mut findings);
+        findings
+    }
+
+    const HEADER: &str = "use crate::sync::atomic::{AtomicBool, Ordering};\n";
+
+    #[test]
+    fn orphaned_release_is_flagged() {
+        let src = format!(
+            "{HEADER}struct S {{ flag: AtomicBool }}\nimpl S {{\n    fn publish(&self) {{ self.flag.store(true, Ordering::Release); }}\n    fn check(&self) -> bool {{ self.flag.load(Ordering::Relaxed) }}\n}}\n"
+        );
+        let findings = run_on(&[("crates/util/src/f.rs", &src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "HL009");
+        assert!(findings[0].what.contains("`flag`"), "{}", findings[0].what);
+        assert!(
+            findings[0].what.contains("no Acquire"),
+            "{}",
+            findings[0].what
+        );
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean_even_through_aliases() {
+        let src = format!(
+            "{HEADER}fn spawn_pair(shutdown: &Arc<AtomicBool>) {{\n    let worker_flag = Arc::clone(shutdown);\n    worker_flag.load(Ordering::Acquire);\n    shutdown.store(true, Ordering::Release);\n}}\n"
+        );
+        assert!(run_on(&[("crates/util/src/f.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn orphaned_acquire_is_flagged_and_relaxed_only_is_ignored() {
+        let src = format!(
+            "{HEADER}struct S {{ a: AtomicBool, b: AtomicBool }}\nimpl S {{\n    fn f(&self) {{ self.a.load(Ordering::Acquire); self.b.load(Ordering::Relaxed); self.b.store(true, Ordering::Relaxed); }}\n}}\n"
+        );
+        let findings = run_on(&[("crates/util/src/f.rs", &src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].what.contains("`a`"), "{}", findings[0].what);
+        assert!(
+            findings[0].what.contains("no Release"),
+            "{}",
+            findings[0].what
+        );
+    }
+
+    #[test]
+    fn seqcst_counts_for_both_directions() {
+        let src = format!(
+            "{HEADER}struct S {{ n: AtomicBool }}\nimpl S {{\n    fn f(&self) {{ self.n.store(true, Ordering::SeqCst); }}\n    fn g(&self) -> bool {{ self.n.load(Ordering::SeqCst) }}\n}}\n"
+        );
+        assert!(run_on(&[("crates/util/src/f.rs", &src)]).is_empty());
+    }
+}

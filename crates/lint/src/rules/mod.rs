@@ -1,0 +1,10 @@
+//! Interprocedural rules over the workspace call graph.
+//!
+//! * [`panics`] — HL007 call-graph panic reachability from annotated
+//!   request roots.
+//! * [`locks`] — HL008 static lock-order cycle detection.
+//! * [`atomics`] — HL009 release/acquire pairing on atomic fields.
+
+pub mod atomics;
+pub mod locks;
+pub mod panics;

@@ -1,0 +1,161 @@
+//! HL007 — panic sinks reachable from server request roots.
+//!
+//! Roots are functions annotated `// lint: request-root` (the server's
+//! per-connection handler). A finding is a panicking sink —
+//! `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`, or (in `// lint: hot-path` functions) slice
+//! indexing — inside a function reachable from a root, where the
+//! function either lives in `crates/server/src/` or carries the
+//! hot-path marker. Every finding reports the full shortest call chain
+//! from the root, rendered `root->hop->sink_fn` with no spaces so a
+//! chain suffix can key an allowlist entry
+//! (`HL007 <file> <chain-suffix>:<sink> # why`).
+//!
+//! Deleting the root annotation does not silently disable the rule: a
+//! workspace that contains server sources but no root is itself a
+//! finding.
+
+use crate::callgraph::CallGraph;
+use crate::Finding;
+
+const SERVER_SRC: &str = "crates/server/src/";
+
+/// Reachability stats for the summary line.
+#[derive(Clone, Copy, Default)]
+pub struct PanicsInfo {
+    /// Number of `// lint: request-root` functions.
+    pub roots: usize,
+    /// Functions reachable from the roots (roots included).
+    pub reachable: usize,
+}
+
+/// Runs HL007 over the graph.
+pub fn run(graph: &CallGraph<'_>, findings: &mut Vec<Finding>) -> PanicsInfo {
+    let roots = graph.marked("request-root");
+    let has_server = graph.files.iter().any(|f| f.path.starts_with(SERVER_SRC));
+    if roots.is_empty() {
+        if let Some(f) = graph.files.iter().find(|f| f.path.starts_with(SERVER_SRC)) {
+            findings.push(Finding {
+                file: f.path.clone(),
+                line: 1,
+                rule: "HL007",
+                what: "no-request-root: server sources present but no `// lint: request-root` fn"
+                    .to_string(),
+                hint:
+                    "annotate the per-connection request handler so panic reachability has a root",
+            });
+        }
+        let _ = has_server;
+        return PanicsInfo::default();
+    }
+    let parent = graph.bfs(&roots);
+    let mut reachable = 0usize;
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if parent[id].is_none() {
+            continue;
+        }
+        reachable += 1;
+        let in_server = node.file.starts_with(SERVER_SRC);
+        let hot = node.def.markers.iter().any(|m| m == "hot-path");
+        for sink in &node.def.sinks {
+            let applies = if sink.what == "index[]" {
+                hot
+            } else {
+                in_server || hot
+            };
+            if !applies {
+                continue;
+            }
+            let chain = graph.chain(&parent, id);
+            findings.push(Finding {
+                file: node.file.to_string(),
+                line: sink.line as usize,
+                rule: "HL007",
+                what: format!("panic sink reachable from request root: {chain}:{}", sink.what),
+                hint: "return a logged error instead, or allowlist the chain-keyed entry in scripts/lint_allow.txt with a justification",
+            });
+        }
+    }
+    PanicsInfo {
+        roots: roots.len(),
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Finding> {
+        let asts: Vec<_> = files.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let graph = CallGraph::build(&asts);
+        let mut findings = Vec::new();
+        run(&graph, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn reports_chain_across_two_hops() {
+        let findings = run_on(&[(
+            "crates/server/src/handler.rs",
+            concat!(
+                "// lint: request-root\n",
+                "fn handle(s: &S) { stage_one(s); }\n",
+                "fn stage_one(s: &S) { stage_two(s); }\n",
+                "fn stage_two(s: &S) -> u32 { s.v.unwrap() }\n",
+            ),
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "HL007");
+        assert_eq!(findings[0].line, 4);
+        assert!(
+            findings[0]
+                .what
+                .contains("handle->stage_one->stage_two:.unwrap()"),
+            "{}",
+            findings[0].what
+        );
+    }
+
+    #[test]
+    fn unreachable_sinks_stay_silent() {
+        let findings = run_on(&[(
+            "crates/server/src/handler.rs",
+            concat!(
+                "// lint: request-root\n",
+                "fn handle(s: &S) {}\n",
+                "fn startup_only(s: &S) -> u32 { s.v.unwrap() }\n",
+            ),
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn index_sinks_require_hot_path_marker() {
+        let src = concat!(
+            "// lint: request-root\n",
+            "fn handle(v: &[u32]) -> u32 { kernel(v) }\n",
+            "// lint: hot-path\n",
+            "fn kernel(v: &[u32]) -> u32 { v[0] }\n",
+        );
+        let findings = run_on(&[("crates/util/src/k.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].what.ends_with("kernel:index[]"),
+            "{}",
+            findings[0].what
+        );
+        // Without the marker the indexing is not a finding.
+        let unmarked = src.replace("// lint: hot-path\n", "");
+        let findings = run_on(&[("crates/util/src/k.rs", &unmarked)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_root_in_server_workspace_is_a_finding() {
+        let findings = run_on(&[("crates/server/src/handler.rs", "fn handle() {}\n")]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].what.starts_with("no-request-root"));
+    }
+}

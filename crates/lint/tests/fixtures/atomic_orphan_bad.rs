@@ -1,0 +1,18 @@
+// Fixture: a Release store whose only reader is Relaxed — the fence
+// pairs with nothing. HL009 must flag the store site.
+use crate::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    fn publish(&self) {
+        // ordering: publishes initialized data to readers (fixture)
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: the same flag, properly paired — Release store, Acquire
+// load through an Arc-cloned alias. Zero HL009 findings.
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
+
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    fn publish(&self) {
+        // ordering: publishes initialized data to readers (fixture)
+        self.ready.store(true, Ordering::Release);
+    }
+}
+
+fn wait_ready(flag: &Arc<Flag>) -> bool {
+    let watcher = Arc::clone(flag);
+    // ordering: pairs with the Release store in Flag::publish (fixture)
+    watcher.ready.load(Ordering::Acquire)
+}

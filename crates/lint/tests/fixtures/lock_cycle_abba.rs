@@ -1,0 +1,28 @@
+// Fixture: ABBA lock inversion — one path takes a then b directly, the
+// other takes b and then reaches a through a helper call. HL008 must
+// report the Pair.a->Pair.b->Pair.a cycle (interprocedural edge
+// included).
+use crate::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn both_forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        0
+    }
+
+    fn both_backward(&self) -> u32 {
+        let gb = self.b.lock();
+        self.grab_a()
+    }
+
+    fn grab_a(&self) -> u32 {
+        let ga = self.a.lock();
+        1
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: same two-lock struct, but every path agrees on the a-then-b
+// order, and one path drops its guard before crossing. Zero HL008
+// findings.
+use crate::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn both_forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        0
+    }
+
+    fn disjoint(&self) -> u32 {
+        let gb = self.b.lock();
+        drop(gb);
+        self.grab_a()
+    }
+
+    fn grab_a(&self) -> u32 {
+        let ga = self.a.lock();
+        1
+    }
+}

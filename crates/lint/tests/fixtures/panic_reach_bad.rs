@@ -1,0 +1,20 @@
+// Fixture: an unwrap two call hops below the request root. HL007 must
+// report it with the full chain `handle_request->stage_one->stage_two`.
+use crate::sync::Mutex;
+
+pub struct State {
+    pub value: Option<u32>,
+}
+
+// lint: request-root
+fn handle_request(s: &State) -> u32 {
+    stage_one(s)
+}
+
+fn stage_one(s: &State) -> u32 {
+    stage_two(s)
+}
+
+fn stage_two(s: &State) -> u32 {
+    s.value.unwrap()
+}

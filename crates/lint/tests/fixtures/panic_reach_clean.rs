@@ -1,0 +1,25 @@
+// Fixture: same call shape as panic_reach_bad.rs but the leaf returns
+// a default instead of unwrapping — and a genuinely panicking helper
+// exists but is NOT reachable from the root. Zero HL007 findings.
+use crate::sync::Mutex;
+
+pub struct State {
+    pub value: Option<u32>,
+}
+
+// lint: request-root
+fn handle_request(s: &State) -> u32 {
+    stage_one(s)
+}
+
+fn stage_one(s: &State) -> u32 {
+    stage_two(s)
+}
+
+fn stage_two(s: &State) -> u32 {
+    s.value.unwrap_or(0)
+}
+
+fn startup_only(s: &State) -> u32 {
+    s.value.expect("config must be present before serving")
+}

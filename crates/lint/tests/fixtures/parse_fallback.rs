@@ -1,0 +1,12 @@
+// Fixture: a file the parser cannot resolve (stray item-level
+// statement). HL007 has no AST here, so the HL005 line fallback must
+// still flag the unwrap conservatively.
+fn fine() -> u32 {
+    3
+}
+
+let stray = 1;
+
+fn later(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

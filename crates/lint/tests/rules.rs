@@ -1,0 +1,109 @@
+//! Fixture-based mutation tests: each injected bug (ABBA lock
+//! inversion, orphaned Release, unwrap two call hops below the request
+//! root, unparseable file) must be caught by its rule, and each clean
+//! twin must pass with zero findings. Fixtures are fed through
+//! [`hyperline_lint::analyze`] under synthetic workspace paths, exactly
+//! as the CLI would see them.
+
+use hyperline_lint::{analyze, Finding};
+
+fn run(path: &str, src: &str) -> Vec<Finding> {
+    analyze(&[(path.to_string(), src.to_string())]).findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn hl007_catches_unwrap_two_hops_below_the_root() {
+    let findings = run(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/panic_reach_bad.rs"),
+    );
+    assert_eq!(rules_of(&findings), vec!["HL007"], "{findings:?}");
+    let f = &findings[0];
+    assert!(
+        f.what
+            .contains("handle_request->stage_one->stage_two:.unwrap()"),
+        "full call chain must be reported: {}",
+        f.what
+    );
+    assert_eq!(f.file, "crates/server/src/fixture.rs");
+}
+
+#[test]
+fn hl007_clean_twin_passes_and_skips_unreachable_panics() {
+    let findings = run(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/panic_reach_clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl008_catches_abba_inversion_through_a_call_hop() {
+    let findings = run(
+        "crates/util/src/fixture.rs",
+        include_str!("fixtures/lock_cycle_abba.rs"),
+    );
+    assert_eq!(rules_of(&findings), vec!["HL008"], "{findings:?}");
+    assert!(
+        findings[0].what.contains("Pair.a->Pair.b->Pair.a")
+            || findings[0].what.contains("Pair.b->Pair.a->Pair.b"),
+        "cycle must name both locks: {}",
+        findings[0].what
+    );
+}
+
+#[test]
+fn hl008_clean_twin_passes() {
+    let findings = run(
+        "crates/util/src/fixture.rs",
+        include_str!("fixtures/lock_cycle_clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl009_catches_orphaned_release() {
+    let findings = run(
+        "crates/util/src/fixture.rs",
+        include_str!("fixtures/atomic_orphan_bad.rs"),
+    );
+    assert_eq!(rules_of(&findings), vec!["HL009"], "{findings:?}");
+    assert!(
+        findings[0].what.contains("`ready`") && findings[0].what.contains("no Acquire"),
+        "{}",
+        findings[0].what
+    );
+}
+
+#[test]
+fn hl009_clean_twin_passes_through_arc_alias() {
+    let findings = run(
+        "crates/util/src/fixture.rs",
+        include_str!("fixtures/atomic_orphan_clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl005_fallback_covers_unparseable_server_files() {
+    let report = analyze(&[(
+        "crates/server/src/fixture.rs".to_string(),
+        include_str!("fixtures/parse_fallback.rs").to_string(),
+    )]);
+    assert_eq!(
+        report.parse_failures,
+        vec!["crates/server/src/fixture.rs"],
+        "the stray statement must fail the parse"
+    );
+    let hl005: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "HL005")
+        .collect();
+    assert_eq!(hl005.len(), 1, "{:?}", report.findings);
+    assert!(hl005[0].what.contains("parse-fallback"));
+}

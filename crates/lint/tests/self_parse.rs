@@ -1,0 +1,84 @@
+//! Workspace self-parse golden test: every `.rs` file in the workspace
+//! must lex (with a byte-identical round trip through the token spans)
+//! and parse with zero errors. This is the drift alarm — new syntax
+//! anywhere in the repo that the analyzer cannot handle fails loudly
+//! here instead of silently shrinking HL007/HL008/HL009 coverage.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hyperline_lint::{lexer, parser};
+
+/// Walks `dir` for `.rs` files, skipping build output, dot-dirs and the
+/// intentionally-broken fixture corpus.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name().to_string_lossy().into_owned();
+        if p.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn whole_workspace_lexes_round_trips_and_parses() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 100,
+        "workspace walk looks broken: only {} .rs files found",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    let mut fn_total = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(path).expect("readable source");
+        let lexed = lexer::lex(&text);
+        if !lexed.errors.is_empty() {
+            failures.push(format!("{rel}: lex errors {:?}", lexed.errors));
+            continue;
+        }
+        if !lexer::round_trip(&text, &lexed.tokens) {
+            failures.push(format!("{rel}: token stream does not round-trip"));
+            continue;
+        }
+        let ast = parser::parse_file(&rel, &text);
+        if !ast.errors.is_empty() {
+            failures.push(format!(
+                "{rel}: parse errors {:?}",
+                &ast.errors[..ast.errors.len().min(3)]
+            ));
+        }
+        fn_total += ast.fns.len();
+    }
+    assert!(
+        failures.is_empty(),
+        "self-parse failures in {}/{} files:\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n")
+    );
+    assert!(
+        fn_total > 500,
+        "suspiciously few functions parsed: {fn_total}"
+    );
+}

@@ -489,6 +489,7 @@ impl<W: Write> Write for CountingStream<W> {
 }
 
 /// Serves one connection: keep-alive request loop with a read timeout.
+// lint: request-root
 fn handle_connection(
     state: &Arc<ServerState>,
     stream: TcpStream,

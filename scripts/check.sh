@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate, in dependency order:
 #   1. cargo fmt --check
-#   2. hyperline-lint        — workspace invariant linter (HL001-HL006,
+#   2. hyperline-lint        — workspace static analyzer (line rules
+#      HL001-HL006 plus the interprocedural HL007 panic-reachability,
+#      HL008 lock-order, and HL009 release/acquire-pairing rules;
 #      suppressions in scripts/lint_allow.txt; see README "Correctness
 #      tooling")
 #   3. sched suite           — the model-checked concurrency units and
@@ -21,8 +23,9 @@
 #      JSON key set matches scripts/metrics_schema.txt (rerun with
 #      --update-schema to accept a deliberate change). Kernel runs are
 #      appended to BENCH_history.jsonl for the per-commit trajectory.
-# A trailing summary line reports which BENCH_*.json snapshots changed
-# and whether any warn-only regression fired.
+# Trailing summary lines report the analyzer's per-rule finding counts
+# and wall time, which BENCH_*.json snapshots changed, and whether any
+# warn-only regression fired.
 # Usage: scripts/check.sh [--fast]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,7 +42,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> hyperline-lint"
-cargo run -q -p hyperline-lint
+LINT_LOG="$(mktemp)"
+cargo run -q -p hyperline-lint | tee "$LINT_LOG"
+LINT_SUMMARY="$(grep '^lint-summary:' "$LINT_LOG" || true)"
+rm -f "$LINT_LOG"
 
 echo "==> sched suite (exhaustive interleavings under --cfg hyperline_sched)"
 # Separate target dir: these artifacts are compiled against the model-
@@ -74,6 +80,7 @@ else
 fi
 
 # ---- trailing summary ------------------------------------------------
+[ -n "$LINT_SUMMARY" ] && echo "summary: ${LINT_SUMMARY}"
 if [ "$FAST" = "1" ]; then
   echo "summary: benches skipped (--fast); BENCH_*.json untouched"
 else
