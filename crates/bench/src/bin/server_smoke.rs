@@ -19,8 +19,9 @@
 //! Options: `--profile=genomics --seed=42 --reps=9 --out=BENCH_server.json`
 
 use hyperline_bench::{arg, flag, print_header};
+use hyperline_hypergraph::Hypergraph;
 use hyperline_server::json::Json;
-use hyperline_server::{gzip, http, Server, ServerConfig};
+use hyperline_server::{gzip, http, DatasetSource, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -66,6 +67,151 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
 /// Reassembles a chunked body (shared strict helper, unwrapped).
 fn dechunk(body: &[u8]) -> Vec<u8> {
     hyperline_server::http::dechunk(body).expect("well-formed chunked body")
+}
+
+/// Fault-tolerant GET for the overload burst: a shed connection may be
+/// closed (or reset) before the request bytes are even read, and that
+/// is the behavior under test, not an error.
+fn try_get_status(addr: SocketAddr, target: &str) -> std::io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n"
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    text.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))
+}
+
+fn percentile(sorted_micros: &[f64], p: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[idx]
+}
+
+/// Queue-saturation and deadline-expiry behavior, measured against a
+/// deliberately tiny second server (2 workers, queue depth 4, 100 ms
+/// request deadline) so the main measurements stay undisturbed:
+///
+/// * a 64-connection burst of *distinct* betweenness keys (every
+///   request computes; nothing coalesces) — how much is shed with 503,
+///   and the client-side p99 of what completes under saturation;
+/// * sequential requests against a star hypergraph whose `L_1` is far
+///   beyond the deadline budget — how promptly expiry turns into 504.
+fn overload_section() -> Json {
+    let threads = 2usize;
+    let queue_depth = 4usize;
+    let deadline = Duration::from_millis(100);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        cache_mb: 64,
+        queue_depth,
+        read_timeout: Duration::from_secs(5),
+        request_deadline: Some(deadline),
+        ..ServerConfig::default()
+    })
+    .expect("bind overload server");
+    server
+        .registry()
+        .load_profile("lesMis", 42, None)
+        .expect("load overload profile");
+    // Star: 3000 hyperedges sharing vertex 0, so L_1 is the complete
+    // graph (~4.5M line edges) — reliably past any 100 ms budget.
+    let lists: Vec<Vec<u32>> = (0..3000u32)
+        .map(|i| vec![0, 2 * i + 1, 2 * i + 2])
+        .collect();
+    server.registry().insert(
+        "star",
+        Hypergraph::from_edge_lists(&lists, 6001),
+        DatasetSource::Inline,
+    );
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let connections = 64usize;
+    let outcomes: Vec<(Option<u16>, f64)> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..connections)
+            .map(|i| {
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    // samples=i+1 makes every key distinct: single-flight
+                    // cannot coalesce the burst away.
+                    let status = try_get_status(
+                        addr,
+                        &format!("/datasets/lesMis/betweenness?s=2&samples={}", i + 1),
+                    )
+                    .ok();
+                    (status, started.elapsed().as_secs_f64() * 1e6)
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|c| c.join().expect("overload client"))
+            .collect()
+    });
+    let count = |code: u16| outcomes.iter().filter(|(s, _)| *s == Some(code)).count();
+    let (completed, shed, expired) = (count(200), count(503), count(504));
+    let transport_errors = outcomes.iter().filter(|(s, _)| s.is_none()).count();
+    let mut completed_micros: Vec<f64> = outcomes
+        .iter()
+        .filter(|(s, _)| *s == Some(200))
+        .map(|&(_, micros)| micros)
+        .collect();
+    completed_micros.sort_by(|a, b| a.total_cmp(b));
+
+    let expiry_reps = 5usize;
+    let mut expiry_micros = Vec::with_capacity(expiry_reps);
+    let mut expiry_504s = 0usize;
+    for _ in 0..expiry_reps {
+        let started = Instant::now();
+        if matches!(try_get_status(addr, "/datasets/star/slg?s=1"), Ok(504)) {
+            expiry_504s += 1;
+        }
+        expiry_micros.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    expiry_micros.sort_by(|a, b| a.total_cmp(b));
+    let expiry_median = percentile(&expiry_micros, 0.5);
+    handle.shutdown();
+
+    println!(
+        "overload       {connections} conns -> {completed}x200 {shed}x503 {expired}x504 \
+         ({transport_errors} io)   completed p99 {:.0}us   504 median {:.0}us (budget {}ms)",
+        percentile(&completed_micros, 0.99),
+        expiry_median,
+        deadline.as_millis(),
+    );
+    Json::obj()
+        .set("threads", threads)
+        .set("queue_depth", queue_depth)
+        .set("connections", connections)
+        .set("completed_200", completed)
+        .set("shed_503", shed)
+        .set("expired_504", expired)
+        .set("transport_errors", transport_errors)
+        .set("shed_rate", shed as f64 / connections as f64)
+        .set("completed_p50_micros", percentile(&completed_micros, 0.5))
+        .set("completed_p99_micros", percentile(&completed_micros, 0.99))
+        .set(
+            "deadline",
+            Json::obj()
+                .set("deadline_ms", deadline.as_millis() as u64)
+                .set("requests", expiry_reps)
+                .set("expired_504", expiry_504s)
+                .set("latency_micros_median", expiry_median)
+                .set(
+                    "overshoot_micros_median",
+                    expiry_median - deadline.as_secs_f64() * 1e6,
+                ),
+        )
 }
 
 /// Cold latency + median warm latency (of `reps` repeats) for `target`,
@@ -366,11 +512,13 @@ fn main() {
             }
         }
     }
+    let overload = overload_section();
     let report = Json::obj()
         .set("profile", name.as_str())
         .set("seed", seed)
         .set("reps", reps)
         .set("endpoints", Json::Arr(endpoints))
+        .set("overload", overload)
         .set(
             "wire",
             Json::obj()

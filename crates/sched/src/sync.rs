@@ -364,6 +364,20 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Shim mirror of `std::sync::WaitTimeoutResult`. Under the model a
+/// timed wait never times out (see [`Condvar::wait_timeout`]), so this
+/// always reports `timed_out() == false` on model schedules; on the
+/// fallback (non-model) path it carries the real std result through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 pub struct Condvar {
     reg: std::sync::atomic::AtomicU64,
     inner: std::sync::Condvar,
@@ -412,6 +426,51 @@ impl Condvar {
                     std::panic::panic_any(rt::SchedAbort);
                 }
                 mx.lock()
+            }
+        }
+    }
+
+    /// Timed wait, mirroring `std::sync::Condvar::wait_timeout`.
+    ///
+    /// Under the model the timeout is *not* explored: a timed wait
+    /// behaves exactly like [`Condvar::wait`] and never reports expiry,
+    /// because every wakeup the checker schedules is a notify. Timeout
+    /// paths are real-time behavior, exercised by the std-world test
+    /// suite; here they would only multiply schedules without adding
+    /// protocol coverage.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.model.is_some() {
+            return match self.wait(guard) {
+                Ok(g) => Ok((g, WaitTimeoutResult(false))),
+                Err(p) => Err(PoisonError::new((p.into_inner(), WaitTimeoutResult(false)))),
+            };
+        }
+        let mx = guard.mx;
+        let std_guard = guard.inner.take().expect("guard still live");
+        drop(guard); // inert now: both halves taken
+        match self.inner.wait_timeout(std_guard, dur) {
+            Ok((g, wt)) => Ok((
+                MutexGuard {
+                    mx,
+                    inner: Some(g),
+                    model: None,
+                },
+                WaitTimeoutResult(wt.timed_out()),
+            )),
+            Err(p) => {
+                let (g, wt) = p.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard {
+                        mx,
+                        inner: Some(g),
+                        model: None,
+                    },
+                    WaitTimeoutResult(wt.timed_out()),
+                )))
             }
         }
     }

@@ -28,12 +28,23 @@
 //! * **Generation-fenced invalidation** — replacing a dataset bumps its
 //!   generation; computations started against the old data may still be
 //!   served to the callers that asked for them but are never cached.
+//! * **Deadline-aware flights** — every flight carries an
+//!   interest-counted [`CancelToken`]; requests attach their deadline to
+//!   it, waiters give up (504) when their deadline passes, and the
+//!   leader's compute is cancelled only when *all* participants are
+//!   gone. Cancelled flights resolve to [`cancel::CANCELLED`], which is
+//!   never negative-cached.
+//! * **Negative-result backoff** — genuine compute errors (not panics,
+//!   not cancellations) are remembered for a short TTL so a
+//!   deterministically failing key cannot thundering-herd the compute
+//!   budget (off by default; the server arms it).
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
+use hyperline_util::cancel::{self, CancelToken, Deadline};
 use hyperline_util::telemetry::Histogram;
-use hyperline_util::FxHashMap;
-use std::time::Instant;
+use hyperline_util::{failpoint, FxHashMap};
+use std::time::{Duration, Instant};
 
 /// A cache key scoped to one dataset: generation bookkeeping and
 /// invalidation group entries by [`TierKey::dataset`]. Both tiers' keys
@@ -164,6 +175,11 @@ struct Entry<V> {
 struct Inflight<V> {
     slot: Mutex<Option<Result<Arc<V>, String>>>,
     ready: Condvar,
+    /// Interest-counted cancellation flag for this flight: the leader
+    /// and every waiter hold one registration (via their request
+    /// deadline); the flag trips only when all of them have expired or
+    /// given up, at which point the leader's kernel loops exit early.
+    cancel: CancelToken,
 }
 
 struct Inner<K, V> {
@@ -173,6 +189,11 @@ struct Inner<K, V> {
     /// an older generation must not enter the map (its input was
     /// replaced mid-flight).
     generations: FxHashMap<String, u64>,
+    /// Negative cache: recent compute *errors* (never panics or
+    /// cancellations) with their record time, so a deterministically
+    /// failing compute is answered from here for a short backoff window
+    /// instead of thundering-herding the compute budget.
+    negative: FxHashMap<K, (String, Instant)>,
     used_bytes: usize,
     clock: u64,
 }
@@ -194,6 +215,12 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries evicted to stay within budget.
     pub evictions: u64,
+    /// Errors answered from the negative cache inside its TTL.
+    pub negative_hits: u64,
+    /// Waiters that abandoned a flight at their deadline.
+    pub gave_up: u64,
+    /// Flights cancelled after every participant expired or gave up.
+    pub cancelled: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Estimated resident bytes.
@@ -211,6 +238,12 @@ pub struct SingleFlightCache<K, V> {
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    negative_hits: AtomicU64,
+    gave_up: AtomicU64,
+    cancelled: AtomicU64,
+    /// Negative-cache TTL in milliseconds (0 = disabled). Plain config
+    /// written once at startup; Relaxed is deliberate.
+    negative_ttl_ms: AtomicU64,
     /// How long the cache's central mutex stays held per acquisition,
     /// microseconds. Eviction scans and big map mutations show up here
     /// as tail latency — the histogram is what tells contention apart
@@ -256,6 +289,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                 map: FxHashMap::default(),
                 inflight: FxHashMap::default(),
                 generations: FxHashMap::default(),
+                negative: FxHashMap::default(),
                 used_bytes: 0,
                 clock: 0,
             }),
@@ -264,6 +298,10 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            negative_ttl_ms: AtomicU64::new(0),
             lock_hold: Histogram::new(),
         }
     }
@@ -283,6 +321,18 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
         &self.lock_hold
     }
 
+    /// Arms the negative cache: compute errors are re-served for `ttl`
+    /// before a recompute is allowed. `Duration::ZERO` (the default)
+    /// disables it.
+    pub fn set_negative_ttl(&self, ttl: Duration) {
+        self.negative_ttl_ms
+            .store(ttl.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn negative_ttl(&self) -> Duration {
+        Duration::from_millis(self.negative_ttl_ms.load(Ordering::Relaxed))
+    }
+
     /// Looks `key` up; on a miss, runs `compute` (outside the cache lock)
     /// and caches its value with the reported byte size. Concurrent calls
     /// for the same key run `compute` once. Errors are propagated to all
@@ -296,10 +346,44 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
         key: &K,
         compute: impl FnOnce() -> Result<(V, usize), String>,
     ) -> Result<(Arc<V>, CacheOutcome), String> {
+        self.get_or_compute_cancellable(key, None, compute)
+    }
+
+    /// [`get_or_compute`](Self::get_or_compute) with request-lifecycle
+    /// awareness. When `deadline` is given:
+    ///
+    /// * the request registers interest in the flight's [`CancelToken`]
+    ///   for as long as it participates — the watchdog releases that
+    ///   interest at expiry, and the compute is only cancelled (kernel
+    ///   loops exit, coordinator unwinds to this function's
+    ///   `catch_unwind`, flight resolves to [`cancel::CANCELLED`]) when
+    ///   *every* participant's interest is gone;
+    /// * a **waiter** whose deadline passes stops waiting and returns
+    ///   [`cancel::CANCELLED`] (the server maps it to 504) while the
+    ///   flight keeps running for the remaining participants;
+    /// * a **leader** whose own deadline expires while other
+    ///   participants are live finishes the compute for them — the
+    ///   result is cached and shared; the leader's own response is the
+    ///   caller's business (it sees its deadline expired).
+    ///
+    /// Genuine compute errors enter the negative cache (when a TTL is
+    /// armed via [`set_negative_ttl`](Self::set_negative_ttl));
+    /// cancellations and panics never do.
+    pub fn get_or_compute_cancellable(
+        &self,
+        key: &K,
+        deadline: Option<&Deadline>,
+        compute: impl FnOnce() -> Result<(V, usize), String>,
+    ) -> Result<(Arc<V>, CacheOutcome), String> {
         // Fast path + single-flight registration under one lock.
         enum Role<V> {
             Owner(Arc<Inflight<V>>),
             Waiter(Arc<Inflight<V>>),
+        }
+        fn flight_token<V>(role: &Role<V>) -> &CancelToken {
+            match role {
+                Role::Owner(flight) | Role::Waiter(flight) => &flight.cancel,
+            }
         }
         let (role, generation_at_start) = {
             let mut inner = self.lock();
@@ -310,6 +394,17 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(&entry.value), CacheOutcome::Hit));
             }
+            let ttl = self.negative_ttl();
+            if !ttl.is_zero() {
+                if let Some((err, at)) = inner.negative.get(key) {
+                    if at.elapsed() < ttl {
+                        let err = err.clone();
+                        self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                        return Err(err);
+                    }
+                    inner.negative.remove(key);
+                }
+            }
             let generation = inner.generation(key.dataset());
             match inner.inflight.get(key) {
                 Some(flight) => (Role::Waiter(Arc::clone(flight)), generation),
@@ -317,6 +412,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                     let flight = Arc::new(Inflight {
                         slot: Mutex::new(None),
                         ready: Condvar::new(),
+                        cancel: CancelToken::new(),
                     });
                     inner.inflight.insert(key.clone(), Arc::clone(&flight));
                     (Role::Owner(flight), generation)
@@ -324,17 +420,48 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             }
         };
 
-        if let Role::Waiter(flight) = role {
-            // Someone else is computing: wait for their result.
-            let mut slot = flight.slot.lock().unwrap();
-            while slot.is_none() {
-                slot = flight.ready.wait(slot).unwrap();
+        // Hold this participant's interest in the flight for the span of
+        // the call: attached to the deadline (watchdog releases at
+        // expiry, guard releases at return), or permanently when the
+        // request has no deadline — a flight with an undeadlined
+        // participant is never cancelled.
+        let _interest = match deadline {
+            Some(d) => Some(d.attach(flight_token(&role))),
+            None => {
+                flight_token(&role).register_interest();
+                None
             }
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
-            return match slot.as_ref().unwrap() {
-                Ok(value) => Ok((Arc::clone(value), CacheOutcome::Coalesced)),
-                Err(e) => Err(e.clone()),
-            };
+        };
+
+        if let Role::Waiter(flight) = role {
+            // Someone else is computing: wait for their result, up to
+            // this request's own deadline.
+            let give_up_at = deadline.map(|d| d.at());
+            let mut slot = flight.slot.lock().unwrap();
+            loop {
+                if let Some(result) = slot.as_ref() {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return match result {
+                        Ok(value) => Ok((Arc::clone(value), CacheOutcome::Coalesced)),
+                        Err(e) => Err(e.clone()),
+                    };
+                }
+                match give_up_at {
+                    None => slot = flight.ready.wait(slot).unwrap(),
+                    Some(at) => {
+                        let now = Instant::now();
+                        if now >= at {
+                            // Give up: drop out of the flight (the
+                            // interest guard releases on return, letting
+                            // the leader cancel once everyone is gone).
+                            self.gave_up.fetch_add(1, Ordering::Relaxed);
+                            return Err(cancel::CANCELLED.to_string());
+                        }
+                        let (guard, _) = flight.ready.wait_timeout(slot, at - now).unwrap();
+                        slot = guard;
+                    }
+                }
+            }
         }
 
         let Role::Owner(flight) = role else {
@@ -342,16 +469,34 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
         };
         // This call owns the computation (lock NOT held). A panic inside
         // `compute` must still resolve the flight, or every waiter (and
-        // all future requests for this key) would hang.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
-            .unwrap_or_else(|payload| {
-                let what = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                Err(format!("computation panicked: {what}"))
-            });
+        // all future requests for this key) would hang. The compute runs
+        // under the flight's cancel token so pipeline stages and kernel
+        // chunk loops can poll it; a cancellation unwind is converted to
+        // the CANCELLED sentinel here, a real panic to an error.
+        let token = flight.cancel.clone();
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cancel::with_token(Some(token), compute)
+        }));
+        // `negative_cacheable`: only genuine compute errors back off —
+        // a cancellation must be retried by the next request, and a
+        // panic's recompute behavior is pinned by tests.
+        let (result, negative_cacheable) = match computed {
+            Ok(Ok(value_bytes)) => (Ok(value_bytes), false),
+            Ok(Err(e)) => (Err(e), true),
+            Err(payload) => {
+                if payload.downcast_ref::<cancel::Cancelled>().is_some() {
+                    self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    (Err(cancel::CANCELLED.to_string()), false)
+                } else {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    (Err(format!("computation panicked: {what}")), false)
+                }
+            }
+        };
         let mut inner = self.lock();
         // Detach only this call's own marker: invalidate_dataset may have
         // removed it already (and a post-invalidation request may have
@@ -368,8 +513,12 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                 let value = Arc::new(value);
                 // Only cache results whose input dataset was not replaced
                 // mid-computation; the value is still valid for callers
-                // that requested it against the old dataset.
-                if inner.generation(key.dataset()) == generation_at_start {
+                // that requested it against the old dataset. A
+                // `cache.insert` failpoint models a failed insert: the
+                // value is still served, just not retained.
+                if inner.generation(key.dataset()) == generation_at_start
+                    && failpoint::check("cache.insert").is_none()
+                {
                     inner.clock += 1;
                     let now = inner.clock;
                     // The key can already be resident: a sweep's
@@ -393,7 +542,15 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Ok((value, CacheOutcome::Miss))
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                let ttl = self.negative_ttl();
+                if negative_cacheable && !ttl.is_zero() {
+                    inner
+                        .negative
+                        .insert(key.clone(), (e.clone(), Instant::now()));
+                }
+                Err(e)
+            }
         };
         let shared = match &outcome {
             Ok((value, _)) => Ok(Arc::clone(value)),
@@ -497,6 +654,7 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             }
         }
         inner.inflight.retain(|k, _| k.dataset() != dataset);
+        inner.negative.retain(|k, _| k.dataset() != dataset);
     }
 
     /// Current statistics snapshot.
@@ -507,6 +665,9 @@ impl<K: TierKey, V> SingleFlightCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             entries: inner.map.len(),
             used_bytes: inner.used_bytes,
             budget_bytes: self.budget_bytes,

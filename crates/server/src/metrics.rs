@@ -44,13 +44,15 @@ pub enum Route {
     Sweep,
     /// `POST /query` (batched sub-queries).
     Query,
+    /// `POST /admin/drain` — graceful drain trigger.
+    AdminDrain,
     /// Anything else.
     NotFound,
 }
 
 impl Route {
     /// Every route, in `/metrics` display order.
-    pub const ALL: [Route; 14] = [
+    pub const ALL: [Route; 15] = [
         Route::Index,
         Route::Health,
         Route::Metrics,
@@ -64,6 +66,7 @@ impl Route {
         Route::Spectrum,
         Route::Sweep,
         Route::Query,
+        Route::AdminDrain,
         Route::NotFound,
     ];
 
@@ -83,6 +86,7 @@ impl Route {
             Route::Spectrum => "spectrum",
             Route::Sweep => "sweep",
             Route::Query => "query",
+            Route::AdminDrain => "admin_drain",
             Route::NotFound => "not_found",
         }
     }
@@ -133,6 +137,23 @@ pub struct ServerMetrics {
     /// Wall time spent inside the streaming gzip encoder per response,
     /// microseconds.
     pub gzip_encode: Histogram,
+    /// Mid-stream client disconnects (`EPIPE`/`ECONNRESET`) handled as
+    /// quiet closes instead of generic writer-stack errors.
+    pub client_aborts: AtomicU64,
+    /// Response writes aborted because the socket stalled past the
+    /// write timeout (dead or pathologically slow reader).
+    pub write_stalls: AtomicU64,
+    /// Request heads abandoned by the cumulative head deadline
+    /// (slow-loris defense).
+    pub slow_loris_closes: AtomicU64,
+    /// Requests whose deadline expired before their response finished
+    /// (answered 504 or aborted mid-stream).
+    pub deadline_expired: AtomicU64,
+    /// Keep-alive connections that finished their in-flight work and
+    /// closed cleanly during a drain.
+    pub drained_connections: AtomicU64,
+    /// Connections hard-closed because they outlived the drain bound.
+    pub aborted_connections: AtomicU64,
 }
 
 /// RAII increment of a gauge: `enter` adds one, dropping subtracts it.

@@ -73,6 +73,12 @@ impl DatasetRegistry {
             .unwrap_or(path);
         let name = name.unwrap_or(stem).to_string();
         validate_name(&name)?;
+        if hyperline_util::failpoint::check("dataset.read").is_some() {
+            return Err(format!(
+                "cannot load {path}: {}",
+                hyperline_util::failpoint::io_error("dataset.read")
+            ));
+        }
         // Parse errors deliberately omit the offending token: this error
         // can travel to HTTP clients, and echoing tokens would leak the
         // content of whatever file was pointed at.

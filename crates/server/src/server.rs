@@ -22,16 +22,18 @@ use crate::json::{Json, StreamFragment};
 use crate::metrics::{GaugeGuard, Route, ServerMetrics};
 use crate::pool::WorkerPool;
 use crate::registry::{DatasetRegistry, DatasetSource};
-use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
 use hyperline_hypergraph::Hypergraph;
 use hyperline_slinegraph::{
     algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, build_slinegraphs_over_s,
     naive_slinegraph, spgemm_slinegraph, SLineGraph, Strategy,
 };
+use hyperline_util::cancel::{self, Deadline, Watchdog};
+use hyperline_util::failpoint;
 use hyperline_util::telemetry::{self, Span, StageAgg};
 use hyperline_util::FxHashMap;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -58,6 +60,30 @@ pub struct ServerConfig {
     /// Keep one access-log record in this many (0 and 1 both log every
     /// request).
     pub access_log_sample: u64,
+    /// Cumulative budget for reading one request head once its first
+    /// byte has arrived (slow-loris defense; `read_timeout` alone only
+    /// bounds the gap *between* bytes, so a client dribbling one byte
+    /// per interval could hold a worker forever).
+    pub head_timeout: Duration,
+    /// Socket write timeout: a response write stalled longer than this
+    /// (dead or pathologically slow reader) aborts the stream and frees
+    /// the worker.
+    pub write_timeout: Duration,
+    /// Wall-clock budget per request, dispatch through response write;
+    /// expiry cancels the compute (once every interested request gave
+    /// up) and answers 504. `None` disables request deadlines.
+    pub request_deadline: Option<Duration>,
+    /// Per-route deadline overrides; an entry here wins over
+    /// `request_deadline` for that route.
+    pub route_deadlines: Vec<(Route, Duration)>,
+    /// Default bound for a graceful drain (`POST /admin/drain`,
+    /// [`ServerHandle::drain`]): in-flight connections get this long to
+    /// finish before being hard-closed.
+    pub drain_deadline: Duration,
+    /// Negative-cache TTL: a failed compute's error is re-served for
+    /// this long before a recompute is allowed, so a deterministically
+    /// failing query cannot thundering-herd the kernels. Zero disables.
+    pub negative_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +97,12 @@ impl Default for ServerConfig {
             data_root: None,
             access_log: None,
             access_log_sample: 1,
+            head_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: None,
+            route_deadlines: Vec::new(),
+            drain_deadline: Duration::from_secs(5),
+            negative_ttl: Duration::from_millis(250),
         }
     }
 }
@@ -243,6 +275,76 @@ pub struct ServerState {
     access_log: Option<AccessLog>,
     /// Request-ID generator for the access log.
     request_ids: RequestIds,
+    /// Watchdog thread arming per-request deadlines.
+    watchdog: Watchdog,
+    /// Set while a drain is in progress: the acceptor sheds new
+    /// connections and keep-alive responses switch to
+    /// `Connection: close` after their in-flight response.
+    draining: AtomicBool,
+    /// Live connections, for the drain's bounded wait and hard close.
+    connections: ConnectionTracker,
+    /// Wall-clock budget per request (`None` = no deadline).
+    request_deadline: Option<Duration>,
+    /// Per-route overrides over `request_deadline`.
+    route_deadlines: Vec<(Route, Duration)>,
+    /// Bound a `POST /admin/drain` without `?deadline_ms=` uses.
+    drain_deadline: Duration,
+    /// Cumulative head-read budget per request (slow-loris defense).
+    head_timeout: Duration,
+    /// Socket write timeout (bounded-stall defense).
+    write_timeout: Duration,
+}
+
+/// Live-connection registry for graceful drain. Each worker registers a
+/// `try_clone`d handle of its stream; the drain thread hard-closes
+/// stragglers through that clone (`shutdown()` makes the worker's own
+/// blocking reads and writes fail promptly, which unwinds its keep-alive
+/// loop).
+#[derive(Default)]
+struct ConnectionTracker {
+    streams: Mutex<FxHashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnectionTracker {
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, stream);
+        id
+    }
+
+    /// Removes a finished connection; `false` means the drain already
+    /// claimed (hard-closed) it.
+    fn deregister(&self, id: u64) -> bool {
+        self.streams
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+            .is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.streams.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Hard-closes every still-registered connection, returning how many
+    /// were aborted. Claiming the map entries here is what keeps the
+    /// drained/aborted counters disjoint: the worker's own deregister
+    /// then finds nothing and books no drained close.
+    fn close_all(&self) -> usize {
+        let streams: Vec<TcpStream> = {
+            let mut map = self.streams.lock().unwrap_or_else(|p| p.into_inner());
+            map.drain().map(|(_, s)| s).collect()
+        };
+        let aborted = streams.len();
+        for stream in streams {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        aborted
+    }
 }
 
 impl ServerState {
@@ -271,6 +373,30 @@ impl ServerState {
     /// The access log, when enabled (tests flush it).
     pub fn access_log(&self) -> Option<&AccessLog> {
         self.access_log.as_ref()
+    }
+
+    /// Arms a watchdog deadline for one request on `route`: the
+    /// per-route override wins, then the global default; `None` when
+    /// neither is configured (deadlines disabled).
+    fn deadline_for(&self, route: Route) -> Option<Deadline> {
+        let budget = self
+            .route_deadlines
+            .iter()
+            .find(|(r, _)| *r == route)
+            .map(|&(_, d)| d)
+            .or(self.request_deadline)?;
+        Some(self.watchdog.arm(budget))
+    }
+
+    /// Whether a drain is in progress (the acceptor is shedding and
+    /// keep-alive connections close after their in-flight response).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently registered with the drain tracker.
+    pub fn live_connections(&self) -> usize {
+        self.connections.len()
     }
 }
 
@@ -309,7 +435,20 @@ impl Server {
             pipeline_spans: Mutex::new(FxHashMap::default()),
             access_log,
             request_ids: RequestIds::new(),
+            watchdog: Watchdog::new(),
+            draining: AtomicBool::new(false),
+            connections: ConnectionTracker::default(),
+            request_deadline: config.request_deadline,
+            route_deadlines: config.route_deadlines.clone(),
+            drain_deadline: config.drain_deadline,
+            head_timeout: config.head_timeout,
+            write_timeout: config.write_timeout,
         });
+        // Failed computes back off through the negative cache in both
+        // tiers — a deterministically failing query is re-answered from
+        // its cached error instead of re-running kernels per request.
+        state.cache.set_negative_ttl(config.negative_ttl);
+        state.metric_cache.set_negative_ttl(config.negative_ttl);
         Ok(Server {
             listener,
             state,
@@ -383,7 +522,17 @@ impl Server {
                     if acceptor_shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    if acceptor_state.draining.load(Ordering::Relaxed) {
+                        // Draining: stop taking work; tell clients when
+                        // to come back.
+                        acceptor_state
+                            .metrics
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        shed_connection(&mut stream, "server draining, retry later");
+                        continue;
+                    }
                     // Gauge up before the push: a worker may pop (and
                     // decrement) the instant the push lands, and the
                     // gauge must never dip negative.
@@ -408,10 +557,7 @@ impl Server {
                                 .metrics
                                 .connections_rejected
                                 .fetch_add(1, Ordering::Relaxed);
-                            let body = Json::obj()
-                                .set("error", "server overloaded, retry later")
-                                .render();
-                            let _ = http::write_response(&mut stream, 503, &body, false);
+                            shed_connection(&mut stream, "server overloaded, retry later");
                         }
                     }
                 }
@@ -457,6 +603,19 @@ impl ServerHandle {
         &self.state
     }
 
+    /// Gracefully drains, then stops: stop accepting (new connections
+    /// are shed with `503` + `Retry-After`), let in-flight connections
+    /// finish — keep-alive loops close after their current response —
+    /// wait up to `bound`, hard-close the stragglers, and tear down the
+    /// pool. Returns `(drained, aborted)` connection counts.
+    // lint: request-root
+    pub fn drain(self, bound: Duration) -> (u64, u64) {
+        self.state.draining.store(true, Ordering::Relaxed);
+        let counts = drain_connections(&self.state, bound);
+        self.shutdown();
+        counts
+    }
+
     /// Stops accepting, drains the worker pool and joins the acceptor.
     pub fn shutdown(mut self) {
         // ordering: publishes all pre-shutdown writes to the acceptor's
@@ -479,6 +638,17 @@ struct CountingStream<W> {
 
 impl<W: Write> Write for CountingStream<W> {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        match failpoint::check("socket.write") {
+            Some(failpoint::Fault::Err) => return Err(failpoint::io_error("socket.write")),
+            Some(failpoint::Fault::Short) if data.len() > 1 => {
+                // Injected short write: deliver half the buffer so the
+                // writer stack's retry/abort handling is exercised.
+                let written = self.inner.write(&data[..data.len() / 2])?;
+                self.bytes += written as u64;
+                return Ok(written);
+            }
+            _ => {}
+        }
         let written = self.inner.write(data)?;
         self.bytes += written as u64;
         Ok(written)
@@ -488,7 +658,132 @@ impl<W: Write> Write for CountingStream<W> {
     }
 }
 
-/// Serves one connection: keep-alive request loop with a read timeout.
+/// Sheds one connection before it reaches the worker pool: `503` with a
+/// `Retry-After` hint (overload or drain).
+fn shed_connection(stream: &mut TcpStream, message: &str) {
+    let body = Json::obj().set("error", message).render();
+    let length = body.len().to_string();
+    let _ = http::write_response_head(
+        stream,
+        503,
+        http::CONTENT_TYPE_JSON,
+        false,
+        &[("content-length", &length), ("retry-after", "1")],
+    );
+    let _ = stream.write_all(body.as_bytes());
+    // The client almost certainly sent its request head already; closing
+    // with those bytes unread makes the kernel answer RST, which can
+    // discard the 503 before the client reads it. Drain what is already
+    // buffered — non-blockingly and bounded, this runs on the acceptor
+    // thread — so the close is a clean FIN and the 503 survives.
+    if stream.set_nonblocking(true).is_ok() {
+        let mut sink = [0u8; 4096];
+        for _ in 0..16 {
+            match stream.read(&mut sink) {
+                Ok(n) if n > 0 => continue,
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Per-request writer guard: once the request's deadline expires, every
+/// further write fails instead of continuing to stream a body the
+/// client has already given up on. Streamed bodies abort mid-chunk —
+/// the missing terminal chunk makes the truncation visible to clients.
+struct DeadlineWriter<'a, W> {
+    inner: &'a mut W,
+    deadline: Option<&'a Deadline>,
+}
+
+impl<W: Write> Write for DeadlineWriter<'_, W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.deadline.is_some_and(|d| d.expired()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                cancel::CANCELLED,
+            ));
+        }
+        self.inner.write(data)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// RAII registration of one connection with the drain tracker; a close
+/// that happens while draining counts as a graceful drain (hard-closed
+/// connections were already claimed by [`ConnectionTracker::close_all`]
+/// and book under `aborted_connections` instead).
+struct ConnGuard<'a> {
+    state: &'a ServerState,
+    id: Option<u64>,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        if self.state.connections.deregister(id) && self.state.draining.load(Ordering::Relaxed) {
+            self.state
+                .metrics
+                .drained_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Books a failed response write under the right counter: a deadline
+/// abort (unless the response was already a 504, which booked at
+/// dispatch), a quiet client disconnect, or a stalled socket.
+fn classify_write_error(
+    state: &ServerState,
+    error: &std::io::Error,
+    deadline: Option<&Deadline>,
+    status: u16,
+) {
+    use std::io::ErrorKind;
+    if status != 504 && deadline.is_some_and(|d| d.expired()) {
+        state
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match error.kind() {
+        ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => {
+            state.metrics.client_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        // Linux reports a hit `SO_SNDTIMEO` as `WouldBlock`.
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            state.metrics.write_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+}
+
+/// The drain proper: bounded wait for live connections to finish (the
+/// acceptor sheds and keep-alive loops close themselves once `draining`
+/// is up), then hard-close the stragglers. Returns `(drained, aborted)`.
+// lint: request-root
+fn drain_connections(state: &ServerState, bound: Duration) -> (u64, u64) {
+    let give_up = Instant::now() + bound;
+    while state.connections.len() > 0 && Instant::now() < give_up {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let aborted = state.connections.close_all() as u64;
+    state
+        .metrics
+        .aborted_connections
+        .fetch_add(aborted, Ordering::Relaxed);
+    (
+        state.metrics.drained_connections.load(Ordering::Relaxed),
+        aborted,
+    )
+}
+
+/// Serves one connection: keep-alive request loop under an idle read
+/// timeout, a cumulative head deadline (slow-loris defense), a bounded
+/// write timeout, per-request watchdog deadlines, and drain awareness.
 // lint: request-root
 fn handle_connection(
     state: &Arc<ServerState>,
@@ -496,30 +791,78 @@ fn handle_connection(
     read_timeout: Duration,
     queue_wait: Duration,
 ) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
+    // Bounded-stall defense: a write to a dead (or pathologically slow)
+    // reader fails instead of blocking this worker forever.
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
     let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
+    };
+    // A second clone registers with the drain tracker so a drain can
+    // hard-close this connection from outside the worker.
+    let _conn = ConnGuard {
+        state,
+        id: stream
+            .try_clone()
+            .ok()
+            .map(|s| state.connections.register(s)),
     };
     let mut writer = CountingStream {
         inner: writer,
         bytes: 0,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(http::TimedReader::new(
+        stream,
+        read_timeout,
+        state.head_timeout,
+    ));
     loop {
         match http::read_request(&mut reader, &mut writer) {
             Ok(request) => {
-                let keep_alive = request.keep_alive();
+                // Head fully read: the next request's first byte arms a
+                // fresh cumulative deadline.
+                reader.get_mut().reset();
+                let keep_alive = request.keep_alive() && !state.draining.load(Ordering::Relaxed);
+                let deadline = state.deadline_for(peek_route(&request));
                 let started = Instant::now();
-                let (route, status, body, meta) = dispatch_full(state, &request);
+                let (route, status, body, meta) = dispatch_full(state, &request, deadline.as_ref());
+                // A request that outlived its deadline answers 504 even
+                // when the handler finished: the result (cached for
+                // later requests) missed *this* request's budget.
+                let (status, body) = match &deadline {
+                    Some(d) if d.expired() && status < 500 => {
+                        (504, Json::obj().set("error", cancel::CANCELLED))
+                    }
+                    _ => (status, body),
+                };
+                if status == 504 {
+                    state
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 // Latency is recorded before the body is transmitted:
                 // it measures server work, not how fast the client
                 // drains a streamed multi-MB edge list.
                 let handled = started.elapsed();
                 state.metrics.record(route, status, handled);
                 let body_start = writer.bytes;
-                let sent = respond(state, &mut writer, &request, status, &body, keep_alive);
+                let sent = {
+                    let mut guarded = DeadlineWriter {
+                        inner: &mut writer,
+                        // The 504 *is* the deadline's verdict: writing it
+                        // happens after expiry by definition, so it is
+                        // exempt — refusing would turn every expiry into
+                        // a silent close.
+                        deadline: if status == 504 {
+                            None
+                        } else {
+                            deadline.as_ref()
+                        },
+                    };
+                    respond(state, &mut guarded, &request, status, &body, keep_alive)
+                };
                 if let Some(log) = &state.access_log {
                     log.record(&AccessRecord {
                         id: state.request_ids.next_id(),
@@ -538,12 +881,24 @@ fn handle_connection(
                 }
                 match sent {
                     Ok(true) => {}
-                    Ok(false) | Err(_) => return,
+                    Ok(false) => return,
+                    Err(error) => {
+                        classify_write_error(state, &error, deadline.as_ref(), status);
+                        return;
+                    }
                 }
             }
             Err(ParseError::ConnectionClosed) => return,
             Err(ParseError::Io(_)) => {
-                // Idle keep-alive timeout or peer reset: close quietly.
+                // Idle keep-alive timeout or peer reset: close quietly —
+                // unless the head deadline was armed, in which case a
+                // slow-loris client just lost its worker.
+                if reader.get_ref().mid_head() {
+                    state
+                        .metrics
+                        .slow_loris_closes
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 return;
             }
             Err(ParseError::Malformed(message)) => {
@@ -706,16 +1061,47 @@ fn outcome_name(outcome: CacheOutcome) -> &'static str {
 
 /// [`dispatch_full`] without the access-log metadata (tests).
 #[cfg(test)]
-fn dispatch(state: &ServerState, request: &Request) -> (Route, u16, Json) {
-    let (route, status, body, _) = dispatch_full(state, request);
+fn dispatch(state: &Arc<ServerState>, request: &Request) -> (Route, u16, Json) {
+    let (route, status, body, _) = dispatch_full(state, request, None);
     (route, status, body)
+}
+
+/// The route a request will dispatch to, resolved *before* dispatch so
+/// its deadline can be armed first. Kept in lockstep with
+/// [`dispatch_full`]'s match; divergence degrades to the global default
+/// deadline, never to a wrong handler.
+fn peek_route(request: &Request) -> Route {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = match request.method.as_str() {
+        "HEAD" => "GET",
+        m => m,
+    };
+    match (method, segments.as_slice()) {
+        ("GET", []) => Route::Index,
+        ("GET", ["healthz"]) => Route::Health,
+        ("GET", ["metrics"]) => Route::Metrics,
+        ("GET", ["debug", "pipeline"]) => Route::DebugPipeline,
+        ("GET", ["datasets"]) => Route::ListDatasets,
+        ("POST", ["datasets"]) => Route::AddDataset,
+        ("POST", ["query"]) => Route::Query,
+        ("POST", ["admin", "drain"]) => Route::AdminDrain,
+        ("GET", ["datasets", _, op]) => dataset_route(op).unwrap_or(Route::NotFound),
+        _ => Route::NotFound,
+    }
 }
 
 /// Routes one request to its handler. Returns `(route, status, body,
 /// meta)` — the body as a [`Json`] tree so the response writer can
 /// choose the fixed-length or streaming path (and HEAD can count
 /// without sending), plus the metadata the access log records.
-fn dispatch_full(state: &ServerState, request: &Request) -> (Route, u16, Json, RequestMeta) {
+/// `deadline` is the request's armed watchdog deadline, if any; compute
+/// handlers thread it into the cache tiers so expired requests stop
+/// waiting (and cancel abandoned flights).
+fn dispatch_full(
+    state: &Arc<ServerState>,
+    request: &Request,
+    deadline: Option<&Deadline>,
+) -> (Route, u16, Json, RequestMeta) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     // HEAD is GET without the body: route identically, suppress the
     // body at write time (`respond`).
@@ -741,9 +1127,11 @@ fn dispatch_full(state: &ServerState, request: &Request) -> (Route, u16, Json, R
         ),
         ("GET", ["datasets"]) => (Route::ListDatasets, Ok((200, handle_list(state)))),
         ("POST", ["datasets"]) => (Route::AddDataset, handle_add_dataset(state, request)),
-        ("POST", ["query"]) => (Route::Query, handle_query(state, request)),
+        ("POST", ["query"]) => (Route::Query, handle_query(state, request, deadline)),
+        ("POST", ["admin", "drain"]) => (Route::AdminDrain, handle_admin_drain(state, request)),
         ("GET", ["datasets", name, op]) => {
-            let (route, result) = handle_dataset_op(state, &request.params(), name, op, &mut meta);
+            let (route, result) =
+                handle_dataset_op(state, &request.params(), name, op, &mut meta, deadline);
             (route, result)
         }
         // 405 only on paths that exist with another method; everything
@@ -753,6 +1141,7 @@ fn dispatch_full(state: &ServerState, request: &Request) -> (Route, u16, Json, R
         | (_, ["metrics"])
         | (_, ["healthz"])
         | (_, ["debug", "pipeline"])
+        | (_, ["admin", "drain"])
         | (_, ["query"]) => (
             Route::NotFound,
             Err((405, format!("method {method} not allowed here"))),
@@ -795,6 +1184,38 @@ fn handle_index() -> HandlerResult {
     ))
 }
 
+/// `POST /admin/drain?deadline_ms=` — triggers a graceful drain in the
+/// background and answers `202` immediately (a synchronous drain from a
+/// worker would deadlock waiting on its own connection). Idempotent: a
+/// second call while draining reports the state without spawning
+/// another drain thread.
+// lint: request-root
+fn handle_admin_drain(state: &Arc<ServerState>, request: &Request) -> HandlerResult {
+    let deadline_ms: u64 = request
+        .query_or("deadline_ms", state.drain_deadline.as_millis() as u64)
+        .map_err(|e| (400, e))?;
+    let bound = Duration::from_millis(deadline_ms);
+    let already = state.draining.swap(true, Ordering::Relaxed);
+    if !already {
+        let background = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
+            .name("hyperline-drain".to_string())
+            .spawn(move || drain_connections(&background, bound));
+        if spawned.is_err() {
+            // The drain never started; clear the flag so a retry can.
+            state.draining.store(false, Ordering::Relaxed);
+            return Err((500, "failed to spawn drain thread".to_string()));
+        }
+    }
+    Ok((
+        202,
+        Json::obj()
+            .set("draining", true)
+            .set("already_draining", already)
+            .set("deadline_ms", deadline_ms),
+    ))
+}
+
 fn handle_health(state: &ServerState) -> Json {
     Json::obj()
         .set("ok", true)
@@ -827,6 +1248,9 @@ fn render_cache_stats(
         .set("misses", stats.misses)
         .set("coalesced", stats.coalesced)
         .set("evictions", stats.evictions)
+        .set("negative_hits", stats.negative_hits)
+        .set("gave_up", stats.gave_up)
+        .set("cancelled", stats.cancelled)
         .set("entries", stats.entries)
         .set("used_bytes", stats.used_bytes)
         .set("budget_bytes", stats.budget_bytes)
@@ -894,7 +1318,47 @@ fn handle_metrics(state: &ServerState) -> Json {
                     "gzip_responses",
                     state.metrics.gzip_responses.load(Ordering::Relaxed),
                 )
+                .set(
+                    "client_aborts",
+                    state.metrics.client_aborts.load(Ordering::Relaxed),
+                )
+                .set(
+                    "write_stalls",
+                    state.metrics.write_stalls.load(Ordering::Relaxed),
+                )
                 .set("gzip_encode", render_histogram(&state.metrics.gzip_encode)),
+        )
+        .set(
+            "lifecycle",
+            Json::obj()
+                .set(
+                    "deadline_expired",
+                    state.metrics.deadline_expired.load(Ordering::Relaxed),
+                )
+                .set(
+                    "slow_loris_closes",
+                    state.metrics.slow_loris_closes.load(Ordering::Relaxed),
+                )
+                .set("watchdog_expired", state.watchdog.expired_total()),
+        )
+        .set(
+            "drain",
+            Json::obj()
+                .set("draining", state.draining.load(Ordering::Relaxed))
+                .set(
+                    "drained_connections",
+                    state.metrics.drained_connections.load(Ordering::Relaxed),
+                )
+                .set(
+                    "aborted_connections",
+                    state.metrics.aborted_connections.load(Ordering::Relaxed),
+                ),
+        )
+        // Always present (and always zero in release builds, where
+        // failpoints compile to no-ops) so the schema is build-stable.
+        .set(
+            "faults",
+            Json::obj().set("injected", failpoint::total_fired()),
         )
         .set(
             "cache",
@@ -1033,6 +1497,69 @@ fn render_prometheus(state: &ServerState) -> Json {
         "Streamed responses compressed with gzip.",
         &[(no_labels.clone(), m.gzip_responses.load(Ordering::Relaxed))],
     );
+    counter(
+        &mut out,
+        "hyperline_client_aborts_total",
+        "Mid-stream client disconnects handled as quiet closes.",
+        &[(no_labels.clone(), m.client_aborts.load(Ordering::Relaxed))],
+    );
+    counter(
+        &mut out,
+        "hyperline_write_stalls_total",
+        "Response writes aborted because the socket stalled past the write timeout.",
+        &[(no_labels.clone(), m.write_stalls.load(Ordering::Relaxed))],
+    );
+    counter(
+        &mut out,
+        "hyperline_slow_loris_closes_total",
+        "Request heads abandoned by the cumulative head deadline.",
+        &[(
+            no_labels.clone(),
+            m.slow_loris_closes.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_deadline_expired_total",
+        "Requests whose deadline expired before their response finished.",
+        &[(
+            no_labels.clone(),
+            m.deadline_expired.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_drained_connections_total",
+        "Keep-alive connections that closed cleanly during a drain.",
+        &[(
+            no_labels.clone(),
+            m.drained_connections.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_aborted_connections_total",
+        "Connections hard-closed because they outlived the drain bound.",
+        &[(
+            no_labels.clone(),
+            m.aborted_connections.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_faults_injected_total",
+        "Failpoint faults injected (always zero in release builds).",
+        &[(no_labels.clone(), failpoint::total_fired())],
+    );
+    gauge(
+        &mut out,
+        "hyperline_draining",
+        "1 while a graceful drain is in progress.",
+        &[(
+            no_labels.clone(),
+            i64::from(state.draining.load(Ordering::Relaxed)),
+        )],
+    );
 
     gauge(
         &mut out,
@@ -1117,11 +1644,22 @@ fn render_prometheus(state: &ServerState) -> Json {
         ("misses", 1),
         ("coalesced", 2),
         ("evictions", 3),
+        ("negative_hits", 4),
+        ("gave_up", 5),
+        ("cancelled", 6),
     ] {
         let series: Vec<(String, u64)> = tiers
             .iter()
             .map(|(tier, stats, _)| {
-                let value = [stats.hits, stats.misses, stats.coalesced, stats.evictions][pick];
+                let value = [
+                    stats.hits,
+                    stats.misses,
+                    stats.coalesced,
+                    stats.evictions,
+                    stats.negative_hits,
+                    stats.gave_up,
+                    stats.cancelled,
+                ][pick];
                 (label("tier", tier), value)
             })
             .collect();
@@ -1304,6 +1842,7 @@ fn handle_dataset_op(
     name: &str,
     op: &str,
     meta: &mut RequestMeta,
+    deadline: Option<&Deadline>,
 ) -> (Route, HandlerResult) {
     let Some(route) = dataset_route(op) else {
         return (
@@ -1317,10 +1856,20 @@ fn handle_dataset_op(
     };
     let result = match route {
         Route::Stats => handle_stats(state, name, &dataset.hypergraph),
-        Route::Sweep => handle_sweep(state, params, name, meta),
-        _ => handle_cached_op(state, params, route, name, meta),
+        Route::Sweep => handle_sweep(state, params, name, meta, deadline),
+        _ => handle_cached_op(state, params, route, name, meta, deadline),
     };
     (route, result)
+}
+
+/// Maps a cache-tier failure to an HTTP one: a cancellation is the
+/// request's own deadline (504); everything else is a compute error.
+fn cache_err(message: String) -> (u16, String) {
+    if message == cancel::CANCELLED {
+        (504, message)
+    } else {
+        (500, message)
+    }
 }
 
 /// Runs `f` with the core budget split across the requests currently in
@@ -1406,10 +1955,11 @@ fn handle_debug_pipeline(state: &ServerState) -> Json {
 fn get_artifact(
     state: &ServerState,
     key: &CacheKey,
+    deadline: Option<&Deadline>,
 ) -> Result<(Arc<Artifact>, CacheOutcome), (u16, String)> {
     state
         .cache
-        .get_or_compute(key, || {
+        .get_or_compute_cancellable(key, deadline, || {
             // The hypergraph is re-fetched *inside* the flight: a
             // replacement racing an earlier lookup would otherwise slip
             // past the cache's generation check and pin a stale
@@ -1428,7 +1978,7 @@ fn get_artifact(
             state.record_pipeline(&key.dataset, &report);
             result
         })
-        .map_err(|e| (500, e))
+        .map_err(cache_err)
 }
 
 /// `GET /datasets/{d}/sweep?max_s=` — answered from the metric tier,
@@ -1442,6 +1992,7 @@ fn handle_sweep(
     params: &Params<'_>,
     name: &str,
     meta: &mut RequestMeta,
+    deadline: Option<&Deadline>,
 ) -> HandlerResult {
     let max_s: u32 = params.parse_or("max_s", 16).map_err(|e| (400, e))?;
     if !(1..=4096).contains(&max_s) {
@@ -1453,12 +2004,12 @@ fn handle_sweep(
     };
     let (result, outcome) = state
         .metric_cache
-        .get_or_compute(&metric_key, || {
+        .get_or_compute_cancellable(&metric_key, deadline, || {
             let (result, report) = telemetry::collect(|| compute_sweep(state, name, max_s));
             state.record_pipeline(name, &report);
             result
         })
-        .map_err(|e| (500, e))?;
+        .map_err(cache_err)?;
     meta.cache = Some(outcome_name(outcome));
     debug_assert!(matches!(&*result, MetricResult::Sweep(_)));
     Ok((
@@ -1548,6 +2099,7 @@ fn handle_cached_op(
     route: Route,
     name: &str,
     meta: &mut RequestMeta,
+    deadline: Option<&Deadline>,
 ) -> HandlerResult {
     let query = parse_query_params(params)?;
     meta.s = Some(query.s);
@@ -1566,7 +2118,7 @@ fn handle_cached_op(
         // Validate render-time params before resolving the artifact: a
         // doomed request must 400 without running the construction.
         let limit: usize = params.parse_or("limit", 100_000).map_err(|e| (400, e))?;
-        let (artifact, outcome) = get_artifact(state, &key)?;
+        let (artifact, outcome) = get_artifact(state, &key, deadline)?;
         let slg = &artifact.slg;
         // The fragment keys row shape off the artifact's own weights; a
         // mismatch with the request would mean a cache-key bug serving
@@ -1640,13 +2192,15 @@ fn handle_cached_op(
     };
     let (result, outcome) = state
         .metric_cache
-        .get_or_compute(&metric_key, || {
+        .get_or_compute_cancellable(&metric_key, deadline, || {
             // Resolving the artifact *inside* the metric flight re-runs
             // the registry fetch under the artifact tier's generation
             // fence; the metric tier's own fence (bumped by the same
             // invalidation) then blocks caching a result computed from a
-            // replaced dataset.
-            let (artifact, _) = get_artifact(state, &key).map_err(|(_, message)| message)?;
+            // replaced dataset. The deadline attaches to the nested
+            // artifact flight too — both interests release at expiry.
+            let (artifact, _) =
+                get_artifact(state, &key, deadline).map_err(|(_, message)| message)?;
             let (result, report) = telemetry::collect(|| {
                 let _stage5 = Span::enter("stage5");
                 with_compute_budget(state, || compute_metric(&artifact.slg, metric))
@@ -1655,7 +2209,7 @@ fn handle_cached_op(
             let bytes = result.approx_bytes();
             Ok((result, bytes))
         })
-        .map_err(|e| (500, e))?;
+        .map_err(cache_err)?;
     meta.cache = Some(outcome_name(outcome));
     render_metric(base, params, &result)
 }
@@ -1737,7 +2291,11 @@ const MAX_BATCH_QUERIES: usize = 64;
 /// batch never holds more than one compute-budget slot — a 64-item
 /// batch competes for cores like one request, not 64 — and failures are
 /// reported per item, so one bad sub-query does not void the rest.
-fn handle_query(state: &ServerState, request: &Request) -> HandlerResult {
+fn handle_query(
+    state: &ServerState,
+    request: &Request,
+    deadline: Option<&Deadline>,
+) -> HandlerResult {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
     if text.trim().is_empty() {
@@ -1770,7 +2328,7 @@ fn handle_query(state: &ServerState, request: &Request) -> HandlerResult {
     // shrinking every concurrent request's budget for no compute.
     let results: Vec<Json> = items
         .iter()
-        .map(|item| match answer_sub_query(state, item) {
+        .map(|item| match answer_sub_query(state, item, deadline) {
             Ok((_, body)) => body,
             Err((status, message)) => {
                 // Tag failures with whatever identifies the item, so
@@ -1798,7 +2356,11 @@ fn handle_query(state: &ServerState, request: &Request) -> HandlerResult {
 /// the common parameter form and reusing the per-dataset handlers — a
 /// batch item produces the same body as the equivalent GET, plus an
 /// `op` tag so callers can correlate items.
-fn answer_sub_query(state: &ServerState, item: &Json) -> HandlerResult {
+fn answer_sub_query(
+    state: &ServerState,
+    item: &Json,
+    deadline: Option<&Deadline>,
+) -> HandlerResult {
     let Some(fields) = item.entries() else {
         return Err((400, "sub-query must be a JSON object".to_string()));
     };
@@ -1830,7 +2392,8 @@ fn answer_sub_query(state: &ServerState, item: &Json) -> HandlerResult {
     // Batch items share the batch's access-log line; per-item metadata
     // is discarded.
     let mut meta = RequestMeta::default();
-    let (_route, result) = handle_dataset_op(state, &Params(&pairs), dataset, op, &mut meta);
+    let (_route, result) =
+        handle_dataset_op(state, &Params(&pairs), dataset, op, &mut meta, deadline);
     // Tag the body with the op so batch callers can correlate items.
     result.map(|(status, body)| (status, body.set("op", op)))
 }
@@ -1904,7 +2467,7 @@ mod tests {
 
     /// Dispatches and renders the body — most tests assert on the
     /// rendered text regardless of whether the tree streams.
-    fn dispatch_text(state: &ServerState, request: &Request) -> (Route, u16, String) {
+    fn dispatch_text(state: &Arc<ServerState>, request: &Request) -> (Route, u16, String) {
         let (route, status, body) = dispatch(state, request);
         (route, status, body.render())
     }

@@ -98,6 +98,12 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
         (h.clone(), None, None)
     };
 
+    // Coordinator-side cancellation points between stages: when the
+    // request's deadline has expired (flag set by the server watchdog),
+    // unwind to the single-flight cache's catch_unwind instead of
+    // starting the next stage. Flag checks only — no clocks (HL004).
+    hyperline_util::cancel::checkpoint();
+
     // Stage 1: preprocessing (relabel-by-degree).
     let relabeled = times.run("preprocessing", || {
         prep::relabel_edges_by_degree(&working, config.strategy.relabel)
@@ -124,6 +130,8 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
         }
     });
 
+    hyperline_util::cancel::checkpoint();
+
     // Post-processing tail, timed as its own stage: restore original IDs
     // (undo relabeling, then simplification) and normalize orientation in
     // one parallel pass, then re-sort in parallel. The sorted multiset of
@@ -149,6 +157,8 @@ pub fn run_pipeline(h: &Hypergraph, config: &PipelineConfig) -> PipelineRun {
         }
         par_sort_unstable(&mut edges);
     });
+
+    hyperline_util::cancel::checkpoint();
 
     // Stage 4: squeeze + construction.
     let line_graph = times.run("squeeze", || {

@@ -66,23 +66,35 @@ where
 {
     let num_workers = num_workers.max(1);
     let cursor = AtomicUsize::new(0);
-    scope_workers(num_workers, |w| {
+    let locals = scope_workers(num_workers, |w| {
         // One span per worker loop: the stage report shows per-worker
         // occupancy of the counting stage (count = workers, max = the
         // straggler).
         let _span = Span::enter("worker");
+        // Request-deadline poll: a plain flag check per scheduling
+        // quantum (item or claimed chunk), so the kernel stays
+        // clock-free (HL004) while a cancelled request's workers stop
+        // burning CPU promptly. Partial locals never escape: the
+        // checkpoint after the join unwinds first.
+        let poll = hyperline_util::cancel::Poll::capture();
         let mut local = init(w);
         match partition {
             Partition::Blocked => {
                 let start = w * num_items / num_workers;
                 let end = (w + 1) * num_items / num_workers;
                 for i in start..end {
+                    if poll.is_cancelled() {
+                        break;
+                    }
                     body(i as u32, &mut local);
                 }
             }
             Partition::Cyclic => {
                 let mut i = w;
                 while i < num_items {
+                    if poll.is_cancelled() {
+                        break;
+                    }
                     body(i as u32, &mut local);
                     i += num_workers;
                 }
@@ -90,6 +102,9 @@ where
             Partition::Dynamic { chunk } => {
                 let chunk = chunk.max(1);
                 loop {
+                    if poll.is_cancelled() {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= num_items {
                         break;
@@ -101,7 +116,9 @@ where
             }
         }
         local
-    })
+    });
+    hyperline_util::cancel::checkpoint();
+    locals
 }
 
 /// The indices worker `w` would process under a *static* partition

@@ -1,0 +1,604 @@
+//! Request-lifecycle cancellation: deadline tokens, an ambient
+//! per-thread token, and the watchdog timer thread that arms deadlines.
+//!
+//! The server gives every request a bounded lifecycle:
+//!
+//! * [`CancelToken`] — a shared advisory flag polled by pipeline stages
+//!   and kernel chunk loops. The poll is a single `Relaxed` atomic load,
+//!   so kernels stay clock-free (lint rule HL004): all clocks live here
+//!   and in the watchdog, never in kernel crates. The token is
+//!   *single-flight aware*: it counts **interest** — the flight leader
+//!   plus every waiter holds one registration, and the token only trips
+//!   when every registrant has given up or expired. A leader with live
+//!   waiters keeps computing even after its own deadline passes.
+//! * [`Deadline`] — RAII handle for one request's deadline, armed on a
+//!   [`Watchdog`]. At expiry the watchdog marks the request expired and
+//!   releases the interest the request attached; dropping the handle
+//!   first (request finished) disarms the entry.
+//! * [`Watchdog`] — one timer thread per server, draining a binary heap
+//!   of pending expirations via `Condvar::wait_timeout`.
+//! * [`checkpoint`] — the coordinator-side cancellation point: when the
+//!   ambient token has tripped it panics with the [`Cancelled`] payload,
+//!   which the single-flight cache's `catch_unwind` converts into the
+//!   [`CANCELLED`] sentinel error (mapped to a 504 by the server, never
+//!   negative-cached). Worker loops never panic — they only poll the
+//!   flag and exit early; the coordinator owns the unwind.
+//!
+//! The ambient token is a thread-local set by [`with_token`];
+//! [`crate::parallel::scope_workers`] re-propagates it into spawned
+//! workers the same way it propagates the telemetry span context.
+
+use crate::sync::Arc;
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sentinel error string a cancelled flight resolves to. The server
+/// maps exactly this string to `504 Gateway Timeout` and the cache
+/// never negative-caches it (the *next* request should recompute).
+pub const CANCELLED: &str = "request deadline exceeded";
+
+/// Panic payload thrown by [`checkpoint`]. The single-flight cache's
+/// `catch_unwind` downcasts this before the generic panic arms so a
+/// cancellation is reported as [`CANCELLED`], not as a crash.
+pub struct Cancelled;
+
+struct TokenInner {
+    /// Tripped when interest drains to zero (or `cancel()` forces it).
+    /// Advisory flag: all accesses are `Relaxed` — pollers act on it
+    /// eventually, nothing synchronizes through it.
+    cancelled: AtomicBool,
+    /// Number of registered participants still wanting the result.
+    interest: AtomicUsize,
+}
+
+/// A shared cancellation flag with interest counting.
+///
+/// Cloning shares the flag. Created with zero interest; each
+/// participant calls [`register_interest`](CancelToken::register_interest)
+/// and something (normally the watchdog at deadline expiry) later calls
+/// [`release_interest`](CancelToken::release_interest). The drop from
+/// one registration to zero trips the flag — so a token with a
+/// no-deadline participant never trips, and a flight leader is only
+/// cancelled when *all* its waiters have given up.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token with zero registered interest.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                interest: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// True once the token has tripped. A single `Relaxed` load — safe
+    /// to call from kernel inner loops.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Adds one participant keeping the computation alive.
+    pub fn register_interest(&self) {
+        self.inner.interest.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes one participant; the release that drains interest to
+    /// zero trips the token.
+    pub fn release_interest(&self) {
+        if self.inner.interest.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Participants currently registered (diagnostics/tests).
+    pub fn interest(&self) -> usize {
+        self.inner.interest.load(Ordering::Relaxed)
+    }
+
+    /// Trips the token unconditionally, regardless of interest.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("interest", &self.interest())
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `token` as the thread's ambient cancellation token,
+/// restoring the previous ambient token afterwards (panic-safe).
+pub fn with_token<T>(token: Option<CancelToken>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), token));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The calling thread's ambient cancellation token, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True when the ambient token exists and has tripped.
+#[inline]
+pub fn cancelled() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(|t| t.is_cancelled()))
+}
+
+/// A hoisted handle for hot loops: resolves the thread-local once, then
+/// each poll is a plain atomic load (or a constant `false` when no
+/// token is ambient).
+pub struct Poll(Option<CancelToken>);
+
+impl Poll {
+    /// Captures the calling thread's ambient token.
+    pub fn capture() -> Self {
+        Poll(current())
+    }
+
+    /// True when the captured token has tripped.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+}
+
+/// Coordinator-side cancellation point: panics with [`Cancelled`] when
+/// the ambient token has tripped. Call this only on a flight-owner
+/// thread running under the single-flight cache's `catch_unwind` (or a
+/// test harness that catches it) — worker threads poll the flag and
+/// exit early instead of unwinding.
+pub fn checkpoint() {
+    if cancelled() {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: the timer thread that arms per-request deadlines.
+// ---------------------------------------------------------------------
+
+/// One registered interest, releasable exactly once — by the watchdog
+/// at expiry, by a timed-out waiter giving up, or on `Deadline` drop.
+struct InterestCell {
+    token: CancelToken,
+    released: AtomicBool,
+}
+
+impl InterestCell {
+    fn release(&self) {
+        if !self.released.swap(true, Ordering::Relaxed) {
+            self.token.release_interest();
+        }
+    }
+}
+
+struct DeadlineState {
+    /// Wall-clock expiry instant (also serves `remaining()` queries).
+    at: Instant,
+    /// Set by the watchdog when the deadline fires.
+    expired: AtomicBool,
+    /// Set by `Deadline::drop` so a completed request's stale heap
+    /// entry is skipped instead of fired.
+    disarmed: AtomicBool,
+    /// The flight interests this request holds (one per flight it
+    /// joined — e.g. metric tier and artifact tier), released at expiry.
+    attached: Mutex<Vec<Arc<InterestCell>>>,
+}
+
+impl DeadlineState {
+    fn fire(&self) {
+        if self.disarmed.load(Ordering::Relaxed) {
+            return;
+        }
+        self.expired.store(true, Ordering::Relaxed);
+        let cells = std::mem::take(&mut *self.attached.lock().unwrap_or_else(|p| p.into_inner()));
+        for cell in cells {
+            cell.release();
+        }
+    }
+}
+
+/// RAII handle for one armed deadline. Dropping it disarms the watchdog
+/// entry and releases any still-attached flight interest (idempotent —
+/// harmless after the flight completed).
+pub struct Deadline {
+    state: Arc<DeadlineState>,
+}
+
+impl Deadline {
+    /// True once the watchdog fired this deadline.
+    pub fn expired(&self) -> bool {
+        self.state.expired.load(Ordering::Relaxed)
+    }
+
+    /// Time left before expiry (zero once passed).
+    pub fn remaining(&self) -> Duration {
+        self.state.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The absolute expiry instant.
+    pub fn at(&self) -> Instant {
+        self.state.at
+    }
+
+    /// Registers this request's interest in `token` and arranges for
+    /// the watchdog to release it at expiry. The returned guard
+    /// releases the same interest when dropped (whichever happens first
+    /// wins; the release is idempotent), so a request that completes —
+    /// or a waiter that gives up — frees its hold on the flight without
+    /// waiting for the watchdog sweep.
+    pub fn attach(&self, token: &CancelToken) -> InterestGuard {
+        token.register_interest();
+        let cell = Arc::new(InterestCell {
+            token: token.clone(),
+            released: AtomicBool::new(false),
+        });
+        self.state
+            .attached
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Arc::clone(&cell));
+        // If the deadline fired between arming and this attach, the
+        // watchdog will not revisit the entry: release immediately.
+        if self.expired() {
+            cell.release();
+        }
+        InterestGuard { cell }
+    }
+
+    /// Explicitly gives up: marks the request expired and releases the
+    /// attached interest now instead of waiting for the watchdog sweep.
+    pub fn give_up(&self) {
+        self.state.fire();
+    }
+}
+
+impl Drop for Deadline {
+    fn drop(&mut self) {
+        self.state.disarmed.store(true, Ordering::Relaxed);
+        let cells = std::mem::take(
+            &mut *self
+                .state
+                .attached
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for cell in cells {
+            cell.release();
+        }
+    }
+}
+
+/// RAII handle for one [`Deadline::attach`] registration: dropping it
+/// releases the interest if the watchdog has not already done so.
+pub struct InterestGuard {
+    cell: Arc<InterestCell>,
+}
+
+impl InterestGuard {
+    /// Releases the interest now (idempotent with expiry and drop).
+    pub fn release(&self) {
+        self.cell.release();
+    }
+}
+
+impl Drop for InterestGuard {
+    fn drop(&mut self) {
+        self.cell.release();
+    }
+}
+
+/// Heap entry ordered soonest-first (BinaryHeap is a max-heap, so the
+/// ordering is reversed).
+struct Armed {
+    at: Instant,
+    state: Arc<DeadlineState>,
+}
+
+impl PartialEq for Armed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Armed {}
+impl PartialOrd for Armed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Armed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at)
+    }
+}
+
+struct WatchdogInner {
+    queue: Mutex<BinaryHeap<Armed>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    expired_total: AtomicU64,
+}
+
+/// The per-server timer thread arming request deadlines. One thread
+/// serves every request: arming pushes onto a shared heap and wakes it;
+/// the thread sleeps until the earliest pending expiry.
+pub struct Watchdog {
+    inner: Arc<WatchdogInner>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Silences the default panic hook for [`Cancelled`] unwinds: deadline
+/// cancellation is control flow caught by the single-flight engine, not
+/// a crash, and must not print a thread-panic backtrace on every
+/// expiry. Every other panic payload still reaches the previously
+/// installed hook. Installed once per process, the first time a
+/// [`Watchdog`] is created (i.e. before any deadline can exist).
+fn install_quiet_cancel_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Cancelled>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread.
+    pub fn new() -> Self {
+        install_quiet_cancel_hook();
+        let inner = Arc::new(WatchdogInner {
+            queue: Mutex::new(BinaryHeap::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            expired_total: AtomicU64::new(0),
+        });
+        let run = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("hyperline-watchdog".to_string())
+            .spawn(move || Self::run(&run))
+            .ok();
+        Self {
+            inner,
+            handle: Mutex::new(handle),
+        }
+    }
+
+    fn run(inner: &WatchdogInner) {
+        let mut queue = inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if inner.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Instant::now();
+            // Collect due entries, then fire them outside the queue
+            // lock (fire takes the per-deadline attachment lock).
+            let mut due = Vec::new();
+            while queue.peek().is_some_and(|top| top.at <= now) {
+                if let Some(armed) = queue.pop() {
+                    due.push(armed.state);
+                }
+            }
+            if !due.is_empty() {
+                drop(queue);
+                for state in due {
+                    if !state.disarmed.load(Ordering::Relaxed) {
+                        inner.expired_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    state.fire();
+                }
+                queue = inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            match queue
+                .peek()
+                .map(|top| top.at.saturating_duration_since(now))
+            {
+                None => {
+                    queue = inner.wake.wait(queue).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(sleep) => {
+                    let (g, _) = inner
+                        .wake
+                        .wait_timeout(queue, sleep)
+                        .unwrap_or_else(|p| p.into_inner());
+                    queue = g;
+                }
+            }
+        }
+    }
+
+    /// Arms a deadline `after` from now and returns its RAII handle.
+    pub fn arm(&self, after: Duration) -> Deadline {
+        let state = Arc::new(DeadlineState {
+            at: Instant::now() + after,
+            expired: AtomicBool::new(false),
+            disarmed: AtomicBool::new(false),
+            attached: Mutex::new(Vec::new()),
+        });
+        {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.push(Armed {
+                at: state.at,
+                state: Arc::clone(&state),
+            });
+        }
+        self.inner.wake.notify_one();
+        Deadline { state }
+    }
+
+    /// Deadlines that fired while still armed, over the watchdog's
+    /// lifetime.
+    pub fn expired_total(&self) -> u64 {
+        self.inner.expired_total.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the timer thread. Outstanding `Deadline` handles
+    /// stay valid but will no longer fire.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.wake.notify_all();
+        let handle = self.handle.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trips_when_interest_drains() {
+        let t = CancelToken::new();
+        t.register_interest();
+        t.register_interest();
+        assert!(!t.is_cancelled());
+        t.release_interest();
+        assert!(!t.is_cancelled(), "one registrant still live");
+        t.release_interest();
+        assert!(t.is_cancelled(), "last release trips the token");
+    }
+
+    #[test]
+    fn ambient_token_scoping() {
+        assert!(current().is_none());
+        assert!(!cancelled());
+        let t = CancelToken::new();
+        with_token(Some(t.clone()), || {
+            assert!(current().is_some());
+            assert!(!cancelled());
+            t.cancel();
+            assert!(cancelled());
+            with_token(None, || assert!(!cancelled()));
+            assert!(cancelled(), "inner scope restored");
+        });
+        assert!(current().is_none(), "outer scope restored");
+    }
+
+    #[test]
+    fn checkpoint_panics_with_cancelled_payload() {
+        let t = CancelToken::new();
+        t.cancel();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_token(Some(t), checkpoint)
+        }));
+        let payload = r.expect_err("checkpoint must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+    }
+
+    #[test]
+    fn watchdog_fires_and_releases_interest() {
+        let wd = Watchdog::new();
+        let token = CancelToken::new();
+        let dl = wd.arm(Duration::from_millis(20));
+        let _keep = dl.attach(&token);
+        assert!(!dl.expired());
+        assert!(!token.is_cancelled());
+        let start = Instant::now();
+        while !dl.expired() && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(dl.expired(), "watchdog must fire within the bound");
+        assert!(token.is_cancelled(), "sole registrant expired -> tripped");
+        assert_eq!(wd.expired_total(), 1);
+        wd.shutdown();
+    }
+
+    #[test]
+    fn dropped_deadline_is_disarmed() {
+        let wd = Watchdog::new();
+        let token = CancelToken::new();
+        {
+            let dl = wd.arm(Duration::from_millis(30));
+            let _keep = dl.attach(&token);
+        } // dropped before expiry: disarms + releases its interest
+        assert!(token.is_cancelled(), "drop released the only registration");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(wd.expired_total(), 0, "disarmed entry must not count");
+        wd.shutdown();
+    }
+
+    #[test]
+    fn leader_survives_while_other_interest_lives() {
+        let wd = Watchdog::new();
+        let token = CancelToken::new();
+        token.register_interest(); // a waiter with no deadline
+        let dl = wd.arm(Duration::from_millis(10));
+        let _keep = dl.attach(&token);
+        let start = Instant::now();
+        while !dl.expired() && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(dl.expired());
+        assert!(
+            !token.is_cancelled(),
+            "live waiter keeps the flight running"
+        );
+        token.release_interest();
+        assert!(token.is_cancelled());
+        wd.shutdown();
+    }
+
+    #[test]
+    fn give_up_is_idempotent_with_watchdog() {
+        let wd = Watchdog::new();
+        let token = CancelToken::new();
+        token.register_interest(); // second registrant
+        let dl = wd.arm(Duration::from_millis(10));
+        let _keep = dl.attach(&token);
+        dl.give_up();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            token.interest(),
+            1,
+            "give_up + watchdog release exactly once"
+        );
+        wd.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic fault injection at I/O seams (debug builds only).
+//!
+//! Production code calls [`check("site")`](check) at its I/O seams —
+//! socket reads/writes, dataset file loads, cache inserts. In release
+//! builds the call is an inline `None` the optimizer deletes. In debug
+//! builds (the builds `cargo test` runs) an armed registry decides,
+//! deterministically from a seed, whether that particular hit of that
+//! particular site injects a fault — so a chaos test can replay the
+//! exact same fault schedule from the same seed.
+//!
+//! Arming:
+//!
+//! * programmatic — [`arm("socket.write=err@300", 42)`](arm) from a
+//!   test, [`disarm`] to clear;
+//! * environment — `HYPERLINE_FAILPOINTS="site=mode@permille,..."`
+//!   plus optional `HYPERLINE_FAILPOINT_SEED=n`, read once on first
+//!   check, so a whole server binary can run under a fault schedule
+//!   without code changes.
+//!
+//! Spec grammar: `site=mode@permille` entries joined by commas, where
+//! `mode` is `err` (the seam returns an injected `io::Error`) or
+//! `short` (a write seam writes only half the buffer), and `permille`
+//! (0..=1000, default 1000) is the per-hit firing probability. The
+//! decision for hit *n* of a site mixes `seed`, the site name hash, and
+//! `n` through SplitMix64 — independent of thread timing.
+//!
+//! Every fired injection increments a per-site counter; tests assert
+//! faults actually landed via [`fired`]/[`total_fired`], and the server
+//! exposes [`total_fired`] under `/metrics` (`faults.injected`) so no
+//! injected fault can disappear silently.
+
+/// What an armed failpoint injects at a seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The seam should fail with an injected I/O error.
+    Err,
+    /// A write seam should perform a short write (half the buffer).
+    Short,
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::Fault;
+    use crate::fxhash::FxHashMap;
+    use std::sync::{Mutex, Once};
+
+    struct Site {
+        mode: Fault,
+        permille: u32,
+        hits: u64,
+        fired: u64,
+    }
+
+    struct Registry {
+        seed: u64,
+        sites: FxHashMap<String, Site>,
+    }
+
+    static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+    static ENV_INIT: Once = Once::new();
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::fxhash::FxHasher::default();
+        site.hash(&mut h);
+        h.finish()
+    }
+
+    fn parse_spec(spec: &str) -> Result<FxHashMap<String, Site>, String> {
+        let mut sites = FxHashMap::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (site, rest) = entry.split_once('=').ok_or_else(|| {
+                format!("failpoint entry `{entry}`: expected site=mode[@permille]")
+            })?;
+            let (mode_str, permille) = match rest.split_once('@') {
+                Some((m, p)) => {
+                    let p: u32 = p
+                        .parse()
+                        .map_err(|_| format!("failpoint `{site}`: bad permille `{p}`"))?;
+                    if p > 1000 {
+                        return Err(format!("failpoint `{site}`: permille {p} > 1000"));
+                    }
+                    (m, p)
+                }
+                None => (rest, 1000),
+            };
+            let mode = match mode_str {
+                "err" => Fault::Err,
+                "short" => Fault::Short,
+                other => return Err(format!("failpoint `{site}`: unknown mode `{other}`")),
+            };
+            // A site can carry only one schedule; silently letting the
+            // last entry win would disarm the first without a trace.
+            if sites
+                .insert(
+                    site.to_string(),
+                    Site {
+                        mode,
+                        permille,
+                        hits: 0,
+                        fired: 0,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("failpoint `{site}`: duplicate entry"));
+            }
+        }
+        Ok(sites)
+    }
+
+    /// Parses and installs a fault schedule (see module docs for the
+    /// spec grammar), replacing any previous one.
+    pub fn arm(spec: &str, seed: u64) -> Result<(), String> {
+        let sites = parse_spec(spec)?;
+        let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        *reg = Some(Registry { seed, sites });
+        Ok(())
+    }
+
+    /// Clears the registry; every subsequent check is a fast no-op.
+    pub fn disarm() {
+        *REGISTRY.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    fn env_init() {
+        ENV_INIT.call_once(|| {
+            if let Ok(spec) = std::env::var("HYPERLINE_FAILPOINTS") {
+                let seed = std::env::var("HYPERLINE_FAILPOINT_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                // A bad env spec must not take the process down; it
+                // just stays disarmed.
+                let _ = arm(&spec, seed);
+            }
+        });
+    }
+
+    /// Consults the registry for one hit of `site`; `Some` means the
+    /// caller must inject the returned fault.
+    pub fn check(site: &str) -> Option<Fault> {
+        env_init();
+        let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        let reg = reg.as_mut()?;
+        let seed = reg.seed;
+        let s = reg.sites.get_mut(site)?;
+        let hit = s.hits;
+        s.hits += 1;
+        let roll = splitmix64(seed ^ site_hash(site) ^ hit) % 1000;
+        if roll < s.permille as u64 {
+            s.fired += 1;
+            Some(s.mode)
+        } else {
+            None
+        }
+    }
+
+    /// Injections fired at `site` since arming.
+    pub fn fired(site: &str) -> u64 {
+        let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        reg.as_ref()
+            .and_then(|r| r.sites.get(site))
+            .map_or(0, |s| s.fired)
+    }
+
+    /// Injections fired across all sites since arming.
+    pub fn total_fired() -> u64 {
+        let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        reg.as_ref()
+            .map_or(0, |r| r.sites.values().map(|s| s.fired).sum())
+    }
+}
+
+#[cfg(debug_assertions)]
+pub use imp::{arm, check, disarm, fired, total_fired};
+
+#[cfg(not(debug_assertions))]
+mod imp_release {
+    use super::Fault;
+
+    /// Release builds: arming is accepted but inert.
+    pub fn arm(_spec: &str, _seed: u64) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Release builds: nothing to clear.
+    pub fn disarm() {}
+
+    /// Release builds: never injects — inlines to `None`.
+    #[inline(always)]
+    pub fn check(_site: &str) -> Option<Fault> {
+        None
+    }
+
+    /// Release builds: always zero.
+    pub fn fired(_site: &str) -> u64 {
+        0
+    }
+
+    /// Release builds: always zero.
+    pub fn total_fired() -> u64 {
+        0
+    }
+}
+
+#[cfg(not(debug_assertions))]
+pub use imp_release::{arm, check, disarm, fired, total_fired};
+
+/// Convenience: the injected `io::Error` for a [`Fault::Err`] at a
+/// socket-like seam. A distinct message so telemetry and tests can tell
+/// injected faults from organic ones.
+pub fn io_error(site: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        format!("injected fault at {site}"),
+    )
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests run serially under
+    // one lock to avoid arming races with each other.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn unarmed_checks_are_free() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        disarm();
+        assert_eq!(check("socket.write"), None);
+        assert_eq!(total_fired(), 0);
+    }
+
+    #[test]
+    fn armed_site_fires_deterministically() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        arm("socket.write=err@1000", 7).unwrap();
+        assert_eq!(check("socket.write"), Some(Fault::Err));
+        assert_eq!(check("socket.read"), None, "unarmed site never fires");
+        assert_eq!(fired("socket.write"), 1);
+        assert_eq!(total_fired(), 1);
+
+        // Same seed -> identical decision sequence.
+        arm("socket.write=err@300", 42).unwrap();
+        let a: Vec<bool> = (0..64).map(|_| check("socket.write").is_some()).collect();
+        arm("socket.write=err@300", 42).unwrap();
+        let b: Vec<bool> = (0..64).map(|_| check("socket.write").is_some()).collect();
+        assert_eq!(a, b, "seeded schedule must replay");
+        assert!(a.iter().any(|&x| x), "300 permille over 64 hits fires");
+        assert!(!a.iter().all(|&x| x), "300 permille is not always");
+
+        // Different seed -> (almost surely) different schedule.
+        arm("socket.write=err@300", 43).unwrap();
+        let c: Vec<bool> = (0..64).map(|_| check("socket.write").is_some()).collect();
+        assert_ne!(a, c, "seed must matter");
+        disarm();
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(arm("nonsense", 0).is_err());
+        assert!(arm("site=bogus", 0).is_err());
+        assert!(arm("site=err@1001", 0).is_err());
+        assert!(arm("site=err@notanum", 0).is_err());
+        disarm();
+    }
+
+    #[test]
+    fn short_mode_parses() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        arm("gzip.write=short", 1).unwrap();
+        assert_eq!(check("gzip.write"), Some(Fault::Short));
+        disarm();
+    }
+}

@@ -21,11 +21,18 @@
 //! * [`sync`] — the sync seam: re-exports `std::sync` primitives
 //!   normally, or the `hyperline-sched` model-checker shims under
 //!   `--cfg hyperline_sched`.
+//! * [`cancel`] — request-lifecycle cancellation: deadline watchdog,
+//!   interest-counted cancel tokens, and the ambient per-thread token
+//!   kernel chunk loops poll (flag-only, so kernels stay clock-free).
+//! * [`failpoint`] — deterministic fault injection at I/O seams,
+//!   compiled to no-ops in release builds (the chaos-test harness).
 
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod cancel;
 pub mod csv;
+pub mod failpoint;
 pub mod fxhash;
 pub mod idmap;
 pub mod parallel;

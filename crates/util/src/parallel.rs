@@ -78,13 +78,21 @@ pub fn scope_workers<T: Send>(num_workers: usize, work: impl Fn(usize) -> T + Sy
     }
     let work = &work;
     // Spawned workers inherit the caller's telemetry scope so spans
-    // entered inside parallel loops land in the same stage report.
+    // entered inside parallel loops land in the same stage report, and
+    // the caller's cancellation token so kernel chunk loops can poll
+    // their request's deadline flag.
     let ctx = crate::telemetry::current_context();
+    let cancel = crate::cancel::current();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..num_workers)
             .map(|w| {
                 let ctx = ctx.clone();
-                scope.spawn(move || crate::telemetry::with_context(ctx, || work(w)))
+                let cancel = cancel.clone();
+                scope.spawn(move || {
+                    crate::telemetry::with_context(ctx, || {
+                        crate::cancel::with_token(cancel, || work(w))
+                    })
+                })
             })
             .collect();
         let mut results = Vec::with_capacity(num_workers);
@@ -126,12 +134,16 @@ pub fn par_map_range_init<S, U: Send>(
     }
     let chunk = default_chunk(n, workers);
     let cursor = AtomicUsize::new(0);
+    let poll = crate::cancel::Poll::capture();
     // Each worker returns contiguous (start, results) runs; stitching them
     // back in start order restores the index order without shared writes.
     let mut runs: Vec<(usize, Vec<U>)> = scope_workers(workers, |_| {
         let mut state = init();
         let mut out: Vec<(usize, Vec<U>)> = Vec::new();
         loop {
+            if poll.is_cancelled() {
+                break;
+            }
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= n {
                 break;
@@ -144,6 +156,9 @@ pub fn par_map_range_init<S, U: Send>(
     .into_iter()
     .flatten()
     .collect();
+    // A cancelled run produced partial output: unwind here, before any
+    // caller can observe an incomplete result vector.
+    crate::cancel::checkpoint();
     runs.sort_unstable_by_key(|&(start, _)| start);
     let mut result = Vec::with_capacity(n);
     for (_, mut run) in runs {
@@ -168,7 +183,11 @@ pub fn par_for_each_range(n: usize, f: impl Fn(usize) + Sync) {
     }
     let chunk = default_chunk(n, workers);
     let cursor = AtomicUsize::new(0);
+    let poll = crate::cancel::Poll::capture();
     scope_workers(workers, |_| loop {
+        if poll.is_cancelled() {
+            return;
+        }
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= n {
             return;
@@ -177,6 +196,9 @@ pub fn par_for_each_range(n: usize, f: impl Fn(usize) + Sync) {
             f(i);
         }
     });
+    // Partial side effects from a cancelled run must not be observed:
+    // unwind to the flight's catch_unwind before returning.
+    crate::cancel::checkpoint();
 }
 
 /// Runs `f` on every element of `items` in parallel (disjoint `&mut`

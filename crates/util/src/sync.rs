@@ -29,10 +29,12 @@
 pub use std::sync::Arc;
 
 #[cfg(not(hyperline_sched))]
-pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 
 #[cfg(hyperline_sched)]
-pub use hyperline_sched::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+pub use hyperline_sched::sync::{
+    Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult,
+};
 
 /// Atomic integer/bool types and `Ordering`, mirroring
 /// `std::sync::atomic`'s layout.

@@ -12,7 +12,8 @@
 #      shim-world artifacts never collide with the std-world cache
 #   4. cargo clippy -D warnings
 #   5. cargo build --release
-#   6. cargo test -q
+#   6. cargo test -q, then the chaos suite by name (deadline/cancel,
+#      slow-client, fault-injection, and drain invariants — also --fast)
 #   7. the two smoke benchmarks (skipped with --fast) — server (cold vs
 #      warm cache latencies + server-side p50/p99 from the /metrics
 #      histograms + streamed edge-list wire bytes, identity vs gzip) and
@@ -64,6 +65,13 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+# The chaos suite is part of `cargo test` above, but it is the gate for
+# the request-lifecycle invariants (no request outlives its deadline, no
+# truncated 200s, drain within bound, every injected fault counted), so
+# it runs by name — in --fast mode too — and can never be scoped away.
+echo "==> chaos suite (deadlines, slow clients, fault injection, drain)"
+cargo test -q -p hyperline-server --test chaos
 
 BENCH_LOG=""
 if [ "$FAST" = "1" ]; then

@@ -37,6 +37,9 @@ fn usage() -> ExitCode {
          serve      <file|profile:NAME>... [--port=7878] [--threads=N]\n  \
                     [--cache-mb=256] [--queue=1024] [--seed=N] [--data-root=DIR]\n  \
                     [--access-log=FILE] [--access-log-sample=N]\n  \
+                    [--request-deadline-ms=N] [--route-deadline-ms=ROUTE=MS]...\n  \
+                    [--head-timeout-ms=N] [--write-timeout-ms=N]\n  \
+                    [--drain-deadline-ms=N] [--negative-ttl-ms=N]\n  \
                     concurrent HTTP/1.1 JSON query server with a\n  \
                     two-tier (artifact + Stage-5 metric) cache and\n  \
                     batched POST /query (GET / lists the endpoints;\n  \
@@ -243,11 +246,33 @@ fn main() -> ExitCode {
             }
         }
         "serve" => {
-            use hyperline::server::{Server, ServerConfig};
+            use hyperline::server::{Route, Server, ServerConfig};
+            use std::time::Duration;
             let port: u16 = opt("port", 7878);
             let host: String = opt("host", "127.0.0.1".to_string());
             let data_root: String = opt("data-root", String::new());
             let access_log: String = opt("access-log", String::new());
+            let defaults = ServerConfig::default();
+            // Per-route deadline overrides: repeatable
+            // `--route-deadline-ms=ROUTE=MS` (route names as in /metrics).
+            let mut route_deadlines = Vec::new();
+            for spec in std::env::args()
+                .filter_map(|a| a.strip_prefix("--route-deadline-ms=").map(str::to_string))
+            {
+                let parsed = spec.split_once('=').and_then(|(route, ms)| {
+                    let route = *Route::ALL.iter().find(|r| r.name() == route)?;
+                    Some((route, Duration::from_millis(ms.parse().ok()?)))
+                });
+                match parsed {
+                    Some(entry) => route_deadlines.push(entry),
+                    None => {
+                        return fail(&format!(
+                            "bad --route-deadline-ms={spec:?} (want ROUTE=MILLIS)"
+                        ))
+                    }
+                }
+            }
+            let request_deadline_ms: u64 = opt("request-deadline-ms", 0);
             let config = ServerConfig {
                 addr: format!("{host}:{port}"),
                 threads: opt("threads", 0),
@@ -256,7 +281,26 @@ fn main() -> ExitCode {
                 data_root: (!data_root.is_empty()).then(|| data_root.clone().into()),
                 access_log: (!access_log.is_empty()).then(|| access_log.clone().into()),
                 access_log_sample: opt("access-log-sample", 1),
-                ..ServerConfig::default()
+                request_deadline: (request_deadline_ms > 0)
+                    .then(|| Duration::from_millis(request_deadline_ms)),
+                route_deadlines,
+                head_timeout: Duration::from_millis(opt(
+                    "head-timeout-ms",
+                    defaults.head_timeout.as_millis() as u64,
+                )),
+                write_timeout: Duration::from_millis(opt(
+                    "write-timeout-ms",
+                    defaults.write_timeout.as_millis() as u64,
+                )),
+                drain_deadline: Duration::from_millis(opt(
+                    "drain-deadline-ms",
+                    defaults.drain_deadline.as_millis() as u64,
+                )),
+                negative_ttl: Duration::from_millis(opt(
+                    "negative-ttl-ms",
+                    defaults.negative_ttl.as_millis() as u64,
+                )),
+                ..defaults
             };
             let server = match Server::bind(config) {
                 Ok(s) => s,
