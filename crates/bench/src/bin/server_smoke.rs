@@ -11,9 +11,12 @@
 //! `Accept-Encoding: gzip`, recording body bytes on the wire and the
 //! peak-RSS proxy of each path: the streamed response renders through
 //! fixed-size writer buffers, versus the body-sized buffer the old
-//! render-then-send path would have allocated. The JSON report is the
-//! bench trajectory's record of the cache + transport behavior;
-//! `scripts/check.sh` runs this after the test suite.
+//! render-then-send path would have allocated. A concurrency section
+//! parks 100/1k/10k open keep-alive sockets (capped by the fd limit)
+//! against the evented core and records request p50/p99 at each tier.
+//! The JSON report is the bench trajectory's record of the cache +
+//! transport behavior; `scripts/check.sh` runs this after the test
+//! suite.
 //!
 //! `cargo run -p hyperline-bench --release --bin server_smoke`
 //! Options: `--profile=genomics --seed=42 --reps=9 --out=BENCH_server.json`
@@ -212,6 +215,131 @@ fn overload_section() -> Json {
                     expiry_median - deadline.as_secs_f64() * 1e6,
                 ),
         )
+}
+
+/// Soft fd limit from `/proc/self/limits` (`Max open files`).
+fn read_fd_limit() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Reads one keep-alive response off `stream` (content-length framed,
+/// which is what `/healthz` answers).
+fn read_keep_alive_response(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut buf).expect("keep-alive read");
+        assert!(n > 0, "connection closed mid-response");
+        raw.extend_from_slice(&buf[..n]);
+        let text = String::from_utf8_lossy(&raw);
+        if let Some((head, body)) = text.split_once("\r\n\r\n") {
+            let len = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse::<usize>().ok())?
+                })
+                .expect("content-length framing");
+            if body.len() >= len {
+                return text.into_owned();
+            }
+        }
+    }
+}
+
+/// Concurrent-connections section: the evented core's headline claim.
+/// Parks 100 / 1k / 10k open keep-alive sockets (capped by the fd
+/// limit — each in-process client costs three fds: the client end, the
+/// server socket, and the connection tracker's dup) and measures
+/// request p50/p99 with all of them open. Idle sockets cost the loop
+/// nothing but a timer entry, so latency should stay flat across tiers.
+fn concurrency_section() -> Json {
+    let fd_limit = read_fd_limit().unwrap_or(1024);
+    let max_open = (fd_limit.saturating_sub(512) / 3).max(64);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        queue_depth: 256,
+        // Generous idle budget: parked sockets must survive the slower
+        // tiers' setup, not be reaped as idle keep-alives.
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("bind concurrency server");
+    let handle = server.spawn();
+    let addr = handle.addr();
+    let gauge = || {
+        handle
+            .state()
+            .metrics
+            .event_loop_connections
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+
+    let mut tiers = Vec::new();
+    let mut max_sustained = 0i64;
+    let mut capped = false;
+    for target in [100usize, 1000, 10000] {
+        let open = target.min(max_open);
+        if open < target {
+            capped = true;
+            println!("concurrency: tier {target} capped to {open} by fd limit {fd_limit}");
+        }
+        let mut parked: Vec<TcpStream> = Vec::with_capacity(open);
+        for _ in 0..open {
+            let stream = TcpStream::connect(addr).expect("connect parked socket");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            parked.push(stream);
+        }
+        // The loop owns a connection once it is epoll-registered; wait
+        // for the gauge to account for every parked socket.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while gauge() < open as i64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        max_sustained = max_sustained.max(gauge());
+        // p50/p99 of sequential probes round-robined over a sample of
+        // the parked (live, keep-alive) sockets.
+        let sample = parked.len().min(50);
+        let probes = 200usize;
+        let mut micros = Vec::with_capacity(probes);
+        for i in 0..probes {
+            let stream = &mut parked[i % sample];
+            let started = Instant::now();
+            write!(stream, "GET /healthz HTTP/1.1\r\nhost: bench\r\n\r\n").expect("probe write");
+            let response = read_keep_alive_response(stream);
+            assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+            micros.push(started.elapsed().as_secs_f64() * 1e6);
+        }
+        micros.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (percentile(&micros, 0.5), percentile(&micros, 0.99));
+        println!("concurrency    {open:>6} open sockets   p50 {p50:>7.0} us   p99 {p99:>7.0} us");
+        tiers.push(
+            Json::obj()
+                .set("target", target)
+                .set("connections", open)
+                .set("p50_micros", p50)
+                .set("p99_micros", p99),
+        );
+        drop(parked);
+        // Let the loop reap the mass close before the next tier piles on.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while gauge() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    handle.shutdown();
+    println!("concurrency: sustained {max_sustained} connections");
+    Json::obj()
+        .set("fd_limit", fd_limit)
+        .set("capped", capped)
+        .set("max_sustained", max_sustained)
+        .set("tiers", Json::Arr(tiers))
 }
 
 /// Cold latency + median warm latency (of `reps` repeats) for `target`,
@@ -513,12 +641,14 @@ fn main() {
         }
     }
     let overload = overload_section();
+    let concurrency = concurrency_section();
     let report = Json::obj()
         .set("profile", name.as_str())
         .set("seed", seed)
         .set("reps", reps)
         .set("endpoints", Json::Arr(endpoints))
         .set("overload", overload)
+        .set("concurrency", concurrency)
         .set(
             "wire",
             Json::obj()

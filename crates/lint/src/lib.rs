@@ -12,7 +12,8 @@
 //!   adjacent `// ordering:` comment explaining the fence.
 //! * **HL002** — no `partial_cmp(..).unwrap()`; floats compare with
 //!   `total_cmp`.
-//! * **HL003** — no `unsafe` anywhere in the workspace.
+//! * **HL003** — no `unsafe` anywhere in the workspace, except the
+//!   sanctioned syscall shim `crates/server/src/sys.rs`.
 //! * **HL004** — kernel crates (`graph`, `slinegraph`, `sparse`) stay
 //!   clock-free.
 //! * **HL005** — fallback: no `.unwrap()` / `.expect(` in
@@ -23,6 +24,8 @@
 //! * **HL008** — no cycles in the static lock-acquisition graph.
 //! * **HL009** — every Release store on an atomic field has a matching
 //!   Acquire load site, and vice versa.
+//! * **HL010** — every `unsafe` block carries an adjacent
+//!   `// safety:` comment justifying its soundness.
 //!
 //! Suppressions live in `scripts/lint_allow.txt`, one per line:
 //! `RULE <path-substring> <finding-substring-or-*> # justification`.
@@ -49,7 +52,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`HL001` … `HL009`).
+    /// Rule id (`HL001` … `HL010`).
     pub rule: &'static str,
     /// Human- and allowlist-facing description.
     pub what: String,
@@ -151,7 +154,7 @@ pub struct Report {
     /// All findings, sorted by (file, line, rule), before suppression.
     pub findings: Vec<Finding>,
     /// Per-phase stats in execution order (`parse`, `callgraph`,
-    /// `HL001`…`HL009`).
+    /// `HL001`…`HL010`).
     pub stats: Vec<(&'static str, RuleStat)>,
     /// Number of `.rs` sources analyzed.
     pub rs_files: usize,
@@ -249,6 +252,11 @@ pub fn analyze(sources: &[(String, String)]) -> Report {
     timed("HL006", &mut findings, &mut stats, |f| {
         for (p, s) in &manifests {
             lines::lint_manifest(p, s, f);
+        }
+    });
+    timed("HL010", &mut findings, &mut stats, |f| {
+        for ctx in &ctxs {
+            lines::hl010(ctx, f);
         }
     });
 
@@ -360,6 +368,7 @@ mod tests {
                 "HL004",
                 "HL005",
                 "HL006",
+                "HL010",
                 "callgraph",
                 "HL007",
                 "HL008",

@@ -116,8 +116,13 @@ pub fn hl002(ctx: &LineCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-/// HL003: no `unsafe` anywhere — even inside `#[cfg(test)]`.
+/// HL003: no `unsafe` anywhere — even inside `#[cfg(test)]` — except
+/// the one sanctioned syscall shim (`crates/server/src/sys.rs`), where
+/// HL010 takes over and demands a `// safety:` note per block.
 pub fn hl003(ctx: &LineCtx, findings: &mut Vec<Finding>) {
+    if ctx.rel == "crates/server/src/sys.rs" {
+        return;
+    }
     for (i, m) in ctx.masked.iter().enumerate() {
         if has_word(m, "unsafe") {
             let raw = ctx.raw.get(i).map(|s| s.as_str()).unwrap_or("");
@@ -126,7 +131,40 @@ pub fn hl003(ctx: &LineCtx, findings: &mut Vec<Finding>) {
                 line: i + 1,
                 rule: "HL003",
                 what: format!("`unsafe` is forbidden in this workspace: {}", raw.trim()),
-                hint: "rewrite with safe primitives; the perf story must not depend on unsafe",
+                hint: "rewrite with safe primitives; syscall shims belong in crates/server/src/sys.rs",
+            });
+        }
+    }
+}
+
+/// HL010: every `unsafe` block needs an adjacent `// safety:` note —
+/// on the same line or in the contiguous comment block directly above
+/// (the HL001 adjacency shape). Runs everywhere, but only the
+/// sanctioned shim file legitimately reaches it: elsewhere HL003
+/// already bans the keyword outright.
+pub fn hl010(ctx: &LineCtx, findings: &mut Vec<Finding>) {
+    for (i, m) in ctx.masked.iter().enumerate() {
+        if !has_word(m, "unsafe") {
+            continue;
+        }
+        let raw = ctx.raw.get(i).map(|s| s.as_str()).unwrap_or("");
+        let mut documented = raw.contains("// safety:");
+        let mut k = i;
+        while !documented && k > 0 {
+            let above = ctx.raw[k - 1].trim_start();
+            if !above.starts_with("//") {
+                break;
+            }
+            documented = above.starts_with("// safety:");
+            k -= 1;
+        }
+        if !documented {
+            findings.push(Finding {
+                file: ctx.rel.clone(),
+                line: i + 1,
+                rule: "HL010",
+                what: format!("undocumented `unsafe`: {}", raw.trim()),
+                hint: "add an adjacent `// safety: <why this is sound>` comment",
             });
         }
     }
@@ -456,6 +494,7 @@ mod tests {
         hl003(&ctx, &mut f);
         hl004(&ctx, &mut f);
         hl005(&ctx, &mut f);
+        hl010(&ctx, &mut f);
         f.sort_by_key(|x| x.line);
         f.into_iter().map(|x| (x.line, x.rule)).collect()
     }
@@ -551,7 +590,40 @@ mod tests {
     #[test]
     fn hl003_fires_even_inside_cfg_test() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { danger() } }\n}\n";
-        assert_eq!(rules_on("crates/x/src/a.rs", src), vec![(3, "HL003")]);
+        assert_eq!(
+            rules_on("crates/x/src/a.rs", src),
+            vec![(3, "HL003"), (3, "HL010")]
+        );
+    }
+
+    #[test]
+    fn hl003_exempts_the_syscall_shim_but_hl010_still_guards_it() {
+        // The shim file may use unsafe — with a safety note.
+        let documented =
+            "// safety: fd is owned and open.\nfn f() { let _ = unsafe { close(3) }; }\n";
+        assert!(rules_on("crates/server/src/sys.rs", documented).is_empty());
+        // Mutation: strip the note and HL010 (not HL003) fires.
+        let stripped = "fn f() { let _ = unsafe { close(3) }; }\n";
+        assert_eq!(
+            rules_on("crates/server/src/sys.rs", stripped),
+            vec![(1, "HL010")]
+        );
+    }
+
+    #[test]
+    fn hl010_accepts_same_line_and_block_above_notes() {
+        let trailing = "fn f() { let _ = unsafe { close(3) }; } // safety: fd is ours\n";
+        assert!(rules_on("crates/server/src/sys.rs", trailing).is_empty());
+        let block = "// safety: the buffer outlives the call\n// (spans two lines)\nfn f() { let _ = unsafe { read(0, p, 1) }; }\n";
+        assert!(rules_on("crates/server/src/sys.rs", block).is_empty());
+        // An unrelated comment between the note and the block breaks
+        // adjacency only if the block stops being contiguous comments.
+        let interrupted =
+            "// safety: stale note\nfn g() {}\nfn f() { let _ = unsafe { close(3) }; }\n";
+        assert_eq!(
+            rules_on("crates/server/src/sys.rs", interrupted),
+            vec![(3, "HL010")]
+        );
     }
 
     #[test]

@@ -266,6 +266,60 @@ pub fn read_request(
 ) -> Result<Request, ParseError> {
     let mut budget = MAX_HEAD_BYTES;
     let request_line = read_crlf_line(reader, &mut budget)?;
+    let mut header_lines = Vec::new();
+    loop {
+        let line = match read_crlf_line(reader, &mut budget) {
+            Ok(line) => line,
+            // EOF mid-headers is malformed, not a clean close.
+            Err(ParseError::ConnectionClosed) => {
+                return Err(ParseError::Malformed(
+                    "connection closed mid-headers".into(),
+                ))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_lines.push(line);
+    }
+    let head = finish_head(&request_line, header_lines)?;
+    let mut request = head.request;
+    // A 100-continue client sends nothing until told to proceed (1xx
+    // responses predate HTTP/1.1, so never send one to a 1.0 client —
+    // they would read it as the final response).
+    if head.expect_continue {
+        interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        interim.flush()?;
+    }
+    if head.body_len > 0 {
+        let mut body = vec![0u8; head.body_len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// A fully validated request head: everything [`read_request`] decides
+/// before the body, surfaced so the evented loop can act on it — read
+/// `body_len` more bytes, and send the interim `100 Continue` first
+/// when `expect_continue` is set.
+pub struct ParsedHead {
+    /// The parsed request, body still empty.
+    pub request: Request,
+    /// Body bytes the client declared (`Content-Length`, validated).
+    pub body_len: usize,
+    /// Whether the client awaits `100 Continue` before sending the
+    /// body.
+    pub expect_continue: bool,
+}
+
+/// The grammar and policy checks shared by the blocking
+/// [`read_request`] and the incremental [`parse_head`]: request-line
+/// shape, version, path/query decoding, header syntax, and the
+/// body-framing rules (transfer codings refused, duplicate or oversized
+/// `Content-Length` rejected, `Expect` validated).
+fn finish_head(request_line: &str, header_lines: Vec<String>) -> Result<ParsedHead, ParseError> {
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version), None) =
         (parts.next(), parts.next(), parts.next(), parts.next())
@@ -290,26 +344,13 @@ pub fn read_request(
         ),
     };
     let mut headers = Vec::new();
-    loop {
-        let line = match read_crlf_line(reader, &mut budget) {
-            Ok(line) => line,
-            // EOF mid-headers is malformed, not a clean close.
-            Err(ParseError::ConnectionClosed) => {
-                return Err(ParseError::Malformed(
-                    "connection closed mid-headers".into(),
-                ))
-            }
-            Err(e) => return Err(e),
-        };
-        if line.is_empty() {
-            break;
-        }
+    for line in header_lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(ParseError::Malformed(format!("bad header line {line:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let mut request = Request {
+    let request = Request {
         method: method.to_ascii_uppercase(),
         path,
         query,
@@ -350,30 +391,76 @@ pub fn read_request(
             });
         }
     }
+    let mut body_len = 0;
     if let Some(len) = request.header("content-length") {
         let len: usize = len
             .parse()
             .map_err(|_| ParseError::Malformed(format!("bad content-length {len:?}")))?;
         if len > MAX_BODY_BYTES {
-            // The body was not read: the caller must close, or its bytes
-            // would be parsed as the next pipelined request.
+            // The body was not (and must not be) read: the caller must
+            // close, or its bytes would be parsed as the next pipelined
+            // request.
             return Err(ParseError::Rejected {
                 status: 400,
                 message: "body exceeds 1 MiB".into(),
             });
         }
-        // A 100-continue client sends nothing until told to proceed
-        // (1xx responses predate HTTP/1.1, so never send one to a 1.0
-        // client — they would read it as the final response).
-        if len > 0 && expect.is_some() && !request.http10 {
-            interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-            interim.flush()?;
-        }
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body)?;
-        request.body = body;
+        body_len = len;
     }
-    Ok(request)
+    let expect_continue = body_len > 0 && expect.is_some() && !request.http10;
+    Ok(ParsedHead {
+        request,
+        body_len,
+        expect_continue,
+    })
+}
+
+/// Incrementally parses a request head out of `buf` (the evented
+/// loop's per-connection inbound buffer).
+///
+/// * `Ok(None)` — no complete head yet; accumulate more bytes (the
+///   8 KiB head budget is enforced while the head is still partial, so
+///   a newline-less or header-dribbling flood fails fast).
+/// * `Ok(Some((head, consumed)))` — a complete, validated head occupied
+///   `buf[..consumed]`; the remainder is body bytes and/or pipelined
+///   requests.
+/// * `Err` — same grammar and policy verdicts as [`read_request`].
+pub fn parse_head(buf: &[u8]) -> Result<Option<(ParsedHead, usize)>, ParseError> {
+    let mut request_line: Option<String> = None;
+    let mut header_lines: Vec<String> = Vec::new();
+    let mut pos = 0;
+    loop {
+        let Some(newline) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // No terminator yet: a partial head may not outgrow the
+            // budget while waiting for one.
+            if buf.len() >= MAX_HEAD_BYTES {
+                return Err(ParseError::Malformed("headers exceed 8 KiB".into()));
+            }
+            return Ok(None);
+        };
+        let line_end = pos + newline + 1;
+        if line_end > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("headers exceed 8 KiB".into()));
+        }
+        let mut line_bytes = &buf[pos..pos + newline];
+        while line_bytes.last() == Some(&b'\r') {
+            line_bytes = &line_bytes[..line_bytes.len() - 1];
+        }
+        let line = std::str::from_utf8(line_bytes)
+            .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes".into()))?
+            .to_string();
+        pos = line_end;
+        match &request_line {
+            None => request_line = Some(line),
+            Some(_) if line.is_empty() => break,
+            Some(_) => header_lines.push(line),
+        }
+    }
+    let Some(request_line) = request_line else {
+        return Ok(None);
+    };
+    let head = finish_head(&request_line, header_lines)?;
+    Ok(Some((head, pos)))
 }
 
 /// Reason phrase for the status codes the server emits.
@@ -1012,6 +1099,116 @@ mod tests {
         counter.write_all(b"hello").unwrap();
         counter.write_all(b" world").unwrap();
         assert_eq!(counter.bytes(), 11);
+    }
+
+    #[test]
+    fn parse_head_resumes_across_arbitrary_splits() {
+        let raw = b"POST /datasets?name=z HTTP/1.1\r\nHost: a\r\ncontent-length: 5\r\n\r\nhello";
+        // Every prefix that ends before the blank line is "keep going".
+        let head_end = raw.len() - 5;
+        for cut in 0..head_end {
+            assert!(
+                parse_head(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes parsed early"
+            );
+        }
+        // From the blank line on, the head parses and `consumed` pins
+        // the body boundary regardless of how much tail arrived.
+        for cut in head_end..=raw.len() {
+            let (head, consumed) = parse_head(&raw[..cut]).unwrap().expect("complete head");
+            assert_eq!(consumed, head_end);
+            assert_eq!(head.request.method, "POST");
+            assert_eq!(head.request.path, "/datasets");
+            assert_eq!(head.request.query_param("name"), Some("z"));
+            assert_eq!(head.request.header("host"), Some("a"));
+            assert_eq!(head.body_len, 5);
+            assert!(!head.expect_continue);
+        }
+    }
+
+    #[test]
+    fn parse_head_leaves_pipelined_tail() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (head, consumed) = parse_head(raw).unwrap().expect("complete head");
+        assert_eq!(head.request.path, "/a");
+        assert_eq!(head.body_len, 0);
+        let (next, tail_consumed) = parse_head(&raw[consumed..]).unwrap().expect("second head");
+        assert_eq!(next.request.path, "/b");
+        assert_eq!(consumed + tail_consumed, raw.len());
+    }
+
+    #[test]
+    fn parse_head_flags_expect_continue() {
+        let raw = b"POST / HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\n";
+        let (head, _) = parse_head(raw).unwrap().expect("complete head");
+        assert!(head.expect_continue);
+        // No body declared: nothing to invite.
+        let raw = b"GET / HTTP/1.1\r\nexpect: 100-continue\r\n\r\n";
+        let (head, _) = parse_head(raw).unwrap().expect("complete head");
+        assert!(!head.expect_continue);
+        // 1xx responses must never go to an HTTP/1.0 client.
+        let raw = b"POST / HTTP/1.0\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\n";
+        let (head, _) = parse_head(raw).unwrap().expect("complete head");
+        assert!(!head.expect_continue);
+    }
+
+    #[test]
+    fn parse_head_matches_blocking_verdicts() {
+        assert!(matches!(
+            parse_head(b"NOT-HTTP\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_head(b"GET / SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_head(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_head(b"GET / HTTP/1.1\r\nx: \xff\xfe\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_head(b"POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_head(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(ParseError::Rejected { status: 501, .. })
+        ));
+        assert!(matches!(
+            parse_head(b"POST / HTTP/1.1\r\nexpect: teleport\r\ncontent-length: 2\r\n\r\n"),
+            Err(ParseError::Rejected { status: 417, .. })
+        ));
+        let oversized = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_head(oversized.as_bytes()),
+            Err(ParseError::Rejected { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_head_enforces_budget_on_partial_heads() {
+        // A complete oversized head fails...
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse_head(huge.as_bytes()),
+            Err(ParseError::Malformed(_))
+        ));
+        // ...and so does a newline-less flood still waiting for one.
+        let flood = vec![b'a'; MAX_HEAD_BYTES];
+        assert!(matches!(parse_head(&flood), Err(ParseError::Malformed(_))));
+        // Under budget and incomplete: keep reading.
+        assert!(parse_head(b"GET / HT").unwrap().is_none());
+        assert!(parse_head(b"").unwrap().is_none());
     }
 
     #[test]

@@ -26,14 +26,18 @@
 //!   are LRU-evicted under byte budgets, deduplicate concurrent misses,
 //!   and invalidate together (generation-fenced) when a dataset is
 //!   replaced;
-//! * [`server`] — accept loop → bounded queue → fixed worker pool, each
-//!   worker speaking HTTP/1.1 keep-alive (HEAD, `Expect: 100-continue`
-//!   and desync-safe error handling included); `GET /datasets/{d}/sweep`
-//!   reuses and populates per-s artifacts, and `POST /query` answers a
-//!   JSON batch of sub-queries in one round-trip under one compute
-//!   budget. Large bodies (edge lists, sweeps, components) **stream**
-//!   from the cached `Arc` artifacts through a chunked (and, when
-//!   negotiated, gzip) writer stack with O(1) buffering;
+//! * [`server`] / [`event`] — an **evented core**: a single epoll
+//!   readiness loop owns every socket (nonblocking accept, resumable
+//!   head parsing, EAGAIN-aware response flushing) and hands complete
+//!   requests to a fixed worker pool over a bounded queue; workers speak
+//!   HTTP/1.1 keep-alive (HEAD, `Expect: 100-continue` and desync-safe
+//!   error handling included) into a bounded hand-off buffer the loop
+//!   drains under `EPOLLOUT`. `GET /datasets/{d}/sweep` reuses and
+//!   populates per-s artifacts, and `POST /query` answers a JSON batch
+//!   of sub-queries in one round-trip under one compute budget. Large
+//!   bodies (edge lists, sweeps, components) **stream** from the cached
+//!   `Arc` artifacts through a chunked (and, when negotiated, gzip)
+//!   writer stack with O(1) buffering;
 //! * [`http`] / [`json`] — the wire-format helpers: percent-decoding
 //!   request parser, chunked-transfer writer, `Accept-Encoding`
 //!   negotiation; JSON builder + strict parser + streaming serializer
@@ -77,6 +81,7 @@ pub use hyperline_util::sync;
 
 pub mod access_log;
 pub mod cache;
+pub mod event;
 pub mod gzip;
 pub mod http;
 pub mod json;
@@ -84,6 +89,7 @@ pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod server;
+pub(crate) mod sys;
 
 pub use access_log::{AccessLog, AccessRecord, RequestIds};
 pub use cache::{

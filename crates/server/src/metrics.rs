@@ -140,8 +140,13 @@ pub struct ServerMetrics {
     /// Mid-stream client disconnects (`EPIPE`/`ECONNRESET`) handled as
     /// quiet closes instead of generic writer-stack errors.
     pub client_aborts: AtomicU64,
-    /// Response writes aborted because the socket stalled past the
-    /// write timeout (dead or pathologically slow reader).
+    /// Responses aborted because no write progress happened within the
+    /// write timeout: either the worker's bounded hand-off buffer
+    /// stayed full (`TimedOut` from the buffer) or the event loop's
+    /// socket flush moved no bytes for the whole budget — both mean a
+    /// dead or pathologically slow reader. (Formerly the per-thread
+    /// `SO_SNDTIMEO` expiry; the evented core re-expresses the same
+    /// defense without per-connection threads.)
     pub write_stalls: AtomicU64,
     /// Request heads abandoned by the cumulative head deadline
     /// (slow-loris defense).
@@ -154,6 +159,16 @@ pub struct ServerMetrics {
     pub drained_connections: AtomicU64,
     /// Connections hard-closed because they outlived the drain bound.
     pub aborted_connections: AtomicU64,
+    /// Gauge: connections currently owned by the event loop (accepted,
+    /// not yet closed).
+    pub event_loop_connections: AtomicI64,
+    /// `epoll_wait` returns (readiness wakeups, including injected
+    /// spurious ones under the `epoll.wait` failpoint).
+    pub event_loop_wakeups: AtomicU64,
+    /// Socket drains that stopped early on `EAGAIN` and re-armed
+    /// `EPOLLOUT` — each one is backpressure from a reader slower than
+    /// the response producer.
+    pub eagain_yields: AtomicU64,
 }
 
 /// RAII increment of a gauge: `enter` adds one, dropping subtracts it.

@@ -1,9 +1,10 @@
-//! A fixed-size worker pool fed by a bounded connection queue.
+//! A fixed-size worker pool fed by a bounded job queue.
 //!
-//! The accept loop pushes sockets; `threads` workers pop and serve them.
-//! When the queue is full the push fails immediately so the acceptor can
-//! shed load with a `503` instead of building an unbounded backlog —
-//! the same admission-control shape as IIPImage's FCGI worker model.
+//! The event loop pushes fully-parsed requests; `threads` workers pop
+//! and serve them. When the queue is full the push fails immediately so
+//! the loop can shed load with a `503` instead of building an unbounded
+//! backlog — the same admission-control shape as IIPImage's FCGI worker
+//! model.
 
 use crate::sync::{thread, Arc, Condvar, Mutex};
 use std::collections::VecDeque;

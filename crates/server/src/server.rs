@@ -1,8 +1,12 @@
 //! The server proper: TCP lifecycle, routing and endpoint handlers.
 //!
-//! `bind` → `spawn` starts an acceptor thread feeding a fixed worker
-//! pool through a bounded queue; each worker speaks HTTP/1.1 keep-alive
-//! on its connection. Query endpoints resolve through a two-tier
+//! `bind` → `spawn` starts the epoll readiness loop
+//! ([`crate::event`]): one thread owns every socket, parses request
+//! heads incrementally, and hands complete requests to a fixed worker
+//! pool through a bounded queue — so open keep-alive connections cost
+//! a buffer each, not a thread each. Workers answer through a bounded
+//! per-connection hand-off buffer the loop drains as the socket
+//! accepts bytes. Query endpoints resolve through a two-tier
 //! single-flight LRU cache: the **artifact tier** builds each s-line
 //! graph at most once per `(dataset, s, algorithm, weighted)`, and the
 //! **metric tier** layered on top computes each Stage-5 result
@@ -16,14 +20,15 @@ use crate::access_log::{AccessLog, AccessRecord, RequestIds};
 use crate::cache::{
     AlgoKind, ArtifactCache, CacheKey, CacheOutcome, MetricKey, MetricKind, SingleFlightCache,
 };
+use crate::event::{spawn_event_loop, RequestJob};
 use crate::gzip::GzipWriter;
-use crate::http::{self, ChunkedWriter, Params, ParseError, Request};
+use crate::http::{self, ChunkedWriter, Params, Request};
 use crate::json::{Json, StreamFragment};
-use crate::metrics::{GaugeGuard, Route, ServerMetrics};
-use crate::pool::WorkerPool;
+use crate::metrics::{Route, ServerMetrics};
 use crate::registry::{DatasetRegistry, DatasetSource};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
+use crate::sys;
 use hyperline_hypergraph::Hypergraph;
 use hyperline_slinegraph::{
     algo1_slinegraph, algo2_slinegraph, algo2_slinegraph_weighted, build_slinegraphs_over_s,
@@ -33,7 +38,7 @@ use hyperline_util::cancel::{self, Deadline, Watchdog};
 use hyperline_util::failpoint;
 use hyperline_util::telemetry::{self, Span, StageAgg};
 use hyperline_util::FxHashMap;
-use std::io::{BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -277,37 +282,40 @@ pub struct ServerState {
     request_ids: RequestIds,
     /// Watchdog thread arming per-request deadlines.
     watchdog: Watchdog,
-    /// Set while a drain is in progress: the acceptor sheds new
+    /// Set while a drain is in progress: the event loop sheds new
     /// connections and keep-alive responses switch to
     /// `Connection: close` after their in-flight response.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Live connections, for the drain's bounded wait and hard close.
-    connections: ConnectionTracker,
+    pub(crate) connections: ConnectionTracker,
     /// Wall-clock budget per request (`None` = no deadline).
     request_deadline: Option<Duration>,
     /// Per-route overrides over `request_deadline`.
     route_deadlines: Vec<(Route, Duration)>,
     /// Bound a `POST /admin/drain` without `?deadline_ms=` uses.
     drain_deadline: Duration,
-    /// Cumulative head-read budget per request (slow-loris defense).
-    head_timeout: Duration,
-    /// Socket write timeout (bounded-stall defense).
-    write_timeout: Duration,
+    /// Cumulative head+body read budget per request (slow-loris
+    /// defense), enforced by the event loop's `Request` timer.
+    pub(crate) head_timeout: Duration,
+    /// Write-stall budget (bounded-stall defense): bounds both a
+    /// worker's wait for hand-off buffer space and the event loop's
+    /// zero-progress window while flushing.
+    pub(crate) write_timeout: Duration,
 }
 
-/// Live-connection registry for graceful drain. Each worker registers a
-/// `try_clone`d handle of its stream; the drain thread hard-closes
-/// stragglers through that clone (`shutdown()` makes the worker's own
-/// blocking reads and writes fail promptly, which unwinds its keep-alive
-/// loop).
+/// Live-connection registry for graceful drain. The event loop
+/// registers a `try_clone`d handle of each accepted stream; the drain
+/// thread hard-closes stragglers through that clone (`shutdown()` makes
+/// the loop's reads and writes on the socket fail promptly, which
+/// closes the connection on its next readiness event).
 #[derive(Default)]
-struct ConnectionTracker {
+pub(crate) struct ConnectionTracker {
     streams: Mutex<FxHashMap<u64, TcpStream>>,
     next_id: AtomicU64,
 }
 
 impl ConnectionTracker {
-    fn register(&self, stream: TcpStream) -> u64 {
+    pub(crate) fn register(&self, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.streams
             .lock()
@@ -318,7 +326,7 @@ impl ConnectionTracker {
 
     /// Removes a finished connection; `false` means the drain already
     /// claimed (hard-closed) it.
-    fn deregister(&self, id: u64) -> bool {
+    pub(crate) fn deregister(&self, id: u64) -> bool {
         self.streams
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -482,93 +490,26 @@ impl Server {
         }
     }
 
-    /// Starts the worker pool and acceptor thread; returns a handle that
-    /// can stop them.
+    /// Starts the worker pool and the event-loop thread; returns a
+    /// handle that can stop them.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
         let threads = self.threads();
         let shutdown = Arc::new(AtomicBool::new(false));
         let state = Arc::clone(&self.state);
-        let read_timeout = self.config.read_timeout;
-
-        let pool_state = Arc::clone(&state);
-        let pool = WorkerPool::start(
+        let (loop_thread, waker) = spawn_event_loop(
+            self.listener,
+            Arc::clone(&state),
             threads,
             self.config.queue_depth,
-            move |(stream, queued): (TcpStream, Instant)| {
-                // The queue-depth gauge and wait histogram bracket the
-                // bounded queue: enqueued in the acceptor, resolved here.
-                pool_state
-                    .metrics
-                    .queue_depth
-                    .fetch_sub(1, Ordering::Relaxed);
-                let waited = queued.elapsed();
-                pool_state.metrics.queue_wait.record_micros(waited);
-                let _busy = GaugeGuard::enter(&pool_state.metrics.busy_workers);
-                handle_connection(&pool_state, stream, read_timeout, waited);
-            },
+            self.config.read_timeout,
+            Arc::clone(&shutdown),
         );
-
-        let acceptor_shutdown = Arc::clone(&shutdown);
-        let acceptor_state = Arc::clone(&state);
-        let listener = self.listener;
-        let acceptor = std::thread::Builder::new()
-            .name("hyperline-acceptor".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    // ordering: pairs with the Release store in
-                    // `shutdown()`; seeing the flag must also see every
-                    // write the shutting-down thread made before it.
-                    if acceptor_shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    if acceptor_state.draining.load(Ordering::Relaxed) {
-                        // Draining: stop taking work; tell clients when
-                        // to come back.
-                        acceptor_state
-                            .metrics
-                            .connections_rejected
-                            .fetch_add(1, Ordering::Relaxed);
-                        shed_connection(&mut stream, "server draining, retry later");
-                        continue;
-                    }
-                    // Gauge up before the push: a worker may pop (and
-                    // decrement) the instant the push lands, and the
-                    // gauge must never dip negative.
-                    acceptor_state
-                        .metrics
-                        .queue_depth
-                        .fetch_add(1, Ordering::Relaxed);
-                    match pool.queue().try_push((stream, Instant::now())) {
-                        Ok(()) => {
-                            acceptor_state
-                                .metrics
-                                .connections_accepted
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err((mut stream, _)) => {
-                            // Shed load: immediate 503, never queue.
-                            acceptor_state
-                                .metrics
-                                .queue_depth
-                                .fetch_sub(1, Ordering::Relaxed);
-                            acceptor_state
-                                .metrics
-                                .connections_rejected
-                                .fetch_add(1, Ordering::Relaxed);
-                            shed_connection(&mut stream, "server overloaded, retry later");
-                        }
-                    }
-                }
-                pool.shutdown();
-            })
-            .expect("failed to spawn acceptor thread");
-
         ServerHandle {
             addr,
             shutdown,
-            acceptor: Some(acceptor),
+            waker,
+            loop_thread: Some(loop_thread),
             state,
         }
     }
@@ -576,9 +517,9 @@ impl Server {
     /// Serves in the foreground until the process exits (the CLI path).
     pub fn run(self) {
         let handle = self.spawn();
-        // The acceptor thread never exits unless shut down; park forever.
-        if let Some(acceptor) = handle.acceptor {
-            let _ = acceptor.join();
+        // The event loop never exits unless shut down; park forever.
+        if let Some(loop_thread) = handle.loop_thread {
+            let _ = loop_thread.join();
         }
     }
 }
@@ -588,7 +529,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    waker: Arc<sys::Waker>,
+    loop_thread: Option<std::thread::JoinHandle<()>>,
     state: Arc<ServerState>,
 }
 
@@ -616,15 +558,16 @@ impl ServerHandle {
         counts
     }
 
-    /// Stops accepting, drains the worker pool and joins the acceptor.
+    /// Stops the event loop (which closes every connection and drains
+    /// the worker pool) and joins it.
     pub fn shutdown(mut self) {
-        // ordering: publishes all pre-shutdown writes to the acceptor's
-        // Acquire load of this flag.
+        // ordering: publishes all pre-shutdown writes to the event
+        // loop's Acquire load of this flag.
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the accept loop with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        // Interrupt `epoll_wait` so the flag is seen immediately.
+        self.waker.wake();
+        if let Some(loop_thread) = self.loop_thread.take() {
+            let _ = loop_thread.join();
         }
     }
 }
@@ -659,8 +602,11 @@ impl<W: Write> Write for CountingStream<W> {
 }
 
 /// Sheds one connection before it reaches the worker pool: `503` with a
-/// `Retry-After` hint (overload or drain).
-fn shed_connection(stream: &mut TcpStream, message: &str) {
+/// `Retry-After` hint (drain; queue overflow answers through the
+/// event loop's own reject path). Works on the nonblocking sockets
+/// `accept4` hands the event loop: the tiny 503 fits the socket buffer
+/// and the drain loop below breaks on `WouldBlock`.
+pub(crate) fn shed_connection(stream: &mut TcpStream, message: &str) {
     let body = Json::obj().set("error", message).render();
     let length = body.len().to_string();
     let _ = http::write_response_head(
@@ -711,27 +657,6 @@ impl<W: Write> Write for DeadlineWriter<'_, W> {
     }
 }
 
-/// RAII registration of one connection with the drain tracker; a close
-/// that happens while draining counts as a graceful drain (hard-closed
-/// connections were already claimed by [`ConnectionTracker::close_all`]
-/// and book under `aborted_connections` instead).
-struct ConnGuard<'a> {
-    state: &'a ServerState,
-    id: Option<u64>,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        let Some(id) = self.id else { return };
-        if self.state.connections.deregister(id) && self.state.draining.load(Ordering::Relaxed) {
-            self.state
-                .metrics
-                .drained_connections
-                .fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
 /// Books a failed response write under the right counter: a deadline
 /// abort (unless the response was already a 504, which booked at
 /// dispatch), a quiet client disconnect, or a stalled socket.
@@ -753,7 +678,8 @@ fn classify_write_error(
         ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => {
             state.metrics.client_aborts.fetch_add(1, Ordering::Relaxed);
         }
-        // Linux reports a hit `SO_SNDTIMEO` as `WouldBlock`.
+        // `TimedOut` is the hand-off buffer's stall verdict;
+        // `WouldBlock` kept for parity with the old `SO_SNDTIMEO` path.
         ErrorKind::TimedOut | ErrorKind::WouldBlock => {
             state.metrics.write_stalls.fetch_add(1, Ordering::Relaxed);
         }
@@ -762,8 +688,9 @@ fn classify_write_error(
 }
 
 /// The drain proper: bounded wait for live connections to finish (the
-/// acceptor sheds and keep-alive loops close themselves once `draining`
-/// is up), then hard-close the stragglers. Returns `(drained, aborted)`.
+/// event loop sheds new ones and closes keep-alive connections after
+/// their in-flight response once `draining` is up), then hard-close the
+/// stragglers. Returns `(drained, aborted)`.
 // lint: request-root
 fn drain_connections(state: &ServerState, bound: Duration) -> (u64, u64) {
     let give_up = Instant::now() + bound;
@@ -781,142 +708,81 @@ fn drain_connections(state: &ServerState, bound: Duration) -> (u64, u64) {
     )
 }
 
-/// Serves one connection: keep-alive request loop under an idle read
-/// timeout, a cumulative head deadline (slow-loris defense), a bounded
-/// write timeout, per-request watchdog deadlines, and drain awareness.
+/// Serves one parsed request on a worker thread: per-request watchdog
+/// deadline, dispatch through the cache tiers, the 504 override,
+/// metrics and access-log accounting, and the response written through
+/// the job's bounded hand-off buffer back to the event loop. The
+/// connection lifecycle (keep-alive, timeouts, drain awareness) lives
+/// in [`crate::event`]; this function ends by reporting `keep_alive`
+/// and whether the buffered response should be flushed.
 // lint: request-root
-fn handle_connection(
-    state: &Arc<ServerState>,
-    stream: TcpStream,
-    read_timeout: Duration,
-    queue_wait: Duration,
-) {
-    let _ = stream.set_nodelay(true);
-    // Bounded-stall defense: a write to a dead (or pathologically slow)
-    // reader fails instead of blocking this worker forever.
-    let _ = stream.set_write_timeout(Some(state.write_timeout));
-    let writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+pub(crate) fn handle_request(state: &Arc<ServerState>, job: RequestJob, queue_wait: Duration) {
+    let request = &job.request;
+    let keep_alive = request.keep_alive() && !state.draining.load(Ordering::Relaxed);
+    let deadline = state.deadline_for(peek_route(request));
+    let started = Instant::now();
+    let (route, status, body, meta) = dispatch_full(state, request, deadline.as_ref());
+    // A request that outlived its deadline answers 504 even when the
+    // handler finished: the result (cached for later requests) missed
+    // *this* request's budget.
+    let (status, body) = match &deadline {
+        Some(d) if d.expired() && status < 500 => {
+            (504, Json::obj().set("error", cancel::CANCELLED))
+        }
+        _ => (status, body),
     };
-    // A second clone registers with the drain tracker so a drain can
-    // hard-close this connection from outside the worker.
-    let _conn = ConnGuard {
-        state,
-        id: stream
-            .try_clone()
-            .ok()
-            .map(|s| state.connections.register(s)),
-    };
+    if status == 504 {
+        state
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    // Latency is recorded before the body is transmitted: it measures
+    // server work, not how fast the client drains a streamed multi-MB
+    // edge list.
+    let handled = started.elapsed();
+    state.metrics.record(route, status, handled);
     let mut writer = CountingStream {
-        inner: writer,
+        inner: job.writer(),
         bytes: 0,
     };
-    let mut reader = BufReader::new(http::TimedReader::new(
-        stream,
-        read_timeout,
-        state.head_timeout,
-    ));
-    loop {
-        match http::read_request(&mut reader, &mut writer) {
-            Ok(request) => {
-                // Head fully read: the next request's first byte arms a
-                // fresh cumulative deadline.
-                reader.get_mut().reset();
-                let keep_alive = request.keep_alive() && !state.draining.load(Ordering::Relaxed);
-                let deadline = state.deadline_for(peek_route(&request));
-                let started = Instant::now();
-                let (route, status, body, meta) = dispatch_full(state, &request, deadline.as_ref());
-                // A request that outlived its deadline answers 504 even
-                // when the handler finished: the result (cached for
-                // later requests) missed *this* request's budget.
-                let (status, body) = match &deadline {
-                    Some(d) if d.expired() && status < 500 => {
-                        (504, Json::obj().set("error", cancel::CANCELLED))
-                    }
-                    _ => (status, body),
-                };
-                if status == 504 {
-                    state
-                        .metrics
-                        .deadline_expired
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                // Latency is recorded before the body is transmitted:
-                // it measures server work, not how fast the client
-                // drains a streamed multi-MB edge list.
-                let handled = started.elapsed();
-                state.metrics.record(route, status, handled);
-                let body_start = writer.bytes;
-                let sent = {
-                    let mut guarded = DeadlineWriter {
-                        inner: &mut writer,
-                        // The 504 *is* the deadline's verdict: writing it
-                        // happens after expiry by definition, so it is
-                        // exempt — refusing would turn every expiry into
-                        // a silent close.
-                        deadline: if status == 504 {
-                            None
-                        } else {
-                            deadline.as_ref()
-                        },
-                    };
-                    respond(state, &mut guarded, &request, status, &body, keep_alive)
-                };
-                if let Some(log) = &state.access_log {
-                    log.record(&AccessRecord {
-                        id: state.request_ids.next_id(),
-                        route: route.name(),
-                        dataset: meta.dataset,
-                        s: meta.s,
-                        status,
-                        bytes_out: writer.bytes - body_start,
-                        gzip: http::accepts_gzip(&request)
-                            && body.is_streaming()
-                            && request.method != "HEAD",
-                        cache: meta.cache,
-                        queue_wait_micros: queue_wait.as_micros() as u64,
-                        handle_micros: handled.as_micros() as u64,
-                    });
-                }
-                match sent {
-                    Ok(true) => {}
-                    Ok(false) => return,
-                    Err(error) => {
-                        classify_write_error(state, &error, deadline.as_ref(), status);
-                        return;
-                    }
-                }
-            }
-            Err(ParseError::ConnectionClosed) => return,
-            Err(ParseError::Io(_)) => {
-                // Idle keep-alive timeout or peer reset: close quietly —
-                // unless the head deadline was armed, in which case a
-                // slow-loris client just lost its worker.
-                if reader.get_ref().mid_head() {
-                    state
-                        .metrics
-                        .slow_loris_closes
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-            Err(ParseError::Malformed(message)) => {
-                state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let body = Json::obj().set("error", message).render();
-                let _ = http::write_response(&mut writer, 400, &body, false);
-                return;
-            }
-            Err(ParseError::Rejected { status, message }) => {
-                // The request's body bytes were left on the socket;
-                // answering and continuing the keep-alive loop would
-                // parse them as the next request (desync), so the
-                // connection always closes here.
-                state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let body = Json::obj().set("error", message).render();
-                let _ = http::write_response(&mut writer, status, &body, false);
-                return;
-            }
+    let sent = {
+        let mut guarded = DeadlineWriter {
+            inner: &mut writer,
+            // The 504 *is* the deadline's verdict: writing it happens
+            // after expiry by definition, so it is exempt — refusing
+            // would turn every expiry into a silent close.
+            deadline: if status == 504 {
+                None
+            } else {
+                deadline.as_ref()
+            },
+        };
+        respond(state, &mut guarded, request, status, &body, keep_alive)
+    };
+    if let Some(log) = &state.access_log {
+        log.record(&AccessRecord {
+            id: state.request_ids.next_id(),
+            route: route.name(),
+            dataset: meta.dataset,
+            s: meta.s,
+            status,
+            bytes_out: writer.bytes,
+            gzip: http::accepts_gzip(request) && body.is_streaming() && request.method != "HEAD",
+            cache: meta.cache,
+            queue_wait_micros: queue_wait.as_micros() as u64,
+            handle_micros: handled.as_micros() as u64,
+        });
+    }
+    match sent {
+        // Buffered cleanly: the loop flushes, then keeps or closes.
+        Ok(keep) => job.complete(keep, true),
+        Err(error) => {
+            classify_write_error(state, &error, deadline.as_ref(), status);
+            // No flush: delivering a half-written body helps no one,
+            // and the loop closing immediately cannot double-book the
+            // stall the classification above already counted.
+            job.complete(false, false);
         }
     }
 }
@@ -1326,7 +1192,23 @@ fn handle_metrics(state: &ServerState) -> Json {
                     "write_stalls",
                     state.metrics.write_stalls.load(Ordering::Relaxed),
                 )
-                .set("gzip_encode", render_histogram(&state.metrics.gzip_encode)),
+                .set("gzip_encode", render_histogram(&state.metrics.gzip_encode))
+                .set(
+                    "event_loop",
+                    Json::obj()
+                        .set(
+                            "open_connections",
+                            state.metrics.event_loop_connections.load(Ordering::Relaxed),
+                        )
+                        .set(
+                            "wakeups",
+                            state.metrics.event_loop_wakeups.load(Ordering::Relaxed),
+                        )
+                        .set(
+                            "eagain_yields",
+                            state.metrics.eagain_yields.load(Ordering::Relaxed),
+                        ),
+                ),
         )
         .set(
             "lifecycle",
@@ -1572,6 +1454,30 @@ fn render_prometheus(state: &ServerState) -> Json {
         "hyperline_busy_workers",
         "Workers currently serving a connection.",
         &[(no_labels.clone(), m.busy_workers.load(Ordering::Relaxed))],
+    );
+    gauge(
+        &mut out,
+        "hyperline_event_loop_open_connections",
+        "Connections currently owned by the event loop.",
+        &[(
+            no_labels.clone(),
+            m.event_loop_connections.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_event_loop_wakeups_total",
+        "epoll_wait returns processed by the event loop.",
+        &[(
+            no_labels.clone(),
+            m.event_loop_wakeups.load(Ordering::Relaxed),
+        )],
+    );
+    counter(
+        &mut out,
+        "hyperline_event_loop_eagain_total",
+        "Socket drains that yielded on EAGAIN and re-armed EPOLLOUT.",
+        &[(no_labels.clone(), m.eagain_yields.load(Ordering::Relaxed))],
     );
     histogram_family(
         &mut out,

@@ -654,6 +654,142 @@ fn handle_drain_aborts_idle_stragglers_at_the_bound() {
     }
 }
 
+#[test]
+fn evented_split_head_delivery_is_reassembled() {
+    let _guard = serialize();
+    let handle = bind_star(4, base_config());
+    let addr = handle.addr();
+
+    // A slow-loris-shaped delivery that stays inside the head budget:
+    // the incremental parser must reassemble the head across arbitrary
+    // TCP segment boundaries and answer normally.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = b"GET /datasets/star/stats HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n";
+    for chunk in head.chunks(3) {
+        stream.write_all(chunk).expect("dribble head");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (status, body) = parse_checked(&raw).expect("well-framed response");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"vertices\""), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn evented_pipelined_requests_answer_in_order() {
+    let _guard = serialize();
+    let handle = bind_star(4, base_config());
+    let addr = handle.addr();
+
+    // Two keep-alive requests in one TCP segment: the loop must carry
+    // the second head over in its buffer and serve it after the first
+    // response flushes, not drop or reorder it.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nhost: chaos\r\n\r\nGET /datasets/star/stats HTTP/1.1\r\nhost: chaos\r\n\r\n"
+    )
+    .unwrap();
+    let first = read_one_response(&mut stream);
+    assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+    assert!(first.contains("\"ok\":true"), "{first}");
+    let second = read_one_response(&mut stream);
+    assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+    assert!(second.contains("\"vertices\""), "{second}");
+    handle.shutdown();
+}
+
+#[test]
+fn evented_partial_writes_backpressure_without_truncation() {
+    let _guard = serialize();
+    // Tens of megabytes on the wire (see the slow-clients test): far
+    // beyond loopback socket buffering, so the loop's drain must hit
+    // EAGAIN and park on EPOLLOUT at least once.
+    let handle = bind_star(1600, base_config());
+    let addr = handle.addr();
+    let metrics = &handle.state().metrics;
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /datasets/star/slg?s=1&limit=2000000 HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    // Wait for the stream to start, then stop reading: every buffer
+    // between the worker and this socket fills, and the loop's next
+    // drain must park on EAGAIN rather than block or truncate.
+    let mut first = [0u8; 1024];
+    let n = stream.read(&mut first).expect("first bytes");
+    std::thread::sleep(Duration::from_millis(700));
+    let mut raw = Vec::from(&first[..n]);
+    stream.read_to_end(&mut raw).expect("read full response");
+    let raw = String::from_utf8_lossy(&raw).into_owned();
+    // The stall must never yield a truncated 200 behind valid framing.
+    let (status, body) = parse_checked(&raw).expect("well-framed response despite backpressure");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"edges\""), "truncated body");
+    assert!(
+        metrics.eagain_yields.load(Ordering::Relaxed) >= 1,
+        "a multi-megabyte response never hit EAGAIN"
+    );
+    handle.shutdown();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn evented_epoll_wait_faults_degrade_gracefully() {
+    let _guard = serialize();
+    let handle = bind_star(4, base_config());
+    let addr = handle.addr();
+
+    failpoint::arm("epoll.wait=err@300", 11).expect("arm");
+    for _ in 0..8 {
+        let (status, body) = get(addr, "/datasets/star/stats");
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(
+        failpoint::fired("epoll.wait") > 0,
+        "epoll.wait schedule never fired"
+    );
+    failpoint::disarm();
+    handle.shutdown();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn evented_accept_faults_only_delay_admission() {
+    let _guard = serialize();
+    let handle = bind_star(4, base_config());
+    let addr = handle.addr();
+
+    // A skipped accept round leaves the connection in the kernel
+    // backlog; level-triggered epoll re-reports it, so every client is
+    // eventually served — faults delay, never drop.
+    failpoint::arm("socket.accept=err@400", 23).expect("arm");
+    for _ in 0..8 {
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(
+        failpoint::fired("socket.accept") > 0,
+        "socket.accept schedule never fired"
+    );
+    failpoint::disarm();
+    handle.shutdown();
+}
+
 /// Reads exactly one keep-alive HTTP response: headers, then (for the
 /// chunked bodies this server sends) through the terminal chunk.
 fn read_one_response(stream: &mut TcpStream) -> String {

@@ -6,10 +6,14 @@
 //! cache, gauge guards, bounded queue + worker pool — is the exact
 //! production source, compiled against the shims through the seam.
 //!
-//! Three of the issue's five high-risk units live here:
+//! The units explored:
 //! * (a) single-flight cache generation fencing + miss deduplication,
 //! * (c) `GaugeGuard` never-negative accounting,
-//! * (e) worker-pool shutdown and panic recovery.
+//! * (e) worker-pool shutdown and panic recovery,
+//! * the evented core's [`OutBuf`] worker→loop hand-off buffer:
+//!   lossless bounded delivery and close-wakes-producer.
+//!
+//! [`OutBuf`]: hyperline_server::event::OutBuf
 #![cfg(hyperline_sched)]
 
 use hyperline_sched::explore;
@@ -151,6 +155,79 @@ fn worker_pool_recovers_from_panicking_job_and_shuts_down() {
             1,
             "worker lost a job after recovering from a panic"
         );
+    });
+}
+
+// -- evented hand-off buffer ------------------------------------------
+
+#[test]
+fn out_buf_delivers_everything_across_interleavings() {
+    use hyperline_server::event::{DrainOutcome, OutBuf};
+    use std::time::Duration;
+    explore(|| {
+        // Capacity 2: the main thread fills the buffer, so the producer
+        // thread's extra byte must take the full-buffer wait path (or
+        // race in after the drain freed space — the model explores
+        // both). Under the shims `wait_timeout` never reports expiry
+        // (documented behavior), so delivery must be total, in order.
+        let buf = Arc::new(OutBuf::with_capacity(2));
+        let (n, was_empty) = buf.write_bounded(&[1, 2], Duration::from_secs(60)).unwrap();
+        assert_eq!((n, was_empty), (2, true));
+        let producer = {
+            let buf = buf.clone();
+            thread::spawn(move || {
+                buf.write_bounded(&[3], Duration::from_secs(60))
+                    .expect("buffer never closes in this model")
+            })
+        };
+        // First drain: exactly the two pre-filled bytes — the producer
+        // cannot append before space frees. Its progress notification
+        // is what un-parks a waiting producer; a missed wake-up shows
+        // up as a model deadlock at the join below.
+        let mut received = Vec::new();
+        let (progress, outcome) = buf.drain_with(|bytes| {
+            received.push(bytes[0]);
+            Ok(1)
+        });
+        assert!(progress);
+        assert_eq!(outcome, DrainOutcome::Empty);
+        assert_eq!(received, vec![1, 2]);
+        let (n, was_empty) = producer.join().unwrap();
+        assert_eq!((n, was_empty), (1, true));
+        let (progress, outcome) = buf.drain_with(|bytes| {
+            received.push(bytes[0]);
+            Ok(1)
+        });
+        assert!(progress);
+        assert_eq!(outcome, DrainOutcome::Empty);
+        assert_eq!(received, vec![1, 2, 3], "bytes lost or reordered");
+        assert!(buf.is_empty(), "buffer retained bytes after full drain");
+    });
+}
+
+#[test]
+fn out_buf_close_wakes_blocked_producer() {
+    use hyperline_server::event::OutBuf;
+    use std::io::ErrorKind;
+    use std::time::Duration;
+    explore(|| {
+        let buf = Arc::new(OutBuf::with_capacity(1));
+        // Fill the buffer so the producer thread must park.
+        let (n, _) = buf.write_bounded(&[9], Duration::from_secs(60)).unwrap();
+        assert_eq!(n, 1);
+        let producer = {
+            let buf = buf.clone();
+            thread::spawn(move || buf.write_bounded(&[10], Duration::from_secs(60)))
+        };
+        // The close races the blocked write: the producer either saw
+        // the closed flag before parking or must be woken by close's
+        // notify. A missed wake-up is caught as a model deadlock.
+        buf.close(ErrorKind::ConnectionReset);
+        let err = producer
+            .join()
+            .unwrap()
+            .expect_err("write into a closed buffer must fail");
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
     });
 }
 

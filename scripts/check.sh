@@ -2,10 +2,10 @@
 # Pre-merge gate, in dependency order:
 #   1. cargo fmt --check
 #   2. hyperline-lint        — workspace static analyzer (line rules
-#      HL001-HL006 plus the interprocedural HL007 panic-reachability,
-#      HL008 lock-order, and HL009 release/acquire-pairing rules;
-#      suppressions in scripts/lint_allow.txt; see README "Correctness
-#      tooling")
+#      HL001-HL006 and HL010 unsafe-safety-note adjacency, plus the
+#      interprocedural HL007 panic-reachability, HL008 lock-order, and
+#      HL009 release/acquire-pairing rules; suppressions in
+#      scripts/lint_allow.txt; see README "Correctness tooling")
 #   3. sched suite           — the model-checked concurrency units and
 #      the scheduler's own engine tests, built under
 #      RUSTFLAGS="--cfg hyperline_sched" into target/sched so the
@@ -16,7 +16,9 @@
 #      slow-client, fault-injection, and drain invariants — also --fast)
 #   7. the two smoke benchmarks (skipped with --fast) — server (cold vs
 #      warm cache latencies + server-side p50/p99 from the /metrics
-#      histograms + streamed edge-list wire bytes, identity vs gzip) and
+#      histograms + streamed edge-list wire bytes, identity vs gzip +
+#      concurrent-connection tiers against the evented core, reported
+#      as a trailing max-sustained summary line) and
 #      kernels (pipeline stage timings with the counting-vs-tail
 #      breakdown plus the Stage-5 frontier-engine section). Both are
 #      warn-only compared (>20%) against their previous BENCH_*.json;
@@ -73,6 +75,12 @@ cargo test -q
 echo "==> chaos suite (deadlines, slow clients, fault injection, drain)"
 cargo test -q -p hyperline-server --test chaos
 
+# The evented-core integration tests likewise run by name (also in
+# --fast mode): split-head reassembly, pipelining, EAGAIN backpressure
+# without truncation, and seeded epoll/accept fault degradation.
+echo "==> evented core suite (readiness loop, backpressure, epoll faults)"
+cargo test -q -p hyperline-server --test chaos evented_
+
 BENCH_LOG=""
 if [ "$FAST" = "1" ]; then
   echo "==> smoke benchmarks skipped (--fast)"
@@ -100,6 +108,8 @@ else
   else
     echo "summary: changed snapshots: $changed; no warn-only regressions"
   fi
+  sustained="$(grep -o '^concurrency: sustained [0-9]* connections' "$BENCH_LOG" | tail -1 || true)"
+  [ -n "$sustained" ] && echo "summary: max ${sustained#concurrency: }"
 fi
 
 echo "All checks passed."
